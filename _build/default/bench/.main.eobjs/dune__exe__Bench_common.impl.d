@@ -1,0 +1,1 @@
+bench/bench_common.ml: Array Float List Printf String Wayfinder_tensor

@@ -1,0 +1,1 @@
+bench/bench_fig1.ml: Array Bench_common List Printf Wayfinder_kconfig

@@ -1,0 +1,1 @@
+bench/bench_fig7.ml: Array Bench_common List Printf Unix Wayfinder_causal Wayfinder_deeptune Wayfinder_tensor

@@ -1,0 +1,1 @@
+bench/bench_tab2.ml: Array Bench_common Bench_fig6 List Printf Wayfinder_platform Wayfinder_simos

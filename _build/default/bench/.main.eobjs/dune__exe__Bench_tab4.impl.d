@@ -1,0 +1,1 @@
+bench/bench_tab4.ml: Bench_common Bench_fig11 List Printf Wayfinder_simos

@@ -1,0 +1,69 @@
+(* Ablations over DeepTune's design choices (DESIGN.md §5):
+
+   - scoring balance α (eq. 3): 0 = pure RBF uncertainty, 1 = pure
+     dissimilarity;
+   - crash gating (hard gate + soft penalty) on/off;
+   - candidate pool size;
+   - exploration weight of the sf bonus.
+
+   Each variant runs the Nginx/SimLinux search for a short budget on two
+   seeds; reported: mean best throughput and crash rate. *)
+
+module S = Wayfinder_simos
+module P = Wayfinder_platform
+module D = Wayfinder_deeptune
+module Param = Wayfinder_configspace.Param
+
+let iterations = 150
+let seeds = [ 61; 62 ]
+
+let run () =
+  Bench_common.section "Ablations: DeepTune design choices (Nginx/SimLinux, 150 iterations)";
+  let sim = S.Sim_linux.create () in
+  let space = S.Sim_linux.space sim in
+  let target = P.Targets.of_sim_linux sim ~app:S.App.Nginx in
+  let dflt = S.Sim_linux.default_value sim ~app:S.App.Nginx () in
+  let base = { D.Deeptune.default_options with favor = Some Param.Runtime } in
+  let evaluate name options =
+    let bests, crashes =
+      List.fold_left
+        (fun (bs, cs) seed ->
+          let dt = D.Deeptune.create ~options ~seed space in
+          let r =
+            P.Driver.run ~seed ~target ~algorithm:(D.Deeptune.algorithm dt)
+              ~budget:(P.Driver.Iterations iterations) ()
+          in
+          ( Option.value ~default:0. (P.History.best_value r.P.Driver.history) :: bs,
+            P.History.crash_rate r.P.Driver.history :: cs ))
+        ([], []) seeds
+    in
+    let best = Bench_common.mean (Array.of_list bests) in
+    let crash = Bench_common.mean (Array.of_list crashes) in
+    Printf.printf "%-28s rel=%5.3f crash=%.2f\n" name (best /. dflt) crash;
+    (best, crash)
+  in
+  Bench_common.subsection "scoring balance alpha (eq. 3)";
+  List.iter
+    (fun alpha -> ignore (evaluate (Printf.sprintf "alpha=%.2f" alpha) { base with alpha }))
+    [ 0.; 0.25; 0.5; 0.75; 1. ];
+  Bench_common.subsection "crash handling";
+  let _, gated_crash = evaluate "gate+penalty (default)" base in
+  let _, ungated_crash =
+    evaluate "no gate, no penalty" { base with crash_gate = None; crash_penalty = 0. }
+  in
+  let _ = evaluate "penalty only" { base with crash_gate = None } in
+  Bench_common.subsection "candidate pool size";
+  List.iter
+    (fun pool_size ->
+      ignore (evaluate (Printf.sprintf "pool=%d" pool_size) { base with pool_size }))
+    [ 24; 96; 192 ];
+  Bench_common.subsection "exploration weight";
+  List.iter
+    (fun exploration_weight ->
+      ignore
+        (evaluate
+           (Printf.sprintf "exploration=%.1f" exploration_weight)
+           { base with exploration_weight }))
+    [ 0.; 1.; 2. ];
+  Bench_common.check (gated_crash <= ungated_crash +. 0.03)
+    "crash gating does not increase the crash rate"

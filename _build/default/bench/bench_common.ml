@@ -1,0 +1,108 @@
+(* Shared plumbing for the experiment benches: multi-run averaging,
+   smoothing, and plain-text rendering of the series/tables the paper
+   reports. *)
+
+module Stat = Wayfinder_tensor.Stat
+
+let hr = String.make 78 '-'
+
+let section title =
+  Printf.printf "\n%s\n%s\n%s\n" hr title hr
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+(* Element-wise mean of several runs (truncated to the shortest). *)
+let average_series runs =
+  match runs with
+  | [] -> [||]
+  | first :: _ ->
+    let n = List.fold_left (fun acc r -> min acc (Array.length r)) (Array.length first) runs in
+    let k = float_of_int (List.length runs) in
+    Array.init n (fun i -> List.fold_left (fun acc r -> acc +. r.(i)) 0. runs /. k)
+
+let smooth = Stat.moving_average
+
+(* A tiny sparkline to make series shapes visible in terminal output. *)
+let sparkline values =
+  let glyphs = [| " "; "_"; "."; "-"; "="; "*"; "#"; "@" |] in
+  if Array.length values = 0 then ""
+  else begin
+    let finite = Array.of_list (List.filter Float.is_finite (Array.to_list values)) in
+    if Array.length finite = 0 then String.make (Array.length values) '?'
+    else begin
+      let lo = Stat.min finite and hi = Stat.max finite in
+      let scale v =
+        if not (Float.is_finite v) then "?"
+        else if hi -. lo < 1e-12 then glyphs.(4)
+        else begin
+          let idx = int_of_float ((v -. lo) /. (hi -. lo) *. 7.) in
+          glyphs.(max 0 (min 7 idx))
+        end
+      in
+      String.concat "" (Array.to_list (Array.map scale values))
+    end
+  end
+
+(* Render aligned columns: x plus one column per named series, sampled
+   every [stride] points. *)
+let print_series ~xlabel ~stride columns =
+  match columns with
+  | [] -> ()
+  | (_, first) :: _ ->
+    let n = Array.length first in
+    Printf.printf "%10s" xlabel;
+    List.iter (fun (name, _) -> Printf.printf " %14s" name) columns;
+    print_newline ();
+    let rec row i =
+      if i < n then begin
+        Printf.printf "%10d" i;
+        List.iter
+          (fun (_, series) ->
+            if i < Array.length series && Float.is_finite series.(i) then
+              Printf.printf " %14.2f" series.(i)
+            else Printf.printf " %14s" "-")
+          columns;
+        print_newline ();
+        row (i + stride)
+      end
+    in
+    row 0;
+    (* Always show the final point. *)
+    if (n - 1) mod stride <> 0 then begin
+      Printf.printf "%10d" (n - 1);
+      List.iter
+        (fun (_, series) ->
+          let i = Array.length series - 1 in
+          if i >= 0 && Float.is_finite series.(i) then Printf.printf " %14.2f" series.(i)
+          else Printf.printf " %14s" "-")
+        columns;
+      print_newline ()
+    end
+
+let print_sparklines columns =
+  List.iter
+    (fun (name, series) -> Printf.printf "%20s |%s|\n" name (sparkline series))
+    columns
+
+(* Minutes-resolution series over virtual time: bucket history entries into
+   [bucket_s]-wide bins up to [horizon_s]; each bin carries the running
+   value at that time. *)
+let time_series ~bucket_s ~horizon_s entries value_of =
+  let n_buckets = int_of_float (horizon_s /. bucket_s) + 1 in
+  let out = Array.make n_buckets nan in
+  List.iter
+    (fun (at_s, v) ->
+      let b = int_of_float (at_s /. bucket_s) in
+      if b >= 0 && b < n_buckets then out.(b) <- v)
+    (List.map value_of entries);
+  (* Forward-fill gaps. *)
+  let prev = ref nan in
+  Array.iteri
+    (fun i v -> if Float.is_nan v then out.(i) <- !prev else prev := v)
+    out;
+  out
+
+let mean xs = Stat.mean xs
+
+let check cond label =
+  Printf.printf "  [%s] %s\n" (if cond then "ok" else "??") label

@@ -1,0 +1,32 @@
+(* Figure 1: Linux compile-time configuration space over time.
+
+   Regenerates the synthetic Kconfig tree for each kernel release profile
+   and counts its options by parsing the printed Kconfig text — the same
+   "parse the Kconfig hierarchy" method the paper uses. *)
+
+module K = Wayfinder_kconfig
+
+let run () =
+  Bench_common.section "Figure 1: Linux compile-time configuration space over time";
+  Printf.printf "%-10s %6s %10s %s\n" "version" "year-ish" "options" "";
+  let totals =
+    List.map
+      (fun profile ->
+        let tree = K.Synthetic.generate profile in
+        (* Round-trip through concrete syntax: the census is computed on
+           the reparsed tree. *)
+        let reparsed = K.Parser.parse (K.Ast.print_tree tree) in
+        let census = K.Space.census reparsed in
+        let total = K.Space.census_total census in
+        Printf.printf "%-10s %6s %10d\n" profile.K.Synthetic.version "" total;
+        float_of_int total)
+      K.Synthetic.linux_profiles
+  in
+  Printf.printf "\n%20s |%s|\n" "growth" (Bench_common.sparkline (Array.of_list totals));
+  let arr = Array.of_list totals in
+  Bench_common.check
+    (arr.(Array.length arr - 1) > 3.5 *. arr.(0))
+    "option count roughly quadrupled from 2.6.12 to 6.0";
+  let monotone = ref true in
+  Array.iteri (fun i v -> if i > 0 && v <= arr.(i - 1) then monotone := false) arr;
+  Bench_common.check !monotone "growth is monotone across releases"

@@ -1,0 +1,116 @@
+(* Figure 10: memory footprint of RISC-V Linux images over a 3-hour
+   (virtual) search, Wayfinder vs random search.
+
+   Compile-time options are favored (§4.4); evaluations are expensive
+   (cross-build + emulated boot), so the budget covers only a few dozen
+   configurations.  Expected shape: default 210 MB, Wayfinder ≈ 192 MB
+   (−8.5 %), random ≈ 203 MB (−5.5 %), and far fewer failures for
+   Wayfinder late in the search. *)
+
+module S = Wayfinder_simos
+module P = Wayfinder_platform
+module D = Wayfinder_deeptune
+module Param = Wayfinder_configspace.Param
+
+let budget_s = 3. *. 3600.
+let runs = ref 3
+
+(* Compile-time flips are sampled conservatively: each option varied with
+   low probability, as a debloating search would. *)
+let favor_options =
+  { D.Deeptune.default_options with
+    favor = Some Param.Compile_time;
+    favor_strong = 0.12;
+    favor_weak = 0.;
+    pool_size = 128;
+    warmup = 6;
+    (* Few, expensive evaluations: train harder on what little there is so
+       the boot-essential options are identified quickly. *)
+    train_epochs = 8;
+    crash_penalty = 2. }
+
+let sampler_strong = 0.12
+
+let run () =
+  Bench_common.section "Figure 10: RISC-V Linux memory footprint (3h budget)";
+  let rv = S.Sim_riscv.create () in
+  let space = S.Sim_riscv.space rv in
+  let target = P.Targets.of_sim_riscv rv in
+  let default_mb = S.Sim_riscv.default_memory_mb rv in
+  Printf.printf "default image: %.1f MB; reachable floor: %.1f MB\n\n" default_mb
+    (S.Sim_riscv.min_reachable_mb rv);
+  let seeds = List.init !runs (fun i -> 500 + (i * 13)) in
+  let collect algo_of =
+    List.map
+      (fun seed ->
+        P.Driver.run ~seed ~target ~algorithm:(algo_of seed)
+          ~budget:(P.Driver.Virtual_seconds budget_s) ())
+      seeds
+  in
+  let deeptune_runs =
+    collect (fun seed ->
+        D.Deeptune.algorithm
+          (D.Deeptune.create ~options:favor_options ~seed space))
+  in
+  let random_runs =
+    collect (fun _ ->
+        P.Random_search.create ~favor:Param.Compile_time ~strong:sampler_strong ~weak:0. ())
+  in
+  let best_series result =
+    let entries = Array.to_list (P.History.entries result.P.Driver.history) in
+    let best = ref nan in
+    let points =
+      List.map
+        (fun e ->
+          (match e.P.History.value with
+          | Some v -> if Float.is_nan !best || v < !best then best := v
+          | None -> ());
+          (e.P.History.at_seconds, !best))
+        entries
+    in
+    Bench_common.time_series ~bucket_s:600. ~horizon_s:budget_s points (fun p -> p)
+  in
+  let wayfinder = Bench_common.average_series (List.map best_series deeptune_runs) in
+  let random = Bench_common.average_series (List.map best_series random_runs) in
+  Printf.printf "best-so-far memory (MB), one row per 10 virtual minutes:\n";
+  Bench_common.print_series ~xlabel:"10min-bin" ~stride:2
+    [ ("wayfinder", wayfinder); ("random", random) ];
+  let final series = series.(Array.length series - 1) in
+  let crash_count runs =
+    Bench_common.mean
+      (Array.of_list (List.map (fun r -> float_of_int (P.History.crashes r.P.Driver.history)) runs))
+  in
+  let late_crashes runs =
+    (* Crashes in the final 100 virtual minutes (paper: only four for
+       Wayfinder). *)
+    Bench_common.mean
+      (Array.of_list
+         (List.map
+            (fun r ->
+              let cutoff = budget_s -. (100. *. 60.) in
+              float_of_int
+                (Array.fold_left
+                   (fun acc e ->
+                     if e.P.History.at_seconds >= cutoff && e.P.History.failure <> None then
+                       acc + 1
+                     else acc)
+                   0
+                   (P.History.entries r.P.Driver.history)))
+            runs))
+  in
+  Printf.printf "\nfinal footprint: wayfinder %.1f MB (-%.1f%%), random %.1f MB (-%.1f%%)\n"
+    (final wayfinder)
+    ((1. -. (final wayfinder /. default_mb)) *. 100.)
+    (final random)
+    ((1. -. (final random /. default_mb)) *. 100.);
+  Printf.printf "mean crashes per run: wayfinder %.1f (last 100 min: %.1f), random %.1f (last 100 min: %.1f)\n"
+    (crash_count deeptune_runs) (late_crashes deeptune_runs) (crash_count random_runs)
+    (late_crashes random_runs);
+  Bench_common.check (final wayfinder < final random)
+    "wayfinder reaches a smaller footprint than random search";
+  Bench_common.check
+    ((1. -. (final wayfinder /. default_mb)) *. 100. > 5.)
+    "wayfinder's reduction is substantial (paper: 8.5%)";
+  Bench_common.check
+    (late_crashes deeptune_runs <= late_crashes random_runs)
+    "wayfinder crashes at most as often as random late in the search"

@@ -1,0 +1,160 @@
+(* Figure 11 + Table 4: throughput/memory co-optimization on top of Cozart.
+
+   Cozart's dynamic analysis first strips the kernel of unused compile-time
+   components, giving a leaner, faster baseline (Table 4: 46 855 req/s,
+   331.77 MB on the 4-core testbed).  Wayfinder then optimizes runtime
+   options against the composite score of eq. (4):
+   s = mXNorm(throughput) − mXNorm(memory), min-max-normalised over the
+   exploration history.  Shared with {!Bench_tab4}. *)
+
+module S = Wayfinder_simos
+module P = Wayfinder_platform
+module D = Wayfinder_deeptune
+module Param = Wayfinder_configspace.Param
+module Stat = Wayfinder_tensor.Stat
+
+let budget_s = 10. *. 3600.
+
+type sample = { throughput : float; memory_mb : float; at_s : float; crashed : bool }
+
+type outcome = {
+  cozart_throughput : float;
+  cozart_memory : float;
+  wayfinder_samples : sample list;  (* chronological *)
+  random_samples : sample list;
+}
+
+(* Run one search over the Cozart-reduced space.  The target's score uses
+   running min-max bounds (the paper normalises over the collected data). *)
+let search cz ~algo_of ~seed =
+  let samples = ref [] in
+  let t_lo = ref infinity and t_hi = ref neg_infinity in
+  let m_lo = ref infinity and m_hi = ref neg_infinity in
+  let score ~throughput ~memory_mb =
+    t_lo := min !t_lo throughput;
+    t_hi := max !t_hi throughput;
+    m_lo := min !m_lo memory_mb;
+    m_hi := max !m_hi memory_mb;
+    Stat.min_max_norm ~lo:!t_lo ~hi:!t_hi throughput
+    -. Stat.min_max_norm ~lo:!m_lo ~hi:!m_hi memory_mb
+  in
+  let base_target = P.Targets.of_cozart cz ~score in
+  (* Wrap evaluation to also record raw throughput/memory. *)
+  let target =
+    { base_target with
+      P.Target.evaluate =
+        (fun ~trial config ->
+          let result = base_target.P.Target.evaluate ~trial config in
+          let o = S.Cozart.evaluate cz ~trial config in
+          (match o.S.Cozart.throughput with
+          | Ok throughput ->
+            samples :=
+              { throughput; memory_mb = o.S.Cozart.memory_mb; at_s = 0.; crashed = false }
+              :: !samples
+          | Error _ ->
+            samples := { throughput = 0.; memory_mb = 0.; at_s = 0.; crashed = true } :: !samples);
+          result) }
+  in
+  let result =
+    P.Driver.run ~seed ~target ~algorithm:(algo_of ())
+      ~budget:(P.Driver.Virtual_seconds budget_s) ()
+  in
+  (* Stamp virtual times from the history (same order). *)
+  let entries = P.History.entries result.P.Driver.history in
+  let stamped =
+    List.rev !samples
+    |> List.mapi (fun i s ->
+           if i < Array.length entries then
+             { s with at_s = entries.(i).P.History.at_seconds }
+           else s)
+  in
+  stamped
+
+let compute () =
+  let sim = S.Sim_linux.create ~hardware:S.Hardware.cozart_testbed () in
+  let cz = S.Cozart.create sim ~app:S.App.Nginx in
+  let space = S.Cozart.reduced_space cz in
+  let opts =
+    { D.Deeptune.default_options with favor = Some Param.Runtime; exploration_weight = 1.2 }
+  in
+  let wayfinder_samples =
+    search cz ~seed:71
+      ~algo_of:(fun () -> D.Deeptune.algorithm (D.Deeptune.create ~options:opts ~seed:71 space))
+  in
+  let random_samples =
+    search cz ~seed:72 ~algo_of:(fun () -> P.Random_search.create ~favor:Param.Runtime ())
+  in
+  { cozart_throughput = S.Cozart.baseline_throughput cz;
+    cozart_memory = S.Cozart.baseline_memory_mb cz;
+    wayfinder_samples;
+    random_samples }
+
+let cache : outcome option ref = ref None
+
+let results () =
+  match !cache with
+  | Some r -> r
+  | None ->
+    let r = compute () in
+    cache := Some r;
+    r
+
+(* Post-hoc score over the full collected set, as Table 4 ranks it. *)
+let final_scores samples =
+  let ok = List.filter (fun s -> not s.crashed) samples in
+  match ok with
+  | [] -> []
+  | _ :: _ ->
+    let ts = Array.of_list (List.map (fun s -> s.throughput) ok) in
+    let ms = Array.of_list (List.map (fun s -> s.memory_mb) ok) in
+    let t_lo = Stat.min ts and t_hi = Stat.max ts in
+    let m_lo = Stat.min ms and m_hi = Stat.max ms in
+    List.map
+      (fun s ->
+        ( Stat.min_max_norm ~lo:t_lo ~hi:t_hi s.throughput
+          -. Stat.min_max_norm ~lo:m_lo ~hi:m_hi s.memory_mb,
+          s ))
+      ok
+
+let run () =
+  Bench_common.section "Figure 11: throughput-memory co-optimization on top of Cozart";
+  let r = results () in
+  Printf.printf "Cozart baseline: %.0f req/s, %.2f MB\n\n" r.cozart_throughput r.cozart_memory;
+  let series samples =
+    let scored = final_scores samples in
+    let by_time = List.map (fun (score, s) -> (s.at_s, score)) scored in
+    let best = ref nan in
+    let running =
+      List.map
+        (fun (at, score) ->
+          if Float.is_nan !best || score > !best then best := score;
+          (at, !best))
+        by_time
+    in
+    Bench_common.time_series ~bucket_s:1800. ~horizon_s:budget_s running (fun p -> p)
+  in
+  let crash_series samples =
+    let points =
+      List.map (fun s -> (s.at_s, if s.crashed then 1. else 0.)) samples
+    in
+    Bench_common.smooth 3
+      (Bench_common.time_series ~bucket_s:1800. ~horizon_s:budget_s points (fun p -> p))
+  in
+  let wf = series r.wayfinder_samples and rnd = series r.random_samples in
+  Printf.printf "best-so-far score, one row per virtual hour:\n";
+  Bench_common.print_series ~xlabel:"30min-bin" ~stride:2
+    [ ("wayfinder", wf); ("random", rnd) ];
+  Printf.printf "\ncrash-rate shape:\n";
+  Bench_common.print_sparklines
+    [ ("wayfinder crash", crash_series r.wayfinder_samples);
+      ("random crash", crash_series r.random_samples) ];
+  let final s = s.(Array.length s - 1) in
+  Bench_common.check (final wf > final rnd)
+    "the learned policy outscores random search on top of Cozart";
+  (* Exploitation phases: the wayfinder crash series should dip below its
+     own mean at some point (the stable-region phase of §4.4). *)
+  let wf_crash = crash_series r.wayfinder_samples in
+  let finite = Array.of_list (List.filter Float.is_finite (Array.to_list wf_crash)) in
+  Bench_common.check
+    (Array.length finite > 0 && Stat.min finite < Stat.mean finite /. 2.)
+    "wayfinder shows a low-crash exploitation phase"

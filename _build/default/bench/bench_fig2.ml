@@ -1,0 +1,59 @@
+(* Figure 2: Nginx throughput for 800 random configurations of the
+   (simulated) Linux kernel, sorted ascending and compared to the default.
+
+   As in §2.2, crashing samples are re-drawn until 800 valid
+   configurations are collected; the crash rate of the raw stream is
+   reported. *)
+
+module S = Wayfinder_simos
+module Space = Wayfinder_configspace.Space
+module Param = Wayfinder_configspace.Param
+module Rng = Wayfinder_tensor.Rng
+module P = Wayfinder_platform
+
+let n_valid = 800
+
+let run () =
+  Bench_common.section "Figure 2: Nginx throughput for 800 random configurations";
+  let sim = S.Sim_linux.create () in
+  let space = S.Sim_linux.space sim in
+  let rng = Rng.create 2022 in
+  let dflt = S.Sim_linux.default_value sim ~app:S.App.Nginx () in
+  let values = ref [] and valid = ref 0 and attempts = ref 0 in
+  while !valid < n_valid do
+    incr attempts;
+    let config = P.Random_search.sampler ~favor:Param.Runtime ~weak:0. space rng in
+    match (S.Sim_linux.evaluate sim ~app:S.App.Nginx ~trial:!attempts config).S.Sim_linux.result with
+    | Ok v ->
+      incr valid;
+      values := v :: !values
+    | Error _ -> ()
+  done;
+  let sorted = Array.of_list !values in
+  Array.sort compare sorted;
+  let crash_rate = 1. -. (float_of_int n_valid /. float_of_int !attempts) in
+  let below = Array.fold_left (fun acc v -> if v < dflt then acc + 1 else acc) 0 sorted in
+  Printf.printf "default configuration: %.0f req/s\n" dflt;
+  Printf.printf "%8s %12s %10s\n" "rank" "req/s" "vs default";
+  List.iter
+    (fun q ->
+      let i = int_of_float (q *. float_of_int (n_valid - 1)) in
+      Printf.printf "%8d %12.0f %9.1f%%\n" i sorted.(i) ((sorted.(i) /. dflt -. 1.) *. 100.))
+    [ 0.; 0.1; 0.25; 0.5; 0.64; 0.75; 0.9; 0.99; 1. ];
+  Printf.printf "\n%20s |%s|\n" "sorted throughput"
+    (Bench_common.sparkline (Array.init 64 (fun i -> sorted.(i * (n_valid - 1) / 63))));
+  Printf.printf "\ncrash rate while sampling: %.2f (paper: ~1/3)\n" crash_rate;
+  Printf.printf "fraction below default:    %.2f (paper: 0.64)\n"
+    (float_of_int below /. float_of_int n_valid);
+  Printf.printf "best vs default:           +%.1f%% (paper: +12%%)\n"
+    ((sorted.(n_valid - 1) /. dflt -. 1.) *. 100.);
+  Printf.printf "spread (max/min):          %.2fx (paper: ~1.8x)\n"
+    (sorted.(n_valid - 1) /. sorted.(0));
+  Bench_common.check (crash_rate > 0.2 && crash_rate < 0.45) "about one third of samples crash";
+  Bench_common.check
+    (let f = float_of_int below /. float_of_int n_valid in
+     f > 0.5 && f < 0.8)
+    "most random configurations are worse than default";
+  Bench_common.check
+    (sorted.(n_valid - 1) /. dflt > 1.08)
+    "the best random configuration beats the default by ~10-20%"

@@ -1,0 +1,76 @@
+(* Figure 5: cross-similarity matrix of per-application feature
+   importances.
+
+   As in §3.3: collect random configurations per application, fit a random
+   forest predicting performance, take the per-parameter importance
+   vectors, and compare them pairwise.  The expectation: Nginx, Redis and
+   SQLite (system-intensive) resemble each other — Redis and SQLite most —
+   while NPB stands apart. *)
+
+module S = Wayfinder_simos
+module CS = Wayfinder_configspace
+module F = Wayfinder_forest
+module T = Wayfinder_tensor
+module P = Wayfinder_platform
+
+let samples_per_app = 1200
+let n_trees = 32
+
+let importance_for sim encoding rng app =
+  let space = S.Sim_linux.space sim in
+  let xs = ref [] and ys = ref [] in
+  let collected = ref 0 in
+  while !collected < samples_per_app do
+    let config = P.Random_search.sampler ~favor:CS.Param.Runtime space rng in
+    match (S.Sim_linux.evaluate sim ~app ~trial:!collected config).S.Sim_linux.result with
+    | Ok v ->
+      incr collected;
+      xs := CS.Encoding.encode encoding config :: !xs;
+      ys := S.App.score app v :: !ys
+    | Error _ -> ()
+  done;
+  let x = T.Mat.of_rows (Array.of_list !xs) in
+  let y = Array.of_list !ys in
+  let forest = F.Forest.fit ~n_trees rng x y in
+  (* Aggregate feature importances to parameters so the comparison is over
+     configuration options, as in the paper. *)
+  let per_param = CS.Encoding.param_importance encoding (F.Forest.importance forest) in
+  Array.sort (fun (a, _) (b, _) -> String.compare a b) per_param;
+  (Array.map snd per_param, forest, x, y)
+
+let run () =
+  Bench_common.section "Figure 5: cross-similarity of per-application parameter importances";
+  let sim = S.Sim_linux.create () in
+  let encoding = CS.Encoding.create (S.Sim_linux.space sim) in
+  let rng = T.Rng.create 55 in
+  Printf.printf "(%d random configurations and a %d-tree forest per application)\n\n"
+    samples_per_app n_trees;
+  let apps = [| S.App.Nginx; S.App.Redis; S.App.Sqlite; S.App.Npb |] in
+  let importances =
+    Array.map
+      (fun app ->
+        let imp, forest, x, y = importance_for sim encoding rng app in
+        Printf.printf "  %-7s forest r^2 (train) = %.2f\n" (S.App.name app)
+          (F.Forest.r_squared forest x y);
+        imp)
+      apps
+  in
+  Printf.printf "\nCross-similarity matrix (1 = identical importance profiles):\n%9s" "";
+  Array.iter (fun a -> Printf.printf " %7s" (S.App.name a)) apps;
+  print_newline ();
+  let sim_matrix =
+    Array.map (fun a -> Array.map (fun b -> F.Forest.importance_similarity a b) importances)
+      importances
+  in
+  Array.iteri
+    (fun i row ->
+      Printf.printf "%9s" (S.App.name apps.(i));
+      Array.iter (fun v -> Printf.printf " %7.3f" v) row;
+      print_newline ())
+    sim_matrix;
+  let s i j = sim_matrix.(i).(j) in
+  Bench_common.check
+    (s 0 1 > s 0 3 && s 1 2 > s 1 3 && s 0 2 > s 0 3)
+    "system-intensive apps (nginx/redis/sqlite) are mutually closer than to NPB";
+  Printf.printf "  note: paper finds redis closest to sqlite; here redis-sqlite=%.3f vs redis-nginx=%.3f\n"
+    (s 1 2) (s 0 1)

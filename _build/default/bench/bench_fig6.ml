@@ -1,0 +1,147 @@
+(* Figure 6 + Table 2: specializing SimLinux for the four applications.
+
+   For each application, [runs] independent 250-iteration searches with
+   Wayfinder (DeepTune), Wayfinder with transfer learning (model trained on
+   Redis), and random search; favoring runtime parameters (§4.1).  Shared
+   with {!Bench_tab2}. *)
+
+module S = Wayfinder_simos
+module P = Wayfinder_platform
+module D = Wayfinder_deeptune
+module Param = Wayfinder_configspace.Param
+
+let iterations = 250
+let runs = ref 3
+
+type app_result = {
+  app : S.App.t;
+  default_v : float;
+  random_runs : P.Driver.result list;
+  deeptune_runs : P.Driver.result list;
+  tl_runs : P.Driver.result list;
+}
+
+let dt_options =
+  (* §4.1 favors runtime exploration; compile/boot stay at defaults so the
+     platform's rebuild-skip applies (Figure 8's 60-80 s evaluations). *)
+  { D.Deeptune.default_options with favor = Some Param.Runtime; favor_weak = 0. }
+
+let seeds () = List.init !runs (fun i -> 100 + (i * 37))
+
+(* Virtual time until the first configuration at least as good as the
+   default — Table 2's "avg. time to find". *)
+let time_to_beat_default result ~metric ~default_v =
+  let entries = P.History.entries result.P.Driver.history in
+  let found = ref None in
+  Array.iter
+    (fun e ->
+      if !found = None then
+        match e.P.History.value with
+        | Some v when P.Metric.score metric v >= P.Metric.score metric default_v ->
+          found := Some e.P.History.at_seconds
+        | Some _ | None -> ())
+    entries;
+  !found
+
+let compute () =
+  let sim = S.Sim_linux.create () in
+  let space = S.Sim_linux.space sim in
+  (* Donor model: DeepTune trained on Redis for 250 iterations (§4.2). *)
+  let donor = D.Deeptune.create ~options:dt_options ~seed:999 space in
+  let _ =
+    P.Driver.run ~seed:999
+      ~target:(P.Targets.of_sim_linux sim ~app:S.App.Redis)
+      ~algorithm:(D.Deeptune.algorithm donor)
+      ~budget:(P.Driver.Iterations iterations) ()
+  in
+  let snapshot = D.Deeptune.export donor in
+  List.map
+    (fun app ->
+      let target = P.Targets.of_sim_linux sim ~app in
+      let run_with algo_of seed =
+        P.Driver.run ~seed ~target ~algorithm:(algo_of seed)
+          ~budget:(P.Driver.Iterations iterations) ()
+      in
+      let random_runs =
+        List.map (run_with (fun _ -> P.Random_search.create ~favor:Param.Runtime ~weak:0. ())) (seeds ())
+      in
+      let deeptune_runs =
+        List.map
+          (run_with (fun seed ->
+               D.Deeptune.algorithm (D.Deeptune.create ~options:dt_options ~seed space)))
+          (seeds ())
+      in
+      let tl_runs =
+        List.map
+          (run_with (fun seed ->
+               D.Deeptune.algorithm (D.Deeptune.create_from ~options:dt_options ~seed space snapshot)))
+          (seeds ())
+      in
+      { app;
+        default_v = S.Sim_linux.default_value sim ~app ();
+        random_runs;
+        deeptune_runs;
+        tl_runs })
+    S.App.all
+
+let cache : app_result list option ref = ref None
+
+let results () =
+  match !cache with
+  | Some r -> r
+  | None ->
+    let r = compute () in
+    cache := Some r;
+    r
+
+let perf_series run = Bench_common.smooth 10 (P.History.values_series run.P.Driver.history)
+let crash_series run = Bench_common.smooth 15 (P.History.crash_indicator run.P.Driver.history)
+
+let run () =
+  Bench_common.section
+    (Printf.sprintf
+       "Figure 6: performance and crash-rate evolution (%d iterations, %d runs averaged)"
+       iterations !runs);
+  List.iter
+    (fun r ->
+      Bench_common.subsection
+        (Printf.sprintf "%s (default %.0f %s)" (S.App.name r.app) r.default_v
+           (S.App.metric r.app).S.App.unit_name);
+      let avg f runs = Bench_common.average_series (List.map f runs) in
+      let columns =
+        [ ("random", avg perf_series r.random_runs);
+          ("wayfinder", avg perf_series r.deeptune_runs);
+          ("wayfinder+TL", avg perf_series r.tl_runs) ]
+      in
+      Bench_common.print_series ~xlabel:"iteration" ~stride:25 columns;
+      Printf.printf "\nsmoothed performance:\n";
+      Bench_common.print_sparklines columns;
+      let crash_columns =
+        [ ("random crash", avg crash_series r.random_runs);
+          ("wayfinder crash", avg crash_series r.deeptune_runs);
+          ("TL crash", avg crash_series r.tl_runs) ]
+      in
+      Printf.printf "\ncrash rates (smoothed):\n";
+      Bench_common.print_sparklines crash_columns;
+      let late series = Bench_common.mean (Array.sub series (Array.length series - 50) 50) in
+      let random_crash = late (avg crash_series r.random_runs) in
+      let deeptune_crash = late (avg crash_series r.deeptune_runs) in
+      let tl_crash = Bench_common.mean (avg crash_series r.tl_runs) in
+      Printf.printf "\nlate crash rate: random %.2f, wayfinder %.2f; TL overall %.2f\n"
+        random_crash deeptune_crash tl_crash;
+      Bench_common.check (deeptune_crash < random_crash)
+        "wayfinder's crash rate falls below random's (paper: 0.3 -> 0.1-0.25)";
+      Bench_common.check (tl_crash < 0.15)
+        "transfer learning keeps crashes low (paper: below 10% in most cases)";
+      let metric = P.Metric.of_app r.app in
+      let best runs =
+        Bench_common.mean
+          (Array.of_list
+             (List.filter_map (fun run -> P.History.best_value run.P.Driver.history) runs))
+      in
+      let b_random = best r.random_runs and b_deeptune = best r.deeptune_runs in
+      Bench_common.check
+        (P.Metric.score metric b_deeptune >= P.Metric.score metric b_random)
+        (Printf.sprintf "wayfinder's best (%.0f) at least matches random's (%.0f)" b_deeptune
+           b_random))
+    (results ())

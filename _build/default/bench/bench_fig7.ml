@@ -1,0 +1,93 @@
+(* Figure 7: scalability of DeepTune vs Unicorn (causal inference).
+
+   A synthetic dataset with known local/global structure, variable count
+   matching the Unicorn paper's scale; both algorithms ingest observations
+   one by one and are refitted periodically.  We measure per-refit wall
+   time and the memory footprint of what each algorithm keeps live:
+   Unicorn's full observation matrix plus the matrices its CI tests
+   allocate, vs DeepTune's fixed-size network plus the dataset. *)
+
+module T = Wayfinder_tensor
+module C = Wayfinder_causal
+module D = Wayfinder_deeptune
+
+let n_vars = 36
+let max_obs = 640
+let step = 80
+
+(* Synthetic objective with local and global maxima over the first two
+   variables.  The remaining variables form a *densely* coupled system with
+   weak pairwise links: as observations accumulate, more and more of those
+   links cross the Fisher-z significance threshold, and every edge that
+   survives costs the PC algorithm a full enumeration of conditioning sets
+   at each level — the combinatorial blow-up behind Figure 7. *)
+let coupling =
+  let r = T.Rng.create 777 in
+  Array.init n_vars (fun j ->
+      Array.init n_vars (fun k ->
+          if k < j && j >= 2 && T.Rng.bernoulli r 0.45 then T.Rng.uniform r 0.06 0.16 else 0.))
+
+let synthetic_row rng =
+  let x = Array.init n_vars (fun _ -> T.Rng.float rng 1.0) in
+  for j = 2 to n_vars - 2 do
+    let acc = ref (0.7 *. x.(j)) in
+    for k = 0 to j - 1 do
+      acc := !acc +. (coupling.(j).(k) *. x.(k))
+    done;
+    x.(j) <- !acc
+  done;
+  let global = exp (-8. *. (((x.(0) -. 0.7) ** 2.) +. ((x.(1) -. 0.3) ** 2.))) in
+  let local = 0.6 *. exp (-8. *. (((x.(0) -. 0.2) ** 2.) +. ((x.(1) -. 0.8) ** 2.))) in
+  x.(n_vars - 1) <- global +. local +. T.Rng.normal rng ~sigma:0.02 ();
+  x
+
+let run () =
+  Bench_common.section "Figure 7: per-iteration cost of DeepTune vs Unicorn over a run";
+  let rng = T.Rng.create 7 in
+  let unicorn = C.Unicorn.create ~n_vars () in
+  let dtm = D.Dtm.create (T.Rng.create 8) ~in_dim:(n_vars - 1) in
+  let dataset = T.Dataset.create () in
+  Printf.printf "%8s %14s %14s %14s %14s\n" "obs" "unicorn-s" "unicorn-MB" "deeptune-s"
+    "deeptune-MB";
+  let u_times = ref [] and d_times = ref [] in
+  let u_mems = ref [] and d_mems = ref [] in
+  for i = 1 to max_obs do
+    let row = synthetic_row rng in
+    C.Unicorn.add_observation unicorn row;
+    T.Dataset.add dataset (Array.sub row 0 (n_vars - 1)) ~target:row.(n_vars - 1) ~crashed:false;
+    if i mod step = 0 then begin
+      let cost = C.Unicorn.refit unicorn in
+      let unicorn_mb =
+        float_of_int ((cost.C.Unicorn.matrix_cells + cost.C.Unicorn.stored_cells) * 8)
+        /. 1048576.
+      in
+      let t0 = Unix.gettimeofday () in
+      (* DeepTune's incremental update: one pass over the new data. *)
+      ignore (D.Dtm.train dtm ~epochs:1 dataset);
+      let deeptune_s = Unix.gettimeofday () -. t0 in
+      let deeptune_mb =
+        (* dataset rows + fixed parameter count *)
+        float_of_int (((i * (n_vars - 1)) + 20000) * 8) /. 1048576.
+      in
+      Printf.printf "%8d %14.4f %14.2f %14.4f %14.2f\n" i cost.C.Unicorn.wall_seconds unicorn_mb
+        deeptune_s deeptune_mb;
+      u_times := cost.C.Unicorn.wall_seconds :: !u_times;
+      d_times := deeptune_s :: !d_times;
+      u_mems := unicorn_mb :: !u_mems;
+      d_mems := deeptune_mb :: !d_mems
+    end
+  done;
+  let first l = List.nth (List.rev l) 0 and last l = List.hd l in
+  let growth l = last l /. max 1e-9 (first l) in
+  Printf.printf "\ntime growth over the run:   unicorn %.1fx, deeptune %.1fx\n"
+    (growth !u_times) (growth !d_times);
+  Printf.printf "memory growth over the run:  unicorn %.1fx, deeptune %.1fx\n" (growth !u_mems)
+    (growth !d_mems);
+  Bench_common.check
+    (growth !u_times > 2. *. growth !d_times)
+    "unicorn's per-iteration time grows much faster than deeptune's";
+  Bench_common.check
+    (growth !u_mems > growth !d_mems)
+    "unicorn's memory grows faster than deeptune's";
+  Bench_common.check (last !u_times > last !d_times)
+    "unicorn's final iteration is slower than deeptune's"

@@ -1,0 +1,51 @@
+(* Figure 8: average DeepTune update time vs configuration-evaluation time
+   per application.
+
+   Evaluation time is virtual (build skipped under runtime-favored search;
+   boot + benchmark = 60-80 s); the algorithm's decide+update time is real
+   wall time measured by the driver.  The point of the figure: evaluation
+   dominates by orders of magnitude. *)
+
+module S = Wayfinder_simos
+module P = Wayfinder_platform
+module D = Wayfinder_deeptune
+module Param = Wayfinder_configspace.Param
+
+let iterations = 80
+
+let run () =
+  Bench_common.section "Figure 8: DeepTune update time vs configuration evaluation time";
+  let sim = S.Sim_linux.create () in
+  let space = S.Sim_linux.space sim in
+  Printf.printf "%-8s %18s %18s %10s\n" "app" "eval time (s)" "update time (s)" "ratio";
+  let ratios =
+    List.map
+      (fun app ->
+        let dt =
+          D.Deeptune.create
+            ~options:{ D.Deeptune.default_options with favor = Some Param.Runtime; favor_weak = 0. }
+            ~seed:8 space
+        in
+        let r =
+          P.Driver.run ~seed:8
+            ~target:(P.Targets.of_sim_linux sim ~app)
+            ~algorithm:(D.Deeptune.algorithm dt)
+            ~budget:(P.Driver.Iterations iterations) ()
+        in
+        let entries = P.History.entries r.P.Driver.history in
+        let eval_mean =
+          Bench_common.mean (Array.map (fun e -> e.P.History.eval_seconds) entries)
+        in
+        let update_mean = P.History.mean_decide_seconds r.P.Driver.history in
+        let ratio = eval_mean /. max 1e-9 update_mean in
+        Printf.printf "%-8s %18.1f %18.4f %9.0fx\n" (S.App.name app) eval_mean update_mean ratio;
+        (eval_mean, update_mean, ratio))
+      S.App.all
+  in
+  List.iter
+    (fun (eval_mean, update_mean, _) ->
+      Bench_common.check (eval_mean >= 50. && eval_mean <= 90.)
+        (Printf.sprintf "evaluation takes 60-80s on average (measured %.0fs)" eval_mean);
+      Bench_common.check (update_mean < 1.)
+        (Printf.sprintf "a DeepTune iteration takes well under a second (%.3fs)" update_mean))
+    ratios

@@ -1,0 +1,93 @@
+(* Figure 9: Nginx on the Unikraft unikernel, 3-hour (virtual) budget.
+
+   33 parameters (~10^13.6 permutations) — small enough for Bayesian
+   optimization to compete.  Expected shape: Wayfinder converges on a
+   specialized configuration in ~100 minutes, Bayesian optimization needs
+   noticeably longer to reach similar performance, random search trails
+   both. *)
+
+module S = Wayfinder_simos
+module P = Wayfinder_platform
+module D = Wayfinder_deeptune
+module Space = Wayfinder_configspace.Space
+
+let budget_s = 3. *. 3600.
+let runs = ref 3
+
+let run () =
+  Bench_common.section "Figure 9: Unikraft/Nginx — Wayfinder vs random vs Bayesian (3h budget)";
+  let uk = S.Sim_unikraft.create () in
+  let space = S.Sim_unikraft.space uk in
+  let target = P.Targets.of_sim_unikraft uk in
+  Printf.printf "search space: 33 parameters, log10 |space| = %.1f (paper: 13.6)\n"
+    (Space.log10_cardinality space);
+  Printf.printf "default throughput: %.0f req/s\n\n" (S.Sim_unikraft.default_value uk);
+  let seeds = List.init !runs (fun i -> 300 + (i * 17)) in
+  let series_for algo_of =
+    let runs =
+      List.map
+        (fun seed ->
+          let r =
+            P.Driver.run ~seed ~target ~algorithm:(algo_of seed)
+              ~budget:(P.Driver.Virtual_seconds budget_s) ()
+          in
+          let entries = Array.to_list (P.History.entries r.P.Driver.history) in
+          let best = ref nan in
+          let points =
+            List.map
+              (fun e ->
+                (match e.P.History.value with
+                | Some v -> if Float.is_nan !best || v > !best then best := v
+                | None -> ());
+                (e.P.History.at_seconds, !best))
+              entries
+          in
+          Bench_common.time_series ~bucket_s:300. ~horizon_s:budget_s points (fun p -> p))
+        seeds
+    in
+    Bench_common.average_series runs
+  in
+  (* Small space: a larger pool and more training per observation pay off
+     (evaluations are still 4 orders of magnitude more expensive). *)
+  let options =
+    { D.Deeptune.default_options with
+      pool_size = 384;
+      train_epochs = 8;
+      exploration_weight = 1.5;
+      dtm_config = { D.Dtm.default_config with weight_decay = 0.3 } }
+  in
+  let wayfinder =
+    series_for (fun seed -> D.Deeptune.algorithm (D.Deeptune.create ~options ~seed space))
+  in
+  let random = series_for (fun _ -> P.Random_search.create ()) in
+  let bayes = series_for (fun seed -> P.Bayes_search.create ~seed ()) in
+  let columns = [ ("wayfinder", wayfinder); ("random", random); ("bayesian", bayes) ] in
+  Printf.printf "best-so-far throughput (req/s), one row per 25 virtual minutes:\n";
+  Bench_common.print_series ~xlabel:"5min-bin" ~stride:5 columns;
+  Printf.printf "\n";
+  Bench_common.print_sparklines columns;
+  let final series = series.(Array.length series - 1) in
+  let time_to fraction series =
+    let target_v = fraction *. final wayfinder in
+    let rec scan i =
+      if i >= Array.length series then None
+      else if (not (Float.is_nan series.(i))) && series.(i) >= target_v then Some (i * 5)
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  let fmt = function Some m -> Printf.sprintf "%d min" m | None -> "not reached" in
+  Printf.printf "\ntime to reach 95%% of wayfinder's final value:\n";
+  Printf.printf "  wayfinder: %s, bayesian: %s, random: %s\n"
+    (fmt (time_to 0.95 wayfinder)) (fmt (time_to 0.95 bayes)) (fmt (time_to 0.95 random));
+  Bench_common.check (final wayfinder >= final bayes)
+    "wayfinder's final configuration at least matches bayesian optimization";
+  Bench_common.check (final wayfinder > final random)
+    "wayfinder clearly beats random search";
+  (match (time_to 0.95 wayfinder, time_to 0.95 bayes) with
+  | Some w, Some b -> Bench_common.check (w <= b) "wayfinder converges no later than bayesian"
+  | Some _, None -> Bench_common.check true "bayesian never reaches wayfinder's level"
+  | None, _ -> Bench_common.check false "wayfinder reaches its own final level");
+  Bench_common.check
+    (final wayfinder /. S.Sim_unikraft.default_value uk > 1.3)
+    "unikernel speedups are much larger than the Linux ones (§4.4)"

@@ -1,0 +1,58 @@
+(* Table 2: best-performing configurations found by Wayfinder after 250
+   iterations, with relative performance vs the default and the average
+   virtual time to find a configuration beating the default (with and
+   without transfer learning). *)
+
+module S = Wayfinder_simos
+module P = Wayfinder_platform
+
+let run () =
+  Bench_common.section "Table 2: best configurations found after 250 iterations";
+  Printf.printf "%-8s %10s %10s %8s %9s %12s %9s\n" "app" "default" "wayfinder" "unit"
+    "rel perf" "t2find noTL" "t2find TL";
+  let paper =
+    [ (S.App.Nginx, 1.24); (S.App.Redis, 1.14); (S.App.Sqlite, 1.0); (S.App.Npb, 1.02) ]
+  in
+  List.iter
+    (fun r ->
+      let app = r.Bench_fig6.app in
+      let metric = P.Metric.of_app app in
+      let bests =
+        List.filter_map
+          (fun run -> P.History.best_value run.P.Driver.history)
+          r.Bench_fig6.deeptune_runs
+      in
+      let best = Bench_common.mean (Array.of_list bests) in
+      let rel =
+        if metric.P.Metric.maximize then best /. r.Bench_fig6.default_v
+        else r.Bench_fig6.default_v /. best
+      in
+      let mean_time runs =
+        let times =
+          List.filter_map
+            (fun run ->
+              Bench_fig6.time_to_beat_default run ~metric ~default_v:r.Bench_fig6.default_v)
+            runs
+        in
+        match times with
+        | [] -> None
+        | _ :: _ -> Some (Bench_common.mean (Array.of_list times))
+      in
+      let fmt_time = function Some t -> Printf.sprintf "%.0fs" t | None -> "-" in
+      Printf.printf "%-8s %10.0f %10.0f %8s %8.2fx %12s %9s\n" (S.App.name app)
+        r.Bench_fig6.default_v best metric.P.Metric.unit_name rel
+        (fmt_time (mean_time r.Bench_fig6.deeptune_runs))
+        (fmt_time (mean_time r.Bench_fig6.tl_runs));
+      let paper_rel = List.assoc app paper in
+      Bench_common.check
+        (abs_float (rel -. paper_rel) < 0.08)
+        (Printf.sprintf "%s relative performance %.2fx within 0.08 of the paper's %.2fx"
+           (S.App.name app) rel paper_rel);
+      match (mean_time r.Bench_fig6.deeptune_runs, mean_time r.Bench_fig6.tl_runs) with
+      | Some no_tl, Some tl when S.App.profile app <> S.App.Compute_intensive
+                                 && paper_rel > 1.05 ->
+        Bench_common.check (tl < no_tl)
+          (Printf.sprintf "%s: TL reaches a specialized configuration faster (%.0fs vs %.0fs)"
+             (S.App.name app) tl no_tl)
+      | _, _ -> ())
+    (Bench_fig6.results ())

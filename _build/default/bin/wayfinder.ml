@@ -1,0 +1,312 @@
+(* The Wayfinder command-line interface.
+
+   Subcommands:
+     run     — run a specialization job (from a YAML job file or flags)
+     probe   — infer the runtime configuration space (§3.4)
+     space   — describe a target's configuration space
+     impacts — run a search and report the learned high-impact parameters *)
+
+module S = Wayfinder_simos
+module P = Wayfinder_platform
+module D = Wayfinder_deeptune
+module CS = Wayfinder_configspace
+module K = Wayfinder_kconfig
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Targets                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let target_for ~os ~app =
+  match os with
+  | "sim-linux" -> (
+    match S.App.of_name app with
+    | Some a -> Ok (P.Targets.of_sim_linux (S.Sim_linux.create ()) ~app:a)
+    | None -> Error (Printf.sprintf "unknown application %S (nginx/redis/sqlite/npb)" app))
+  | "sim-linux-memory" -> (
+    match S.App.of_name app with
+    | Some a -> Ok (P.Targets.of_sim_linux_memory (S.Sim_linux.create ()) ~app:a)
+    | None -> Error (Printf.sprintf "unknown application %S" app))
+  | "sim-unikraft" -> Ok (P.Targets.of_sim_unikraft (S.Sim_unikraft.create ()))
+  | "sim-riscv" -> Ok (P.Targets.of_sim_riscv (S.Sim_riscv.create ()))
+  | other ->
+    Error
+      (Printf.sprintf "unknown OS %S (sim-linux, sim-linux-memory, sim-unikraft, sim-riscv)"
+         other)
+
+(* Apply a job file's pins (and optional parameter whitelist) to the
+   simulator's space: listed parameters stay explorable, everything else is
+   pinned to its default. *)
+let restrict_space sim_space (job : CS.Jobfile.t) =
+  let job_space = job.CS.Jobfile.space in
+  let pins = ref [] in
+  Array.iteri
+    (fun i p ->
+      let name = p.CS.Param.name in
+      if CS.Space.mem sim_space name then begin
+        match CS.Space.fixed_value job_space i with
+        | Some v -> pins := (name, v) :: !pins
+        | None -> ()
+      end)
+    (CS.Space.params job_space);
+  (* Whitelist: pin simulator parameters absent from the job file. *)
+  Array.iter
+    (fun p ->
+      let name = p.CS.Param.name in
+      if not (CS.Space.mem job_space name) then pins := (name, p.CS.Param.default) :: !pins)
+    (CS.Space.params sim_space);
+  CS.Space.fix sim_space !pins
+
+let algorithm_for name ~favor ~seed =
+  match name with
+  | "random" -> Ok (`Plain (P.Random_search.create ?favor ()))
+  | "grid" -> Ok (`Plain (P.Grid_search.create ()))
+  | "bayes" | "bayesian" -> Ok (`Plain (P.Bayes_search.create ?favor ~seed ()))
+  | "deeptune" | "wayfinder" -> Ok `Deeptune
+  | other -> Error (Printf.sprintf "unknown algorithm %S (random, grid, bayes, deeptune)" other)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s ~seed ~favor
+    ~csv_path ~quiet =
+  ignore metric_hint;
+  let job =
+    match job_file with
+    | Some path -> (
+      try Ok (Some (CS.Jobfile.load path)) with
+      | CS.Jobfile.Schema_error msg -> Error ("job file: " ^ msg)
+      | Wayfinder_yamlite.Yamlite.Parse_error { line; message } ->
+        Error (Printf.sprintf "job file: line %d: %s" line message))
+    | None -> Ok None
+  in
+  match job with
+  | Error e -> Error e
+  | Ok job -> (
+    let os = match job with Some j -> j.CS.Jobfile.os | None -> os in
+    let app = match job with Some j -> j.CS.Jobfile.app | None -> app in
+    let seed = match job with Some j when seed = 0 -> j.CS.Jobfile.seed | _ -> seed in
+    let favor =
+      match (favor, job) with
+      | Some f, _ -> CS.Param.stage_of_string f
+      | None, Some j -> j.CS.Jobfile.favor
+      | None, None -> None
+    in
+    match target_for ~os ~app with
+    | Error e -> Error e
+    | Ok target -> (
+      let target =
+        match job with
+        | Some j -> { target with P.Target.space = restrict_space target.P.Target.space j }
+        | None -> target
+      in
+      let budget =
+        match (budget_s, iterations, job) with
+        | Some s, _, _ -> P.Driver.Virtual_seconds s
+        | None, Some n, _ -> P.Driver.Iterations n
+        | None, None, Some { CS.Jobfile.time_budget_s = Some s; _ } -> P.Driver.Virtual_seconds s
+        | None, None, Some { CS.Jobfile.iterations = Some n; _ } -> P.Driver.Iterations n
+        | None, None, _ -> P.Driver.Iterations 100
+      in
+      match algorithm_for algorithm ~favor ~seed with
+      | Error e -> Error e
+      | Ok algo -> (
+        let deeptune_state = ref None in
+        let algo =
+          match algo with
+          | `Plain a -> a
+          | `Deeptune ->
+            let dt =
+              D.Deeptune.create
+                ~options:{ D.Deeptune.default_options with favor }
+                ~seed target.P.Target.space
+            in
+            deeptune_state := Some dt;
+            D.Deeptune.algorithm dt
+        in
+        let progress entry =
+          if not quiet then begin
+            let status =
+              match entry.P.History.value with
+              | Some v -> Printf.sprintf "%.2f %s" v target.P.Target.metric.P.Metric.unit_name
+              | None -> Option.value ~default:"failed" entry.P.History.failure
+            in
+            Printf.printf "iter %3d  t=%7.0fs  %s%s\n%!" entry.P.History.index
+              entry.P.History.at_seconds status
+              (if entry.P.History.built then "  [built]" else "")
+          end
+        in
+        let result =
+          P.Driver.run ~seed ~on_iteration:progress ~target ~algorithm:algo ~budget ()
+        in
+        print_newline ();
+        print_string
+          (P.Report.to_text (P.Report.of_result ~algorithm ~target result));
+        (match !deeptune_state with
+        | Some dt when D.Deeptune.observations dt > 20 ->
+          Printf.printf "\ntop-5 learned positive-impact parameters:\n";
+          let impacts = D.Deeptune.parameter_impacts dt in
+          Array.iteri
+            (fun i (name, impact) ->
+              if i < 5 then Printf.printf "  %+.3f %s\n" impact name)
+            impacts
+        | Some _ | None -> ());
+        (match csv_path with
+        | Some path ->
+          let oc = open_out path in
+          output_string oc (P.History.to_csv result.P.Driver.history);
+          close_out oc;
+          Printf.printf "\nhistory written to %s\n" path
+        | None -> ());
+        Ok ())))
+
+(* ------------------------------------------------------------------ *)
+(* probe                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_probe ~emit_job =
+  let sim = S.Sim_linux.create () in
+  let report = CS.Probe.probe (S.Sim_linux.sysfs sim) in
+  Printf.printf "probed %d runtime parameters (%d non-numeric skipped, %d probe crashes)\n\n"
+    (List.length report.CS.Probe.probed)
+    (List.length report.CS.Probe.skipped)
+    report.CS.Probe.crashes;
+  List.iteri
+    (fun i p -> if i < 20 then Format.printf "  %a@." CS.Param.pp p)
+    report.CS.Probe.probed;
+  if List.length report.CS.Probe.probed > 20 then
+    Printf.printf "  ... (%d more)\n" (List.length report.CS.Probe.probed - 20);
+  match emit_job with
+  | None -> Ok ()
+  | Some path ->
+    let job =
+      { CS.Jobfile.job_name = "probed-linux";
+        os = "sim-linux";
+        app = "nginx";
+        metric = "throughput";
+        maximize = true;
+        iterations = Some 100;
+        time_budget_s = None;
+        seed = 0;
+        favor = Some CS.Param.Runtime;
+        space = CS.Space.create report.CS.Probe.probed }
+    in
+    let oc = open_out path in
+    output_string oc (Wayfinder_yamlite.Yamlite.to_string (CS.Jobfile.to_yaml job));
+    close_out oc;
+    Printf.printf "\njob file written to %s\n" path;
+    Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* space                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_space ~os =
+  match target_for ~os ~app:"nginx" with
+  | Error e -> Error e
+  | Ok target ->
+    let space = target.P.Target.space in
+    let count stage =
+      Array.fold_left
+        (fun acc p -> if p.CS.Param.stage = stage then acc + 1 else acc)
+        0 (CS.Space.params space)
+    in
+    Printf.printf "%s: %d parameters (%d compile-time, %d boot-time, %d runtime)\n" os
+      (CS.Space.size space) (count CS.Param.Compile_time) (count CS.Param.Boot_time)
+      (count CS.Param.Runtime);
+    Printf.printf "log10(|space|) = %.1f\n\n" (CS.Space.log10_cardinality space);
+    Array.iter (fun p -> Format.printf "  %a@." CS.Param.pp p) (CS.Space.params space);
+    Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* kconfig                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_kconfig ~version =
+  match K.Synthetic.profile_for_version version with
+  | None ->
+    Error
+      (Printf.sprintf "unknown kernel version %S (try: %s)" version
+         (String.concat ", "
+            (List.map (fun p -> p.K.Synthetic.version) K.Synthetic.linux_profiles)))
+  | Some profile ->
+    let tree = K.Synthetic.generate profile in
+    Format.printf "Linux %s synthetic Kconfig: %a@." version K.Space.pp_census
+      (K.Space.census tree);
+    Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let handle = function
+  | Ok () -> 0
+  | Error msg ->
+    Printf.eprintf "wayfinder: %s\n" msg;
+    1
+
+let run_cmd =
+  let job_file =
+    Arg.(value & opt (some file) None & info [ "job" ] ~docv:"FILE" ~doc:"YAML job file.")
+  in
+  let os =
+    Arg.(value & opt string "sim-linux" & info [ "os" ] ~docv:"OS" ~doc:"Target OS simulator.")
+  in
+  (* Named app_arg: Term.app would shadow a plain [app] inside Term.(...). *)
+  let app_arg =
+    Arg.(value & opt string "nginx" & info [ "app" ] ~docv:"APP" ~doc:"Application under test.")
+  in
+  let algorithm =
+    Arg.(
+      value & opt string "deeptune"
+      & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc:"Search algorithm.")
+  in
+  let iterations =
+    Arg.(value & opt (some int) None & info [ "iterations"; "n" ] ~doc:"Iteration budget.")
+  in
+  let budget_s =
+    Arg.(value & opt (some float) None & info [ "budget" ] ~doc:"Virtual time budget (seconds).")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random seed.") in
+  let favor =
+    Arg.(
+      value & opt (some string) None
+      & info [ "favor" ] ~docv:"STAGE" ~doc:"Favor varying one stage (runtime, boot, compile).")
+  in
+  let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write history CSV.") in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-iteration output.") in
+  let f job_file os app algorithm iterations budget_s seed favor csv quiet =
+    handle
+      (run_search ~job_file ~os ~app ~metric_hint:() ~algorithm ~iterations ~budget_s ~seed
+         ~favor ~csv_path:csv ~quiet)
+  in
+  let term =
+    Term.(
+      const f $ job_file $ os $ app_arg $ algorithm $ iterations $ budget_s $ seed $ favor $ csv
+      $ quiet)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a specialization job") term
+
+let probe_cmd =
+  let emit = Arg.(value & opt (some string) None & info [ "emit-job" ] ~doc:"Write a job file.") in
+  Cmd.v
+    (Cmd.info "probe" ~doc:"Infer the runtime configuration space (the §3.4 heuristic)")
+    Term.(const (fun emit_job -> handle (run_probe ~emit_job)) $ emit)
+
+let space_cmd =
+  let os = Arg.(value & opt string "sim-linux" & info [ "os" ] ~doc:"Target OS simulator.") in
+  Cmd.v
+    (Cmd.info "space" ~doc:"Describe a target's configuration space")
+    Term.(const (fun os -> handle (run_space ~os)) $ os)
+
+let kconfig_cmd =
+  let version = Arg.(value & opt string "6.0" & info [ "kernel" ] ~doc:"Kernel version.") in
+  Cmd.v
+    (Cmd.info "kconfig" ~doc:"Census of a synthetic kernel Kconfig tree")
+    Term.(const (fun version -> handle (run_kconfig ~version)) $ version)
+
+let () =
+  let doc = "automated operating system specialization (EuroSys'26 reproduction)" in
+  let info = Cmd.info "wayfinder" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; probe_cmd; space_cmd; kconfig_cmd ]))

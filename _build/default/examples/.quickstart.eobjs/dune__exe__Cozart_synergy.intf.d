@@ -1,0 +1,1 @@
+examples/cozart_synergy.mli:

@@ -1,0 +1,1 @@
+examples/transfer_learning.mli:

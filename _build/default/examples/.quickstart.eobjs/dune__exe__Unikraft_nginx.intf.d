@@ -1,0 +1,1 @@
+examples/unikraft_nginx.mli:

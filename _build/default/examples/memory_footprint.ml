@@ -1,0 +1,49 @@
+(* Optimizing beyond performance (§4.4): minimise the memory footprint of
+   RISC-V Linux images by searching compile-time options, with crash-aware
+   exploration (disabling boot-essential options breaks the boot).
+
+   Run with:  dune exec examples/memory_footprint.exe *)
+
+module S = Wayfinder_simos
+module P = Wayfinder_platform
+module D = Wayfinder_deeptune
+module Param = Wayfinder_configspace.Param
+
+let budget = P.Driver.Virtual_seconds (2. *. 3600.)
+
+let () =
+  let rv = S.Sim_riscv.create () in
+  let space = S.Sim_riscv.space rv in
+  let target = P.Targets.of_sim_riscv rv in
+  Printf.printf "default RISC-V image: %.1f MB (theoretical floor %.1f MB)\n\n"
+    (S.Sim_riscv.default_memory_mb rv) (S.Sim_riscv.min_reachable_mb rv);
+  let options =
+    { D.Deeptune.default_options with
+      favor = Some Param.Compile_time;
+      favor_strong = 0.12;
+      favor_weak = 0.;
+      warmup = 6;
+      train_epochs = 8;
+      crash_penalty = 2. }
+  in
+  let dt = D.Deeptune.create ~options ~seed:9 space in
+  let progress entry =
+    match entry.P.History.value with
+    | Some v -> Printf.printf "  t=%5.0f min  %.1f MB\n%!" (entry.P.History.at_seconds /. 60.) v
+    | None ->
+      Printf.printf "  t=%5.0f min  %s\n%!" (entry.P.History.at_seconds /. 60.)
+        (Option.value ~default:"failed" entry.P.History.failure)
+  in
+  let r =
+    P.Driver.run ~seed:9 ~on_iteration:progress ~target ~algorithm:(D.Deeptune.algorithm dt)
+      ~budget ()
+  in
+  (match P.History.best_value r.P.Driver.history with
+  | Some best ->
+    Printf.printf "\nbest image: %.1f MB, a %.1f%% reduction (crash rate %.2f)\n" best
+      ((1. -. (best /. S.Sim_riscv.default_memory_mb rv)) *. 100.)
+      (P.History.crash_rate r.P.Driver.history)
+  | None -> print_endline "no bootable image found");
+  Printf.printf
+    "(emulation makes each evaluation minutes long — the budget only covers ~%d builds)\n"
+    r.P.Driver.iterations

@@ -1,0 +1,98 @@
+(* Quickstart: specialize the (simulated) Linux kernel for Nginx.
+
+   This walks the full Wayfinder loop from the public API:
+     1. create a kernel model and look at its configuration space;
+     2. define the job (metric, budget, stage to favor) via a YAML job file;
+     3. run DeepTune through the platform driver;
+     4. inspect the best configuration and what the model learned.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module S = Wayfinder_simos
+module P = Wayfinder_platform
+module D = Wayfinder_deeptune
+module CS = Wayfinder_configspace
+
+let job_yaml =
+  {|
+name: quickstart-nginx
+os: sim-linux
+app: nginx
+metric: throughput
+maximize: true
+iterations: 120
+seed: 7
+favor: runtime
+# The security-aware mode of §3.5: ASLR stays on no matter what.
+fixed:
+  - name: kernel.randomize_va_space
+    value: "2"
+params:
+  - name: kernel.randomize_va_space
+    stage: runtime
+    type: int
+    min: 0
+    max: 2
+    default: 2
+|}
+
+let () =
+  (* 1. The system under test: a simulated Linux kernel (see DESIGN.md for
+     what it models).  Its space covers compile-time, boot-time and runtime
+     parameters. *)
+  let sim = S.Sim_linux.create () in
+  let space = S.Sim_linux.space sim in
+  Printf.printf "SimLinux exposes %d parameters (log10 |space| = %.0f)\n" (CS.Space.size space)
+    (CS.Space.log10_cardinality space);
+
+  (* 2. The job: parsed from YAML like the real platform would (here only
+     the metadata is used; an empty params list means "explore the target's
+     own space"). *)
+  let job = CS.Jobfile.parse job_yaml in
+  Printf.printf "job %S: optimize %s for %s, favoring %s parameters\n\n"
+    job.CS.Jobfile.job_name job.CS.Jobfile.metric job.CS.Jobfile.app
+    (match job.CS.Jobfile.favor with
+    | Some st -> CS.Param.stage_to_string st
+    | None -> "all");
+
+  (* Pin what the job pins (ASLR), then search. *)
+  let space = CS.Space.fix space [ ("kernel.randomize_va_space", CS.Param.Vint 2) ] in
+  let target =
+    { (P.Targets.of_sim_linux sim ~app:S.App.Nginx) with P.Target.space = space }
+  in
+  let options =
+    { D.Deeptune.default_options with favor = job.CS.Jobfile.favor; favor_weak = 0. }
+  in
+  let deeptune = D.Deeptune.create ~options ~seed:job.CS.Jobfile.seed space in
+
+  (* 3. The core loop (§3.1): build → benchmark → learn, under a budget. *)
+  let iterations = Option.value ~default:120 job.CS.Jobfile.iterations in
+  let result =
+    P.Driver.run ~seed:job.CS.Jobfile.seed ~target
+      ~algorithm:(D.Deeptune.algorithm deeptune)
+      ~budget:(P.Driver.Iterations iterations) ()
+  in
+
+  (* 4. Results. *)
+  let default_v = S.Sim_linux.default_value sim ~app:S.App.Nginx () in
+  Printf.printf "explored %d configurations in %.1f virtual hours (crash rate %.2f)\n"
+    result.P.Driver.iterations
+    (S.Vclock.now result.P.Driver.clock /. 3600.)
+    (P.History.crash_rate result.P.Driver.history);
+  (match P.History.best_value result.P.Driver.history with
+  | Some best ->
+    Printf.printf "default: %.0f req/s -> best found: %.0f req/s (%.2fx)\n\n" default_v best
+      (best /. default_v)
+  | None -> print_endline "no valid configuration found");
+  (match P.History.best result.P.Driver.history with
+  | Some e ->
+    Printf.printf "what changed vs the default configuration:\n";
+    List.iter
+      (fun (name, _, v) -> Printf.printf "  %-40s = %s\n" name v)
+      (CS.Space.diff space (CS.Space.defaults space) e.P.History.config)
+  | None -> ());
+  Printf.printf "\nASLR stayed pinned: %s\n"
+    (match P.History.best result.P.Driver.history with
+    | Some e -> CS.Param.value_to_string (CS.Space.param space (CS.Space.index_of space "kernel.randomize_va_space")).CS.Param.kind
+                  (CS.Space.get space e.P.History.config "kernel.randomize_va_space")
+    | None -> "-")

@@ -1,0 +1,42 @@
+(* Beyond Linux (§4.4): specialize the Unikraft unikernel for Nginx and
+   compare DeepTune with Bayesian optimization and random search under the
+   same 1-hour virtual budget.
+
+   Run with:  dune exec examples/unikraft_nginx.exe *)
+
+module S = Wayfinder_simos
+module P = Wayfinder_platform
+module D = Wayfinder_deeptune
+module Space = Wayfinder_configspace.Space
+
+let budget = P.Driver.Virtual_seconds 3600.
+
+let () =
+  let uk = S.Sim_unikraft.create () in
+  let space = S.Sim_unikraft.space uk in
+  let target = P.Targets.of_sim_unikraft uk in
+  Printf.printf "Unikraft space: %d parameters, %.2e permutations\n" (Space.size space)
+    (10. ** Space.log10_cardinality space);
+  Printf.printf "default image: %.0f req/s\n\n" (S.Sim_unikraft.default_value uk);
+  let algorithms =
+    [ ( "deeptune",
+        D.Deeptune.algorithm
+          (D.Deeptune.create
+             ~options:{ D.Deeptune.default_options with pool_size = 256; train_epochs = 6 }
+             ~seed:5 space) );
+      ("bayesian", P.Bayes_search.create ~seed:5 ());
+      ("random", P.Random_search.create ()) ]
+  in
+  List.iter
+    (fun (name, algorithm) ->
+      let r = P.Driver.run ~seed:5 ~target ~algorithm ~budget () in
+      Printf.printf "%-9s %3d iterations, best %.0f req/s (%.2fx), crash rate %.2f\n" name
+        r.P.Driver.iterations
+        (Option.value ~default:0. (P.History.best_value r.P.Driver.history))
+        (Option.value ~default:0.
+           (P.Driver.best_relative_to r ~default:(S.Sim_unikraft.default_value uk)))
+        (P.History.crash_rate r.P.Driver.history))
+    algorithms;
+  Printf.printf
+    "\nunikernel configurations unlock much larger gains than Linux ones —\n\
+     low-latency user/kernel transitions amplify every stack-tuning win (§4.4).\n"

@@ -1,0 +1,1 @@
+lib/causal/citest.ml: Array List Wayfinder_tensor

@@ -1,0 +1,1 @@
+lib/causal/citest.mli: Wayfinder_tensor

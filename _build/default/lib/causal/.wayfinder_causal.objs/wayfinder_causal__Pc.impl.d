@@ -1,0 +1,1 @@
+lib/causal/pc.ml: Array Citest Hashtbl List Wayfinder_tensor

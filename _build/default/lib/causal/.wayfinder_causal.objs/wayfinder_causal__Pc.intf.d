@@ -1,0 +1,1 @@
+lib/causal/pc.mli: Hashtbl Wayfinder_tensor

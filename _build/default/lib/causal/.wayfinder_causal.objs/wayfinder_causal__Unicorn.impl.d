@@ -1,0 +1,1 @@
+lib/causal/unicorn.ml: Array List Pc Unix Wayfinder_tensor

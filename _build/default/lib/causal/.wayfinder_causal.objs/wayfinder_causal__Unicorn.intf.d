@@ -1,0 +1,1 @@
+lib/causal/unicorn.mli:

@@ -1,0 +1,49 @@
+module Mat = Wayfinder_tensor.Mat
+module Stat = Wayfinder_tensor.Stat
+
+let correlation_matrix data =
+  let d = data.Mat.cols in
+  let cols = Array.init d (Mat.col data) in
+  let out = Mat.eye d in
+  for i = 0 to d - 1 do
+    for j = 0 to i - 1 do
+      let r = Stat.pearson cols.(i) cols.(j) in
+      Mat.set out i j r;
+      Mat.set out j i r
+    done
+  done;
+  out
+
+let partial_correlation corr i j s =
+  if List.mem i s || List.mem j s then
+    invalid_arg "Citest.partial_correlation: endpoint inside conditioning set";
+  match s with
+  | [] -> max (-1.) (min 1. (Mat.get corr i j))
+  | _ :: _ ->
+    let vars = Array.of_list (i :: j :: s) in
+    let k = Array.length vars in
+    let sub = Mat.init k k (fun a b -> Mat.get corr vars.(a) vars.(b)) in
+    let inv = Mat.inverse_spd (Mat.add_jitter sub 1e-6) in
+    let pij = Mat.get inv 0 1 and pii = Mat.get inv 0 0 and pjj = Mat.get inv 1 1 in
+    let denom = sqrt (pii *. pjj) in
+    if denom <= 0. then 0. else max (-1.) (min 1. (-.pij /. denom))
+
+let fisher_z_independent ~r ~n ~cond ~alpha =
+  let dof = n - cond - 3 in
+  if dof <= 0 then true
+  else begin
+    let r = max (-0.999999) (min 0.999999 r) in
+    let z = 0.5 *. log ((1. +. r) /. (1. -. r)) in
+    let stat = sqrt (float_of_int dof) *. abs_float z in
+    (* Two-sided critical value of the standard normal. *)
+    let critical =
+      if alpha <= 0.01 then 2.5758 else if alpha <= 0.05 then 1.9600 else 1.6449
+    in
+    stat < critical
+  end
+
+let cells_for_test cond =
+  (* Submatrix + jittered copy + inverse, each (cond+2)², plus the solve
+     workspace (~same order). *)
+  let k = cond + 2 in
+  4 * k * k

@@ -1,0 +1,27 @@
+(** Conditional-independence testing via partial correlations.
+
+    The Unicorn baseline [38] reasons about configuration performance with
+    causal graphs; discovering them requires large numbers of
+    conditional-independence (CI) tests.  We use the classical Gaussian
+    machinery: partial correlation through inversion of the correlation
+    submatrix, and the Fisher z-transform as significance test. *)
+
+module Mat = Wayfinder_tensor.Mat
+
+val correlation_matrix : Mat.t -> Mat.t
+(** Pearson correlations between the columns of a data matrix (rows =
+    observations).  Constant columns correlate 0 with everything. *)
+
+val partial_correlation : Mat.t -> int -> int -> int list -> float
+(** [partial_correlation corr i j s] is ρ(i, j | S) computed from the
+    inverse of the correlation submatrix over [{i, j} ∪ S]; clamped to
+    [\[-1, 1\]].  @raise Invalid_argument if [i] or [j] occurs in [s]. *)
+
+val fisher_z_independent : r:float -> n:int -> cond:int -> alpha:float -> bool
+(** Fisher z-test: true iff the hypothesis "independent" is *not* rejected
+    at level [alpha] for partial correlation [r] on [n] observations with
+    [cond] conditioning variables. *)
+
+val cells_for_test : int -> int
+(** Matrix cells allocated by one CI test with the given conditioning-set
+    size (used for the Figure 7 memory accounting). *)

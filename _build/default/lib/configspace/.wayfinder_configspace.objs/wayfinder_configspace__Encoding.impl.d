@@ -1,0 +1,1 @@
+lib/configspace/encoding.ml: Array List Param Printf Space Wayfinder_tensor

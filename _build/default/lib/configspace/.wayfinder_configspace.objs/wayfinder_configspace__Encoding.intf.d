@@ -1,0 +1,1 @@
+lib/configspace/encoding.mli: Space Wayfinder_tensor

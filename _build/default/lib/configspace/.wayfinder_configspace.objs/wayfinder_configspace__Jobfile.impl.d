@@ -1,0 +1,1 @@
+lib/configspace/jobfile.ml: Array List Param Printf Space String Wayfinder_yamlite

@@ -1,0 +1,1 @@
+lib/configspace/jobfile.mli: Param Space Wayfinder_yamlite

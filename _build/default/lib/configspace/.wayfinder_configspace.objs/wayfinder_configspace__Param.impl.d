@@ -1,0 +1,1 @@
+lib/configspace/param.ml: Array Format Printf String Wayfinder_tensor

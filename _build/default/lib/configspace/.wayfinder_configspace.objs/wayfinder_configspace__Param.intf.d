@@ -1,0 +1,1 @@
+lib/configspace/param.mli: Format Wayfinder_tensor

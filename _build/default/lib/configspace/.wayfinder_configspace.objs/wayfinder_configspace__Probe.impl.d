@@ -1,0 +1,1 @@
+lib/configspace/probe.ml: List Param String

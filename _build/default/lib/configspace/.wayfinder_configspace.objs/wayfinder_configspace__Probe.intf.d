@@ -1,0 +1,1 @@
+lib/configspace/probe.mli: Param

@@ -1,0 +1,1 @@
+lib/configspace/space.ml: Array Format Hashtbl List Param Printf Wayfinder_kconfig Wayfinder_tensor

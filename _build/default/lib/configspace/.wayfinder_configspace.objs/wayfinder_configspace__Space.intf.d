@@ -1,0 +1,1 @@
+lib/configspace/space.mli: Format Param Wayfinder_kconfig Wayfinder_tensor

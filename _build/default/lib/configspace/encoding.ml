@@ -1,0 +1,81 @@
+module Vec = Wayfinder_tensor.Vec
+
+type feature = { owner : int; label : string }
+
+type t = { space : Space.t; features : feature array; offsets : int array }
+
+let features_of_param i (p : Param.t) =
+  match p.Param.kind with
+  | Param.Kbool | Param.Ktristate | Param.Kint _ -> [ { owner = i; label = p.Param.name } ]
+  | Param.Kcategorical choices ->
+    Array.to_list
+      (Array.map (fun c -> { owner = i; label = Printf.sprintf "%s=%s" p.Param.name c }) choices)
+
+let create space =
+  let params = Space.params space in
+  let features =
+    Array.to_list params
+    |> List.mapi features_of_param
+    |> List.concat
+    |> Array.of_list
+  in
+  (* offsets.(i) = first feature index of parameter i *)
+  let offsets = Array.make (Array.length params) 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun i p ->
+      offsets.(i) <- !pos;
+      pos :=
+        !pos
+        + (match p.Param.kind with
+          | Param.Kbool | Param.Ktristate | Param.Kint _ -> 1
+          | Param.Kcategorical choices -> Array.length choices))
+    params;
+  { space; features; offsets }
+
+let space t = t.space
+let dim t = Array.length t.features
+
+let encode_value (p : Param.t) v out pos =
+  match (p.Param.kind, v) with
+  | Param.Kbool, Param.Vbool b -> out.(pos) <- (if b then 1. else 0.)
+  | Param.Ktristate, Param.Vtristate x -> out.(pos) <- float_of_int x /. 2.
+  | Param.Kint { lo; hi; log_scale }, Param.Vint i ->
+    let scaled =
+      if hi = lo then 0.5
+      else if log_scale && lo >= 0 then begin
+        let l v = log10 (float_of_int (max 1 v)) in
+        let denom = l hi -. l lo in
+        if denom <= 0. then 0.5 else (l i -. l lo) /. denom
+      end
+      else float_of_int (i - lo) /. float_of_int (hi - lo)
+    in
+    out.(pos) <- scaled
+  | Param.Kcategorical choices, Param.Vcat c ->
+    for k = 0 to Array.length choices - 1 do
+      out.(pos + k) <- (if k = c then 1. else 0.)
+    done
+  | (Param.Kbool | Param.Ktristate | Param.Kint _ | Param.Kcategorical _), _ ->
+    invalid_arg (Printf.sprintf "Encoding.encode: kind mismatch for %s" p.Param.name)
+
+let encode t config =
+  if Array.length config <> Space.size t.space then
+    invalid_arg "Encoding.encode: configuration size mismatch";
+  let out = Vec.zeros (dim t) in
+  Array.iteri (fun i v -> encode_value (Space.param t.space i) v out t.offsets.(i)) config;
+  out
+
+let feature_names t = Array.map (fun f -> f.label) t.features
+let feature_owner t = Array.map (fun f -> f.owner) t.features
+
+let param_importance t scores =
+  if Array.length scores <> dim t then
+    invalid_arg "Encoding.param_importance: score length mismatch";
+  let n = Space.size t.space in
+  let acc = Array.make n 0. in
+  Array.iteri (fun j f -> acc.(f.owner) <- acc.(f.owner) +. scores.(j)) t.features;
+  let named = Array.mapi (fun i s -> ((Space.param t.space i).Param.name, s)) acc in
+  Array.sort (fun (_, a) (_, b) -> compare b a) named;
+  named
+
+let distance t a b = Vec.dist (encode t a) (encode t b)

@@ -1,0 +1,34 @@
+(** Feature encoding of configurations for learning-based search.
+
+    The DTM consumes configurations as real vectors [x = (x^k, x^n)]
+    (§3.2): categorical parameters are one-hot encoded, booleans and
+    tristates map to [{0,1}] / [{0, ½, 1}], and integers are scaled into
+    [\[0, 1\]] (logarithmically for wide, log-scaled ranges).  The encoding
+    is fixed per space, so encoded vectors are comparable across the whole
+    search history — as required by the dissimilarity term of eq. (2). *)
+
+type t
+
+val create : Space.t -> t
+val space : t -> Space.t
+
+val dim : t -> int
+(** Number of features. *)
+
+val encode : t -> Space.configuration -> Wayfinder_tensor.Vec.t
+
+val feature_names : t -> string array
+(** One label per feature; one-hot features are suffixed with their
+    category (e.g. ["default_qdisc=fq"]). *)
+
+val feature_owner : t -> int array
+(** For each feature, the index of the parameter it encodes — used to
+    aggregate per-feature importances back to parameters. *)
+
+val param_importance : t -> float array -> (string * float) array
+(** Aggregate per-feature scores into per-parameter scores (sum over a
+    parameter's features), sorted descending.
+    @raise Invalid_argument if the score vector has the wrong length. *)
+
+val distance : t -> Space.configuration -> Space.configuration -> float
+(** Euclidean distance between encodings. *)

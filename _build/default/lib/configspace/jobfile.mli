@@ -1,0 +1,62 @@
+(** Wayfinder job files.
+
+    A job file (§3.1) is the YAML artifact describing one specialization
+    job: the target OS and application, the metric to optimize, the search
+    budget, the stage to favor, security pins, and the configuration space
+    itself.  Example:
+
+    {v
+    name: nginx-linux
+    os: sim-linux
+    app: nginx
+    metric: throughput
+    maximize: true
+    iterations: 250
+    seed: 42
+    favor: runtime
+    fixed:
+      - name: kernel.randomize_va_space
+        value: "1"
+    params:
+      - name: net.core.somaxconn
+        stage: runtime
+        type: int
+        min: 16
+        max: 65536
+        log: true
+        default: 128
+      - name: net.core.default_qdisc
+        stage: runtime
+        type: categorical
+        values: [pfifo_fast, fq, fq_codel]
+        default: pfifo_fast
+    v} *)
+
+type t = {
+  job_name : string;
+  os : string;
+  app : string;
+  metric : string;
+  maximize : bool;
+  iterations : int option;
+  time_budget_s : float option;
+  seed : int;
+  favor : Param.stage option;
+  space : Space.t;  (** Already restricted by the job's [fixed] pins. *)
+}
+
+exception Schema_error of string
+
+val of_yaml : Wayfinder_yamlite.Yamlite.t -> t
+(** @raise Schema_error on missing or ill-typed fields. *)
+
+val load : string -> t
+(** Parse a job file from disk.
+    @raise Wayfinder_yamlite.Yamlite.Parse_error on YAML errors,
+    @raise Schema_error on schema errors. *)
+
+val parse : string -> t
+(** Parse a job file from a string. *)
+
+val to_yaml : t -> Wayfinder_yamlite.Yamlite.t
+(** Render a job back to YAML (pins are emitted under [fixed]). *)

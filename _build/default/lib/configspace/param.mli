@@ -1,0 +1,67 @@
+(** Typed OS configuration parameters.
+
+    A parameter unifies the three stages of OS configuration the paper
+    specializes (§3.1): compile-time (Kconfig symbols), boot-time (kernel
+    command-line), and runtime ([/proc/sys], [/sys]).  Each parameter has a
+    kind that fixes its value domain. *)
+
+type stage = Compile_time | Boot_time | Runtime
+
+val stage_to_string : stage -> string
+val stage_of_string : string -> stage option
+
+type kind =
+  | Kbool
+  | Ktristate
+  | Kint of { lo : int; hi : int; log_scale : bool }
+      (** [log_scale] marks wide ranges that should be sampled by order of
+          magnitude (socket buffers, timeouts, ...). *)
+  | Kcategorical of string array  (** Fixed value set, e.g. qdisc names. *)
+
+type value = Vbool of bool | Vtristate of int  (** 0 = n, 1 = m, 2 = y *) | Vint of int | Vcat of int
+
+type t = {
+  name : string;
+  stage : stage;
+  kind : kind;
+  default : value;
+  description : string option;
+}
+
+val make : ?description:string -> name:string -> stage:stage -> kind:kind -> default:value -> unit -> t
+(** @raise Invalid_argument if [default] is ill-typed or out of range for
+    [kind]. *)
+
+val bool_param : ?stage:stage -> string -> bool -> t
+(** Convenience constructors; [stage] defaults to [Runtime]. *)
+
+val int_param : ?stage:stage -> ?log_scale:bool -> string -> lo:int -> hi:int -> default:int -> t
+val categorical_param : ?stage:stage -> string -> string array -> default:int -> t
+val tristate_param : ?stage:stage -> string -> int -> t
+
+val value_ok : kind -> value -> bool
+(** Type- and range-checks a value against a kind. *)
+
+val clamp : kind -> value -> value
+(** Coerce a well-typed value into range (ints clamped, categorical/tristate
+    indices wrapped into the domain). *)
+
+val value_equal : value -> value -> bool
+val value_to_string : kind -> value -> string
+val value_of_string : kind -> string -> value option
+
+val cardinality : kind -> float
+(** Number of possible values (as a float: integer ranges can be large).
+    Used to report search-space sizes like the paper's 3.7×10¹³. *)
+
+val sample : t -> Wayfinder_tensor.Rng.t -> value
+(** Uniform draw from the parameter's domain; log-scaled ints draw an order
+    of magnitude first. *)
+
+val perturb : t -> Wayfinder_tensor.Rng.t -> value -> value
+(** Local move: flips bools, steps tristates, scales/offsets ints, re-draws
+    categorical values.  The result is always in-domain and (when the domain
+    has more than one point) different from the input. *)
+
+val pp_value : kind -> Format.formatter -> value -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+type write_result = Accepted | Rejected | Crash
+
+type iface = {
+  list_files : unit -> string list;
+  read : string -> string option;
+  write : string -> string -> write_result;
+}
+
+type report = { probed : Param.t list; skipped : string list; crashes : int }
+
+let range_for ?(scale_steps = 4) iface ~file ~default =
+  (* Scale the default up and down by powers of ten; each accepted write
+     widens the estimated range.  A rejected or crashing write stops the
+     scan in that direction. *)
+  let crashes = ref 0 in
+  let attempt v =
+    match iface.write file (string_of_int v) with
+    | Accepted -> true
+    | Rejected -> false
+    | Crash ->
+      incr crashes;
+      false
+  in
+  let rec scan_up best step =
+    if step > scale_steps then best
+    else begin
+      let candidate = default * int_of_float (10. ** float_of_int step) in
+      if candidate > best && attempt candidate then scan_up candidate (step + 1) else best
+    end
+  in
+  let rec scan_down best step =
+    if step > scale_steps then best
+    else begin
+      let candidate = default / int_of_float (10. ** float_of_int step) in
+      if candidate < best && attempt candidate then scan_down candidate (step + 1) else best
+    end
+  in
+  let hi = scan_up default 1 in
+  let lo = scan_down default 1 in
+  (* Restore the default so probing is side-effect free on the target. *)
+  ignore (iface.write file (string_of_int default));
+  (lo, hi)
+
+let probe ?(scale_steps = 4) iface =
+  let crashes = ref 0 in
+  let counted_write file v =
+    match iface.write file v with
+    | Crash ->
+      incr crashes;
+      Crash
+    | (Accepted | Rejected) as r -> r
+  in
+  let counted = { iface with write = counted_write } in
+  let probed = ref [] and skipped = ref [] in
+  List.iter
+    (fun file ->
+      match iface.read file with
+      | None -> skipped := file :: !skipped
+      | Some raw -> (
+        match int_of_string_opt (String.trim raw) with
+        | None ->
+          (* Non-numeric runtime files are left to manual exploration. *)
+          skipped := file :: !skipped
+        | Some 0 | Some 1 ->
+          let default = iface.read file = Some "1" in
+          probed := Param.bool_param ~stage:Param.Runtime file default :: !probed
+        | Some default ->
+          let lo, hi = range_for ~scale_steps counted ~file ~default in
+          let lo = min lo default and hi = max hi default in
+          let log_scale = hi - lo > 1000 in
+          probed :=
+            Param.int_param ~stage:Param.Runtime ~log_scale file ~lo ~hi ~default
+            :: !probed))
+    (iface.list_files ());
+  { probed = List.rev !probed; skipped = List.rev !skipped; crashes = !crashes }

@@ -1,0 +1,202 @@
+module Rng = Wayfinder_tensor.Rng
+module Kspace = Wayfinder_kconfig.Space
+module Kconfig_val = Wayfinder_kconfig.Config
+module Tristate = Wayfinder_kconfig.Tristate
+module Kast = Wayfinder_kconfig.Ast
+
+type t = {
+  params : Param.t array;
+  index : (string, int) Hashtbl.t;
+  fixed : Param.value option array;
+}
+
+type configuration = Param.value array
+
+let create param_list =
+  let params = Array.of_list param_list in
+  let index = Hashtbl.create (Array.length params) in
+  Array.iteri
+    (fun i p ->
+      if Hashtbl.mem index p.Param.name then
+        invalid_arg (Printf.sprintf "Space.create: duplicate parameter %s" p.Param.name);
+      Hashtbl.add index p.Param.name i)
+    params;
+  { params; index; fixed = Array.make (Array.length params) None }
+
+let size t = Array.length t.params
+let params t = Array.copy t.params
+let param t i = t.params.(i)
+
+let index_of t name =
+  match Hashtbl.find_opt t.index name with Some i -> i | None -> raise Not_found
+
+let mem t name = Hashtbl.mem t.index name
+
+let log10_cardinality t =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i p -> if t.fixed.(i) = None then acc := !acc +. log10 (Param.cardinality p.Param.kind))
+    t.params;
+  !acc
+
+let fix t pins =
+  let fixed = Array.copy t.fixed in
+  List.iter
+    (fun (name, v) ->
+      let i = index_of t name in
+      if not (Param.value_ok t.params.(i).Param.kind v) then
+        invalid_arg (Printf.sprintf "Space.fix: ill-typed value for %s" name);
+      fixed.(i) <- Some v)
+    pins;
+  { t with fixed }
+
+let fixed_value t i = t.fixed.(i)
+let stage_of t i = t.params.(i).Param.stage
+
+let defaults t =
+  Array.mapi
+    (fun i p -> match t.fixed.(i) with Some v -> v | None -> p.Param.default)
+    t.params
+
+let validate t config =
+  if Array.length config <> Array.length t.params then
+    invalid_arg "Space.validate: configuration size mismatch";
+  let problems = ref [] in
+  Array.iteri
+    (fun i p ->
+      if not (Param.value_ok p.Param.kind config.(i)) then
+        problems := (i, Printf.sprintf "%s: ill-typed or out-of-range value" p.Param.name) :: !problems
+      else
+        match t.fixed.(i) with
+        | Some v when not (Param.value_equal v config.(i)) ->
+          problems := (i, Printf.sprintf "%s: fixed parameter was varied" p.Param.name) :: !problems
+        | Some _ | None -> ())
+    t.params;
+  List.rev !problems
+
+let random t rng =
+  Array.mapi
+    (fun i p -> match t.fixed.(i) with Some v -> v | None -> Param.sample p rng)
+    t.params
+
+let sample_biased t rng ~vary_probability =
+  Array.mapi
+    (fun i p ->
+      match t.fixed.(i) with
+      | Some v -> v
+      | None ->
+        if Rng.bernoulli rng (vary_probability p) then Param.sample p rng else p.Param.default)
+    t.params
+
+let favor_stage stage ?(strong = 0.6) ?(weak = 0.05) p =
+  if p.Param.stage = stage then strong else weak
+
+let mutate ?only_stage t rng config ~count =
+  let fresh = Array.copy config in
+  let free = ref [] in
+  Array.iteri
+    (fun i p ->
+      let stage_ok = match only_stage with None -> true | Some st -> p.Param.stage = st in
+      if t.fixed.(i) = None && stage_ok then free := i :: !free)
+    t.params;
+  let free = Array.of_list !free in
+  if Array.length free > 0 then
+    for _ = 1 to count do
+      let i = Rng.choice rng free in
+      fresh.(i) <- Param.perturb t.params.(i) rng fresh.(i)
+    done;
+  fresh
+
+let crossover t rng a b =
+  Array.mapi
+    (fun i p ->
+      ignore p;
+      match t.fixed.(i) with
+      | Some v -> v
+      | None -> if Rng.bool rng then a.(i) else b.(i))
+    t.params
+
+let get t config name = config.(index_of t name)
+
+let set t config name v =
+  let i = index_of t name in
+  if not (Param.value_ok t.params.(i).Param.kind v) then
+    invalid_arg (Printf.sprintf "Space.set: ill-typed value for %s" name);
+  let fresh = Array.copy config in
+  fresh.(i) <- v;
+  fresh
+
+let to_assoc t config =
+  Array.to_list
+    (Array.mapi
+       (fun i p -> (p.Param.name, Param.value_to_string p.Param.kind config.(i)))
+       t.params)
+
+let of_assoc t pairs =
+  let config = defaults t in
+  let rec apply = function
+    | [] -> Ok config
+    | (name, value_str) :: rest -> (
+      match Hashtbl.find_opt t.index name with
+      | None -> Error (Printf.sprintf "unknown parameter %s" name)
+      | Some i -> (
+        match Param.value_of_string t.params.(i).Param.kind value_str with
+        | None -> Error (Printf.sprintf "invalid value %S for %s" value_str name)
+        | Some v ->
+          config.(i) <- v;
+          apply rest))
+  in
+  apply pairs
+
+let diff t a b =
+  let out = ref [] in
+  Array.iteri
+    (fun i p ->
+      if not (Param.value_equal a.(i) b.(i)) then
+        out :=
+          ( p.Param.name,
+            Param.value_to_string p.Param.kind a.(i),
+            Param.value_to_string p.Param.kind b.(i) )
+          :: !out)
+    t.params;
+  List.rev !out
+
+let differs_only_in_stage t a b stage =
+  let ok = ref true in
+  Array.iteri
+    (fun i p ->
+      if (not (Param.value_equal a.(i) b.(i))) && p.Param.stage <> stage then ok := false)
+    t.params;
+  !ok
+
+let of_kconfig ?(stage = Param.Compile_time) descriptors =
+  List.map
+    (fun d ->
+      let open Kspace in
+      let kind, default =
+        match (d.d_type, d.d_default) with
+        | Kast.Bool, Kconfig_val.V_tristate v ->
+          (Param.Kbool, Param.Vbool (v = Tristate.Y))
+        | Kast.Tristate, Kconfig_val.V_tristate v ->
+          (Param.Ktristate, Param.Vtristate (Tristate.to_int v))
+        | (Kast.Int | Kast.Hex), Kconfig_val.V_int i ->
+          let lo, hi = match d.d_range with Some r -> r | None -> (0, max 1 (i * 100)) in
+          let log_scale = hi - lo > 1000 in
+          (Param.Kint { lo; hi; log_scale }, Param.Vint (max lo (min hi i)))
+        | Kast.String, Kconfig_val.V_string s ->
+          (Param.Kcategorical [| s |], Param.Vcat 0)
+        | _, _ ->
+          (* Mismatched default (should not happen); fall back to bool-off. *)
+          (Param.Kbool, Param.Vbool false)
+      in
+      Param.make ~name:d.d_name ~stage ~kind ~default ())
+    descriptors
+
+let pp_configuration t ppf config =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i p ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "%s = %s" p.Param.name (Param.value_to_string p.Param.kind config.(i)))
+    t.params;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,95 @@
+(** Configuration spaces and concrete configurations.
+
+    A space is an ordered collection of {!Param.t}; a configuration assigns
+    every parameter a value (stored positionally).  Spaces support the
+    operations the paper's platform needs: random sampling, default-based
+    sampling that *favors varying a stage* (§4.1 favours runtime parameters,
+    §4.4 compile-time ones), local mutation, and pinning parameters to fixed
+    values (the security-aware search mode of §3.5). *)
+
+type t
+
+type configuration = Param.value array
+(** Index-aligned with the space's parameters. *)
+
+val create : Param.t list -> t
+(** @raise Invalid_argument on duplicate parameter names. *)
+
+val size : t -> int
+val params : t -> Param.t array
+val param : t -> int -> Param.t
+
+val index_of : t -> string -> int
+(** @raise Not_found for unknown names. *)
+
+val mem : t -> string -> bool
+
+val log10_cardinality : t -> float
+(** Log₁₀ of the number of distinct configurations (fixed parameters
+    contribute 1).  The Unikraft space of §4.4 reports ≈13.6, i.e.
+    3.7×10¹³ permutations. *)
+
+val fix : t -> (string * Param.value) list -> t
+(** Pin parameters to constant values: they keep their position but are
+    never varied by {!random}, {!sample_biased} or {!mutate}.
+    @raise Invalid_argument on ill-typed pins, @raise Not_found on unknown
+    names. *)
+
+val fixed_value : t -> int -> Param.value option
+val stage_of : t -> int -> Param.stage
+
+val defaults : t -> configuration
+val validate : t -> configuration -> (int * string) list
+(** Positions (and messages) of ill-typed or out-of-range values, and of
+    violated pins.  Empty = valid. *)
+
+val random : t -> Wayfinder_tensor.Rng.t -> configuration
+(** Every non-fixed parameter drawn uniformly from its domain. *)
+
+val sample_biased :
+  t -> Wayfinder_tensor.Rng.t -> vary_probability:(Param.t -> float) -> configuration
+(** Start from defaults and re-draw each non-fixed parameter with the given
+    probability — the "favor certain parameter types" knob of §3.5. *)
+
+val favor_stage : Param.stage -> ?strong:float -> ?weak:float -> Param.t -> float
+(** Ready-made bias: [strong] (default 0.6) for parameters of the given
+    stage, [weak] (default 0.05) otherwise. *)
+
+val mutate :
+  ?only_stage:Param.stage ->
+  t ->
+  Wayfinder_tensor.Rng.t ->
+  configuration ->
+  count:int ->
+  configuration
+(** Fresh configuration with up to [count] non-fixed parameters locally
+    perturbed ({!Param.perturb}); [only_stage] restricts the perturbed
+    parameters to one stage (e.g. runtime-only exploration). *)
+
+val crossover :
+  t -> Wayfinder_tensor.Rng.t -> configuration -> configuration -> configuration
+(** Uniform crossover of two parents (used to diversify candidate pools). *)
+
+val get : t -> configuration -> string -> Param.value
+val set : t -> configuration -> string -> Param.value -> configuration
+(** Functional update. @raise Invalid_argument on ill-typed values. *)
+
+val to_assoc : t -> configuration -> (string * string) list
+val of_assoc : t -> (string * string) list -> (configuration, string) result
+(** Missing parameters take defaults; unknown names or unparseable values
+    produce [Error]. *)
+
+val diff : t -> configuration -> configuration -> (string * string * string) list
+(** [(name, old_value, new_value)] for differing positions. *)
+
+val differs_only_in_stage : t -> configuration -> configuration -> Param.stage -> bool
+(** True when every differing parameter belongs to [stage] — the platform's
+    rebuild-skip test (§3.1: skip the build task when only runtime
+    parameters changed). *)
+
+val of_kconfig : ?stage:Param.stage -> Wayfinder_kconfig.Space.descriptor list -> Param.t list
+(** Convert Kconfig descriptors into parameters (choice members and
+    dependent symbols are included; strings become single-point categorical
+    domains). *)
+
+val pp_configuration : t -> Format.formatter -> configuration -> unit

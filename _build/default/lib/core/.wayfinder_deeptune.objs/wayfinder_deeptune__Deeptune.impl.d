@@ -1,0 +1,1 @@
+lib/core/deeptune.ml: Array Dtm Hashtbl List Option Scoring Wayfinder_configspace Wayfinder_platform Wayfinder_tensor

@@ -1,0 +1,1 @@
+lib/core/deeptune.mli: Dtm Wayfinder_configspace Wayfinder_platform Wayfinder_tensor

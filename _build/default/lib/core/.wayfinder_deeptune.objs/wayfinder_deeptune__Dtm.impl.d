@@ -1,0 +1,1 @@
+lib/core/dtm.ml: Array List Stdlib Wayfinder_nn Wayfinder_tensor

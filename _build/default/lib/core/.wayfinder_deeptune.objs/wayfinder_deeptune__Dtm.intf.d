@@ -1,0 +1,1 @@
+lib/core/dtm.mli: Wayfinder_tensor

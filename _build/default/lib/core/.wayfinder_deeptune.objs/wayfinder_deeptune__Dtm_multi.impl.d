@@ -1,0 +1,1 @@
+lib/core/dtm_multi.ml: Array Dtm List Stdlib Wayfinder_nn Wayfinder_tensor

@@ -1,0 +1,1 @@
+lib/core/dtm_multi.mli: Dtm Wayfinder_tensor

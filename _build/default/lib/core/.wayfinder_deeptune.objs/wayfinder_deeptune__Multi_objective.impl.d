@@ -1,0 +1,1 @@
+lib/core/multi_objective.ml: Array Deeptune Dtm_multi List Scoring Stdlib Wayfinder_configspace Wayfinder_platform Wayfinder_tensor

@@ -1,0 +1,1 @@
+lib/core/multi_objective.mli: Deeptune Dtm_multi Wayfinder_configspace Wayfinder_tensor

@@ -1,0 +1,1 @@
+lib/core/scoring.ml: List Stdlib Wayfinder_tensor

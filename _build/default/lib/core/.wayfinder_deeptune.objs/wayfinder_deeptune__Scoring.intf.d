@@ -1,0 +1,1 @@
+lib/core/scoring.mli: Wayfinder_tensor

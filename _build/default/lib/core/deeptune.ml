@@ -1,0 +1,232 @@
+module Space = Wayfinder_configspace.Space
+module Param = Wayfinder_configspace.Param
+module Encoding = Wayfinder_configspace.Encoding
+module Rng = Wayfinder_tensor.Rng
+module Dataset = Wayfinder_tensor.Dataset
+module Vec = Wayfinder_tensor.Vec
+module Search_algorithm = Wayfinder_platform.Search_algorithm
+module Metric = Wayfinder_platform.Metric
+module History = Wayfinder_platform.History
+module Random_search = Wayfinder_platform.Random_search
+
+type options = {
+  pool_size : int;
+  alpha : float;
+  exploration_weight : float;
+  crash_penalty : float;
+  crash_gate : float option;
+  warmup : int;
+  train_epochs : int;
+  favor : Param.stage option;
+  favor_strong : float;
+  favor_weak : float;
+  dtm_config : Dtm.config;
+}
+
+let default_options =
+  { pool_size = 96;
+    alpha = 0.5;
+    exploration_weight = 1.0;
+    crash_penalty = 3.0;
+    crash_gate = Some 0.35;
+    warmup = 10;
+    train_epochs = 1;
+    favor = None;
+    favor_strong = 0.6;
+    favor_weak = 0.05;
+    dtm_config = Dtm.default_config }
+
+type t = {
+  options : options;
+  space : Space.t;
+  encoding : Encoding.t;
+  dtm : Dtm.t;
+  dataset : Dataset.t;
+  rng : Rng.t;
+  mutable known : Vec.t list;  (* encoded evaluated configurations *)
+  mutable best_configs : (float * Space.configuration) list;  (* top scored, descending *)
+  seen : (int, unit) Hashtbl.t;  (* hashes of evaluated configurations *)
+  mutable pending_seeds : Space.configuration list;
+      (* Transferred incumbents to evaluate verbatim before consulting the
+         pool (they are known-good end-to-end on the donor). *)
+}
+
+let create ?(options = default_options) ?(seed = 0) space =
+  let rng = Rng.create (seed + 7919) in
+  let encoding = Encoding.create space in
+  { options;
+    space;
+    encoding;
+    dtm = Dtm.create ~config:options.dtm_config (Rng.split rng) ~in_dim:(Encoding.dim encoding);
+    dataset = Dataset.create ();
+    rng;
+    known = [];
+    best_configs = [];
+    seen = Hashtbl.create 256;
+    pending_seeds = [] }
+
+let dtm t = t.dtm
+let observations t = Dataset.size t.dataset
+
+(* ------------------------------------------------------------------ *)
+(* Candidate pool                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* ① A diverse pool: fresh biased draws, plus local mutations and
+   crossovers of the best known configurations (exploitation seeds). *)
+let generate_pool t =
+  let fresh () =
+    Random_search.sampler ?favor:t.options.favor ~strong:t.options.favor_strong
+      ~weak:t.options.favor_weak t.space t.rng
+  in
+  List.init t.options.pool_size (fun k ->
+      match t.best_configs with
+      | (_, best) :: rest when k land 1 = 1 ->
+        let partner = match rest with (_, second) :: _ -> second | [] -> best in
+        let only_stage = if t.options.favor_weak = 0. then t.options.favor else None in
+        if k land 2 = 2 then Space.mutate ?only_stage t.space t.rng best ~count:2
+        else Space.crossover t.space t.rng best partner
+      | _ :: _ | [] -> fresh ())
+
+(* ------------------------------------------------------------------ *)
+(* Selection                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let config_key config = Hashtbl.hash (Array.to_list config)
+
+let rank_candidates t pool =
+  (* Never re-evaluate a configuration (the platform would just repeat the
+     measurement): drop already-seen candidates unless that empties the
+     pool. *)
+  let pool =
+    match List.filter (fun c -> not (Hashtbl.mem t.seen (config_key c))) pool with
+    | [] -> pool
+    | fresh -> fresh
+  in
+  (* ② Predict each candidate; ③ rank by predicted performance plus the
+     eq. 3 exploration bonus, gating predicted crashes.  Ranking happens in
+     the model's z-score units so the [0, 1] bonus and the crash penalty
+     are commensurate with the performance term. *)
+  let scored =
+    List.map
+      (fun config ->
+        let x = Encoding.encode t.encoding config in
+        let p = Dtm.predict t.dtm x in
+        let ds = Scoring.dissimilarity x t.known in
+        let bonus =
+          Scoring.score ~alpha:t.options.alpha ~dissimilarity:ds
+            ~uncertainty:p.Dtm.uncertainty ()
+        in
+        (* Soft crash penalty: even below the hard gate, likelier-to-crash
+           candidates rank lower. *)
+        let rank =
+          p.Dtm.normalized_performance
+          +. (t.options.exploration_weight *. bonus)
+          -. (t.options.crash_penalty *. p.Dtm.crash_probability)
+        in
+        (config, p, rank))
+      pool
+  in
+  let admissible =
+    match t.options.crash_gate with
+    | None -> scored
+    | Some gate ->
+      List.filter (fun (_, p, _) -> p.Dtm.crash_probability <= gate) scored
+  in
+  let pick_best candidates key =
+    List.fold_left
+      (fun acc item ->
+        match acc with
+        | None -> Some item
+        | Some best -> if key item > key best then Some item else acc)
+      None candidates
+  in
+  match pick_best admissible (fun (_, _, rank) -> rank) with
+  | Some (config, _, _) -> config
+  | None -> (
+    (* Whole pool gated: fall back to the least-crashy candidate. *)
+    match pick_best scored (fun (_, p, _) -> -.p.Dtm.crash_probability) with
+    | Some (config, _, _) -> config
+    | None ->
+      Random_search.sampler ?favor:t.options.favor ~strong:t.options.favor_strong
+        ~weak:t.options.favor_weak t.space t.rng)
+
+let propose t ctx =
+  ignore ctx;
+  match t.pending_seeds with
+  | seed :: rest ->
+    t.pending_seeds <- rest;
+    seed
+  | [] ->
+  if Dataset.size t.dataset < t.options.warmup then
+    Random_search.sampler ?favor:t.options.favor ~strong:t.options.favor_strong
+      ~weak:t.options.favor_weak t.space t.rng
+  else rank_candidates t (generate_pool t)
+
+(* ------------------------------------------------------------------ *)
+(* Observation / incremental training                                  *)
+(* ------------------------------------------------------------------ *)
+
+let keep_best = 4
+
+let observe t ctx (entry : History.entry) =
+  let metric = ctx.Search_algorithm.metric in
+  let x = Encoding.encode t.encoding entry.History.config in
+  t.known <- x :: t.known;
+  Hashtbl.replace t.seen (config_key entry.History.config) ();
+  let crashed = entry.History.failure <> None in
+  let score =
+    match entry.History.value with Some v -> Metric.score metric v | None -> 0.
+  in
+  Dataset.add t.dataset x ~target:score ~crashed;
+  if not crashed then begin
+    t.best_configs <-
+      (score, entry.History.config) :: t.best_configs
+      |> List.sort (fun (a, _) (b, _) -> compare b a)
+      |> List.filteri (fun i _ -> i < keep_best)
+  end;
+  (* ⑤ Incremental update: a couple of passes over the history keeps the
+     per-iteration cost linear (Figure 7's O(n)). *)
+  if Dataset.size t.dataset >= 4 then
+    ignore (Dtm.train t.dtm ~epochs:t.options.train_epochs t.dataset)
+
+let algorithm t =
+  Search_algorithm.make ~name:"deeptune"
+    ~propose:(fun ctx -> propose t ctx)
+    ~observe:(fun ctx entry -> observe t ctx entry)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parameter_impacts t =
+  let sensitivity = Dtm.feature_sensitivity t.dtm t.dataset in
+  Encoding.param_importance t.encoding sensitivity
+
+(* ------------------------------------------------------------------ *)
+(* Transfer learning                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type transfer = { model : Dtm.snapshot; incumbents : Space.configuration list }
+
+let export t =
+  { model = Dtm.export t.dtm; incumbents = List.map snd t.best_configs }
+
+let create_from ?options ?seed space transfer =
+  (* A pre-trained model needs no random warm-up: its very first proposals
+     already exploit the donor's knowledge (§4.2: the first configuration
+     found with TL is markedly better).  The donor's incumbent
+    configurations seed the candidate pool — they are what the transferred
+    model's exploitation knowledge points at. *)
+  let options = Option.value ~default:default_options options in
+  let t = create ~options:{ options with warmup = 0 } ?seed space in
+  Dtm.import t.dtm transfer.model;
+  let seeds =
+    List.filter (fun c -> Array.length c = Space.size space) transfer.incumbents
+  in
+  (* The donor's incumbents are evaluated first, verbatim: on a related
+     application they are the "markedly better first configuration" of
+     §4.2, and they carry no crash risk the donor has not already paid. *)
+  t.pending_seeds <- seeds;
+  t

@@ -1,0 +1,77 @@
+(** DeepTune: the neural-network search algorithm driving Wayfinder (§3.2).
+
+    Each iteration: generate a diverse pool of candidate configurations ①,
+    predict their crash probability / performance / uncertainty with the
+    DTM ②, rank them with the scoring function ③ (predicted performance
+    plus the eq.-3 exploration bonus, with crash-gating to skip candidates
+    the model expects to fail), hand the top candidate to the platform ④,
+    and fold the measured outcome back into the DTM ⑤.
+
+    Implements the platform's {!Wayfinder_platform.Search_algorithm} API.
+    A trained model can be {!export}ed and reused to warm-start the search
+    for a related application — the §3.3 transfer learning. *)
+
+module Space = Wayfinder_configspace.Space
+module Param = Wayfinder_configspace.Param
+module Rng = Wayfinder_tensor.Rng
+module Search_algorithm = Wayfinder_platform.Search_algorithm
+
+type options = {
+  pool_size : int;  (** Candidate pool per iteration (default 96; half of it
+          exploitation seeds once successes exist). *)
+  alpha : float;  (** Eq. 3 balance (default 0.5). *)
+  exploration_weight : float;
+      (** Weight of the sf bonus relative to the (z-scored) predicted
+          performance (default 1.0). *)
+  crash_penalty : float;
+      (** Soft penalty: the ranking subtracts [crash_penalty · k̂] so
+          likelier-to-crash candidates lose even below the hard gate
+          (default 3.0). *)
+  crash_gate : float option;
+      (** Skip candidates with [k̂] above this (default [Some 0.35]); if the
+          whole pool is gated the least-crashy candidate is taken.  [None]
+          disables gating (ablation). *)
+  warmup : int;  (** Random iterations before the DTM is consulted (default 10). *)
+  train_epochs : int;  (** Incremental-training passes per observation (default 1). *)
+  favor : Param.stage option;  (** Stage bias for pool generation. *)
+  favor_strong : float;  (** Vary probability for favored-stage parameters
+                             in fresh pool draws (default 0.6). *)
+  favor_weak : float;  (** Vary probability for the other stages
+                           (default 0.05). *)
+  dtm_config : Dtm.config;
+}
+
+val default_options : options
+
+type t
+(** The algorithm's mutable state: the DTM, the observation dataset and the
+    encoded history. *)
+
+val create : ?options:options -> ?seed:int -> Space.t -> t
+val algorithm : t -> Search_algorithm.t
+(** The pluggable view registered with the platform driver. *)
+
+val dtm : t -> Dtm.t
+val observations : t -> int
+
+val parameter_impacts : t -> (string * float) array
+(** Query the learned model for signed per-parameter performance impact
+    (§4.1's High-Impact analysis), sorted by descending impact. *)
+
+(** {1 Transfer learning (§3.3)} *)
+
+type transfer = {
+  model : Dtm.snapshot;
+  incumbents : Space.configuration list;
+      (** The donor's best configurations, used to seed the candidate
+          pool's exploitation half. *)
+}
+
+val export : t -> transfer
+
+val create_from : ?options:options -> ?seed:int -> Space.t -> transfer -> t
+(** Warm-started search: the DTM begins with the donor's weights (and
+    normaliser), so impactful parameters and crash regions are already
+    partially known, and the donor's incumbents seed exploitation.  The
+    random warm-up is skipped.  @raise Invalid_argument when the
+    snapshot's architecture does not fit this space's encoding. *)

@@ -1,0 +1,357 @@
+module Dataset = Wayfinder_tensor.Dataset
+module Vec = Wayfinder_tensor.Vec
+module Mat = Wayfinder_tensor.Mat
+module Rng = Wayfinder_tensor.Rng
+module Layer = Wayfinder_nn.Layer
+module Loss = Wayfinder_nn.Loss
+module Network = Wayfinder_nn.Network
+module Optimizer = Wayfinder_nn.Optimizer
+
+type config = {
+  hidden : int list;
+  dropout : float;
+  rbf_centroids : int;
+  rbf_gamma : float;
+  learning_rate : float;
+  weight_decay : float;
+  crash_pos_weight : float;
+}
+
+let default_config =
+  { hidden = [ 48; 24 ]; dropout = 0.05; rbf_centroids = 16; rbf_gamma = 1.0;
+    learning_rate = 1e-3; weight_decay = 5.0; crash_pos_weight = 3.0 }
+
+type t = {
+  cfg : config;
+  rng : Rng.t;
+  in_dim : int;
+  trunk : Network.t;
+  crash_head : Network.t;
+  perf_head : Network.t;
+  rbf_layers : Layer.Rbf.t array;  (* one per trunk hidden layer *)
+  optimizer : Optimizer.t;
+  mutable normalizer : Dataset.normalizer option;
+  mutable feature_stats_frozen : bool;
+      (* Set on import: the donor's feature statistics are kept (the
+         candidate generator is the same), only target statistics are
+         refitted — otherwise a handful of fresh rows would scramble the
+         input scaling the transferred weights expect. *)
+}
+
+let trunk_spec cfg =
+  List.concat_map (fun h -> [ `Dense h; `Relu; `Dropout cfg.dropout ]) cfg.hidden
+
+let create ?(config = default_config) rng ~in_dim =
+  if config.hidden = [] then invalid_arg "Dtm.create: empty hidden spec";
+  let trunk = Network.create rng ~in_dim (trunk_spec config) in
+  let last = List.nth config.hidden (List.length config.hidden - 1) in
+  let crash_head = Network.create rng ~in_dim:last [ `Dense 1 ] in
+  let perf_head = Network.create rng ~in_dim:last [ `Dense 2 ] in
+  let rbf_layers =
+    (* The squared distance in eq. 1 grows linearly with the layer width,
+       so the smoothing parameter is scaled by sqrt(width) to keep
+       activations informative at any dimensionality. *)
+    Array.of_list
+      (List.map
+         (fun h ->
+           Layer.Rbf.create rng ~in_dim:h ~centroids:config.rbf_centroids
+             ~gamma:(config.rbf_gamma *. sqrt (float_of_int h)))
+         config.hidden)
+  in
+  let params =
+    Network.params trunk @ Network.params crash_head @ Network.params perf_head
+    @ List.concat_map Layer.Rbf.params (Array.to_list rbf_layers)
+  in
+  { cfg = config;
+    rng = Rng.split rng;
+    in_dim;
+    trunk;
+    crash_head;
+    perf_head;
+    rbf_layers;
+    optimizer = Optimizer.adam ~lr:config.learning_rate ~weight_decay:config.weight_decay params;
+    normalizer = None;
+    feature_stats_frozen = false }
+
+let in_dim t = t.in_dim
+
+let identity_normalizer d =
+  { Dataset.means = Vec.zeros d; stds = Vec.create d 1.; t_mean = 0.; t_std = 1. }
+
+let normalizer t = match t.normalizer with Some n -> n | None -> identity_normalizer t.in_dim
+
+(* Features that were constant in the training data have a degenerate
+   (epsilon) standard deviation; a fresh sample differing there would map
+   to an astronomically large z-score and blow the trunk up.  Clamping the
+   normalised inputs keeps the model total over the whole space — the RBF
+   branch still flags such samples as maximally uncertain. *)
+let z_clip = 6.
+
+let normalize_input nz x =
+  Array.map
+    (fun v -> Stdlib.max (-.z_clip) (Stdlib.min z_clip v))
+    (Dataset.normalize_features nz x)
+
+(* ------------------------------------------------------------------ *)
+(* Prediction                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type prediction = {
+  crash_probability : float;
+  performance : float;
+  normalized_performance : float;
+  aleatoric_std : float;
+  uncertainty : float;
+}
+
+(* The dense activations the RBF branch consumes: the trunk records one
+   matrix per dense layer during the forward pass. *)
+let rbf_uncertainty t hidden =
+  let layer_scores =
+    Array.mapi
+      (fun i z ->
+        let phi = Layer.Rbf.forward t.rbf_layers.(i) z in
+        (* Max activation of the first (only) row. *)
+        let best = ref 0. in
+        for k = 0 to phi.Mat.cols - 1 do
+          if Mat.get phi 0 k > !best then best := Mat.get phi 0 k
+        done;
+        !best)
+      (Array.of_list hidden)
+  in
+  1. -. (Array.fold_left ( +. ) 0. layer_scores /. float_of_int (Array.length layer_scores))
+
+let predict t x =
+  if Vec.dim x <> t.in_dim then invalid_arg "Dtm.predict: feature dimension mismatch";
+  let nz = normalizer t in
+  let xn = normalize_input nz x in
+  let batch = Mat.of_rows [| xn |] in
+  let h = Network.forward t.trunk ~train:false t.rng batch in
+  let hidden = Network.hidden_after_forward t.trunk in
+  let crash_logit = Mat.get (Network.forward t.crash_head ~train:false t.rng h) 0 0 in
+  let perf = Network.forward t.perf_head ~train:false t.rng h in
+  let mu = Mat.get perf 0 0 and log_var = Mat.get perf 0 1 in
+  { crash_probability = Loss.sigmoid crash_logit;
+    performance = Dataset.denormalize_target nz mu;
+    normalized_performance = mu;
+    aleatoric_std = Dataset.denormalize_std nz (sqrt (exp (min 20. log_var)));
+    uncertainty = rbf_uncertainty t hidden }
+
+(* ------------------------------------------------------------------ *)
+(* Training                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type losses = { cce : float; reg : float; chamfer : float }
+
+let zero_losses = { cce = 0.; reg = 0.; chamfer = 0. }
+
+let train_batch t nz batch =
+  let b = Array.length batch in
+  let x = Mat.of_rows (Array.map (fun r -> normalize_input nz r.Dataset.features) batch) in
+  let crash_labels = Array.map (fun r -> if r.Dataset.crashed then 1. else 0.) batch in
+  let targets = Array.map (fun r -> Dataset.normalize_target nz r.Dataset.target) batch in
+  let mask = Array.map (fun r -> not r.Dataset.crashed) batch in
+  (* Forward. *)
+  let h = Network.forward t.trunk ~train:true t.rng x in
+  let hidden = Network.hidden_after_forward t.trunk in
+  let crash_out = Network.forward t.crash_head ~train:true t.rng h in
+  let perf_out = Network.forward t.perf_head ~train:true t.rng h in
+  let logits = Mat.col crash_out 0 in
+  let mu = Mat.col perf_out 0 and log_var = Mat.col perf_out 1 in
+  (* Losses and output gradients. *)
+  let l_cce, dlogits =
+    Loss.bce_with_logits ~pos_weight:t.cfg.crash_pos_weight ~logits ~targets:crash_labels ()
+  in
+  let l_reg, (dmu, ds) = Loss.heteroscedastic ~mu ~log_var ~targets ~mask in
+  (* Backward through the heads into the trunk. *)
+  let dcrash = Mat.init b 1 (fun i _ -> dlogits.(i)) in
+  let dperf = Mat.init b 2 (fun i j -> if j = 0 then dmu.(i) else ds.(i)) in
+  let dh = Mat.add (Network.backward t.crash_head dcrash) (Network.backward t.perf_head dperf) in
+  ignore (Network.backward t.trunk dh);
+  (* Chamfer regularisation fits the RBF centroids to the trunk's
+     activations; its gradient targets only the centroids (the uncertainty
+     branch does not back-propagate into the prediction branch). *)
+  let l_cham = ref 0. in
+  List.iteri
+    (fun i z ->
+      let rbf = t.rbf_layers.(i) in
+      let loss, dc = Loss.chamfer ~points:z ~centroids:(Layer.Rbf.centroid_matrix rbf) in
+      l_cham := !l_cham +. loss;
+      match Layer.Rbf.params rbf with
+      | [ c ] ->
+        Array.iteri
+          (fun k g -> c.Layer.grad.Mat.data.(k) <- c.Layer.grad.Mat.data.(k) +. g)
+          dc.Mat.data
+      | _ -> assert false)
+    hidden;
+  Optimizer.step t.optimizer;
+  { cce = l_cce; reg = l_reg; chamfer = !l_cham }
+
+let train t ?(epochs = 3) ?(batch_size = 32) dataset =
+  if Dataset.size dataset = 0 then zero_losses
+  else begin
+    let fresh = Dataset.fit_normalizer dataset in
+    let nz =
+      match (t.feature_stats_frozen, t.normalizer) with
+      | true, Some donor ->
+        { donor with Dataset.t_mean = fresh.Dataset.t_mean; t_std = fresh.Dataset.t_std }
+      | true, None | false, (Some _ | None) -> fresh
+    in
+    t.normalizer <- Some nz;
+    let last = ref zero_losses in
+    for _ = 1 to epochs do
+      let batches = Dataset.batches dataset t.rng ~batch_size in
+      let n = List.length batches in
+      let acc = ref zero_losses in
+      List.iter
+        (fun batch ->
+          let l = train_batch t nz batch in
+          acc :=
+            { cce = !acc.cce +. l.cce; reg = !acc.reg +. l.reg; chamfer = !acc.chamfer +. l.chamfer })
+        batches;
+      let scale = 1. /. float_of_int (max 1 n) in
+      last := { cce = !acc.cce *. scale; reg = !acc.reg *. scale; chamfer = !acc.chamfer *. scale }
+    done;
+    !last
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type accuracy = { failure_accuracy : float; run_accuracy : float; normalized_mae : float }
+
+let evaluate ?(crash_threshold = 0.3) t dataset =
+  let rows = Dataset.rows dataset in
+  let crash_hits = ref 0 and crash_total = ref 0 in
+  let run_hits = ref 0 and run_total = ref 0 in
+  let preds = ref [] and targets = ref [] in
+  Array.iter
+    (fun r ->
+      let p = predict t r.Dataset.features in
+      let predicted_crash = p.crash_probability > crash_threshold in
+      if r.Dataset.crashed then begin
+        incr crash_total;
+        if predicted_crash then incr crash_hits
+      end
+      else begin
+        incr run_total;
+        if not predicted_crash then incr run_hits;
+        preds := p.performance :: !preds;
+        targets := r.Dataset.target :: !targets
+      end)
+    rows;
+  let ratio hits total = if total = 0 then 0. else float_of_int hits /. float_of_int total in
+  { failure_accuracy = ratio !crash_hits !crash_total;
+    run_accuracy = ratio !run_hits !run_total;
+    normalized_mae =
+      Wayfinder_tensor.Stat.normalized_mae (Array.of_list !preds) (Array.of_list !targets) }
+
+(* ------------------------------------------------------------------ *)
+(* Sensitivity                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let max_sensitivity_rows = 48
+
+let feature_sensitivity t dataset =
+  let rows = Dataset.rows dataset in
+  let n = Array.length rows in
+  if n = 0 then Array.make t.in_dim 0.
+  else begin
+    let sample =
+      if n <= max_sensitivity_rows then rows
+      else Array.init max_sensitivity_rows (fun i -> rows.(i * n / max_sensitivity_rows))
+    in
+    Array.init t.in_dim (fun j ->
+        let column = Array.map (fun r -> r.Dataset.features.(j)) rows in
+        let lo = Wayfinder_tensor.Stat.quantile column 0.1 in
+        let hi = Wayfinder_tensor.Stat.quantile column 0.9 in
+        if hi -. lo < 1e-12 then 0.
+        else begin
+          let acc = ref 0. in
+          Array.iter
+            (fun r ->
+              let v = Vec.copy r.Dataset.features in
+              v.(j) <- hi;
+              let up = (predict t v).performance in
+              v.(j) <- lo;
+              let down = (predict t v).performance in
+              acc := !acc +. (up -. down))
+            sample;
+          !acc /. float_of_int (Array.length sample)
+        end)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots (transfer learning)                                       *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  s_trunk : float array;
+  s_crash : float array;
+  s_perf : float array;
+  s_centroids : float array array;
+  s_norm : float array;  (* means @ stds @ [t_mean; t_std] *)
+}
+
+let export t =
+  let nz = normalizer t in
+  { s_trunk = Network.save_weights t.trunk;
+    s_crash = Network.save_weights t.crash_head;
+    s_perf = Network.save_weights t.perf_head;
+    s_centroids =
+      Array.map (fun r -> Array.copy (Layer.Rbf.centroid_matrix r).Mat.data) t.rbf_layers;
+    s_norm = Array.concat [ nz.Dataset.means; nz.Dataset.stds; [| nz.Dataset.t_mean; nz.Dataset.t_std |] ] }
+
+let import t s =
+  Network.load_weights t.trunk s.s_trunk;
+  Network.load_weights t.crash_head s.s_crash;
+  Network.load_weights t.perf_head s.s_perf;
+  if Array.length s.s_centroids <> Array.length t.rbf_layers then
+    invalid_arg "Dtm.import: RBF layer count mismatch";
+  Array.iteri
+    (fun i data ->
+      let c = Layer.Rbf.centroid_matrix t.rbf_layers.(i) in
+      if Array.length data <> Array.length c.Mat.data then
+        invalid_arg "Dtm.import: centroid shape mismatch";
+      Array.blit data 0 c.Mat.data 0 (Array.length data))
+    s.s_centroids;
+  let d = t.in_dim in
+  if Array.length s.s_norm <> (2 * d) + 2 then invalid_arg "Dtm.import: normalizer size mismatch";
+  t.normalizer <-
+    Some
+      { Dataset.means = Array.sub s.s_norm 0 d;
+        stds = Array.sub s.s_norm d d;
+        t_mean = s.s_norm.((2 * d));
+        t_std = s.s_norm.((2 * d) + 1) };
+  t.feature_stats_frozen <- true
+
+let snapshot_to_floats s =
+  let sizes =
+    [| Array.length s.s_trunk; Array.length s.s_crash; Array.length s.s_perf;
+       Array.length s.s_centroids |]
+  in
+  let centroid_sizes = Array.map Array.length s.s_centroids in
+  Array.concat
+    ([ Array.map float_of_int sizes; Array.map float_of_int centroid_sizes; s.s_trunk; s.s_crash;
+       s.s_perf ]
+    @ Array.to_list s.s_centroids
+    @ [ s.s_norm ])
+
+let snapshot_of_floats flat =
+  if Array.length flat < 4 then invalid_arg "Dtm.snapshot_of_floats: truncated";
+  let int_at i = int_of_float flat.(i) in
+  let n_trunk = int_at 0 and n_crash = int_at 1 and n_perf = int_at 2 and n_rbf = int_at 3 in
+  let centroid_sizes = Array.init n_rbf (fun i -> int_of_float flat.(4 + i)) in
+  let pos = ref (4 + n_rbf) in
+  let take n =
+    let out = Array.sub flat !pos n in
+    pos := !pos + n;
+    out
+  in
+  let s_trunk = take n_trunk in
+  let s_crash = take n_crash in
+  let s_perf = take n_perf in
+  let s_centroids = Array.map take centroid_sizes in
+  let s_norm = Array.sub flat !pos (Array.length flat - !pos) in
+  { s_trunk; s_crash; s_perf; s_centroids; s_norm }

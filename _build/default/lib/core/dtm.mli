@@ -1,0 +1,102 @@
+(** The DeepTune Model (DTM, §3.2, Figure 4).
+
+    A multitask neural network [F(x) → (k̂, ŷ, σ̂)] mapping a configuration's
+    feature encoding to its crash probability, expected performance, and
+    prediction uncertainty:
+
+    - the {e prediction branch} [F^p] is a dense/ReLU/dropout trunk with two
+      heads — a crash logit trained with the cross-entropy loss [L_CCE], and
+      a heteroscedastic regression head (mean and log-variance) trained with
+      the Kendall–Gal loss [L_Reg];
+    - the {e uncertainty branch} [F^u] is a stack of Gaussian RBF layers
+      (eq. 1), one parallel to each trunk layer, whose centroids are fitted
+      to the trunk's activations by the Chamfer loss [L_Cham]; an input far
+      from every centroid activates weakly, so
+      [σ̂ = 1 − mean_layers (max_k φ_k)] is high exactly on outliers.
+
+    Features and performance targets are z-score normalised from the
+    training set.  Training is incremental: each {!train} call makes a few
+    passes over the current history, so per-iteration cost stays linear in
+    the history size (the O(n) curve of Figure 7). *)
+
+module Dataset = Wayfinder_tensor.Dataset
+module Vec = Wayfinder_tensor.Vec
+module Rng = Wayfinder_tensor.Rng
+
+type config = {
+  hidden : int list;  (** Trunk widths, default [\[48; 24\]]. *)
+  dropout : float;  (** Default 0.05. *)
+  rbf_centroids : int;  (** Per RBF layer, default 16. *)
+  rbf_gamma : float;  (** Per-dimension smoothing over trunk activations,
+                          default 1.0 (the layer scales it by the square
+                          root of its width; the paper's 0.1 applies to
+                          z-scored raw features). *)
+  learning_rate : float;  (** Adam, default 1e-3. *)
+  weight_decay : float;  (** Decoupled (AdamW) decay, default 5.0 — the
+                             search trains on few, high-dimensional samples
+                             and overfits without it. *)
+  crash_pos_weight : float;  (** Weight of crash samples in [L_CCE]
+                                 (default 3.0): recall-heavy crash
+                                 prediction, matching §4.3's reliance on
+                                 failure accuracy over run accuracy. *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Rng.t -> in_dim:int -> t
+val in_dim : t -> int
+
+type prediction = {
+  crash_probability : float;  (** k̂ ∈ (0, 1). *)
+  performance : float;  (** ŷ, de-normalised to metric-score units. *)
+  normalized_performance : float;  (** ŷ in the model's z-score units —
+      the scale candidate ranking happens in. *)
+  aleatoric_std : float;  (** √exp(s) from the regression head, de-normalised. *)
+  uncertainty : float;  (** σ̂ ∈ \[0, 1\] from the RBF branch. *)
+}
+
+val predict : t -> Vec.t -> prediction
+(** Raw (un-normalised) feature vector in, prediction out.  Before any
+    {!train} call the model returns its untrained outputs. *)
+
+type losses = { cce : float; reg : float; chamfer : float }
+
+val train : t -> ?epochs:int -> ?batch_size:int -> Dataset.t -> losses
+(** Re-fit the normaliser on the dataset and run [epochs] (default 3)
+    passes of mini-batch Adam (batch 32).  Returns the final epoch's mean
+    loss components [L = L_CCE + L_Reg + L_Cham].  Empty datasets are a
+    no-op returning zeros. *)
+
+(** {1 Evaluation (Table 3)} *)
+
+type accuracy = {
+  failure_accuracy : float;  (** Recall on crashing configurations. *)
+  run_accuracy : float;  (** Recall on successful configurations. *)
+  normalized_mae : float;  (** Performance-prediction MAE / target range. *)
+}
+
+val evaluate : ?crash_threshold:float -> t -> Dataset.t -> accuracy
+(** [crash_threshold] (default 0.3): predict "crash" when [k̂] exceeds it.
+    The low threshold reflects the paper's use of the model (§4.3: failure
+    accuracy is trusted, run accuracy is not). *)
+
+(** {1 Model introspection (§4.1 High-Impact parameters)} *)
+
+val feature_sensitivity : t -> Dataset.t -> float array
+(** Signed per-feature impact on predicted performance: the change in [ŷ]
+    when feature [j] moves from its observed 10th to its 90th percentile,
+    averaged over the dataset rows.  Positive = raising the feature raises
+    predicted performance. *)
+
+(** {1 Transfer learning (§3.3)} *)
+
+type snapshot
+
+val export : t -> snapshot
+val import : t -> snapshot -> unit
+(** @raise Invalid_argument on architecture mismatch. *)
+
+val snapshot_to_floats : snapshot -> float array
+val snapshot_of_floats : float array -> snapshot

@@ -1,0 +1,206 @@
+module Vec = Wayfinder_tensor.Vec
+module Mat = Wayfinder_tensor.Mat
+module Rng = Wayfinder_tensor.Rng
+module Stat = Wayfinder_tensor.Stat
+module Layer = Wayfinder_nn.Layer
+module Loss = Wayfinder_nn.Loss
+module Network = Wayfinder_nn.Network
+module Optimizer = Wayfinder_nn.Optimizer
+
+type row = { features : Vec.t; targets : float array; crashed : bool }
+
+type t = {
+  cfg : Dtm.config;
+  rng : Rng.t;
+  in_dim : int;
+  n_metrics : int;
+  trunk : Network.t;
+  crash_head : Network.t;
+  perf_head : Network.t;  (* 2 outputs per metric: (mu_k, s_k) *)
+  rbf_layers : Layer.Rbf.t array;
+  optimizer : Optimizer.t;
+  mutable rows : row list;  (* newest first *)
+  mutable count : int;
+  (* z-score parameters, refitted by [train] *)
+  mutable f_means : Vec.t;
+  mutable f_stds : Vec.t;
+  mutable t_means : float array;
+  mutable t_stds : float array;
+}
+
+let z_clip = 6.
+
+let create ?(config = Dtm.default_config) rng ~in_dim ~n_metrics =
+  if n_metrics < 1 then invalid_arg "Dtm_multi.create: n_metrics < 1";
+  if config.Dtm.hidden = [] then invalid_arg "Dtm_multi.create: empty hidden spec";
+  let trunk_spec =
+    List.concat_map
+      (fun h -> [ `Dense h; `Relu; `Dropout config.Dtm.dropout ])
+      config.Dtm.hidden
+  in
+  let trunk = Network.create rng ~in_dim trunk_spec in
+  let last = List.nth config.Dtm.hidden (List.length config.Dtm.hidden - 1) in
+  let crash_head = Network.create rng ~in_dim:last [ `Dense 1 ] in
+  let perf_head = Network.create rng ~in_dim:last [ `Dense (2 * n_metrics) ] in
+  let rbf_layers =
+    Array.of_list
+      (List.map
+         (fun h ->
+           Layer.Rbf.create rng ~in_dim:h ~centroids:config.Dtm.rbf_centroids
+             ~gamma:(config.Dtm.rbf_gamma *. sqrt (float_of_int h)))
+         config.Dtm.hidden)
+  in
+  let params =
+    Network.params trunk @ Network.params crash_head @ Network.params perf_head
+    @ List.concat_map Layer.Rbf.params (Array.to_list rbf_layers)
+  in
+  { cfg = config;
+    rng = Rng.split rng;
+    in_dim;
+    n_metrics;
+    trunk;
+    crash_head;
+    perf_head;
+    rbf_layers;
+    optimizer =
+      Optimizer.adam ~lr:config.Dtm.learning_rate ~weight_decay:config.Dtm.weight_decay params;
+    rows = [];
+    count = 0;
+    f_means = Vec.zeros in_dim;
+    f_stds = Vec.create in_dim 1.;
+    t_means = Array.make n_metrics 0.;
+    t_stds = Array.make n_metrics 1. }
+
+let in_dim t = t.in_dim
+let n_metrics t = t.n_metrics
+let observations t = t.count
+
+let add t row =
+  if Vec.dim row.features <> t.in_dim then invalid_arg "Dtm_multi.add: feature dim mismatch";
+  if Array.length row.targets <> t.n_metrics then
+    invalid_arg "Dtm_multi.add: target count mismatch";
+  t.rows <- row :: t.rows;
+  t.count <- t.count + 1
+
+let normalize_features t x =
+  Array.mapi
+    (fun j v ->
+      let z = Stat.zscore ~mean:t.f_means.(j) ~std:t.f_stds.(j) v in
+      Stdlib.max (-.z_clip) (Stdlib.min z_clip z))
+    x
+
+type prediction = {
+  crash_probability : float;
+  performances : float array;
+  normalized_performances : float array;
+  uncertainty : float;
+}
+
+let rbf_uncertainty t hidden =
+  let scores =
+    List.mapi
+      (fun i z ->
+        let phi = Layer.Rbf.forward t.rbf_layers.(i) z in
+        let best = ref 0. in
+        for k = 0 to phi.Mat.cols - 1 do
+          if Mat.get phi 0 k > !best then best := Mat.get phi 0 k
+        done;
+        !best)
+      hidden
+  in
+  1. -. (List.fold_left ( +. ) 0. scores /. float_of_int (List.length scores))
+
+let predict t x =
+  if Vec.dim x <> t.in_dim then invalid_arg "Dtm_multi.predict: feature dim mismatch";
+  let batch = Mat.of_rows [| normalize_features t x |] in
+  let h = Network.forward t.trunk ~train:false t.rng batch in
+  let hidden = Network.hidden_after_forward t.trunk in
+  let crash_logit = Mat.get (Network.forward t.crash_head ~train:false t.rng h) 0 0 in
+  let perf = Network.forward t.perf_head ~train:false t.rng h in
+  let normalized = Array.init t.n_metrics (fun k -> Mat.get perf 0 (2 * k)) in
+  { crash_probability = Loss.sigmoid crash_logit;
+    performances =
+      Array.mapi (fun k mu -> (mu *. t.t_stds.(k)) +. t.t_means.(k)) normalized;
+    normalized_performances = normalized;
+    uncertainty = rbf_uncertainty t hidden }
+
+let refit_normalizers t =
+  let all = Array.of_list t.rows in
+  for j = 0 to t.in_dim - 1 do
+    let column = Array.map (fun r -> r.features.(j)) all in
+    let m, s = Stat.zscore_params column in
+    t.f_means.(j) <- m;
+    t.f_stds.(j) <- s
+  done;
+  for k = 0 to t.n_metrics - 1 do
+    let ok =
+      Array.of_list
+        (List.filter_map (fun r -> if r.crashed then None else Some r.targets.(k)) t.rows)
+    in
+    if Array.length ok > 0 then begin
+      let m, s = Stat.zscore_params ok in
+      t.t_means.(k) <- m;
+      t.t_stds.(k) <- s
+    end
+  done
+
+let train_batch t batch =
+  let b = Array.length batch in
+  let x = Mat.of_rows (Array.map (fun r -> normalize_features t r.features) batch) in
+  let crash_labels = Array.map (fun r -> if r.crashed then 1. else 0.) batch in
+  let mask = Array.map (fun r -> not r.crashed) batch in
+  let h = Network.forward t.trunk ~train:true t.rng x in
+  let hidden = Network.hidden_after_forward t.trunk in
+  let crash_out = Network.forward t.crash_head ~train:true t.rng h in
+  let perf_out = Network.forward t.perf_head ~train:true t.rng h in
+  let _, dlogits =
+    Loss.bce_with_logits ~pos_weight:t.cfg.Dtm.crash_pos_weight ~logits:(Mat.col crash_out 0)
+      ~targets:crash_labels ()
+  in
+  (* One heteroscedastic loss per metric, gradients interleaved into the
+     2k-wide head. *)
+  let dperf = Mat.zeros b (2 * t.n_metrics) in
+  for k = 0 to t.n_metrics - 1 do
+    let mu = Mat.col perf_out (2 * k) and log_var = Mat.col perf_out ((2 * k) + 1) in
+    let targets =
+      Array.map (fun r -> (r.targets.(k) -. t.t_means.(k)) /. t.t_stds.(k)) batch
+    in
+    let _, (dmu, ds) = Loss.heteroscedastic ~mu ~log_var ~targets ~mask in
+    for i = 0 to b - 1 do
+      Mat.set dperf i (2 * k) dmu.(i);
+      Mat.set dperf i ((2 * k) + 1) ds.(i)
+    done
+  done;
+  let dcrash = Mat.init b 1 (fun i _ -> dlogits.(i)) in
+  let dh = Mat.add (Network.backward t.crash_head dcrash) (Network.backward t.perf_head dperf) in
+  ignore (Network.backward t.trunk dh);
+  List.iteri
+    (fun i z ->
+      let rbf = t.rbf_layers.(i) in
+      let _, dc = Loss.chamfer ~points:z ~centroids:(Layer.Rbf.centroid_matrix rbf) in
+      match Layer.Rbf.params rbf with
+      | [ c ] ->
+        Array.iteri
+          (fun j g -> c.Layer.grad.Mat.data.(j) <- c.Layer.grad.Mat.data.(j) +. g)
+          dc.Mat.data
+      | _ -> assert false)
+    hidden;
+  Optimizer.step t.optimizer
+
+let train t ?(epochs = 1) ?(batch_size = 32) () =
+  if t.count >= 2 then begin
+    refit_normalizers t;
+    let all = Array.of_list t.rows in
+    for _ = 1 to epochs do
+      Rng.shuffle t.rng all;
+      let n = Array.length all in
+      let rec batches start =
+        if start < n then begin
+          let len = Stdlib.min batch_size (n - start) in
+          train_batch t (Array.sub all start len);
+          batches (start + len)
+        end
+      in
+      batches 0
+    done
+  end

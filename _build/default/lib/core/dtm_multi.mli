@@ -1,0 +1,44 @@
+(** Multi-metric DeepTune Model — the extension sketched at the end of
+    §3.2: "it can be extended to handle multiple metrics by adding
+    additional output layers to F^p and F^u".
+
+    Identical architecture to {!Dtm} except the regression head carries one
+    (mean, log-variance) pair per metric; the crash head and the RBF
+    uncertainty branch are shared (a configuration either runs or it does
+    not, and novelty is metric-independent).  During scoring, eq. 3 is
+    applied per metric and the per-metric ranks are combined by a weighted
+    average (see {!Multi_objective}). *)
+
+module Vec = Wayfinder_tensor.Vec
+module Rng = Wayfinder_tensor.Rng
+
+type t
+
+type row = { features : Vec.t; targets : float array; crashed : bool }
+(** One observation: [targets] are higher-is-better scores, one per
+    metric (ignored when [crashed]). *)
+
+val create : ?config:Dtm.config -> Rng.t -> in_dim:int -> n_metrics:int -> t
+(** @raise Invalid_argument if [n_metrics < 1]. *)
+
+val in_dim : t -> int
+val n_metrics : t -> int
+
+type prediction = {
+  crash_probability : float;
+  performances : float array;  (** De-normalised, one per metric. *)
+  normalized_performances : float array;  (** Model (z-score) units. *)
+  uncertainty : float;  (** Shared RBF σ̂ ∈ [0, 1]. *)
+}
+
+val predict : t -> Vec.t -> prediction
+
+val add : t -> row -> unit
+(** Append an observation ({!train} consumes everything added so far).
+    @raise Invalid_argument on dimension mismatches. *)
+
+val observations : t -> int
+
+val train : t -> ?epochs:int -> ?batch_size:int -> unit -> unit
+(** Incremental passes over the accumulated observations; refits per-metric
+    target normalisation.  No-op with fewer than 2 observations. *)

@@ -1,0 +1,14 @@
+module Vec = Wayfinder_tensor.Vec
+
+let dissimilarity x known =
+  match known with
+  | [] -> 1.
+  | _ :: _ ->
+    let nearest =
+      List.fold_left (fun acc k -> Stdlib.min acc (Vec.sq_dist x k)) infinity known
+    in
+    1. -. (1. /. (1. +. nearest))
+
+let score ?(alpha = 0.5) ~dissimilarity ~uncertainty () =
+  if alpha < 0. || alpha > 1. then invalid_arg "Scoring.score: alpha outside [0, 1]";
+  (alpha *. dissimilarity) +. ((1. -. alpha) *. uncertainty)

@@ -1,0 +1,1 @@
+lib/forest/forest.ml: Array Tree Wayfinder_tensor

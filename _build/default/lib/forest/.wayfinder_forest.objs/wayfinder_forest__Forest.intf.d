@@ -1,0 +1,1 @@
+lib/forest/forest.mli: Wayfinder_tensor

@@ -1,0 +1,1 @@
+lib/forest/tree.ml: Array List Wayfinder_tensor

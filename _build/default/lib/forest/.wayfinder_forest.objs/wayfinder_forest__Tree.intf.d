@@ -1,0 +1,1 @@
+lib/forest/tree.mli: Wayfinder_tensor

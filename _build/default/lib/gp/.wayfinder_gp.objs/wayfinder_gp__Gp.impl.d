@@ -1,0 +1,1 @@
+lib/gp/gp.ml: Array Float Kernel List Wayfinder_tensor

@@ -1,0 +1,1 @@
+lib/gp/gp.mli: Kernel Wayfinder_tensor

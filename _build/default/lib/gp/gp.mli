@@ -1,0 +1,45 @@
+(** Gaussian-process regression.
+
+    Exact GP inference: fitting factorises the [n × n] Gram matrix with a
+    Cholesky decomposition — O(n³) time, O(n²) memory — and adding a data
+    point requires a full refit.  These are precisely the scalability
+    limitations §2.3 attributes to Bayesian optimization, so this module
+    doubles as the measured subject in the Figure 7 comparison context. *)
+
+module Vec = Wayfinder_tensor.Vec
+module Mat = Wayfinder_tensor.Mat
+
+type t
+
+val fit : ?noise:float -> Kernel.t -> Mat.t -> Vec.t -> t
+(** [fit kernel x y] with rows of [x] as inputs.  [noise] (default 1e-4) is
+    the observation-noise variance added to the Gram diagonal.
+    @raise Invalid_argument if row/target counts differ or there is no
+    data. *)
+
+val fit_auto : ?noise:float -> ?lengthscales:float list -> Mat.t -> Vec.t -> t
+(** Squared-exponential GP with the lengthscale selected by log marginal
+    likelihood over a small grid (default
+    [\[0.25; 0.5; 1.0; 1.5; 2.5; 4.0\]]) — the standard type-II maximum
+    likelihood model selection. *)
+
+val size : t -> int
+(** Number of training points. *)
+
+val predict : t -> Vec.t -> float * float
+(** [(posterior mean, posterior variance)]; the variance includes the
+    observation noise floor and is clamped at 0. *)
+
+val log_marginal_likelihood : t -> float
+
+val mean_only : t -> Vec.t -> float
+
+(** {1 Standard-normal helpers} (for acquisition functions) *)
+
+val std_normal_pdf : float -> float
+val std_normal_cdf : float -> float
+(** Abramowitz–Stegun erf approximation; absolute error < 1.5e-7. *)
+
+val expected_improvement : t -> best:float -> Vec.t -> float
+(** EI for *maximisation*: [E\[max(f(x) - best, 0)\]] under the posterior.
+    Zero when the posterior is degenerate. *)

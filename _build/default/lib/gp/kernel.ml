@@ -1,0 +1,33 @@
+module Vec = Wayfinder_tensor.Vec
+module Mat = Wayfinder_tensor.Mat
+
+type t =
+  | Squared_exponential of { lengthscale : float; variance : float }
+  | Matern52 of { lengthscale : float; variance : float }
+
+let default = Squared_exponential { lengthscale = 1.; variance = 1. }
+
+let eval k a b =
+  match k with
+  | Squared_exponential { lengthscale; variance } ->
+    let r2 = Vec.sq_dist a b in
+    variance *. exp (-.r2 /. (2. *. lengthscale *. lengthscale))
+  | Matern52 { lengthscale; variance } ->
+    let r = Vec.dist a b /. lengthscale in
+    let c = sqrt 5. *. r in
+    variance *. (1. +. c +. (5. *. r *. r /. 3.)) *. exp (-.c)
+
+let gram k x =
+  let n = x.Mat.rows in
+  let out = Mat.zeros n n in
+  let rows = Mat.to_rows x in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let v = eval k rows.(i) rows.(j) in
+      Mat.set out i j v;
+      Mat.set out j i v
+    done
+  done;
+  out
+
+let cross k x q = Array.map (fun row -> eval k row q) (Mat.to_rows x)

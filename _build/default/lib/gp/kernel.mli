@@ -1,0 +1,21 @@
+(** Covariance kernels for Gaussian-process regression.
+
+    The Bayesian-optimization baseline of §2.3/§4.4 models the objective
+    with a GP.  Both stationary kernels here operate on the feature
+    encodings of configurations. *)
+
+type t =
+  | Squared_exponential of { lengthscale : float; variance : float }
+  | Matern52 of { lengthscale : float; variance : float }
+
+val default : t
+(** Squared-exponential with lengthscale 1 and unit variance. *)
+
+val eval : t -> Wayfinder_tensor.Vec.t -> Wayfinder_tensor.Vec.t -> float
+
+val gram : t -> Wayfinder_tensor.Mat.t -> Wayfinder_tensor.Mat.t
+(** [gram k x] where rows of [x] are inputs: the symmetric matrix
+    [K(i,j) = k(x_i, x_j)]. *)
+
+val cross : t -> Wayfinder_tensor.Mat.t -> Wayfinder_tensor.Vec.t -> Wayfinder_tensor.Vec.t
+(** [cross k x q] is the vector [k(x_i, q)]. *)

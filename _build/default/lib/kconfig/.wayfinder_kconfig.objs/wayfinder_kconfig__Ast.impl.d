@@ -1,0 +1,1 @@
+lib/kconfig/ast.ml: Buffer Format List Printf String Tristate

@@ -1,0 +1,1 @@
+lib/kconfig/ast.mli: Format Tristate

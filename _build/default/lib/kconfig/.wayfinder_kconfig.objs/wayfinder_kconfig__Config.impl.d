@@ -1,0 +1,1 @@
+lib/kconfig/config.ml: Ast Format Hashtbl List Option Stdlib String Tristate

@@ -1,0 +1,1 @@
+lib/kconfig/config.mli: Ast Format Tristate

@@ -1,0 +1,1 @@
+lib/kconfig/dotconfig.ml: Ast Buffer Config List Printf Scanf String Tristate

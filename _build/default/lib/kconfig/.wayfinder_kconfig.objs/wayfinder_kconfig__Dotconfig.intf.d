@@ -1,0 +1,1 @@
+lib/kconfig/dotconfig.mli: Ast Config

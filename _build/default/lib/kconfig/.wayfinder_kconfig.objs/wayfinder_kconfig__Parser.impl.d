@@ -1,0 +1,1 @@
+lib/kconfig/parser.ml: Ast Buffer List Option Printf String Tristate

@@ -1,0 +1,1 @@
+lib/kconfig/parser.mli: Ast

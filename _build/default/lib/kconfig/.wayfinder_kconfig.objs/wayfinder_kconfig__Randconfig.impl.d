@@ -1,0 +1,1 @@
+lib/kconfig/randconfig.ml: Array Ast Config Hashtbl List Tristate Wayfinder_tensor

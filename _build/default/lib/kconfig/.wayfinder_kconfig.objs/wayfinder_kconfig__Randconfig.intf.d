@@ -1,0 +1,1 @@
+lib/kconfig/randconfig.mli: Ast Config Wayfinder_tensor

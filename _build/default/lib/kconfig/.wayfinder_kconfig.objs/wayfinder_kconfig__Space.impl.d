@@ -1,0 +1,1 @@
+lib/kconfig/space.ml: Ast Config Format Hashtbl List Option Tristate

@@ -1,0 +1,1 @@
+lib/kconfig/space.mli: Ast Config Format

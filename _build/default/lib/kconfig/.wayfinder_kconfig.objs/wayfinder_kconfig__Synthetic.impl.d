@@ -1,0 +1,1 @@
+lib/kconfig/synthetic.ml: Array Ast List Printf String Tristate Wayfinder_tensor

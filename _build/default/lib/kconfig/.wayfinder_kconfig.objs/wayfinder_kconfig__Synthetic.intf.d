@@ -1,0 +1,1 @@
+lib/kconfig/synthetic.mli: Ast

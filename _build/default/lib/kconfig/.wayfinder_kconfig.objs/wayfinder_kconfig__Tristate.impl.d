@@ -1,0 +1,1 @@
+lib/kconfig/tristate.ml: Format Stdlib

@@ -1,0 +1,35 @@
+(** Reading and writing kernel [.config] files.
+
+    The concrete configuration format the kernel build system consumes:
+
+    {v
+    # Linux kernel configuration
+    CONFIG_NET=y
+    CONFIG_NET_FASTPATH=m
+    CONFIG_NET_BACKLOG=128
+    CONFIG_NET_VENDOR="generic"
+    CONFIG_PCI_BASE=0x1000
+    # CONFIG_CRYPTO_HW is not set
+    v}
+
+    Wayfinder's platform materialises every explored compile-time
+    configuration as such a file before the (simulated) build, and the
+    parser lets users import an existing kernel configuration as a search
+    starting point. *)
+
+exception Parse_error of { line : int; message : string }
+
+val to_string : ?prefix:string -> Config.t -> string
+(** Render an assignment.  Symbols set to [n] are emitted as
+    ["# <prefix><name> is not set"]; hex symbols are written as [0x..].
+    [prefix] defaults to ["CONFIG_"]. *)
+
+val parse : ?prefix:string -> Ast.tree -> string -> Config.t
+(** Parse a [.config] text against a tree: values are type-checked against
+    each symbol's declaration ([y]/[m]/[n], decimal or hex integers, quoted
+    strings); unset lines assign [n].  Unknown symbols and ill-typed values
+    raise {!Parse_error} with a 1-based line number. *)
+
+val roundtrip_equal : Config.t -> Config.t -> bool
+(** Structural equality of two assignments over the same tree (unset and
+    [n] are identified for bool/tristate symbols). *)

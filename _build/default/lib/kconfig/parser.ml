@@ -1,0 +1,413 @@
+exception Error of { line : int; message : string }
+
+let fail line message = raise (Error { line; message })
+
+(* ------------------------------------------------------------------ *)
+(* Expression lexing and parsing                                       *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tsym of string
+  | Tnot
+  | Tand
+  | Tor
+  | Teq
+  | Tneq
+  | Tlparen
+  | Trparen
+
+let is_sym_char c =
+  (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_'
+
+let tokenize_expr line s =
+  let n = String.length s in
+  let rec scan i acc =
+    if i >= n then List.rev acc
+    else
+      match s.[i] with
+      | ' ' | '\t' -> scan (i + 1) acc
+      | '(' -> scan (i + 1) (Tlparen :: acc)
+      | ')' -> scan (i + 1) (Trparen :: acc)
+      | '=' -> scan (i + 1) (Teq :: acc)
+      | '!' when i + 1 < n && s.[i + 1] = '=' -> scan (i + 2) (Tneq :: acc)
+      | '!' -> scan (i + 1) (Tnot :: acc)
+      | '&' when i + 1 < n && s.[i + 1] = '&' -> scan (i + 2) (Tand :: acc)
+      | '|' when i + 1 < n && s.[i + 1] = '|' -> scan (i + 2) (Tor :: acc)
+      | '"' ->
+        let rec close j = if j >= n then fail line "unterminated string in expression"
+          else if s.[j] = '"' then j else close (j + 1)
+        in
+        let j = close (i + 1) in
+        scan (j + 1) (Tsym (String.sub s (i + 1) (j - i - 1)) :: acc)
+      | c when is_sym_char c ->
+        let rec stop j = if j < n && is_sym_char s.[j] then stop (j + 1) else j in
+        let j = stop i in
+        scan j (Tsym (String.sub s i (j - i)) :: acc)
+      | c -> fail line (Printf.sprintf "unexpected character %C in expression" c)
+  in
+  scan 0 []
+
+(* Grammar (standard Kconfig precedence):
+     or   ::= and ('||' and)*
+     and  ::= not ('&&' not)*
+     not  ::= '!' not | cmp
+     cmp  ::= atom (('='|'!=') atom)?
+     atom ::= SYMBOL | '(' or ')'                                       *)
+let parse_expr_tokens line tokens =
+  let toks = ref tokens in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () = match !toks with [] -> fail line "unexpected end of expression" | _ :: r -> toks := r in
+  let atom_symbol () =
+    match peek () with
+    | Some (Tsym s) -> advance (); s
+    | _ -> fail line "expected symbol in expression"
+  in
+  let rec parse_or () =
+    let left = parse_and () in
+    match peek () with
+    | Some Tor -> advance (); Ast.Or (left, parse_or ())
+    | _ -> left
+  and parse_and () =
+    let left = parse_not () in
+    match peek () with
+    | Some Tand -> advance (); Ast.And (left, parse_and ())
+    | _ -> left
+  and parse_not () =
+    match peek () with
+    | Some Tnot -> advance (); Ast.Not (parse_not ())
+    | _ -> parse_cmp ()
+  and parse_cmp () =
+    match peek () with
+    | Some Tlparen ->
+      advance ();
+      let e = parse_or () in
+      (match peek () with
+       | Some Trparen -> advance (); e
+       | _ -> fail line "expected ')'")
+    | Some (Tsym _) -> begin
+      let a = atom_symbol () in
+      match peek () with
+      | Some Teq -> advance (); Ast.Eq (a, atom_symbol ())
+      | Some Tneq -> advance (); Ast.Neq (a, atom_symbol ())
+      | _ -> (
+        match Tristate.of_string a with
+        | Some t -> Ast.Const t
+        | None -> Ast.Symbol a)
+    end
+    | Some _ | None -> fail line "expected expression atom"
+  in
+  let e = parse_or () in
+  if !toks <> [] then fail line "trailing tokens in expression";
+  e
+
+let parse_expr_at line s = parse_expr_tokens line (tokenize_expr line s)
+let parse_expr s = parse_expr_at 0 s
+
+(* ------------------------------------------------------------------ *)
+(* Line-level scanning                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type line = { indent : int; text : string; lineno : int }
+
+let scan_lines source =
+  String.split_on_char '\n' source
+  |> List.mapi (fun i raw ->
+         let raw =
+           if String.length raw > 0 && raw.[String.length raw - 1] = '\r' then
+             String.sub raw 0 (String.length raw - 1)
+           else raw
+         in
+         let n = String.length raw in
+         (* Tabs count as indentation width 8, matching kernel style. *)
+         let rec measure i acc =
+           if i >= n then (i, acc)
+           else
+             match raw.[i] with
+             | ' ' -> measure (i + 1) (acc + 1)
+             | '\t' -> measure (i + 1) (acc + 8)
+             | _ -> (i, acc)
+         in
+         let start, indent = measure 0 0 in
+         let text = String.sub raw start (n - start) in
+         { indent; text; lineno = i + 1 })
+
+let is_comment l = String.length l.text > 0 && l.text.[0] = '#'
+let is_blank l = l.text = ""
+
+(* Split the first word from the rest of a line. *)
+let split_word s =
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+
+let parse_quoted line s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then String.sub s 1 (n - 2)
+  else fail line (Printf.sprintf "expected quoted string, got %S" s)
+
+(* Split "VALUE if EXPR" into the value text and the optional condition,
+   honouring quotes so an embedded " if " inside a string is preserved. *)
+let split_if line s =
+  let n = String.length s in
+  let rec scan i in_quote =
+    if i + 4 > n then None
+    else if s.[i] = '"' then scan (i + 1) (not in_quote)
+    else if (not in_quote) && i + 4 <= n && String.sub s i 4 = " if "
+            && (i + 4 < n) then Some i
+    else scan (i + 1) in_quote
+  in
+  match scan 0 false with
+  | None -> (String.trim s, None)
+  | Some i ->
+    let value = String.trim (String.sub s 0 i) in
+    let cond = String.trim (String.sub s (i + 4) (n - i - 4)) in
+    (value, Some (parse_expr_at line cond))
+
+let parse_default_value line s =
+  let s = String.trim s in
+  if s = "" then fail line "empty default value";
+  if String.length s >= 2 && s.[0] = '"' then Ast.Dv_string (parse_quoted line s)
+  else
+    match Tristate.of_string s with
+    | Some t -> Ast.Dv_tristate t
+    | None -> (
+      match int_of_string_opt s with
+      | Some i -> Ast.Dv_int i
+      | None -> Ast.Dv_expr (parse_expr_at line s))
+
+(* ------------------------------------------------------------------ *)
+(* Structure parsing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type state = { mutable lines : line list }
+
+let peek st =
+  let rec skip = function
+    | l :: rest when is_blank l || is_comment l ->
+      st.lines <- rest;
+      skip rest
+    | lines ->
+      st.lines <- lines;
+      (match lines with [] -> None | l :: _ -> Some l)
+  in
+  skip st.lines
+
+let advance st = match st.lines with [] -> () | _ :: rest -> st.lines <- rest
+
+(* Parse a help block: all following lines strictly more indented than
+   [base_indent] (blank lines allowed inside). *)
+let parse_help st base_indent =
+  let buf = Buffer.create 64 in
+  let rec collect pending_blanks =
+    match st.lines with
+    | l :: rest when is_blank l ->
+      advance st;
+      ignore rest;
+      collect (pending_blanks + 1)
+    | l :: _ when l.indent > base_indent ->
+      for _ = 1 to pending_blanks do
+        if Buffer.length buf > 0 then Buffer.add_char buf '\n'
+      done;
+      if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+      Buffer.add_string buf l.text;
+      advance st;
+      collect 0
+    | _ -> ()
+  in
+  collect 0;
+  let text = Buffer.contents buf in
+  if text = "" then None else Some text
+
+(* Attribute lines shared by config entries and choices. *)
+type attr =
+  | A_type of Ast.symbol_type * string option
+  | A_prompt of string
+  | A_default of Ast.default_value * Ast.expr option
+  | A_depends of Ast.expr
+  | A_select of string * Ast.expr option
+  | A_range of int * int
+  | A_help of string option
+
+let parse_attr st l =
+  let keyword, rest = split_word l.text in
+  let typed t =
+    advance st;
+    let prompt = if rest = "" then None else Some (parse_quoted l.lineno rest) in
+    Some (A_type (t, prompt))
+  in
+  match keyword with
+  | "bool" | "boolean" -> typed Ast.Bool
+  | "tristate" -> typed Ast.Tristate
+  | "string" -> typed Ast.String
+  | "hex" -> typed Ast.Hex
+  | "int" -> typed Ast.Int
+  | "prompt" ->
+    advance st;
+    Some (A_prompt (parse_quoted l.lineno rest))
+  | "default" | "def_bool" | "def_tristate" ->
+    advance st;
+    let value_text, cond = split_if l.lineno rest in
+    Some (A_default (parse_default_value l.lineno value_text, cond))
+  | "depends" ->
+    advance st;
+    let on, expr_text = split_word rest in
+    if on <> "on" then fail l.lineno "expected 'depends on'";
+    Some (A_depends (parse_expr_at l.lineno expr_text))
+  | "select" | "imply" ->
+    advance st;
+    let value_text, cond = split_if l.lineno rest in
+    Some (A_select (String.trim value_text, cond))
+  | "range" ->
+    advance st;
+    let lo_s, hi_s = split_word rest in
+    let parse_bound s =
+      match int_of_string_opt (String.trim s) with
+      | Some i -> i
+      | None -> fail l.lineno (Printf.sprintf "invalid range bound %S" s)
+    in
+    Some (A_range (parse_bound lo_s, parse_bound hi_s))
+  | "help" | "---help---" ->
+    advance st;
+    Some (A_help (parse_help st l.indent))
+  | _ -> None
+
+let apply_attr lineno entry = function
+  | A_type (t, prompt) ->
+    { entry with Ast.sym_type = t;
+      prompt = (match prompt with None -> entry.Ast.prompt | Some _ -> prompt) }
+  | A_prompt p -> { entry with Ast.prompt = Some p }
+  | A_default (v, cond) -> { entry with Ast.defaults = entry.Ast.defaults @ [ (v, cond) ] }
+  | A_depends e -> { entry with Ast.depends = entry.Ast.depends @ [ e ] }
+  | A_select (s, cond) -> { entry with Ast.selects = entry.Ast.selects @ [ (s, cond) ] }
+  | A_range (lo, hi) ->
+    if lo > hi then fail lineno "range lower bound above upper bound";
+    { entry with Ast.range = Some (lo, hi) }
+  | A_help h -> { entry with Ast.help = h }
+
+let rec parse_config st name lineno =
+  let rec attrs entry typed =
+    match peek st with
+    | None -> (entry, typed)
+    | Some l -> (
+      match parse_attr st l with
+      | Some (A_type _ as a) -> attrs (apply_attr l.lineno entry a) true
+      | Some a -> attrs (apply_attr l.lineno entry a) typed
+      | None -> (entry, typed))
+  in
+  let entry, typed = attrs (Ast.empty_entry name Ast.Bool) false in
+  if not typed then fail lineno (Printf.sprintf "config %s has no type" name);
+  entry
+
+and parse_choice st lineno =
+  (* Choice header attributes, then member configs until 'endchoice'. *)
+  let prompt = ref None and default = ref None and depends = ref [] in
+  let rec header () =
+    match peek st with
+    | None -> fail lineno "unterminated choice"
+    | Some l -> (
+      let keyword, rest = split_word l.text in
+      match keyword with
+      | "prompt" ->
+        advance st;
+        prompt := Some (parse_quoted l.lineno rest);
+        header ()
+      | "default" ->
+        advance st;
+        default := Some (String.trim rest);
+        header ()
+      | "depends" ->
+        advance st;
+        let on, expr_text = split_word rest in
+        if on <> "on" then fail l.lineno "expected 'depends on'";
+        depends := !depends @ [ parse_expr_at l.lineno expr_text ];
+        header ()
+      | "bool" | "tristate" ->
+        (* A type line on the choice itself; accepted and ignored (we model
+           boolean choices only). *)
+        advance st;
+        header ()
+      | "help" ->
+        advance st;
+        ignore (parse_help st l.indent);
+        header ()
+      | _ -> ())
+  in
+  header ();
+  let rec members acc =
+    match peek st with
+    | None -> fail lineno "unterminated choice"
+    | Some l -> (
+      let keyword, rest = split_word l.text in
+      match keyword with
+      | "endchoice" ->
+        advance st;
+        List.rev acc
+      | "config" ->
+        advance st;
+        let entry = parse_config st (String.trim rest) l.lineno in
+        members (entry :: acc)
+      | _ -> fail l.lineno (Printf.sprintf "unexpected %S inside choice" keyword))
+  in
+  let entries = members [] in
+  { Ast.c_prompt = Option.value ~default:"" !prompt;
+    c_default = !default;
+    c_depends = !depends;
+    c_entries = entries }
+
+and parse_items st ~closing =
+  let rec items acc =
+    match peek st with
+    | None ->
+      if closing = None then List.rev acc
+      else fail 0 (Printf.sprintf "missing %s" (Option.get closing))
+    | Some l -> (
+      let keyword, rest = split_word l.text in
+      match keyword with
+      | "config" | "menuconfig" ->
+        advance st;
+        let entry = parse_config st (String.trim rest) l.lineno in
+        items (Ast.Config entry :: acc)
+      | "menu" ->
+        advance st;
+        let title = parse_quoted l.lineno rest in
+        let depends = parse_menu_depends st in
+        let inner = parse_items st ~closing:(Some "endmenu") in
+        items (Ast.Menu { m_title = title; m_depends = depends; m_items = inner } :: acc)
+      | "endmenu" ->
+        if closing = Some "endmenu" then begin
+          advance st;
+          List.rev acc
+        end
+        else fail l.lineno "unexpected endmenu"
+      | "choice" ->
+        advance st;
+        items (Ast.Choice (parse_choice st l.lineno) :: acc)
+      | "source" | "mainmenu" | "comment" ->
+        advance st;
+        items acc
+      | "if" | "endif" ->
+        (* Conditional blocks are accepted but not modelled; their contents
+           parse as if unconditional. *)
+        advance st;
+        items acc
+      | _ -> fail l.lineno (Printf.sprintf "unexpected keyword %S" keyword))
+  in
+  items []
+
+and parse_menu_depends st =
+  let rec collect acc =
+    match peek st with
+    | Some l when fst (split_word l.text) = "depends" ->
+      let _, rest = split_word l.text in
+      let on, expr_text = split_word rest in
+      if on <> "on" then fail l.lineno "expected 'depends on'";
+      advance st;
+      collect (acc @ [ parse_expr_at l.lineno expr_text ])
+    | Some _ | None -> acc
+  in
+  collect []
+
+let parse source =
+  let st = { lines = scan_lines source } in
+  parse_items st ~closing:None

@@ -1,0 +1,153 @@
+module Rng = Wayfinder_tensor.Rng
+
+let scale_factors = [| 0.01; 0.1; 1.; 10.; 100. |]
+
+let random_int_value rng entry =
+  match entry.Ast.range with
+  | Some (lo, hi) -> Rng.int_in rng lo hi
+  | None ->
+    (* No declared range: scale the default up/down by powers of ten, the
+       coarse exploration of §3.4. *)
+    let default =
+      match
+        List.find_opt (fun (v, _) -> match v with Ast.Dv_int _ -> true | _ -> false)
+          entry.Ast.defaults
+      with
+      | Some (Ast.Dv_int i, _) -> i
+      | Some _ | None -> 16
+    in
+    let factor = Rng.choice rng scale_factors in
+    int_of_float (float_of_int (max default 1) *. factor)
+
+let random_value rng config entry =
+  let limit = Config.dependency_limit config entry in
+  match entry.Ast.sym_type with
+  | Ast.Bool ->
+    (* A bool may only be y when its limit is y (m would be demoted). *)
+    if limit <> Tristate.Y then Config.V_tristate Tristate.N
+    else Config.V_tristate (if Rng.bool rng then Tristate.Y else Tristate.N)
+  | Ast.Tristate ->
+    if limit = Tristate.N then Config.V_tristate Tristate.N
+    else begin
+      let candidates =
+        if limit = Tristate.Y then [| Tristate.N; Tristate.M; Tristate.Y |]
+        else [| Tristate.N; Tristate.M |]
+      in
+      Config.V_tristate (Rng.choice rng candidates)
+    end
+  | Ast.Int | Ast.Hex -> Config.V_int (random_int_value rng entry)
+  | Ast.String -> (
+    match
+      List.find_opt (fun (v, _) -> match v with Ast.Dv_string _ -> true | _ -> false)
+        entry.Ast.defaults
+    with
+    | Some (Ast.Dv_string s, _) -> Config.V_string s
+    | Some _ | None -> Config.V_string "")
+
+let biased_value rng p_enable config entry =
+  match entry.Ast.sym_type with
+  | Ast.Bool | Ast.Tristate ->
+    let limit = Config.dependency_limit config entry in
+    let ceiling = if entry.Ast.sym_type = Ast.Bool && limit = Tristate.M then Tristate.N else limit in
+    if ceiling = Tristate.N then Config.V_tristate Tristate.N
+    else if not (Rng.bernoulli rng p_enable) then Config.V_tristate Tristate.N
+    else if entry.Ast.sym_type = Ast.Bool then Config.V_tristate Tristate.Y
+    else if ceiling = Tristate.M then Config.V_tristate Tristate.M
+    else Config.V_tristate (if Rng.bool rng then Tristate.Y else Tristate.M)
+  | Ast.Int | Ast.Hex | Ast.String -> random_value rng config entry
+
+let assign_choice rng config choice =
+  let limit =
+    List.fold_left
+      (fun acc e -> Tristate.band acc (Config.eval_expr config e))
+      Tristate.Y choice.Ast.c_depends
+  in
+  let members = Array.of_list choice.Ast.c_entries in
+  if Array.length members > 0 then begin
+    let pick = if limit = Tristate.N then None else Some (Rng.choice rng members).Ast.name in
+    Array.iter
+      (fun e ->
+        let v = if Some e.Ast.name = pick then Tristate.Y else Tristate.N in
+        Config.set config e.Ast.name (Config.V_tristate v))
+      members
+  end
+
+let repair_rounds = 4
+
+let repair config =
+  Config.apply_selects config;
+  for _ = 1 to repair_rounds do
+    Ast.iter_entries
+      (fun entry ->
+        match Config.get config entry.Ast.name with
+        | Some (Config.V_tristate v) when v <> Tristate.N ->
+          let limit = Config.dependency_limit config entry in
+          if Tristate.compare v limit > 0 then begin
+            let lowered =
+              if entry.Ast.sym_type = Ast.Bool && limit = Tristate.M then Tristate.N else limit
+            in
+            Config.set config entry.Ast.name (Config.V_tristate lowered)
+          end
+        | Some (Config.V_tristate _ | Config.V_string _ | Config.V_int _) | None -> ())
+      (Config.tree config);
+    Config.apply_selects config
+  done;
+  (* Re-establish choice exclusivity in case selects enabled extra members. *)
+  List.iter
+    (fun choice ->
+      let enabled =
+        List.filter
+          (fun e -> Config.tristate_of config e.Ast.name <> Tristate.N)
+          choice.Ast.c_entries
+      in
+      match enabled with
+      | [] | [ _ ] -> ()
+      | keep :: extras ->
+        List.iter
+          (fun e -> Config.set config e.Ast.name (Config.V_tristate Tristate.N))
+          extras;
+        ignore keep)
+    (Ast.choices (Config.tree config))
+
+let in_choice_table tree =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun c -> List.iter (fun e -> Hashtbl.replace tbl e.Ast.name ()) c.Ast.c_entries)
+    (Ast.choices tree);
+  tbl
+
+let generate ?(p_enable = 0.5) tree rng =
+  let config = Config.create tree in
+  let choice_members = in_choice_table tree in
+  (* Document order: synthetic trees only depend backwards, so dependency
+     limits are already settled when an entry is reached. *)
+  Ast.iter_entries
+    (fun entry ->
+      if not (Hashtbl.mem choice_members entry.Ast.name) then
+        Config.set config entry.Ast.name (biased_value rng p_enable config entry))
+    tree;
+  List.iter (assign_choice rng config) (Ast.choices tree);
+  repair config;
+  config
+
+let mutate config rng ~count =
+  let fresh = Config.copy config in
+  let tree = Config.tree config in
+  let choice_members = in_choice_table tree in
+  let all = Array.of_list (Ast.entries tree) in
+  if Array.length all > 0 then begin
+    for _ = 1 to count do
+      let entry = Rng.choice rng all in
+      if Hashtbl.mem choice_members entry.Ast.name then begin
+        (* Re-draw the whole choice this member belongs to. *)
+        List.iter
+          (fun c ->
+            if List.exists (fun e -> e.Ast.name = entry.Ast.name) c.Ast.c_entries then
+              assign_choice rng fresh c)
+          (Ast.choices tree)
+      end
+      else Config.set fresh entry.Ast.name (random_value rng fresh entry)
+    done
+  end;
+  repair fresh;
+  fresh

@@ -1,0 +1,22 @@
+(** Random valid configuration generation (à la [make randconfig]).
+
+    Produces configurations that satisfy every constraint Kconfig checks
+    (the "valid on paper" notion of §2.2); Wayfinder's search then discovers
+    which of those nevertheless fail at build/boot/run time. *)
+
+val generate : ?p_enable:float -> Ast.tree -> Wayfinder_tensor.Rng.t -> Config.t
+(** [generate tree rng] assigns every symbol: bool/tristate symbols are
+    enabled with probability [p_enable] (default 0.5) when their
+    dependencies allow, choice blocks get exactly one member, int/hex
+    symbols draw uniformly from their declared range (or from the default
+    scaled by powers of ten when no range is declared, mirroring the
+    paper's §3.4 heuristic), strings keep their default.  [select]s are
+    then propagated and dependency limits repaired. *)
+
+val mutate : Config.t -> Wayfinder_tensor.Rng.t -> count:int -> Config.t
+(** Fresh configuration differing from the input in up to [count] randomly
+    re-drawn symbols, with selects and dependency limits re-established. *)
+
+val repair : Config.t -> unit
+(** Lower any symbol above its dependency limit (and re-apply selects)
+    until the configuration validates; used after external edits. *)

@@ -1,0 +1,57 @@
+type census = {
+  bool_count : int;
+  tristate_count : int;
+  string_count : int;
+  hex_count : int;
+  int_count : int;
+}
+
+let census tree =
+  Ast.fold_entries
+    (fun acc e ->
+      match e.Ast.sym_type with
+      | Ast.Bool -> { acc with bool_count = acc.bool_count + 1 }
+      | Ast.Tristate -> { acc with tristate_count = acc.tristate_count + 1 }
+      | Ast.String -> { acc with string_count = acc.string_count + 1 }
+      | Ast.Hex -> { acc with hex_count = acc.hex_count + 1 }
+      | Ast.Int -> { acc with int_count = acc.int_count + 1 })
+    { bool_count = 0; tristate_count = 0; string_count = 0; hex_count = 0; int_count = 0 }
+    tree
+
+let census_total c =
+  c.bool_count + c.tristate_count + c.string_count + c.hex_count + c.int_count
+
+let pp_census ppf c =
+  Format.fprintf ppf "bool=%d tristate=%d string=%d hex=%d int=%d (total %d)" c.bool_count
+    c.tristate_count c.string_count c.hex_count c.int_count (census_total c)
+
+type descriptor = {
+  d_name : string;
+  d_type : Ast.symbol_type;
+  d_range : (int * int) option;
+  d_default : Config.value;
+  d_has_depends : bool;
+  d_in_choice : bool;
+}
+
+let descriptors tree =
+  let defaults = Config.defaults tree in
+  let in_choice = Hashtbl.create 64 in
+  List.iter
+    (fun c -> List.iter (fun e -> Hashtbl.replace in_choice e.Ast.name ()) c.Ast.c_entries)
+    (Ast.choices tree);
+  List.map
+    (fun e ->
+      let fallback =
+        match e.Ast.sym_type with
+        | Ast.Bool | Ast.Tristate -> Config.V_tristate Tristate.N
+        | Ast.Int | Ast.Hex -> Config.V_int 0
+        | Ast.String -> Config.V_string ""
+      in
+      { d_name = e.Ast.name;
+        d_type = e.Ast.sym_type;
+        d_range = e.Ast.range;
+        d_default = Option.value ~default:fallback (Config.get defaults e.Ast.name);
+        d_has_depends = e.Ast.depends <> [];
+        d_in_choice = Hashtbl.mem in_choice e.Ast.name })
+    (Ast.entries tree)

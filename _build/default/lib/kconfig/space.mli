@@ -1,0 +1,29 @@
+(** Census and extraction of a Kconfig tree's configuration space.
+
+    Produces the per-type option counts of Table 1 and flattens a tree into
+    the typed parameter descriptors consumed by {!Wayfinder_configspace}. *)
+
+type census = {
+  bool_count : int;
+  tristate_count : int;
+  string_count : int;
+  hex_count : int;
+  int_count : int;
+}
+
+val census : Ast.tree -> census
+val census_total : census -> int
+val pp_census : Format.formatter -> census -> unit
+
+type descriptor = {
+  d_name : string;
+  d_type : Ast.symbol_type;
+  d_range : (int * int) option;
+  d_default : Config.value;
+  d_has_depends : bool;
+  d_in_choice : bool;
+}
+
+val descriptors : Ast.tree -> descriptor list
+(** One descriptor per entry, in document order, with defaults taken from
+    {!Config.defaults}. *)

@@ -1,0 +1,20 @@
+type t = N | M | Y
+
+let to_int = function N -> 0 | M -> 1 | Y -> 2
+let of_int i = if i <= 0 then N else if i = 1 then M else Y
+let compare a b = Stdlib.compare (to_int a) (to_int b)
+let ( <= ) a b = compare a b <= 0
+let min a b = if a <= b then a else b
+let max a b = if a <= b then b else a
+let band = min
+let bor = max
+let bnot x = of_int (2 - to_int x)
+let to_string = function N -> "n" | M -> "m" | Y -> "y"
+
+let of_string = function
+  | "n" -> Some N
+  | "m" -> Some M
+  | "y" -> Some Y
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,1 @@
+lib/nn/layer.ml: Array Wayfinder_tensor

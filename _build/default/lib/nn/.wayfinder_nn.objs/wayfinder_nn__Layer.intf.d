@@ -1,0 +1,1 @@
+lib/nn/layer.mli: Wayfinder_tensor

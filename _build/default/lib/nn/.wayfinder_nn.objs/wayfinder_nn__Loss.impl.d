@@ -1,0 +1,1 @@
+lib/nn/loss.ml: Array Wayfinder_tensor

@@ -1,0 +1,1 @@
+lib/nn/loss.mli: Wayfinder_tensor

@@ -1,0 +1,1 @@
+lib/nn/network.ml: Array Layer List Printf Wayfinder_tensor

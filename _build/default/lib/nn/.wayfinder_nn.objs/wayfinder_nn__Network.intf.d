@@ -1,0 +1,1 @@
+lib/nn/network.mli: Layer Wayfinder_tensor

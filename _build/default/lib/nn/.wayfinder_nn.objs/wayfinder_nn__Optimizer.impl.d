@@ -1,0 +1,1 @@
+lib/nn/optimizer.ml: Array Layer Wayfinder_tensor

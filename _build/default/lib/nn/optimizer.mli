@@ -1,0 +1,32 @@
+(** First-order optimizers over {!Layer.tensor} parameters.
+
+    DeepTune needs *incremental* training — the ability to fold each new
+    observation into the model at O(1) amortised cost, which is precisely
+    what Gaussian-process baselines lack (§2.3).  Both optimizers mutate
+    parameter values in place from accumulated gradients and then reset the
+    gradients. *)
+
+type t
+
+val sgd : ?momentum:float -> ?weight_decay:float -> lr:float -> Layer.tensor list -> t
+(** Stochastic gradient descent, optional classical momentum.
+    [weight_decay] applies decoupled multiplicative decay each step. *)
+
+val adam :
+  ?beta1:float ->
+  ?beta2:float ->
+  ?epsilon:float ->
+  ?weight_decay:float ->
+  lr:float ->
+  Layer.tensor list ->
+  t
+(** Adam with the usual defaults (β₁ = 0.9, β₂ = 0.999, ε = 1e-8);
+    [weight_decay] applies decoupled (AdamW-style) decay each step. *)
+
+val step : t -> unit
+(** Apply one update from the currently accumulated gradients, then zero
+    them. *)
+
+val zero_grads : t -> unit
+val set_lr : t -> float -> unit
+val lr : t -> float

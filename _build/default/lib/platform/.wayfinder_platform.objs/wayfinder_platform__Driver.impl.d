@@ -1,0 +1,1 @@
+lib/platform/driver.ml: History Metric Search_algorithm Target Unix Wayfinder_configspace Wayfinder_simos Wayfinder_tensor

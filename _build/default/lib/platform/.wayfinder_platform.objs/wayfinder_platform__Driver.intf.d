@@ -1,0 +1,1 @@
+lib/platform/driver.mli: History Search_algorithm Target Wayfinder_configspace Wayfinder_simos

@@ -1,0 +1,1 @@
+lib/platform/grid_search.ml: Array Hashtbl List Search_algorithm Wayfinder_configspace

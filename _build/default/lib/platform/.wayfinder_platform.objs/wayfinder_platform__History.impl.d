@@ -1,0 +1,1 @@
+lib/platform/history.ml: Array Buffer List Metric Option Printf Wayfinder_configspace

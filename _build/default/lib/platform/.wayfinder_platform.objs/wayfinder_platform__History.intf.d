@@ -1,0 +1,1 @@
+lib/platform/history.mli: Metric Wayfinder_configspace

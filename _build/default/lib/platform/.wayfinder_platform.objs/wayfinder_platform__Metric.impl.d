@@ -1,0 +1,1 @@
+lib/platform/metric.ml: Format Wayfinder_simos

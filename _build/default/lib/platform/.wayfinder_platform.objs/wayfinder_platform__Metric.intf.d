@@ -1,0 +1,1 @@
+lib/platform/metric.mli: Format Wayfinder_simos

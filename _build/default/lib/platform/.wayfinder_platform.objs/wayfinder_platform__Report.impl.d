@@ -1,0 +1,1 @@
+lib/platform/report.ml: Buffer Driver History List Metric Option Printf Target Wayfinder_configspace

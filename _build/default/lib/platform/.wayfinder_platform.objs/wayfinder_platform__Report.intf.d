@@ -1,0 +1,1 @@
+lib/platform/report.mli: Driver Target

@@ -1,0 +1,1 @@
+lib/platform/search_algorithm.ml: History Metric Wayfinder_configspace Wayfinder_tensor

@@ -1,0 +1,1 @@
+lib/platform/target.ml: Metric Wayfinder_configspace

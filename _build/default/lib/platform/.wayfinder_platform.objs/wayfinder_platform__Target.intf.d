@@ -1,0 +1,1 @@
+lib/platform/target.mli: Metric Wayfinder_configspace

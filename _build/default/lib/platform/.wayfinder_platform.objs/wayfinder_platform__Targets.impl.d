@@ -1,0 +1,1 @@
+lib/platform/targets.ml: Metric Printf Target Wayfinder_simos

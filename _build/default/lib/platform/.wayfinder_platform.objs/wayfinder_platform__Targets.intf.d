@@ -1,0 +1,1 @@
+lib/platform/targets.mli: Target Wayfinder_simos

@@ -1,0 +1,75 @@
+module Space = Wayfinder_configspace.Space
+module Encoding = Wayfinder_configspace.Encoding
+module Mat = Wayfinder_tensor.Mat
+module Gp = Wayfinder_gp.Gp
+module Kernel = Wayfinder_gp.Kernel
+
+type state = {
+  encoding : Encoding.t;
+  mutable xs : float array list;  (* newest first *)
+  mutable ys : float list;  (* scores, higher better *)
+  mutable worst : float;
+}
+
+let create ?favor ?(n_init = 8) ?(pool = 200) ?(max_points = 200) ?(lengthscale = 1.5)
+    ?(seed = 0) () =
+  ignore seed;
+  let state = ref None in
+  let get_state space =
+    match !state with
+    | Some st -> st
+    | None ->
+      let st = { encoding = Encoding.create space; xs = []; ys = []; worst = 0. } in
+      state := Some st;
+      st
+  in
+  let propose ctx =
+    let space = ctx.Search_algorithm.space in
+    let rng = ctx.Search_algorithm.rng in
+    let st = get_state space in
+    let n = List.length st.ys in
+    if n < n_init then Random_search.sampler ?favor space rng
+    else begin
+      let take k l =
+        let rec go k = function x :: rest when k > 0 -> x :: go (k - 1) rest | _ -> [] in
+        go k l
+      in
+      let xs = take max_points st.xs and ys = take max_points st.ys in
+      let x = Mat.of_rows (Array.of_list xs) in
+      let y = Array.of_list ys in
+      let kernel = Kernel.Squared_exponential { lengthscale; variance = 1. } in
+      (* Standardise targets so the unit-variance prior is sane. *)
+      let mean, std = Wayfinder_tensor.Stat.zscore_params y in
+      let y_std = Array.map (fun v -> (v -. mean) /. std) y in
+      let gp = Gp.fit ~noise:1e-3 kernel x y_std in
+      let best = Array.fold_left max neg_infinity y_std in
+      let best_config = ref (Random_search.sampler ?favor space rng) in
+      let best_ei = ref neg_infinity in
+      for _ = 0 to pool - 1 do
+        (* Textbook BO: EI maximised over a random candidate pool (no
+           model-free exploitation seeds — that is DeepTune's trick). *)
+        let candidate = Random_search.sampler ?favor space rng in
+        let ei = Gp.expected_improvement gp ~best (Encoding.encode st.encoding candidate) in
+        if ei > !best_ei then begin
+          best_ei := ei;
+          best_config := candidate
+        end
+      done;
+      !best_config
+    end
+  in
+  let observe ctx entry =
+    let st = get_state ctx.Search_algorithm.space in
+    let score =
+      match entry.History.value with
+      | Some v -> Metric.score ctx.Search_algorithm.metric v
+      | None ->
+        (* Failures become a pessimistic observation: BO has no dedicated
+           crash model (§2.3). *)
+        st.worst -. 1.
+    in
+    st.xs <- Encoding.encode st.encoding entry.History.config :: st.xs;
+    st.ys <- score :: st.ys;
+    if score < st.worst || List.length st.ys = 1 then st.worst <- score
+  in
+  Search_algorithm.make ~name:"bayesian" ~propose ~observe ()

@@ -1,0 +1,23 @@
+(** Bayesian optimization baseline (§2.3, §4.4).
+
+    A Gaussian process is fitted over the feature encodings of evaluated
+    configurations and the next candidate is chosen by Expected Improvement
+    over a random candidate pool.  Faithful to the limitations the paper
+    measures: every observation triggers a *full* O(n³) refit, there is no
+    crash model (failures are folded in as a pessimistic score), and
+    one-hot categorical dimensions dilute the kernel — which is why it only
+    competes on small spaces like Unikraft's (Figure 9). *)
+
+val create :
+  ?favor:Wayfinder_configspace.Param.stage ->
+  ?n_init:int ->
+  ?pool:int ->
+  ?max_points:int ->
+  ?lengthscale:float ->
+  ?seed:int ->
+  unit ->
+  Search_algorithm.t
+(** [n_init] random warm-up draws (default 8); [pool] candidates per
+    iteration (default 200); [max_points] caps the GP training set at the
+    most recent observations (default 200) so the cubic refit stays
+    tractable; [lengthscale] defaults to 1.5. *)

@@ -1,0 +1,86 @@
+module Space = Wayfinder_configspace.Space
+module Param = Wayfinder_configspace.Param
+module Vclock = Wayfinder_simos.Vclock
+module Rng = Wayfinder_tensor.Rng
+
+type budget = Iterations of int | Virtual_seconds of float
+
+type result = {
+  history : History.t;
+  best : History.entry option;
+  clock : Vclock.t;
+  iterations : int;
+}
+
+let run ?(seed = 0) ?clock ?on_iteration ~target ~algorithm ~budget () =
+  let clock = match clock with Some c -> c | None -> Vclock.create () in
+  let space = target.Target.space in
+  let history = History.create target.Target.metric in
+  let rng = Rng.create (seed * 2654435761) in
+  let ctx =
+    { Search_algorithm.space; metric = target.Target.metric; history; rng }
+  in
+  (* The configuration of the last image actually built; the build task is
+     skipped when only runtime parameters changed since then (§3.1). *)
+  let last_built = ref None in
+  let index = ref 0 in
+  let within_budget () =
+    match budget with
+    | Iterations n -> !index < n
+    | Virtual_seconds s -> Vclock.now clock < s
+  in
+  while within_budget () do
+    let decide_start = Unix.gettimeofday () in
+    let config = algorithm.Search_algorithm.propose ctx in
+    let decide_seconds = Unix.gettimeofday () -. decide_start in
+    let entry =
+      match Space.validate space config with
+      | _ :: _ ->
+        { History.index = !index; config; value = None; failure = Some "invalid-configuration";
+          at_seconds = Vclock.now clock; eval_seconds = 0.; built = false; decide_seconds }
+      | [] ->
+        let result = target.Target.evaluate ~trial:!index config in
+        let needs_build =
+          match !last_built with
+          | None -> true
+          | Some previous -> not (Space.differs_only_in_stage space previous config Param.Runtime)
+        in
+        let build_charged = if needs_build then result.Target.build_s else 0. in
+        let eval_seconds = build_charged +. result.Target.boot_s +. result.Target.run_s in
+        Vclock.advance clock eval_seconds;
+        (* Failed builds leave the previous image in place; anything that
+           built (even if it later crashed) becomes the new baseline
+           image. *)
+        (match result.Target.value with
+        | Error "build-failure" -> ()
+        | Error _ | Ok _ -> if needs_build then last_built := Some config);
+        { History.index = !index;
+          config;
+          value = (match result.Target.value with Ok v -> Some v | Error _ -> None);
+          failure = (match result.Target.value with Ok _ -> None | Error kind -> Some kind);
+          at_seconds = Vclock.now clock;
+          eval_seconds;
+          built = needs_build;
+          decide_seconds }
+    in
+    (* Model update runs before the entry is archived so its cost can be
+       folded into the recorded per-iteration decision time. *)
+    let observe_start = Unix.gettimeofday () in
+    algorithm.Search_algorithm.observe ctx entry;
+    let observe_seconds = Unix.gettimeofday () -. observe_start in
+    let entry = { entry with History.decide_seconds = decide_seconds +. observe_seconds } in
+    History.add history entry;
+    (match on_iteration with Some f -> f entry | None -> ());
+    incr index
+  done;
+  { history; best = History.best history; clock; iterations = !index }
+
+let best_relative_to result ~default =
+  match History.best result.history with
+  | None -> None
+  | Some e -> (
+    match e.History.value with
+    | None -> None
+    | Some v ->
+      if (History.metric result.history).Metric.maximize then Some (v /. default)
+      else Some (default /. v))

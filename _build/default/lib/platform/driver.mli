@@ -1,0 +1,39 @@
+(** The Wayfinder core loop (§3.1).
+
+    Iteratively: (1) ask the search algorithm for a configuration, (2)
+    build and boot the image and benchmark the application — virtual
+    durations advance the {!Wayfinder_simos.Vclock} — and (3) record the
+    outcome and update the algorithm.  The build task is skipped when the
+    new configuration differs from the last *built* image only in runtime
+    parameters.  The loop stops when the budget (iterations or virtual
+    time) is exhausted and returns the best configuration found. *)
+
+module Space = Wayfinder_configspace.Space
+module Vclock = Wayfinder_simos.Vclock
+
+type budget = Iterations of int | Virtual_seconds of float
+
+type result = {
+  history : History.t;
+  best : History.entry option;
+  clock : Vclock.t;
+  iterations : int;
+}
+
+val run :
+  ?seed:int ->
+  ?clock:Vclock.t ->
+  ?on_iteration:(History.entry -> unit) ->
+  target:Target.t ->
+  algorithm:Search_algorithm.t ->
+  budget:budget ->
+  unit ->
+  result
+(** Deterministic given [seed].  [on_iteration] observes each entry as it
+    is recorded (useful for live series).  Invalid proposals (violating the
+    space or its pins) are recorded as ["invalid-configuration"] failures
+    and charged nothing but the decision time. *)
+
+val best_relative_to : result -> default:float -> float option
+(** Best value divided by a reference (e.g. the default configuration's
+    performance) — Table 2's "Relative Perf." column. *)

@@ -1,0 +1,14 @@
+(** Grid search (§3.1): systematic enumeration, one parameter value after
+    the other.
+
+    The grid is the cross product of per-parameter candidate lists (full
+    domains for booleans/tristates/categoricals, up to [steps] log-spaced
+    values for integers).  Enumeration order varies the *first* parameter
+    fastest and wraps around when exhausted.  Known to be inferior to
+    random search on large spaces (§4) — included for completeness. *)
+
+val create : ?steps:int -> unit -> Search_algorithm.t
+(** [steps] (default 4) caps the candidate values per integer parameter. *)
+
+val grid_size : ?steps:int -> Wayfinder_configspace.Space.t -> float
+(** Number of grid points (as a float; can be astronomically large). *)

@@ -1,0 +1,119 @@
+module Space = Wayfinder_configspace.Space
+
+type entry = {
+  index : int;
+  config : Space.configuration;
+  value : float option;
+  failure : string option;
+  at_seconds : float;
+  eval_seconds : float;
+  built : bool;
+  decide_seconds : float;
+}
+
+type t = { metric : Metric.t; mutable entries : entry list; mutable count : int }
+
+let create metric = { metric; entries = []; count = 0 }
+let metric t = t.metric
+
+let add t e =
+  t.entries <- e :: t.entries;
+  t.count <- t.count + 1
+
+let size t = t.count
+
+let entries t =
+  let a = Array.of_list t.entries in
+  let n = Array.length a in
+  Array.init n (fun i -> a.(n - 1 - i))
+
+let last t = match t.entries with [] -> None | e :: _ -> Some e
+
+let crashes t =
+  List.fold_left (fun acc e -> if e.failure <> None then acc + 1 else acc) 0 t.entries
+
+let crash_rate t = if t.count = 0 then 0. else float_of_int (crashes t) /. float_of_int t.count
+
+let windowed_crash_rate t ~window =
+  let rec take n = function
+    | e :: rest when n > 0 -> e :: take (n - 1) rest
+    | _ :: _ | [] -> []
+  in
+  let recent = take window t.entries in
+  match recent with
+  | [] -> 0.
+  | _ :: _ ->
+    let c = List.fold_left (fun acc e -> if e.failure <> None then acc + 1 else acc) 0 recent in
+    float_of_int c /. float_of_int (List.length recent)
+
+let best t =
+  List.fold_left
+    (fun acc e ->
+      match (e.value, acc) with
+      | None, _ -> acc
+      | Some _, None -> Some e
+      | Some v, Some b -> (
+        match b.value with
+        | Some bv when Metric.better t.metric v bv -> Some e
+        | Some _ | None -> acc))
+    None t.entries
+
+let best_value t = Option.bind (best t) (fun e -> e.value)
+let time_to_best t = Option.map (fun e -> e.at_seconds) (best t)
+
+let values_series t =
+  let es = entries t in
+  let n = Array.length es in
+  let out = Array.make n nan in
+  (* First successful value backfills leading failures. *)
+  let first_success =
+    Array.fold_left (fun acc e -> match (acc, e.value) with None, Some v -> Some v | _ -> acc)
+      None es
+  in
+  let prev = ref (Option.value ~default:0. first_success) in
+  for i = 0 to n - 1 do
+    (match es.(i).value with Some v -> prev := v | None -> ());
+    out.(i) <- !prev
+  done;
+  out
+
+let best_so_far_series t =
+  let es = entries t in
+  let n = Array.length es in
+  let out = Array.make n nan in
+  let best = ref None in
+  for i = 0 to n - 1 do
+    (match es.(i).value with
+    | Some v -> (
+      match !best with
+      | None -> best := Some v
+      | Some b -> if Metric.better t.metric v b then best := Some v)
+    | None -> ());
+    out.(i) <- Option.value ~default:nan !best
+  done;
+  out
+
+let crash_indicator t =
+  Array.map (fun e -> if e.failure <> None then 1. else 0.) (entries t)
+
+let builds_charged t =
+  List.fold_left (fun acc e -> if e.built then acc + 1 else acc) 0 t.entries
+
+let total_eval_seconds t = List.fold_left (fun acc e -> acc +. e.eval_seconds) 0. t.entries
+
+let mean_decide_seconds t =
+  if t.count = 0 then 0.
+  else List.fold_left (fun acc e -> acc +. e.decide_seconds) 0. t.entries /. float_of_int t.count
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "index,value,failure,at_s,eval_s,built,decide_s\n";
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%s,%.1f,%.1f,%b,%.6f\n" e.index
+           (match e.value with Some v -> Printf.sprintf "%.3f" v | None -> "")
+           (Option.value ~default:"" e.failure)
+           e.at_seconds e.eval_seconds e.built e.decide_seconds))
+    (entries t);
+  Buffer.contents buf

@@ -1,0 +1,57 @@
+(** Exploration history.
+
+    The platform records every evaluated configuration, its outcome and its
+    timing; search algorithms read the history through their API (§3.1),
+    and the evaluation figures are series over it (best-so-far, smoothed
+    values, crash rates). *)
+
+module Space = Wayfinder_configspace.Space
+
+type entry = {
+  index : int;  (** 0-based iteration. *)
+  config : Space.configuration;
+  value : float option;  (** Raw metric; [None] on failure. *)
+  failure : string option;  (** Failure kind, e.g. ["runtime-crash"]. *)
+  at_seconds : float;  (** Virtual clock when the evaluation finished. *)
+  eval_seconds : float;  (** Virtual cost charged for this iteration. *)
+  built : bool;  (** Whether an image build was charged (rebuild-skip). *)
+  decide_seconds : float;  (** Real time the search algorithm spent. *)
+}
+
+type t
+
+val create : Metric.t -> t
+val metric : t -> Metric.t
+val add : t -> entry -> unit
+val size : t -> int
+val entries : t -> entry array
+(** Oldest first. *)
+
+val last : t -> entry option
+val crashes : t -> int
+val crash_rate : t -> float
+val windowed_crash_rate : t -> window:int -> float
+(** Crash rate over the last [window] entries. *)
+
+val best : t -> entry option
+(** Best *successful* entry under the metric. *)
+
+val best_value : t -> float option
+val time_to_best : t -> float option
+(** Virtual time at which the best entry was found. *)
+
+val values_series : t -> float array
+(** Per-iteration raw values; failures repeat the previous value (or the
+    first success) so plots stay connected, matching how the paper draws
+    Figure 6. *)
+
+val best_so_far_series : t -> float array
+val crash_indicator : t -> float array
+(** 1.0 at crashing iterations, 0.0 otherwise (smoothed by the caller). *)
+
+val builds_charged : t -> int
+val total_eval_seconds : t -> float
+val mean_decide_seconds : t -> float
+
+val to_csv : t -> string
+(** One row per entry: [index,value,failure,at_s,eval_s,built,decide_s]. *)

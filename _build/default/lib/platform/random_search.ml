@@ -1,0 +1,11 @@
+module Space = Wayfinder_configspace.Space
+
+let sampler ?favor ?(strong = 0.6) ?(weak = 0.05) space rng =
+  match favor with
+  | None -> Space.random space rng
+  | Some stage -> Space.sample_biased space rng ~vary_probability:(Space.favor_stage stage ~strong ~weak)
+
+let create ?favor ?strong ?weak () =
+  Search_algorithm.make ~name:"random"
+    ~propose:(fun ctx -> sampler ?favor ?strong ?weak ctx.Search_algorithm.space ctx.Search_algorithm.rng)
+    ()

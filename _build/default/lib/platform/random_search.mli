@@ -1,0 +1,24 @@
+(** Random search (§3.1), the paper's main baseline.
+
+    Each configuration is drawn independently of the history.  The sampler
+    honours the job's stage preference: with [favor] set, the draw starts
+    from defaults and re-draws parameters of the favored stage with
+    probability [strong] (others with [weak]) — §4.1 favours runtime
+    parameters, §4.4 compile-time ones.  Without [favor] every parameter is
+    drawn uniformly. *)
+
+val create :
+  ?favor:Wayfinder_configspace.Param.stage ->
+  ?strong:float ->
+  ?weak:float ->
+  unit ->
+  Search_algorithm.t
+
+val sampler :
+  ?favor:Wayfinder_configspace.Param.stage ->
+  ?strong:float ->
+  ?weak:float ->
+  Wayfinder_configspace.Space.t ->
+  Wayfinder_tensor.Rng.t ->
+  Wayfinder_configspace.Space.configuration
+(** The underlying generator, shared with DeepTune's candidate pool. *)

@@ -1,0 +1,83 @@
+module Space = Wayfinder_configspace.Space
+
+type t = {
+  target_name : string;
+  algorithm_name : string;
+  iterations : int;
+  virtual_seconds : float;
+  crash_rate : float;
+  late_crash_rate : float;
+  builds_charged : int;
+  mean_decide_seconds : float;
+  best : best option;
+}
+
+and best = {
+  value : float;
+  relative : float option;
+  found_at_iteration : int;
+  found_at_seconds : float;
+  changed : (string * string * string) list;
+}
+
+let of_result ?default ~algorithm ~target result =
+  let history = result.Driver.history in
+  let metric = target.Target.metric in
+  let best =
+    match History.best history with
+    | None -> None
+    | Some entry ->
+      Option.map
+        (fun value ->
+          let relative =
+            Option.map
+              (fun d -> if metric.Metric.maximize then value /. d else d /. value)
+              default
+          in
+          { value;
+            relative;
+            found_at_iteration = entry.History.index;
+            found_at_seconds = entry.History.at_seconds;
+            changed =
+              Space.diff target.Target.space
+                (Space.defaults target.Target.space)
+                entry.History.config })
+        entry.History.value
+  in
+  { target_name = target.Target.target_name;
+    algorithm_name = algorithm;
+    iterations = History.size history;
+    virtual_seconds = History.total_eval_seconds history;
+    crash_rate = History.crash_rate history;
+    late_crash_rate = History.windowed_crash_rate history ~window:50;
+    builds_charged = History.builds_charged history;
+    mean_decide_seconds = History.mean_decide_seconds history;
+    best }
+
+let render ~heading ~bullet ~emphasis t =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%s %s specialized by %s" heading t.target_name t.algorithm_name;
+  line "%s%d iterations over %.1f virtual hours (%d image builds charged)" bullet t.iterations
+    (t.virtual_seconds /. 3600.) t.builds_charged;
+  line "%scrash rate %.2f overall, %.2f over the last 50 iterations" bullet t.crash_rate
+    t.late_crash_rate;
+  line "%smean decision time %.3f s per iteration" bullet t.mean_decide_seconds;
+  (match t.best with
+  | None -> line "%sno valid configuration found" bullet
+  | Some b ->
+    line "%sbest value %s%.2f%s at iteration %d (t = %.0f s)%s" bullet emphasis b.value emphasis
+      b.found_at_iteration b.found_at_seconds
+      (match b.relative with
+      | Some r -> Printf.sprintf " — %.2fx the default" r
+      | None -> "");
+    if b.changed <> [] then begin
+      line "%schanged parameters (%d):" bullet (List.length b.changed);
+      List.iter
+        (fun (name, from_v, to_v) -> line "%s  %s: %s -> %s" bullet name from_v to_v)
+        b.changed
+    end);
+  Buffer.contents buf
+
+let to_text t = render ~heading:"==" ~bullet:"  " ~emphasis:"" t
+let to_markdown t = render ~heading:"##" ~bullet:"- " ~emphasis:"**" t

@@ -1,0 +1,37 @@
+(** Human-readable run reports.
+
+    §3.5 expects an engineer to review a configuration before it ships;
+    this module renders everything that review needs from a finished
+    {!Driver.result}: the headline (best value, relative improvement, time
+    to find), the crash statistics, the timing breakdown, and the exact
+    diff of the best configuration against the default. *)
+
+type t = {
+  target_name : string;
+  algorithm_name : string;
+  iterations : int;
+  virtual_seconds : float;
+  crash_rate : float;
+  late_crash_rate : float;  (** Over the final 50 iterations. *)
+  builds_charged : int;
+  mean_decide_seconds : float;
+  best : best option;
+}
+
+and best = {
+  value : float;
+  relative : float option;  (** vs the supplied default, higher-is-better. *)
+  found_at_iteration : int;
+  found_at_seconds : float;
+  changed : (string * string * string) list;  (** (param, default, chosen). *)
+}
+
+val of_result :
+  ?default:float -> algorithm:string -> target:Target.t -> Driver.result -> t
+(** [default] enables the relative-improvement figure. *)
+
+val to_text : t -> string
+(** Plain-text rendering (what the CLI prints). *)
+
+val to_markdown : t -> string
+(** A markdown section suitable for a PR or review document. *)

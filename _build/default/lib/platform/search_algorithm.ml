@@ -1,0 +1,12 @@
+module Space = Wayfinder_configspace.Space
+module Rng = Wayfinder_tensor.Rng
+
+type context = { space : Space.t; metric : Metric.t; history : History.t; rng : Rng.t }
+
+type t = {
+  algo_name : string;
+  propose : context -> Space.configuration;
+  observe : context -> History.entry -> unit;
+}
+
+let make ~name ~propose ?(observe = fun _ _ -> ()) () = { algo_name = name; propose; observe }

@@ -1,0 +1,26 @@
+(** The pluggable search-algorithm API (§3.1).
+
+    The platform exposes the space, the metric and the full exploration
+    history; an algorithm proposes the next configuration to evaluate and
+    is notified of each result.  Random search, grid search, Bayesian
+    optimization ({!Bayes_search}) and DeepTune
+    ({!Wayfinder_deeptune.Deeptune}) all implement this interface. *)
+
+module Space = Wayfinder_configspace.Space
+module Rng = Wayfinder_tensor.Rng
+
+type context = { space : Space.t; metric : Metric.t; history : History.t; rng : Rng.t }
+
+type t = {
+  algo_name : string;
+  propose : context -> Space.configuration;
+  observe : context -> History.entry -> unit;
+}
+
+val make :
+  name:string ->
+  propose:(context -> Space.configuration) ->
+  ?observe:(context -> History.entry -> unit) ->
+  unit ->
+  t
+(** [observe] defaults to a no-op (memoryless algorithms). *)

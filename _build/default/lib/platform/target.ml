@@ -1,0 +1,17 @@
+module Space = Wayfinder_configspace.Space
+
+type eval_result = {
+  value : (float, string) result;
+  build_s : float;
+  boot_s : float;
+  run_s : float;
+}
+
+type t = {
+  target_name : string;
+  space : Space.t;
+  metric : Metric.t;
+  evaluate : trial:int -> Space.configuration -> eval_result;
+}
+
+let make ~name ~space ~metric evaluate = { target_name = name; space; metric; evaluate }

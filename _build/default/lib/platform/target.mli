@@ -1,0 +1,29 @@
+(** Systems under test.
+
+    A target bundles a configuration space, the metric being optimized, and
+    an evaluation function returning either the measured value or a failure
+    kind, plus the virtual durations of the build/boot/run tasks (§3.1).
+    Adapters over the {!Wayfinder_simos} models live in {!Targets}. *)
+
+module Space = Wayfinder_configspace.Space
+
+type eval_result = {
+  value : (float, string) result;  (** [Error kind] on build/boot/run failure. *)
+  build_s : float;
+  boot_s : float;
+  run_s : float;
+}
+
+type t = {
+  target_name : string;
+  space : Space.t;
+  metric : Metric.t;
+  evaluate : trial:int -> Space.configuration -> eval_result;
+}
+
+val make :
+  name:string ->
+  space:Space.t ->
+  metric:Metric.t ->
+  (trial:int -> Space.configuration -> eval_result) ->
+  t

@@ -1,0 +1,74 @@
+module Simos = Wayfinder_simos
+module Sim_linux = Simos.Sim_linux
+module Sim_unikraft = Simos.Sim_unikraft
+module Sim_riscv = Simos.Sim_riscv
+module Cozart = Simos.Cozart
+
+let of_sim_linux sim ~app =
+  Target.make
+    ~name:(Printf.sprintf "sim-linux/%s" (Simos.App.name app))
+    ~space:(Sim_linux.space sim) ~metric:(Metric.of_app app)
+    (fun ~trial config ->
+      let o = Sim_linux.evaluate sim ~app ~trial config in
+      let d = o.Sim_linux.durations in
+      { Target.value =
+          (match o.Sim_linux.result with
+          | Ok v -> Ok v
+          | Error stage -> Error (Sim_linux.failure_stage_to_string stage));
+        build_s = d.Sim_linux.build_s;
+        boot_s = d.Sim_linux.boot_s;
+        run_s = d.Sim_linux.run_s })
+
+let of_sim_linux_memory sim ~app =
+  Target.make
+    ~name:(Printf.sprintf "sim-linux-memory/%s" (Simos.App.name app))
+    ~space:(Sim_linux.space sim) ~metric:Metric.memory_mb
+    (fun ~trial config ->
+      let o = Sim_linux.evaluate sim ~app ~trial config in
+      let d = o.Sim_linux.durations in
+      { Target.value =
+          (match o.Sim_linux.result with
+          | Ok _ -> Ok (Sim_linux.memory_footprint_mb sim config)
+          | Error stage -> Error (Sim_linux.failure_stage_to_string stage));
+        build_s = d.Sim_linux.build_s;
+        boot_s = d.Sim_linux.boot_s;
+        run_s = d.Sim_linux.run_s })
+
+let of_sim_unikraft uk =
+  Target.make ~name:"sim-unikraft/nginx" ~space:(Sim_unikraft.space uk) ~metric:Metric.throughput
+    (fun ~trial config ->
+      let o = Sim_unikraft.evaluate uk ~trial config in
+      { Target.value =
+          (match o.Sim_unikraft.result with
+          | Ok v -> Ok v
+          | Error `Build_failure -> Error "build-failure"
+          | Error `Runtime_crash -> Error "runtime-crash");
+        build_s = o.Sim_unikraft.build_s;
+        boot_s = o.Sim_unikraft.boot_s;
+        run_s = o.Sim_unikraft.run_s })
+
+let of_sim_riscv rv =
+  Target.make ~name:"sim-riscv/memory" ~space:(Sim_riscv.space rv) ~metric:Metric.memory_mb
+    (fun ~trial config ->
+      let o = Sim_riscv.evaluate rv ~trial config in
+      { Target.value =
+          (match o.Sim_riscv.result with
+          | Ok v -> Ok v
+          | Error `Build_failure -> Error "build-failure"
+          | Error `Boot_failure -> Error "boot-failure");
+        build_s = o.Sim_riscv.build_s;
+        boot_s = o.Sim_riscv.boot_s;
+        run_s = 0. })
+
+let of_cozart cz ~score =
+  Target.make ~name:"cozart/nginx" ~space:(Cozart.reduced_space cz) ~metric:Metric.composite_score
+    (fun ~trial config ->
+      let o = Cozart.evaluate cz ~trial config in
+      let d = o.Simos.Cozart.durations in
+      { Target.value =
+          (match o.Simos.Cozart.throughput with
+          | Ok throughput -> Ok (score ~throughput ~memory_mb:o.Simos.Cozart.memory_mb)
+          | Error stage -> Error (Sim_linux.failure_stage_to_string stage));
+        build_s = d.Sim_linux.build_s;
+        boot_s = d.Sim_linux.boot_s;
+        run_s = d.Sim_linux.run_s })

@@ -1,0 +1,19 @@
+(** Adapters turning the {!Wayfinder_simos} models into platform targets. *)
+
+module Simos = Wayfinder_simos
+
+val of_sim_linux : Simos.Sim_linux.t -> app:Simos.App.t -> Target.t
+(** Metric taken from the application (throughput or latency). *)
+
+val of_sim_linux_memory : Simos.Sim_linux.t -> app:Simos.App.t -> Target.t
+(** Same kernel, but the metric is the image's memory footprint (crashes
+    still come from the run attempt). *)
+
+val of_sim_unikraft : Simos.Sim_unikraft.t -> Target.t
+val of_sim_riscv : Simos.Sim_riscv.t -> Target.t
+
+val of_cozart :
+  Simos.Cozart.t -> score:(throughput:float -> memory_mb:float -> float) -> Target.t
+(** The §4.4 co-optimization target: evaluation yields the composite score
+    of throughput and memory (eq. 4's normalisation is supplied by the
+    caller, typically over the running history). *)

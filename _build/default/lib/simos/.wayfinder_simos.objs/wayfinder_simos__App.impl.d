@@ -1,0 +1,1 @@
+lib/simos/app.ml: Format

@@ -1,0 +1,1 @@
+lib/simos/app.mli: Format

@@ -1,0 +1,1 @@
+lib/simos/cozart.ml: App Array List Shapes Sim_linux String Wayfinder_configspace Wayfinder_tensor

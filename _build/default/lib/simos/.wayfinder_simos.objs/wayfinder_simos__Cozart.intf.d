@@ -1,0 +1,1 @@
+lib/simos/cozart.mli: App Sim_linux Wayfinder_configspace

@@ -1,0 +1,1 @@
+lib/simos/hardware.ml: Format

@@ -1,0 +1,1 @@
+lib/simos/hardware.mli: Format

@@ -1,0 +1,1 @@
+lib/simos/shapes.ml: Char Stdlib String Wayfinder_tensor

@@ -1,0 +1,1 @@
+lib/simos/shapes.mli: Wayfinder_tensor

@@ -1,0 +1,1 @@
+lib/simos/sim_linux.ml: App Array Hardware Hashtbl List Printf Shapes Stdlib Wayfinder_configspace Wayfinder_tensor Workload

@@ -1,0 +1,1 @@
+lib/simos/sim_linux.mli: App Hardware Wayfinder_configspace Workload

@@ -1,0 +1,1 @@
+lib/simos/sim_riscv.ml: Array List Printf Shapes Wayfinder_configspace Wayfinder_tensor

@@ -1,0 +1,1 @@
+lib/simos/sim_riscv.mli: Wayfinder_configspace

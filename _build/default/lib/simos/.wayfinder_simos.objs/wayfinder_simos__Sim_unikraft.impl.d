@@ -1,0 +1,1 @@
+lib/simos/sim_unikraft.ml: Array Shapes Wayfinder_configspace Wayfinder_tensor

@@ -1,0 +1,1 @@
+lib/simos/sim_unikraft.mli: Wayfinder_configspace

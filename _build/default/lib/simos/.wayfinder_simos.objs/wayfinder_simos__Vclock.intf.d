@@ -1,0 +1,1 @@
+lib/simos/vclock.mli:

@@ -1,0 +1,1 @@
+lib/simos/workload.ml: App Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/simos/workload.mli: App Format

@@ -1,0 +1,32 @@
+type isa = X86_64 | Riscv64
+
+type t = {
+  hw_name : string;
+  isa : isa;
+  cores : int;
+  ghz : float;
+  ram_mb : int;
+  numa_nodes : int;
+  emulated : bool;
+}
+
+let xeon_e5_2697v2 =
+  { hw_name = "2x Intel Xeon E5-2697 v2"; isa = X86_64; cores = 48; ghz = 2.70; ram_mb = 131072;
+    numa_nodes = 2; emulated = false }
+
+let xeon_e5_2697v2_one_node =
+  { xeon_e5_2697v2 with hw_name = "Xeon E5-2697 v2 (one NUMA node)"; cores = 24; ram_mb = 65536;
+    numa_nodes = 1 }
+
+let cozart_testbed =
+  { hw_name = "Cozart testbed (4 cores)"; isa = X86_64; cores = 4; ghz = 2.60; ram_mb = 16384;
+    numa_nodes = 1; emulated = false }
+
+let riscv_qemu =
+  { hw_name = "QEMU RISC-V (emulated)"; isa = Riscv64; cores = 4; ghz = 1.0; ram_mb = 2048;
+    numa_nodes = 1; emulated = true }
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d cores @ %.2f GHz, %d MB RAM, %d NUMA node(s)%s" t.hw_name t.cores
+    t.ghz t.ram_mb t.numa_nodes
+    (if t.emulated then " (emulated)" else "")

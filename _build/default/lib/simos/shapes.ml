@@ -1,0 +1,39 @@
+module Rng = Wayfinder_tensor.Rng
+
+let hash_string s =
+  (* FNV-1a with the offset basis folded into OCaml's 63-bit int range. *)
+  let h = ref 0x3bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h land max_int
+
+let hash_combine a b = hash_string (string_of_int a ^ ":" ^ string_of_int b)
+
+let rng_named name ~salt = Rng.create (hash_combine (hash_string name) salt)
+
+let clamp lo hi x = Stdlib.max lo (Stdlib.min hi x)
+
+let saturating ~v ~reference ~cap_ratio ~gain =
+  if v <= 0 then -.gain
+  else begin
+    let ratio = log10 (float_of_int v /. float_of_int (max 1 reference)) in
+    let span = log10 cap_ratio in
+    if span <= 0. then 0. else gain *. clamp (-1.) 1. (ratio /. span)
+  end
+
+let peaked ~v ~optimum ~width ~gain =
+  if v <= 0 || optimum <= 0 then 0.
+  else begin
+    let x = log10 (float_of_int v /. float_of_int optimum) /. width in
+    gain *. exp (-.(x *. x))
+  end
+
+let peaked_relative = peaked
+
+let level_penalty ~level ~neutral ~per_level =
+  if level > neutral then -.(float_of_int (level - neutral) *. per_level) else 0.
+
+let step_penalty flag loss = if flag then -.loss else 0.

@@ -1,0 +1,42 @@
+(** Response-shape helpers for the simulated performance models.
+
+    Real kernel tuning parameters affect performance in a handful of
+    recurring shapes: saturating log-benefits (backlogs, buffer sizes),
+    peaked optima (granularities, buffer sweet spots), and linear penalties
+    (verbosity levels).  The helpers here return *multiplicative deltas*
+    ([+0.04] means "4 % faster") that the models combine as
+    [Π (1 + δᵢ)].
+
+    Hidden model state (crash thresholds, noise) is derived from stable
+    string hashes so the simulated kernel behaves identically across runs
+    and processes. *)
+
+val hash_string : string -> int
+(** FNV-1a (64-bit, folded to a non-negative OCaml int). *)
+
+val hash_combine : int -> int -> int
+
+val rng_named : string -> salt:int -> Wayfinder_tensor.Rng.t
+(** A deterministic generator derived from a name and a salt. *)
+
+val saturating : v:int -> reference:int -> cap_ratio:float -> gain:float -> float
+(** Log-shaped benefit rising from the [reference] value and saturating at
+    [gain] once [v ≥ reference·cap_ratio]; symmetric loss below the
+    reference.  Only defined for positive values (non-positive input yields
+    [-gain]). *)
+
+val peaked : v:int -> optimum:int -> width:float -> gain:float -> float
+(** Gaussian bump in log-space: [gain·exp(-(log₁₀(v/opt)/width)²)],
+    so the delta is [gain] at the optimum and ~0 far away. *)
+
+val peaked_relative : v:int -> optimum:int -> width:float -> gain:float -> float
+(** Like {!peaked} but centred so the *default* contributes 0 when the
+    default equals the optimum: returns [peaked v - 0] (alias kept for
+    call-site readability). *)
+
+val level_penalty : level:int -> neutral:int -> per_level:float -> float
+(** Linear penalty above a neutral level: [-(level - neutral)·per_level]
+    when [level > neutral], else 0 (e.g. printk verbosity). *)
+
+val step_penalty : bool -> float -> float
+(** [-loss] when the flag is set, else 0. *)

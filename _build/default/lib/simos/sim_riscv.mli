@@ -1,0 +1,37 @@
+(** Simulated RISC-V Linux for the memory-footprint experiment (§4.4).
+
+    The paper builds RISC-V Linux images from compile-time-varying
+    configurations and measures resident memory after boot in an emulated
+    QEMU setup ("emulation affects performance, it does not impact memory
+    consumption").  Here: a compile-time option space whose enabled options
+    each carry a memory cost; the default image weighs ≈210 MB; a hidden
+    subset of the default-on options is boot-essential, so aggressive
+    disabling risks boot failures — which is why random search both plateaus
+    higher (≈203 MB) and keeps crashing while a crash-aware search reaches
+    ≈192 MB (Figure 10). *)
+
+module Space = Wayfinder_configspace.Space
+
+type t
+
+val create : ?n_options:int -> ?seed:int -> unit -> t
+(** [n_options] (default 140) compile-time options. *)
+
+val space : t -> Space.t
+
+type outcome = {
+  result : (float, [ `Build_failure | `Boot_failure ]) result;  (** Memory, MB. *)
+  build_s : float;
+  boot_s : float;
+}
+
+val evaluate : t -> ?trial:int -> Space.configuration -> outcome
+(** Evaluation is expensive: cross-building plus an emulated boot amounts to
+    ~3.5–5 virtual minutes per configuration. *)
+
+val default_memory_mb : t -> float
+(** ≈210 MB. *)
+
+val min_reachable_mb : t -> float
+(** Memory of the image with every non-essential option disabled (the
+    floor a perfect search could reach). *)

@@ -1,0 +1,33 @@
+(** SimUnikraft: a simulated Unikraft unikernel running Nginx (§4.4).
+
+    The paper's Unikraft experiment explores 33 configuration parameters —
+    10 Nginx application-level options and 23 Unikraft OS options — a
+    search space of ≈3.7×10¹³ permutations, small enough to compare against
+    Bayesian optimization.  Being a unikernel, the right configuration
+    unlocks much larger speedups than Linux (low-latency user/kernel
+    transitions), and builds/boots are fast, so a 3-hour budget covers far
+    more iterations.
+
+    Application-level options are modelled as runtime-stage parameters
+    (changing nginx.conf needs no rebuild); OS options are compile-time. *)
+
+module Space = Wayfinder_configspace.Space
+
+type t
+
+val create : ?seed:int -> unit -> t
+
+val space : t -> Space.t
+(** 33 parameters; [Space.log10_cardinality] ≈ 13.6. *)
+
+type outcome = {
+  result : (float, [ `Build_failure | `Runtime_crash ]) result;  (** req/s. *)
+  build_s : float;
+  boot_s : float;
+  run_s : float;
+}
+
+val evaluate : t -> ?trial:int -> Space.configuration -> outcome
+
+val default_value : t -> float
+(** Noise-free throughput of the default configuration. *)

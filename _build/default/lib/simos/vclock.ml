@@ -1,0 +1,11 @@
+type t = { mutable seconds : float }
+
+let create () = { seconds = 0. }
+let now t = t.seconds
+
+let advance t dt =
+  if dt < 0. then invalid_arg "Vclock.advance: negative duration";
+  t.seconds <- t.seconds +. dt
+
+let minutes t = t.seconds /. 60.
+let reset t = t.seconds <- 0.

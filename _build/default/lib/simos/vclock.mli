@@ -1,0 +1,21 @@
+(** Virtual time.
+
+    The paper's experiments are bounded by wall-clock budgets (3-hour
+    searches, 60–80 s per configuration evaluation).  Real kernel builds
+    and benchmark runs are simulated here, so their durations are virtual:
+    the platform advances this clock by each task's modelled duration, and
+    budget experiments (Figures 9–11) become deterministic and fast. *)
+
+type t
+
+val create : unit -> t
+(** Starts at 0 s. *)
+
+val now : t -> float
+(** Seconds since creation. *)
+
+val advance : t -> float -> unit
+(** @raise Invalid_argument on negative durations. *)
+
+val minutes : t -> float
+val reset : t -> unit

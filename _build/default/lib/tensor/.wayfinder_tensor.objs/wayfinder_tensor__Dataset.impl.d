@@ -1,0 +1,1 @@
+lib/tensor/dataset.ml: Array List Mat Rng Stat Vec

@@ -1,0 +1,1 @@
+lib/tensor/dataset.mli: Mat Rng Vec

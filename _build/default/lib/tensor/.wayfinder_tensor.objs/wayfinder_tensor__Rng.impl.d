@@ -1,0 +1,1 @@
+lib/tensor/rng.ml: Array Float Int64

@@ -1,0 +1,1 @@
+lib/tensor/stat.ml: Array Stdlib Vec

@@ -1,0 +1,180 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols x = { rows; cols; data = Array.make (rows * cols) x }
+let zeros rows cols = create rows cols 0.
+
+let init rows cols f =
+  let data = Array.make (rows * cols) 0. in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      data.((i * cols) + j) <- f i j
+    done
+  done;
+  { rows; cols; data }
+
+let eye n = init n n (fun i j -> if i = j then 1. else 0.)
+let copy m = { m with data = Array.copy m.data }
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j x = m.data.((i * m.cols) + j) <- x
+let row m i = Array.sub m.data (i * m.cols) m.cols
+let col m j = Array.init m.rows (fun i -> get m i j)
+
+let set_row m i v =
+  if Array.length v <> m.cols then invalid_arg "Mat.set_row: dimension mismatch";
+  Array.blit v 0 m.data (i * m.cols) m.cols
+
+let of_rows rows =
+  match Array.length rows with
+  | 0 -> invalid_arg "Mat.of_rows: no rows"
+  | n ->
+    let cols = Array.length rows.(0) in
+    let m = zeros n cols in
+    Array.iteri
+      (fun i r ->
+        if Array.length r <> cols then invalid_arg "Mat.of_rows: ragged rows";
+        set_row m i r)
+      rows;
+    m
+
+let to_rows m = Array.init m.rows (row m)
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let check_same name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg (Printf.sprintf "Mat.%s: shape mismatch (%dx%d vs %dx%d)" name a.rows a.cols b.rows b.cols)
+
+let elementwise name f a b =
+  check_same name a b;
+  { a with data = Array.mapi (fun i x -> f x b.data.(i)) a.data }
+
+let add a b = elementwise "add" ( +. ) a b
+let sub a b = elementwise "sub" ( -. ) a b
+let hadamard a b = elementwise "hadamard" ( *. ) a b
+let scale s m = { m with data = Array.map (fun x -> s *. x) m.data }
+let map f m = { m with data = Array.map f m.data }
+
+let matmul a b =
+  if a.cols <> b.rows then
+    invalid_arg (Printf.sprintf "Mat.matmul: inner dimension mismatch (%d vs %d)" a.cols b.rows);
+  let c = zeros a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0. then
+        for j = 0 to b.cols - 1 do
+          c.data.((i * c.cols) + j) <- c.data.((i * c.cols) + j) +. (aik *. get b k j)
+        done
+    done
+  done;
+  c
+
+let mat_vec a x =
+  if a.cols <> Array.length x then invalid_arg "Mat.mat_vec: dimension mismatch";
+  Array.init a.rows (fun i ->
+      let acc = ref 0. in
+      for j = 0 to a.cols - 1 do
+        acc := !acc +. (get a i j *. x.(j))
+      done;
+      !acc)
+
+let vec_mat x a =
+  if a.rows <> Array.length x then invalid_arg "Mat.vec_mat: dimension mismatch";
+  Array.init a.cols (fun j ->
+      let acc = ref 0. in
+      for i = 0 to a.rows - 1 do
+        acc := !acc +. (x.(i) *. get a i j)
+      done;
+      !acc)
+
+let trace m =
+  let n = min m.rows m.cols in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. get m i i
+  done;
+  !acc
+
+let frobenius m = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. m.data)
+
+let add_jitter m eps =
+  let c = copy m in
+  for i = 0 to min m.rows m.cols - 1 do
+    set c i i (get c i i +. eps)
+  done;
+  c
+
+let cholesky a =
+  if a.rows <> a.cols then invalid_arg "Mat.cholesky: not square";
+  let n = a.rows in
+  let l = zeros n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref (get a i j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (get l i k *. get l j k)
+      done;
+      if i = j then begin
+        if !acc <= 0. then failwith "Mat.cholesky: matrix not positive definite";
+        set l i i (sqrt !acc)
+      end
+      else set l i j (!acc /. get l j j)
+    done
+  done;
+  l
+
+let solve_lower l b =
+  let n = l.rows in
+  if Array.length b <> n then invalid_arg "Mat.solve_lower: dimension mismatch";
+  let x = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let acc = ref b.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (get l i j *. x.(j))
+    done;
+    x.(i) <- !acc /. get l i i
+  done;
+  x
+
+let solve_upper l b =
+  let n = l.rows in
+  if Array.length b <> n then invalid_arg "Mat.solve_upper: dimension mismatch";
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let acc = ref b.(i) in
+    for j = i + 1 to n - 1 do
+      (* Interpreting [l] as lower-triangular, [Lᵀ] has entry (i,j) = L(j,i). *)
+      acc := !acc -. (get l j i *. x.(j))
+    done;
+    x.(i) <- !acc /. get l i i
+  done;
+  x
+
+let cholesky_solve l b = solve_upper l (solve_lower l b)
+
+let log_det_from_cholesky l =
+  let acc = ref 0. in
+  for i = 0 to l.rows - 1 do
+    acc := !acc +. log (get l i i)
+  done;
+  2. *. !acc
+
+let inverse_spd a =
+  let n = a.rows in
+  let l = cholesky a in
+  let inv = zeros n n in
+  for j = 0 to n - 1 do
+    let e = Array.init n (fun i -> if i = j then 1. else 0.) in
+    let x = cholesky_solve l e in
+    for i = 0 to n - 1 do
+      set inv i j x.(i)
+    done
+  done;
+  inv
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    if i > 0 then Format.fprintf ppf "@,";
+    Vec.pp ppf (row m i)
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,72 @@
+(** Dense row-major float matrices.
+
+    Provides the matrix algebra needed by the neural network ({!Nn}), the
+    Gaussian process ({!Gp}: Cholesky factorization and triangular solves),
+    and the causal-inference baseline (correlation matrices). *)
+
+type t = { rows : int; cols : int; data : float array }
+(** Row-major storage: element [(i, j)] lives at [data.(i * cols + j)]. *)
+
+val create : int -> int -> float -> t
+val zeros : int -> int -> t
+val eye : int -> t
+val init : int -> int -> (int -> int -> float) -> t
+val copy : t -> t
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val row : t -> int -> Vec.t
+(** Fresh copy of row [i]. *)
+
+val col : t -> int -> Vec.t
+val set_row : t -> int -> Vec.t -> unit
+
+val of_rows : Vec.t array -> t
+(** @raise Invalid_argument if rows have differing lengths or there are none. *)
+
+val to_rows : t -> Vec.t array
+val transpose : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val hadamard : t -> t -> t
+val matmul : t -> t -> t
+(** [matmul a b] with [a : m×k] and [b : k×n] is [m×n].
+    @raise Invalid_argument on inner-dimension mismatch. *)
+
+val mat_vec : t -> Vec.t -> Vec.t
+(** [mat_vec a x = a · x]. *)
+
+val vec_mat : Vec.t -> t -> Vec.t
+(** [vec_mat x a = xᵀ · a]. *)
+
+val map : (float -> float) -> t -> t
+val trace : t -> float
+val frobenius : t -> float
+
+val add_jitter : t -> float -> t
+(** [add_jitter a eps] adds [eps] to the diagonal (numerical stabilisation
+    before a Cholesky factorization). *)
+
+val cholesky : t -> t
+(** Lower-triangular Cholesky factor [L] with [L·Lᵀ = A].
+    @raise Failure if the matrix is not (numerically) positive definite. *)
+
+val solve_lower : t -> Vec.t -> Vec.t
+(** [solve_lower l b] solves [L·x = b] by forward substitution. *)
+
+val solve_upper : t -> Vec.t -> Vec.t
+(** [solve_upper u b] solves [U·x = b] by back substitution, where [u] is
+    interpreted as the transpose of a lower-triangular factor. *)
+
+val cholesky_solve : t -> Vec.t -> Vec.t
+(** [cholesky_solve l b] solves [A·x = b] given the Cholesky factor [l]. *)
+
+val log_det_from_cholesky : t -> float
+(** [log det A] computed from its Cholesky factor. *)
+
+val inverse_spd : t -> t
+(** Inverse of a symmetric positive-definite matrix via Cholesky. *)
+
+val pp : Format.formatter -> t -> unit

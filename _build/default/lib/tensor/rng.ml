@@ -1,0 +1,102 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function: advance by the golden gamma, then mix. *)
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Take 62 high bits (so the value fits OCaml's native int range), modulo
+     the bound.  The modulo bias is negligible for the bounds used here. *)
+  let raw = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  raw mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 random bits mapped to [0, 1), then scaled. *)
+  let raw = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  raw /. 9007199254740992.0 *. bound
+
+let uniform t lo hi = lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let normal t ?(mu = 0.) ?(sigma = 1.) () =
+  let rec draw () =
+    let u1 = float t 1.0 in
+    if u1 <= 0. then draw ()
+    else
+      let u2 = float t 1.0 in
+      sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+  in
+  mu +. (sigma *. draw ())
+
+let log_normal t ~mu ~sigma = exp (normal t ~mu ~sigma ())
+
+let exponential t ~rate =
+  let rec positive () =
+    let u = float t 1.0 in
+    if u <= 0. then positive () else u
+  in
+  -.log (positive ()) /. rate
+
+let choice t a =
+  if Array.length a = 0 then invalid_arg "Rng.choice: empty array";
+  a.(int t (Array.length a))
+
+let choice_weighted t a =
+  if Array.length a = 0 then invalid_arg "Rng.choice_weighted: empty array";
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0. a in
+  if total <= 0. then invalid_arg "Rng.choice_weighted: total weight is 0";
+  let target = float t total in
+  let rec scan i acc =
+    if i = Array.length a - 1 then fst a.(i)
+    else
+      let acc = acc +. snd a.(i) in
+      if target < acc then fst a.(i) else scan (i + 1) acc
+  in
+  scan 0 0.
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
+
+let sample_without_replacement t k n =
+  if k > n then invalid_arg "Rng.sample_without_replacement: k > n";
+  (* Partial Fisher–Yates: only the first [k] slots need to be settled. *)
+  let a = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = int_in t i (n - 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.sub a 0 k

@@ -1,0 +1,102 @@
+let mean xs =
+  if Array.length xs = 0 then 0.
+  else Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  if Array.length xs = 0 then 0.
+  else begin
+    let m = mean xs in
+    let acc = ref 0. in
+    Array.iter
+      (fun x ->
+        let d = x -. m in
+        acc := !acc +. (d *. d))
+      xs;
+    !acc /. float_of_int (Array.length xs)
+  end
+
+let std xs = sqrt (variance xs)
+
+let fold_nonempty name f xs =
+  if Array.length xs = 0 then invalid_arg ("Stat." ^ name ^ ": empty input")
+  else Array.fold_left f xs.(0) (Array.sub xs 1 (Array.length xs - 1))
+
+let min xs = fold_nonempty "min" Stdlib.min xs
+let max xs = fold_nonempty "max" Stdlib.max xs
+
+let quantile xs q =
+  if Array.length xs = 0 then invalid_arg "Stat.quantile: empty input";
+  if q < 0. || q > 1. then invalid_arg "Stat.quantile: q outside [0, 1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) in
+  let hi = int_of_float (ceil pos) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = pos -. float_of_int lo in
+    ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let median xs = quantile xs 0.5
+
+let epsilon_std = 1e-9
+
+let zscore_params xs =
+  let s = std xs in
+  (mean xs, if s < epsilon_std then epsilon_std else s)
+
+let zscore ~mean ~std x = (x -. mean) /. std
+
+let min_max_norm ~lo ~hi x =
+  if hi -. lo < epsilon_std then 0.5 else (x -. lo) /. (hi -. lo)
+
+let moving_average w xs =
+  let n = Array.length xs in
+  Array.init n (fun i ->
+      let lo = Stdlib.max 0 (i - w) in
+      let hi = Stdlib.min (n - 1) (i + w) in
+      let acc = ref 0. in
+      for j = lo to hi do
+        acc := !acc +. xs.(j)
+      done;
+      !acc /. float_of_int (hi - lo + 1))
+
+let exp_smooth alpha xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n xs.(0) in
+    for i = 1 to n - 1 do
+      out.(i) <- (alpha *. xs.(i)) +. ((1. -. alpha) *. out.(i - 1))
+    done;
+    out
+  end
+
+let pearson xs ys =
+  if Array.length xs <> Array.length ys then invalid_arg "Stat.pearson: length mismatch";
+  let sx = std xs and sy = std ys in
+  if sx < epsilon_std || sy < epsilon_std then 0.
+  else begin
+    let mx = mean xs and my = mean ys in
+    let acc = ref 0. in
+    Array.iteri (fun i x -> acc := !acc +. ((x -. mx) *. (ys.(i) -. my))) xs;
+    !acc /. (float_of_int (Array.length xs) *. sx *. sy)
+  end
+
+let argmax xs = Vec.max_index xs
+let argmin xs = Vec.min_index xs
+
+let mae preds targets =
+  if Array.length preds <> Array.length targets then invalid_arg "Stat.mae: length mismatch";
+  if Array.length preds = 0 then 0.
+  else begin
+    let acc = ref 0. in
+    Array.iteri (fun i p -> acc := !acc +. abs_float (p -. targets.(i))) preds;
+    !acc /. float_of_int (Array.length preds)
+  end
+
+let normalized_mae preds targets =
+  let range = max targets -. min targets in
+  if range < epsilon_std then mae preds targets
+  else mae preds targets /. range

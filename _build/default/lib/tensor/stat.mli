@@ -1,0 +1,49 @@
+(** Descriptive statistics and normalization helpers.
+
+    Used throughout Wayfinder: z-score normalization of DTM inputs (§3.2 of
+    the paper prescribes z-scored features with RBF smoothing γ = 0.1),
+    min-max normalization for the throughput/memory score of §4.4
+    (eq. 4), and the smoothing applied to the published curves. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Population variance (divides by [n]). *)
+
+val std : float array -> float
+val min : float array -> float
+val max : float array -> float
+val median : float array -> float
+val quantile : float array -> float -> float
+(** [quantile xs q] with [q] in [\[0, 1\]], linear interpolation.
+    @raise Invalid_argument on empty input or [q] outside [\[0, 1\]]. *)
+
+val zscore_params : float array -> float * float
+(** [(mean, std)] with [std] floored at a small epsilon so that dividing is
+    always safe. *)
+
+val zscore : mean:float -> std:float -> float -> float
+
+val min_max_norm : lo:float -> hi:float -> float -> float
+(** The paper's [mXNorm]: maps [lo] to 0 and [hi] to 1; constant ranges map
+    to 0.5. *)
+
+val moving_average : int -> float array -> float array
+(** [moving_average w xs] smooths with a centred window of half-width [w]
+    (the "smoothed for readability" treatment of the paper's figures).
+    Returns an array of the same length. *)
+
+val exp_smooth : float -> float array -> float array
+(** Exponential smoothing with factor [alpha] in (0, 1]. *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient; 0 when either input is constant. *)
+
+val argmax : float array -> int
+val argmin : float array -> int
+
+val mae : float array -> float array -> float
+(** Mean absolute error between predictions and targets. *)
+
+val normalized_mae : float array -> float array -> float
+(** MAE divided by the target range ([max - min]); the paper's Table 3
+    metric. *)

@@ -1,0 +1,1 @@
+lib/yamlite/yamlite.ml: Buffer Format Fun List Printf String

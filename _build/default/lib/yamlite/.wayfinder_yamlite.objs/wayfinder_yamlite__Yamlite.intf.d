@@ -1,0 +1,1 @@
+lib/yamlite/yamlite.mli: Format

@@ -1,0 +1,1 @@
+test/test_causal.ml: Alcotest Array Citest Hashtbl List Pc Printf QCheck2 QCheck_alcotest String Unicorn Wayfinder_causal Wayfinder_tensor

@@ -1,0 +1,1 @@
+test/test_configspace.ml: Alcotest Array Encoding Hashtbl Jobfile List Param Probe QCheck2 QCheck_alcotest Space Wayfinder_configspace Wayfinder_kconfig Wayfinder_tensor

@@ -1,0 +1,1 @@
+test/test_forest.ml: Alcotest Array Forest List Printf QCheck2 QCheck_alcotest Tree Wayfinder_forest Wayfinder_tensor

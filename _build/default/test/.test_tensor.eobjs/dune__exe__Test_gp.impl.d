@@ -1,0 +1,1 @@
+test/test_gp.ml: Alcotest Array Gp Kernel List Printf QCheck2 QCheck_alcotest Wayfinder_gp Wayfinder_tensor

@@ -1,0 +1,1 @@
+test/test_kconfig.ml: Alcotest Ast Config Dotconfig Format List Parser Printf QCheck2 QCheck_alcotest Randconfig Space String Synthetic Tristate Wayfinder_kconfig Wayfinder_tensor

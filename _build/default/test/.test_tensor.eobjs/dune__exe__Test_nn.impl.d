@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Float Layer List Loss Network Optimizer Printf QCheck2 QCheck_alcotest Stdlib Wayfinder_nn Wayfinder_tensor

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Dataset Hashtbl List Mat Option Printf QCheck2 QCheck_alcotest Rng Stat Vec Wayfinder_tensor

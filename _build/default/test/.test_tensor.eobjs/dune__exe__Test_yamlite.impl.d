@@ -1,0 +1,1 @@
+test/test_yamlite.ml: Alcotest Float Hashtbl List Printf QCheck2 QCheck_alcotest Wayfinder_yamlite Yamlite

@@ -1,0 +1,517 @@
+open Wayfinder_configspace
+module Rng = Wayfinder_tensor.Rng
+module Kconfig = Wayfinder_kconfig
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let small_space () =
+  Space.create
+    [ Param.bool_param "printk" true;
+      Param.int_param ~log_scale:true "net.core.somaxconn" ~lo:16 ~hi:65536 ~default:128;
+      Param.int_param "vm.stat_interval" ~lo:1 ~hi:100 ~default:1;
+      Param.categorical_param "net.core.default_qdisc" [| "pfifo_fast"; "fq"; "fq_codel" |]
+        ~default:0;
+      Param.tristate_param ~stage:Param.Compile_time "NET_FASTPATH" 1;
+      Param.bool_param ~stage:Param.Boot_time "mitigations" true ]
+
+(* ------------------------------------------------------------------ *)
+(* Param                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_param_value_ok () =
+  let kint = Param.Kint { lo = 1; hi = 10; log_scale = false } in
+  Alcotest.(check bool) "in range" true (Param.value_ok kint (Param.Vint 5));
+  Alcotest.(check bool) "below" false (Param.value_ok kint (Param.Vint 0));
+  Alcotest.(check bool) "above" false (Param.value_ok kint (Param.Vint 11));
+  Alcotest.(check bool) "wrong type" false (Param.value_ok kint (Param.Vbool true));
+  Alcotest.(check bool) "cat in" true (Param.value_ok (Param.Kcategorical [| "a"; "b" |]) (Param.Vcat 1));
+  Alcotest.(check bool) "cat out" false
+    (Param.value_ok (Param.Kcategorical [| "a"; "b" |]) (Param.Vcat 2))
+
+let test_param_make_rejects_bad_default () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Param.int_param "x" ~lo:0 ~hi:10 ~default:42);
+       false
+     with Invalid_argument _ -> true)
+
+let test_param_clamp () =
+  let kint = Param.Kint { lo = 5; hi = 9; log_scale = false } in
+  Alcotest.(check bool) "clamps low" true (Param.clamp kint (Param.Vint 1) = Param.Vint 5);
+  Alcotest.(check bool) "clamps high" true (Param.clamp kint (Param.Vint 100) = Param.Vint 9)
+
+let test_param_value_strings () =
+  let p = Param.categorical_param "qdisc" [| "pfifo"; "fq" |] ~default:1 in
+  Alcotest.(check string) "cat to string" "fq" (Param.value_to_string p.Param.kind p.Param.default);
+  Alcotest.(check bool) "cat of string" true
+    (Param.value_of_string p.Param.kind "pfifo" = Some (Param.Vcat 0));
+  Alcotest.(check bool) "cat unknown" true (Param.value_of_string p.Param.kind "zzz" = None);
+  Alcotest.(check bool) "bool of string" true
+    (Param.value_of_string Param.Kbool "yes" = Some (Param.Vbool true));
+  let kint = Param.Kint { lo = 0; hi = 10; log_scale = false } in
+  Alcotest.(check bool) "int out of range rejected" true (Param.value_of_string kint "11" = None)
+
+let test_param_sample_in_domain () =
+  let rng = Rng.create 1 in
+  let params =
+    [ Param.bool_param "b" false;
+      Param.int_param ~log_scale:true "i" ~lo:1 ~hi:1000000 ~default:10;
+      Param.categorical_param "c" [| "x"; "y"; "z" |] ~default:0;
+      Param.tristate_param "t" 0 ]
+  in
+  List.iter
+    (fun p ->
+      for _ = 1 to 200 do
+        let v = Param.sample p rng in
+        Alcotest.(check bool) ("sample ok " ^ p.Param.name) true (Param.value_ok p.Param.kind v)
+      done)
+    params
+
+let test_param_perturb_changes_value () =
+  let rng = Rng.create 2 in
+  let p = Param.int_param "i" ~lo:0 ~hi:100 ~default:50 in
+  for _ = 1 to 100 do
+    let v = Param.perturb p rng (Param.Vint 50) in
+    Alcotest.(check bool) "in domain" true (Param.value_ok p.Param.kind v);
+    Alcotest.(check bool) "changed" false (Param.value_equal v (Param.Vint 50))
+  done;
+  let b = Param.bool_param "b" false in
+  Alcotest.(check bool) "bool flips" true
+    (Param.perturb b rng (Param.Vbool false) = Param.Vbool true)
+
+let test_param_cardinality () =
+  Alcotest.(check (float 1e-9)) "bool" 2. (Param.cardinality Param.Kbool);
+  Alcotest.(check (float 1e-9)) "int" 11.
+    (Param.cardinality (Param.Kint { lo = 0; hi = 10; log_scale = false }));
+  Alcotest.(check (float 1e-9)) "cat" 3. (Param.cardinality (Param.Kcategorical [| "a"; "b"; "c" |]))
+
+(* ------------------------------------------------------------------ *)
+(* Space                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_space_basics () =
+  let s = small_space () in
+  Alcotest.(check int) "size" 6 (Space.size s);
+  Alcotest.(check int) "index lookup" 1 (Space.index_of s "net.core.somaxconn");
+  Alcotest.(check bool) "mem" true (Space.mem s "printk");
+  Alcotest.(check bool) "not mem" false (Space.mem s "nope");
+  let d = Space.defaults s in
+  Alcotest.(check bool) "default value" true
+    (Param.value_equal (Space.get s d "net.core.somaxconn") (Param.Vint 128));
+  Alcotest.(check (list (pair int string))) "defaults valid" [] (Space.validate s d)
+
+let test_space_duplicate_names () =
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       ignore (Space.create [ Param.bool_param "a" false; Param.bool_param "a" true ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_space_random_valid () =
+  let s = small_space () in
+  let rng = Rng.create 3 in
+  for _ = 1 to 100 do
+    let c = Space.random s rng in
+    Alcotest.(check (list (pair int string))) "valid" [] (Space.validate s c)
+  done
+
+let test_space_fix () =
+  let s = small_space () in
+  let s = Space.fix s [ ("printk", Param.Vbool false) ] in
+  let rng = Rng.create 4 in
+  for _ = 1 to 50 do
+    let c = Space.random s rng in
+    Alcotest.(check bool) "pinned stays" true
+      (Param.value_equal (Space.get s c "printk") (Param.Vbool false))
+  done;
+  (* validate flags violated pins *)
+  let c = Space.defaults s in
+  let c = Array.copy c in
+  c.(Space.index_of s "printk") <- Param.Vbool true;
+  Alcotest.(check bool) "pin violation detected" true (Space.validate s c <> [])
+
+let test_space_sample_biased () =
+  let s = small_space () in
+  let rng = Rng.create 5 in
+  (* Never vary: identical to defaults. *)
+  let c = Space.sample_biased s rng ~vary_probability:(fun _ -> 0.) in
+  Alcotest.(check (list (triple string string string))) "no variation" []
+    (Space.diff s (Space.defaults s) c);
+  (* Favor runtime: compile-time params should essentially never change. *)
+  let changed_compile = ref 0 and changed_runtime = ref 0 in
+  for _ = 1 to 300 do
+    let c = Space.sample_biased s rng ~vary_probability:(Space.favor_stage Param.Runtime ~weak:0.) in
+    List.iter
+      (fun (name, _, _) ->
+        match (Space.param s (Space.index_of s name)).Param.stage with
+        | Param.Compile_time -> incr changed_compile
+        | Param.Runtime -> incr changed_runtime
+        | Param.Boot_time -> ())
+      (Space.diff s (Space.defaults s) c)
+  done;
+  Alcotest.(check int) "compile-time untouched" 0 !changed_compile;
+  Alcotest.(check bool) "runtime varied" true (!changed_runtime > 0)
+
+let test_space_mutate () =
+  let s = small_space () in
+  let rng = Rng.create 6 in
+  let base = Space.defaults s in
+  for _ = 1 to 50 do
+    let c = Space.mutate s rng base ~count:2 in
+    Alcotest.(check (list (pair int string))) "mutant valid" [] (Space.validate s c);
+    Alcotest.(check bool) "at most 2 changes" true (List.length (Space.diff s base c) <= 2)
+  done
+
+let test_space_crossover () =
+  let s = small_space () in
+  let rng = Rng.create 7 in
+  let a = Space.random s rng and b = Space.random s rng in
+  let c = Space.crossover s rng a b in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool) "gene from a parent" true
+        (Param.value_equal v a.(i) || Param.value_equal v b.(i)))
+    c
+
+let test_space_assoc_roundtrip () =
+  let s = small_space () in
+  let rng = Rng.create 8 in
+  let c = Space.random s rng in
+  match Space.of_assoc s (Space.to_assoc s c) with
+  | Error e -> Alcotest.fail e
+  | Ok c' ->
+    Alcotest.(check (list (triple string string string))) "roundtrip" [] (Space.diff s c c')
+
+let test_space_of_assoc_errors () =
+  let s = small_space () in
+  (match Space.of_assoc s [ ("nope", "1") ] with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown name accepted");
+  match Space.of_assoc s [ ("vm.stat_interval", "999") ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range accepted"
+
+let test_space_differs_only_in_stage () =
+  let s = small_space () in
+  let d = Space.defaults s in
+  let c1 = Space.set s d "vm.stat_interval" (Param.Vint 10) in
+  Alcotest.(check bool) "runtime-only diff" true
+    (Space.differs_only_in_stage s d c1 Param.Runtime);
+  let c2 = Space.set s c1 "NET_FASTPATH" (Param.Vtristate 2) in
+  Alcotest.(check bool) "compile diff breaks it" false
+    (Space.differs_only_in_stage s d c2 Param.Runtime)
+
+let test_space_log10_cardinality () =
+  let s =
+    Space.create [ Param.bool_param "a" false; Param.int_param "b" ~lo:1 ~hi:10 ~default:1 ]
+  in
+  Alcotest.(check (float 1e-9)) "2 * 10" (log10 20.) (Space.log10_cardinality s);
+  let s = Space.fix s [ ("a", Param.Vbool true) ] in
+  Alcotest.(check (float 1e-9)) "fixed excluded" (log10 10.) (Space.log10_cardinality s)
+
+let test_space_of_kconfig () =
+  let tree =
+    Kconfig.Parser.parse
+      "config A\n\tbool \"a\"\n\tdefault y\nconfig B\n\ttristate \"b\"\n\tdefault m\nconfig C\n\tint \"c\"\n\trange 1 100\n\tdefault 42\nconfig D\n\tstring \"d\"\n\tdefault \"foo\"\n"
+  in
+  let params = Space.of_kconfig (Kconfig.Space.descriptors tree) in
+  let s = Space.create params in
+  Alcotest.(check int) "param count" 4 (Space.size s);
+  let d = Space.defaults s in
+  Alcotest.(check bool) "bool default" true
+    (Param.value_equal (Space.get s d "A") (Param.Vbool true));
+  Alcotest.(check bool) "tristate default" true
+    (Param.value_equal (Space.get s d "B") (Param.Vtristate 1));
+  Alcotest.(check bool) "int default" true (Param.value_equal (Space.get s d "C") (Param.Vint 42));
+  Alcotest.(check bool) "string becomes categorical" true
+    (match (Space.param s (Space.index_of s "D")).Param.kind with
+    | Param.Kcategorical [| "foo" |] -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_encoding_dim_and_names () =
+  let s = small_space () in
+  let e = Encoding.create s in
+  (* bool + int + int + one-hot(3) + tristate + bool = 8 *)
+  Alcotest.(check int) "dim" 8 (Encoding.dim e);
+  let names = Encoding.feature_names e in
+  Alcotest.(check string) "one-hot label" "net.core.default_qdisc=fq" names.(4)
+
+let test_encoding_values () =
+  let s = small_space () in
+  let e = Encoding.create s in
+  let d = Space.defaults s in
+  let v = Encoding.encode e d in
+  Alcotest.(check (float 1e-9)) "bool true" 1. v.(0);
+  Alcotest.(check (float 1e-9)) "one-hot default" 1. v.(3);
+  Alcotest.(check (float 1e-9)) "one-hot others" 0. v.(4);
+  Alcotest.(check (float 1e-9)) "tristate m" 0.5 v.(6);
+  (* log-scaled int: lo -> 0, hi -> 1 *)
+  let c_lo = Space.set s d "net.core.somaxconn" (Param.Vint 16) in
+  let c_hi = Space.set s d "net.core.somaxconn" (Param.Vint 65536) in
+  Alcotest.(check (float 1e-9)) "log lo" 0. (Encoding.encode e c_lo).(1);
+  Alcotest.(check (float 1e-9)) "log hi" 1. (Encoding.encode e c_hi).(1)
+
+let test_encoding_bounded () =
+  let s = small_space () in
+  let e = Encoding.create s in
+  let rng = Rng.create 9 in
+  for _ = 1 to 100 do
+    let v = Encoding.encode e (Space.random s rng) in
+    Array.iter
+      (fun x -> Alcotest.(check bool) "in [0,1]" true (x >= 0. && x <= 1.))
+      v
+  done
+
+let test_encoding_distance () =
+  let s = small_space () in
+  let e = Encoding.create s in
+  let d = Space.defaults s in
+  Alcotest.(check (float 1e-9)) "self distance" 0. (Encoding.distance e d d);
+  let c = Space.set s d "printk" (Param.Vbool false) in
+  Alcotest.(check (float 1e-9)) "single bool flip" 1. (Encoding.distance e d c)
+
+let test_encoding_param_importance () =
+  let s = small_space () in
+  let e = Encoding.create s in
+  let scores = Array.make (Encoding.dim e) 0. in
+  scores.(3) <- 0.2;
+  scores.(4) <- 0.3;
+  (* both belong to default_qdisc *)
+  scores.(0) <- 0.1;
+  let ranked = Encoding.param_importance e scores in
+  let top_name, top_score = ranked.(0) in
+  Alcotest.(check string) "aggregated winner" "net.core.default_qdisc" top_name;
+  Alcotest.(check (float 1e-9)) "aggregated score" 0.5 top_score
+
+(* ------------------------------------------------------------------ *)
+(* Probe                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A fake /proc/sys with known semantics. *)
+let fake_sysfs () =
+  let store = Hashtbl.create 8 in
+  Hashtbl.replace store "net.core.somaxconn" "128";
+  Hashtbl.replace store "vm.swappiness" "60";
+  Hashtbl.replace store "kernel.panic" "0";
+  Hashtbl.replace store "kernel.hostname" "wayfinder";
+  let accepts file v =
+    match (file, int_of_string_opt v) with
+    | _, None -> false
+    | "net.core.somaxconn", Some i -> i >= 1 && i <= 128000
+    | "vm.swappiness", Some i -> i >= 0 && i <= 200
+    | "kernel.panic", Some i -> i >= 0 && i <= 1
+    | _, Some _ -> false
+  in
+  {
+    Probe.list_files =
+      (fun () -> [ "net.core.somaxconn"; "vm.swappiness"; "kernel.panic"; "kernel.hostname" ]);
+    read = (fun f -> Hashtbl.find_opt store f);
+    write =
+      (fun f v ->
+        if accepts f v then begin
+          Hashtbl.replace store f v;
+          Probe.Accepted
+        end
+        else Probe.Rejected);
+  }
+
+let test_probe_types () =
+  let report = Probe.probe (fake_sysfs ()) in
+  Alcotest.(check int) "three numeric params" 3 (List.length report.Probe.probed);
+  Alcotest.(check (list string)) "string skipped" [ "kernel.hostname" ] report.Probe.skipped;
+  let panic = List.find (fun p -> p.Param.name = "kernel.panic") report.Probe.probed in
+  Alcotest.(check bool) "0/1 default is bool" true (panic.Param.kind = Param.Kbool)
+
+let test_probe_ranges () =
+  let report = Probe.probe (fake_sysfs ()) in
+  let somaxconn = List.find (fun p -> p.Param.name = "net.core.somaxconn") report.Probe.probed in
+  (match somaxconn.Param.kind with
+   | Param.Kint { lo; hi; _ } ->
+     (* Scaling 128 by tens: up 1280, 12800, 128000 accepted, 1280000 not;
+        down 12, 1 accepted, 0 rejected. *)
+     Alcotest.(check int) "hi" 128000 hi;
+     Alcotest.(check int) "lo" 1 lo
+   | _ -> Alcotest.fail "expected int kind");
+  (* Probe restores the default afterwards. *)
+  let iface = fake_sysfs () in
+  let _ = Probe.probe iface in
+  Alcotest.(check (option string)) "default restored" (Some "128") (iface.Probe.read "net.core.somaxconn")
+
+let test_probe_crash_counted () =
+  let iface = fake_sysfs () in
+  let crashing =
+    { iface with
+      Probe.write =
+        (fun f v ->
+          if f = "vm.swappiness" && int_of_string_opt v = Some 600 then Probe.Crash
+          else iface.Probe.write f v) }
+  in
+  let report = Probe.probe crashing in
+  Alcotest.(check bool) "crash recorded" true (report.Probe.crashes >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Jobfile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sample_job =
+  {|
+name: nginx-linux
+os: sim-linux
+app: nginx
+metric: throughput
+maximize: true
+iterations: 250
+seed: 42
+favor: runtime
+fixed:
+  - name: kernel.randomize_va_space
+    value: "1"
+params:
+  - name: net.core.somaxconn
+    stage: runtime
+    type: int
+    min: 16
+    max: 65536
+    log: true
+    default: 128
+  - name: kernel.randomize_va_space
+    stage: runtime
+    type: bool
+    default: true
+  - name: net.core.default_qdisc
+    stage: runtime
+    type: categorical
+    values: [pfifo_fast, fq, fq_codel]
+    default: pfifo_fast
+  - name: DEBUG_INFO
+    stage: compile-time
+    type: tristate
+    default: n
+|}
+
+let test_jobfile_parse () =
+  let job = Jobfile.parse sample_job in
+  Alcotest.(check string) "name" "nginx-linux" job.Jobfile.job_name;
+  Alcotest.(check string) "app" "nginx" job.Jobfile.app;
+  Alcotest.(check bool) "maximize" true job.Jobfile.maximize;
+  Alcotest.(check (option int)) "iterations" (Some 250) job.Jobfile.iterations;
+  Alcotest.(check bool) "favor runtime" true (job.Jobfile.favor = Some Param.Runtime);
+  Alcotest.(check int) "space size" 4 (Space.size job.Jobfile.space)
+
+let test_jobfile_fixed_pins () =
+  let job = Jobfile.parse sample_job in
+  let s = job.Jobfile.space in
+  let i = Space.index_of s "kernel.randomize_va_space" in
+  Alcotest.(check bool) "ASLR pinned on" true
+    (match Space.fixed_value s i with Some (Param.Vbool true) -> true | _ -> false);
+  let rng = Rng.create 1 in
+  for _ = 1 to 20 do
+    let c = Space.random s rng in
+    Alcotest.(check bool) "never varied" true
+      (Param.value_equal (Space.get s c "kernel.randomize_va_space") (Param.Vbool true))
+  done
+
+let test_jobfile_schema_errors () =
+  let expect text =
+    match Jobfile.parse text with
+    | exception Jobfile.Schema_error _ -> ()
+    | _ -> Alcotest.fail "expected schema error"
+  in
+  expect "os: x\napp: y\nmetric: z\nparams: []\n";
+  (* missing name *)
+  expect "name: j\nos: x\napp: y\nmetric: z\n";
+  (* missing params *)
+  expect
+    "name: j\nos: x\napp: y\nmetric: z\nparams:\n  - name: p\n    type: int\n    min: 5\n    max: 1\n";
+  expect
+    "name: j\nos: x\napp: y\nmetric: z\nparams:\n  - name: p\n    type: wibble\n"
+
+let test_jobfile_roundtrip () =
+  let job = Jobfile.parse sample_job in
+  let job2 = Jobfile.of_yaml (Jobfile.to_yaml job) in
+  Alcotest.(check string) "name" job.Jobfile.job_name job2.Jobfile.job_name;
+  Alcotest.(check int) "space size" (Space.size job.Jobfile.space) (Space.size job2.Jobfile.space);
+  let d1 = Space.defaults job.Jobfile.space and d2 = Space.defaults job2.Jobfile.space in
+  Alcotest.(check (list (triple string string string))) "defaults agree" []
+    (Space.diff job.Jobfile.space d1 d2)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_random_configs_encode_bounded =
+  QCheck2.Test.make ~name:"encodings of random configs lie in [0,1]" ~count:100
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let s = small_space () in
+      let e = Encoding.create s in
+      let c = Space.random s (Rng.create seed) in
+      Array.for_all (fun x -> x >= 0. && x <= 1.) (Encoding.encode e c))
+
+let prop_mutate_preserves_validity =
+  QCheck2.Test.make ~name:"mutation preserves validity" ~count:100
+    QCheck2.Gen.(pair (int_range 0 10000) (int_range 1 6))
+    (fun (seed, count) ->
+      let s = small_space () in
+      let rng = Rng.create seed in
+      let c = Space.random s rng in
+      Space.validate s (Space.mutate s rng c ~count) = [])
+
+let prop_assoc_roundtrip =
+  QCheck2.Test.make ~name:"to_assoc/of_assoc roundtrip" ~count:100
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let s = small_space () in
+      let c = Space.random s (Rng.create seed) in
+      match Space.of_assoc s (Space.to_assoc s c) with
+      | Ok c' -> Space.diff s c c' = []
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "configspace"
+    [ ( "param",
+        [ Alcotest.test_case "value_ok" `Quick test_param_value_ok;
+          Alcotest.test_case "make rejects bad default" `Quick test_param_make_rejects_bad_default;
+          Alcotest.test_case "clamp" `Quick test_param_clamp;
+          Alcotest.test_case "value strings" `Quick test_param_value_strings;
+          Alcotest.test_case "sample in domain" `Quick test_param_sample_in_domain;
+          Alcotest.test_case "perturb changes value" `Quick test_param_perturb_changes_value;
+          Alcotest.test_case "cardinality" `Quick test_param_cardinality ] );
+      ( "space",
+        [ Alcotest.test_case "basics" `Quick test_space_basics;
+          Alcotest.test_case "duplicate names" `Quick test_space_duplicate_names;
+          Alcotest.test_case "random valid" `Quick test_space_random_valid;
+          Alcotest.test_case "fix pins" `Quick test_space_fix;
+          Alcotest.test_case "biased sampling" `Quick test_space_sample_biased;
+          Alcotest.test_case "mutate" `Quick test_space_mutate;
+          Alcotest.test_case "crossover" `Quick test_space_crossover;
+          Alcotest.test_case "assoc roundtrip" `Quick test_space_assoc_roundtrip;
+          Alcotest.test_case "of_assoc errors" `Quick test_space_of_assoc_errors;
+          Alcotest.test_case "stage-restricted diff" `Quick test_space_differs_only_in_stage;
+          Alcotest.test_case "log10 cardinality" `Quick test_space_log10_cardinality;
+          Alcotest.test_case "of_kconfig" `Quick test_space_of_kconfig ] );
+      ( "encoding",
+        [ Alcotest.test_case "dim and names" `Quick test_encoding_dim_and_names;
+          Alcotest.test_case "values" `Quick test_encoding_values;
+          Alcotest.test_case "bounded" `Quick test_encoding_bounded;
+          Alcotest.test_case "distance" `Quick test_encoding_distance;
+          Alcotest.test_case "parameter importance" `Quick test_encoding_param_importance ] );
+      ( "probe",
+        [ Alcotest.test_case "type inference" `Quick test_probe_types;
+          Alcotest.test_case "range estimation" `Quick test_probe_ranges;
+          Alcotest.test_case "crash counting" `Quick test_probe_crash_counted ] );
+      ( "jobfile",
+        [ Alcotest.test_case "parse" `Quick test_jobfile_parse;
+          Alcotest.test_case "fixed pins" `Quick test_jobfile_fixed_pins;
+          Alcotest.test_case "schema errors" `Quick test_jobfile_schema_errors;
+          Alcotest.test_case "roundtrip" `Quick test_jobfile_roundtrip ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_random_configs_encode_bounded; prop_mutate_preserves_validity;
+            prop_assoc_roundtrip ] ) ]

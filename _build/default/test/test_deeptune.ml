@@ -1,0 +1,433 @@
+open Wayfinder_deeptune
+module P = Wayfinder_platform
+module S = Wayfinder_simos
+module CS = Wayfinder_configspace
+module T = Wayfinder_tensor
+
+(* ------------------------------------------------------------------ *)
+(* Scoring (eqs. 2-3)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_scoring_dissimilarity () =
+  Alcotest.(check (float 1e-9)) "empty set is fully novel" 1.
+    (Scoring.dissimilarity [| 1.; 2. |] []);
+  Alcotest.(check (float 1e-9)) "known point has zero dissimilarity" 0.
+    (Scoring.dissimilarity [| 1.; 2. |] [ [| 1.; 2. |] ]);
+  (* ds = 1 - 1/(1+d²) with nearest-sample distance. *)
+  let ds = Scoring.dissimilarity [| 0. |] [ [| 1. |]; [| 10. |] ] in
+  Alcotest.(check (float 1e-9)) "uses nearest" 0.5 ds;
+  Alcotest.(check bool) "bounded" true (ds >= 0. && ds <= 1.)
+
+let test_scoring_monotone_in_distance () =
+  let known = [ [| 0.; 0. |] ] in
+  let near = Scoring.dissimilarity [| 0.1; 0. |] known in
+  let far = Scoring.dissimilarity [| 3.; 0. |] known in
+  Alcotest.(check bool) "farther is more novel" true (far > near)
+
+let test_scoring_alpha_balance () =
+  Alcotest.(check (float 1e-9)) "alpha 1 is pure dissimilarity" 0.8
+    (Scoring.score ~alpha:1. ~dissimilarity:0.8 ~uncertainty:0.2 ());
+  Alcotest.(check (float 1e-9)) "alpha 0 is pure uncertainty" 0.2
+    (Scoring.score ~alpha:0. ~dissimilarity:0.8 ~uncertainty:0.2 ());
+  Alcotest.(check (float 1e-9)) "default alpha 0.5" 0.5
+    (Scoring.score ~dissimilarity:0.8 ~uncertainty:0.2 ());
+  Alcotest.(check bool) "alpha out of range rejected" true
+    (try
+       ignore (Scoring.score ~alpha:1.5 ~dissimilarity:0.5 ~uncertainty:0.5 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* DTM                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* crash iff x0 > 0.8; performance = 3·x1 (+noise). *)
+let synthetic_dataset rng n =
+  let ds = T.Dataset.create () in
+  for _ = 1 to n do
+    let x0 = T.Rng.float rng 1.0 and x1 = T.Rng.float rng 1.0 in
+    let crashed = x0 > 0.8 in
+    let target = if crashed then 0. else (3. *. x1) +. T.Rng.normal rng ~sigma:0.05 () in
+    T.Dataset.add ds [| x0; x1 |] ~target ~crashed
+  done;
+  ds
+
+let trained_dtm ?(epochs = 150) () =
+  let rng = T.Rng.create 1 in
+  let ds = synthetic_dataset rng 300 in
+  let dtm = Dtm.create (T.Rng.create 2) ~in_dim:2 in
+  ignore (Dtm.train dtm ~epochs ds);
+  (dtm, ds)
+
+let test_dtm_untrained_predicts () =
+  let dtm = Dtm.create (T.Rng.create 3) ~in_dim:4 in
+  let p = Dtm.predict dtm [| 0.1; 0.2; 0.3; 0.4 |] in
+  Alcotest.(check bool) "crash prob in (0,1)" true
+    (p.Dtm.crash_probability > 0. && p.Dtm.crash_probability < 1.);
+  Alcotest.(check bool) "uncertainty in [0,1]" true
+    (p.Dtm.uncertainty >= 0. && p.Dtm.uncertainty <= 1.)
+
+let test_dtm_dimension_check () =
+  let dtm = Dtm.create (T.Rng.create 3) ~in_dim:4 in
+  Alcotest.(check bool) "wrong dim rejected" true
+    (try
+       ignore (Dtm.predict dtm [| 1. |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_dtm_learns_crash_boundary () =
+  let dtm, _ = trained_dtm () in
+  let p_crash = (Dtm.predict dtm [| 0.95; 0.5 |]).Dtm.crash_probability in
+  let p_safe = (Dtm.predict dtm [| 0.2; 0.5 |]).Dtm.crash_probability in
+  Alcotest.(check bool)
+    (Printf.sprintf "separates (%.2f vs %.2f)" p_crash p_safe)
+    true
+    (p_crash > 0.45 && p_safe < p_crash -. 0.2)
+
+let test_dtm_learns_performance () =
+  let dtm, _ = trained_dtm () in
+  let perf_high = (Dtm.predict dtm [| 0.2; 0.9 |]).Dtm.performance in
+  let perf_low = (Dtm.predict dtm [| 0.2; 0.1 |]).Dtm.performance in
+  Alcotest.(check bool) "predicts ordering" true (perf_high > perf_low +. 1.);
+  Alcotest.(check bool) "roughly calibrated" true
+    (abs_float (perf_high -. 2.7) < 0.6 && abs_float (perf_low -. 0.3) < 0.6)
+
+let test_dtm_uncertainty_higher_off_distribution () =
+  let dtm, _ = trained_dtm () in
+  (* Average in-distribution uncertainty vs a far outlier. *)
+  let rng = T.Rng.create 9 in
+  let in_dist = ref 0. in
+  for _ = 1 to 50 do
+    let x = [| T.Rng.float rng 1.0; T.Rng.float rng 1.0 |] in
+    in_dist := !in_dist +. (Dtm.predict dtm x).Dtm.uncertainty
+  done;
+  let in_dist = !in_dist /. 50. in
+  let outlier = (Dtm.predict dtm [| 30.; -30. |]).Dtm.uncertainty in
+  Alcotest.(check bool)
+    (Printf.sprintf "outlier %.3f > in-dist %.3f" outlier in_dist)
+    true (outlier > in_dist);
+  (* Inputs are clamped at ±6 z-scores, so the outlier response saturates
+     below 1; it must still be clearly higher than in-distribution. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "outlier %.3f well above in-dist %.3f" outlier in_dist)
+    true
+    (outlier > in_dist +. 0.15)
+
+let test_dtm_accuracy_evaluation () =
+  let dtm, ds = trained_dtm () in
+  let acc = Dtm.evaluate dtm ds in
+  Alcotest.(check bool) "failure accuracy high" true (acc.Dtm.failure_accuracy > 0.7);
+  Alcotest.(check bool)
+    (Printf.sprintf "mae %.3f small" acc.Dtm.normalized_mae)
+    true (acc.Dtm.normalized_mae < 0.1)
+
+let test_dtm_losses_decrease () =
+  let rng = T.Rng.create 4 in
+  let ds = synthetic_dataset rng 200 in
+  let dtm = Dtm.create (T.Rng.create 5) ~in_dim:2 in
+  let first = Dtm.train dtm ~epochs:1 ds in
+  let later = Dtm.train dtm ~epochs:20 ds in
+  Alcotest.(check bool) "cce decreases" true (later.Dtm.cce < first.Dtm.cce);
+  Alcotest.(check bool) "reg decreases" true (later.Dtm.reg < first.Dtm.reg)
+
+let test_dtm_empty_dataset_noop () =
+  let dtm = Dtm.create (T.Rng.create 6) ~in_dim:2 in
+  let l = Dtm.train dtm (T.Dataset.create ()) in
+  Alcotest.(check (float 1e-12)) "zero loss" 0. l.Dtm.cce
+
+let test_dtm_sensitivity_finds_signal () =
+  let dtm, ds = trained_dtm () in
+  let s = Dtm.feature_sensitivity dtm ds in
+  (* Performance depends on x1 positively, not on x0. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "x1 dominates (%.2f vs %.2f)" s.(1) s.(0))
+    true
+    (s.(1) > 1. && abs_float s.(0) < s.(1) /. 2.)
+
+let test_dtm_snapshot_roundtrip () =
+  let dtm, _ = trained_dtm () in
+  let snap = Dtm.export dtm in
+  let clone = Dtm.create (T.Rng.create 7) ~in_dim:2 in
+  Dtm.import clone snap;
+  let x = [| 0.4; 0.7 |] in
+  let a = Dtm.predict dtm x and b = Dtm.predict clone x in
+  Alcotest.(check (float 1e-9)) "same crash prediction" a.Dtm.crash_probability
+    b.Dtm.crash_probability;
+  Alcotest.(check (float 1e-9)) "same performance" a.Dtm.performance b.Dtm.performance;
+  (* Flat serialization roundtrip. *)
+  let snap2 = Dtm.snapshot_of_floats (Dtm.snapshot_to_floats snap) in
+  let clone2 = Dtm.create (T.Rng.create 8) ~in_dim:2 in
+  Dtm.import clone2 snap2;
+  Alcotest.(check (float 1e-9)) "flat roundtrip" a.Dtm.performance
+    (Dtm.predict clone2 x).Dtm.performance
+
+let test_dtm_import_rejects_mismatch () =
+  let dtm, _ = trained_dtm () in
+  let snap = Dtm.export dtm in
+  let other = Dtm.create (T.Rng.create 9) ~in_dim:5 in
+  Alcotest.(check bool) "wrong in_dim rejected" true
+    (try
+       Dtm.import other snap;
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-metric extension (§3.2)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let multi_prediction ?(crash = 0.1) ?(unc = 0.2) perfs =
+  { Dtm_multi.crash_probability = crash;
+    performances = perfs;
+    normalized_performances = perfs;
+    uncertainty = unc }
+
+let test_multi_rank_weighted_average () =
+  let objectives =
+    [ { Multi_objective.label = "a"; weight = 3. }; { Multi_objective.label = "b"; weight = 1. } ]
+  in
+  let r perfs =
+    Multi_objective.rank ~exploration_weight:0. ~crash_penalty:0. ~objectives
+      ~prediction:(multi_prediction perfs) ~dissimilarity:0. ()
+  in
+  (* weights normalise to 0.75/0.25 *)
+  Alcotest.(check (float 1e-9)) "weighted" ((0.75 *. 2.) +. (0.25 *. -1.)) (r [| 2.; -1. |]);
+  Alcotest.(check bool) "dominant metric dominates" true (r [| 1.; 0. |] > r [| 0.; 1. |])
+
+let test_multi_rank_crash_penalty () =
+  let objectives = [ { Multi_objective.label = "a"; weight = 1. } ] in
+  let r crash =
+    Multi_objective.rank ~exploration_weight:0. ~crash_penalty:2. ~objectives
+      ~prediction:(multi_prediction ~crash [| 1. |]) ~dissimilarity:0. ()
+  in
+  Alcotest.(check bool) "crashier ranks lower" true (r 0.9 < r 0.1)
+
+let test_multi_rank_validation () =
+  Alcotest.(check bool) "count mismatch rejected" true
+    (try
+       ignore
+         (Multi_objective.rank
+            ~objectives:[ { Multi_objective.label = "a"; weight = 1. } ]
+            ~prediction:(multi_prediction [| 1.; 2. |])
+            ~dissimilarity:0. ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero weights rejected" true
+    (try
+       ignore
+         (Multi_objective.rank
+            ~objectives:[ { Multi_objective.label = "a"; weight = 0. } ]
+            ~prediction:(multi_prediction [| 1. |])
+            ~dissimilarity:0. ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_dtm_multi_learns_two_targets () =
+  (* target 0 = 3*x0, target 1 = -2*x1; crash iff x2 > 0.8. *)
+  let rng = T.Rng.create 5 in
+  let m = Dtm_multi.create (T.Rng.create 6) ~in_dim:3 ~n_metrics:2 in
+  for _ = 1 to 300 do
+    let x = Array.init 3 (fun _ -> T.Rng.float rng 1.0) in
+    let crashed = x.(2) > 0.8 in
+    Dtm_multi.add m
+      { Dtm_multi.features = x; targets = [| 3. *. x.(0); -2. *. x.(1) |]; crashed }
+  done;
+  Dtm_multi.train m ~epochs:250 ();
+  let p = Dtm_multi.predict m [| 0.9; 0.1; 0.2 |] in
+  let q = Dtm_multi.predict m [| 0.1; 0.9; 0.2 |] in
+  Alcotest.(check bool) "metric 0 tracks x0" true
+    (p.Dtm_multi.performances.(0) > q.Dtm_multi.performances.(0) +. 0.8);
+  Alcotest.(check bool) "metric 1 tracks -x1" true
+    (p.Dtm_multi.performances.(1) > q.Dtm_multi.performances.(1) +. 0.5);
+  let crashy = Dtm_multi.predict m [| 0.5; 0.5; 0.95 |] in
+  let safe = Dtm_multi.predict m [| 0.5; 0.5; 0.2 |] in
+  Alcotest.(check bool)
+    (Printf.sprintf "shared crash head separates (%.2f vs %.2f)"
+       crashy.Dtm_multi.crash_probability safe.Dtm_multi.crash_probability)
+    true
+    (crashy.Dtm_multi.crash_probability > safe.Dtm_multi.crash_probability +. 0.08)
+
+let test_dtm_multi_validation () =
+  Alcotest.(check bool) "n_metrics >= 1" true
+    (try
+       ignore (Dtm_multi.create (T.Rng.create 1) ~in_dim:2 ~n_metrics:0);
+       false
+     with Invalid_argument _ -> true);
+  let m = Dtm_multi.create (T.Rng.create 1) ~in_dim:2 ~n_metrics:2 in
+  Alcotest.(check bool) "bad feature dim" true
+    (try
+       Dtm_multi.add m { Dtm_multi.features = [| 1. |]; targets = [| 1.; 2. |]; crashed = false };
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad target count" true
+    (try
+       Dtm_multi.add m { Dtm_multi.features = [| 1.; 2. |]; targets = [| 1. |]; crashed = false };
+       false
+     with Invalid_argument _ -> true)
+
+let test_multi_proposer_respects_weights () =
+  (* Conflicting objectives over one integer parameter: f0 rises with x,
+     f1 falls with x.  The weighting decides where the search settles. *)
+  let space =
+    CS.Space.create [ CS.Param.int_param "x" ~lo:0 ~hi:100 ~default:50 ]
+  in
+  let run weight_up =
+    let objectives =
+      [ { Multi_objective.label = "up"; weight = weight_up };
+        { Multi_objective.label = "down"; weight = 1. -. weight_up } ]
+    in
+    let options = { Deeptune.default_options with warmup = 8 } in
+    let p = Multi_objective.proposer ~options ~seed:7 ~objectives space in
+    for _ = 1 to 60 do
+      let config = Multi_objective.propose p in
+      let x = match config.(0) with CS.Param.Vint v -> float_of_int v | _ -> 0. in
+      Multi_objective.observe p config (Ok [| x; -.x |])
+    done;
+    match Multi_objective.best p with
+    | Some (config, _) -> (
+      match config.(0) with CS.Param.Vint v -> v | _ -> Alcotest.fail "int expected")
+    | None -> Alcotest.fail "no best"
+  in
+  let favour_up = run 0.95 and favour_down = run 0.05 in
+  Alcotest.(check bool)
+    (Printf.sprintf "weights steer the optimum (%d vs %d)" favour_up favour_down)
+    true
+    (favour_up > favour_down + 20)
+
+(* ------------------------------------------------------------------ *)
+(* DeepTune search on SimLinux                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sim = S.Sim_linux.create ()
+let space = S.Sim_linux.space sim
+
+let dt_options = { Deeptune.default_options with favor = Some CS.Param.Runtime }
+
+let run_search ?(iterations = 150) ~seed algorithm =
+  let target = P.Targets.of_sim_linux sim ~app:S.App.Nginx in
+  P.Driver.run ~seed ~target ~algorithm ~budget:(P.Driver.Iterations iterations) ()
+
+let test_deeptune_beats_random () =
+  (* Averaged over seeds, DeepTune's best must beat random search's
+     (Figure 6's qualitative claim). *)
+  let seeds = [ 1; 2; 3 ] in
+  let avg_best algo_of =
+    let total =
+      List.fold_left
+        (fun acc seed ->
+          let r = run_search ~seed (algo_of seed) in
+          acc +. Option.value ~default:0. (P.History.best_value r.P.Driver.history))
+        0. seeds
+    in
+    total /. float_of_int (List.length seeds)
+  in
+  let random = avg_best (fun _ -> P.Random_search.create ~favor:CS.Param.Runtime ()) in
+  let deeptune =
+    avg_best (fun seed -> Deeptune.algorithm (Deeptune.create ~options:dt_options ~seed space))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "deeptune %.0f > random %.0f" deeptune random)
+    true (deeptune > random)
+
+let test_deeptune_crash_rate_declines () =
+  (* §4.1: the crash rate decreases over time as the model learns (0.3 →
+     ~0.1); random stays flat.  Average over seeds to damp run noise. *)
+  let late_rate seed =
+    let dt = Deeptune.create ~options:dt_options ~seed space in
+    let r = run_search ~seed (Deeptune.algorithm dt) in
+    P.History.windowed_crash_rate r.P.Driver.history ~window:50
+  in
+  let mean = (late_rate 1 +. late_rate 2 +. late_rate 3) /. 3. in
+  Alcotest.(check bool) (Printf.sprintf "late crash rate %.2f < 0.15" mean) true (mean < 0.15)
+
+let test_deeptune_observations_recorded () =
+  let dt = Deeptune.create ~options:dt_options ~seed:5 space in
+  let _ = run_search ~iterations:40 ~seed:5 (Deeptune.algorithm dt) in
+  Alcotest.(check int) "one observation per iteration" 40 (Deeptune.observations dt)
+
+let test_deeptune_parameter_impacts () =
+  let dt = Deeptune.create ~options:dt_options ~seed:1 space in
+  let _ = run_search ~iterations:150 ~seed:1 (Deeptune.algorithm dt) in
+  let impacts = Deeptune.parameter_impacts dt in
+  Alcotest.(check int) "one entry per parameter" (CS.Space.size space) (Array.length impacts);
+  (* The documented positive parameters should rank above the median
+     parameter in learned positive impact. *)
+  let rank name =
+    let rec find i =
+      if i >= Array.length impacts then Array.length impacts
+      else if fst impacts.(i) = name then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let somaxconn_rank = rank "net.core.somaxconn" in
+  Alcotest.(check bool)
+    (Printf.sprintf "somaxconn ranked %d of %d" somaxconn_rank (Array.length impacts))
+    true
+    (somaxconn_rank < Array.length impacts / 2)
+
+let test_deeptune_transfer_learning_reduces_crashes () =
+  (* §4.2: a model pre-trained on one app keeps the crash rate below ~10 %
+     from the start on another app. *)
+  let donor = Deeptune.create ~options:dt_options ~seed:3 space in
+  let _ =
+    P.Driver.run ~seed:3
+      ~target:(P.Targets.of_sim_linux sim ~app:S.App.Redis)
+      ~algorithm:(Deeptune.algorithm donor) ~budget:(P.Driver.Iterations 250) ()
+  in
+  let snap = Deeptune.export donor in
+  let tl = Deeptune.create_from ~options:dt_options ~seed:21 space snap in
+  let r = run_search ~iterations:100 ~seed:21 (Deeptune.algorithm tl) in
+  let rate = P.History.crash_rate r.P.Driver.history in
+  Alcotest.(check bool) (Printf.sprintf "TL crash rate %.2f < 0.12" rate) true (rate < 0.12)
+
+let test_deeptune_crash_gate_ablation () =
+  (* Disabling the gate and the penalty must not make crash avoidance
+     better (sanity of the ablation axis). *)
+  let rate options seed =
+    let dt = Deeptune.create ~options ~seed space in
+    let r = run_search ~seed (Deeptune.algorithm dt) in
+    P.History.crash_rate r.P.Driver.history
+  in
+  let mean f = (f 2 +. f 4 +. f 6) /. 3. in
+  let with_gate = mean (rate dt_options) in
+  let without_gate =
+    mean (rate { dt_options with crash_gate = None; crash_penalty = 0. })
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "gated %.2f <= ungated %.2f (+slack)" with_gate without_gate)
+    true
+    (with_gate <= without_gate +. 0.03)
+
+let () =
+  Alcotest.run "deeptune"
+    [ ( "scoring",
+        [ Alcotest.test_case "dissimilarity" `Quick test_scoring_dissimilarity;
+          Alcotest.test_case "monotone in distance" `Quick test_scoring_monotone_in_distance;
+          Alcotest.test_case "alpha balance" `Quick test_scoring_alpha_balance ] );
+      ( "dtm",
+        [ Alcotest.test_case "untrained predicts" `Quick test_dtm_untrained_predicts;
+          Alcotest.test_case "dimension check" `Quick test_dtm_dimension_check;
+          Alcotest.test_case "learns crash boundary" `Quick test_dtm_learns_crash_boundary;
+          Alcotest.test_case "learns performance" `Quick test_dtm_learns_performance;
+          Alcotest.test_case "uncertainty off-distribution" `Quick
+            test_dtm_uncertainty_higher_off_distribution;
+          Alcotest.test_case "accuracy evaluation" `Quick test_dtm_accuracy_evaluation;
+          Alcotest.test_case "losses decrease" `Quick test_dtm_losses_decrease;
+          Alcotest.test_case "empty dataset noop" `Quick test_dtm_empty_dataset_noop;
+          Alcotest.test_case "sensitivity finds signal" `Quick test_dtm_sensitivity_finds_signal;
+          Alcotest.test_case "snapshot roundtrip" `Quick test_dtm_snapshot_roundtrip;
+          Alcotest.test_case "import rejects mismatch" `Quick test_dtm_import_rejects_mismatch ] );
+      ( "multi",
+        [ Alcotest.test_case "rank weighted average" `Quick test_multi_rank_weighted_average;
+          Alcotest.test_case "rank crash penalty" `Quick test_multi_rank_crash_penalty;
+          Alcotest.test_case "rank validation" `Quick test_multi_rank_validation;
+          Alcotest.test_case "dtm learns two targets" `Quick test_dtm_multi_learns_two_targets;
+          Alcotest.test_case "dtm validation" `Quick test_dtm_multi_validation;
+          Alcotest.test_case "proposer respects weights" `Quick test_multi_proposer_respects_weights ] );
+      ( "search",
+        [ Alcotest.test_case "beats random" `Slow test_deeptune_beats_random;
+          Alcotest.test_case "crash rate declines" `Slow test_deeptune_crash_rate_declines;
+          Alcotest.test_case "observations recorded" `Quick test_deeptune_observations_recorded;
+          Alcotest.test_case "parameter impacts" `Slow test_deeptune_parameter_impacts;
+          Alcotest.test_case "transfer learning" `Slow test_deeptune_transfer_learning_reduces_crashes;
+          Alcotest.test_case "crash gate ablation" `Slow test_deeptune_crash_gate_ablation ] ) ]

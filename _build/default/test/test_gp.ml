@@ -1,0 +1,183 @@
+open Wayfinder_gp
+module Mat = Wayfinder_tensor.Mat
+module Vec = Wayfinder_tensor.Vec
+module Rng = Wayfinder_tensor.Rng
+
+let se ?(lengthscale = 1.) ?(variance = 1.) () =
+  Kernel.Squared_exponential { lengthscale; variance }
+
+let test_kernel_self_similarity () =
+  let x = [| 0.5; -0.3 |] in
+  Alcotest.(check (float 1e-9)) "SE k(x,x) = variance" 2.
+    (Kernel.eval (se ~variance:2. ()) x x);
+  Alcotest.(check (float 1e-9)) "Matern k(x,x) = variance" 1.5
+    (Kernel.eval (Kernel.Matern52 { lengthscale = 1.; variance = 1.5 }) x x)
+
+let test_kernel_decay () =
+  let k = se () in
+  let origin = [| 0. |] in
+  let near = Kernel.eval k origin [| 0.1 |] and far = Kernel.eval k origin [| 3. |] in
+  Alcotest.(check bool) "monotone decay" true (near > far);
+  Alcotest.(check bool) "positive" true (far > 0.)
+
+let test_gram_symmetric_psd () =
+  let rng = Rng.create 1 in
+  let x = Mat.init 6 2 (fun _ _ -> Rng.normal rng ()) in
+  let g = Kernel.gram (se ()) x in
+  for i = 0 to 5 do
+    for j = 0 to 5 do
+      Alcotest.(check (float 1e-12)) "symmetric" (Mat.get g i j) (Mat.get g j i)
+    done
+  done;
+  (* PSD: jittered Cholesky must succeed. *)
+  ignore (Mat.cholesky (Mat.add_jitter g 1e-8))
+
+let sine_data n =
+  let xs = Array.init n (fun i -> float_of_int i /. float_of_int (n - 1) *. 6.) in
+  let x = Mat.of_rows (Array.map (fun v -> [| v |]) xs) in
+  let y = Array.map sin xs in
+  (x, y, xs)
+
+let test_gp_interpolates_training_points () =
+  let x, y, xs = sine_data 12 in
+  let gp = Gp.fit ~noise:1e-6 (se ~lengthscale:0.8 ()) x y in
+  Array.iteri
+    (fun i xv ->
+      let mean, var = Gp.predict gp [| xv |] in
+      Alcotest.(check bool)
+        (Printf.sprintf "mean at train point %d" i)
+        true
+        (abs_float (mean -. y.(i)) < 1e-3);
+      Alcotest.(check bool) "tiny variance at train point" true (var < 1e-3))
+    xs
+
+let test_gp_uncertainty_grows_away_from_data () =
+  let x, y, _ = sine_data 8 in
+  let gp = Gp.fit (se ~lengthscale:0.5 ()) x y in
+  let _, var_near = Gp.predict gp [| 3.0 |] in
+  let _, var_far = Gp.predict gp [| 20.0 |] in
+  Alcotest.(check bool) "variance larger off-data" true (var_far > var_near);
+  Alcotest.(check bool) "variance approaches prior" true (abs_float (var_far -. 1.) < 0.1)
+
+let test_gp_prediction_quality () =
+  let x, y, _ = sine_data 20 in
+  let gp = Gp.fit (se ~lengthscale:0.8 ()) x y in
+  (* Interpolation error at unseen midpoints should be small. *)
+  let err = ref 0. in
+  for i = 0 to 18 do
+    let q = (float_of_int i +. 0.5) /. 19. *. 6. in
+    let mean, _ = Gp.predict gp [| q |] in
+    err := max !err (abs_float (mean -. sin q))
+  done;
+  Alcotest.(check bool) "max interpolation error < 0.05" true (!err < 0.05)
+
+let test_gp_log_marginal_likelihood_prefers_truth () =
+  let x, y, _ = sine_data 15 in
+  let good = Gp.fit (se ~lengthscale:0.8 ()) x y in
+  let bad = Gp.fit (se ~lengthscale:100. ()) x y in
+  Alcotest.(check bool) "sane lengthscale scores higher" true
+    (Gp.log_marginal_likelihood good > Gp.log_marginal_likelihood bad)
+
+let test_gp_rejects_bad_input () =
+  Alcotest.(check bool) "no data" true
+    (try
+       ignore (Gp.fit (se ()) (Mat.zeros 0 1) [||]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "size mismatch" true
+    (try
+       ignore (Gp.fit (se ()) (Mat.zeros 3 1) [| 1.; 2. |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_std_normal_cdf () =
+  Alcotest.(check (float 1e-6)) "cdf(0)" 0.5 (Gp.std_normal_cdf 0.);
+  Alcotest.(check (float 1e-4)) "cdf(1.96)" 0.975 (Gp.std_normal_cdf 1.96);
+  Alcotest.(check (float 1e-4)) "cdf(-1.96)" 0.025 (Gp.std_normal_cdf (-1.96));
+  Alcotest.(check bool) "monotone" true (Gp.std_normal_cdf 1. > Gp.std_normal_cdf 0.5)
+
+let test_expected_improvement_behaviour () =
+  let x, y, _ = sine_data 8 in
+  let gp = Gp.fit (se ~lengthscale:0.5 ()) x y in
+  let best = Array.fold_left max neg_infinity y in
+  (* EI is non-negative everywhere. *)
+  for i = 0 to 30 do
+    let q = [| float_of_int i /. 5. |] in
+    Alcotest.(check bool) "EI >= 0" true (Gp.expected_improvement gp ~best q >= 0.)
+  done;
+  (* EI at a training point (known value, no uncertainty) is ~0; far from
+     data, uncertainty makes EI positive. *)
+  let ei_train = Gp.expected_improvement gp ~best [| 0. |] in
+  let ei_far = Gp.expected_improvement gp ~best [| 30. |] in
+  Alcotest.(check bool) "EI vanishes on known non-best point" true (ei_train < 1e-3);
+  Alcotest.(check bool) "EI positive off-data" true (ei_far > 0.01)
+
+let test_bayesopt_finds_peak () =
+  (* Maximise a smooth 1-D function with a candidate-pool BO loop. *)
+  let f x = -.((x -. 2.) *. (x -. 2.)) +. 3. in
+  let rng = Rng.create 5 in
+  let xs = ref [ [| 0. |]; [| 4. |] ] in
+  let ys = ref [ f 0.; f 4. ] in
+  for _ = 1 to 25 do
+    let x = Mat.of_rows (Array.of_list !xs) in
+    let y = Array.of_list !ys in
+    let gp = Gp.fit (se ~lengthscale:1. ()) x y in
+    let best = Array.fold_left max neg_infinity y in
+    (* Candidate pool over [0, 4]. *)
+    let best_q = ref [| 0. |] and best_ei = ref neg_infinity in
+    for _ = 1 to 64 do
+      let q = [| Rng.uniform rng 0. 4. |] in
+      let ei = Gp.expected_improvement gp ~best q in
+      if ei > !best_ei then begin
+        best_ei := ei;
+        best_q := q
+      end
+    done;
+    xs := !best_q :: !xs;
+    ys := f !best_q.(0) :: !ys
+  done;
+  let found = List.fold_left max neg_infinity !ys in
+  Alcotest.(check bool) "found near-optimal value" true (found > 2.99)
+
+let test_fit_auto_selects_sane_lengthscale () =
+  (* On smooth sine data the automatic selection must do at least as well
+     (by marginal likelihood) as any fixed grid point, and interpolate
+     accurately. *)
+  let x, y, _ = sine_data 15 in
+  let auto = Gp.fit_auto x y in
+  let manual = Gp.fit (se ~lengthscale:100. ()) x y in
+  Alcotest.(check bool) "beats a bad lengthscale" true
+    (Gp.log_marginal_likelihood auto > Gp.log_marginal_likelihood manual);
+  let mean, _ = Gp.predict auto [| 2.75 |] in
+  Alcotest.(check bool) "interpolates" true (abs_float (mean -. sin 2.75) < 0.1)
+
+let prop_predict_variance_nonnegative =
+  QCheck2.Test.make ~name:"posterior variance is non-negative" ~count:50
+    QCheck2.Gen.(pair (int_range 0 10000) (float_range (-10.) 10.))
+    (fun (seed, q) ->
+      let rng = Rng.create seed in
+      let x = Mat.init 6 1 (fun _ _ -> Rng.uniform rng (-5.) 5.) in
+      let y = Array.init 6 (fun i -> sin (Mat.get x i 0)) in
+      let gp = Gp.fit (se ()) x y in
+      let _, var = Gp.predict gp [| q |] in
+      var >= 0.)
+
+let () =
+  Alcotest.run "gp"
+    [ ( "kernel",
+        [ Alcotest.test_case "self similarity" `Quick test_kernel_self_similarity;
+          Alcotest.test_case "distance decay" `Quick test_kernel_decay;
+          Alcotest.test_case "gram symmetric PSD" `Quick test_gram_symmetric_psd ] );
+      ( "regression",
+        [ Alcotest.test_case "interpolates training points" `Quick test_gp_interpolates_training_points;
+          Alcotest.test_case "uncertainty grows off-data" `Quick test_gp_uncertainty_grows_away_from_data;
+          Alcotest.test_case "prediction quality" `Quick test_gp_prediction_quality;
+          Alcotest.test_case "marginal likelihood" `Quick test_gp_log_marginal_likelihood_prefers_truth;
+          Alcotest.test_case "input validation" `Quick test_gp_rejects_bad_input ] );
+      ( "acquisition",
+        [ Alcotest.test_case "normal cdf" `Quick test_std_normal_cdf;
+          Alcotest.test_case "expected improvement" `Quick test_expected_improvement_behaviour;
+          Alcotest.test_case "bayesopt finds peak" `Quick test_bayesopt_finds_peak ] );
+      ( "model selection",
+        [ Alcotest.test_case "fit_auto" `Quick test_fit_auto_selects_sane_lengthscale ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_predict_variance_nonnegative ]) ]

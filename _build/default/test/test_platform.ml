@@ -1,0 +1,359 @@
+open Wayfinder_platform
+module S = Wayfinder_simos
+module Space = Wayfinder_configspace.Space
+module Param = Wayfinder_configspace.Param
+module Rng = Wayfinder_tensor.Rng
+
+(* A tiny synthetic target: maximise -(x-7)² over one int parameter, crash
+   when x > 9. *)
+let toy_target () =
+  let space =
+    Space.create [ Wayfinder_configspace.Param.int_param "x" ~lo:0 ~hi:12 ~default:3 ]
+  in
+  Target.make ~name:"toy" ~space ~metric:Metric.throughput (fun ~trial config ->
+      ignore trial;
+      match config.(0) with
+      | Param.Vint x when x > 9 ->
+        { Target.value = Error "runtime-crash"; build_s = 10.; boot_s = 1.; run_s = 2. }
+      | Param.Vint x ->
+        let v = 100. -. float_of_int ((x - 7) * (x - 7)) in
+        { Target.value = Ok v; build_s = 10.; boot_s = 1.; run_s = 5. }
+      | Param.Vbool _ | Param.Vtristate _ | Param.Vcat _ ->
+        { Target.value = Error "invalid"; build_s = 0.; boot_s = 0.; run_s = 0. })
+
+(* ------------------------------------------------------------------ *)
+(* Metric                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_metric_score_direction () =
+  Alcotest.(check (float 1e-12)) "maximize keeps sign" 5. (Metric.score Metric.throughput 5.);
+  Alcotest.(check (float 1e-12)) "minimize negates" (-5.) (Metric.score Metric.memory_mb 5.);
+  Alcotest.(check bool) "better throughput" true (Metric.better Metric.throughput 10. 5.);
+  Alcotest.(check bool) "better memory is lower" true (Metric.better Metric.memory_mb 5. 10.);
+  Alcotest.(check (float 1e-12)) "unscore roundtrip" 3.
+    (Metric.unscore Metric.memory_mb (Metric.score Metric.memory_mb 3.))
+
+let test_metric_of_app () =
+  let m = Metric.of_app S.App.Sqlite in
+  Alcotest.(check bool) "sqlite minimizes" false m.Metric.maximize;
+  Alcotest.(check string) "unit" "us/op" m.Metric.unit_name
+
+(* ------------------------------------------------------------------ *)
+(* History                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let entry ?(value = None) ?(failure = None) ?(at = 0.) index =
+  { History.index; config = [||]; value; failure; at_seconds = at; eval_seconds = 60.;
+    built = false; decide_seconds = 0.001 }
+
+let test_history_best_and_crashes () =
+  let h = History.create Metric.throughput in
+  History.add h (entry ~value:(Some 10.) 0);
+  History.add h (entry ~failure:(Some "runtime-crash") 1);
+  History.add h (entry ~value:(Some 30.) ~at:120. 2);
+  History.add h (entry ~value:(Some 20.) 3);
+  Alcotest.(check int) "size" 4 (History.size h);
+  Alcotest.(check int) "crashes" 1 (History.crashes h);
+  Alcotest.(check (float 1e-9)) "crash rate" 0.25 (History.crash_rate h);
+  Alcotest.(check (option (float 1e-9))) "best" (Some 30.) (History.best_value h);
+  Alcotest.(check (option (float 1e-9))) "time to best" (Some 120.) (History.time_to_best h)
+
+let test_history_best_under_minimised_metric () =
+  let h = History.create Metric.memory_mb in
+  History.add h (entry ~value:(Some 210.) 0);
+  History.add h (entry ~value:(Some 195.) 1);
+  History.add h (entry ~value:(Some 205.) 2);
+  Alcotest.(check (option (float 1e-9))) "lowest wins" (Some 195.) (History.best_value h)
+
+let test_history_series () =
+  let h = History.create Metric.throughput in
+  History.add h (entry ~failure:(Some "x") 0);
+  History.add h (entry ~value:(Some 10.) 1);
+  History.add h (entry ~failure:(Some "x") 2);
+  History.add h (entry ~value:(Some 30.) 3);
+  Alcotest.(check (array (float 1e-9))) "values backfill failures" [| 10.; 10.; 10.; 30. |]
+    (History.values_series h);
+  Alcotest.(check (array (float 1e-9))) "best so far" [| nan; 10.; 10.; 30. |]
+    (History.best_so_far_series h);
+  Alcotest.(check (array (float 1e-9))) "crash indicator" [| 1.; 0.; 1.; 0. |]
+    (History.crash_indicator h)
+
+let test_history_windowed_crash_rate () =
+  let h = History.create Metric.throughput in
+  for i = 0 to 9 do
+    History.add h (entry ~failure:(Some "x") i)
+  done;
+  for i = 10 to 19 do
+    History.add h (entry ~value:(Some 1.) i)
+  done;
+  Alcotest.(check (float 1e-9)) "recent window clean" 0. (History.windowed_crash_rate h ~window:10);
+  Alcotest.(check (float 1e-9)) "full rate" 0.5 (History.crash_rate h)
+
+let test_history_csv () =
+  let h = History.create Metric.throughput in
+  History.add h (entry ~value:(Some 10.) 0);
+  let csv = History.to_csv h in
+  Alcotest.(check bool) "has header" true
+    (String.length csv > 10 && String.sub csv 0 5 = "index")
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_driver_iteration_budget () =
+  let target = toy_target () in
+  let algo = Random_search.create () in
+  let r = Driver.run ~seed:1 ~target ~algorithm:algo ~budget:(Driver.Iterations 40) () in
+  Alcotest.(check int) "exactly 40" 40 r.Driver.iterations;
+  Alcotest.(check int) "history matches" 40 (History.size r.Driver.history)
+
+let test_driver_virtual_time_budget () =
+  let target = toy_target () in
+  let algo = Random_search.create () in
+  let r = Driver.run ~seed:2 ~target ~algorithm:algo ~budget:(Driver.Virtual_seconds 100.) () in
+  (* Each iteration costs at least boot+run = 3 s (builds add more), so the
+     loop must stop after a bounded number of iterations. *)
+  Alcotest.(check bool) "clock past budget" true (S.Vclock.now r.Driver.clock >= 100.);
+  Alcotest.(check bool) "bounded iterations" true (r.Driver.iterations <= 40)
+
+let test_driver_finds_optimum_on_toy () =
+  let target = toy_target () in
+  let algo = Random_search.create () in
+  let r = Driver.run ~seed:3 ~target ~algorithm:algo ~budget:(Driver.Iterations 200) () in
+  Alcotest.(check (option (float 1e-9))) "optimum found" (Some 100.)
+    (History.best_value r.Driver.history);
+  Alcotest.(check (option (float 1e-9))) "relative" (Some 1.25)
+    (Driver.best_relative_to r ~default:80.)
+
+let test_driver_rebuild_skip () =
+  (* On the SimLinux target with runtime-only variation, only the first
+     iteration should charge a build. *)
+  let sim = S.Sim_linux.create () in
+  let target = Targets.of_sim_linux sim ~app:S.App.Nginx in
+  let algo = Random_search.create ~favor:Param.Runtime ~weak:0. () in
+  let r = Driver.run ~seed:4 ~target ~algorithm:algo ~budget:(Driver.Iterations 30) () in
+  Alcotest.(check int) "single build" 1 (History.builds_charged r.Driver.history);
+  (* With compile-time variation, most iterations rebuild. *)
+  let algo_all = Random_search.create () in
+  let r2 = Driver.run ~seed:4 ~target ~algorithm:algo_all ~budget:(Driver.Iterations 30) () in
+  Alcotest.(check bool) "rebuilds dominate" true (History.builds_charged r2.Driver.history > 20)
+
+let test_driver_deterministic () =
+  let target = toy_target () in
+  let run () =
+    let r =
+      Driver.run ~seed:7 ~target ~algorithm:(Random_search.create ())
+        ~budget:(Driver.Iterations 25) ()
+    in
+    History.values_series r.Driver.history
+  in
+  Alcotest.(check (array (float 1e-9))) "same seed same series" (run ()) (run ())
+
+let test_driver_invalid_proposal_recorded () =
+  let space = Space.create [ Wayfinder_configspace.Param.bool_param "b" false ] in
+  let target =
+    Target.make ~name:"t" ~space ~metric:Metric.throughput (fun ~trial:_ _ ->
+        { Target.value = Ok 1.; build_s = 1.; boot_s = 1.; run_s = 1. })
+  in
+  let bad =
+    Search_algorithm.make ~name:"bad" ~propose:(fun _ -> [| Param.Vint 42 |]) ()
+  in
+  let r = Driver.run ~target ~algorithm:bad ~budget:(Driver.Iterations 3) () in
+  Alcotest.(check int) "all recorded as failures" 3 (History.crashes r.Driver.history);
+  let e = (History.entries r.Driver.history).(0) in
+  Alcotest.(check (option string)) "failure kind" (Some "invalid-configuration")
+    e.History.failure
+
+(* ------------------------------------------------------------------ *)
+(* Grid search                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_grid_search_enumerates () =
+  let space =
+    Space.create
+      [ Wayfinder_configspace.Param.bool_param "a" false;
+        Wayfinder_configspace.Param.categorical_param "c" [| "x"; "y"; "z" |] ~default:0 ]
+  in
+  Alcotest.(check (float 1e-9)) "grid size" 6. (Grid_search.grid_size space);
+  let target =
+    Target.make ~name:"t" ~space ~metric:Metric.throughput (fun ~trial:_ config ->
+        let v =
+          (match config.(0) with Param.Vbool true -> 10. | _ -> 0.)
+          +. (match config.(1) with Param.Vcat i -> float_of_int i | _ -> 0.)
+        in
+        { Target.value = Ok v; build_s = 0.; boot_s = 0.; run_s = 1. })
+  in
+  let r =
+    Driver.run ~target ~algorithm:(Grid_search.create ()) ~budget:(Driver.Iterations 6) ()
+  in
+  (* Six iterations cover the whole 2x3 grid exactly once. *)
+  let seen = Hashtbl.create 6 in
+  Array.iter
+    (fun e -> Hashtbl.replace seen (Space.to_assoc space e.History.config) ())
+    (History.entries r.Driver.history);
+  Alcotest.(check int) "all distinct" 6 (Hashtbl.length seen);
+  Alcotest.(check (option (float 1e-9))) "optimum enumerated" (Some 12.)
+    (History.best_value r.Driver.history)
+
+let test_grid_search_respects_pins () =
+  let space =
+    Space.create
+      [ Wayfinder_configspace.Param.bool_param "a" false;
+        Wayfinder_configspace.Param.bool_param "pinned" true ]
+  in
+  let space = Space.fix space [ ("pinned", Param.Vbool true) ] in
+  Alcotest.(check (float 1e-9)) "pinned excluded from grid" 2. (Grid_search.grid_size space);
+  ignore space
+
+(* ------------------------------------------------------------------ *)
+(* Bayesian optimization                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_bayes_beats_random_on_toy () =
+  (* On a smooth low-dimensional problem with a modest budget, EI search
+     should find the optimum at least as reliably as random draws. *)
+  let space =
+    Space.create [ Wayfinder_configspace.Param.int_param "x" ~lo:0 ~hi:100 ~default:50 ]
+  in
+  let target =
+    Target.make ~name:"smooth" ~space ~metric:Metric.throughput (fun ~trial:_ config ->
+        match config.(0) with
+        | Param.Vint x ->
+          let fx = -.((float_of_int x -. 73.) ** 2.) in
+          { Target.value = Ok fx; build_s = 0.; boot_s = 0.; run_s = 1. }
+        | Param.Vbool _ | Param.Vtristate _ | Param.Vcat _ ->
+          { Target.value = Error "bad"; build_s = 0.; boot_s = 0.; run_s = 0. })
+  in
+  let best algo seed =
+    let r = Driver.run ~seed ~target ~algorithm:algo ~budget:(Driver.Iterations 30) () in
+    Option.value ~default:neg_infinity (History.best_value r.Driver.history)
+  in
+  let bayes_score = best (Bayes_search.create ()) 5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "bayes found near-optimum (%.1f)" bayes_score)
+    true (bayes_score > -25.)
+
+let test_bayes_handles_crashes () =
+  let target = toy_target () in
+  let r =
+    Driver.run ~seed:6 ~target ~algorithm:(Bayes_search.create ())
+      ~budget:(Driver.Iterations 40) ()
+  in
+  (* Must not raise, and must still find good configurations. *)
+  Alcotest.(check bool) "found > 90" true
+    (Option.value ~default:0. (History.best_value r.Driver.history) > 90.)
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= hn && (String.sub haystack i nn = needle || scan (i + 1)) in
+  scan 0
+
+let test_report_of_result () =
+  let target = toy_target () in
+  let r =
+    Driver.run ~seed:9 ~target ~algorithm:(Random_search.create ())
+      ~budget:(Driver.Iterations 50) ()
+  in
+  let report = Report.of_result ~default:80. ~algorithm:"random" ~target r in
+  Alcotest.(check int) "iterations" 50 report.Report.iterations;
+  Alcotest.(check string) "target name" "toy" report.Report.target_name;
+  (match report.Report.best with
+   | Some b ->
+     Alcotest.(check (float 1e-9)) "best value" 100. b.Report.value;
+     Alcotest.(check (option (float 1e-9))) "relative" (Some 1.25) b.Report.relative;
+     Alcotest.(check bool) "diff recorded" true (b.Report.changed <> [])
+   | None -> Alcotest.fail "expected a best entry");
+  let text = Report.to_text report in
+  Alcotest.(check bool) "text mentions target" true (contains text "toy");
+  Alcotest.(check bool) "text mentions relative" true (contains text "1.25x");
+  let md = Report.to_markdown report in
+  Alcotest.(check bool) "markdown heading" true (contains md "## toy")
+
+let test_report_minimised_metric () =
+  let space = Space.create [ Wayfinder_configspace.Param.int_param "x" ~lo:0 ~hi:10 ~default:5 ] in
+  let target =
+    Target.make ~name:"mem" ~space ~metric:Metric.memory_mb (fun ~trial:_ config ->
+        match config.(0) with
+        | Param.Vint x ->
+          { Target.value = Ok (200. +. float_of_int x); build_s = 0.; boot_s = 0.; run_s = 1. }
+        | _ -> { Target.value = Error "bad"; build_s = 0.; boot_s = 0.; run_s = 0. })
+  in
+  let r =
+    Driver.run ~seed:1 ~target ~algorithm:(Random_search.create ())
+      ~budget:(Driver.Iterations 40) ()
+  in
+  let report = Report.of_result ~default:205. ~algorithm:"random" ~target r in
+  match report.Report.best with
+  | Some b ->
+    Alcotest.(check (float 1e-9)) "lowest found" 200. b.Report.value;
+    Alcotest.(check (option (float 1e-9))) "relative inverts for minimised" (Some 1.025)
+      b.Report.relative
+  | None -> Alcotest.fail "expected best"
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_driver_history_indices_sequential =
+  QCheck2.Test.make ~name:"history indices are sequential" ~count:20
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let target = toy_target () in
+      let r =
+        Driver.run ~seed ~target ~algorithm:(Random_search.create ())
+          ~budget:(Driver.Iterations 15) ()
+      in
+      let es = History.entries r.Driver.history in
+      Array.for_all (fun e -> e.History.index = es.(e.History.index).History.index) es
+      && Array.length es = 15)
+
+let prop_clock_monotone =
+  QCheck2.Test.make ~name:"entry timestamps are monotone" ~count:20
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let target = toy_target () in
+      let r =
+        Driver.run ~seed ~target ~algorithm:(Random_search.create ())
+          ~budget:(Driver.Iterations 20) ()
+      in
+      let es = History.entries r.Driver.history in
+      let ok = ref true in
+      for i = 1 to Array.length es - 1 do
+        if es.(i).History.at_seconds < es.(i - 1).History.at_seconds then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "platform"
+    [ ( "metric",
+        [ Alcotest.test_case "score direction" `Quick test_metric_score_direction;
+          Alcotest.test_case "of_app" `Quick test_metric_of_app ] );
+      ( "history",
+        [ Alcotest.test_case "best and crashes" `Quick test_history_best_and_crashes;
+          Alcotest.test_case "minimised metric" `Quick test_history_best_under_minimised_metric;
+          Alcotest.test_case "series" `Quick test_history_series;
+          Alcotest.test_case "windowed crash rate" `Quick test_history_windowed_crash_rate;
+          Alcotest.test_case "csv export" `Quick test_history_csv ] );
+      ( "driver",
+        [ Alcotest.test_case "iteration budget" `Quick test_driver_iteration_budget;
+          Alcotest.test_case "virtual time budget" `Quick test_driver_virtual_time_budget;
+          Alcotest.test_case "finds optimum on toy" `Quick test_driver_finds_optimum_on_toy;
+          Alcotest.test_case "rebuild skip" `Quick test_driver_rebuild_skip;
+          Alcotest.test_case "deterministic" `Quick test_driver_deterministic;
+          Alcotest.test_case "invalid proposals recorded" `Quick test_driver_invalid_proposal_recorded ] );
+      ( "grid",
+        [ Alcotest.test_case "enumerates" `Quick test_grid_search_enumerates;
+          Alcotest.test_case "respects pins" `Quick test_grid_search_respects_pins ] );
+      ( "bayes",
+        [ Alcotest.test_case "finds optimum on smooth toy" `Quick test_bayes_beats_random_on_toy;
+          Alcotest.test_case "handles crashes" `Quick test_bayes_handles_crashes ] );
+      ( "report",
+        [ Alcotest.test_case "of_result and rendering" `Quick test_report_of_result;
+          Alcotest.test_case "minimised metric" `Quick test_report_minimised_metric ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_driver_history_indices_sequential; prop_clock_monotone ] ) ]

@@ -1,0 +1,421 @@
+open Wayfinder_tensor
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_floatish = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independence () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xa = Rng.bits64 a and xb = Rng.bits64 b in
+  Alcotest.(check bool) "split streams differ" true (xa <> xb)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    Alcotest.(check bool) "in [0,10)" true (x >= 0 && x < 10)
+  done
+
+let test_rng_int_in_bounds () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (x >= -5 && x <= 5)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (x >= 0. && x < 2.5)
+  done
+
+let test_rng_uniform_mean () =
+  let rng = Rng.create 4 in
+  let xs = Array.init 20000 (fun _ -> Rng.uniform rng 0. 1.) in
+  let m = Stat.mean xs in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (m -. 0.5) < 0.02)
+
+let test_rng_normal_moments () =
+  let rng = Rng.create 5 in
+  let xs = Array.init 30000 (fun _ -> Rng.normal rng ~mu:3. ~sigma:2. ()) in
+  Alcotest.(check bool) "mean near 3" true (abs_float (Stat.mean xs -. 3.) < 0.1);
+  Alcotest.(check bool) "std near 2" true (abs_float (Stat.std xs -. 2.) < 0.1)
+
+let test_rng_bernoulli_rate () =
+  let rng = Rng.create 6 in
+  let hits = ref 0 in
+  for _ = 1 to 20000 do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. 20000. in
+  Alcotest.(check bool) "rate near 0.3" true (abs_float (rate -. 0.3) < 0.02)
+
+let test_rng_choice_weighted () =
+  let rng = Rng.create 8 in
+  let counts = Hashtbl.create 3 in
+  let items = [| ("a", 1.); ("b", 0.); ("c", 3.) |] in
+  for _ = 1 to 10000 do
+    let k = Rng.choice_weighted rng items in
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  Alcotest.(check int) "zero-weight item never chosen" 0
+    (Option.value ~default:0 (Hashtbl.find_opt counts "b"));
+  let ca = float_of_int (Hashtbl.find counts "a") in
+  let cc = float_of_int (Hashtbl.find counts "c") in
+  Alcotest.(check bool) "ratio near weights" true (abs_float ((cc /. ca) -. 3.) < 0.5)
+
+let test_rng_shuffle_is_permutation () =
+  let rng = Rng.create 9 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_sample_without_replacement () =
+  let rng = Rng.create 10 in
+  let s = Rng.sample_without_replacement rng 10 30 in
+  Alcotest.(check int) "k elements" 10 (Array.length s);
+  let tbl = Hashtbl.create 10 in
+  Array.iter
+    (fun x ->
+      Alcotest.(check bool) "in range" true (x >= 0 && x < 30);
+      Alcotest.(check bool) "distinct" false (Hashtbl.mem tbl x);
+      Hashtbl.add tbl x ())
+    s
+
+let test_rng_invalid_args () =
+  let rng = Rng.create 11 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0));
+  Alcotest.check_raises "int_in hi<lo" (Invalid_argument "Rng.int_in: hi < lo") (fun () ->
+      ignore (Rng.int_in rng 3 2));
+  Alcotest.check_raises "choice empty" (Invalid_argument "Rng.choice: empty array") (fun () ->
+      ignore (Rng.choice rng [||]))
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_basic_algebra () =
+  let a = [| 1.; 2.; 3. |] and b = [| 4.; 5.; 6. |] in
+  Alcotest.(check (array (float 1e-12))) "add" [| 5.; 7.; 9. |] (Vec.add a b);
+  Alcotest.(check (array (float 1e-12))) "sub" [| -3.; -3.; -3. |] (Vec.sub a b);
+  Alcotest.(check (array (float 1e-12))) "mul" [| 4.; 10.; 18. |] (Vec.mul a b);
+  check_float "dot" 32. (Vec.dot a b);
+  check_float "norm2" (sqrt 14.) (Vec.norm2 a);
+  check_float "sq_dist" 27. (Vec.sq_dist a b)
+
+let test_vec_axpy () =
+  let x = [| 1.; 2. |] and y = [| 10.; 20. |] in
+  Vec.axpy 2. x y;
+  Alcotest.(check (array (float 1e-12))) "y <- 2x+y" [| 12.; 24. |] y
+
+let test_vec_extremes () =
+  let v = [| 3.; -1.; 7.; 7.; 0. |] in
+  Alcotest.(check int) "max_index" 2 (Vec.max_index v);
+  Alcotest.(check int) "min_index" 1 (Vec.min_index v)
+
+let test_vec_dim_mismatch () =
+  Alcotest.check_raises "add mismatch" (Invalid_argument "Vec.add: dimension mismatch (2 vs 3)")
+    (fun () -> ignore (Vec.add [| 1.; 2. |] [| 1.; 2.; 3. |]))
+
+(* ------------------------------------------------------------------ *)
+(* Mat                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_mat_matmul_identity () =
+  let a = Mat.init 3 3 (fun i j -> float_of_int ((i * 3) + j)) in
+  let i3 = Mat.eye 3 in
+  let prod = Mat.matmul a i3 in
+  Alcotest.(check (array (float 1e-12))) "A·I = A" a.Mat.data prod.Mat.data
+
+let test_mat_matmul_known () =
+  let a = Mat.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Mat.of_rows [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let c = Mat.matmul a b in
+  Alcotest.(check (array (float 1e-12))) "2x2 product" [| 19.; 22.; 43.; 50. |] c.Mat.data
+
+let test_mat_transpose_involution () =
+  let a = Mat.init 3 5 (fun i j -> float_of_int (i + (10 * j))) in
+  let att = Mat.transpose (Mat.transpose a) in
+  Alcotest.(check (array (float 1e-12))) "transpose twice" a.Mat.data att.Mat.data
+
+let test_mat_vec () =
+  let a = Mat.of_rows [| [| 1.; 0.; 2. |]; [| 0.; 3.; 0. |] |] in
+  Alcotest.(check (array (float 1e-12))) "A·x" [| 7.; 6. |] (Mat.mat_vec a [| 1.; 2.; 3. |]);
+  Alcotest.(check (array (float 1e-12))) "xᵀ·A" [| 1.; 6.; 2. |] (Mat.vec_mat [| 1.; 2. |] a)
+
+let spd_matrix n seed =
+  (* A·Aᵀ + n·I is symmetric positive definite. *)
+  let rng = Rng.create seed in
+  let a = Mat.init n n (fun _ _ -> Rng.normal rng ()) in
+  Mat.add_jitter (Mat.matmul a (Mat.transpose a)) (float_of_int n)
+
+let test_mat_cholesky_reconstruction () =
+  let a = spd_matrix 6 123 in
+  let l = Mat.cholesky a in
+  let recon = Mat.matmul l (Mat.transpose l) in
+  Array.iteri
+    (fun i x -> check_floatish (Printf.sprintf "entry %d" i) x recon.Mat.data.(i))
+    a.Mat.data
+
+let test_mat_cholesky_solve () =
+  let a = spd_matrix 5 55 in
+  let x_true = [| 1.; -2.; 3.; 0.5; -1. |] in
+  let b = Mat.mat_vec a x_true in
+  let l = Mat.cholesky a in
+  let x = Mat.cholesky_solve l b in
+  Array.iteri (fun i xi -> check_floatish (Printf.sprintf "x%d" i) x_true.(i) xi) x
+
+let test_mat_cholesky_rejects_indefinite () =
+  let a = Mat.of_rows [| [| 1.; 2. |]; [| 2.; 1. |] |] in
+  Alcotest.check_raises "indefinite" (Failure "Mat.cholesky: matrix not positive definite")
+    (fun () -> ignore (Mat.cholesky a))
+
+let test_mat_log_det () =
+  (* det(diag(2,3,4)) = 24 *)
+  let a = Mat.init 3 3 (fun i j -> if i = j then float_of_int (i + 2) else 0.) in
+  let l = Mat.cholesky a in
+  check_floatish "log det" (log 24.) (Mat.log_det_from_cholesky l)
+
+let test_mat_inverse_spd () =
+  let a = spd_matrix 4 99 in
+  let inv = Mat.inverse_spd a in
+  let prod = Mat.matmul a inv in
+  let i4 = Mat.eye 4 in
+  Array.iteri
+    (fun i x -> check_floatish (Printf.sprintf "entry %d" i) i4.Mat.data.(i) x)
+    prod.Mat.data
+
+let test_mat_shape_errors () =
+  let a = Mat.zeros 2 3 and b = Mat.zeros 2 2 in
+  Alcotest.check_raises "matmul mismatch"
+    (Invalid_argument "Mat.matmul: inner dimension mismatch (3 vs 2)") (fun () ->
+      ignore (Mat.matmul a b))
+
+(* ------------------------------------------------------------------ *)
+(* Stat                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_stat_basics () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_float "mean" 5. (Stat.mean xs);
+  check_float "std" 2. (Stat.std xs);
+  check_float "median" 4.5 (Stat.median xs);
+  check_float "min" 2. (Stat.min xs);
+  check_float "max" 9. (Stat.max xs)
+
+let test_stat_quantile_interp () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_float "q0" 1. (Stat.quantile xs 0.);
+  check_float "q1" 4. (Stat.quantile xs 1.);
+  check_float "q1/3" 2. (Stat.quantile xs (1. /. 3.))
+
+let test_stat_min_max_norm () =
+  check_float "lo" 0. (Stat.min_max_norm ~lo:10. ~hi:20. 10.);
+  check_float "hi" 1. (Stat.min_max_norm ~lo:10. ~hi:20. 20.);
+  check_float "mid" 0.5 (Stat.min_max_norm ~lo:10. ~hi:20. 15.);
+  check_float "degenerate" 0.5 (Stat.min_max_norm ~lo:5. ~hi:5. 5.)
+
+let test_stat_moving_average () =
+  let xs = [| 0.; 10.; 0.; 10.; 0. |] in
+  let sm = Stat.moving_average 1 xs in
+  check_float "interior smoothed" (10. /. 3.) sm.(1);
+  check_float "edge window shrinks" 5. sm.(0);
+  Alcotest.(check int) "same length" 5 (Array.length sm)
+
+let test_stat_pearson () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_float "perfect positive" 1. (Stat.pearson xs (Array.map (fun x -> (2. *. x) +. 1.) xs));
+  check_float "perfect negative" (-1.) (Stat.pearson xs (Array.map (fun x -> -.x) xs));
+  check_float "constant input" 0. (Stat.pearson xs [| 5.; 5.; 5.; 5. |])
+
+let test_stat_normalized_mae () =
+  let targets = [| 0.; 10. |] and preds = [| 1.; 9. |] in
+  check_float "nmae" 0.1 (Stat.normalized_mae preds targets)
+
+(* ------------------------------------------------------------------ *)
+(* Dataset                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_dataset_roundtrip () =
+  let d = Dataset.create () in
+  Dataset.add d [| 1.; 2. |] ~target:10. ~crashed:false;
+  Dataset.add d [| 3.; 4. |] ~target:0. ~crashed:true;
+  Dataset.add d [| 5.; 6. |] ~target:20. ~crashed:false;
+  Alcotest.(check int) "size" 3 (Dataset.size d);
+  Alcotest.(check int) "feature_dim" 2 (Dataset.feature_dim d);
+  let r0 = Dataset.row d 0 in
+  check_float "insertion order preserved" 10. r0.Dataset.target;
+  Alcotest.(check bool) "crash flag" true (Dataset.row d 1).Dataset.crashed
+
+let test_dataset_normalizer () =
+  let d = Dataset.create () in
+  Dataset.add d [| 0.; 100. |] ~target:10. ~crashed:false;
+  Dataset.add d [| 10.; 300. |] ~target:30. ~crashed:false;
+  Dataset.add d [| 20.; 200. |] ~target:999. ~crashed:true;
+  let nz = Dataset.fit_normalizer d in
+  (* Target stats use only the two non-crashed rows. *)
+  check_float "t_mean" 20. nz.Dataset.t_mean;
+  check_float "t_std" 10. nz.Dataset.t_std;
+  let v = Dataset.normalize_features nz [| 10.; 200. |] in
+  check_float "feature 0 centered" 0. v.(0);
+  check_float "feature 1 centered" 0. v.(1);
+  check_float "target roundtrip" 42.
+    (Dataset.denormalize_target nz (Dataset.normalize_target nz 42.))
+
+let test_dataset_batches_cover () =
+  let d = Dataset.create () in
+  for i = 0 to 24 do
+    Dataset.add d [| float_of_int i |] ~target:(float_of_int i) ~crashed:false
+  done;
+  let rng = Rng.create 77 in
+  let bs = Dataset.batches d rng ~batch_size:7 in
+  let total = List.fold_left (fun acc b -> acc + Array.length b) 0 bs in
+  Alcotest.(check int) "covers all rows" 25 total;
+  let seen = Hashtbl.create 25 in
+  List.iter (fun b -> Array.iter (fun r -> Hashtbl.replace seen r.Dataset.target ()) b) bs;
+  Alcotest.(check int) "each row once" 25 (Hashtbl.length seen)
+
+let test_dataset_split () =
+  let d = Dataset.create () in
+  for i = 0 to 99 do
+    Dataset.add d [| float_of_int i |] ~target:(float_of_int i) ~crashed:false
+  done;
+  let rng = Rng.create 5 in
+  let train, test = Dataset.split d rng ~train_fraction:0.8 in
+  Alcotest.(check int) "train size" 80 (Dataset.size train);
+  Alcotest.(check int) "test size" 20 (Dataset.size test)
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests                                                *)
+(* ------------------------------------------------------------------ *)
+
+let float_array_gen =
+  QCheck2.Gen.(array_size (int_range 1 20) (float_range (-100.) 100.))
+
+let pair_same_len_gen =
+  QCheck2.Gen.(
+    int_range 1 20 >>= fun n ->
+    pair (array_size (return n) (float_range (-50.) 50.)) (array_size (return n) (float_range (-50.) 50.)))
+
+let prop_vec_add_commutes =
+  QCheck2.Test.make ~name:"vec add commutes" ~count:200 pair_same_len_gen (fun (a, b) ->
+      Vec.add a b = Vec.add b a)
+
+let prop_vec_dot_symmetric =
+  QCheck2.Test.make ~name:"vec dot symmetric" ~count:200 pair_same_len_gen (fun (a, b) ->
+      abs_float (Vec.dot a b -. Vec.dot b a) < 1e-9)
+
+let prop_vec_triangle_inequality =
+  QCheck2.Test.make ~name:"vec triangle inequality" ~count:200
+    QCheck2.Gen.(
+      int_range 1 10 >>= fun n ->
+      triple
+        (array_size (return n) (float_range (-50.) 50.))
+        (array_size (return n) (float_range (-50.) 50.))
+        (array_size (return n) (float_range (-50.) 50.)))
+    (fun (a, b, c) -> Vec.dist a c <= Vec.dist a b +. Vec.dist b c +. 1e-9)
+
+let prop_stat_mean_bounded =
+  QCheck2.Test.make ~name:"mean within [min,max]" ~count:200 float_array_gen (fun xs ->
+      let m = Stat.mean xs in
+      m >= Stat.min xs -. 1e-9 && m <= Stat.max xs +. 1e-9)
+
+let prop_stat_zscore_normalizes =
+  QCheck2.Test.make ~name:"zscore yields mean 0 std <=1+eps" ~count:200 float_array_gen (fun xs ->
+      let m, s = Stat.zscore_params xs in
+      let zs = Array.map (Stat.zscore ~mean:m ~std:s) xs in
+      abs_float (Stat.mean zs) < 1e-6 && Stat.std zs <= 1. +. 1e-6)
+
+let prop_moving_average_preserves_bounds =
+  QCheck2.Test.make ~name:"moving average stays within data bounds" ~count:200 float_array_gen
+    (fun xs ->
+      let sm = Stat.moving_average 2 xs in
+      let lo = Stat.min xs -. 1e-9 and hi = Stat.max xs +. 1e-9 in
+      Array.for_all (fun x -> x >= lo && x <= hi) sm)
+
+let prop_cholesky_roundtrip =
+  QCheck2.Test.make ~name:"cholesky reconstructs SPD matrix" ~count:50
+    QCheck2.Gen.(pair (int_range 1 8) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let a = Mat.init n n (fun _ _ -> Rng.normal rng ()) in
+      let spd = Mat.add_jitter (Mat.matmul a (Mat.transpose a)) (float_of_int n) in
+      let l = Mat.cholesky spd in
+      let recon = Mat.matmul l (Mat.transpose l) in
+      let ok = ref true in
+      Array.iteri (fun i x -> if abs_float (x -. recon.Mat.data.(i)) > 1e-6 then ok := false) spd.Mat.data;
+      !ok)
+
+let prop_permutation_valid =
+  QCheck2.Test.make ~name:"permutation is a bijection" ~count:100
+    QCheck2.Gen.(pair (int_range 1 100) (int_range 0 10000))
+    (fun (n, seed) ->
+      let p = Rng.permutation (Rng.create seed) n in
+      let sorted = Array.copy p in
+      Array.sort compare sorted;
+      sorted = Array.init n (fun i -> i))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_vec_add_commutes; prop_vec_dot_symmetric; prop_vec_triangle_inequality;
+      prop_stat_mean_bounded; prop_stat_zscore_normalizes; prop_moving_average_preserves_bounds;
+      prop_cholesky_roundtrip; prop_permutation_valid ]
+
+let () =
+  Alcotest.run "tensor"
+    [ ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+          Alcotest.test_case "normal moments" `Quick test_rng_normal_moments;
+          Alcotest.test_case "bernoulli rate" `Quick test_rng_bernoulli_rate;
+          Alcotest.test_case "weighted choice" `Quick test_rng_choice_weighted;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_is_permutation;
+          Alcotest.test_case "sample without replacement" `Quick test_rng_sample_without_replacement;
+          Alcotest.test_case "invalid arguments" `Quick test_rng_invalid_args ] );
+      ( "vec",
+        [ Alcotest.test_case "basic algebra" `Quick test_vec_basic_algebra;
+          Alcotest.test_case "axpy" `Quick test_vec_axpy;
+          Alcotest.test_case "extremes" `Quick test_vec_extremes;
+          Alcotest.test_case "dimension mismatch" `Quick test_vec_dim_mismatch ] );
+      ( "mat",
+        [ Alcotest.test_case "matmul identity" `Quick test_mat_matmul_identity;
+          Alcotest.test_case "matmul known" `Quick test_mat_matmul_known;
+          Alcotest.test_case "transpose involution" `Quick test_mat_transpose_involution;
+          Alcotest.test_case "mat-vec products" `Quick test_mat_vec;
+          Alcotest.test_case "cholesky reconstruction" `Quick test_mat_cholesky_reconstruction;
+          Alcotest.test_case "cholesky solve" `Quick test_mat_cholesky_solve;
+          Alcotest.test_case "cholesky rejects indefinite" `Quick test_mat_cholesky_rejects_indefinite;
+          Alcotest.test_case "log det" `Quick test_mat_log_det;
+          Alcotest.test_case "inverse SPD" `Quick test_mat_inverse_spd;
+          Alcotest.test_case "shape errors" `Quick test_mat_shape_errors ] );
+      ( "stat",
+        [ Alcotest.test_case "basics" `Quick test_stat_basics;
+          Alcotest.test_case "quantile interpolation" `Quick test_stat_quantile_interp;
+          Alcotest.test_case "min-max norm" `Quick test_stat_min_max_norm;
+          Alcotest.test_case "moving average" `Quick test_stat_moving_average;
+          Alcotest.test_case "pearson" `Quick test_stat_pearson;
+          Alcotest.test_case "normalized MAE" `Quick test_stat_normalized_mae ] );
+      ( "dataset",
+        [ Alcotest.test_case "roundtrip" `Quick test_dataset_roundtrip;
+          Alcotest.test_case "normalizer" `Quick test_dataset_normalizer;
+          Alcotest.test_case "batches cover" `Quick test_dataset_batches_cover;
+          Alcotest.test_case "split" `Quick test_dataset_split ] );
+      ("properties", qcheck_cases) ]
