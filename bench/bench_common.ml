@@ -106,3 +106,22 @@ let mean xs = Stat.mean xs
 
 let check cond label =
   Printf.printf "  [%s] %s\n" (if cond then "ok" else "??") label
+
+(* Timing footer for a finished driver run: where the virtual budget went
+   (per §3.1 phase) and what the search itself cost in wall-clock time.
+   Every figure/table bench can append this to make the platform's
+   overheads visible next to the result it produced. *)
+let timing_footer ?(label = "timing") (result : Wayfinder_platform.Driver.result) =
+  let module Obs = Wayfinder_obs in
+  let m = result.Wayfinder_platform.Driver.metrics in
+  let virtual_line =
+    Obs.Summary.phase_line m
+      ~phases:
+        [ ("build", "driver.build"); ("boot", "driver.boot"); ("run", "driver.run");
+          ("invalid", "driver.invalid") ]
+      ~suffix:".virtual_s"
+  in
+  let wall name = Obs.Metrics.sum m (name ^ ".wall_s") in
+  Printf.printf "%12s: virtual %s\n" label virtual_line;
+  Printf.printf "%12s  wall propose %.3fs | evaluate %.3fs | observe %.3fs\n" ""
+    (wall "driver.propose") (wall "driver.evaluate") (wall "driver.observe")

@@ -39,6 +39,7 @@ let run () =
         let update_mean = P.History.mean_decide_seconds r.P.Driver.history in
         let ratio = eval_mean /. max 1e-9 update_mean in
         Printf.printf "%-8s %18.1f %18.4f %9.0fx\n" (S.App.name app) eval_mean update_mean ratio;
+        Bench_common.timing_footer ~label:(S.App.name app) r;
         (eval_mean, update_mean, ratio))
       S.App.all
   in

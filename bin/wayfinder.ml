@@ -70,7 +70,7 @@ let algorithm_for name ~favor ~seed =
 (* ------------------------------------------------------------------ *)
 
 let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s ~seed ~favor
-    ~csv_path ~quiet =
+    ~csv_path ~trace_path ~timings ~quiet =
   ignore metric_hint;
   let job =
     match job_file with
@@ -137,12 +137,43 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
               (if entry.P.History.built then "  [built]" else "")
           end
         in
-        let result =
-          P.Driver.run ~seed ~on_iteration:progress ~target ~algorithm:algo ~budget ()
+        (* Observability: aggregate metrics always; stream the full JSONL
+           event trace only when asked for. *)
+        match
+          try Ok (Option.map open_out trace_path)
+          with Sys_error msg -> Error ("trace file: " ^ msg)
+        with
+        | Error e -> Error e
+        | Ok trace_channel ->
+        let obs =
+          Wayfinder_obs.Recorder.create
+            ?sinks:
+              (Option.map (fun oc -> [ Wayfinder_obs.Sink.jsonl_channel oc ]) trace_channel)
+            ()
         in
+        let result =
+          P.Driver.run ~seed ~on_iteration:progress ~obs ~target ~algorithm:algo ~budget ()
+        in
+        (match trace_channel with
+        | Some oc ->
+          close_out oc;
+          Printf.printf "\ntrace written to %s\n" (Option.get trace_path)
+        | None -> ());
         print_newline ();
         print_string
           (P.Report.to_text (P.Report.of_result ~algorithm ~target result));
+        (match result.P.Driver.stop_reason with
+        | P.Driver.Invalid_cap ->
+          Printf.printf
+            "  stopped early: %d consecutive invalid proposals (search is stuck)\n"
+            P.Driver.default_max_consecutive_invalid
+        | P.Driver.Budget_exhausted -> ());
+        if timings then begin
+          print_newline ();
+          print_string
+            (Wayfinder_obs.Summary.to_text ~title:"== observability summary"
+               result.P.Driver.metrics)
+        end;
         (match !deeptune_state with
         | Some dt when D.Deeptune.observations dt > 20 ->
           Printf.printf "\ntop-5 learned positive-impact parameters:\n";
@@ -275,16 +306,24 @@ let run_cmd =
       & info [ "favor" ] ~docv:"STAGE" ~doc:"Favor varying one stage (runtime, boot, compile).")
   in
   let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write history CSV.") in
+  let trace =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"Write the JSONL observability trace.")
+  in
+  let timings =
+    Arg.(value & flag & info [ "timings" ] ~doc:"Print the per-phase metrics summary.")
+  in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-iteration output.") in
-  let f job_file os app algorithm iterations budget_s seed favor csv quiet =
+  let f job_file os app algorithm iterations budget_s seed favor csv trace timings quiet =
     handle
       (run_search ~job_file ~os ~app ~metric_hint:() ~algorithm ~iterations ~budget_s ~seed
-         ~favor ~csv_path:csv ~quiet)
+         ~favor ~csv_path:csv ~trace_path:trace ~timings ~quiet)
   in
   let term =
     Term.(
       const f $ job_file $ os $ app_arg $ algorithm $ iterations $ budget_s $ seed $ favor $ csv
-      $ quiet)
+      $ trace $ timings $ quiet)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a specialization job") term
 

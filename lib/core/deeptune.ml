@@ -8,6 +8,7 @@ module Search_algorithm = Wayfinder_platform.Search_algorithm
 module Metric = Wayfinder_platform.Metric
 module History = Wayfinder_platform.History
 module Random_search = Wayfinder_platform.Random_search
+module Obs = Wayfinder_obs
 
 type options = {
   pool_size : int;
@@ -152,16 +153,29 @@ let rank_candidates t pool =
         ~weak:t.options.favor_weak t.space t.rng)
 
 let propose t ctx =
-  ignore ctx;
+  let obs = ctx.Search_algorithm.obs in
   match t.pending_seeds with
   | seed :: rest ->
     t.pending_seeds <- rest;
+    Obs.Recorder.incr obs ~quiet:true "deeptune.transfer_seeds_proposed";
     seed
   | [] ->
-  if Dataset.size t.dataset < t.options.warmup then
+  if Dataset.size t.dataset < t.options.warmup then begin
+    Obs.Recorder.incr obs ~quiet:true "deeptune.warmup_proposals";
     Random_search.sampler ?favor:t.options.favor ~strong:t.options.favor_strong
       ~weak:t.options.favor_weak t.space t.rng
-  else rank_candidates t (generate_pool t)
+  end
+  else begin
+    let pool =
+      Obs.Recorder.with_span obs "deeptune.pool" (fun () -> generate_pool t)
+    in
+    Obs.Recorder.observe obs ~quiet:true "deeptune.pool_size"
+      (float_of_int (List.length pool));
+    Obs.Recorder.with_span obs
+      ~attrs:[ Obs.Attr.int "pool" (List.length pool) ]
+      "deeptune.rank"
+      (fun () -> rank_candidates t pool)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Observation / incremental training                                  *)
@@ -187,8 +201,20 @@ let observe t ctx (entry : History.entry) =
   end;
   (* ⑤ Incremental update: a couple of passes over the history keeps the
      per-iteration cost linear (Figure 7's O(n)). *)
-  if Dataset.size t.dataset >= 4 then
-    ignore (Dtm.train t.dtm ~epochs:t.options.train_epochs t.dataset)
+  if Dataset.size t.dataset >= 4 then begin
+    let obs = ctx.Search_algorithm.obs in
+    let report_epoch _epoch (l : Dtm.losses) =
+      Obs.Recorder.observe obs ~quiet:true "deeptune.loss.cce" l.Dtm.cce;
+      Obs.Recorder.observe obs ~quiet:true "deeptune.loss.reg" l.Dtm.reg;
+      Obs.Recorder.observe obs ~quiet:true "deeptune.loss.chamfer" l.Dtm.chamfer
+    in
+    Obs.Recorder.with_span obs
+      ~attrs:[ Obs.Attr.int "dataset" (Dataset.size t.dataset) ]
+      "deeptune.train"
+      (fun () ->
+        ignore
+          (Dtm.train t.dtm ~epochs:t.options.train_epochs ~on_epoch:report_epoch t.dataset))
+  end
 
 let algorithm t =
   Search_algorithm.make ~name:"deeptune"

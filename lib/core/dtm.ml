@@ -187,7 +187,7 @@ let train_batch t nz batch =
   Optimizer.step t.optimizer;
   { cce = l_cce; reg = l_reg; chamfer = !l_cham }
 
-let train t ?(epochs = 3) ?(batch_size = 32) dataset =
+let train t ?(epochs = 3) ?(batch_size = 32) ?on_epoch dataset =
   if Dataset.size dataset = 0 then zero_losses
   else begin
     let fresh = Dataset.fit_normalizer dataset in
@@ -199,7 +199,7 @@ let train t ?(epochs = 3) ?(batch_size = 32) dataset =
     in
     t.normalizer <- Some nz;
     let last = ref zero_losses in
-    for _ = 1 to epochs do
+    for epoch = 1 to epochs do
       let batches = Dataset.batches dataset t.rng ~batch_size in
       let n = List.length batches in
       let acc = ref zero_losses in
@@ -210,7 +210,8 @@ let train t ?(epochs = 3) ?(batch_size = 32) dataset =
             { cce = !acc.cce +. l.cce; reg = !acc.reg +. l.reg; chamfer = !acc.chamfer +. l.chamfer })
         batches;
       let scale = 1. /. float_of_int (max 1 n) in
-      last := { cce = !acc.cce *. scale; reg = !acc.reg *. scale; chamfer = !acc.chamfer *. scale }
+      last := { cce = !acc.cce *. scale; reg = !acc.reg *. scale; chamfer = !acc.chamfer *. scale };
+      match on_epoch with Some f -> f epoch !last | None -> ()
     done;
     !last
   end

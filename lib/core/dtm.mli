@@ -63,11 +63,19 @@ val predict : t -> Vec.t -> prediction
 
 type losses = { cce : float; reg : float; chamfer : float }
 
-val train : t -> ?epochs:int -> ?batch_size:int -> Dataset.t -> losses
+val train :
+  t ->
+  ?epochs:int ->
+  ?batch_size:int ->
+  ?on_epoch:(int -> losses -> unit) ->
+  Dataset.t ->
+  losses
 (** Re-fit the normaliser on the dataset and run [epochs] (default 3)
     passes of mini-batch Adam (batch 32).  Returns the final epoch's mean
-    loss components [L = L_CCE + L_Reg + L_Cham].  Empty datasets are a
-    no-op returning zeros. *)
+    loss components [L = L_CCE + L_Reg + L_Cham]; [on_epoch] (1-based) is
+    called with each epoch's mean losses as they complete — the
+    observability layer streams them as [deeptune.loss.*] samples.  Empty
+    datasets are a no-op returning zeros. *)
 
 (** {1 Evaluation (Table 3)} *)
 

@@ -1,0 +1,37 @@
+type stamp = { wall_s : float; virtual_s : float }
+
+type t =
+  | Span of {
+      name : string;
+      attrs : Attr.t;
+      began : stamp;
+      wall_duration_s : float;
+      virtual_duration_s : float;
+    }
+  | Count of { name : string; delta : float; at : stamp }
+  | Sample of { name : string; value : float; at : stamp }
+
+let name = function Span { name; _ } | Count { name; _ } | Sample { name; _ } -> name
+
+let fl = Attr.json_of_value
+
+let to_json = function
+  | Span { name; attrs; began; wall_duration_s; virtual_duration_s } ->
+    Printf.sprintf
+      "{\"type\":\"span\",\"name\":%s,\"wall_s\":%s,\"virtual_s\":%s,\"began_wall_s\":%s,\"began_virtual_s\":%s%s}"
+      (fl (Attr.String name))
+      (fl (Attr.Float wall_duration_s))
+      (fl (Attr.Float virtual_duration_s))
+      (fl (Attr.Float began.wall_s))
+      (fl (Attr.Float began.virtual_s))
+      (if attrs = [] then "" else ",\"attrs\":" ^ Attr.to_json attrs)
+  | Count { name; delta; at } ->
+    Printf.sprintf
+      "{\"type\":\"count\",\"name\":%s,\"delta\":%s,\"wall_s\":%s,\"virtual_s\":%s}"
+      (fl (Attr.String name)) (fl (Attr.Float delta))
+      (fl (Attr.Float at.wall_s)) (fl (Attr.Float at.virtual_s))
+  | Sample { name; value; at } ->
+    Printf.sprintf
+      "{\"type\":\"sample\",\"name\":%s,\"value\":%s,\"wall_s\":%s,\"virtual_s\":%s}"
+      (fl (Attr.String name)) (fl (Attr.Float value))
+      (fl (Attr.Float at.wall_s)) (fl (Attr.Float at.virtual_s))

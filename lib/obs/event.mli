@@ -1,0 +1,32 @@
+(** Trace events.
+
+    Everything a {!Recorder} observes flows to its sinks as one of three
+    event kinds, each stamped with both clocks the platform runs on: the
+    monotonic wall clock (real seconds spent deciding, fitting models,
+    writing files) and the {!Wayfinder_simos.Vclock} virtual clock (the
+    simulated build/boot/run durations the budget experiments charge). *)
+
+type stamp = { wall_s : float; virtual_s : float }
+(** A point in time on both clocks.  [wall_s] is seconds on the recorder's
+    monotonic source (not an epoch); [virtual_s] is the virtual clock. *)
+
+type t =
+  | Span of {
+      name : string;
+      attrs : Attr.t;
+      began : stamp;  (** When the span opened. *)
+      wall_duration_s : float;
+      virtual_duration_s : float;
+    }  (** A completed span: a named phase with measured durations. *)
+  | Count of { name : string; delta : float; at : stamp }
+      (** A counter increment. *)
+  | Sample of { name : string; value : float; at : stamp }
+      (** One histogram observation. *)
+
+val name : t -> string
+
+val to_json : t -> string
+(** One-line JSON rendering (no trailing newline) — the JSONL sink writes
+    exactly this per event.  Example:
+    [{"type":"span","name":"driver.build","wall_s":0.0021,"virtual_s":112.5,
+      "began_wall_s":0.93,"began_virtual_s":4031.2,"attrs":{"built":true}}] *)

@@ -1,0 +1,121 @@
+(* Bucket layout: index 0 catches samples <= 2^min_exp (including zero and
+   negatives); indices 1..n-2 are (2^(e-1), 2^e]; the last index catches
+   everything above 2^max_exp.  The range 2^-20 (~1 µs) to 2^20 (~12 virtual
+   days) covers both wall-clock decision times and virtual build/run
+   durations. *)
+let min_exp = -20
+let max_exp = 20
+let n_buckets = max_exp - min_exp + 2
+
+let bucket_index v =
+  if not (v > 0.) then 0
+  else begin
+    let e = int_of_float (Float.ceil (Float.log2 v)) in
+    if e <= min_exp then 0
+    else if e > max_exp then n_buckets - 1
+    else e - min_exp
+  end
+
+let bucket_bound i =
+  if i >= n_buckets - 1 then infinity else Float.pow 2. (float_of_int (min_exp + i))
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  counts : int array;
+}
+
+type t = {
+  counters_tbl : (string, float ref) Hashtbl.t;
+  hists_tbl : (string, hist) Hashtbl.t;
+}
+
+let create () = { counters_tbl = Hashtbl.create 16; hists_tbl = Hashtbl.create 16 }
+
+let incr t ?(by = 1.) name =
+  match Hashtbl.find_opt t.counters_tbl name with
+  | Some r -> r := !r +. by
+  | None -> Hashtbl.add t.counters_tbl name (ref by)
+
+let observe t name v =
+  let h =
+    match Hashtbl.find_opt t.hists_tbl name with
+    | Some h -> h
+    | None ->
+      let h =
+        { h_count = 0; h_sum = 0.; h_min = infinity; h_max = neg_infinity;
+          counts = Array.make n_buckets 0 }
+      in
+      Hashtbl.add t.hists_tbl name h;
+      h
+  in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let i = bucket_index v in
+  h.counts.(i) <- h.counts.(i) + 1
+
+type histogram = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * int) array;
+}
+
+let mean h = if h.count = 0 then 0. else h.sum /. float_of_int h.count
+
+let quantile h q =
+  if h.count = 0 then 0.
+  else begin
+    let target = Float.max 1. (Float.ceil (q *. float_of_int h.count)) in
+    let acc = ref 0 and result = ref h.max in
+    (try
+       Array.iter
+         (fun (bound, c) ->
+           acc := !acc + c;
+           if float_of_int !acc >= target then begin
+             result := bound;
+             raise Exit
+           end)
+         h.buckets
+     with Exit -> ());
+    Float.max h.min (Float.min h.max !result)
+  end
+
+type snapshot = {
+  counters : (string * float) list;
+  histograms : (string * histogram) list;
+}
+
+let snapshot t =
+  let by_name (a, _) (b, _) = compare (a : string) b in
+  let counters =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters_tbl []
+    |> List.sort by_name
+  in
+  let histograms =
+    Hashtbl.fold
+      (fun name h acc ->
+        let buckets = ref [] in
+        for i = n_buckets - 1 downto 0 do
+          if h.counts.(i) > 0 then buckets := (bucket_bound i, h.counts.(i)) :: !buckets
+        done;
+        ( name,
+          { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max;
+            buckets = Array.of_list !buckets } )
+        :: acc)
+      t.hists_tbl []
+    |> List.sort by_name
+  in
+  { counters; histograms }
+
+let counter s name =
+  match List.assoc_opt name s.counters with Some v -> v | None -> 0.
+
+let histogram s name = List.assoc_opt name s.histograms
+
+let sum s name = match histogram s name with Some h -> h.sum | None -> 0.

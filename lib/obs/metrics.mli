@@ -1,0 +1,54 @@
+(** Aggregated metrics: named counters and histograms.
+
+    The in-process side of the observability layer: cheap to update on
+    every driver iteration, summarised once at the end of a run.
+    Histograms keep exact count/sum/min/max plus power-of-two buckets, so
+    quantiles are approximate (within a factor of 2) but memory per
+    histogram is constant — thousands of VM boots cost nothing. *)
+
+type t
+(** Mutable registry. *)
+
+val create : unit -> t
+
+val incr : t -> ?by:float -> string -> unit
+(** Add [by] (default 1.0) to a counter, creating it at 0. *)
+
+val observe : t -> string -> float -> unit
+(** Record one histogram sample. *)
+
+type histogram = {
+  count : int;
+  sum : float;
+  min : float;  (** [infinity] when [count = 0]. *)
+  max : float;  (** [neg_infinity] when [count = 0]. *)
+  buckets : (float * int) array;
+      (** Non-empty buckets as (inclusive upper bound, samples) pairs,
+          ascending.  Bounds are powers of two; samples [<= 0] land in the
+          first bucket. *)
+}
+
+val mean : histogram -> float
+(** [sum / count]; 0 when empty. *)
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [0, 1]: the upper bound of the bucket
+    containing the [q]-th sample, clamped to [[h.min, h.max]].  0 when
+    empty. *)
+
+type snapshot = {
+  counters : (string * float) list;  (** Sorted by name. *)
+  histograms : (string * histogram) list;  (** Sorted by name. *)
+}
+
+val snapshot : t -> snapshot
+(** An immutable copy of the current state; the registry keeps counting. *)
+
+val counter : snapshot -> string -> float
+(** Counter value, 0 if absent. *)
+
+val histogram : snapshot -> string -> histogram option
+
+val sum : snapshot -> string -> float
+(** Histogram sum, 0 if absent — the total virtual/wall seconds of a
+    span-backed histogram. *)

@@ -1,0 +1,56 @@
+type t = { emit : Event.t -> unit; flush : unit -> unit }
+
+let make ?(flush = fun () -> ()) ~emit () = { emit; flush }
+
+let emit t e = t.emit e
+let flush t = t.flush ()
+
+let null = { emit = (fun _ -> ()); flush = (fun () -> ()) }
+
+let tee sinks =
+  { emit = (fun e -> List.iter (fun s -> s.emit e) sinks);
+    flush = (fun () -> List.iter (fun s -> s.flush ()) sinks) }
+
+let jsonl write = { emit = (fun e -> write (Event.to_json e ^ "\n")); flush = (fun () -> ()) }
+
+let jsonl_channel oc =
+  { emit = (fun e -> output_string oc (Event.to_json e ^ "\n"));
+    flush = (fun () -> Stdlib.flush oc) }
+
+module Memory = struct
+  type store = {
+    capacity : int;
+    ring : Event.t option array;
+    mutable next : int;  (* total events ever stored *)
+    mutable n_dropped : int;
+  }
+
+  let create ?(capacity = 4096) () =
+    if capacity <= 0 then invalid_arg "Sink.Memory.create: capacity must be positive";
+    { capacity; ring = Array.make capacity None; next = 0; n_dropped = 0 }
+
+  let sink store =
+    { emit =
+        (fun e ->
+          if store.next >= store.capacity then store.n_dropped <- store.n_dropped + 1;
+          store.ring.(store.next mod store.capacity) <- Some e;
+          store.next <- store.next + 1);
+      flush = (fun () -> ()) }
+
+  let length store = min store.next store.capacity
+
+  let events store =
+    let n = length store in
+    let first = store.next - n in
+    List.init n (fun i ->
+        match store.ring.((first + i) mod store.capacity) with
+        | Some e -> e
+        | None -> assert false)
+
+  let dropped store = store.n_dropped
+
+  let clear store =
+    Array.fill store.ring 0 store.capacity None;
+    store.next <- 0;
+    store.n_dropped <- 0
+end

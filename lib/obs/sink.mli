@@ -1,0 +1,49 @@
+(** Pluggable event sinks.
+
+    A sink consumes the {!Event.t} stream a {!Recorder} produces.  Three
+    are provided: a bounded in-memory ring (tests, live dashboards), a
+    JSONL writer (offline analysis of long unattended runs), and a tee.
+    Recorders with no sinks still aggregate {!Metrics} — event fan-out is
+    strictly opt-in. *)
+
+type t
+
+val make : ?flush:(unit -> unit) -> emit:(Event.t -> unit) -> unit -> t
+(** A custom sink.  [flush] defaults to a no-op. *)
+
+val emit : t -> Event.t -> unit
+val flush : t -> unit
+
+val null : t
+(** Swallows everything. *)
+
+val tee : t list -> t
+(** Forwards each event to every sink, in order. *)
+
+val jsonl : (string -> unit) -> t
+(** [jsonl write] renders each event as one JSON line (newline included)
+    and passes it to [write] — wrap an [out_channel], a [Buffer], or a
+    socket. *)
+
+val jsonl_channel : out_channel -> t
+(** JSONL straight to a channel; [flush] flushes the channel. *)
+
+(** Bounded in-memory ring buffer.  When full, the oldest events are
+    dropped (and counted) — a test or a live status page wants the recent
+    tail, not an unbounded log. *)
+module Memory : sig
+  type store
+
+  val create : ?capacity:int -> unit -> store
+  (** Default capacity 4096 events. *)
+
+  val sink : store -> t
+  val events : store -> Event.t list
+  (** Oldest retained first. *)
+
+  val length : store -> int
+  val dropped : store -> int
+  (** Events evicted by the capacity bound. *)
+
+  val clear : store -> unit
+end

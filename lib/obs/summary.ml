@@ -1,0 +1,53 @@
+let si v =
+  (* Compact seconds rendering: microseconds to hours. *)
+  if v = 0. then "0"
+  else if Float.abs v < 1e-3 then Printf.sprintf "%.0fus" (v *. 1e6)
+  else if Float.abs v < 1. then Printf.sprintf "%.1fms" (v *. 1e3)
+  else if Float.abs v < 120. then Printf.sprintf "%.2fs" v
+  else if Float.abs v < 7200. then Printf.sprintf "%.1fm" (v /. 60.)
+  else Printf.sprintf "%.1fh" (v /. 3600.)
+
+let to_text ?title snapshot =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  (match title with Some t -> line "%s" t | None -> ());
+  if snapshot.Metrics.counters <> [] then begin
+    line "counters:";
+    List.iter
+      (fun (name, v) ->
+        if Float.is_integer v then line "  %-36s %12.0f" name v
+        else line "  %-36s %12.3f" name v)
+      snapshot.Metrics.counters
+  end;
+  if snapshot.Metrics.histograms <> [] then begin
+    line "distributions:";
+    line "  %-36s %8s %10s %10s %10s %10s" "name" "count" "total" "mean" "p50" "p95";
+    List.iter
+      (fun (name, h) ->
+        (* Histograms named [..._s] hold seconds and get the compact
+           duration rendering; anything else (losses, pool sizes) is a
+           plain number. *)
+        let fmt =
+          let n = String.length name in
+          if n >= 2 && String.sub name (n - 2) 2 = "_s" then si
+          else fun v -> Printf.sprintf "%.4g" v
+        in
+        line "  %-36s %8d %10s %10s %10s %10s" name h.Metrics.count (fmt h.Metrics.sum)
+          (fmt (Metrics.mean h))
+          (fmt (Metrics.quantile h 0.5))
+          (fmt (Metrics.quantile h 0.95)))
+      snapshot.Metrics.histograms
+  end;
+  Buffer.contents buf
+
+let phase_line snapshot ~phases ~suffix =
+  let totals =
+    List.map (fun (label, name) -> (label, Metrics.sum snapshot (name ^ suffix))) phases
+  in
+  let grand = List.fold_left (fun acc (_, v) -> acc +. v) 0. totals in
+  String.concat " | "
+    (List.map
+       (fun (label, v) ->
+         let pct = if grand > 0. then 100. *. v /. grand else 0. in
+         Printf.sprintf "%s %s (%.0f%%)" label (si v) pct)
+       totals)

@@ -1,0 +1,14 @@
+(** Human-readable metrics rendering.
+
+    Turns a {!Metrics.snapshot} into the plain-text footer the CLI and the
+    bench figures print: counters first, then one line per histogram with
+    count, total, mean and approximate tail quantiles. *)
+
+val to_text : ?title:string -> Metrics.snapshot -> string
+
+val phase_line :
+  Metrics.snapshot -> phases:(string * string) list -> suffix:string -> string
+(** One-line breakdown, e.g.
+    [phase_line s ~phases:["build", "driver.build"; ...] ~suffix:".virtual_s"]
+    renders ["build 812.0s (54%) | boot 96.1s (6%) | ..."] from the
+    histogram sums.  Phases with no samples render as 0. *)

@@ -3,6 +3,7 @@ module Encoding = Wayfinder_configspace.Encoding
 module Mat = Wayfinder_tensor.Mat
 module Gp = Wayfinder_gp.Gp
 module Kernel = Wayfinder_gp.Kernel
+module Obs = Wayfinder_obs
 
 type state = {
   encoding : Encoding.t;
@@ -41,7 +42,17 @@ let create ?favor ?(n_init = 8) ?(pool = 200) ?(max_points = 200) ?(lengthscale 
       (* Standardise targets so the unit-variance prior is sane. *)
       let mean, std = Wayfinder_tensor.Stat.zscore_params y in
       let y_std = Array.map (fun v -> (v -. mean) /. std) y in
-      let gp = Gp.fit ~noise:1e-3 kernel x y_std in
+      let gp =
+        (* O(n³) fit — the cost Figure 7 compares against; worth a span. *)
+        Obs.Recorder.with_span ctx.Search_algorithm.obs
+          ~attrs:[ Obs.Attr.int "points" (Array.length y) ]
+          "bayes.gp_fit"
+          (fun () -> Gp.fit ~noise:1e-3 kernel x y_std)
+      in
+      Obs.Recorder.observe ctx.Search_algorithm.obs ~quiet:true "bayes.model_points"
+        (float_of_int (Array.length y));
+      Obs.Recorder.observe ctx.Search_algorithm.obs ~quiet:true "bayes.pool_size"
+        (float_of_int pool);
       let best = Array.fold_left max neg_infinity y_std in
       let best_config = ref (Random_search.sampler ?favor space rng) in
       let best_ei = ref neg_infinity in

@@ -2,44 +2,90 @@ module Space = Wayfinder_configspace.Space
 module Param = Wayfinder_configspace.Param
 module Vclock = Wayfinder_simos.Vclock
 module Rng = Wayfinder_tensor.Rng
+module Obs = Wayfinder_obs
 
 type budget = Iterations of int | Virtual_seconds of float
+
+type stop_reason = Budget_exhausted | Invalid_cap
 
 type result = {
   history : History.t;
   best : History.entry option;
   clock : Vclock.t;
   iterations : int;
+  stop_reason : stop_reason;
+  metrics : Obs.Metrics.snapshot;
 }
 
-let run ?(seed = 0) ?clock ?on_iteration ~target ~algorithm ~budget () =
+(* Virtual phases the driver charges time under; Report and the benches
+   read these histogram names back. *)
+let virtual_phases =
+  [ ("build", "driver.build"); ("boot", "driver.boot"); ("run", "driver.run");
+    ("invalid", "driver.invalid") ]
+
+let default_invalid_floor_s = 1.
+let default_max_consecutive_invalid = 1000
+
+let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invalid_floor_s)
+    ?(max_consecutive_invalid = default_max_consecutive_invalid) ~target ~algorithm ~budget () =
+  if invalid_floor_s <= 0. then invalid_arg "Driver.run: invalid_floor_s must be positive";
+  if max_consecutive_invalid <= 0 then
+    invalid_arg "Driver.run: max_consecutive_invalid must be positive";
   let clock = match clock with Some c -> c | None -> Vclock.create () in
+  let obs = match obs with Some o -> o | None -> Obs.Recorder.create () in
+  Obs.Recorder.set_virtual_now obs (fun () -> Vclock.now clock);
+  Vclock.on_advance clock (fun dt -> Obs.Recorder.incr obs ~by:dt ~quiet:true "driver.virtual_s");
   let space = target.Target.space in
   let history = History.create target.Target.metric in
-  let rng = Rng.create (seed * 2654435761) in
+  let rng = Rng.create seed in
   let ctx =
-    { Search_algorithm.space; metric = target.Target.metric; history; rng }
+    { Search_algorithm.space; metric = target.Target.metric; history; rng; obs }
   in
   (* The configuration of the last image actually built; the build task is
      skipped when only runtime parameters changed since then (§3.1). *)
   let last_built = ref None in
   let index = ref 0 in
+  let consecutive_invalid = ref 0 in
+  let stop = ref None in
   let within_budget () =
     match budget with
     | Iterations n -> !index < n
     | Virtual_seconds s -> Vclock.now clock < s
   in
-  while within_budget () do
-    let decide_start = Unix.gettimeofday () in
-    let config = algorithm.Search_algorithm.propose ctx in
-    let decide_seconds = Unix.gettimeofday () -. decide_start in
+  while !stop = None && within_budget () do
+    let iteration_span =
+      Obs.Recorder.span_begin obs ~attrs:[ Obs.Attr.int "iteration" !index ] "driver.iteration"
+    in
+    let config, decide_seconds =
+      Obs.Recorder.timed obs "driver.propose" (fun () -> algorithm.Search_algorithm.propose ctx)
+    in
+    let violations =
+      Obs.Recorder.with_span obs "driver.validate" (fun () -> Space.validate space config)
+    in
     let entry =
-      match Space.validate space config with
+      match violations with
       | _ :: _ ->
+        (* Liveness: an invalid proposal consumed a decision slot, so it
+           must still advance the virtual clock — otherwise an algorithm
+           stuck proposing invalid configurations spins a Virtual_seconds
+           budget forever.  A fixed floor (rather than the measured
+           wall-clock decision time) keeps virtual trajectories
+           deterministic given the seed. *)
+        incr consecutive_invalid;
+        Vclock.advance clock invalid_floor_s;
+        Obs.Recorder.emit_span obs ~virtual_s:invalid_floor_s
+          ~attrs:[ Obs.Attr.int "consecutive" !consecutive_invalid ]
+          "driver.invalid";
+        Obs.Recorder.incr obs "driver.invalid_proposals";
         { History.index = !index; config; value = None; failure = Some "invalid-configuration";
-          at_seconds = Vclock.now clock; eval_seconds = 0.; built = false; decide_seconds }
+          at_seconds = Vclock.now clock; eval_seconds = invalid_floor_s; built = false;
+          decide_seconds }
       | [] ->
-        let result = target.Target.evaluate ~trial:!index config in
+        consecutive_invalid := 0;
+        let result =
+          Obs.Recorder.with_span obs "driver.evaluate" (fun () ->
+              target.Target.evaluate ~trial:!index config)
+        in
         let needs_build =
           match !last_built with
           | None -> true
@@ -48,6 +94,15 @@ let run ?(seed = 0) ?clock ?on_iteration ~target ~algorithm ~budget () =
         let build_charged = if needs_build then result.Target.build_s else 0. in
         let eval_seconds = build_charged +. result.Target.boot_s +. result.Target.run_s in
         Vclock.advance clock eval_seconds;
+        if needs_build then Obs.Recorder.incr obs "driver.builds_charged"
+        else Obs.Recorder.incr obs "driver.rebuild_skips";
+        let skip_attr = [ Obs.Attr.bool "rebuild_skipped" (not needs_build) ] in
+        Obs.Recorder.emit_span obs ~virtual_s:build_charged ~attrs:skip_attr "driver.build";
+        Obs.Recorder.emit_span obs ~virtual_s:result.Target.boot_s "driver.boot";
+        Obs.Recorder.emit_span obs ~virtual_s:result.Target.run_s "driver.run";
+        (match result.Target.value with
+        | Ok _ -> ()
+        | Error kind -> Obs.Recorder.incr obs (Printf.sprintf "driver.failures.%s" kind));
         (* Failed builds leave the previous image in place; anything that
            built (even if it later crashed) becomes the new baseline
            image. *)
@@ -65,15 +120,40 @@ let run ?(seed = 0) ?clock ?on_iteration ~target ~algorithm ~budget () =
     in
     (* Model update runs before the entry is archived so its cost can be
        folded into the recorded per-iteration decision time. *)
-    let observe_start = Unix.gettimeofday () in
-    algorithm.Search_algorithm.observe ctx entry;
-    let observe_seconds = Unix.gettimeofday () -. observe_start in
+    let (), observe_seconds =
+      Obs.Recorder.timed obs "driver.observe" (fun () ->
+          algorithm.Search_algorithm.observe ctx entry)
+    in
     let entry = { entry with History.decide_seconds = decide_seconds +. observe_seconds } in
     History.add history entry;
+    Obs.Recorder.incr obs "driver.iterations";
+    Obs.Recorder.observe obs ~quiet:true "driver.decide_s" entry.History.decide_seconds;
+    Obs.Recorder.observe obs ~quiet:true "driver.eval_s" entry.History.eval_seconds;
+    Obs.Recorder.span_end obs
+      ~attrs:
+        [ Obs.Attr.bool "built" entry.History.built;
+          Obs.Attr.string "status"
+            (match entry.History.failure with Some kind -> kind | None -> "ok") ]
+      iteration_span;
     (match on_iteration with Some f -> f entry | None -> ());
-    incr index
+    incr index;
+    (* Safety cap: a search stuck on invalid proposals makes no progress
+       the history could ever recover from — stop rather than burn the
+       whole budget recording failures. *)
+    if !consecutive_invalid >= max_consecutive_invalid then stop := Some Invalid_cap
   done;
-  { history; best = History.best history; clock; iterations = !index }
+  Obs.Recorder.flush obs;
+  { history;
+    best = History.best history;
+    clock;
+    iterations = !index;
+    stop_reason = (match !stop with Some r -> r | None -> Budget_exhausted);
+    metrics = Obs.Recorder.snapshot obs }
+
+let phase_virtual_seconds result =
+  List.map
+    (fun (label, name) -> (label, Obs.Metrics.sum result.metrics (name ^ ".virtual_s")))
+    virtual_phases
 
 let best_relative_to result ~default =
   match History.best result.history with

@@ -6,33 +6,80 @@
     outcome and update the algorithm.  The build task is skipped when the
     new configuration differs from the last *built* image only in runtime
     parameters.  The loop stops when the budget (iterations or virtual
-    time) is exhausted and returns the best configuration found. *)
+    time) is exhausted and returns the best configuration found.
+
+    Every iteration is traced through a {!Wayfinder_obs.Recorder} as a
+    [driver.iteration] span split into phases — [driver.propose],
+    [driver.validate], [driver.evaluate] and [driver.observe] carry wall
+    durations; [driver.build], [driver.boot], [driver.run] and
+    [driver.invalid] carry the virtual seconds charged to the budget (the
+    build span notes when the §3.1 rebuild-skip fired).  Counters track
+    iterations, builds charged, rebuild skips, invalid proposals and
+    per-kind failures; the aggregated snapshot is returned on
+    {!result.metrics}. *)
 
 module Space = Wayfinder_configspace.Space
 module Vclock = Wayfinder_simos.Vclock
+module Obs = Wayfinder_obs
 
 type budget = Iterations of int | Virtual_seconds of float
+
+type stop_reason =
+  | Budget_exhausted  (** The iteration or virtual-time budget ran out. *)
+  | Invalid_cap
+      (** [max_consecutive_invalid] invalid proposals in a row — the
+          algorithm is stuck outside the valid space and further spend
+          would be wasted. *)
 
 type result = {
   history : History.t;
   best : History.entry option;
   clock : Vclock.t;
   iterations : int;
+  stop_reason : stop_reason;
+  metrics : Obs.Metrics.snapshot;
+      (** Aggregated counters and per-phase timing histograms for the
+          run.  The virtual-phase sums ([driver.build.virtual_s] +
+          [driver.boot.virtual_s] + [driver.run.virtual_s] +
+          [driver.invalid.virtual_s]) equal
+          {!History.total_eval_seconds}. *)
 }
+
+val default_invalid_floor_s : float
+(** 1 virtual second. *)
+
+val default_max_consecutive_invalid : int
+(** 1000. *)
 
 val run :
   ?seed:int ->
   ?clock:Vclock.t ->
   ?on_iteration:(History.entry -> unit) ->
+  ?obs:Obs.Recorder.t ->
+  ?invalid_floor_s:float ->
+  ?max_consecutive_invalid:int ->
   target:Target.t ->
   algorithm:Search_algorithm.t ->
   budget:budget ->
   unit ->
   result
 (** Deterministic given [seed].  [on_iteration] observes each entry as it
-    is recorded (useful for live series).  Invalid proposals (violating the
+    is recorded (useful for live series).  [obs] attaches an external
+    recorder (e.g. with a JSONL sink); by default a private sink-less
+    recorder feeds {!result.metrics}.  Invalid proposals (violating the
     space or its pins) are recorded as ["invalid-configuration"] failures
-    and charged nothing but the decision time. *)
+    and charged [invalid_floor_s] virtual seconds (default
+    {!default_invalid_floor_s}) so a [Virtual_seconds] budget always
+    terminates; after [max_consecutive_invalid] consecutive invalid
+    proposals (default {!default_max_consecutive_invalid}) the run stops
+    with {!Invalid_cap}.
+
+    @raise Invalid_argument if [invalid_floor_s <= 0] or
+    [max_consecutive_invalid <= 0]. *)
+
+val phase_virtual_seconds : result -> (string * float) list
+(** Virtual seconds charged per phase, in order: [build], [boot], [run],
+    [invalid]. *)
 
 val best_relative_to : result -> default:float -> float option
 (** Best value divided by a reference (e.g. the default configuration's

@@ -1,5 +1,6 @@
 module Space = Wayfinder_configspace.Space
 module Param = Wayfinder_configspace.Param
+module Obs = Wayfinder_obs
 
 let candidates ~steps (p : Param.t) =
   match p.Param.kind with
@@ -64,8 +65,11 @@ let create ?(steps = 4) () =
       | Some _ | None ->
         let st = init ctx.Search_algorithm.space in
         state := Some st;
+        Obs.Recorder.observe ctx.Search_algorithm.obs ~quiet:true "grid.size"
+          (Array.fold_left (fun acc g -> acc *. float_of_int (Array.length g)) 1. st.grids);
         st
     in
+    Obs.Recorder.incr ctx.Search_algorithm.obs ~quiet:true "grid.proposals";
     let config = Array.mapi (fun i grid -> grid.(st.counter.(i))) st.grids in
     (* Mixed-radix increment: first parameter varies fastest. *)
     let rec bump i =

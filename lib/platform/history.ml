@@ -105,6 +105,24 @@ let mean_decide_seconds t =
   if t.count = 0 then 0.
   else List.fold_left (fun acc e -> acc +. e.decide_seconds) 0. t.entries /. float_of_int t.count
 
+(* RFC 4180: fields containing separators, quotes or line breaks are
+   wrapped in double quotes, with embedded quotes doubled. *)
+let csv_field s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 4) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
 let to_csv t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "index,value,failure,at_s,eval_s,built,decide_s\n";
@@ -113,7 +131,7 @@ let to_csv t =
       Buffer.add_string buf
         (Printf.sprintf "%d,%s,%s,%.1f,%.1f,%b,%.6f\n" e.index
            (match e.value with Some v -> Printf.sprintf "%.3f" v | None -> "")
-           (Option.value ~default:"" e.failure)
+           (csv_field (Option.value ~default:"" e.failure))
            e.at_seconds e.eval_seconds e.built e.decide_seconds))
     (entries t);
   Buffer.contents buf

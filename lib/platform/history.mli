@@ -53,5 +53,11 @@ val builds_charged : t -> int
 val total_eval_seconds : t -> float
 val mean_decide_seconds : t -> float
 
+val csv_field : string -> string
+(** RFC 4180 field quoting: the string unchanged unless it contains a
+    comma, quote or line break, in which case it is double-quoted with
+    embedded quotes doubled. *)
+
 val to_csv : t -> string
-(** One row per entry: [index,value,failure,at_s,eval_s,built,decide_s]. *)
+(** One row per entry: [index,value,failure,at_s,eval_s,built,decide_s].
+    String fields are RFC 4180-quoted. *)

@@ -1,4 +1,5 @@
 module Space = Wayfinder_configspace.Space
+module Obs = Wayfinder_obs
 
 let sampler ?favor ?(strong = 0.6) ?(weak = 0.05) space rng =
   match favor with
@@ -7,5 +8,7 @@ let sampler ?favor ?(strong = 0.6) ?(weak = 0.05) space rng =
 
 let create ?favor ?strong ?weak () =
   Search_algorithm.make ~name:"random"
-    ~propose:(fun ctx -> sampler ?favor ?strong ?weak ctx.Search_algorithm.space ctx.Search_algorithm.rng)
+    ~propose:(fun ctx ->
+      Obs.Recorder.incr ctx.Search_algorithm.obs ~quiet:true "random.proposals";
+      sampler ?favor ?strong ?weak ctx.Search_algorithm.space ctx.Search_algorithm.rng)
     ()

@@ -9,6 +9,7 @@ type t = {
   late_crash_rate : float;
   builds_charged : int;
   mean_decide_seconds : float;
+  phase_seconds : (string * float) list;
   best : best option;
 }
 
@@ -52,6 +53,7 @@ let of_result ?default ~algorithm ~target result =
     late_crash_rate = History.windowed_crash_rate history ~window:50;
     builds_charged = History.builds_charged history;
     mean_decide_seconds = History.mean_decide_seconds history;
+    phase_seconds = Driver.phase_virtual_seconds result;
     best }
 
 let render ~heading ~bullet ~emphasis t =
@@ -63,6 +65,14 @@ let render ~heading ~bullet ~emphasis t =
   line "%scrash rate %.2f overall, %.2f over the last 50 iterations" bullet t.crash_rate
     t.late_crash_rate;
   line "%smean decision time %.3f s per iteration" bullet t.mean_decide_seconds;
+  (let total = List.fold_left (fun acc (_, v) -> acc +. v) 0. t.phase_seconds in
+   if total > 0. then
+     line "%svirtual time by phase: %s" bullet
+       (String.concat " | "
+          (List.map
+             (fun (phase, v) ->
+               Printf.sprintf "%s %.0fs (%.0f%%)" phase v (100. *. v /. total))
+             t.phase_seconds)));
   (match t.best with
   | None -> line "%sno valid configuration found" bullet
   | Some b ->

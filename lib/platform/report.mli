@@ -15,6 +15,9 @@ type t = {
   late_crash_rate : float;  (** Over the final 50 iterations. *)
   builds_charged : int;
   mean_decide_seconds : float;
+  phase_seconds : (string * float) list;
+      (** Virtual seconds charged per driver phase (build/boot/run/invalid),
+          from the run's obs metrics — the timing footer. *)
   best : best option;
 }
 

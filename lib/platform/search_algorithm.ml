@@ -1,7 +1,14 @@
 module Space = Wayfinder_configspace.Space
 module Rng = Wayfinder_tensor.Rng
+module Obs = Wayfinder_obs
 
-type context = { space : Space.t; metric : Metric.t; history : History.t; rng : Rng.t }
+type context = {
+  space : Space.t;
+  metric : Metric.t;
+  history : History.t;
+  rng : Rng.t;
+  obs : Obs.Recorder.t;
+}
 
 type t = {
   algo_name : string;

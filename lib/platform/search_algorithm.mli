@@ -4,12 +4,25 @@
     history; an algorithm proposes the next configuration to evaluate and
     is notified of each result.  Random search, grid search, Bayesian
     optimization ({!Bayes_search}) and DeepTune
-    ({!Wayfinder_deeptune.Deeptune}) all implement this interface. *)
+    ({!Wayfinder_deeptune.Deeptune}) all implement this interface.
+
+    The context also carries the platform's observability recorder:
+    algorithms report what only they can see — candidate-pool sizes,
+    model-fit timings, per-epoch training losses — under their own metric
+    namespace ([random.*], [grid.*], [bayes.*], [deeptune.*]). *)
 
 module Space = Wayfinder_configspace.Space
 module Rng = Wayfinder_tensor.Rng
+module Obs = Wayfinder_obs
 
-type context = { space : Space.t; metric : Metric.t; history : History.t; rng : Rng.t }
+type context = {
+  space : Space.t;
+  metric : Metric.t;
+  history : History.t;
+  rng : Rng.t;
+  obs : Obs.Recorder.t;  (** The driver's recorder; never [None] — a
+                             sink-less recorder is effectively free. *)
+}
 
 type t = {
   algo_name : string;

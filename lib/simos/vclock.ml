@@ -1,11 +1,14 @@
-type t = { mutable seconds : float }
+type t = { mutable seconds : float; mutable observers : (float -> unit) list }
 
-let create () = { seconds = 0. }
+let create () = { seconds = 0.; observers = [] }
 let now t = t.seconds
+
+let on_advance t f = t.observers <- t.observers @ [ f ]
 
 let advance t dt =
   if dt < 0. then invalid_arg "Vclock.advance: negative duration";
-  t.seconds <- t.seconds +. dt
+  t.seconds <- t.seconds +. dt;
+  List.iter (fun f -> f dt) t.observers
 
 let minutes t = t.seconds /. 60.
 let reset t = t.seconds <- 0.

@@ -17,5 +17,12 @@ val now : t -> float
 val advance : t -> float -> unit
 (** @raise Invalid_argument on negative durations. *)
 
+val on_advance : t -> (float -> unit) -> unit
+(** Subscribe to advancement: each registered observer is called with the
+    (non-negative) delta of every subsequent {!advance}, in registration
+    order.  This is how the observability layer meters virtual time
+    without the clock depending on it.  Observers survive {!reset} (the
+    reset itself is not reported). *)
+
 val minutes : t -> float
 val reset : t -> unit

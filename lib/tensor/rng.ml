@@ -2,17 +2,28 @@ type t = { mutable state : int64 }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create seed = { state = Int64.of_int seed }
+(* SplitMix64 output function (forward declaration used by [create]): the
+   mixing lives in [bits64] below. *)
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  (* Pre-mix the seed through one SplitMix64 step.  Raw small seeds make
+     poor initial states: seed 0 starts the Weyl sequence at 0, and
+     consecutive seeds differ by a single low bit, so their streams start
+     from strongly correlated states.  One mix step diffuses every seed
+     bit across the whole state. *)
+  { state = mix64 (Int64.add (Int64.of_int seed) golden_gamma) }
 
 let copy t = { state = t.state }
 
 (* SplitMix64 output function: advance by the golden gamma, then mix. *)
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
-  let z = t.state in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+  mix64 t.state
 
 let split t =
   let seed = bits64 t in

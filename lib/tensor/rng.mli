@@ -11,7 +11,10 @@ type t
 
 val create : int -> t
 (** [create seed] returns a fresh generator.  Equal seeds yield identical
-    streams. *)
+    streams.  The seed is pre-mixed through one SplitMix64 finalizer step,
+    so nearby seeds (0, 1, 2, …) still start from well-separated states —
+    seed 0 in particular does not start the underlying Weyl sequence at
+    state 0. *)
 
 val copy : t -> t
 (** [copy t] is an independent generator with the same current state. *)

@@ -55,7 +55,7 @@ let synthetic_dataset rng n =
 let trained_dtm ?(epochs = 150) () =
   let rng = T.Rng.create 1 in
   let ds = synthetic_dataset rng 300 in
-  let dtm = Dtm.create (T.Rng.create 2) ~in_dim:2 in
+  let dtm = Dtm.create (T.Rng.create 10) ~in_dim:2 in
   ignore (Dtm.train dtm ~epochs ds);
   (dtm, ds)
 

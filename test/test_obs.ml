@@ -1,0 +1,283 @@
+open Wayfinder_obs
+
+(* ------------------------------------------------------------------ *)
+(* Attrs                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_attr_json () =
+  let attrs =
+    [ Attr.string "name" "a \"quoted\"\nvalue";
+      Attr.int "pool" 96;
+      Attr.bool "built" true;
+      Attr.float "dt" 1.5 ]
+  in
+  Alcotest.(check string)
+    "escapes and types"
+    {|{"name":"a \"quoted\"\nvalue","pool":96,"built":true,"dt":1.5}|}
+    (Attr.to_json attrs)
+
+let test_attr_nonfinite_floats () =
+  Alcotest.(check string) "nan is null" "null" (Attr.json_of_value (Attr.Float nan));
+  Alcotest.(check string) "inf is null" "null"
+    (Attr.json_of_value (Attr.Float infinity));
+  Alcotest.(check string) "integral floats stay short" "60"
+    (Attr.json_of_value (Attr.Float 60.))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.incr m ~by:2.5 "a";
+  Metrics.incr m "b";
+  let s = Metrics.snapshot m in
+  Alcotest.(check (float 1e-9)) "accumulates" 3.5 (Metrics.counter s "a");
+  Alcotest.(check (float 1e-9)) "independent" 1. (Metrics.counter s "b");
+  Alcotest.(check (float 1e-9)) "absent is 0" 0. (Metrics.counter s "c");
+  Alcotest.(check (list string)) "sorted by name" [ "a"; "b" ]
+    (List.map fst s.Metrics.counters)
+
+let test_metrics_histogram () =
+  let m = Metrics.create () in
+  List.iter (Metrics.observe m "h") [ 1.0; 2.0; 4.0; 8.0 ];
+  let s = Metrics.snapshot m in
+  (match Metrics.histogram s "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    Alcotest.(check int) "count" 4 h.Metrics.count;
+    Alcotest.(check (float 1e-9)) "sum" 15. h.Metrics.sum;
+    Alcotest.(check (float 1e-9)) "min" 1. h.Metrics.min;
+    Alcotest.(check (float 1e-9)) "max" 8. h.Metrics.max;
+    Alcotest.(check (float 1e-9)) "mean" 3.75 (Metrics.mean h);
+    (* Quantiles are bucket upper bounds clamped to [min, max]. *)
+    Alcotest.(check bool) "p0 at min" true (Metrics.quantile h 0. >= 1.);
+    Alcotest.(check (float 1e-9)) "p100 clamps to max" 8. (Metrics.quantile h 1.));
+  Alcotest.(check (float 1e-9)) "sum helper" 15. (Metrics.sum s "h");
+  Alcotest.(check (float 1e-9)) "sum of absent is 0" 0. (Metrics.sum s "nope")
+
+let test_metrics_snapshot_is_immutable () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  let s = Metrics.snapshot m in
+  Metrics.incr m ~by:10. "a";
+  Alcotest.(check (float 1e-9)) "snapshot frozen" 1. (Metrics.counter s "a");
+  Alcotest.(check (float 1e-9)) "registry kept counting" 11.
+    (Metrics.counter (Metrics.snapshot m) "a")
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_memory_ring_drops_oldest () =
+  let store = Sink.Memory.create ~capacity:3 () in
+  let sink = Sink.Memory.sink store in
+  for i = 1 to 5 do
+    Sink.emit sink
+      (Event.Count
+         { name = Printf.sprintf "c%d" i;
+           delta = 1.;
+           at = { Event.wall_s = 0.; virtual_s = 0. } })
+  done;
+  Alcotest.(check int) "length bounded" 3 (Sink.Memory.length store);
+  Alcotest.(check int) "dropped counted" 2 (Sink.Memory.dropped store);
+  Alcotest.(check (list string)) "oldest retained first" [ "c3"; "c4"; "c5" ]
+    (List.map Event.name (Sink.Memory.events store));
+  Sink.Memory.clear store;
+  Alcotest.(check int) "clear empties" 0 (Sink.Memory.length store)
+
+let test_memory_rejects_bad_capacity () =
+  Alcotest.(check bool) "capacity 0 rejected" true
+    (try
+       ignore (Sink.Memory.create ~capacity:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_jsonl_sink_format () =
+  let buf = Buffer.create 256 in
+  let sink = Sink.jsonl (Buffer.add_string buf) in
+  Sink.emit sink
+    (Event.Span
+       { name = "driver.build";
+         attrs = [ Attr.bool "built" true ];
+         began = { Event.wall_s = 0.5; virtual_s = 10. };
+         wall_duration_s = 0.;
+         virtual_duration_s = 112.5 });
+  Sink.emit sink
+    (Event.Sample
+       { name = "loss"; value = 0.25; at = { Event.wall_s = 1.; virtual_s = 0. } });
+  let lines = String.split_on_char '\n' (Buffer.contents buf) in
+  Alcotest.(check int) "one line per event (plus trailing)" 3 (List.length lines);
+  let first = List.nth lines 0 in
+  Alcotest.(check bool) "span line carries type" true
+    (String.length first > 0
+    && String.sub first 0 15 = {|{"type":"span",|});
+  Alcotest.(check bool) "span line carries attrs" true
+    (let needle = {|"attrs":{"built":true}|} in
+     let n = String.length needle in
+     let rec scan i =
+       i + n <= String.length first
+       && (String.sub first i n = needle || scan (i + 1))
+     in
+     scan 0)
+
+let test_tee_forwards_in_order () =
+  let seen = ref [] in
+  let make tag = Sink.make ~emit:(fun e -> seen := (tag, Event.name e) :: !seen) () in
+  let tee = Sink.tee [ make "a"; make "b" ] in
+  Sink.emit tee
+    (Event.Count { name = "x"; delta = 1.; at = { Event.wall_s = 0.; virtual_s = 0. } });
+  Alcotest.(check (list (pair string string)))
+    "both sinks, in order"
+    [ ("a", "x"); ("b", "x") ]
+    (List.rev !seen)
+
+(* ------------------------------------------------------------------ *)
+(* Recorder                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A recorder with hand-cranked clocks so durations are deterministic. *)
+let manual_recorder ?sinks () =
+  let wall = ref 0. and virt = ref 0. in
+  let r = Recorder.create ~now:(fun () -> !wall) ~virtual_now:(fun () -> !virt) ?sinks () in
+  (r, wall, virt)
+
+let test_recorder_span_histograms () =
+  let r, wall, virt = manual_recorder () in
+  let sp = Recorder.span_begin r "phase" in
+  wall := 2.;
+  virt := 60.;
+  Recorder.span_end r sp;
+  let s = Recorder.snapshot r in
+  Alcotest.(check (float 1e-9)) "wall histogram fed" 2. (Metrics.sum s "phase.wall_s");
+  Alcotest.(check (float 1e-9)) "virtual histogram fed" 60.
+    (Metrics.sum s "phase.virtual_s")
+
+let test_recorder_span_without_virtual_advance () =
+  let r, wall, _ = manual_recorder () in
+  Recorder.with_span r "p" (fun () -> wall := 1.);
+  let s = Recorder.snapshot r in
+  Alcotest.(check bool) "no virtual histogram when clock idle" true
+    (Metrics.histogram s "p.virtual_s" = None);
+  Alcotest.(check (float 1e-9)) "wall recorded" 1. (Metrics.sum s "p.wall_s")
+
+let test_recorder_with_span_propagates_error () =
+  let store = Sink.Memory.create () in
+  let r, _, _ = manual_recorder ~sinks:[ Sink.Memory.sink store ] () in
+  Alcotest.(check bool) "exception re-raised" true
+    (try
+       let (_ : int) = Recorder.with_span r "boom" (fun () -> failwith "no") in
+       false
+     with Failure _ -> true);
+  (* The span still closed, with an error attribute. *)
+  match Sink.Memory.events store with
+  | [ Event.Span { name = "boom"; attrs; _ } ] ->
+    Alcotest.(check bool) "error attr set" true
+      (Attr.find attrs "error" = Some (Attr.Bool true))
+  | _ -> Alcotest.fail "expected exactly one span event"
+
+let test_recorder_emit_span_virtual_only () =
+  let r, _, _ = manual_recorder () in
+  Recorder.emit_span r ~virtual_s:42. "driver.boot";
+  let s = Recorder.snapshot r in
+  Alcotest.(check (float 1e-9)) "virtual recorded" 42.
+    (Metrics.sum s "driver.boot.virtual_s");
+  Alcotest.(check bool) "no wall histogram" true
+    (Metrics.histogram s "driver.boot.wall_s" = None)
+
+let test_recorder_quiet_skips_events_not_metrics () =
+  let store = Sink.Memory.create () in
+  let r, _, _ = manual_recorder ~sinks:[ Sink.Memory.sink store ] () in
+  Recorder.incr r ~quiet:true "silent";
+  Recorder.observe r ~quiet:true "silent_h" 1.;
+  Recorder.incr r "loud";
+  Alcotest.(check (list string)) "only loud events reach sinks" [ "loud" ]
+    (List.map Event.name (Sink.Memory.events store));
+  let s = Recorder.snapshot r in
+  Alcotest.(check (float 1e-9)) "quiet counter aggregated" 1.
+    (Metrics.counter s "silent");
+  Alcotest.(check (float 1e-9)) "quiet histogram aggregated" 1.
+    (Metrics.sum s "silent_h")
+
+let test_recorder_timed () =
+  let r, wall, _ = manual_recorder () in
+  let x, dt =
+    Recorder.timed r "work" (fun () ->
+        wall := !wall +. 0.25;
+        7)
+  in
+  Alcotest.(check int) "result passed through" 7 x;
+  Alcotest.(check (float 1e-9)) "duration measured" 0.25 dt
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_phase_line () =
+  let m = Metrics.create () in
+  Metrics.observe m "driver.build.virtual_s" 75.;
+  Metrics.observe m "driver.run.virtual_s" 25.;
+  let line =
+    Summary.phase_line (Metrics.snapshot m)
+      ~phases:[ ("build", "driver.build"); ("boot", "driver.boot"); ("run", "driver.run") ]
+      ~suffix:".virtual_s"
+  in
+  Alcotest.(check bool) "build share" true
+    (let contains needle hay =
+       let n = String.length needle in
+       let rec scan i =
+         i + n <= String.length hay && (String.sub hay i n = needle || scan (i + 1))
+       in
+       scan 0
+     in
+     contains "build" line && contains "75%" line && contains "25%" line
+     && contains "boot" line)
+
+let test_summary_to_text_mentions_everything () =
+  let m = Metrics.create () in
+  Metrics.incr m ~by:3. "driver.iterations";
+  Metrics.observe m "driver.boot.virtual_s" 5.;
+  let text = Summary.to_text ~title:"t" (Metrics.snapshot m) in
+  let contains needle =
+    let n = String.length needle in
+    let rec scan i =
+      i + n <= String.length text && (String.sub text i n = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  Alcotest.(check bool) "title" true (contains "t");
+  Alcotest.(check bool) "counter listed" true (contains "driver.iterations");
+  Alcotest.(check bool) "histogram listed" true (contains "driver.boot.virtual_s")
+
+let () =
+  Alcotest.run "obs"
+    [ ( "attr",
+        [ Alcotest.test_case "json rendering" `Quick test_attr_json;
+          Alcotest.test_case "non-finite floats" `Quick test_attr_nonfinite_floats ] );
+      ( "metrics",
+        [ Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+          Alcotest.test_case "snapshot immutable" `Quick test_metrics_snapshot_is_immutable ] );
+      ( "sinks",
+        [ Alcotest.test_case "memory ring drops oldest" `Quick test_memory_ring_drops_oldest;
+          Alcotest.test_case "memory rejects bad capacity" `Quick
+            test_memory_rejects_bad_capacity;
+          Alcotest.test_case "jsonl format" `Quick test_jsonl_sink_format;
+          Alcotest.test_case "tee order" `Quick test_tee_forwards_in_order ] );
+      ( "recorder",
+        [ Alcotest.test_case "span feeds both histograms" `Quick
+            test_recorder_span_histograms;
+          Alcotest.test_case "no virtual histogram when idle" `Quick
+            test_recorder_span_without_virtual_advance;
+          Alcotest.test_case "with_span propagates errors" `Quick
+            test_recorder_with_span_propagates_error;
+          Alcotest.test_case "emit_span virtual only" `Quick
+            test_recorder_emit_span_virtual_only;
+          Alcotest.test_case "quiet skips events not metrics" `Quick
+            test_recorder_quiet_skips_events_not_metrics;
+          Alcotest.test_case "timed" `Quick test_recorder_timed ] );
+      ( "summary",
+        [ Alcotest.test_case "phase line" `Quick test_summary_phase_line;
+          Alcotest.test_case "to_text" `Quick test_summary_to_text_mentions_everything ] )
+    ]

@@ -96,6 +96,80 @@ let test_history_csv () =
   Alcotest.(check bool) "has header" true
     (String.length csv > 10 && String.sub csv 0 5 = "index")
 
+(* Minimal RFC 4180 field reader: undoes [History.csv_field]. *)
+let csv_unquote s =
+  if String.length s < 2 || s.[0] <> '"' then s
+  else begin
+    let body = String.sub s 1 (String.length s - 2) in
+    let buf = Buffer.create (String.length body) in
+    let i = ref 0 in
+    while !i < String.length body do
+      if body.[!i] = '"' then incr i;
+      Buffer.add_char buf body.[!i];
+      incr i
+    done;
+    Buffer.contents buf
+  end
+
+let test_history_csv_quoting_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string)
+        (Printf.sprintf "roundtrip %S" s)
+        s
+        (csv_unquote (History.csv_field s)))
+    [ "plain"; "has,comma"; "has \"quotes\""; "newline\nhere"; "cr\rhere";
+      "a,\"b\",c"; "" ];
+  (* Plain fields pass through untouched. *)
+  Alcotest.(check string) "no gratuitous quoting" "boot-crash"
+    (History.csv_field "boot-crash");
+  (* A failure message with commas must not add CSV columns. *)
+  let h = History.create Metric.throughput in
+  History.add h (entry ~failure:(Some "panic: bad config, rc=1, \"oops\"") 0);
+  let csv = History.to_csv h in
+  (match String.split_on_char '\n' csv with
+  | header :: row :: _ ->
+    let columns line =
+      (* Count separators outside quoted sections. *)
+      let in_quotes = ref false and cols = ref 1 in
+      String.iter
+        (fun c ->
+          if c = '"' then in_quotes := not !in_quotes
+          else if c = ',' && not !in_quotes then incr cols)
+        line;
+      !cols
+    in
+    Alcotest.(check int) "row column count matches header" (columns header) (columns row)
+  | _ -> Alcotest.fail "csv too short")
+
+let test_history_empty_and_all_failure_series () =
+  let empty = History.create Metric.throughput in
+  Alcotest.(check int) "empty values series" 0 (Array.length (History.values_series empty));
+  Alcotest.(check int) "empty best series" 0
+    (Array.length (History.best_so_far_series empty));
+  Alcotest.(check (float 1e-9)) "empty windowed rate" 0.
+    (History.windowed_crash_rate empty ~window:5);
+  let all_fail = History.create Metric.throughput in
+  for i = 0 to 3 do
+    History.add all_fail (entry ~failure:(Some "boot-crash") i)
+  done;
+  Alcotest.(check (option (float 1e-9))) "no best" None (History.best_value all_fail);
+  Alcotest.(check (array (float 1e-9))) "values fall back to 0"
+    [| 0.; 0.; 0.; 0. |]
+    (History.values_series all_fail);
+  Alcotest.(check bool) "best-so-far stays nan" true
+    (Array.for_all Float.is_nan (History.best_so_far_series all_fail));
+  Alcotest.(check (float 1e-9)) "all-failure rate" 1. (History.crash_rate all_fail)
+
+let test_history_window_edge_cases () =
+  let h = History.create Metric.throughput in
+  History.add h (entry ~failure:(Some "x") 0);
+  History.add h (entry ~value:(Some 1.) 1);
+  Alcotest.(check (float 1e-9)) "window larger than history uses all" 0.5
+    (History.windowed_crash_rate h ~window:100);
+  Alcotest.(check (float 1e-9)) "window 0 is 0" 0.
+    (History.windowed_crash_rate h ~window:0)
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -163,6 +237,133 @@ let test_driver_invalid_proposal_recorded () =
   let e = (History.entries r.Driver.history).(0) in
   Alcotest.(check (option string)) "failure kind" (Some "invalid-configuration")
     e.History.failure
+
+(* An algorithm that never proposes a valid configuration for a bool-only
+   space. *)
+let always_invalid_target_and_algo () =
+  let space = Space.create [ Wayfinder_configspace.Param.bool_param "b" false ] in
+  let target =
+    Target.make ~name:"t" ~space ~metric:Metric.throughput (fun ~trial:_ _ ->
+        { Target.value = Ok 1.; build_s = 1.; boot_s = 1.; run_s = 1. })
+  in
+  let bad =
+    Search_algorithm.make ~name:"bad" ~propose:(fun _ -> [| Param.Vint 42 |]) ()
+  in
+  (target, bad)
+
+(* Regression: invalid proposals used to charge zero virtual seconds, so an
+   algorithm stuck on invalid configurations livelocked a
+   [Virtual_seconds] budget.  Each invalid entry now charges the floor
+   cost, so the clock advances and the loop terminates. *)
+let test_driver_invalid_terminates_virtual_budget () =
+  let target, bad = always_invalid_target_and_algo () in
+  let r =
+    Driver.run ~seed:1 ~target ~algorithm:bad ~budget:(Driver.Virtual_seconds 50.) ()
+  in
+  Alcotest.(check bool) "clock reached budget" true (S.Vclock.now r.Driver.clock >= 50.);
+  Alcotest.(check int) "one iteration per floor charge" 50 r.Driver.iterations;
+  Alcotest.(check bool) "stopped on budget" true
+    (r.Driver.stop_reason = Driver.Budget_exhausted);
+  Array.iter
+    (fun e ->
+      Alcotest.(check (float 1e-9)) "invalid entry charges the floor" 1.
+        e.History.eval_seconds)
+    (History.entries r.Driver.history)
+
+let test_driver_invalid_floor_configurable () =
+  let target, bad = always_invalid_target_and_algo () in
+  let r =
+    Driver.run ~seed:1 ~invalid_floor_s:5. ~target ~algorithm:bad
+      ~budget:(Driver.Virtual_seconds 50.) ()
+  in
+  Alcotest.(check int) "fewer iterations under a higher floor" 10 r.Driver.iterations;
+  Alcotest.(check bool) "non-positive floor rejected" true
+    (try
+       ignore
+         (Driver.run ~invalid_floor_s:0. ~target ~algorithm:bad
+            ~budget:(Driver.Iterations 1) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_driver_invalid_cap () =
+  let target, bad = always_invalid_target_and_algo () in
+  let r =
+    Driver.run ~seed:1 ~max_consecutive_invalid:25 ~target ~algorithm:bad
+      ~budget:(Driver.Virtual_seconds 1e9) ()
+  in
+  Alcotest.(check int) "stopped at the cap" 25 r.Driver.iterations;
+  Alcotest.(check bool) "reports the cap as stop reason" true
+    (r.Driver.stop_reason = Driver.Invalid_cap);
+  Alcotest.(check (float 1e-9)) "invalid proposals counted" 25.
+    (Wayfinder_obs.Metrics.counter r.Driver.metrics "driver.invalid_proposals")
+
+let test_driver_valid_proposal_resets_cap () =
+  (* Alternating invalid/valid proposals never accumulate enough
+     consecutive failures to trip a cap of 2. *)
+  let space = Space.create [ Wayfinder_configspace.Param.bool_param "b" false ] in
+  let target =
+    Target.make ~name:"t" ~space ~metric:Metric.throughput (fun ~trial:_ _ ->
+        { Target.value = Ok 1.; build_s = 1.; boot_s = 1.; run_s = 1. })
+  in
+  let n = ref 0 in
+  let alternating =
+    Search_algorithm.make ~name:"alt"
+      ~propose:(fun _ ->
+        incr n;
+        if !n mod 2 = 1 then [| Param.Vint 42 |] else [| Param.Vbool true |])
+      ()
+  in
+  let r =
+    Driver.run ~seed:1 ~max_consecutive_invalid:2 ~target ~algorithm:alternating
+      ~budget:(Driver.Iterations 20) ()
+  in
+  Alcotest.(check int) "ran the full budget" 20 r.Driver.iterations;
+  Alcotest.(check bool) "budget, not cap" true
+    (r.Driver.stop_reason = Driver.Budget_exhausted)
+
+(* Acceptance: the per-phase virtual timings exposed on [Driver.result]
+   account for every virtual second the history charged. *)
+let test_driver_metrics_phases_sum_to_history () =
+  let check_sums r =
+    let phase_total =
+      List.fold_left (fun acc (_, s) -> acc +. s) 0. (Driver.phase_virtual_seconds r)
+    in
+    Alcotest.(check (float 1e-6)) "phases account for all virtual time"
+      (History.total_eval_seconds r.Driver.history)
+      phase_total
+  in
+  let target = toy_target () in
+  check_sums
+    (Driver.run ~seed:5 ~target ~algorithm:(Random_search.create ())
+       ~budget:(Driver.Iterations 40) ());
+  (* Also with invalid entries in the mix. *)
+  let target_bad, bad = always_invalid_target_and_algo () in
+  check_sums
+    (Driver.run ~seed:5 ~target:target_bad ~algorithm:bad
+       ~budget:(Driver.Virtual_seconds 20.) ())
+
+let test_driver_metrics_counters () =
+  let target = toy_target () in
+  let r =
+    Driver.run ~seed:6 ~target ~algorithm:(Random_search.create ())
+      ~budget:(Driver.Iterations 30) ()
+  in
+  let m = r.Driver.metrics in
+  let module M = Wayfinder_obs.Metrics in
+  Alcotest.(check (float 1e-9)) "iterations counted" 30. (M.counter m "driver.iterations");
+  Alcotest.(check (float 1e-9)) "builds match history"
+    (float_of_int (History.builds_charged r.Driver.history))
+    (M.counter m "driver.builds_charged");
+  Alcotest.(check (float 1e-9)) "virtual seconds counter matches clock"
+    (S.Vclock.now r.Driver.clock)
+    (M.counter m "driver.virtual_s");
+  (* Wall-clock spans were recorded for each phase of every iteration. *)
+  (match M.histogram m "driver.propose.wall_s" with
+  | Some h -> Alcotest.(check int) "one propose span per iteration" 30 h.M.count
+  | None -> Alcotest.fail "missing propose histogram");
+  match M.histogram m "driver.iteration.wall_s" with
+  | Some h -> Alcotest.(check int) "one iteration span per iteration" 30 h.M.count
+  | None -> Alcotest.fail "missing iteration histogram"
 
 (* ------------------------------------------------------------------ *)
 (* Grid search                                                         *)
@@ -337,14 +538,28 @@ let () =
           Alcotest.test_case "minimised metric" `Quick test_history_best_under_minimised_metric;
           Alcotest.test_case "series" `Quick test_history_series;
           Alcotest.test_case "windowed crash rate" `Quick test_history_windowed_crash_rate;
-          Alcotest.test_case "csv export" `Quick test_history_csv ] );
+          Alcotest.test_case "csv export" `Quick test_history_csv;
+          Alcotest.test_case "csv quoting roundtrip" `Quick test_history_csv_quoting_roundtrip;
+          Alcotest.test_case "empty and all-failure series" `Quick
+            test_history_empty_and_all_failure_series;
+          Alcotest.test_case "window edge cases" `Quick test_history_window_edge_cases ] );
       ( "driver",
         [ Alcotest.test_case "iteration budget" `Quick test_driver_iteration_budget;
           Alcotest.test_case "virtual time budget" `Quick test_driver_virtual_time_budget;
           Alcotest.test_case "finds optimum on toy" `Quick test_driver_finds_optimum_on_toy;
           Alcotest.test_case "rebuild skip" `Quick test_driver_rebuild_skip;
           Alcotest.test_case "deterministic" `Quick test_driver_deterministic;
-          Alcotest.test_case "invalid proposals recorded" `Quick test_driver_invalid_proposal_recorded ] );
+          Alcotest.test_case "invalid proposals recorded" `Quick test_driver_invalid_proposal_recorded;
+          Alcotest.test_case "invalid terminates virtual budget" `Quick
+            test_driver_invalid_terminates_virtual_budget;
+          Alcotest.test_case "invalid floor configurable" `Quick
+            test_driver_invalid_floor_configurable;
+          Alcotest.test_case "invalid cap stops the run" `Quick test_driver_invalid_cap;
+          Alcotest.test_case "valid proposal resets cap" `Quick
+            test_driver_valid_proposal_resets_cap;
+          Alcotest.test_case "phase timings sum to history" `Quick
+            test_driver_metrics_phases_sum_to_history;
+          Alcotest.test_case "metrics counters" `Quick test_driver_metrics_counters ] );
       ( "grid",
         [ Alcotest.test_case "enumerates" `Quick test_grid_search_enumerates;
           Alcotest.test_case "respects pins" `Quick test_grid_search_respects_pins ] );

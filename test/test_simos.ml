@@ -28,6 +28,21 @@ let test_vclock () =
   Vclock.reset c;
   Alcotest.(check (float 1e-12)) "reset" 0. (Vclock.now c)
 
+let test_vclock_observers () =
+  let c = Vclock.create () in
+  let seen = ref [] in
+  Vclock.on_advance c (fun dt -> seen := dt :: !seen);
+  Vclock.on_advance c (fun dt -> seen := (dt *. 10.) :: !seen);
+  Vclock.advance c 3.;
+  Vclock.advance c 0.;
+  Alcotest.(check (list (float 1e-12))) "each advance notifies every observer"
+    [ 0.; 0.; 30.; 3. ] !seen;
+  (* Observers survive a reset (the driver reuses the clock across runs). *)
+  seen := [];
+  Vclock.reset c;
+  Vclock.advance c 2.;
+  Alcotest.(check (list (float 1e-12))) "still attached after reset" [ 20.; 2. ] !seen
+
 let test_app_metadata () =
   Alcotest.(check int) "four apps" 4 (List.length App.all);
   Alcotest.(check bool) "sqlite minimizes" false (App.metric App.Sqlite).App.maximize;
@@ -533,6 +548,7 @@ let () =
   Alcotest.run "simos"
     [ ( "infra",
         [ Alcotest.test_case "vclock" `Quick test_vclock;
+          Alcotest.test_case "vclock observers" `Quick test_vclock_observers;
           Alcotest.test_case "apps" `Quick test_app_metadata;
           Alcotest.test_case "hardware" `Quick test_hardware ] );
       ( "shapes",

@@ -13,6 +13,28 @@ let test_rng_determinism () =
     Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
   done
 
+let test_rng_seed_zero_well_mixed () =
+  (* The seed is pre-mixed, so seed 0 must not degenerate (the raw state 0
+     starts the Weyl sequence at 0) and nearby seeds must give unrelated
+     streams from the first draw. *)
+  let z = Rng.create 0 in
+  Alcotest.(check bool) "seed 0 first draw is non-zero" true (Rng.bits64 z <> 0L);
+  let z = Rng.create 0 and o = Rng.create 1 in
+  let shared = ref 0 in
+  for _ = 1 to 100 do
+    if Rng.bits64 z = Rng.bits64 o then incr shared
+  done;
+  Alcotest.(check int) "seeds 0 and 1 share no draws" 0 !shared;
+  (* Floats from seed 0 look uniform, not stuck near a fixed point. *)
+  let z = Rng.create 0 in
+  let acc = ref 0. in
+  for _ = 1 to 1000 do
+    acc := !acc +. Rng.float z 1.0
+  done;
+  let mean = !acc /. 1000. in
+  Alcotest.(check bool) "seed 0 float mean near 0.5" true
+    (mean > 0.45 && mean < 0.55)
+
 let test_rng_split_independence () =
   let a = Rng.create 7 in
   let b = Rng.split a in
@@ -379,6 +401,7 @@ let () =
   Alcotest.run "tensor"
     [ ( "rng",
         [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed zero well mixed" `Quick test_rng_seed_zero_well_mixed;
           Alcotest.test_case "split independence" `Quick test_rng_split_independence;
           Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
           Alcotest.test_case "int_in bounds" `Quick test_rng_int_in_bounds;
