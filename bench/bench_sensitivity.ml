@@ -26,7 +26,7 @@ let target_for sim workload =
         { P.Target.value =
             (match o.S.Sim_linux.result with
             | Ok v -> Ok v
-            | Error stage -> Error (S.Sim_linux.failure_stage_to_string stage));
+            | Error stage -> Error (P.Targets.failure_of_stage stage));
           build_s = d.S.Sim_linux.build_s;
           boot_s = d.S.Sim_linux.boot_s;
           run_s = d.S.Sim_linux.run_s }) }

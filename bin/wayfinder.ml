@@ -69,8 +69,40 @@ let algorithm_for name ~favor ~seed =
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* Build the resilience policy from the CLI flags: [--resilient] switches
+   the baseline, the individual flags override single fields of it. *)
+let policy_of_flags ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeout
+    ~measure_repeats ~quarantine_after =
+  let p = if resilient then P.Resilience.default_resilient else P.Resilience.none in
+  let p = match retries with Some r -> { p with P.Resilience.retries = r } | None -> p in
+  let p =
+    match build_timeout with
+    | Some s -> { p with P.Resilience.build_timeout_s = Some s }
+    | None -> p
+  in
+  let p =
+    match boot_timeout with
+    | Some s -> { p with P.Resilience.boot_timeout_s = Some s }
+    | None -> p
+  in
+  let p =
+    match run_timeout with
+    | Some s -> { p with P.Resilience.run_timeout_s = Some s }
+    | None -> p
+  in
+  let p =
+    match measure_repeats with
+    | Some n -> { p with P.Resilience.measure_repeats = n }
+    | None -> p
+  in
+  match quarantine_after with
+  | Some n -> { p with P.Resilience.quarantine_after = n }
+  | None -> p
+
 let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s ~seed ~favor
-    ~csv_path ~trace_path ~timings ~quiet =
+    ~csv_path ~trace_path ~timings ~quiet ~checkpoint ~checkpoint_every ~resume ~fault_rate
+    ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeout ~measure_repeats
+    ~quarantine_after =
   ignore metric_hint;
   let job =
     match job_file with
@@ -87,6 +119,22 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
     let os = match job with Some j -> j.CS.Jobfile.os | None -> os in
     let app = match job with Some j -> j.CS.Jobfile.app | None -> app in
     let seed = match job with Some j when seed = 0 -> j.CS.Jobfile.seed | _ -> seed in
+    let resume_from =
+      if not resume then Ok None
+      else
+        match checkpoint with
+        | None -> Error "--resume requires --checkpoint FILE"
+        | Some path -> (
+          match P.Checkpoint.load ~path with
+          | Ok ck -> Ok (Some ck)
+          | Error e -> Error (Printf.sprintf "checkpoint %s: %s" path e))
+    in
+    match resume_from with
+    | Error e -> Error e
+    | Ok resume_from -> (
+    (* A resumed run must recreate the algorithm and faults from the
+       checkpointed seed, whatever the flags say. *)
+    let seed = match resume_from with Some ck -> ck.P.Checkpoint.seed | None -> seed in
     let favor =
       match (favor, job) with
       | Some f, _ -> CS.Param.stage_of_string f
@@ -100,6 +148,15 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
         match job with
         | Some j -> { target with P.Target.space = restrict_space target.P.Target.space j }
         | None -> target
+      in
+      (* Transient-fault injection: deterministic in (seed, trial), so a
+         resumed run replays the exact same fault schedule. *)
+      let target =
+        if fault_rate > 0. then
+          P.Target.with_faults
+            ~plan:(S.Faults.create ~rates:(S.Faults.rates_of_total fault_rate) ~seed ())
+            target
+        else target
       in
       let budget =
         match (budget_s, iterations, job) with
@@ -130,7 +187,10 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
             let status =
               match entry.P.History.value with
               | Some v -> Printf.sprintf "%.2f %s" v target.P.Target.metric.P.Metric.unit_name
-              | None -> Option.value ~default:"failed" entry.P.History.failure
+              | None -> (
+                match entry.P.History.failure with
+                | Some f -> P.Failure.to_string f
+                | None -> "failed")
             in
             Printf.printf "iter %3d  t=%7.0fs  %s%s\n%!" entry.P.History.index
               entry.P.History.at_seconds status
@@ -151,9 +211,24 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
               (Option.map (fun oc -> [ Wayfinder_obs.Sink.jsonl_channel oc ]) trace_channel)
             ()
         in
-        let result =
-          P.Driver.run ~seed ~on_iteration:progress ~obs ~target ~algorithm:algo ~budget ()
+        let resilience =
+          policy_of_flags ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeout
+            ~measure_repeats ~quarantine_after
         in
+        (match resume_from with
+        | Some ck ->
+          Printf.printf "resuming from %s at iteration %d (t=%.0fs)\n%!"
+            (Option.get checkpoint) ck.P.Checkpoint.iterations ck.P.Checkpoint.clock_seconds
+        | None -> ());
+        match
+          P.Driver.run ~seed ~on_iteration:progress ~obs ~resilience
+            ?checkpoint_path:checkpoint ~checkpoint_every ?resume_from ~target ~algorithm:algo
+            ~budget ()
+        with
+        | exception Invalid_argument msg ->
+          (match trace_channel with Some oc -> close_out oc | None -> ());
+          Error msg
+        | result ->
         (match trace_channel with
         | Some oc ->
           close_out oc;
@@ -190,7 +265,10 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
           close_out oc;
           Printf.printf "\nhistory written to %s\n" path
         | None -> ());
-        Ok ())))
+        (match checkpoint with
+        | Some path when not quiet -> Printf.printf "checkpoint written to %s\n" path
+        | Some _ | None -> ());
+        Ok ()))))
 
 (* ------------------------------------------------------------------ *)
 (* probe                                                               *)
@@ -315,15 +393,95 @@ let run_cmd =
     Arg.(value & flag & info [ "timings" ] ~doc:"Print the per-phase metrics summary.")
   in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-iteration output.") in
-  let f job_file os app algorithm iterations budget_s seed favor csv trace timings quiet =
+  let checkpoint =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE" ~doc:"Write a resumable checkpoint to $(docv).")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 10
+      & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Checkpoint every $(docv) iterations.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Resume the search from the $(b,--checkpoint) file; reproduces the uninterrupted \
+                run exactly (seed and fault schedule come from the checkpoint).")
+  in
+  let fault_rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:"Inject transient testbed faults (hung boots, flaky builds, spurious failures, \
+                measurement outliers) at total probability $(docv) per evaluation.")
+  in
+  let resilient =
+    Arg.(
+      value & flag
+      & info [ "resilient" ]
+          ~doc:"Enable the default resilience policy (retries with backoff, per-phase \
+                timeouts, repeated measurement, quarantine).")
+  in
+  let retries =
+    Arg.(
+      value & opt (some int) None
+      & info [ "retries" ] ~docv:"N" ~doc:"Retry transient failures up to $(docv) times.")
+  in
+  let build_timeout =
+    Arg.(
+      value & opt (some float) None
+      & info [ "build-timeout" ] ~docv:"S" ~doc:"Virtual build timeout in seconds.")
+  in
+  let boot_timeout =
+    Arg.(
+      value & opt (some float) None
+      & info [ "boot-timeout" ] ~docv:"S" ~doc:"Virtual boot timeout in seconds.")
+  in
+  let run_timeout =
+    Arg.(
+      value & opt (some float) None
+      & info [ "run-timeout" ] ~docv:"S" ~doc:"Virtual benchmark timeout in seconds.")
+  in
+  let measure_repeats =
+    Arg.(
+      value & opt (some int) None
+      & info [ "measure-repeats" ] ~docv:"N"
+          ~doc:"Corroborate measurements with up to $(docv) samples (median on disagreement).")
+  in
+  let quarantine_after =
+    Arg.(
+      value & opt (some int) None
+      & info [ "quarantine-after" ] ~docv:"N"
+          ~doc:"Quarantine a configuration after $(docv) exhausted-retry episodes (0 = off).")
+  in
+  let f job_file os app algorithm iterations budget_s seed favor csv trace timings quiet
+      (checkpoint, checkpoint_every, resume, fault_rate)
+      (resilient, retries, build_timeout, boot_timeout, run_timeout, measure_repeats,
+       quarantine_after) =
     handle
       (run_search ~job_file ~os ~app ~metric_hint:() ~algorithm ~iterations ~budget_s ~seed
-         ~favor ~csv_path:csv ~trace_path:trace ~timings ~quiet)
+         ~favor ~csv_path:csv ~trace_path:trace ~timings ~quiet ~checkpoint ~checkpoint_every
+         ~resume ~fault_rate ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeout
+         ~measure_repeats ~quarantine_after)
+  in
+  (* Cmdliner terms are applicative; tuple up the flag groups to keep the
+     application chain readable. *)
+  let tuple4 a b c d = (a, b, c, d) in
+  let tuple7 a b c d e f g = (a, b, c, d, e, f, g) in
+  let checkpoint_group =
+    Term.(const tuple4 $ checkpoint $ checkpoint_every $ resume $ fault_rate)
+  in
+  let resilience_group =
+    Term.(
+      const tuple7 $ resilient $ retries $ build_timeout $ boot_timeout $ run_timeout
+      $ measure_repeats $ quarantine_after)
   in
   let term =
     Term.(
       const f $ job_file $ os $ app_arg $ algorithm $ iterations $ budget_s $ seed $ favor $ csv
-      $ trace $ timings $ quiet)
+      $ trace $ timings $ quiet $ checkpoint_group $ resilience_group)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a specialization job") term
 

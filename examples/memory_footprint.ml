@@ -32,7 +32,9 @@ let () =
     | Some v -> Printf.printf "  t=%5.0f min  %.1f MB\n%!" (entry.P.History.at_seconds /. 60.) v
     | None ->
       Printf.printf "  t=%5.0f min  %s\n%!" (entry.P.History.at_seconds /. 60.)
-        (Option.value ~default:"failed" entry.P.History.failure)
+        (match entry.P.History.failure with
+        | Some f -> P.Failure.to_string f
+        | None -> "failed")
   in
   let r =
     P.Driver.run ~seed:9 ~on_iteration:progress ~target ~algorithm:(D.Deeptune.algorithm dt)

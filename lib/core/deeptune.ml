@@ -7,6 +7,7 @@ module Vec = Wayfinder_tensor.Vec
 module Search_algorithm = Wayfinder_platform.Search_algorithm
 module Metric = Wayfinder_platform.Metric
 module History = Wayfinder_platform.History
+module Failure = Wayfinder_platform.Failure
 module Random_search = Wayfinder_platform.Random_search
 module Obs = Wayfinder_obs
 
@@ -188,7 +189,16 @@ let observe t ctx (entry : History.entry) =
   let x = Encoding.encode t.encoding entry.History.config in
   t.known <- x :: t.known;
   Hashtbl.replace t.seen (config_key entry.History.config) ();
-  let crashed = entry.History.failure <> None in
+  (* The crash head must learn *configuration-caused* failures only: a
+     flaky build or a timed-out boot says nothing about the config, and
+     training on it would teach the gate to fear innocent regions.  Such
+     entries still count as seen (no re-proposing) but contribute no
+     training row. *)
+  match entry.History.failure with
+  | Some f when not (Failure.counts_as_crash f) ->
+    Obs.Recorder.incr ctx.Search_algorithm.obs ~quiet:true "deeptune.transient_skipped"
+  | (Some _ | None) as failure ->
+  let crashed = failure <> None in
   let score =
     match entry.History.value with Some v -> Metric.score metric v | None -> 0.
   in

@@ -71,16 +71,23 @@ let create ?favor ?(n_init = 8) ?(pool = 200) ?(max_points = 200) ?(lengthscale 
   in
   let observe ctx entry =
     let st = get_state ctx.Search_algorithm.space in
-    let score =
-      match entry.History.value with
-      | Some v -> Metric.score ctx.Search_algorithm.metric v
-      | None ->
-        (* Failures become a pessimistic observation: BO has no dedicated
-           crash model (§2.3). *)
-        st.worst -. 1.
-    in
-    st.xs <- Encoding.encode st.encoding entry.History.config :: st.xs;
-    st.ys <- score :: st.ys;
-    if score < st.worst || List.length st.ys = 1 then st.worst <- score
+    match entry.History.failure with
+    | Some f when not (Failure.counts_as_crash f) ->
+      (* Transient faults and timeouts say nothing about the configuration;
+         feeding them to the GP as pessimistic points would poison the
+         surrogate around perfectly good regions. *)
+      ()
+    | Some _ | None ->
+      let score =
+        match entry.History.value with
+        | Some v -> Metric.score ctx.Search_algorithm.metric v
+        | None ->
+          (* Deterministic failures become a pessimistic observation: BO
+             has no dedicated crash model (§2.3). *)
+          st.worst -. 1.
+      in
+      st.xs <- Encoding.encode st.encoding entry.History.config :: st.xs;
+      st.ys <- score :: st.ys;
+      if score < st.worst || List.length st.ys = 1 then st.worst <- score
   in
   Search_algorithm.make ~name:"bayesian" ~propose ~observe ()

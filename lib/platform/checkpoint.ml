@@ -1,0 +1,297 @@
+module Space = Wayfinder_configspace.Space
+module Param = Wayfinder_configspace.Param
+
+type t = {
+  seed : int;
+  rng_state : int64;
+  clock_seconds : float;
+  budget_start_seconds : float;
+  iterations : int;
+  consecutive_invalid : int;
+  last_built : Space.configuration option;
+  strikes : (int * int) list;
+  quarantined : int list;
+  entries : History.entry list;
+}
+
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Field encodings                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Hex float literals ("%h") round-trip every finite double exactly, so a
+   resumed virtual clock is bit-identical to the interrupted one. *)
+let float_field = Printf.sprintf "%h"
+
+let float_of_field s =
+  match float_of_string_opt s with Some f -> Ok f | None -> Error ("bad float " ^ s)
+
+let value_token = function
+  | Param.Vbool b -> if b then "b1" else "b0"
+  | Param.Vtristate i -> "t" ^ string_of_int i
+  | Param.Vint n -> "i" ^ string_of_int n
+  | Param.Vcat i -> "c" ^ string_of_int i
+
+let value_of_token s =
+  if String.length s < 2 then Error ("bad value token " ^ s)
+  else
+    let body = String.sub s 1 (String.length s - 1) in
+    match (s.[0], int_of_string_opt body) with
+    | 'b', Some 0 -> Ok (Param.Vbool false)
+    | 'b', Some 1 -> Ok (Param.Vbool true)
+    | 't', Some i -> Ok (Param.Vtristate i)
+    | 'i', Some n -> Ok (Param.Vint n)
+    | 'c', Some i -> Ok (Param.Vcat i)
+    | _ -> Error ("bad value token " ^ s)
+
+(* "." denotes the empty configuration so a config field is never an empty
+   string (which a whitespace split could not distinguish). *)
+let config_field config =
+  if Array.length config = 0 then "."
+  else String.concat " " (Array.to_list (Array.map value_token config))
+
+let config_of_field s =
+  if s = "." then Ok [||]
+  else
+    let tokens = String.split_on_char ' ' s in
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | tok :: rest -> ( match value_of_token tok with Ok v -> go (v :: acc) rest | Error e -> Error e)
+    in
+    go [] tokens
+
+(* Failure strings may be user-supplied ([Other _]); percent-encode the
+   characters the line format reserves. *)
+let encode_string s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' | '\t' | '\n' | '\r' | ' ' -> Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let decode_string s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '%' && i + 2 < n then begin
+        (match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+        | Some code -> Buffer.add_char buf (Char.chr code)
+        | None -> Buffer.add_string buf (String.sub s i 3));
+        go (i + 3)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let entry_line (e : History.entry) =
+  String.concat "\t"
+    [ string_of_int e.History.index;
+      (match e.History.value with Some v -> float_field v | None -> "-");
+      (match e.History.failure with Some f -> encode_string (Failure.to_string f) | None -> "-");
+      float_field e.History.at_seconds;
+      float_field e.History.eval_seconds;
+      (if e.History.built then "1" else "0");
+      float_field e.History.decide_seconds;
+      config_field e.History.config ]
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "wayfinder-checkpoint %d" version;
+  line "seed %d" t.seed;
+  line "rng %Lx" t.rng_state;
+  line "clock %s" (float_field t.clock_seconds);
+  line "budget_start %s" (float_field t.budget_start_seconds);
+  line "iterations %d" t.iterations;
+  line "consecutive_invalid %d" t.consecutive_invalid;
+  line "last_built %s"
+    (match t.last_built with Some c -> config_field c | None -> "-");
+  List.iter (fun (key, n) -> line "strike %d %d" key n) t.strikes;
+  List.iter (fun key -> line "quarantined %d" key) t.quarantined;
+  List.iter (fun e -> line "entry %s" (entry_line e)) t.entries;
+  line "end";
+  Buffer.contents buf
+
+let save ~path t =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (to_string t);
+  close_out oc;
+  (* Atomic publish: a crash mid-write never corrupts an existing file. *)
+  Sys.rename tmp path
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let parse_entry rest =
+  match String.split_on_char '\t' rest with
+  | [ index; value; failure; at; eval; built; decide; config ] ->
+    let* index =
+      match int_of_string_opt index with Some i -> Ok i | None -> Error "bad entry index"
+    in
+    let* value =
+      if value = "-" then Ok None
+      else
+        let* v = float_of_field value in
+        Ok (Some v)
+    in
+    let failure =
+      if failure = "-" then None else Some (Failure.of_string (decode_string failure))
+    in
+    let* at_seconds = float_of_field at in
+    let* eval_seconds = float_of_field eval in
+    let* built =
+      match built with "1" -> Ok true | "0" -> Ok false | _ -> Error "bad entry built flag"
+    in
+    let* decide_seconds = float_of_field decide in
+    let* config = config_of_field config in
+    Ok { History.index; config; value; failure; at_seconds; eval_seconds; built; decide_seconds }
+  | _ -> Error "bad entry field count"
+
+let of_string s =
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' s)
+  in
+  match lines with
+  | [] -> Error "empty checkpoint"
+  | header :: rest -> (
+    let* () =
+      match String.split_on_char ' ' header with
+      | [ "wayfinder-checkpoint"; v ] ->
+        if int_of_string_opt v = Some version then Ok ()
+        else Error (Printf.sprintf "unsupported checkpoint version %s (expected %d)" v version)
+      | _ -> Error "not a wayfinder checkpoint"
+    in
+    let seed = ref None
+    and rng_state = ref None
+    and clock = ref None
+    and budget_start = ref None
+    and iterations = ref None
+    and consecutive_invalid = ref None
+    and last_built = ref None
+    and strikes = ref []
+    and quarantined = ref []
+    and entries = ref []
+    and ended = ref false in
+    let parse_line line =
+      let key, rest =
+        match String.index_opt line ' ' with
+        | Some i -> (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+        | None -> (line, "")
+      in
+      let int_ref r =
+        match int_of_string_opt rest with
+        | Some v ->
+          r := Some v;
+          Ok ()
+        | None -> Error (Printf.sprintf "bad %s field" key)
+      in
+      match key with
+      | "seed" -> int_ref seed
+      | "rng" -> (
+        match Int64.of_string_opt ("0x" ^ rest) with
+        | Some v ->
+          rng_state := Some v;
+          Ok ()
+        | None -> Error "bad rng field")
+      | "clock" ->
+        let* v = float_of_field rest in
+        clock := Some v;
+        Ok ()
+      | "budget_start" ->
+        let* v = float_of_field rest in
+        budget_start := Some v;
+        Ok ()
+      | "iterations" -> int_ref iterations
+      | "consecutive_invalid" -> int_ref consecutive_invalid
+      | "last_built" ->
+        if rest = "-" then begin
+          last_built := Some None;
+          Ok ()
+        end
+        else
+          let* c = config_of_field rest in
+          last_built := Some (Some c);
+          Ok ()
+      | "strike" -> (
+        match String.split_on_char ' ' rest with
+        | [ k; n ] -> (
+          match (int_of_string_opt k, int_of_string_opt n) with
+          | Some k, Some n ->
+            strikes := (k, n) :: !strikes;
+            Ok ()
+          | _ -> Error "bad strike field")
+        | _ -> Error "bad strike field")
+      | "quarantined" -> (
+        match int_of_string_opt rest with
+        | Some k ->
+          quarantined := k :: !quarantined;
+          Ok ()
+        | None -> Error "bad quarantined field")
+      | "entry" ->
+        let* e = parse_entry rest in
+        entries := e :: !entries;
+        Ok ()
+      | "end" ->
+        ended := true;
+        Ok ()
+      | other -> Error ("unknown checkpoint field " ^ other)
+    in
+    let rec consume = function
+      | [] -> Ok ()
+      | line :: rest ->
+        let* () = parse_line line in
+        consume rest
+    in
+    let* () = consume rest in
+    let require name = function Some v -> Ok v | None -> Error ("missing " ^ name) in
+    let* () = if !ended then Ok () else Error "truncated checkpoint (no end marker)" in
+    let* seed = require "seed" !seed in
+    let* rng_state = require "rng" !rng_state in
+    let* clock_seconds = require "clock" !clock in
+    let* budget_start_seconds = require "budget_start" !budget_start in
+    let* iterations = require "iterations" !iterations in
+    let* consecutive_invalid = require "consecutive_invalid" !consecutive_invalid in
+    let* last_built = require "last_built" !last_built in
+    let entries = List.rev !entries in
+    let* () =
+      if List.length entries = iterations then Ok ()
+      else Error "entry count does not match iterations"
+    in
+    Ok
+      { seed;
+        rng_state;
+        clock_seconds;
+        budget_start_seconds;
+        iterations;
+        consecutive_invalid;
+        last_built;
+        strikes = List.rev !strikes;
+        quarantined = List.rev !quarantined;
+        entries })
+
+let load ~path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | s -> of_string s

@@ -1,0 +1,48 @@
+(** Driver checkpoints: kill a search, resume it, get the same answer.
+
+    A checkpoint captures everything the driver needs to continue a search
+    as if it had never stopped: the exploration history (every entry,
+    configs included), the virtual clock, the budget origin, the RNG
+    state, the rebuild-skip baseline image, the invalid-proposal streak
+    and the quarantine bookkeeping.
+
+    Search-algorithm state (DeepTune's network, a GP's observations) is
+    deliberately {e not} serialized.  Resume instead {e replays}: the
+    algorithm is recreated from the same seed and fed the recorded history
+    through its normal [propose]/[observe] path, skipping only the
+    (expensive) target evaluations — on a real testbed those are hours of
+    VM time; everything else is deterministic, so the rebuilt state is
+    bit-identical to the moment the checkpoint was written.  The stored
+    RNG state and the replayed proposals double as integrity checks: a
+    resume under different flags, seed or code fails loudly instead of
+    silently diverging.
+
+    The on-disk format is a versioned line-oriented text file; floats are
+    hex literals ([%h]) so every double round-trips exactly, and files are
+    written to a temporary name and renamed so a crash mid-write never
+    corrupts the previous checkpoint. *)
+
+module Space = Wayfinder_configspace.Space
+
+type t = {
+  seed : int;
+  rng_state : int64;  (** Driver RNG state at checkpoint time (verification). *)
+  clock_seconds : float;  (** Virtual clock reading. *)
+  budget_start_seconds : float;  (** Clock reading when the run started. *)
+  iterations : int;
+  consecutive_invalid : int;
+  last_built : Space.configuration option;  (** Rebuild-skip baseline. *)
+  strikes : (int * int) list;  (** Config key → exhausted-retry episodes. *)
+  quarantined : int list;  (** Quarantined config keys. *)
+  entries : History.entry list;  (** Oldest first. *)
+}
+
+val version : int
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val save : path:string -> t -> unit
+(** Atomic: writes [path ^ ".tmp"], then renames. *)
+
+val load : path:string -> (t, string) result

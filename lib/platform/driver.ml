@@ -2,6 +2,7 @@ module Space = Wayfinder_configspace.Space
 module Param = Wayfinder_configspace.Param
 module Vclock = Wayfinder_simos.Vclock
 module Rng = Wayfinder_tensor.Rng
+module Stat = Wayfinder_tensor.Stat
 module Obs = Wayfinder_obs
 
 type budget = Iterations of int | Virtual_seconds of float
@@ -21,16 +22,32 @@ type result = {
    read these histogram names back. *)
 let virtual_phases =
   [ ("build", "driver.build"); ("boot", "driver.boot"); ("run", "driver.run");
-    ("invalid", "driver.invalid") ]
+    ("invalid", "driver.invalid"); ("retry", "driver.retry");
+    ("quarantined", "driver.quarantined"); ("replay", "driver.replay") ]
 
 let default_invalid_floor_s = 1.
 let default_max_consecutive_invalid = 1000
+let default_checkpoint_every = 10
+
+(* Distinct evaluation calls within one iteration (retries, corroborating
+   measurements) get distinct trial numbers, spread far from the iteration
+   indices so a retry never collides with another iteration's noise or
+   fault draw.  Call 0 uses the bare iteration index, so runs without
+   resilience machinery see exactly the historical trial numbering. *)
+let trial_stride = 1_000_003
+
+let config_key config = Hashtbl.hash (Array.to_list config)
 
 let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invalid_floor_s)
-    ?(max_consecutive_invalid = default_max_consecutive_invalid) ~target ~algorithm ~budget () =
+    ?(max_consecutive_invalid = default_max_consecutive_invalid)
+    ?(resilience = Resilience.none) ?checkpoint_path
+    ?(checkpoint_every = default_checkpoint_every) ?resume_from ~target ~algorithm ~budget ()
+    =
   if invalid_floor_s <= 0. then invalid_arg "Driver.run: invalid_floor_s must be positive";
   if max_consecutive_invalid <= 0 then
     invalid_arg "Driver.run: max_consecutive_invalid must be positive";
+  if checkpoint_every <= 0 then invalid_arg "Driver.run: checkpoint_every must be positive";
+  Resilience.validate resilience;
   let clock = match clock with Some c -> c | None -> Vclock.create () in
   let obs = match obs with Some o -> o | None -> Obs.Recorder.create () in
   Obs.Recorder.set_virtual_now obs (fun () -> Vclock.now clock);
@@ -47,14 +64,121 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
   let index = ref 0 in
   let consecutive_invalid = ref 0 in
   let stop = ref None in
+  (* Quarantine bookkeeping: exhausted-retry episodes per config key, and
+     the keys given up on. *)
+  let strikes : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let quarantine : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* The budget is measured relative to the clock reading at start, so a
+     caller-supplied, already-advanced clock does not silently shrink a
+     [Virtual_seconds] budget — and so a resumed run keeps charging
+     against the original origin. *)
+  let start_seconds =
+    match resume_from with
+    | Some ck -> ck.Checkpoint.budget_start_seconds
+    | None -> Vclock.now clock
+  in
+  (* ---------------- Resume: replay the recorded prefix ---------------- *)
+  (match resume_from with
+  | None -> ()
+  | Some ck ->
+    if Vclock.now clock <> ck.Checkpoint.budget_start_seconds then
+      invalid_arg
+        "Driver.run: resume requires a clock at the checkpoint's budget origin (pass a fresh \
+         clock)";
+    (* Rebuild the search algorithm's state by replaying the recorded
+       history through its normal propose/observe path — everything except
+       the target evaluations is deterministic given the seed, so the
+       state (and the shared RNG stream) land exactly where the
+       interrupted run left them.  Each replayed proposal is checked
+       against the recorded one: a resume under a different algorithm,
+       seed or option set fails loudly here instead of silently diverging. *)
+    List.iter
+      (fun (e : History.entry) ->
+        let config = algorithm.Search_algorithm.propose ctx in
+        if config <> e.History.config then
+          invalid_arg
+            (Printf.sprintf
+               "Driver.run: resume replay diverged at iteration %d (different algorithm, seed \
+                or options than the checkpointed run?)"
+               e.History.index);
+        Obs.Recorder.emit_span obs ~virtual_s:e.History.eval_seconds
+          ~attrs:[ Obs.Attr.int "iteration" e.History.index ]
+          "driver.replay";
+        algorithm.Search_algorithm.observe ctx e;
+        History.add history e;
+        incr index)
+      ck.Checkpoint.entries;
+    if Rng.state rng <> ck.Checkpoint.rng_state then
+      invalid_arg
+        "Driver.run: resume replay left the RNG in a different state than the checkpoint";
+    (* One exact advance instead of per-entry increments: float addition is
+       not associative, and the resumed clock must be bit-identical to the
+       interrupted one for the continuation to reproduce it. *)
+    Vclock.advance clock (ck.Checkpoint.clock_seconds -. Vclock.now clock);
+    consecutive_invalid := ck.Checkpoint.consecutive_invalid;
+    last_built := ck.Checkpoint.last_built;
+    List.iter (fun (k, n) -> Hashtbl.replace strikes k n) ck.Checkpoint.strikes;
+    List.iter (fun k -> Hashtbl.replace quarantine k ()) ck.Checkpoint.quarantined;
+    Obs.Recorder.incr obs ~quiet:true ~by:(float_of_int !index) "driver.replayed_iterations";
+    if !consecutive_invalid >= max_consecutive_invalid then stop := Some Invalid_cap);
+  let write_checkpoint () =
+    match checkpoint_path with
+    | None -> ()
+    | Some path ->
+      let sorted_strikes =
+        List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) strikes [])
+      in
+      let sorted_quarantined =
+        List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) quarantine [])
+      in
+      Checkpoint.save ~path
+        { Checkpoint.seed;
+          rng_state = Rng.state rng;
+          clock_seconds = Vclock.now clock;
+          budget_start_seconds = start_seconds;
+          iterations = !index;
+          consecutive_invalid = !consecutive_invalid;
+          last_built = !last_built;
+          strikes = sorted_strikes;
+          quarantined = sorted_quarantined;
+          entries = Array.to_list (History.entries history) };
+      Obs.Recorder.incr obs ~quiet:true "driver.checkpoints"
+  in
   let within_budget () =
     match budget with
     | Iterations n -> !index < n
-    | Virtual_seconds s -> Vclock.now clock < s
+    | Virtual_seconds s -> Vclock.now clock -. start_seconds < s
+  in
+  (* Per-phase virtual timeouts: a phase whose duration exceeds its cap is
+     charged at the cap, later phases never ran, and the outcome is the
+     corresponding timeout failure — a hung boot costs [boot_timeout_s],
+     not an unbounded clock advance. *)
+  let apply_timeouts (r : Target.eval_result) =
+    let over cap_opt dur =
+      match cap_opt with Some c when dur > c -> Some c | Some _ | None -> None
+    in
+    match over resilience.Resilience.build_timeout_s r.Target.build_s with
+    | Some cap ->
+      { Target.value = Error Failure.Build_timeout; build_s = cap; boot_s = 0.; run_s = 0. }
+    | None -> (
+      match over resilience.Resilience.boot_timeout_s r.Target.boot_s with
+      | Some cap -> { r with Target.value = Error Failure.Boot_timeout; boot_s = cap; run_s = 0. }
+      | None -> (
+        match over resilience.Resilience.run_timeout_s r.Target.run_s with
+        | Some cap -> { r with Target.value = Error Failure.Run_timeout; run_s = cap }
+        | None -> r))
   in
   while !stop = None && within_budget () do
     let iteration_span =
       Obs.Recorder.span_begin obs ~attrs:[ Obs.Attr.int "iteration" !index ] "driver.iteration"
+    in
+    (* Every evaluation call this iteration (first attempt, retries,
+       corroborating measurements) draws a distinct deterministic trial. *)
+    let eval_calls = ref 0 in
+    let call_target config =
+      let trial = !index + (trial_stride * !eval_calls) in
+      incr eval_calls;
+      target.Target.evaluate ~trial config
     in
     let config, decide_seconds =
       Obs.Recorder.timed obs "driver.propose" (fun () -> algorithm.Search_algorithm.propose ctx)
@@ -77,46 +201,154 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
           ~attrs:[ Obs.Attr.int "consecutive" !consecutive_invalid ]
           "driver.invalid";
         Obs.Recorder.incr obs "driver.invalid_proposals";
-        { History.index = !index; config; value = None; failure = Some "invalid-configuration";
-          at_seconds = Vclock.now clock; eval_seconds = invalid_floor_s; built = false;
-          decide_seconds }
+        { History.index = !index; config; value = None;
+          failure = Some Failure.Invalid_configuration; at_seconds = Vclock.now clock;
+          eval_seconds = invalid_floor_s; built = false; decide_seconds }
       | [] ->
         consecutive_invalid := 0;
-        let result =
-          Obs.Recorder.with_span obs "driver.evaluate" (fun () ->
-              target.Target.evaluate ~trial:!index config)
-        in
-        let needs_build =
-          match !last_built with
-          | None -> true
-          | Some previous -> not (Space.differs_only_in_stage space previous config Param.Runtime)
-        in
-        let build_charged = if needs_build then result.Target.build_s else 0. in
-        let eval_seconds = build_charged +. result.Target.boot_s +. result.Target.run_s in
-        Vclock.advance clock eval_seconds;
-        if needs_build then Obs.Recorder.incr obs "driver.builds_charged"
-        else Obs.Recorder.incr obs "driver.rebuild_skips";
-        let skip_attr = [ Obs.Attr.bool "rebuild_skipped" (not needs_build) ] in
-        Obs.Recorder.emit_span obs ~virtual_s:build_charged ~attrs:skip_attr "driver.build";
-        Obs.Recorder.emit_span obs ~virtual_s:result.Target.boot_s "driver.boot";
-        Obs.Recorder.emit_span obs ~virtual_s:result.Target.run_s "driver.run";
-        (match result.Target.value with
-        | Ok _ -> ()
-        | Error kind -> Obs.Recorder.incr obs (Printf.sprintf "driver.failures.%s" kind));
-        (* Failed builds leave the previous image in place; anything that
-           built (even if it later crashed) becomes the new baseline
-           image. *)
-        (match result.Target.value with
-        | Error "build-failure" -> ()
-        | Error _ | Ok _ -> if needs_build then last_built := Some config);
-        { History.index = !index;
-          config;
-          value = (match result.Target.value with Ok v -> Some v | Error _ -> None);
-          failure = (match result.Target.value with Ok _ -> None | Error kind -> Some kind);
-          at_seconds = Vclock.now clock;
-          eval_seconds;
-          built = needs_build;
-          decide_seconds }
+        let key = config_key config in
+        if Hashtbl.mem quarantine key then begin
+          (* Given up on: skip the testbed entirely, at a floor charge so a
+             stuck algorithm re-proposing its quarantined favourite still
+             drains a virtual budget. *)
+          Vclock.advance clock invalid_floor_s;
+          Obs.Recorder.emit_span obs ~virtual_s:invalid_floor_s "driver.quarantined";
+          Obs.Recorder.incr obs "driver.quarantined_proposals";
+          { History.index = !index; config; value = None;
+            failure = Some Failure.Quarantined; at_seconds = Vclock.now clock;
+            eval_seconds = invalid_floor_s; built = false; decide_seconds }
+        end
+        else begin
+          let total_charged = ref 0. in
+          let entry_built = ref false in
+          (* Evaluate once and charge its (possibly capped) virtual phases.
+             Corroborating re-measurements never charge a build: the image
+             exists, only boot + run repeat. *)
+          let perform_attempt ~remeasure =
+            let r =
+              Obs.Recorder.with_span obs "driver.evaluate" (fun () -> call_target config)
+            in
+            let r = apply_timeouts r in
+            let needs_build =
+              (not remeasure)
+              &&
+              match !last_built with
+              | None -> true
+              | Some previous ->
+                not (Space.differs_only_in_stage space previous config Param.Runtime)
+            in
+            let build_charged = if needs_build then r.Target.build_s else 0. in
+            let charged = build_charged +. r.Target.boot_s +. r.Target.run_s in
+            Vclock.advance clock charged;
+            total_charged := !total_charged +. charged;
+            if remeasure then Obs.Recorder.incr obs "driver.remeasurements"
+            else begin
+              if needs_build then begin
+                entry_built := true;
+                Obs.Recorder.incr obs "driver.builds_charged"
+              end
+              else Obs.Recorder.incr obs "driver.rebuild_skips";
+              Obs.Recorder.emit_span obs ~virtual_s:build_charged
+                ~attrs:[ Obs.Attr.bool "rebuild_skipped" (not needs_build) ]
+                "driver.build"
+            end;
+            let attrs = if remeasure then [ Obs.Attr.bool "remeasure" true ] else [] in
+            Obs.Recorder.emit_span obs ~virtual_s:r.Target.boot_s ~attrs "driver.boot";
+            Obs.Recorder.emit_span obs ~virtual_s:r.Target.run_s ~attrs "driver.run";
+            (* Failed builds leave the previous image in place; anything
+               that built (even if it later crashed) becomes the new
+               baseline image. *)
+            (match r.Target.value with
+            | Error f when Failure.is_build_stage f -> ()
+            | Error _ | Ok _ -> if needs_build then last_built := Some config);
+            r.Target.value
+          in
+          (* Corroborate a successful measurement: the first sample stands
+             unless a second one disagrees beyond the threshold, in which
+             case up to [measure_repeats] samples are taken and the median
+             voted on — rejecting heavy-tailed outliers, including a
+             corrupted *first* sample. *)
+          let corroborate v1 =
+            if resilience.Resilience.measure_repeats < 2 then v1
+            else begin
+              let samples = ref [ v1 ] in
+              let calls = ref 1 in
+              let need_more () =
+                !calls < resilience.Resilience.measure_repeats
+                &&
+                let s = Array.of_list !samples in
+                Array.length s < 2
+                || Resilience.disagreement s > resilience.Resilience.outlier_threshold
+              in
+              while need_more () do
+                incr calls;
+                match perform_attempt ~remeasure:true with
+                | Ok v -> samples := v :: !samples
+                | Error _ -> Obs.Recorder.incr obs "driver.remeasure_failures"
+              done;
+              let s = Array.of_list (List.rev !samples) in
+              if Array.length s < 2 then v1
+              else if
+                Array.length s = 2
+                && Resilience.disagreement s <= resilience.Resilience.outlier_threshold
+              then v1
+              else begin
+                (* Either three-plus samples (a disagreement forced extra
+                   measurements — the median votes the outlier out) or a
+                   disagreeing pair whose tie-breaker failed (the median of
+                   two at least halves the corruption). *)
+                Obs.Recorder.incr obs "driver.outlier_rejections";
+                (* Robust spread of the disputed sample set (histogram
+                   [driver.sample_mad.value]) — how noisy the testbed's
+                   measurements actually were. *)
+                Obs.Recorder.observe obs ~quiet:true "driver.sample_mad" (Stat.mad s);
+                Stat.median s
+              end
+            end
+          in
+          (* Bounded retry with exponential backoff for transient faults
+             and timeouts; each backoff is charged to the virtual budget. *)
+          let rec attempt k =
+            match perform_attempt ~remeasure:false with
+            | Ok v -> Ok (corroborate v)
+            | Error f when Failure.retryable f && k < resilience.Resilience.retries ->
+              let backoff = Resilience.backoff_s resilience ~attempt:k in
+              Vclock.advance clock backoff;
+              total_charged := !total_charged +. backoff;
+              Obs.Recorder.emit_span obs ~virtual_s:backoff
+                ~attrs:
+                  [ Obs.Attr.int "attempt" (k + 1);
+                    Obs.Attr.string "kind" (Failure.to_string f) ]
+                "driver.retry";
+              Obs.Recorder.incr obs "driver.retries";
+              attempt (k + 1)
+            | Error f ->
+              if Failure.retryable f && resilience.Resilience.quarantine_after > 0 then begin
+                (* The config exhausted its retries on transient failures:
+                   one strike; enough strikes and it is quarantined. *)
+                let n = (try Hashtbl.find strikes key with Not_found -> 0) + 1 in
+                Hashtbl.replace strikes key n;
+                if n >= resilience.Resilience.quarantine_after then begin
+                  Hashtbl.replace quarantine key ();
+                  Obs.Recorder.incr obs "driver.quarantines"
+                end
+              end;
+              Error f
+          in
+          let final = attempt 0 in
+          (match final with
+          | Ok _ -> ()
+          | Error f ->
+            Obs.Recorder.incr obs (Printf.sprintf "driver.failures.%s" (Failure.to_string f)));
+          { History.index = !index;
+            config;
+            value = (match final with Ok v -> Some v | Error _ -> None);
+            failure = (match final with Ok _ -> None | Error f -> Some f);
+            at_seconds = Vclock.now clock;
+            eval_seconds = !total_charged;
+            built = !entry_built;
+            decide_seconds }
+        end
     in
     (* Model update runs before the entry is archived so its cost can be
        folded into the recorded per-iteration decision time. *)
@@ -133,15 +365,21 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
       ~attrs:
         [ Obs.Attr.bool "built" entry.History.built;
           Obs.Attr.string "status"
-            (match entry.History.failure with Some kind -> kind | None -> "ok") ]
+            (match entry.History.failure with
+            | Some f -> Failure.to_string f
+            | None -> "ok") ]
       iteration_span;
     (match on_iteration with Some f -> f entry | None -> ());
     incr index;
+    if !index mod checkpoint_every = 0 then write_checkpoint ();
     (* Safety cap: a search stuck on invalid proposals makes no progress
        the history could ever recover from — stop rather than burn the
        whole budget recording failures. *)
     if !consecutive_invalid >= max_consecutive_invalid then stop := Some Invalid_cap
   done;
+  (* A final checkpoint so a completed (or capped) run leaves a coherent
+     file behind even when the budget is not a multiple of the cadence. *)
+  if !index mod checkpoint_every <> 0 then write_checkpoint ();
   Obs.Recorder.flush obs;
   { history;
     best = History.best history;
@@ -156,11 +394,15 @@ let phase_virtual_seconds result =
     virtual_phases
 
 let best_relative_to result ~default =
-  match History.best result.history with
-  | None -> None
-  | Some e -> (
-    match e.History.value with
+  (* A zero (or non-finite) reference yields inf/nan ratios, which is
+     worse than no answer. *)
+  if default = 0. || not (Float.is_finite default) then None
+  else
+    match History.best result.history with
     | None -> None
-    | Some v ->
-      if (History.metric result.history).Metric.maximize then Some (v /. default)
-      else Some (default /. v))
+    | Some e -> (
+      match e.History.value with
+      | None -> None
+      | Some v ->
+        if (History.metric result.history).Metric.maximize then Some (v /. default)
+        else Some (default /. v))

@@ -1,4 +1,4 @@
-(** The Wayfinder core loop (§3.1).
+(** The Wayfinder core loop (§3.1), hardened against a faulty testbed.
 
     Iteratively: (1) ask the search algorithm for a configuration, (2)
     build and boot the image and benchmark the application — virtual
@@ -8,13 +8,29 @@
     parameters.  The loop stops when the budget (iterations or virtual
     time) is exhausted and returns the best configuration found.
 
+    A {!Resilience.policy} governs how the loop treats the testbed:
+    per-phase virtual timeouts (a hung boot becomes a [Boot_timeout]
+    charged at the cap), bounded retry with exponential backoff for
+    {!Failure.retryable} outcomes, corroborating re-measurement with
+    median outlier rejection, and quarantine of configurations that
+    repeatedly exhaust their retries.  The default policy
+    ({!Resilience.none}) reproduces the pre-resilience semantics exactly.
+
+    Passing [checkpoint_path] persists a {!Checkpoint.t} every
+    [checkpoint_every] iterations (and once at the end); passing
+    [resume_from] replays a checkpoint through the algorithm's normal
+    propose/observe path and then continues the run — a killed search
+    resumed this way reproduces the uninterrupted run bit-for-bit.
+
     Every iteration is traced through a {!Wayfinder_obs.Recorder} as a
     [driver.iteration] span split into phases — [driver.propose],
     [driver.validate], [driver.evaluate] and [driver.observe] carry wall
-    durations; [driver.build], [driver.boot], [driver.run] and
-    [driver.invalid] carry the virtual seconds charged to the budget (the
+    durations; [driver.build], [driver.boot], [driver.run],
+    [driver.invalid], [driver.retry], [driver.quarantined] and
+    [driver.replay] carry the virtual seconds charged to the budget (the
     build span notes when the §3.1 rebuild-skip fired).  Counters track
-    iterations, builds charged, rebuild skips, invalid proposals and
+    iterations, builds charged, rebuild skips, invalid proposals,
+    retries, re-measurements, outlier rejections, quarantines and
     per-kind failures; the aggregated snapshot is returned on
     {!result.metrics}. *)
 
@@ -39,17 +55,22 @@ type result = {
   stop_reason : stop_reason;
   metrics : Obs.Metrics.snapshot;
       (** Aggregated counters and per-phase timing histograms for the
-          run.  The virtual-phase sums ([driver.build.virtual_s] +
-          [driver.boot.virtual_s] + [driver.run.virtual_s] +
-          [driver.invalid.virtual_s]) equal
+          run.  The virtual-phase sums (see {!virtual_phases}) equal
           {!History.total_eval_seconds}. *)
 }
+
+val virtual_phases : (string * string) list
+(** [(label, span name)] for every phase charged to the virtual clock:
+    build, boot, run, invalid, retry, quarantined, replay. *)
 
 val default_invalid_floor_s : float
 (** 1 virtual second. *)
 
 val default_max_consecutive_invalid : int
 (** 1000. *)
+
+val default_checkpoint_every : int
+(** 10 iterations. *)
 
 val run :
   ?seed:int ->
@@ -58,29 +79,43 @@ val run :
   ?obs:Obs.Recorder.t ->
   ?invalid_floor_s:float ->
   ?max_consecutive_invalid:int ->
+  ?resilience:Resilience.policy ->
+  ?checkpoint_path:string ->
+  ?checkpoint_every:int ->
+  ?resume_from:Checkpoint.t ->
   target:Target.t ->
   algorithm:Search_algorithm.t ->
   budget:budget ->
   unit ->
   result
 (** Deterministic given [seed].  [on_iteration] observes each entry as it
-    is recorded (useful for live series).  [obs] attaches an external
-    recorder (e.g. with a JSONL sink); by default a private sink-less
-    recorder feeds {!result.metrics}.  Invalid proposals (violating the
-    space or its pins) are recorded as ["invalid-configuration"] failures
-    and charged [invalid_floor_s] virtual seconds (default
+    is recorded (useful for live series); replayed entries of a resumed
+    run are not re-announced.  [obs] attaches an external recorder (e.g.
+    with a JSONL sink); by default a private sink-less recorder feeds
+    {!result.metrics}.  Invalid proposals (violating the space or its
+    pins) are recorded as {!Failure.Invalid_configuration} and charged
+    [invalid_floor_s] virtual seconds (default
     {!default_invalid_floor_s}) so a [Virtual_seconds] budget always
     terminates; after [max_consecutive_invalid] consecutive invalid
     proposals (default {!default_max_consecutive_invalid}) the run stops
-    with {!Invalid_cap}.
+    with {!Invalid_cap}.  A [Virtual_seconds] budget is measured relative
+    to the clock reading at start, so a caller-supplied, already-advanced
+    clock gets the full budget.
 
-    @raise Invalid_argument if [invalid_floor_s <= 0] or
-    [max_consecutive_invalid <= 0]. *)
+    [resilience] defaults to {!Resilience.none}.  [checkpoint_path]
+    enables periodic checkpointing; [resume_from] requires a fresh clock
+    positioned at the checkpoint's budget origin and an algorithm/seed
+    identical to the checkpointed run.
+
+    @raise Invalid_argument if [invalid_floor_s <= 0],
+    [max_consecutive_invalid <= 0], [checkpoint_every <= 0], the policy
+    fails {!Resilience.validate}, or a resume replay diverges from the
+    checkpoint. *)
 
 val phase_virtual_seconds : result -> (string * float) list
-(** Virtual seconds charged per phase, in order: [build], [boot], [run],
-    [invalid]. *)
+(** Virtual seconds charged per phase, in {!virtual_phases} order. *)
 
 val best_relative_to : result -> default:float -> float option
 (** Best value divided by a reference (e.g. the default configuration's
-    performance) — Table 2's "Relative Perf." column. *)
+    performance) — Table 2's "Relative Perf." column.  [None] when there
+    is no successful entry or the reference is zero or non-finite. *)

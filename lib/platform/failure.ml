@@ -1,0 +1,76 @@
+type klass = Deterministic | Transient | Timeout
+
+type t =
+  | Invalid_configuration
+  | Build_failure
+  | Boot_failure
+  | Runtime_crash
+  | Flaky_build
+  | Spurious_failure
+  | Boot_hang
+  | Build_timeout
+  | Boot_timeout
+  | Run_timeout
+  | Quarantined
+  | Other of string
+
+let klass = function
+  | Invalid_configuration | Build_failure | Boot_failure | Runtime_crash | Other _ ->
+    Deterministic
+  | Flaky_build | Spurious_failure | Boot_hang | Quarantined -> Transient
+  | Build_timeout | Boot_timeout | Run_timeout -> Timeout
+
+let klass_to_string = function
+  | Deterministic -> "deterministic"
+  | Transient -> "transient"
+  | Timeout -> "timeout"
+
+(* Only config-caused failures carry a learnable signal: DeepTune's crash
+   head trains on these and must never see transient noise (a flaked VM
+   says nothing about the configuration). *)
+let counts_as_crash f = klass f = Deterministic
+
+let retryable f =
+  match f with
+  | Quarantined -> false  (* already given up on — retrying defeats the point *)
+  | _ -> ( match klass f with Transient | Timeout -> true | Deterministic -> false)
+
+(* Failures that leave no bootable image behind: the previously built image
+   stays the rebuild-skip baseline. *)
+let is_build_stage = function
+  | Build_failure | Flaky_build | Build_timeout -> true
+  | Invalid_configuration | Boot_failure | Runtime_crash | Spurious_failure | Boot_hang
+  | Boot_timeout | Run_timeout | Quarantined | Other _ ->
+    false
+
+let to_string = function
+  | Invalid_configuration -> "invalid-configuration"
+  | Build_failure -> "build-failure"
+  | Boot_failure -> "boot-failure"
+  | Runtime_crash -> "runtime-crash"
+  | Flaky_build -> "flaky-build"
+  | Spurious_failure -> "spurious-failure"
+  | Boot_hang -> "boot-hang"
+  | Build_timeout -> "build-timeout"
+  | Boot_timeout -> "boot-timeout"
+  | Run_timeout -> "run-timeout"
+  | Quarantined -> "quarantined"
+  | Other s -> s
+
+let of_string = function
+  | "invalid-configuration" -> Invalid_configuration
+  | "build-failure" -> Build_failure
+  | "boot-failure" -> Boot_failure
+  | "runtime-crash" -> Runtime_crash
+  | "flaky-build" -> Flaky_build
+  | "spurious-failure" -> Spurious_failure
+  | "boot-hang" -> Boot_hang
+  | "build-timeout" -> Build_timeout
+  | "boot-timeout" -> Boot_timeout
+  | "run-timeout" -> Run_timeout
+  | "quarantined" -> Quarantined
+  | s -> Other s
+
+let all_named =
+  [ Invalid_configuration; Build_failure; Boot_failure; Runtime_crash; Flaky_build;
+    Spurious_failure; Boot_hang; Build_timeout; Boot_timeout; Run_timeout; Quarantined ]

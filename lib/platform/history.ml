@@ -4,7 +4,7 @@ type entry = {
   index : int;
   config : Space.configuration;
   value : float option;
-  failure : string option;
+  failure : Failure.t option;
   at_seconds : float;
   eval_seconds : float;
   built : bool;
@@ -33,6 +33,20 @@ let crashes t =
   List.fold_left (fun acc e -> if e.failure <> None then acc + 1 else acc) 0 t.entries
 
 let crash_rate t = if t.count = 0 then 0. else float_of_int (crashes t) /. float_of_int t.count
+
+let count_class t klass =
+  List.fold_left
+    (fun acc e ->
+      match e.failure with
+      | Some f when Failure.klass f = klass -> acc + 1
+      | Some _ | None -> acc)
+    0 t.entries
+
+let deterministic_crashes t = count_class t Failure.Deterministic
+let transient_failures t = count_class t Failure.Transient + count_class t Failure.Timeout
+
+let transient_rate t =
+  if t.count = 0 then 0. else float_of_int (transient_failures t) /. float_of_int t.count
 
 let windowed_crash_rate t ~window =
   let rec take n = function
@@ -131,7 +145,7 @@ let to_csv t =
       Buffer.add_string buf
         (Printf.sprintf "%d,%s,%s,%.1f,%.1f,%b,%.6f\n" e.index
            (match e.value with Some v -> Printf.sprintf "%.3f" v | None -> "")
-           (csv_field (Option.value ~default:"" e.failure))
+           (csv_field (match e.failure with Some f -> Failure.to_string f | None -> ""))
            e.at_seconds e.eval_seconds e.built e.decide_seconds))
     (entries t);
   Buffer.contents buf

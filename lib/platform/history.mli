@@ -11,7 +11,7 @@ type entry = {
   index : int;  (** 0-based iteration. *)
   config : Space.configuration;
   value : float option;  (** Raw metric; [None] on failure. *)
-  failure : string option;  (** Failure kind, e.g. ["runtime-crash"]. *)
+  failure : Failure.t option;  (** Typed failure kind (see {!Failure.klass}). *)
   at_seconds : float;  (** Virtual clock when the evaluation finished. *)
   eval_seconds : float;  (** Virtual cost charged for this iteration. *)
   built : bool;  (** Whether an image build was charged (rebuild-skip). *)
@@ -28,8 +28,21 @@ val entries : t -> entry array
 (** Oldest first. *)
 
 val last : t -> entry option
+
 val crashes : t -> int
+(** Entries with any failure, of any class. *)
+
 val crash_rate : t -> float
+
+val deterministic_crashes : t -> int
+(** Entries whose failure is config-caused ({!Failure.Deterministic}) —
+    the paper's crash statistics. *)
+
+val transient_failures : t -> int
+(** Entries lost to the testbed rather than the configuration: transient
+    faults and timeouts. *)
+
+val transient_rate : t -> float
 val windowed_crash_rate : t -> window:int -> float
 (** Crash rate over the last [window] entries. *)
 

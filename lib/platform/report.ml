@@ -7,6 +7,9 @@ type t = {
   virtual_seconds : float;
   crash_rate : float;
   late_crash_rate : float;
+  transient_rate : float;
+  retries : int;
+  quarantined_configs : int;
   builds_charged : int;
   mean_decide_seconds : float;
   phase_seconds : (string * float) list;
@@ -51,6 +54,11 @@ let of_result ?default ~algorithm ~target result =
     virtual_seconds = History.total_eval_seconds history;
     crash_rate = History.crash_rate history;
     late_crash_rate = History.windowed_crash_rate history ~window:50;
+    transient_rate = History.transient_rate history;
+    retries =
+      int_of_float (Wayfinder_obs.Metrics.counter result.Driver.metrics "driver.retries");
+    quarantined_configs =
+      int_of_float (Wayfinder_obs.Metrics.counter result.Driver.metrics "driver.quarantines");
     builds_charged = History.builds_charged history;
     mean_decide_seconds = History.mean_decide_seconds history;
     phase_seconds = Driver.phase_virtual_seconds result;
@@ -64,6 +72,10 @@ let render ~heading ~bullet ~emphasis t =
     (t.virtual_seconds /. 3600.) t.builds_charged;
   line "%scrash rate %.2f overall, %.2f over the last 50 iterations" bullet t.crash_rate
     t.late_crash_rate;
+  if t.transient_rate > 0. || t.retries > 0 || t.quarantined_configs > 0 then
+    line "%stestbed faults: %.2f of iterations lost to transient failures, %d retries, %d \
+          configs quarantined"
+      bullet t.transient_rate t.retries t.quarantined_configs;
   line "%smean decision time %.3f s per iteration" bullet t.mean_decide_seconds;
   (let total = List.fold_left (fun acc (_, v) -> acc +. v) 0. t.phase_seconds in
    if total > 0. then

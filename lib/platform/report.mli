@@ -13,11 +13,17 @@ type t = {
   virtual_seconds : float;
   crash_rate : float;
   late_crash_rate : float;  (** Over the final 50 iterations. *)
+  transient_rate : float;
+      (** Share of iterations lost to the testbed (transient faults and
+          timeouts) rather than the configuration. *)
+  retries : int;  (** Retry attempts charged ([driver.retries]). *)
+  quarantined_configs : int;  (** Configurations given up on. *)
   builds_charged : int;
   mean_decide_seconds : float;
   phase_seconds : (string * float) list;
-      (** Virtual seconds charged per driver phase (build/boot/run/invalid),
-          from the run's obs metrics — the timing footer. *)
+      (** Virtual seconds charged per driver phase (build/boot/run/invalid/
+          retry/quarantined/replay), from the run's obs metrics — the
+          timing footer. *)
   best : best option;
 }
 

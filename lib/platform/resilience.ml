@@ -1,0 +1,75 @@
+module Stat = Wayfinder_tensor.Stat
+
+type policy = {
+  retries : int;
+  backoff_base_s : float;
+  backoff_factor : float;
+  backoff_max_s : float;
+  build_timeout_s : float option;
+  boot_timeout_s : float option;
+  run_timeout_s : float option;
+  measure_repeats : int;
+  outlier_threshold : float;
+  quarantine_after : int;
+}
+
+let none =
+  { retries = 0;
+    backoff_base_s = 30.;
+    backoff_factor = 2.;
+    backoff_max_s = 600.;
+    build_timeout_s = None;
+    boot_timeout_s = None;
+    run_timeout_s = None;
+    measure_repeats = 1;
+    outlier_threshold = 0.25;
+    quarantine_after = 0 }
+
+let default_resilient =
+  { retries = 3;
+    backoff_base_s = 30.;
+    backoff_factor = 2.;
+    backoff_max_s = 600.;
+    build_timeout_s = Some 600.;
+    boot_timeout_s = Some 120.;
+    run_timeout_s = Some 300.;
+    measure_repeats = 3;
+    (* Tight on purpose: with two samples the median-based disagreement of
+       a pair (v, r·v) is (r-1)/(r+1), so 0.1 flags any corruption beyond
+       ~1.22x while honest simulator noise (a few percent) stays below it. *)
+    outlier_threshold = 0.1;
+    quarantine_after = 2 }
+
+let validate p =
+  if p.retries < 0 then invalid_arg "Resilience: retries must be non-negative";
+  if p.backoff_base_s < 0. then invalid_arg "Resilience: backoff_base_s must be non-negative";
+  if p.backoff_factor < 1. then invalid_arg "Resilience: backoff_factor must be >= 1";
+  if p.backoff_max_s < 0. then invalid_arg "Resilience: backoff_max_s must be non-negative";
+  if p.measure_repeats < 1 then invalid_arg "Resilience: measure_repeats must be >= 1";
+  if p.outlier_threshold <= 0. then invalid_arg "Resilience: outlier_threshold must be positive";
+  if p.quarantine_after < 0 then invalid_arg "Resilience: quarantine_after must be non-negative";
+  let check_cap name = function
+    | Some s when s <= 0. -> invalid_arg (Printf.sprintf "Resilience: %s must be positive" name)
+    | Some _ | None -> ()
+  in
+  check_cap "build_timeout_s" p.build_timeout_s;
+  check_cap "boot_timeout_s" p.boot_timeout_s;
+  check_cap "run_timeout_s" p.run_timeout_s
+
+let backoff_s p ~attempt =
+  if attempt < 0 then invalid_arg "Resilience.backoff_s: negative attempt";
+  Float.min p.backoff_max_s (p.backoff_base_s *. (p.backoff_factor ** float_of_int attempt))
+
+(* Relative disagreement of a sample set: the worst deviation from the
+   median, scaled by the median's magnitude.  With two samples this is the
+   half-spread; with more it is a MAD-flavoured robust spread.  Guarded so
+   an all-zero sample set never divides by zero. *)
+let disagreement samples =
+  match samples with
+  | [||] | [| _ |] -> 0.
+  | _ ->
+    let m = Stat.median samples in
+    let worst =
+      Array.fold_left (fun acc v -> Float.max acc (Float.abs (v -. m))) 0. samples
+    in
+    worst /. Float.max (Float.abs m) 1e-9

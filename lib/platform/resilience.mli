@@ -1,0 +1,55 @@
+(** Driver resilience policy.
+
+    How the platform loop survives a testbed that throws transient faults
+    ({!Wayfinder_simos.Faults}) at it:
+
+    - {e per-phase virtual timeouts} — a hung boot is cut off at
+      [boot_timeout_s] and recorded as a [Boot_timeout] failure charged at
+      the cap, instead of advancing the virtual clock by the full stall;
+    - {e retry with exponential backoff} — failures whose
+      {!Failure.retryable} holds are re-attempted up to [retries] times,
+      each preceded by a virtual backoff of
+      [backoff_base_s * backoff_factor^attempt] capped at [backoff_max_s]
+      (all charged to the budget and traced as [driver.retry] spans);
+    - {e repeated measurement with outlier rejection} — when
+      [measure_repeats >= 2], a successful measurement is corroborated by
+      a second one; if their relative disagreement exceeds
+      [outlier_threshold], up to [measure_repeats] samples are taken and
+      the median is used, rejecting heavy-tailed outliers;
+    - {e quarantine} — a configuration that exhausts its retries
+      [quarantine_after] separate times is quarantined: further proposals
+      of it are recorded as [Quarantined] at a floor charge without
+      touching the testbed ([0] disables quarantine). *)
+
+type policy = {
+  retries : int;
+  backoff_base_s : float;
+  backoff_factor : float;
+  backoff_max_s : float;
+  build_timeout_s : float option;  (** [None] = unbounded. *)
+  boot_timeout_s : float option;
+  run_timeout_s : float option;
+  measure_repeats : int;  (** Maximum measurements per evaluation; 1 = off. *)
+  outlier_threshold : float;  (** Relative disagreement triggering re-measurement. *)
+  quarantine_after : int;  (** Exhausted-retry episodes before quarantine; 0 = off. *)
+}
+
+val none : policy
+(** No retries, no timeouts, single measurements, no quarantine — the
+    pre-resilience driver semantics, and the default. *)
+
+val default_resilient : policy
+(** 3 retries with 30 s base / 2x / 600 s cap backoff, 600/120/300 s
+    build/boot/run timeouts, up to 3 measurements at a 10 % disagreement
+    threshold, quarantine after 2 exhausted episodes. *)
+
+val validate : policy -> unit
+(** @raise Invalid_argument on nonsensical fields (negative retries,
+    non-positive timeouts, [measure_repeats < 1], ...). *)
+
+val backoff_s : policy -> attempt:int -> float
+(** Virtual backoff charged before retry [attempt] (0-based). *)
+
+val disagreement : float array -> float
+(** Relative disagreement of a sample set: worst absolute deviation from
+    the median over the median's magnitude (0 for fewer than 2 samples). *)

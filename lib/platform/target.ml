@@ -1,7 +1,8 @@
 module Space = Wayfinder_configspace.Space
+module Faults = Wayfinder_simos.Faults
 
 type eval_result = {
-  value : (float, string) result;
+  value : (float, Failure.t) result;
   build_s : float;
   boot_s : float;
   run_s : float;
@@ -15,3 +16,31 @@ type t = {
 }
 
 let make ~name ~space ~metric evaluate = { target_name = name; space; metric; evaluate }
+
+(* Transient faults strike evaluations that would otherwise have gone the
+   distance: a config that deterministically fails to build never reaches
+   the stage where the testbed could flake on it.  Keeping the two failure
+   sources disjoint is what lets the crash-gating train on deterministic
+   failures only. *)
+let with_faults ~plan target =
+  { target with
+    evaluate =
+      (fun ~trial config ->
+        let r = target.evaluate ~trial config in
+        match r.value with
+        | Error _ -> r
+        | Ok v -> (
+          match Faults.draw plan ~trial with
+          | None -> r
+          | Some (Faults.Boot_hang { stall_s }) ->
+            { r with value = Error Failure.Boot_hang; boot_s = stall_s; run_s = 0. }
+          | Some Faults.Flaky_build ->
+            (* The build dies partway: half the build cost is sunk, nothing
+               later runs. *)
+            { value = Error Failure.Flaky_build;
+              build_s = 0.5 *. r.build_s;
+              boot_s = 0.;
+              run_s = 0. }
+          | Some Faults.Spurious_failure ->
+            { r with value = Error Failure.Spurious_failure }
+          | Some (Faults.Outlier { factor }) -> { r with value = Ok (v *. factor) })) }

@@ -1,14 +1,17 @@
 (** Systems under test.
 
     A target bundles a configuration space, the metric being optimized, and
-    an evaluation function returning either the measured value or a failure
-    kind, plus the virtual durations of the build/boot/run tasks (§3.1).
-    Adapters over the {!Wayfinder_simos} models live in {!Targets}. *)
+    an evaluation function returning either the measured value or a typed
+    {!Failure.t}, plus the virtual durations of the build/boot/run tasks
+    (§3.1).  Adapters over the {!Wayfinder_simos} models live in
+    {!Targets}; {!with_faults} layers the transient-fault model over any
+    target. *)
 
 module Space = Wayfinder_configspace.Space
+module Faults = Wayfinder_simos.Faults
 
 type eval_result = {
-  value : (float, string) result;  (** [Error kind] on build/boot/run failure. *)
+  value : (float, Failure.t) result;  (** [Error f] on build/boot/run failure. *)
   build_s : float;
   boot_s : float;
   run_s : float;
@@ -27,3 +30,13 @@ val make :
   metric:Metric.t ->
   (trial:int -> Space.configuration -> eval_result) ->
   t
+
+val with_faults : plan:Faults.t -> t -> t
+(** Wrap a target with the transient-fault injector: evaluations that
+    would have succeeded may instead hang at boot (huge [boot_s], failure
+    [Boot_hang]), flake the build ([Flaky_build], half the build cost
+    sunk), die spuriously after running ([Spurious_failure]), or return a
+    corrupted measurement (value scaled by a heavy-tailed factor).
+    Deterministic failures of the underlying target pass through
+    untouched.  The schedule is a pure function of the plan and the trial
+    number, so wrapped targets stay deterministic. *)

@@ -4,6 +4,11 @@ module Sim_unikraft = Simos.Sim_unikraft
 module Sim_riscv = Simos.Sim_riscv
 module Cozart = Simos.Cozart
 
+let failure_of_stage = function
+  | Sim_linux.Build_failure -> Failure.Build_failure
+  | Sim_linux.Boot_failure -> Failure.Boot_failure
+  | Sim_linux.Runtime_crash -> Failure.Runtime_crash
+
 let of_sim_linux sim ~app =
   Target.make
     ~name:(Printf.sprintf "sim-linux/%s" (Simos.App.name app))
@@ -14,7 +19,7 @@ let of_sim_linux sim ~app =
       { Target.value =
           (match o.Sim_linux.result with
           | Ok v -> Ok v
-          | Error stage -> Error (Sim_linux.failure_stage_to_string stage));
+          | Error stage -> Error (failure_of_stage stage));
         build_s = d.Sim_linux.build_s;
         boot_s = d.Sim_linux.boot_s;
         run_s = d.Sim_linux.run_s })
@@ -29,7 +34,7 @@ let of_sim_linux_memory sim ~app =
       { Target.value =
           (match o.Sim_linux.result with
           | Ok _ -> Ok (Sim_linux.memory_footprint_mb sim config)
-          | Error stage -> Error (Sim_linux.failure_stage_to_string stage));
+          | Error stage -> Error (failure_of_stage stage));
         build_s = d.Sim_linux.build_s;
         boot_s = d.Sim_linux.boot_s;
         run_s = d.Sim_linux.run_s })
@@ -41,8 +46,8 @@ let of_sim_unikraft uk =
       { Target.value =
           (match o.Sim_unikraft.result with
           | Ok v -> Ok v
-          | Error `Build_failure -> Error "build-failure"
-          | Error `Runtime_crash -> Error "runtime-crash");
+          | Error `Build_failure -> Error Failure.Build_failure
+          | Error `Runtime_crash -> Error Failure.Runtime_crash);
         build_s = o.Sim_unikraft.build_s;
         boot_s = o.Sim_unikraft.boot_s;
         run_s = o.Sim_unikraft.run_s })
@@ -54,8 +59,8 @@ let of_sim_riscv rv =
       { Target.value =
           (match o.Sim_riscv.result with
           | Ok v -> Ok v
-          | Error `Build_failure -> Error "build-failure"
-          | Error `Boot_failure -> Error "boot-failure");
+          | Error `Build_failure -> Error Failure.Build_failure
+          | Error `Boot_failure -> Error Failure.Boot_failure);
         build_s = o.Sim_riscv.build_s;
         boot_s = o.Sim_riscv.boot_s;
         run_s = 0. })
@@ -68,7 +73,7 @@ let of_cozart cz ~score =
       { Target.value =
           (match o.Simos.Cozart.throughput with
           | Ok throughput -> Ok (score ~throughput ~memory_mb:o.Simos.Cozart.memory_mb)
-          | Error stage -> Error (Sim_linux.failure_stage_to_string stage));
+          | Error stage -> Error (failure_of_stage stage));
         build_s = d.Sim_linux.build_s;
         boot_s = d.Sim_linux.boot_s;
         run_s = d.Sim_linux.run_s })

@@ -2,6 +2,10 @@
 
 module Simos = Wayfinder_simos
 
+val failure_of_stage : Simos.Sim_linux.failure_stage -> Failure.t
+(** The simulator's failure stages mapped onto the platform taxonomy
+    (all three are {!Failure.klass} [Deterministic]). *)
+
 val of_sim_linux : Simos.Sim_linux.t -> app:Simos.App.t -> Target.t
 (** Metric taken from the application (throughput or latency). *)
 

@@ -20,6 +20,9 @@ let create seed =
 
 let copy t = { state = t.state }
 
+let state t = t.state
+let set_state t s = t.state <- s
+
 (* SplitMix64 output function: advance by the golden gamma, then mix. *)
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;

@@ -19,6 +19,12 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] is an independent generator with the same current state. *)
 
+val state : t -> int64
+(** The raw 64-bit state, for checkpointing.  Restoring it with
+    {!set_state} resumes the stream exactly where it left off. *)
+
+val set_state : t -> int64 -> unit
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of the remainder of [t]'s stream. *)

@@ -40,6 +40,10 @@ let quantile xs q =
 
 let median xs = quantile xs 0.5
 
+let mad xs =
+  let m = median xs in
+  median (Array.map (fun x -> Float.abs (x -. m)) xs)
+
 let epsilon_std = 1e-9
 
 let zscore_params xs =

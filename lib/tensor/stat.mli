@@ -13,6 +13,11 @@ val std : float array -> float
 val min : float array -> float
 val max : float array -> float
 val median : float array -> float
+val mad : float array -> float
+(** Median absolute deviation from the median — the robust spread estimate
+    the platform's repeated-measurement outlier rejection uses.
+    @raise Invalid_argument on empty input. *)
+
 val quantile : float array -> float -> float
 (** [quantile xs q] with [q] in [\[0, 1\]], linear interpolation.
     @raise Invalid_argument on empty input or [q] outside [\[0, 1\]]. *)

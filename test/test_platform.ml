@@ -14,12 +14,12 @@ let toy_target () =
       ignore trial;
       match config.(0) with
       | Param.Vint x when x > 9 ->
-        { Target.value = Error "runtime-crash"; build_s = 10.; boot_s = 1.; run_s = 2. }
+        { Target.value = Error Failure.Runtime_crash; build_s = 10.; boot_s = 1.; run_s = 2. }
       | Param.Vint x ->
         let v = 100. -. float_of_int ((x - 7) * (x - 7)) in
         { Target.value = Ok v; build_s = 10.; boot_s = 1.; run_s = 5. }
       | Param.Vbool _ | Param.Vtristate _ | Param.Vcat _ ->
-        { Target.value = Error "invalid"; build_s = 0.; boot_s = 0.; run_s = 0. })
+        { Target.value = Error (Failure.Other "invalid"); build_s = 0.; boot_s = 0.; run_s = 0. })
 
 (* ------------------------------------------------------------------ *)
 (* Metric                                                              *)
@@ -49,7 +49,7 @@ let entry ?(value = None) ?(failure = None) ?(at = 0.) index =
 let test_history_best_and_crashes () =
   let h = History.create Metric.throughput in
   History.add h (entry ~value:(Some 10.) 0);
-  History.add h (entry ~failure:(Some "runtime-crash") 1);
+  History.add h (entry ~failure:(Some Failure.Runtime_crash) 1);
   History.add h (entry ~value:(Some 30.) ~at:120. 2);
   History.add h (entry ~value:(Some 20.) 3);
   Alcotest.(check int) "size" 4 (History.size h);
@@ -67,9 +67,9 @@ let test_history_best_under_minimised_metric () =
 
 let test_history_series () =
   let h = History.create Metric.throughput in
-  History.add h (entry ~failure:(Some "x") 0);
+  History.add h (entry ~failure:(Some (Failure.Other "x")) 0);
   History.add h (entry ~value:(Some 10.) 1);
-  History.add h (entry ~failure:(Some "x") 2);
+  History.add h (entry ~failure:(Some (Failure.Other "x")) 2);
   History.add h (entry ~value:(Some 30.) 3);
   Alcotest.(check (array (float 1e-9))) "values backfill failures" [| 10.; 10.; 10.; 30. |]
     (History.values_series h);
@@ -81,7 +81,7 @@ let test_history_series () =
 let test_history_windowed_crash_rate () =
   let h = History.create Metric.throughput in
   for i = 0 to 9 do
-    History.add h (entry ~failure:(Some "x") i)
+    History.add h (entry ~failure:(Some (Failure.Other "x")) i)
   done;
   for i = 10 to 19 do
     History.add h (entry ~value:(Some 1.) i)
@@ -125,7 +125,7 @@ let test_history_csv_quoting_roundtrip () =
     (History.csv_field "boot-crash");
   (* A failure message with commas must not add CSV columns. *)
   let h = History.create Metric.throughput in
-  History.add h (entry ~failure:(Some "panic: bad config, rc=1, \"oops\"") 0);
+  History.add h (entry ~failure:(Some (Failure.Other "panic: bad config, rc=1, \"oops\"")) 0);
   let csv = History.to_csv h in
   (match String.split_on_char '\n' csv with
   | header :: row :: _ ->
@@ -151,7 +151,7 @@ let test_history_empty_and_all_failure_series () =
     (History.windowed_crash_rate empty ~window:5);
   let all_fail = History.create Metric.throughput in
   for i = 0 to 3 do
-    History.add all_fail (entry ~failure:(Some "boot-crash") i)
+    History.add all_fail (entry ~failure:(Some Failure.Boot_failure) i)
   done;
   Alcotest.(check (option (float 1e-9))) "no best" None (History.best_value all_fail);
   Alcotest.(check (array (float 1e-9))) "values fall back to 0"
@@ -163,7 +163,7 @@ let test_history_empty_and_all_failure_series () =
 
 let test_history_window_edge_cases () =
   let h = History.create Metric.throughput in
-  History.add h (entry ~failure:(Some "x") 0);
+  History.add h (entry ~failure:(Some (Failure.Other "x")) 0);
   History.add h (entry ~value:(Some 1.) 1);
   Alcotest.(check (float 1e-9)) "window larger than history uses all" 0.5
     (History.windowed_crash_rate h ~window:100);
@@ -236,7 +236,9 @@ let test_driver_invalid_proposal_recorded () =
   Alcotest.(check int) "all recorded as failures" 3 (History.crashes r.Driver.history);
   let e = (History.entries r.Driver.history).(0) in
   Alcotest.(check (option string)) "failure kind" (Some "invalid-configuration")
-    e.History.failure
+    (Option.map Failure.to_string e.History.failure);
+  Alcotest.(check bool) "typed as Invalid_configuration" true
+    (e.History.failure = Some Failure.Invalid_configuration)
 
 (* An algorithm that never proposes a valid configuration for a bool-only
    space. *)
@@ -342,6 +344,35 @@ let test_driver_metrics_phases_sum_to_history () =
     (Driver.run ~seed:5 ~target:target_bad ~algorithm:bad
        ~budget:(Driver.Virtual_seconds 20.) ())
 
+(* Regression: best_relative_to with a zero (or non-finite) reference used
+   to report an infinite ratio instead of declining to answer. *)
+let test_driver_best_relative_to_zero_default () =
+  let target = toy_target () in
+  let r =
+    Driver.run ~seed:3 ~target ~algorithm:(Random_search.create ())
+      ~budget:(Driver.Iterations 10) ()
+  in
+  Alcotest.(check (option (float 1e-9))) "zero reference" None
+    (Driver.best_relative_to r ~default:0.);
+  Alcotest.(check (option (float 1e-9))) "nan reference" None
+    (Driver.best_relative_to r ~default:nan);
+  Alcotest.(check bool) "finite reference still works" true
+    (Driver.best_relative_to r ~default:80. <> None)
+
+(* Regression: a caller-supplied, already-advanced clock used to count its
+   past against a [Virtual_seconds] budget, silently shrinking it. *)
+let test_driver_budget_relative_to_clock_start () =
+  let target = toy_target () in
+  let clock = S.Vclock.create () in
+  S.Vclock.advance clock 500.;
+  let r =
+    Driver.run ~seed:2 ~clock ~target ~algorithm:(Random_search.create ())
+      ~budget:(Driver.Virtual_seconds 100.) ()
+  in
+  Alcotest.(check bool) "iterations actually ran" true (r.Driver.iterations > 1);
+  Alcotest.(check bool) "full budget spent" true
+    (History.total_eval_seconds r.Driver.history >= 100.)
+
 let test_driver_metrics_counters () =
   let target = toy_target () in
   let r =
@@ -423,7 +454,7 @@ let test_bayes_beats_random_on_toy () =
           let fx = -.((float_of_int x -. 73.) ** 2.) in
           { Target.value = Ok fx; build_s = 0.; boot_s = 0.; run_s = 1. }
         | Param.Vbool _ | Param.Vtristate _ | Param.Vcat _ ->
-          { Target.value = Error "bad"; build_s = 0.; boot_s = 0.; run_s = 0. })
+          { Target.value = Error (Failure.Other "bad"); build_s = 0.; boot_s = 0.; run_s = 0. })
   in
   let best algo seed =
     let r = Driver.run ~seed ~target ~algorithm:algo ~budget:(Driver.Iterations 30) () in
@@ -481,7 +512,7 @@ let test_report_minimised_metric () =
         match config.(0) with
         | Param.Vint x ->
           { Target.value = Ok (200. +. float_of_int x); build_s = 0.; boot_s = 0.; run_s = 1. }
-        | _ -> { Target.value = Error "bad"; build_s = 0.; boot_s = 0.; run_s = 0. })
+        | _ -> { Target.value = Error (Failure.Other "bad"); build_s = 0.; boot_s = 0.; run_s = 0. })
   in
   let r =
     Driver.run ~seed:1 ~target ~algorithm:(Random_search.create ())
@@ -559,6 +590,10 @@ let () =
             test_driver_valid_proposal_resets_cap;
           Alcotest.test_case "phase timings sum to history" `Quick
             test_driver_metrics_phases_sum_to_history;
+          Alcotest.test_case "best_relative_to guards zero reference" `Quick
+            test_driver_best_relative_to_zero_default;
+          Alcotest.test_case "budget relative to clock start" `Quick
+            test_driver_budget_relative_to_clock_start;
           Alcotest.test_case "metrics counters" `Quick test_driver_metrics_counters ] );
       ( "grid",
         [ Alcotest.test_case "enumerates" `Quick test_grid_search_enumerates;

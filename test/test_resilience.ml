@@ -1,0 +1,504 @@
+(* The fault-tolerant evaluation pipeline: fault injection determinism,
+   per-phase timeouts, retry with backoff, outlier rejection, quarantine,
+   and checkpoint/resume reproducibility. *)
+
+open Wayfinder_platform
+module S = Wayfinder_simos
+module Faults = S.Faults
+module D = Wayfinder_deeptune
+module Space = Wayfinder_configspace.Space
+module Param = Wayfinder_configspace.Param
+module Obs = Wayfinder_obs
+
+(* ------------------------------------------------------------------ *)
+(* Test targets                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let toy_space () = Space.create [ Param.int_param "x" ~lo:0 ~hi:12 ~default:3 ]
+
+(* Maximise -(x-7)² + 100; crash deterministically when x > 9. *)
+let toy_target () =
+  Target.make ~name:"toy" ~space:(toy_space ()) ~metric:Metric.throughput
+    (fun ~trial config ->
+      ignore trial;
+      match config.(0) with
+      | Param.Vint x when x > 9 ->
+        { Target.value = Error Failure.Runtime_crash; build_s = 10.; boot_s = 1.; run_s = 2. }
+      | Param.Vint x ->
+        let v = 100. -. float_of_int ((x - 7) * (x - 7)) in
+        { Target.value = Ok v; build_s = 10.; boot_s = 1.; run_s = 5. }
+      | Param.Vbool _ | Param.Vtristate _ | Param.Vcat _ ->
+        { Target.value = Error (Failure.Other "invalid"); build_s = 0.; boot_s = 0.; run_s = 0. })
+
+(* A target whose outcome is scripted per trial number. *)
+let scripted ?(build_s = 10.) ?(boot_s = 1.) ?(run_s = 5.) f =
+  let space = toy_space () in
+  Target.make ~name:"scripted" ~space ~metric:Metric.throughput (fun ~trial config ->
+      ignore config;
+      { Target.value = f trial; build_s; boot_s; run_s })
+
+let constant_proposal_algo () =
+  Search_algorithm.make ~name:"const" ~propose:(fun _ -> [| Param.Vint 3 |]) ()
+
+let frozen_obs () = Obs.Recorder.create ~now:(fun () -> 0.) ()
+
+(* ------------------------------------------------------------------ *)
+(* Faults                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let prop_fault_schedule_deterministic =
+  QCheck2.Test.make ~name:"same seed, same fault schedule" ~count:30
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let plan () = Faults.create ~rates:(Faults.rates_of_total 0.5) ~seed () in
+      let a = plan () and b = plan () in
+      let ok = ref true in
+      for trial = 0 to 199 do
+        if Faults.draw a ~trial <> Faults.draw b ~trial then ok := false
+      done;
+      !ok)
+
+let test_fault_rates_zero_and_full () =
+  let never = Faults.create ~rates:Faults.zero_rates ~seed:1 () in
+  let always = Faults.create ~rates:(Faults.rates_of_total 1.0) ~seed:1 () in
+  for trial = 0 to 499 do
+    Alcotest.(check bool) "zero rates never fault" true (Faults.draw never ~trial = None);
+    Alcotest.(check bool) "total rate 1 always faults" true (Faults.draw always ~trial <> None)
+  done
+
+let test_fault_rate_frequency () =
+  let plan = Faults.create ~rates:(Faults.rates_of_total 0.3) ~seed:7 () in
+  let hits = ref 0 in
+  let n = 3000 in
+  for trial = 0 to n - 1 do
+    if Faults.draw plan ~trial <> None then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical rate %.3f near 0.3" freq)
+    true
+    (freq > 0.25 && freq < 0.35)
+
+let test_fault_rates_validated () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "negative total rejected" true
+    (raises (fun () -> Faults.rates_of_total (-0.1)));
+  Alcotest.(check bool) "total above 1 rejected" true
+    (raises (fun () -> Faults.rates_of_total 1.5));
+  Alcotest.(check bool) "negative stall rejected" true
+    (raises (fun () -> Faults.create ~hang_stall_s:(-1.) ~seed:0 ()))
+
+let test_with_faults_passthrough_on_deterministic_failure () =
+  (* Faults only strike successful evaluations: a config-caused crash must
+     reach the driver (and the crash-gating) untouched. *)
+  let target =
+    scripted (fun _ -> Error Failure.Runtime_crash)
+  in
+  let plan = Faults.create ~rates:(Faults.rates_of_total 1.0) ~seed:3 () in
+  let faulty = Target.with_faults ~plan target in
+  for trial = 0 to 49 do
+    let r = faulty.Target.evaluate ~trial [| Param.Vint 3 |] in
+    Alcotest.(check bool) "deterministic failure untouched" true
+      (r.Target.value = Error Failure.Runtime_crash)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Failure taxonomy                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_failure_string_roundtrip () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %s" (Failure.to_string f))
+        true
+        (Failure.of_string (Failure.to_string f) = f))
+    Failure.all_named;
+  Alcotest.(check bool) "unknown string becomes Other" true
+    (Failure.of_string "weird-thing" = Failure.Other "weird-thing")
+
+let test_failure_classes () =
+  Alcotest.(check bool) "build failure is a crash" true
+    (Failure.counts_as_crash Failure.Build_failure);
+  Alcotest.(check bool) "flaky build is not a crash" false
+    (Failure.counts_as_crash Failure.Flaky_build);
+  Alcotest.(check bool) "boot timeout is not a crash" false
+    (Failure.counts_as_crash Failure.Boot_timeout);
+  Alcotest.(check bool) "spurious failure retryable" true
+    (Failure.retryable Failure.Spurious_failure);
+  Alcotest.(check bool) "quarantined not retryable" false
+    (Failure.retryable Failure.Quarantined);
+  Alcotest.(check bool) "runtime crash not retryable" false
+    (Failure.retryable Failure.Runtime_crash)
+
+(* ------------------------------------------------------------------ *)
+(* Resilience policy                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_growth_and_cap () =
+  let p = Resilience.default_resilient in
+  Alcotest.(check (float 1e-9)) "first backoff" 30. (Resilience.backoff_s p ~attempt:0);
+  Alcotest.(check (float 1e-9)) "doubles" 60. (Resilience.backoff_s p ~attempt:1);
+  Alcotest.(check (float 1e-9)) "caps at max" 600. (Resilience.backoff_s p ~attempt:5)
+
+let test_policy_validation () =
+  let raises p = try Resilience.validate p; false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "negative retries" true
+    (raises { Resilience.none with Resilience.retries = -1 });
+  Alcotest.(check bool) "zero repeats" true
+    (raises { Resilience.none with Resilience.measure_repeats = 0 });
+  Alcotest.(check bool) "non-positive timeout" true
+    (raises { Resilience.none with Resilience.boot_timeout_s = Some 0. });
+  Alcotest.(check bool) "default policies valid" true
+    (Resilience.validate Resilience.none;
+     Resilience.validate Resilience.default_resilient;
+     true)
+
+let test_disagreement () =
+  Alcotest.(check (float 1e-9)) "singleton" 0. (Resilience.disagreement [| 10. |]);
+  Alcotest.(check (float 1e-9)) "agreement" 0. (Resilience.disagreement [| 10.; 10. |]);
+  Alcotest.(check (float 1e-9)) "outlier dominates" 1.
+    (Resilience.disagreement [| 10.; 20.; 10. |])
+
+(* ------------------------------------------------------------------ *)
+(* Driver: timeouts, retry, outlier rejection, quarantine              *)
+(* ------------------------------------------------------------------ *)
+
+let test_boot_timeout_caps_hang () =
+  (* A 10000 s boot stall is cut at the 120 s cap instead of blowing up
+     the virtual clock. *)
+  let target = scripted ~build_s:5. ~boot_s:10_000. ~run_s:3. (fun _ -> Ok 1.) in
+  let policy = { Resilience.none with Resilience.boot_timeout_s = Some 120. } in
+  let r =
+    Driver.run ~seed:1 ~resilience:policy ~target ~algorithm:(constant_proposal_algo ())
+      ~budget:(Driver.Iterations 1) ()
+  in
+  let e = (History.entries r.Driver.history).(0) in
+  Alcotest.(check bool) "boot timeout recorded" true
+    (e.History.failure = Some Failure.Boot_timeout);
+  (* build 5 + capped boot 120; the run phase never happened. *)
+  Alcotest.(check (float 1e-9)) "charged at the cap" 125. e.History.eval_seconds;
+  Alcotest.(check (float 1e-9)) "clock matches" 125. (S.Vclock.now r.Driver.clock)
+
+let test_retry_recovers_transient () =
+  (* Attempt 0 (trial 0) flakes; the retry (a fresh trial) succeeds. *)
+  let target =
+    scripted (fun trial -> if trial < 1_000_000 then Error Failure.Spurious_failure else Ok 42.)
+  in
+  let policy =
+    { Resilience.none with
+      Resilience.retries = 2;
+      backoff_base_s = 7.;
+      backoff_factor = 2.;
+      backoff_max_s = 100. }
+  in
+  let r =
+    Driver.run ~seed:1 ~resilience:policy ~target ~algorithm:(constant_proposal_algo ())
+      ~budget:(Driver.Iterations 1) ()
+  in
+  let e = (History.entries r.Driver.history).(0) in
+  Alcotest.(check (option (float 1e-9))) "recovered value" (Some 42.) e.History.value;
+  Alcotest.(check bool) "no failure recorded" true (e.History.failure = None);
+  (* attempt 0: 10+1+5; backoff 7; attempt 1 skips the rebuild: 1+5. *)
+  Alcotest.(check (float 1e-9)) "backoff and both attempts charged" 29. e.History.eval_seconds;
+  Alcotest.(check (float 1e-9)) "one retry counted" 1.
+    (Obs.Metrics.counter r.Driver.metrics "driver.retries")
+
+let test_retries_exhausted_reports_failure () =
+  let target = scripted (fun _ -> Error Failure.Spurious_failure) in
+  let policy = { Resilience.none with Resilience.retries = 2; backoff_base_s = 1. } in
+  let r =
+    Driver.run ~seed:1 ~resilience:policy ~target ~algorithm:(constant_proposal_algo ())
+      ~budget:(Driver.Iterations 1) ()
+  in
+  let e = (History.entries r.Driver.history).(0) in
+  Alcotest.(check bool) "failure survives retries" true
+    (e.History.failure = Some Failure.Spurious_failure);
+  Alcotest.(check (float 1e-9)) "both retries spent" 2.
+    (Obs.Metrics.counter r.Driver.metrics "driver.retries")
+
+let test_outlier_rejected_by_median () =
+  (* The first sample is corrupted (1000 vs 100); corroboration disagrees,
+     the third sample tips the median back to the honest value. *)
+  let target =
+    scripted (fun trial -> if trial = 0 then Ok 1000. else Ok 100.)
+  in
+  let policy =
+    { Resilience.none with Resilience.measure_repeats = 3; outlier_threshold = 0.25 }
+  in
+  let r =
+    Driver.run ~seed:1 ~resilience:policy ~target ~algorithm:(constant_proposal_algo ())
+      ~budget:(Driver.Iterations 1) ()
+  in
+  let e = (History.entries r.Driver.history).(0) in
+  Alcotest.(check (option (float 1e-9))) "median wins" (Some 100.) e.History.value;
+  (* first sample 10+1+5, two re-measures at boot+run each. *)
+  Alcotest.(check (float 1e-9)) "re-measures never charge a build" 28. e.History.eval_seconds;
+  Alcotest.(check (float 1e-9)) "rejection counted" 1.
+    (Obs.Metrics.counter r.Driver.metrics "driver.outlier_rejections")
+
+let test_agreeing_measurement_keeps_first_sample () =
+  (* When the corroborating sample agrees, the *first* measurement stands —
+     so enabling repeats does not perturb fault-free values. *)
+  let target = scripted (fun _ -> Ok 100.) in
+  let policy = { Resilience.none with Resilience.measure_repeats = 3 } in
+  let r =
+    Driver.run ~seed:1 ~resilience:policy ~target ~algorithm:(constant_proposal_algo ())
+      ~budget:(Driver.Iterations 1) ()
+  in
+  let e = (History.entries r.Driver.history).(0) in
+  Alcotest.(check (option (float 1e-9))) "first sample kept" (Some 100.) e.History.value;
+  Alcotest.(check (float 1e-9)) "exactly one corroborating sample" 1.
+    (Obs.Metrics.counter r.Driver.metrics "driver.remeasurements");
+  Alcotest.(check (float 1e-9)) "no rejection" 0.
+    (Obs.Metrics.counter r.Driver.metrics "driver.outlier_rejections")
+
+let test_quarantine_after_exhausted_retries () =
+  let target = scripted (fun _ -> Error Failure.Spurious_failure) in
+  let policy =
+    { Resilience.none with
+      Resilience.retries = 1;
+      backoff_base_s = 1.;
+      quarantine_after = 1 }
+  in
+  let r =
+    Driver.run ~seed:1 ~resilience:policy ~target ~algorithm:(constant_proposal_algo ())
+      ~budget:(Driver.Iterations 3) ()
+  in
+  let es = History.entries r.Driver.history in
+  Alcotest.(check bool) "first episode fails normally" true
+    (es.(0).History.failure = Some Failure.Spurious_failure);
+  Alcotest.(check bool) "second proposal quarantined" true
+    (es.(1).History.failure = Some Failure.Quarantined);
+  Alcotest.(check bool) "third proposal quarantined" true
+    (es.(2).History.failure = Some Failure.Quarantined);
+  Alcotest.(check (float 1e-9)) "quarantined entries charge the floor"
+    Driver.default_invalid_floor_s es.(1).History.eval_seconds;
+  Alcotest.(check (float 1e-9)) "one config quarantined" 1.
+    (Obs.Metrics.counter r.Driver.metrics "driver.quarantines");
+  Alcotest.(check (float 1e-9)) "skipped proposals counted" 2.
+    (Obs.Metrics.counter r.Driver.metrics "driver.quarantined_proposals")
+
+let test_resilient_policy_is_noop_without_faults () =
+  (* On a fault-free target the resilient policy must not change what the
+     search sees: same values, same best. *)
+  let series policy =
+    let r =
+      Driver.run ~seed:11 ~resilience:policy ~target:(toy_target ())
+        ~algorithm:(Random_search.create ()) ~budget:(Driver.Iterations 30) ()
+    in
+    History.values_series r.Driver.history
+  in
+  Alcotest.(check (array (float 1e-9))) "identical series"
+    (series Resilience.none)
+    (series Resilience.default_resilient)
+
+let prop_phase_sums_hold_under_faults =
+  QCheck2.Test.make ~name:"phase sums equal history under faults + resilience" ~count:15
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let plan = Faults.create ~rates:(Faults.rates_of_total 0.10) ~seed () in
+      let target = Target.with_faults ~plan (toy_target ()) in
+      let r =
+        Driver.run ~seed ~resilience:Resilience.default_resilient ~target
+          ~algorithm:(Random_search.create ()) ~budget:(Driver.Iterations 25) ()
+      in
+      let phase_total =
+        List.fold_left (fun acc (_, s) -> acc +. s) 0. (Driver.phase_virtual_seconds r)
+      in
+      Float.abs (phase_total -. History.total_eval_seconds r.Driver.history) < 1e-6
+      && Float.abs (S.Vclock.now r.Driver.clock -. phase_total) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / resume                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sample_checkpoint () =
+  let entry index value failure =
+    { History.index;
+      config = [| Param.Vint index; Param.Vbool (index mod 2 = 0) |];
+      value;
+      failure;
+      at_seconds = 0.1 +. (0.2 *. float_of_int index);
+      eval_seconds = 16.3 /. 3.;
+      built = index mod 2 = 0;
+      decide_seconds = 1e-4 }
+  in
+  { Checkpoint.seed = 12345;
+    rng_state = 0xDEADBEEFL;
+    clock_seconds = 0.1 +. 0.2;
+    budget_start_seconds = 0.;
+    iterations = 3;
+    consecutive_invalid = 1;
+    last_built = Some [| Param.Vint 7; Param.Vbool false |];
+    strikes = [ (42, 1); (99, 2) ];
+    quarantined = [ 99 ];
+    entries =
+      [ entry 0 (Some 101.5) None;
+        entry 1 None (Some (Failure.Other "weird failure,\twith tab"));
+        entry 2 None (Some Failure.Boot_timeout) ] }
+
+let test_checkpoint_string_roundtrip () =
+  let ck = sample_checkpoint () in
+  match Checkpoint.of_string (Checkpoint.to_string ck) with
+  | Error e -> Alcotest.fail ("roundtrip failed: " ^ e)
+  | Ok ck' ->
+    (* Structural equality covers exact float round-trips (%h encoding)
+       and the percent-encoded failure string. *)
+    Alcotest.(check bool) "identical checkpoint" true (ck = ck')
+
+let test_checkpoint_rejects_garbage () =
+  let bad s =
+    match Checkpoint.of_string s with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "empty" true (bad "");
+  Alcotest.(check bool) "wrong magic" true (bad "not-a-checkpoint 1\nend\n");
+  Alcotest.(check bool) "future version" true (bad "wayfinder-checkpoint 999\nend\n");
+  (* Truncation: chop the end marker off a valid file. *)
+  let s = Checkpoint.to_string (sample_checkpoint ()) in
+  let truncated = String.sub s 0 (String.length s - 4) in
+  Alcotest.(check bool) "truncated file rejected" true (bad truncated)
+
+let test_checkpoint_save_load_atomic () =
+  let path = Filename.temp_file "wayfinder" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let ck = sample_checkpoint () in
+      Checkpoint.save ~path ck;
+      Alcotest.(check bool) "no tmp file left" false (Sys.file_exists (path ^ ".tmp"));
+      match Checkpoint.load ~path with
+      | Error e -> Alcotest.fail e
+      | Ok ck' -> Alcotest.(check bool) "file roundtrip" true (ck = ck'))
+
+(* A run under injected faults with the resilient policy, frozen wall
+   clock, deterministic in [seed]. *)
+let faulty_run ?checkpoint_path ?resume_from ~seed ~iterations () =
+  let plan = Faults.create ~rates:(Faults.rates_of_total 0.10) ~seed () in
+  let target = Target.with_faults ~plan (toy_target ()) in
+  Driver.run ~seed ~obs:(frozen_obs ()) ~resilience:Resilience.default_resilient
+    ?checkpoint_path ~checkpoint_every:7 ?resume_from ~target
+    ~algorithm:(Random_search.create ()) ~budget:(Driver.Iterations iterations) ()
+
+let resume_roundtrip ~seed ~interrupt_at ~iterations =
+  let full = faulty_run ~seed ~iterations () in
+  let path = Filename.temp_file "wayfinder" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* "Kill" the run at [interrupt_at] iterations; the driver leaves a
+         final checkpoint behind. *)
+      ignore (faulty_run ~checkpoint_path:path ~seed ~iterations:interrupt_at ());
+      match Checkpoint.load ~path with
+      | Error e -> Alcotest.failf "checkpoint load: %s" e
+      | Ok ck ->
+        let resumed = faulty_run ~resume_from:ck ~seed ~iterations () in
+        (History.to_csv full.Driver.history, History.to_csv resumed.Driver.history))
+
+let test_resume_reproduces_csv_byte_for_byte () =
+  let full_csv, resumed_csv = resume_roundtrip ~seed:3 ~interrupt_at:9 ~iterations:20 in
+  Alcotest.(check string) "identical CSV" full_csv resumed_csv
+
+let prop_resume_at_any_iteration =
+  QCheck2.Test.make ~name:"kill-and-resume reproduces the run at any cut point" ~count:8
+    QCheck2.Gen.(pair (int_range 0 500) (int_range 1 19))
+    (fun (seed, interrupt_at) ->
+      let full_csv, resumed_csv = resume_roundtrip ~seed ~interrupt_at ~iterations:20 in
+      full_csv = resumed_csv)
+
+let test_resume_diverging_setup_rejected () =
+  let path = Filename.temp_file "wayfinder" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      ignore (faulty_run ~checkpoint_path:path ~seed:5 ~iterations:10 ());
+      match Checkpoint.load ~path with
+      | Error e -> Alcotest.failf "checkpoint load: %s" e
+      | Ok ck ->
+        (* Same checkpoint, different driver seed: the replayed proposals
+           cannot match the recorded ones. *)
+        Alcotest.(check bool) "wrong seed rejected" true
+          (try
+             ignore (faulty_run ~resume_from:ck ~seed:6 ~iterations:20 ());
+             false
+           with Invalid_argument _ -> true);
+        (* A pre-advanced clock cannot be the checkpoint's budget origin. *)
+        let clock = S.Vclock.create () in
+        S.Vclock.advance clock 1.;
+        Alcotest.(check bool) "advanced clock rejected" true
+          (try
+             ignore
+               (Driver.run ~seed:5 ~clock ~resume_from:ck ~target:(toy_target ())
+                  ~algorithm:(Random_search.create ()) ~budget:(Driver.Iterations 20) ());
+             false
+           with Invalid_argument _ -> true))
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance: DeepTune on SimLinux/Nginx under a 10 % fault rate      *)
+(* ------------------------------------------------------------------ *)
+
+let test_acceptance_deeptune_under_faults () =
+  let seed = 0 in
+  let iterations = 60 in
+  let run target resilience =
+    let dt = D.Deeptune.create ~seed target.Target.space in
+    Driver.run ~seed ~resilience ~target ~algorithm:(D.Deeptune.algorithm dt)
+      ~budget:(Driver.Iterations iterations) ()
+  in
+  let base = Targets.of_sim_linux (S.Sim_linux.create ()) ~app:S.App.Nginx in
+  let clean = run base Resilience.none in
+  let plan = Faults.create ~rates:(Faults.rates_of_total 0.10) ~seed () in
+  let faulty = run (Target.with_faults ~plan base) Resilience.default_resilient in
+  (* No livelock: the full iteration budget completes. *)
+  Alcotest.(check int) "fault-free run completes" iterations clean.Driver.iterations;
+  Alcotest.(check int) "faulty run completes" iterations faulty.Driver.iterations;
+  match (History.best_value clean.Driver.history, History.best_value faulty.Driver.history) with
+  | Some cb, Some fb ->
+    let gap = Float.abs (fb -. cb) /. cb in
+    Alcotest.(check bool)
+      (Printf.sprintf "best under faults within 5%% (clean %.1f, faulty %.1f, gap %.3f)" cb fb
+         gap)
+      true (gap <= 0.05)
+  | _ -> Alcotest.fail "expected both runs to find a best configuration"
+
+let () =
+  Alcotest.run "resilience"
+    [ ( "faults",
+        [ Alcotest.test_case "zero and full rates" `Quick test_fault_rates_zero_and_full;
+          Alcotest.test_case "empirical frequency" `Quick test_fault_rate_frequency;
+          Alcotest.test_case "rate validation" `Quick test_fault_rates_validated;
+          Alcotest.test_case "deterministic failures pass through" `Quick
+            test_with_faults_passthrough_on_deterministic_failure;
+          QCheck_alcotest.to_alcotest prop_fault_schedule_deterministic ] );
+      ( "failure",
+        [ Alcotest.test_case "string roundtrip" `Quick test_failure_string_roundtrip;
+          Alcotest.test_case "classes" `Quick test_failure_classes ] );
+      ( "policy",
+        [ Alcotest.test_case "backoff growth and cap" `Quick test_backoff_growth_and_cap;
+          Alcotest.test_case "validation" `Quick test_policy_validation;
+          Alcotest.test_case "disagreement" `Quick test_disagreement ] );
+      ( "driver",
+        [ Alcotest.test_case "boot timeout caps a hang" `Quick test_boot_timeout_caps_hang;
+          Alcotest.test_case "retry recovers a transient" `Quick test_retry_recovers_transient;
+          Alcotest.test_case "exhausted retries report failure" `Quick
+            test_retries_exhausted_reports_failure;
+          Alcotest.test_case "outlier rejected by median" `Quick test_outlier_rejected_by_median;
+          Alcotest.test_case "agreeing measurement keeps first sample" `Quick
+            test_agreeing_measurement_keeps_first_sample;
+          Alcotest.test_case "quarantine after exhausted retries" `Quick
+            test_quarantine_after_exhausted_retries;
+          Alcotest.test_case "resilient policy noop without faults" `Quick
+            test_resilient_policy_is_noop_without_faults;
+          QCheck_alcotest.to_alcotest prop_phase_sums_hold_under_faults ] );
+      ( "checkpoint",
+        [ Alcotest.test_case "string roundtrip" `Quick test_checkpoint_string_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_checkpoint_rejects_garbage;
+          Alcotest.test_case "save/load atomic" `Quick test_checkpoint_save_load_atomic;
+          Alcotest.test_case "resume reproduces CSV byte-for-byte" `Quick
+            test_resume_reproduces_csv_byte_for_byte;
+          Alcotest.test_case "diverging setup rejected" `Quick
+            test_resume_diverging_setup_rejected;
+          QCheck_alcotest.to_alcotest prop_resume_at_any_iteration ] );
+      ( "acceptance",
+        [ Alcotest.test_case "deeptune survives 10% faults" `Slow
+            test_acceptance_deeptune_under_faults ] ) ]

@@ -237,7 +237,11 @@ let test_stat_basics () =
   check_float "std" 2. (Stat.std xs);
   check_float "median" 4.5 (Stat.median xs);
   check_float "min" 2. (Stat.min xs);
-  check_float "max" 9. (Stat.max xs)
+  check_float "max" 9. (Stat.max xs);
+  (* median of |2,4,4,4,5,5,7,9| deviations from median 4.5 is
+     median of |2.5,.5,.5,.5,.5,.5,2.5,4.5| = 0.5 *)
+  check_float "mad" 0.5 (Stat.mad xs);
+  check_float "mad constant" 0. (Stat.mad [| 3.; 3.; 3. |])
 
 let test_stat_quantile_interp () =
   let xs = [| 1.; 2.; 3.; 4. |] in
