@@ -1,0 +1,77 @@
+(* Speedup vs workers: the batched multi-worker engine on the Figure 9
+   workload (Nginx on Unikraft).
+
+   Same iteration budget at 1/2/4/8 virtual evaluation slots; reported per
+   worker count: the virtual makespan (how long the testbed campaign takes
+   end-to-end), the speedup over the sequential engine, the mean busy-slot
+   occupancy, and the sample efficiency (completed evaluations until the
+   best configuration is found) — batching trades a little sample
+   efficiency (stale observations within a batch) for near-linear makespan
+   reduction. *)
+
+module S = Wayfinder_simos
+module P = Wayfinder_platform
+module D = Wayfinder_deeptune
+module Obs = Wayfinder_obs
+
+let iterations = ref 120
+let worker_counts = [ 1; 2; 4; 8 ]
+
+let samples_to_best (r : P.Driver.result) =
+  match P.History.best_value r.P.Driver.history with
+  | None -> None
+  | Some best ->
+    let entries = P.History.entries r.P.Driver.history in
+    let rec scan i =
+      if i >= Array.length entries then None
+      else
+        match entries.(i).P.History.value with
+        | Some v when v = best -> Some (i + 1)
+        | _ -> scan (i + 1)
+    in
+    scan 0
+
+let run () =
+  Bench_common.section
+    "Workers: batched multi-worker engine speedup (Unikraft/Nginx, fig. 9 workload)";
+  let uk = S.Sim_unikraft.create () in
+  let target = P.Targets.of_sim_unikraft uk in
+  let space = S.Sim_unikraft.space uk in
+  let seed = 42 in
+  Printf.printf "budget: %d evaluations per run, seed %d\n" !iterations seed;
+  let measure name algo_of =
+    Bench_common.subsection name;
+    Printf.printf "  %-8s %12s %9s %10s %16s %12s\n" "workers" "makespan" "speedup"
+      "mean busy" "samples-to-best" "best req/s";
+    let base = ref nan in
+    let makespans =
+      List.map
+        (fun workers ->
+          let r =
+            P.Driver.run ~seed ~workers ~target ~algorithm:(algo_of ())
+              ~budget:(P.Driver.Iterations !iterations) ()
+          in
+          let makespan = S.Vclock.now r.P.Driver.clock in
+          if workers = 1 then base := makespan;
+          let busy =
+            match Obs.Metrics.histogram r.P.Driver.metrics "driver.worker.busy" with
+            | Some h -> Obs.Metrics.mean h
+            | None -> 1.  (* workers=1: the engine-only metric is off by design *)
+          in
+          Printf.printf "  %-8d %11.1fh %8.2fx %10.2f %16s %12.0f\n" workers
+            (makespan /. 3600.) (!base /. makespan) busy
+            (match samples_to_best r with Some n -> string_of_int n | None -> "-")
+            (Option.value ~default:nan (P.History.best_value r.P.Driver.history));
+          (workers, makespan))
+        worker_counts
+    in
+    let m n = List.assoc n makespans in
+    Bench_common.check
+      (m 1 > m 2 && m 2 > m 4)
+      (Printf.sprintf "%s: virtual makespan strictly decreases 1 -> 2 -> 4 workers" name);
+    Bench_common.check (m 8 <= m 4)
+      (Printf.sprintf "%s: 8 workers no slower than 4" name)
+  in
+  measure "deeptune (native top-k batch)" (fun () ->
+      D.Deeptune.algorithm (D.Deeptune.create ~seed space));
+  measure "random (sequential-fallback batch)" (fun () -> P.Random_search.create ())

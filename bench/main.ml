@@ -21,6 +21,7 @@ let experiments =
     ("fig10", "RISC-V memory footprint search", Bench_fig10.run);
     ("fig11", "throughput-memory co-optimization on Cozart", Bench_fig11.run);
     ("tab4", "top-5 throughput-memory results", Bench_tab4.run);
+    ("workers", "speedup vs virtual evaluation slots (batched engine)", Bench_workers.run);
     ("sensitivity", "workload sensitivity of the found optimum (§3.5)", Bench_sensitivity.run);
     ("micro", "Bechamel micro-benchmarks of per-iteration costs", Bench_micro.run);
     ("ablation", "DeepTune design-choice ablations", Bench_ablation.run) ]

@@ -101,8 +101,8 @@ let policy_of_flags ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeou
 
 let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s ~seed ~favor
     ~csv_path ~trace_path ~timings ~quiet ~checkpoint ~checkpoint_every ~resume ~fault_rate
-    ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeout ~measure_repeats
-    ~quarantine_after =
+    ~workers ~batch ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeout
+    ~measure_repeats ~quarantine_after =
   ignore metric_hint;
   let job =
     match job_file with
@@ -127,14 +127,19 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
         | Some path -> (
           match P.Checkpoint.load ~path with
           | Ok ck -> Ok (Some ck)
-          | Error e -> Error (Printf.sprintf "checkpoint %s: %s" path e))
+          | Error e ->
+            Error (Printf.sprintf "checkpoint %s: %s" path (P.Checkpoint.error_to_string e)))
     in
     match resume_from with
     | Error e -> Error e
     | Ok resume_from -> (
     (* A resumed run must recreate the algorithm and faults from the
-       checkpointed seed, whatever the flags say. *)
+       checkpointed seed — and the engine from the checkpointed worker
+       count — whatever the flags say. *)
     let seed = match resume_from with Some ck -> ck.P.Checkpoint.seed | None -> seed in
+    let workers =
+      match resume_from with Some ck -> ck.P.Checkpoint.workers | None -> workers
+    in
     let favor =
       match (favor, job) with
       | Some f, _ -> CS.Param.stage_of_string f
@@ -222,8 +227,8 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
         | None -> ());
         match
           P.Driver.run ~seed ~on_iteration:progress ~obs ~resilience
-            ?checkpoint_path:checkpoint ~checkpoint_every ?resume_from ~target ~algorithm:algo
-            ~budget ()
+            ?checkpoint_path:checkpoint ~checkpoint_every ?resume_from ~workers ?batch ~target
+            ~algorithm:algo ~budget ()
         with
         | exception Invalid_argument msg ->
           (match trace_channel with Some oc -> close_out oc | None -> ());
@@ -242,6 +247,8 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
           Printf.printf
             "  stopped early: %d consecutive invalid proposals (search is stuck)\n"
             P.Driver.default_max_consecutive_invalid
+        | P.Driver.Space_exhausted ->
+          Printf.printf "  stopped early: the algorithm exhausted its configuration space\n"
         | P.Driver.Budget_exhausted -> ());
         if timings then begin
           print_newline ();
@@ -417,6 +424,21 @@ let run_cmd =
           ~doc:"Inject transient testbed faults (hung boots, flaky builds, spurious failures, \
                 measurement outliers) at total probability $(docv) per evaluation.")
   in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Keep $(docv) virtual evaluation slots busy: build/boot/benchmark pipelines of \
+                several configurations overlap on the discrete-event virtual clock. $(docv)=1 \
+                is byte-for-byte the sequential driver.")
+  in
+  let batch =
+    Arg.(
+      value & opt (some int) None
+      & info [ "batch" ] ~docv:"K"
+          ~doc:"Ask the algorithm for up to $(docv) configurations at once (native \
+                $(i,propose_batch) when available). Defaults to $(b,--workers).")
+  in
   let resilient =
     Arg.(
       value & flag
@@ -457,21 +479,21 @@ let run_cmd =
           ~doc:"Quarantine a configuration after $(docv) exhausted-retry episodes (0 = off).")
   in
   let f job_file os app algorithm iterations budget_s seed favor csv trace timings quiet
-      (checkpoint, checkpoint_every, resume, fault_rate)
+      (checkpoint, checkpoint_every, resume, fault_rate, workers, batch)
       (resilient, retries, build_timeout, boot_timeout, run_timeout, measure_repeats,
        quarantine_after) =
     handle
       (run_search ~job_file ~os ~app ~metric_hint:() ~algorithm ~iterations ~budget_s ~seed
          ~favor ~csv_path:csv ~trace_path:trace ~timings ~quiet ~checkpoint ~checkpoint_every
-         ~resume ~fault_rate ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeout
-         ~measure_repeats ~quarantine_after)
+         ~resume ~fault_rate ~workers ~batch ~resilient ~retries ~build_timeout ~boot_timeout
+         ~run_timeout ~measure_repeats ~quarantine_after)
   in
   (* Cmdliner terms are applicative; tuple up the flag groups to keep the
      application chain readable. *)
-  let tuple4 a b c d = (a, b, c, d) in
+  let tuple6 a b c d e f = (a, b, c, d, e, f) in
   let tuple7 a b c d e f g = (a, b, c, d, e, f, g) in
   let checkpoint_group =
-    Term.(const tuple4 $ checkpoint $ checkpoint_every $ resume $ fault_rate)
+    Term.(const tuple6 $ checkpoint $ checkpoint_every $ resume $ fault_rate $ workers $ batch)
   in
   let resilience_group =
     Term.(

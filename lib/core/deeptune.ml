@@ -96,7 +96,11 @@ let generate_pool t =
 
 let config_key config = Hashtbl.hash (Array.to_list config)
 
-let rank_candidates t pool =
+(* ② Predict each candidate; ③ score by predicted performance plus the
+   eq. 3 exploration bonus.  Scoring happens in the model's z-score units
+   so the [0, 1] bonus and the crash penalty are commensurate with the
+   performance term. *)
+let score_pool t pool =
   (* Never re-evaluate a configuration (the platform would just repeat the
      measurement): drop already-seen candidates unless that empties the
      pool. *)
@@ -105,30 +109,27 @@ let rank_candidates t pool =
     | [] -> pool
     | fresh -> fresh
   in
-  (* ② Predict each candidate; ③ rank by predicted performance plus the
-     eq. 3 exploration bonus, gating predicted crashes.  Ranking happens in
-     the model's z-score units so the [0, 1] bonus and the crash penalty
-     are commensurate with the performance term. *)
-  let scored =
-    List.map
-      (fun config ->
-        let x = Encoding.encode t.encoding config in
-        let p = Dtm.predict t.dtm x in
-        let ds = Scoring.dissimilarity x t.known in
-        let bonus =
-          Scoring.score ~alpha:t.options.alpha ~dissimilarity:ds
-            ~uncertainty:p.Dtm.uncertainty ()
-        in
-        (* Soft crash penalty: even below the hard gate, likelier-to-crash
-           candidates rank lower. *)
-        let rank =
-          p.Dtm.normalized_performance
-          +. (t.options.exploration_weight *. bonus)
-          -. (t.options.crash_penalty *. p.Dtm.crash_probability)
-        in
-        (config, p, rank))
-      pool
-  in
+  List.map
+    (fun config ->
+      let x = Encoding.encode t.encoding config in
+      let p = Dtm.predict t.dtm x in
+      let ds = Scoring.dissimilarity x t.known in
+      let bonus =
+        Scoring.score ~alpha:t.options.alpha ~dissimilarity:ds
+          ~uncertainty:p.Dtm.uncertainty ()
+      in
+      (* Soft crash penalty: even below the hard gate, likelier-to-crash
+         candidates rank lower. *)
+      let rank =
+        p.Dtm.normalized_performance
+        +. (t.options.exploration_weight *. bonus)
+        -. (t.options.crash_penalty *. p.Dtm.crash_probability)
+      in
+      (config, p, rank))
+    pool
+
+let rank_candidates t pool =
+  let scored = score_pool t pool in
   let admissible =
     match t.options.crash_gate with
     | None -> scored
@@ -152,6 +153,47 @@ let rank_candidates t pool =
     | None ->
       Random_search.sampler ?favor:t.options.favor ~strong:t.options.favor_strong
         ~weak:t.options.favor_weak t.space t.rng)
+
+(* Batched selection: the top [k] *distinct* admissible candidates of one
+   scored pool — the natural ask/tell form of the ranking step, one model
+   sweep for a whole batch.  Padded with fresh biased draws when gating or
+   deduplication leaves fewer than [k]. *)
+let rank_candidates_top t pool ~k =
+  let scored = score_pool t pool in
+  let admissible =
+    match t.options.crash_gate with
+    | None -> scored
+    | Some gate ->
+      List.filter (fun (_, p, _) -> p.Dtm.crash_probability <= gate) scored
+  in
+  (* Stable sort: equal ranks keep pool order, matching the sequential
+     picker's first-max-wins rule. *)
+  let sorted =
+    List.sort (fun (_, _, a) (_, _, b) -> compare (b : float) a) admissible
+  in
+  let in_batch = Hashtbl.create 16 in
+  let rec take n = function
+    | [] -> []
+    | (config, _, _) :: rest ->
+      if n = 0 then []
+      else begin
+        let key = config_key config in
+        if Hashtbl.mem in_batch key then take n rest
+        else begin
+          Hashtbl.add in_batch key ();
+          config :: take (n - 1) rest
+        end
+      end
+  in
+  let picked = take k sorted in
+  let pad =
+    List.init
+      (k - List.length picked)
+      (fun _ ->
+        Random_search.sampler ?favor:t.options.favor ~strong:t.options.favor_strong
+          ~weak:t.options.favor_weak t.space t.rng)
+  in
+  picked @ pad
 
 let propose t ctx =
   let obs = ctx.Search_algorithm.obs in
@@ -226,9 +268,47 @@ let observe t ctx (entry : History.entry) =
           (Dtm.train t.dtm ~epochs:t.options.train_epochs ~on_epoch:report_epoch t.dataset))
   end
 
+(* Native ask/tell batch: drain transfer seeds and warm-up draws one at a
+   time (they are inherently sequential), then fill the rest of the batch
+   with the top-k of a single generated-and-scored pool. *)
+let propose_batch t ctx ~k =
+  let obs = ctx.Search_algorithm.obs in
+  let rec head n acc =
+    if n = 0 then List.rev acc
+    else
+      match t.pending_seeds with
+      | seed :: rest ->
+        t.pending_seeds <- rest;
+        Obs.Recorder.incr obs ~quiet:true "deeptune.transfer_seeds_proposed";
+        head (n - 1) (seed :: acc)
+      | [] ->
+        if Dataset.size t.dataset < t.options.warmup then begin
+          Obs.Recorder.incr obs ~quiet:true "deeptune.warmup_proposals";
+          let draw =
+            Random_search.sampler ?favor:t.options.favor ~strong:t.options.favor_strong
+              ~weak:t.options.favor_weak t.space t.rng
+          in
+          head (n - 1) (draw :: acc)
+        end
+        else begin
+          let pool =
+            Obs.Recorder.with_span obs "deeptune.pool" (fun () -> generate_pool t)
+          in
+          Obs.Recorder.observe obs ~quiet:true "deeptune.pool_size"
+            (float_of_int (List.length pool));
+          List.rev_append acc
+            (Obs.Recorder.with_span obs
+               ~attrs:[ Obs.Attr.int "pool" (List.length pool); Obs.Attr.int "k" n ]
+               "deeptune.rank"
+               (fun () -> rank_candidates_top t pool ~k:n))
+        end
+  in
+  head k []
+
 let algorithm t =
   Search_algorithm.make ~name:"deeptune"
     ~propose:(fun ctx -> propose t ctx)
+    ~propose_batch:(fun ctx ~k -> propose_batch t ctx ~k)
     ~observe:(fun ctx entry -> observe t ctx entry)
     ()
 

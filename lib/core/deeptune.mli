@@ -7,9 +7,12 @@
     the model expects to fail), hand the top candidate to the platform ④,
     and fold the measured outcome back into the DTM ⑤.
 
-    Implements the platform's {!Wayfinder_platform.Search_algorithm} API.
-    A trained model can be {!export}ed and reused to warm-start the search
-    for a related application — the §3.3 transfer learning. *)
+    Implements the platform's {!Wayfinder_platform.Search_algorithm} API,
+    including the native ask/tell batch: [propose_batch ~k] takes the top-k
+    {e distinct} admissible candidates of a single scored pool (one model
+    sweep per batch, padded with fresh draws when gating leaves fewer than
+    k).  A trained model can be {!export}ed and reused to warm-start the
+    search for a related application — the §3.3 transfer learning. *)
 
 module Space = Wayfinder_configspace.Space
 module Param = Wayfinder_configspace.Param

@@ -24,10 +24,9 @@ let create ?favor ?(n_init = 8) ?(pool = 200) ?(max_points = 200) ?(lengthscale 
       state := Some st;
       st
   in
-  let propose ctx =
+  let pick st ctx =
     let space = ctx.Search_algorithm.space in
     let rng = ctx.Search_algorithm.rng in
-    let st = get_state space in
     let n = List.length st.ys in
     if n < n_init then Random_search.sampler ?favor space rng
     else begin
@@ -69,6 +68,33 @@ let create ?favor ?(n_init = 8) ?(pool = 200) ?(max_points = 200) ?(lengthscale 
       !best_config
     end
   in
+  let propose ctx = pick (get_state ctx.Search_algorithm.space) ctx in
+  (* Constant-liar batching (CL-max): after each pick, pretend it came back
+     at the incumbent best score, refit, and maximise EI again — the fake
+     observation flattens EI around the pick so the batch spreads out
+     instead of piling onto one point.  The lies are popped before the
+     real outcomes arrive through [observe]. *)
+  let propose_batch ctx ~k =
+    let st = get_state ctx.Search_algorithm.space in
+    let picks = ref [] in
+    let lies = ref 0 in
+    for _ = 1 to k do
+      let c = pick st ctx in
+      picks := c :: !picks;
+      let lie =
+        match st.ys with [] -> 0. | ys -> List.fold_left max neg_infinity ys
+      in
+      st.xs <- Encoding.encode st.encoding c :: st.xs;
+      st.ys <- lie :: st.ys;
+      incr lies
+    done;
+    let rec drop n l =
+      if n = 0 then l else match l with _ :: rest -> drop (n - 1) rest | [] -> []
+    in
+    st.xs <- drop !lies st.xs;
+    st.ys <- drop !lies st.ys;
+    List.rev !picks
+  in
   let observe ctx entry =
     let st = get_state ctx.Search_algorithm.space in
     match entry.History.failure with
@@ -90,4 +116,4 @@ let create ?favor ?(n_init = 8) ?(pool = 200) ?(max_points = 200) ?(lengthscale 
       st.ys <- score :: st.ys;
       if score < st.worst || List.length st.ys = 1 then st.worst <- score
   in
-  Search_algorithm.make ~name:"bayesian" ~propose ~observe ()
+  Search_algorithm.make ~name:"bayesian" ~propose ~propose_batch ~observe ()

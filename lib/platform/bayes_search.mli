@@ -6,7 +6,12 @@
     measures: every observation triggers a *full* O(n³) refit, there is no
     crash model (failures are folded in as a pessimistic score), and
     one-hot categorical dimensions dilute the kernel — which is why it only
-    competes on small spaces like Unikraft's (Figure 9). *)
+    competes on small spaces like Unikraft's (Figure 9).
+
+    Supports the ask/tell batch interface through constant-liar batching:
+    each pick is temporarily recorded as a fake observation at the
+    incumbent best score, so within a batch the EI maximisation spreads the
+    picks apart; the lies are removed before real outcomes are observed. *)
 
 val create :
   ?favor:Wayfinder_configspace.Param.stage ->

@@ -1,20 +1,38 @@
 module Space = Wayfinder_configspace.Space
 module Param = Wayfinder_configspace.Param
 
+type inflight = {
+  index : int;
+  slot : int;
+  start_seconds : float;
+  entry : History.entry;
+}
+
 type t = {
   seed : int;
   rng_state : int64;
   clock_seconds : float;
   budget_start_seconds : float;
   iterations : int;
+  workers : int;
   consecutive_invalid : int;
-  last_built : Space.configuration option;
+  slots_last_built : Space.configuration option list;
   strikes : (int * int) list;
   quarantined : int list;
   entries : History.entry list;
+  inflight : inflight list;
 }
 
-let version = 1
+type error =
+  | Unsupported_version of { found : int; expected : int }
+  | Malformed of string
+
+let error_to_string = function
+  | Unsupported_version { found; expected } ->
+    Printf.sprintf "unsupported checkpoint version %d (expected %d)" found expected
+  | Malformed msg -> msg
+
+let version = 2
 
 (* ------------------------------------------------------------------ *)
 (* Field encodings                                                     *)
@@ -25,7 +43,9 @@ let version = 1
 let float_field = Printf.sprintf "%h"
 
 let float_of_field s =
-  match float_of_string_opt s with Some f -> Ok f | None -> Error ("bad float " ^ s)
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> Error (Malformed ("bad float " ^ s))
 
 let value_token = function
   | Param.Vbool b -> if b then "b1" else "b0"
@@ -34,7 +54,7 @@ let value_token = function
   | Param.Vcat i -> "c" ^ string_of_int i
 
 let value_of_token s =
-  if String.length s < 2 then Error ("bad value token " ^ s)
+  if String.length s < 2 then Error (Malformed ("bad value token " ^ s))
   else
     let body = String.sub s 1 (String.length s - 1) in
     match (s.[0], int_of_string_opt body) with
@@ -43,7 +63,7 @@ let value_of_token s =
     | 't', Some i -> Ok (Param.Vtristate i)
     | 'i', Some n -> Ok (Param.Vint n)
     | 'c', Some i -> Ok (Param.Vcat i)
-    | _ -> Error ("bad value token " ^ s)
+    | _ -> Error (Malformed ("bad value token " ^ s))
 
 (* "." denotes the empty configuration so a config field is never an empty
    string (which a whitespace split could not distinguish). *)
@@ -116,12 +136,20 @@ let to_string t =
   line "clock %s" (float_field t.clock_seconds);
   line "budget_start %s" (float_field t.budget_start_seconds);
   line "iterations %d" t.iterations;
+  line "workers %d" t.workers;
   line "consecutive_invalid %d" t.consecutive_invalid;
-  line "last_built %s"
-    (match t.last_built with Some c -> config_field c | None -> "-");
+  List.iter
+    (fun built -> line "slot %s" (match built with Some c -> config_field c | None -> "-"))
+    t.slots_last_built;
   List.iter (fun (key, n) -> line "strike %d %d" key n) t.strikes;
   List.iter (fun key -> line "quarantined %d" key) t.quarantined;
   List.iter (fun e -> line "entry %s" (entry_line e)) t.entries;
+  List.iter
+    (fun i ->
+      line "inflight %s"
+        (String.concat "\t"
+           [ string_of_int i.slot; float_field i.start_seconds; entry_line i.entry ]))
+    t.inflight;
   line "end";
   Buffer.contents buf
 
@@ -143,7 +171,9 @@ let parse_entry rest =
   match String.split_on_char '\t' rest with
   | [ index; value; failure; at; eval; built; decide; config ] ->
     let* index =
-      match int_of_string_opt index with Some i -> Ok i | None -> Error "bad entry index"
+      match int_of_string_opt index with
+      | Some i -> Ok i
+      | None -> Error (Malformed "bad entry index")
     in
     let* value =
       if value = "-" then Ok None
@@ -157,37 +187,57 @@ let parse_entry rest =
     let* at_seconds = float_of_field at in
     let* eval_seconds = float_of_field eval in
     let* built =
-      match built with "1" -> Ok true | "0" -> Ok false | _ -> Error "bad entry built flag"
+      match built with
+      | "1" -> Ok true
+      | "0" -> Ok false
+      | _ -> Error (Malformed "bad entry built flag")
     in
     let* decide_seconds = float_of_field decide in
     let* config = config_of_field config in
     Ok { History.index; config; value; failure; at_seconds; eval_seconds; built; decide_seconds }
-  | _ -> Error "bad entry field count"
+  | _ -> Error (Malformed "bad entry field count")
+
+let parse_inflight rest =
+  match String.split_on_char '\t' rest with
+  | slot :: start :: entry_fields when List.length entry_fields = 8 ->
+    let* slot =
+      match int_of_string_opt slot with
+      | Some i when i >= 0 -> Ok i
+      | Some _ | None -> Error (Malformed "bad inflight slot")
+    in
+    let* start_seconds = float_of_field start in
+    let* entry = parse_entry (String.concat "\t" entry_fields) in
+    Ok { index = entry.History.index; slot; start_seconds; entry }
+  | _ -> Error (Malformed "bad inflight field count")
 
 let of_string s =
   let lines =
     List.filter (fun l -> l <> "") (String.split_on_char '\n' s)
   in
   match lines with
-  | [] -> Error "empty checkpoint"
+  | [] -> Error (Malformed "empty checkpoint")
   | header :: rest -> (
     let* () =
       match String.split_on_char ' ' header with
-      | [ "wayfinder-checkpoint"; v ] ->
-        if int_of_string_opt v = Some version then Ok ()
-        else Error (Printf.sprintf "unsupported checkpoint version %s (expected %d)" v version)
-      | _ -> Error "not a wayfinder checkpoint"
+      | [ "wayfinder-checkpoint"; v ] -> (
+        match int_of_string_opt v with
+        | Some found when found = version -> Ok ()
+        | Some found -> Error (Unsupported_version { found; expected = version })
+        | None -> Error (Malformed ("bad checkpoint version " ^ v)))
+      | _ -> Error (Malformed "not a wayfinder checkpoint")
     in
     let seed = ref None
     and rng_state = ref None
     and clock = ref None
     and budget_start = ref None
     and iterations = ref None
+    and workers = ref None
     and consecutive_invalid = ref None
-    and last_built = ref None
+    and slots = ref []
     and strikes = ref []
     and quarantined = ref []
     and entries = ref []
+    and inflight = ref []
     and ended = ref false in
     let parse_line line =
       let key, rest =
@@ -200,7 +250,7 @@ let of_string s =
         | Some v ->
           r := Some v;
           Ok ()
-        | None -> Error (Printf.sprintf "bad %s field" key)
+        | None -> Error (Malformed (Printf.sprintf "bad %s field" key))
       in
       match key with
       | "seed" -> int_ref seed
@@ -209,7 +259,7 @@ let of_string s =
         | Some v ->
           rng_state := Some v;
           Ok ()
-        | None -> Error "bad rng field")
+        | None -> Error (Malformed "bad rng field"))
       | "clock" ->
         let* v = float_of_field rest in
         clock := Some v;
@@ -219,15 +269,16 @@ let of_string s =
         budget_start := Some v;
         Ok ()
       | "iterations" -> int_ref iterations
+      | "workers" -> int_ref workers
       | "consecutive_invalid" -> int_ref consecutive_invalid
-      | "last_built" ->
+      | "slot" ->
         if rest = "-" then begin
-          last_built := Some None;
+          slots := None :: !slots;
           Ok ()
         end
         else
           let* c = config_of_field rest in
-          last_built := Some (Some c);
+          slots := Some c :: !slots;
           Ok ()
       | "strike" -> (
         match String.split_on_char ' ' rest with
@@ -236,22 +287,26 @@ let of_string s =
           | Some k, Some n ->
             strikes := (k, n) :: !strikes;
             Ok ()
-          | _ -> Error "bad strike field")
-        | _ -> Error "bad strike field")
+          | _ -> Error (Malformed "bad strike field"))
+        | _ -> Error (Malformed "bad strike field"))
       | "quarantined" -> (
         match int_of_string_opt rest with
         | Some k ->
           quarantined := k :: !quarantined;
           Ok ()
-        | None -> Error "bad quarantined field")
+        | None -> Error (Malformed "bad quarantined field"))
       | "entry" ->
         let* e = parse_entry rest in
         entries := e :: !entries;
         Ok ()
+      | "inflight" ->
+        let* i = parse_inflight rest in
+        inflight := i :: !inflight;
+        Ok ()
       | "end" ->
         ended := true;
         Ok ()
-      | other -> Error ("unknown checkpoint field " ^ other)
+      | other -> Error (Malformed ("unknown checkpoint field " ^ other))
     in
     let rec consume = function
       | [] -> Ok ()
@@ -260,19 +315,33 @@ let of_string s =
         consume rest
     in
     let* () = consume rest in
-    let require name = function Some v -> Ok v | None -> Error ("missing " ^ name) in
-    let* () = if !ended then Ok () else Error "truncated checkpoint (no end marker)" in
+    let require name = function
+      | Some v -> Ok v
+      | None -> Error (Malformed ("missing " ^ name))
+    in
+    let* () = if !ended then Ok () else Error (Malformed "truncated checkpoint (no end marker)") in
     let* seed = require "seed" !seed in
     let* rng_state = require "rng" !rng_state in
     let* clock_seconds = require "clock" !clock in
     let* budget_start_seconds = require "budget_start" !budget_start in
     let* iterations = require "iterations" !iterations in
+    let* workers = require "workers" !workers in
     let* consecutive_invalid = require "consecutive_invalid" !consecutive_invalid in
-    let* last_built = require "last_built" !last_built in
     let entries = List.rev !entries in
+    let inflight = List.rev !inflight in
+    let slots_last_built = List.rev !slots in
     let* () =
       if List.length entries = iterations then Ok ()
-      else Error "entry count does not match iterations"
+      else Error (Malformed "entry count does not match iterations")
+    in
+    let* () = if workers >= 1 then Ok () else Error (Malformed "bad workers field") in
+    let* () =
+      if List.length slots_last_built = workers then Ok ()
+      else Error (Malformed "slot count does not match workers")
+    in
+    let* () =
+      if List.for_all (fun i -> i.slot < workers) inflight then Ok ()
+      else Error (Malformed "inflight slot out of range")
     in
     Ok
       { seed;
@@ -280,11 +349,13 @@ let of_string s =
         clock_seconds;
         budget_start_seconds;
         iterations;
+        workers;
         consecutive_invalid;
-        last_built;
+        slots_last_built;
         strikes = List.rev !strikes;
         quarantined = List.rev !quarantined;
-        entries })
+        entries;
+        inflight })
 
 let load ~path =
   match
@@ -293,5 +364,5 @@ let load ~path =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | exception Sys_error msg -> Error msg
+  | exception Sys_error msg -> Error (Malformed msg)
   | s -> of_string s

@@ -3,8 +3,12 @@
     A checkpoint captures everything the driver needs to continue a search
     as if it had never stopped: the exploration history (every entry,
     configs included), the virtual clock, the budget origin, the RNG
-    state, the rebuild-skip baseline image, the invalid-proposal streak
-    and the quarantine bookkeeping.
+    state, the per-slot rebuild-skip baseline images, the
+    invalid-proposal streak, the quarantine bookkeeping — and, since
+    format version 2, the tasks that were still {e in flight} on the
+    multi-worker engine's virtual evaluation slots when the file was
+    written, so a killed [~workers:n] run resumes mid-batch and
+    reproduces the uninterrupted trajectory exactly.
 
     Search-algorithm state (DeepTune's network, a GP's observations) is
     deliberately {e not} serialized.  Resume instead {e replays}: the
@@ -20,29 +24,55 @@
     The on-disk format is a versioned line-oriented text file; floats are
     hex literals ([%h]) so every double round-trips exactly, and files are
     written to a temporary name and renamed so a crash mid-write never
-    corrupts the previous checkpoint. *)
+    corrupts the previous checkpoint.  Files written by other format
+    versions are rejected with {!Unsupported_version} — never an
+    exception. *)
 
 module Space = Wayfinder_configspace.Space
+
+type inflight = {
+  index : int;  (** Proposal sequence number (equals [entry.index]). *)
+  slot : int;  (** The virtual evaluation slot the task occupies. *)
+  start_seconds : float;  (** Clock reading when the task was launched. *)
+  entry : History.entry;
+      (** The task's precomputed outcome; [entry.at_seconds] is its
+          (future) completion time.  Evaluation is a pure function of
+          (trial, configuration), so the driver computes the whole
+          outcome at launch and only reveals it at completion — which is
+          what lets an interrupted task be persisted at all. *)
+}
 
 type t = {
   seed : int;
   rng_state : int64;  (** Driver RNG state at checkpoint time (verification). *)
   clock_seconds : float;  (** Virtual clock reading. *)
   budget_start_seconds : float;  (** Clock reading when the run started. *)
-  iterations : int;
+  iterations : int;  (** Completed (recorded) evaluations. *)
+  workers : int;  (** Virtual evaluation slots of the writing run. *)
   consecutive_invalid : int;
-  last_built : Space.configuration option;  (** Rebuild-skip baseline. *)
+  slots_last_built : Space.configuration option list;
+      (** Rebuild-skip baseline per slot; length = [workers]. *)
   strikes : (int * int) list;  (** Config key → exhausted-retry episodes. *)
   quarantined : int list;  (** Quarantined config keys. *)
-  entries : History.entry list;  (** Oldest first. *)
+  entries : History.entry list;  (** Completion order, oldest first. *)
+  inflight : inflight list;  (** Launched but not yet completed tasks. *)
 }
 
+type error =
+  | Unsupported_version of { found : int; expected : int }
+      (** The file is a wayfinder checkpoint, but written by a different
+          format version. *)
+  | Malformed of string  (** Unreadable file or corrupt content. *)
+
+val error_to_string : error -> string
+
 val version : int
+(** Current format version: 2. *)
 
 val to_string : t -> string
-val of_string : string -> (t, string) result
+val of_string : string -> (t, error) result
 
 val save : path:string -> t -> unit
 (** Atomic: writes [path ^ ".tmp"], then renames. *)
 
-val load : path:string -> (t, string) result
+val load : path:string -> (t, error) result

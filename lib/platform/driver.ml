@@ -7,7 +7,7 @@ module Obs = Wayfinder_obs
 
 type budget = Iterations of int | Virtual_seconds of float
 
-type stop_reason = Budget_exhausted | Invalid_cap
+type stop_reason = Budget_exhausted | Invalid_cap | Space_exhausted
 
 type result = {
   history : History.t;
@@ -38,7 +38,42 @@ let trial_stride = 1_000_003
 
 let config_key config = Hashtbl.hash (Array.to_list config)
 
-let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invalid_floor_s)
+let diverged_msg index =
+  Printf.sprintf
+    "Driver.run: resume replay diverged at iteration %d (different algorithm, seed or options \
+     than the checkpointed run?)"
+    index
+
+(* Per-phase virtual timeouts: a phase whose duration exceeds its cap is
+   charged at the cap, later phases never ran, and the outcome is the
+   corresponding timeout failure — a hung boot costs [boot_timeout_s],
+   not an unbounded clock advance. *)
+let apply_timeouts (resilience : Resilience.policy) (r : Target.eval_result) =
+  let over cap_opt dur =
+    match cap_opt with Some c when dur > c -> Some c | Some _ | None -> None
+  in
+  match over resilience.Resilience.build_timeout_s r.Target.build_s with
+  | Some cap ->
+    { Target.value = Error Failure.Build_timeout; build_s = cap; boot_s = 0.; run_s = 0. }
+  | None -> (
+    match over resilience.Resilience.boot_timeout_s r.Target.boot_s with
+    | Some cap -> { r with Target.value = Error Failure.Boot_timeout; boot_s = cap; run_s = 0. }
+    | None -> (
+      match over resilience.Resilience.run_timeout_s r.Target.run_s with
+      | Some cap -> { r with Target.value = Error Failure.Run_timeout; run_s = cap }
+      | None -> r))
+
+(* ------------------------------------------------------------------ *)
+(* The legacy strictly-sequential loop                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* This is the driver as it existed before the multi-worker engine: one
+   proposal, one synchronous evaluation, one observe per step.  It is
+   kept verbatim as the executable specification the engine is tested
+   against — the conformance suite asserts that [run ~workers:1] is
+   byte-for-byte equivalent (history, metrics, virtual trajectory). *)
+let run_sequential ?(seed = 0) ?clock ?on_iteration ?obs
+    ?(invalid_floor_s = default_invalid_floor_s)
     ?(max_consecutive_invalid = default_max_consecutive_invalid)
     ?(resilience = Resilience.none) ?checkpoint_path
     ?(checkpoint_every = default_checkpoint_every) ?resume_from ~target ~algorithm ~budget ()
@@ -85,6 +120,10 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
       invalid_arg
         "Driver.run: resume requires a clock at the checkpoint's budget origin (pass a fresh \
          clock)";
+    if ck.Checkpoint.workers <> 1 || ck.Checkpoint.inflight <> [] then
+      invalid_arg
+        "Driver.run_sequential: checkpoint was written by a multi-worker run (resume it with \
+         Driver.run ~workers)";
     (* Rebuild the search algorithm's state by replaying the recorded
        history through its normal propose/observe path — everything except
        the target evaluations is deterministic given the seed, so the
@@ -95,12 +134,7 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
     List.iter
       (fun (e : History.entry) ->
         let config = algorithm.Search_algorithm.propose ctx in
-        if config <> e.History.config then
-          invalid_arg
-            (Printf.sprintf
-               "Driver.run: resume replay diverged at iteration %d (different algorithm, seed \
-                or options than the checkpointed run?)"
-               e.History.index);
+        if config <> e.History.config then invalid_arg (diverged_msg e.History.index);
         Obs.Recorder.emit_span obs ~virtual_s:e.History.eval_seconds
           ~attrs:[ Obs.Attr.int "iteration" e.History.index ]
           "driver.replay";
@@ -116,7 +150,9 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
        interrupted one for the continuation to reproduce it. *)
     Vclock.advance clock (ck.Checkpoint.clock_seconds -. Vclock.now clock);
     consecutive_invalid := ck.Checkpoint.consecutive_invalid;
-    last_built := ck.Checkpoint.last_built;
+    (match ck.Checkpoint.slots_last_built with
+    | [ b ] -> last_built := b
+    | _ -> assert false);
     List.iter (fun (k, n) -> Hashtbl.replace strikes k n) ck.Checkpoint.strikes;
     List.iter (fun k -> Hashtbl.replace quarantine k ()) ck.Checkpoint.quarantined;
     Obs.Recorder.incr obs ~quiet:true ~by:(float_of_int !index) "driver.replayed_iterations";
@@ -137,36 +173,19 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
           clock_seconds = Vclock.now clock;
           budget_start_seconds = start_seconds;
           iterations = !index;
+          workers = 1;
           consecutive_invalid = !consecutive_invalid;
-          last_built = !last_built;
+          slots_last_built = [ !last_built ];
           strikes = sorted_strikes;
           quarantined = sorted_quarantined;
-          entries = Array.to_list (History.entries history) };
+          entries = Array.to_list (History.entries history);
+          inflight = [] };
       Obs.Recorder.incr obs ~quiet:true "driver.checkpoints"
   in
   let within_budget () =
     match budget with
     | Iterations n -> !index < n
     | Virtual_seconds s -> Vclock.now clock -. start_seconds < s
-  in
-  (* Per-phase virtual timeouts: a phase whose duration exceeds its cap is
-     charged at the cap, later phases never ran, and the outcome is the
-     corresponding timeout failure — a hung boot costs [boot_timeout_s],
-     not an unbounded clock advance. *)
-  let apply_timeouts (r : Target.eval_result) =
-    let over cap_opt dur =
-      match cap_opt with Some c when dur > c -> Some c | Some _ | None -> None
-    in
-    match over resilience.Resilience.build_timeout_s r.Target.build_s with
-    | Some cap ->
-      { Target.value = Error Failure.Build_timeout; build_s = cap; boot_s = 0.; run_s = 0. }
-    | None -> (
-      match over resilience.Resilience.boot_timeout_s r.Target.boot_s with
-      | Some cap -> { r with Target.value = Error Failure.Boot_timeout; boot_s = cap; run_s = 0. }
-      | None -> (
-        match over resilience.Resilience.run_timeout_s r.Target.run_s with
-        | Some cap -> { r with Target.value = Error Failure.Run_timeout; run_s = cap }
-        | None -> r))
   in
   while !stop = None && within_budget () do
     let iteration_span =
@@ -180,202 +199,213 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
       incr eval_calls;
       target.Target.evaluate ~trial config
     in
-    let config, decide_seconds =
-      Obs.Recorder.timed obs "driver.propose" (fun () -> algorithm.Search_algorithm.propose ctx)
+    let proposed, decide_seconds =
+      Obs.Recorder.timed obs "driver.propose" (fun () ->
+          try Some (algorithm.Search_algorithm.propose ctx)
+          with Search_algorithm.Space_exhausted -> None)
     in
-    let violations =
-      Obs.Recorder.with_span obs "driver.validate" (fun () -> Space.validate space config)
-    in
-    let entry =
-      match violations with
-      | _ :: _ ->
-        (* Liveness: an invalid proposal consumed a decision slot, so it
-           must still advance the virtual clock — otherwise an algorithm
-           stuck proposing invalid configurations spins a Virtual_seconds
-           budget forever.  A fixed floor (rather than the measured
-           wall-clock decision time) keeps virtual trajectories
-           deterministic given the seed. *)
-        incr consecutive_invalid;
-        Vclock.advance clock invalid_floor_s;
-        Obs.Recorder.emit_span obs ~virtual_s:invalid_floor_s
-          ~attrs:[ Obs.Attr.int "consecutive" !consecutive_invalid ]
-          "driver.invalid";
-        Obs.Recorder.incr obs "driver.invalid_proposals";
-        { History.index = !index; config; value = None;
-          failure = Some Failure.Invalid_configuration; at_seconds = Vclock.now clock;
-          eval_seconds = invalid_floor_s; built = false; decide_seconds }
-      | [] ->
-        consecutive_invalid := 0;
-        let key = config_key config in
-        if Hashtbl.mem quarantine key then begin
-          (* Given up on: skip the testbed entirely, at a floor charge so a
-             stuck algorithm re-proposing its quarantined favourite still
-             drains a virtual budget. *)
+    match proposed with
+    | None ->
+      (* The algorithm enumerated its whole space: stop cleanly instead of
+         letting the exception escape or looping on duplicates. *)
+      Obs.Recorder.span_end obs
+        ~attrs:[ Obs.Attr.string "status" "space_exhausted" ]
+        iteration_span;
+      stop := Some Space_exhausted
+    | Some config ->
+      let violations =
+        Obs.Recorder.with_span obs "driver.validate" (fun () -> Space.validate space config)
+      in
+      let entry =
+        match violations with
+        | _ :: _ ->
+          (* Liveness: an invalid proposal consumed a decision slot, so it
+             must still advance the virtual clock — otherwise an algorithm
+             stuck proposing invalid configurations spins a Virtual_seconds
+             budget forever.  A fixed floor (rather than the measured
+             wall-clock decision time) keeps virtual trajectories
+             deterministic given the seed. *)
+          incr consecutive_invalid;
           Vclock.advance clock invalid_floor_s;
-          Obs.Recorder.emit_span obs ~virtual_s:invalid_floor_s "driver.quarantined";
-          Obs.Recorder.incr obs "driver.quarantined_proposals";
+          Obs.Recorder.emit_span obs ~virtual_s:invalid_floor_s
+            ~attrs:[ Obs.Attr.int "consecutive" !consecutive_invalid ]
+            "driver.invalid";
+          Obs.Recorder.incr obs "driver.invalid_proposals";
           { History.index = !index; config; value = None;
-            failure = Some Failure.Quarantined; at_seconds = Vclock.now clock;
+            failure = Some Failure.Invalid_configuration; at_seconds = Vclock.now clock;
             eval_seconds = invalid_floor_s; built = false; decide_seconds }
-        end
-        else begin
-          let total_charged = ref 0. in
-          let entry_built = ref false in
-          (* Evaluate once and charge its (possibly capped) virtual phases.
-             Corroborating re-measurements never charge a build: the image
-             exists, only boot + run repeat. *)
-          let perform_attempt ~remeasure =
-            let r =
-              Obs.Recorder.with_span obs "driver.evaluate" (fun () -> call_target config)
-            in
-            let r = apply_timeouts r in
-            let needs_build =
-              (not remeasure)
-              &&
-              match !last_built with
-              | None -> true
-              | Some previous ->
-                not (Space.differs_only_in_stage space previous config Param.Runtime)
-            in
-            let build_charged = if needs_build then r.Target.build_s else 0. in
-            let charged = build_charged +. r.Target.boot_s +. r.Target.run_s in
-            Vclock.advance clock charged;
-            total_charged := !total_charged +. charged;
-            if remeasure then Obs.Recorder.incr obs "driver.remeasurements"
-            else begin
-              if needs_build then begin
-                entry_built := true;
-                Obs.Recorder.incr obs "driver.builds_charged"
-              end
-              else Obs.Recorder.incr obs "driver.rebuild_skips";
-              Obs.Recorder.emit_span obs ~virtual_s:build_charged
-                ~attrs:[ Obs.Attr.bool "rebuild_skipped" (not needs_build) ]
-                "driver.build"
-            end;
-            let attrs = if remeasure then [ Obs.Attr.bool "remeasure" true ] else [] in
-            Obs.Recorder.emit_span obs ~virtual_s:r.Target.boot_s ~attrs "driver.boot";
-            Obs.Recorder.emit_span obs ~virtual_s:r.Target.run_s ~attrs "driver.run";
-            (* Failed builds leave the previous image in place; anything
-               that built (even if it later crashed) becomes the new
-               baseline image. *)
-            (match r.Target.value with
-            | Error f when Failure.is_build_stage f -> ()
-            | Error _ | Ok _ -> if needs_build then last_built := Some config);
-            r.Target.value
-          in
-          (* Corroborate a successful measurement: the first sample stands
-             unless a second one disagrees beyond the threshold, in which
-             case up to [measure_repeats] samples are taken and the median
-             voted on — rejecting heavy-tailed outliers, including a
-             corrupted *first* sample. *)
-          let corroborate v1 =
-            if resilience.Resilience.measure_repeats < 2 then v1
-            else begin
-              let samples = ref [ v1 ] in
-              let calls = ref 1 in
-              let need_more () =
-                !calls < resilience.Resilience.measure_repeats
-                &&
-                let s = Array.of_list !samples in
-                Array.length s < 2
-                || Resilience.disagreement s > resilience.Resilience.outlier_threshold
+        | [] ->
+          consecutive_invalid := 0;
+          let key = config_key config in
+          if Hashtbl.mem quarantine key then begin
+            (* Given up on: skip the testbed entirely, at a floor charge so a
+               stuck algorithm re-proposing its quarantined favourite still
+               drains a virtual budget. *)
+            Vclock.advance clock invalid_floor_s;
+            Obs.Recorder.emit_span obs ~virtual_s:invalid_floor_s "driver.quarantined";
+            Obs.Recorder.incr obs "driver.quarantined_proposals";
+            { History.index = !index; config; value = None;
+              failure = Some Failure.Quarantined; at_seconds = Vclock.now clock;
+              eval_seconds = invalid_floor_s; built = false; decide_seconds }
+          end
+          else begin
+            let total_charged = ref 0. in
+            let entry_built = ref false in
+            (* Evaluate once and charge its (possibly capped) virtual phases.
+               Corroborating re-measurements never charge a build: the image
+               exists, only boot + run repeat. *)
+            let perform_attempt ~remeasure =
+              let r =
+                Obs.Recorder.with_span obs "driver.evaluate" (fun () -> call_target config)
               in
-              while need_more () do
-                incr calls;
-                match perform_attempt ~remeasure:true with
-                | Ok v -> samples := v :: !samples
-                | Error _ -> Obs.Recorder.incr obs "driver.remeasure_failures"
-              done;
-              let s = Array.of_list (List.rev !samples) in
-              if Array.length s < 2 then v1
-              else if
-                Array.length s = 2
-                && Resilience.disagreement s <= resilience.Resilience.outlier_threshold
-              then v1
+              let r = apply_timeouts resilience r in
+              let needs_build =
+                (not remeasure)
+                &&
+                match !last_built with
+                | None -> true
+                | Some previous ->
+                  not (Space.differs_only_in_stage space previous config Param.Runtime)
+              in
+              let build_charged = if needs_build then r.Target.build_s else 0. in
+              let charged = build_charged +. r.Target.boot_s +. r.Target.run_s in
+              Vclock.advance clock charged;
+              total_charged := !total_charged +. charged;
+              if remeasure then Obs.Recorder.incr obs "driver.remeasurements"
               else begin
-                (* Either three-plus samples (a disagreement forced extra
-                   measurements — the median votes the outlier out) or a
-                   disagreeing pair whose tie-breaker failed (the median of
-                   two at least halves the corruption). *)
-                Obs.Recorder.incr obs "driver.outlier_rejections";
-                (* Robust spread of the disputed sample set (histogram
-                   [driver.sample_mad.value]) — how noisy the testbed's
-                   measurements actually were. *)
-                Obs.Recorder.observe obs ~quiet:true "driver.sample_mad" (Stat.mad s);
-                Stat.median s
-              end
-            end
-          in
-          (* Bounded retry with exponential backoff for transient faults
-             and timeouts; each backoff is charged to the virtual budget. *)
-          let rec attempt k =
-            match perform_attempt ~remeasure:false with
-            | Ok v -> Ok (corroborate v)
-            | Error f when Failure.retryable f && k < resilience.Resilience.retries ->
-              let backoff = Resilience.backoff_s resilience ~attempt:k in
-              Vclock.advance clock backoff;
-              total_charged := !total_charged +. backoff;
-              Obs.Recorder.emit_span obs ~virtual_s:backoff
-                ~attrs:
-                  [ Obs.Attr.int "attempt" (k + 1);
-                    Obs.Attr.string "kind" (Failure.to_string f) ]
-                "driver.retry";
-              Obs.Recorder.incr obs "driver.retries";
-              attempt (k + 1)
-            | Error f ->
-              if Failure.retryable f && resilience.Resilience.quarantine_after > 0 then begin
-                (* The config exhausted its retries on transient failures:
-                   one strike; enough strikes and it is quarantined. *)
-                let n = (try Hashtbl.find strikes key with Not_found -> 0) + 1 in
-                Hashtbl.replace strikes key n;
-                if n >= resilience.Resilience.quarantine_after then begin
-                  Hashtbl.replace quarantine key ();
-                  Obs.Recorder.incr obs "driver.quarantines"
+                if needs_build then begin
+                  entry_built := true;
+                  Obs.Recorder.incr obs "driver.builds_charged"
                 end
+                else Obs.Recorder.incr obs "driver.rebuild_skips";
+                Obs.Recorder.emit_span obs ~virtual_s:build_charged
+                  ~attrs:[ Obs.Attr.bool "rebuild_skipped" (not needs_build) ]
+                  "driver.build"
               end;
-              Error f
-          in
-          let final = attempt 0 in
-          (match final with
-          | Ok _ -> ()
-          | Error f ->
-            Obs.Recorder.incr obs (Printf.sprintf "driver.failures.%s" (Failure.to_string f)));
-          { History.index = !index;
-            config;
-            value = (match final with Ok v -> Some v | Error _ -> None);
-            failure = (match final with Ok _ -> None | Error f -> Some f);
-            at_seconds = Vclock.now clock;
-            eval_seconds = !total_charged;
-            built = !entry_built;
-            decide_seconds }
-        end
-    in
-    (* Model update runs before the entry is archived so its cost can be
-       folded into the recorded per-iteration decision time. *)
-    let (), observe_seconds =
-      Obs.Recorder.timed obs "driver.observe" (fun () ->
-          algorithm.Search_algorithm.observe ctx entry)
-    in
-    let entry = { entry with History.decide_seconds = decide_seconds +. observe_seconds } in
-    History.add history entry;
-    Obs.Recorder.incr obs "driver.iterations";
-    Obs.Recorder.observe obs ~quiet:true "driver.decide_s" entry.History.decide_seconds;
-    Obs.Recorder.observe obs ~quiet:true "driver.eval_s" entry.History.eval_seconds;
-    Obs.Recorder.span_end obs
-      ~attrs:
-        [ Obs.Attr.bool "built" entry.History.built;
-          Obs.Attr.string "status"
-            (match entry.History.failure with
-            | Some f -> Failure.to_string f
-            | None -> "ok") ]
-      iteration_span;
-    (match on_iteration with Some f -> f entry | None -> ());
-    incr index;
-    if !index mod checkpoint_every = 0 then write_checkpoint ();
-    (* Safety cap: a search stuck on invalid proposals makes no progress
-       the history could ever recover from — stop rather than burn the
-       whole budget recording failures. *)
-    if !consecutive_invalid >= max_consecutive_invalid then stop := Some Invalid_cap
+              let attrs = if remeasure then [ Obs.Attr.bool "remeasure" true ] else [] in
+              Obs.Recorder.emit_span obs ~virtual_s:r.Target.boot_s ~attrs "driver.boot";
+              Obs.Recorder.emit_span obs ~virtual_s:r.Target.run_s ~attrs "driver.run";
+              (* Failed builds leave the previous image in place; anything
+                 that built (even if it later crashed) becomes the new
+                 baseline image. *)
+              (match r.Target.value with
+              | Error f when Failure.is_build_stage f -> ()
+              | Error _ | Ok _ -> if needs_build then last_built := Some config);
+              r.Target.value
+            in
+            (* Corroborate a successful measurement: the first sample stands
+               unless a second one disagrees beyond the threshold, in which
+               case up to [measure_repeats] samples are taken and the median
+               voted on — rejecting heavy-tailed outliers, including a
+               corrupted *first* sample. *)
+            let corroborate v1 =
+              if resilience.Resilience.measure_repeats < 2 then v1
+              else begin
+                let samples = ref [ v1 ] in
+                let calls = ref 1 in
+                let need_more () =
+                  !calls < resilience.Resilience.measure_repeats
+                  &&
+                  let s = Array.of_list !samples in
+                  Array.length s < 2
+                  || Resilience.disagreement s > resilience.Resilience.outlier_threshold
+                in
+                while need_more () do
+                  incr calls;
+                  match perform_attempt ~remeasure:true with
+                  | Ok v -> samples := v :: !samples
+                  | Error _ -> Obs.Recorder.incr obs "driver.remeasure_failures"
+                done;
+                let s = Array.of_list (List.rev !samples) in
+                if Array.length s < 2 then v1
+                else if
+                  Array.length s = 2
+                  && Resilience.disagreement s <= resilience.Resilience.outlier_threshold
+                then v1
+                else begin
+                  (* Either three-plus samples (a disagreement forced extra
+                     measurements — the median votes the outlier out) or a
+                     disagreeing pair whose tie-breaker failed (the median of
+                     two at least halves the corruption). *)
+                  Obs.Recorder.incr obs "driver.outlier_rejections";
+                  (* Robust spread of the disputed sample set (histogram
+                     [driver.sample_mad.value]) — how noisy the testbed's
+                     measurements actually were. *)
+                  Obs.Recorder.observe obs ~quiet:true "driver.sample_mad" (Stat.mad s);
+                  Stat.median s
+                end
+              end
+            in
+            (* Bounded retry with exponential backoff for transient faults
+               and timeouts; each backoff is charged to the virtual budget. *)
+            let rec attempt k =
+              match perform_attempt ~remeasure:false with
+              | Ok v -> Ok (corroborate v)
+              | Error f when Failure.retryable f && k < resilience.Resilience.retries ->
+                let backoff = Resilience.backoff_s resilience ~attempt:k in
+                Vclock.advance clock backoff;
+                total_charged := !total_charged +. backoff;
+                Obs.Recorder.emit_span obs ~virtual_s:backoff
+                  ~attrs:
+                    [ Obs.Attr.int "attempt" (k + 1);
+                      Obs.Attr.string "kind" (Failure.to_string f) ]
+                  "driver.retry";
+                Obs.Recorder.incr obs "driver.retries";
+                attempt (k + 1)
+              | Error f ->
+                if Failure.retryable f && resilience.Resilience.quarantine_after > 0 then begin
+                  (* The config exhausted its retries on transient failures:
+                     one strike; enough strikes and it is quarantined. *)
+                  let n = (try Hashtbl.find strikes key with Not_found -> 0) + 1 in
+                  Hashtbl.replace strikes key n;
+                  if n >= resilience.Resilience.quarantine_after then begin
+                    Hashtbl.replace quarantine key ();
+                    Obs.Recorder.incr obs "driver.quarantines"
+                  end
+                end;
+                Error f
+            in
+            let final = attempt 0 in
+            (match final with
+            | Ok _ -> ()
+            | Error f ->
+              Obs.Recorder.incr obs (Printf.sprintf "driver.failures.%s" (Failure.to_string f)));
+            { History.index = !index;
+              config;
+              value = (match final with Ok v -> Some v | Error _ -> None);
+              failure = (match final with Ok _ -> None | Error f -> Some f);
+              at_seconds = Vclock.now clock;
+              eval_seconds = !total_charged;
+              built = !entry_built;
+              decide_seconds }
+          end
+      in
+      (* Model update runs before the entry is archived so its cost can be
+         folded into the recorded per-iteration decision time. *)
+      let (), observe_seconds =
+        Obs.Recorder.timed obs "driver.observe" (fun () ->
+            algorithm.Search_algorithm.observe ctx entry)
+      in
+      let entry = { entry with History.decide_seconds = decide_seconds +. observe_seconds } in
+      History.add history entry;
+      Obs.Recorder.incr obs "driver.iterations";
+      Obs.Recorder.observe obs ~quiet:true "driver.decide_s" entry.History.decide_seconds;
+      Obs.Recorder.observe obs ~quiet:true "driver.eval_s" entry.History.eval_seconds;
+      Obs.Recorder.span_end obs
+        ~attrs:
+          [ Obs.Attr.bool "built" entry.History.built;
+            Obs.Attr.string "status"
+              (match entry.History.failure with
+              | Some f -> Failure.to_string f
+              | None -> "ok") ]
+        iteration_span;
+      (match on_iteration with Some f -> f entry | None -> ());
+      incr index;
+      if !index mod checkpoint_every = 0 then write_checkpoint ();
+      (* Safety cap: a search stuck on invalid proposals makes no progress
+         the history could ever recover from — stop rather than burn the
+         whole budget recording failures. *)
+      if !consecutive_invalid >= max_consecutive_invalid then stop := Some Invalid_cap
   done;
   (* A final checkpoint so a completed (or capped) run leaves a coherent
      file behind even when the budget is not a multiple of the cadence. *)
@@ -385,6 +415,510 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
     best = History.best history;
     clock;
     iterations = !index;
+    stop_reason = (match !stop with Some r -> r | None -> Budget_exhausted);
+    metrics = Obs.Recorder.snapshot obs }
+
+(* ------------------------------------------------------------------ *)
+(* The multi-worker discrete-event engine                              *)
+(* ------------------------------------------------------------------ *)
+
+(* [workers] virtual evaluation slots share one virtual clock.  A launch
+   eagerly computes a task's whole outcome — evaluation is a pure
+   function of (trial, configuration), so retries, timeouts,
+   corroboration and the per-slot rebuild skip can all be decided at
+   launch time — and schedules its completion on the clock's min-heap as
+   the exact chain of charges a sequential driver would have applied.
+   The main loop pops the earliest completion, records its entry, and
+   refills free slots with fresh proposals (batched through
+   [propose_batch] when [batch > 1]).
+
+   With [workers = 1] the slot launches and completes with the clock
+   untouched in between, so every advance, span and counter lands in the
+   same order, with the same float values, as [run_sequential]: the two
+   are byte-for-byte equivalent (the conformance suite checks this). *)
+let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invalid_floor_s)
+    ?(max_consecutive_invalid = default_max_consecutive_invalid)
+    ?(resilience = Resilience.none) ?checkpoint_path
+    ?(checkpoint_every = default_checkpoint_every) ?resume_from ?(workers = 1) ?batch ~target
+    ~algorithm ~budget () =
+  if invalid_floor_s <= 0. then invalid_arg "Driver.run: invalid_floor_s must be positive";
+  if max_consecutive_invalid <= 0 then
+    invalid_arg "Driver.run: max_consecutive_invalid must be positive";
+  if checkpoint_every <= 0 then invalid_arg "Driver.run: checkpoint_every must be positive";
+  if workers <= 0 then invalid_arg "Driver.run: workers must be positive";
+  let batch = match batch with Some b -> b | None -> workers in
+  if batch <= 0 then invalid_arg "Driver.run: batch must be positive";
+  Resilience.validate resilience;
+  let clock = match clock with Some c -> c | None -> Vclock.create () in
+  let obs = match obs with Some o -> o | None -> Obs.Recorder.create () in
+  Obs.Recorder.set_virtual_now obs (fun () -> Vclock.now clock);
+  Vclock.on_advance clock (fun dt -> Obs.Recorder.incr obs ~by:dt ~quiet:true "driver.virtual_s");
+  let space = target.Target.space in
+  let history = History.create target.Target.metric in
+  let rng = Rng.create seed in
+  let ctx =
+    { Search_algorithm.space; metric = target.Target.metric; history; rng; obs }
+  in
+  let multi = workers > 1 in
+  (* Per-slot rebuild-skip baseline: each slot models its own testbed
+     machine with its own last-built image. *)
+  let slot_last_built = Array.make workers None in
+  let free_slots = ref (List.init workers Fun.id) in
+  let take_slot () =
+    match !free_slots with
+    | [] -> assert false
+    | s :: rest ->
+      free_slots := rest;
+      s
+  in
+  let release_slot s =
+    let rec ins = function
+      | [] -> [ s ]
+      | x :: rest when x < s -> x :: ins rest
+      | l -> s :: l
+    in
+    free_slots := ins !free_slots
+  in
+  let proposal_seq = ref 0 in
+  let completed = ref 0 in
+  let consecutive_invalid = ref 0 in
+  let stop = ref None in
+  let exhausted = ref false in
+  let note_exhausted () =
+    exhausted := true;
+    if !stop = None then stop := Some Space_exhausted
+  in
+  let strikes : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let quarantine : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* Launched-but-not-completed tasks, keyed by proposal index — what a
+     checkpoint persists as in-flight slot state. *)
+  let inflight_tbl : (int, Checkpoint.inflight) Hashtbl.t = Hashtbl.create 16 in
+  let start_seconds =
+    match resume_from with
+    | Some ck -> ck.Checkpoint.budget_start_seconds
+    | None -> Vclock.now clock
+  in
+  (* ---------------- Resume bookkeeping ---------------- *)
+  (* The engine resumes by re-running its own deterministic timeline:
+     recorded entries are re-proposed (rebuilding algorithm + RNG state),
+     verified, and scheduled to complete at their recorded times; tasks
+     that were in flight when the checkpoint was written are re-launched
+     with their persisted outcome; everything after that runs live.  The
+     evaluated phases of replayed work were charged before the kill, so
+     on completion they are booked under [driver.replay] — keeping the
+     phase-sum invariant — instead of re-emitting build/boot/run. *)
+  let replay_entries : (int, History.entry) Hashtbl.t = Hashtbl.create 64 in
+  let replay_inflight : (int, Checkpoint.inflight) Hashtbl.t = Hashtbl.create 16 in
+  let total_replayed =
+    match resume_from with
+    | None -> 0
+    | Some ck -> ck.Checkpoint.iterations + List.length ck.Checkpoint.inflight
+  in
+  let rng_checked = ref (resume_from = None) in
+  (match resume_from with
+  | None -> ()
+  | Some ck ->
+    if Vclock.now clock <> ck.Checkpoint.budget_start_seconds then
+      invalid_arg
+        "Driver.run: resume requires a clock at the checkpoint's budget origin (pass a fresh \
+         clock)";
+    if ck.Checkpoint.workers <> workers then
+      invalid_arg "Driver.run: resume requires the same ~workers as the checkpointed run";
+    consecutive_invalid := ck.Checkpoint.consecutive_invalid;
+    List.iteri (fun i b -> slot_last_built.(i) <- b) ck.Checkpoint.slots_last_built;
+    List.iter (fun (k, n) -> Hashtbl.replace strikes k n) ck.Checkpoint.strikes;
+    List.iter (fun k -> Hashtbl.replace quarantine k ()) ck.Checkpoint.quarantined;
+    List.iter
+      (fun (e : History.entry) -> Hashtbl.replace replay_entries e.History.index e)
+      ck.Checkpoint.entries;
+    List.iter
+      (fun (r : Checkpoint.inflight) -> Hashtbl.replace replay_inflight r.Checkpoint.index r)
+      ck.Checkpoint.inflight;
+    Obs.Recorder.incr obs ~quiet:true
+      ~by:(float_of_int ck.Checkpoint.iterations)
+      "driver.replayed_iterations");
+  let check_rng () =
+    if (not !rng_checked) && !proposal_seq >= total_replayed then begin
+      rng_checked := true;
+      match resume_from with
+      | Some ck when Rng.state rng <> ck.Checkpoint.rng_state ->
+        invalid_arg
+          "Driver.run: resume replay left the RNG in a different state than the checkpoint"
+      | Some _ | None -> ()
+    end
+  in
+  let write_checkpoint () =
+    match checkpoint_path with
+    | None -> ()
+    | Some path ->
+      let sorted_strikes =
+        List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) strikes [])
+      in
+      let sorted_quarantined =
+        List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) quarantine [])
+      in
+      let inflight =
+        List.sort
+          (fun (a : Checkpoint.inflight) b -> compare a.Checkpoint.index b.Checkpoint.index)
+          (Hashtbl.fold (fun _ r acc -> r :: acc) inflight_tbl [])
+      in
+      Checkpoint.save ~path
+        { Checkpoint.seed;
+          rng_state = Rng.state rng;
+          clock_seconds = Vclock.now clock;
+          budget_start_seconds = start_seconds;
+          iterations = !completed;
+          workers;
+          consecutive_invalid = !consecutive_invalid;
+          slots_last_built = Array.to_list slot_last_built;
+          strikes = sorted_strikes;
+          quarantined = sorted_quarantined;
+          entries = Array.to_list (History.entries history);
+          inflight };
+      Obs.Recorder.incr obs ~quiet:true "driver.checkpoints"
+  in
+  let within_budget () =
+    match budget with
+    | Iterations n -> !proposal_seq < n
+    | Virtual_seconds s -> Vclock.now clock -. start_seconds < s
+  in
+  (* ---------------- Completion side ---------------- *)
+  let complete_task slot ~iteration_span ~replayed_phases (entry : History.entry) =
+    if replayed_phases then
+      Obs.Recorder.emit_span obs ~virtual_s:entry.History.eval_seconds
+        ~attrs:[ Obs.Attr.int "iteration" entry.History.index ]
+        "driver.replay";
+    (* Model update runs before the entry is archived so its cost can be
+       folded into the recorded per-iteration decision time. *)
+    let (), observe_seconds =
+      Obs.Recorder.timed obs "driver.observe" (fun () ->
+          algorithm.Search_algorithm.observe ctx entry)
+    in
+    let entry =
+      { entry with History.decide_seconds = entry.History.decide_seconds +. observe_seconds }
+    in
+    History.add history entry;
+    Obs.Recorder.incr obs "driver.iterations";
+    Obs.Recorder.observe obs ~quiet:true "driver.decide_s" entry.History.decide_seconds;
+    Obs.Recorder.observe obs ~quiet:true "driver.eval_s" entry.History.eval_seconds;
+    (match iteration_span with
+    | Some span ->
+      Obs.Recorder.span_end obs
+        ~attrs:
+          [ Obs.Attr.bool "built" entry.History.built;
+            Obs.Attr.string "status"
+              (match entry.History.failure with
+              | Some f -> Failure.to_string f
+              | None -> "ok") ]
+        span
+    | None -> ());
+    if multi then begin
+      Obs.Recorder.emit_span obs ~virtual_s:entry.History.eval_seconds
+        ~attrs:
+          [ Obs.Attr.int "slot" slot; Obs.Attr.int "iteration" entry.History.index ]
+        "driver.worker";
+      Obs.Recorder.observe obs ~quiet:true "driver.worker.busy"
+        (float_of_int (workers - List.length !free_slots))
+    end;
+    Hashtbl.remove inflight_tbl entry.History.index;
+    release_slot slot;
+    incr completed;
+    (match on_iteration with Some f -> f entry | None -> ());
+    if !completed mod checkpoint_every = 0 then write_checkpoint ()
+  in
+  (* A replayed completion: the entry is already final (observe cost
+     included), so it is fed to the algorithm and archived without
+     re-announcing or re-checkpointing — mirroring the sequential replay. *)
+  let complete_replayed slot (e : History.entry) =
+    Obs.Recorder.emit_span obs ~virtual_s:e.History.eval_seconds
+      ~attrs:[ Obs.Attr.int "iteration" e.History.index ]
+      "driver.replay";
+    algorithm.Search_algorithm.observe ctx e;
+    History.add history e;
+    release_slot slot;
+    incr completed
+  in
+  (* ---------------- Launch side ---------------- *)
+  let schedule_outcome slot ~iteration_span ~deltas ~entry_of_at =
+    (* The completion time is the left fold of the charges from the
+       current reading — the identical chain of float additions the
+       sequential driver performs, so trajectories match bit-for-bit. *)
+    let at = List.fold_left ( +. ) (Vclock.now clock) deltas in
+    let entry : History.entry = entry_of_at at in
+    Hashtbl.replace inflight_tbl entry.History.index
+      { Checkpoint.index = entry.History.index; slot;
+        start_seconds = Vclock.now clock; entry };
+    ignore
+      (Vclock.schedule_chain clock ~deltas (fun () ->
+           complete_task slot ~iteration_span ~replayed_phases:false entry))
+  in
+  let launch_live ~iteration_span slot idx config decide_seconds =
+    let eval_calls = ref 0 in
+    let call_target config =
+      let trial = idx + (trial_stride * !eval_calls) in
+      incr eval_calls;
+      target.Target.evaluate ~trial config
+    in
+    let violations =
+      Obs.Recorder.with_span obs "driver.validate" (fun () -> Space.validate space config)
+    in
+    match violations with
+    | _ :: _ ->
+      incr consecutive_invalid;
+      Obs.Recorder.emit_span obs ~virtual_s:invalid_floor_s
+        ~attrs:[ Obs.Attr.int "consecutive" !consecutive_invalid ]
+        "driver.invalid";
+      Obs.Recorder.incr obs "driver.invalid_proposals";
+      schedule_outcome slot ~iteration_span ~deltas:[ invalid_floor_s ]
+        ~entry_of_at:(fun at ->
+          { History.index = idx; config; value = None;
+            failure = Some Failure.Invalid_configuration; at_seconds = at;
+            eval_seconds = invalid_floor_s; built = false; decide_seconds })
+    | [] ->
+      consecutive_invalid := 0;
+      let key = config_key config in
+      if Hashtbl.mem quarantine key then begin
+        Obs.Recorder.emit_span obs ~virtual_s:invalid_floor_s "driver.quarantined";
+        Obs.Recorder.incr obs "driver.quarantined_proposals";
+        schedule_outcome slot ~iteration_span ~deltas:[ invalid_floor_s ]
+          ~entry_of_at:(fun at ->
+            { History.index = idx; config; value = None;
+              failure = Some Failure.Quarantined; at_seconds = at;
+              eval_seconds = invalid_floor_s; built = false; decide_seconds })
+      end
+      else begin
+        (* Eager evaluation: the outcome is a pure function of (trial,
+           config) and this slot's last-built image, so the full attempt /
+           corroborate / retry cascade runs now, accumulating the charges
+           it would have applied to a synchronous clock. *)
+        let deltas_rev = ref [] in
+        let charge d = deltas_rev := d :: !deltas_rev in
+        let total_charged = ref 0. in
+        let entry_built = ref false in
+        let perform_attempt ~remeasure =
+          let r =
+            Obs.Recorder.with_span obs "driver.evaluate" (fun () -> call_target config)
+          in
+          let r = apply_timeouts resilience r in
+          let needs_build =
+            (not remeasure)
+            &&
+            match slot_last_built.(slot) with
+            | None -> true
+            | Some previous ->
+              not (Space.differs_only_in_stage space previous config Param.Runtime)
+          in
+          let build_charged = if needs_build then r.Target.build_s else 0. in
+          let charged = build_charged +. r.Target.boot_s +. r.Target.run_s in
+          charge charged;
+          total_charged := !total_charged +. charged;
+          if remeasure then Obs.Recorder.incr obs "driver.remeasurements"
+          else begin
+            if needs_build then begin
+              entry_built := true;
+              Obs.Recorder.incr obs "driver.builds_charged"
+            end
+            else Obs.Recorder.incr obs "driver.rebuild_skips";
+            Obs.Recorder.emit_span obs ~virtual_s:build_charged
+              ~attrs:[ Obs.Attr.bool "rebuild_skipped" (not needs_build) ]
+              "driver.build"
+          end;
+          let attrs = if remeasure then [ Obs.Attr.bool "remeasure" true ] else [] in
+          Obs.Recorder.emit_span obs ~virtual_s:r.Target.boot_s ~attrs "driver.boot";
+          Obs.Recorder.emit_span obs ~virtual_s:r.Target.run_s ~attrs "driver.run";
+          (match r.Target.value with
+          | Error f when Failure.is_build_stage f -> ()
+          | Error _ | Ok _ -> if needs_build then slot_last_built.(slot) <- Some config);
+          r.Target.value
+        in
+        let corroborate v1 =
+          if resilience.Resilience.measure_repeats < 2 then v1
+          else begin
+            let samples = ref [ v1 ] in
+            let calls = ref 1 in
+            let need_more () =
+              !calls < resilience.Resilience.measure_repeats
+              &&
+              let s = Array.of_list !samples in
+              Array.length s < 2
+              || Resilience.disagreement s > resilience.Resilience.outlier_threshold
+            in
+            while need_more () do
+              incr calls;
+              match perform_attempt ~remeasure:true with
+              | Ok v -> samples := v :: !samples
+              | Error _ -> Obs.Recorder.incr obs "driver.remeasure_failures"
+            done;
+            let s = Array.of_list (List.rev !samples) in
+            if Array.length s < 2 then v1
+            else if
+              Array.length s = 2
+              && Resilience.disagreement s <= resilience.Resilience.outlier_threshold
+            then v1
+            else begin
+              Obs.Recorder.incr obs "driver.outlier_rejections";
+              Obs.Recorder.observe obs ~quiet:true "driver.sample_mad" (Stat.mad s);
+              Stat.median s
+            end
+          end
+        in
+        let rec attempt k =
+          match perform_attempt ~remeasure:false with
+          | Ok v -> Ok (corroborate v)
+          | Error f when Failure.retryable f && k < resilience.Resilience.retries ->
+            let backoff = Resilience.backoff_s resilience ~attempt:k in
+            charge backoff;
+            total_charged := !total_charged +. backoff;
+            Obs.Recorder.emit_span obs ~virtual_s:backoff
+              ~attrs:
+                [ Obs.Attr.int "attempt" (k + 1);
+                  Obs.Attr.string "kind" (Failure.to_string f) ]
+              "driver.retry";
+            Obs.Recorder.incr obs "driver.retries";
+            attempt (k + 1)
+          | Error f ->
+            if Failure.retryable f && resilience.Resilience.quarantine_after > 0 then begin
+              let n = (try Hashtbl.find strikes key with Not_found -> 0) + 1 in
+              Hashtbl.replace strikes key n;
+              if n >= resilience.Resilience.quarantine_after then begin
+                Hashtbl.replace quarantine key ();
+                Obs.Recorder.incr obs "driver.quarantines"
+              end
+            end;
+            Error f
+        in
+        let final = attempt 0 in
+        (match final with
+        | Ok _ -> ()
+        | Error f ->
+          Obs.Recorder.incr obs (Printf.sprintf "driver.failures.%s" (Failure.to_string f)));
+        schedule_outcome slot ~iteration_span ~deltas:(List.rev !deltas_rev)
+          ~entry_of_at:(fun at ->
+            { History.index = idx;
+              config;
+              value = (match final with Ok v -> Some v | Error _ -> None);
+              failure = (match final with Ok _ -> None | Error f -> Some f);
+              at_seconds = at;
+              eval_seconds = !total_charged;
+              built = !entry_built;
+              decide_seconds })
+      end
+  in
+  let launch ~iteration_span config decide_seconds =
+    let idx = !proposal_seq in
+    incr proposal_seq;
+    let slot = take_slot () in
+    match (Hashtbl.find_opt replay_entries idx, Hashtbl.find_opt replay_inflight idx) with
+    | Some e, _ ->
+      if config <> e.History.config then invalid_arg (diverged_msg e.History.index);
+      (match iteration_span with
+      | Some span ->
+        Obs.Recorder.span_end obs ~attrs:[ Obs.Attr.bool "replay" true ] span
+      | None -> ());
+      ignore
+        (Vclock.schedule clock ~at:e.History.at_seconds (fun () -> complete_replayed slot e))
+    | None, Some r ->
+      if config <> r.Checkpoint.entry.History.config then invalid_arg (diverged_msg idx);
+      if slot <> r.Checkpoint.slot || Vclock.now clock <> r.Checkpoint.start_seconds then
+        invalid_arg (diverged_msg idx);
+      (match iteration_span with
+      | Some span ->
+        Obs.Recorder.span_end obs ~attrs:[ Obs.Attr.bool "replay" true ] span
+      | None -> ());
+      Hashtbl.replace inflight_tbl idx r;
+      ignore
+        (Vclock.schedule clock ~at:r.Checkpoint.entry.History.at_seconds (fun () ->
+             complete_task slot ~iteration_span:None ~replayed_phases:true r.Checkpoint.entry))
+    | None, None -> launch_live ~iteration_span slot idx config decide_seconds
+  in
+  let request_and_launch k =
+    if algorithm.Search_algorithm.propose_batch <> None && k > 1 then begin
+      let batch_fn = Option.get algorithm.Search_algorithm.propose_batch in
+      let configs, secs =
+        Obs.Recorder.timed obs "driver.propose" (fun () ->
+            try batch_fn ctx ~k with Search_algorithm.Space_exhausted -> [])
+      in
+      let n = List.length configs in
+      (* A short batch is the algorithm's way of saying the space ran dry
+         mid-ask (a final partial batch). *)
+      if n < k then note_exhausted ();
+      if multi then Obs.Recorder.observe obs ~quiet:true "driver.batch.size" (float_of_int n);
+      let share = secs /. float_of_int (max 1 n) in
+      List.iter (fun config -> launch ~iteration_span:None config share) configs
+    end
+    else begin
+      let launched = ref 0 in
+      let i = ref 0 in
+      while !i < k && not !exhausted do
+        let span =
+          Obs.Recorder.span_begin obs
+            ~attrs:[ Obs.Attr.int "iteration" !proposal_seq ]
+            "driver.iteration"
+        in
+        let proposed, secs =
+          Obs.Recorder.timed obs "driver.propose" (fun () ->
+              try Some (algorithm.Search_algorithm.propose ctx)
+              with Search_algorithm.Space_exhausted -> None)
+        in
+        (match proposed with
+        | None ->
+          Obs.Recorder.span_end obs
+            ~attrs:[ Obs.Attr.string "status" "space_exhausted" ]
+            span;
+          note_exhausted ()
+        | Some config ->
+          incr launched;
+          launch ~iteration_span:(Some span) config secs);
+        incr i
+      done;
+      if multi then
+        Obs.Recorder.observe obs ~quiet:true "driver.batch.size" (float_of_int !launched)
+    end
+  in
+  (* ---------------- Fill & drain ---------------- *)
+  let rec fill () =
+    check_rng ();
+    let free = List.length !free_slots in
+    if free = 0 || !exhausted then ()
+    else begin
+      let replaying = !proposal_seq < total_replayed in
+      let iter_room =
+        match budget with Iterations n -> n - !proposal_seq | Virtual_seconds _ -> max_int
+      in
+      if replaying then begin
+        (* Replayed proposals were legitimately launched by the original
+           run, so they bypass the live guards (whose state variables hold
+           checkpoint-final values during replay); the batching pattern —
+           min(free, batch, iteration room) — is the same deterministic
+           rule the original followed, so algorithm state and the RNG
+           stream evolve identically. *)
+        request_and_launch (min free (min batch iter_room));
+        fill ()
+      end
+      else if !stop <> None then ()
+      else if !consecutive_invalid >= max_consecutive_invalid then stop := Some Invalid_cap
+      else if not (within_budget ()) then ()
+      else begin
+        let k = min free (min batch iter_room) in
+        if k <= 0 then ()
+        else begin
+          request_and_launch k;
+          fill ()
+        end
+      end
+    end
+  in
+  fill ();
+  while Vclock.run_next clock do
+    fill ()
+  done;
+  check_rng ();
+  if !completed mod checkpoint_every <> 0 then write_checkpoint ();
+  Obs.Recorder.flush obs;
+  { history;
+    best = History.best history;
+    clock;
+    iterations = !completed;
     stop_reason = (match !stop with Some r -> r | None -> Budget_exhausted);
     metrics = Obs.Recorder.snapshot obs }
 

@@ -1,12 +1,19 @@
-(** The Wayfinder core loop (§3.1), hardened against a faulty testbed.
+(** The Wayfinder core loop (§3.1), hardened against a faulty testbed
+    and generalized to [workers] concurrent virtual evaluation slots.
 
-    Iteratively: (1) ask the search algorithm for a configuration, (2)
-    build and boot the image and benchmark the application — virtual
-    durations advance the {!Wayfinder_simos.Vclock} — and (3) record the
-    outcome and update the algorithm.  The build task is skipped when the
-    new configuration differs from the last *built* image only in runtime
-    parameters.  The loop stops when the budget (iterations or virtual
-    time) is exhausted and returns the best configuration found.
+    Iteratively: (1) ask the search algorithm for configurations — one at
+    a time, or up to [batch] per ask through the algorithm's native
+    [propose_batch] — (2) build and boot each image and benchmark the
+    application — virtual durations advance the
+    {!Wayfinder_simos.Vclock}, and with [workers > 1] the build / boot /
+    benchmark pipelines of several slots overlap on its discrete-event
+    scheduler — and (3) record each outcome as it completes and update
+    the algorithm.  The build task is skipped when the new configuration
+    differs from the slot's last *built* image only in runtime
+    parameters (each slot models its own testbed machine).  The loop
+    stops when the budget (iterations or virtual time) is exhausted, the
+    algorithm exhausts its space, or the invalid cap trips, and returns
+    the best configuration found.
 
     A {!Resilience.policy} governs how the loop treats the testbed:
     per-phase virtual timeouts (a hung boot becomes a [Boot_timeout]
@@ -46,6 +53,11 @@ type stop_reason =
       (** [max_consecutive_invalid] invalid proposals in a row — the
           algorithm is stuck outside the valid space and further spend
           would be wasted. *)
+  | Space_exhausted
+      (** The algorithm raised {!Search_algorithm.Space_exhausted} (or
+          returned a partial batch): every configuration it will ever
+          propose has been evaluated — a finite grid ran out before the
+          budget did. *)
 
 type result = {
   history : History.t;
@@ -83,14 +95,18 @@ val run :
   ?checkpoint_path:string ->
   ?checkpoint_every:int ->
   ?resume_from:Checkpoint.t ->
+  ?workers:int ->
+  ?batch:int ->
   target:Target.t ->
   algorithm:Search_algorithm.t ->
   budget:budget ->
   unit ->
   result
-(** Deterministic given [seed].  [on_iteration] observes each entry as it
-    is recorded (useful for live series); replayed entries of a resumed
-    run are not re-announced.  [obs] attaches an external recorder (e.g.
+(** Deterministic given [seed] (including for [workers > 1]: completions
+    sit on the clock's min-heap with FIFO tie-break, so the interleaving
+    is fully reproducible).  [on_iteration] observes each entry as it is
+    recorded (useful for live series); replayed entries of a resumed run
+    are not re-announced.  [obs] attaches an external recorder (e.g.
     with a JSONL sink); by default a private sink-less recorder feeds
     {!result.metrics}.  Invalid proposals (violating the space or its
     pins) are recorded as {!Failure.Invalid_configuration} and charged
@@ -102,15 +118,58 @@ val run :
     to the clock reading at start, so a caller-supplied, already-advanced
     clock gets the full budget.
 
+    [workers] (default 1) is the number of virtual evaluation slots kept
+    busy; [batch] (default [workers]) caps how many proposals are asked
+    for per fill — when the algorithm has a native [propose_batch] and
+    more than one slot is free, a single ask returns up to [batch]
+    configurations, otherwise proposals fall back to sequential
+    [propose] calls.  Entries are recorded in {e completion} order;
+    [History.entry.index] is the proposal sequence number, so with
+    [workers > 1] history indices need not be monotone.  An
+    {!Iterations} budget counts proposals (all of which complete); the
+    invalid cap and a [Virtual_seconds] budget stop new launches, and
+    tasks already in flight drain to completion and are recorded.  With
+    [workers = 1] the engine is byte-for-byte equivalent to
+    {!run_sequential}.  With [workers > 1] the recorder additionally
+    carries a [driver.batch.size] histogram (proposals obtained per
+    ask), a [driver.worker.busy] histogram (busy slots at each
+    completion) and per-slot [driver.worker] spans.
+
     [resilience] defaults to {!Resilience.none}.  [checkpoint_path]
-    enables periodic checkpointing; [resume_from] requires a fresh clock
-    positioned at the checkpoint's budget origin and an algorithm/seed
-    identical to the checkpointed run.
+    enables periodic checkpointing — since checkpoint format 2 the file
+    also persists in-flight slot state, so a killed multi-worker run
+    resumes mid-batch; [resume_from] requires a fresh clock positioned
+    at the checkpoint's budget origin and an algorithm / seed /
+    [workers] / [batch] identical to the checkpointed run.
 
     @raise Invalid_argument if [invalid_floor_s <= 0],
-    [max_consecutive_invalid <= 0], [checkpoint_every <= 0], the policy
-    fails {!Resilience.validate}, or a resume replay diverges from the
+    [max_consecutive_invalid <= 0], [checkpoint_every <= 0],
+    [workers <= 0], [batch <= 0], the policy fails
+    {!Resilience.validate}, or a resume replay diverges from the
     checkpoint. *)
+
+val run_sequential :
+  ?seed:int ->
+  ?clock:Vclock.t ->
+  ?on_iteration:(History.entry -> unit) ->
+  ?obs:Obs.Recorder.t ->
+  ?invalid_floor_s:float ->
+  ?max_consecutive_invalid:int ->
+  ?resilience:Resilience.policy ->
+  ?checkpoint_path:string ->
+  ?checkpoint_every:int ->
+  ?resume_from:Checkpoint.t ->
+  target:Target.t ->
+  algorithm:Search_algorithm.t ->
+  budget:budget ->
+  unit ->
+  result
+(** The legacy strictly-sequential loop — one proposal, one synchronous
+    evaluation, one observe per step — kept as the executable
+    specification of the engine's [workers = 1] semantics: the
+    conformance suite asserts [run ~workers:1] produces a byte-identical
+    history, metrics snapshot and virtual trajectory.  Only resumes
+    checkpoints written with [workers = 1] and no in-flight tasks. *)
 
 val phase_virtual_seconds : result -> (string * float) list
 (** Virtual seconds charged per phase, in {!virtual_phases} order. *)

@@ -31,7 +31,12 @@ let candidates ~steps (p : Param.t) =
                end))
     end
 
-type state = { space : Space.t; grids : Param.value array array; counter : int array }
+type state = {
+  space : Space.t;
+  grids : Param.value array array;
+  counter : int array;
+  mutable exhausted : bool;
+}
 
 let grid_size ?(steps = 4) space =
   let params = Space.params space in
@@ -56,24 +61,29 @@ let create ?(steps = 4) () =
           | None -> candidates ~steps p)
         params
     in
-    { space; grids; counter = Array.make (Array.length params) 0 }
+    { space; grids; counter = Array.make (Array.length params) 0; exhausted = false }
   in
-  let propose ctx =
-    let st =
-      match !state with
-      | Some st when st.space == ctx.Search_algorithm.space -> st
-      | Some _ | None ->
-        let st = init ctx.Search_algorithm.space in
-        state := Some st;
-        Obs.Recorder.observe ctx.Search_algorithm.obs ~quiet:true "grid.size"
-          (Array.fold_left (fun acc g -> acc *. float_of_int (Array.length g)) 1. st.grids);
-        st
-    in
+  let get_state ctx =
+    match !state with
+    | Some st when st.space == ctx.Search_algorithm.space -> st
+    | Some _ | None ->
+      let st = init ctx.Search_algorithm.space in
+      state := Some st;
+      Obs.Recorder.observe ctx.Search_algorithm.obs ~quiet:true "grid.size"
+        (Array.fold_left (fun acc g -> acc *. float_of_int (Array.length g)) 1. st.grids);
+      st
+  in
+  (* One grid point, advancing the counter.  A mixed-radix increment that
+     overflows the most significant position marks the grid exhausted —
+     the next ask raises rather than silently wrapping around to
+     re-propose the origin. *)
+  let next_point st ctx =
     Obs.Recorder.incr ctx.Search_algorithm.obs ~quiet:true "grid.proposals";
     let config = Array.mapi (fun i grid -> grid.(st.counter.(i))) st.grids in
     (* Mixed-radix increment: first parameter varies fastest. *)
     let rec bump i =
-      if i < Array.length st.counter then begin
+      if i >= Array.length st.counter then st.exhausted <- true
+      else begin
         st.counter.(i) <- st.counter.(i) + 1;
         if st.counter.(i) >= Array.length st.grids.(i) then begin
           st.counter.(i) <- 0;
@@ -84,4 +94,22 @@ let create ?(steps = 4) () =
     bump 0;
     config
   in
-  Search_algorithm.make ~name:"grid" ~propose ()
+  let propose ctx =
+    let st = get_state ctx in
+    if st.exhausted then raise Search_algorithm.Space_exhausted;
+    next_point st ctx
+  in
+  (* Native batch: the next [k] points of the same enumeration, cut short
+     at the grid's end (a final partial batch). *)
+  let propose_batch ctx ~k =
+    let st = get_state ctx in
+    if st.exhausted then raise Search_algorithm.Space_exhausted;
+    let out = ref [] in
+    let n = ref 0 in
+    while !n < k && not st.exhausted do
+      out := next_point st ctx :: !out;
+      incr n
+    done;
+    List.rev !out
+  in
+  Search_algorithm.make ~name:"grid" ~propose ~propose_batch ()

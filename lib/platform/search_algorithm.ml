@@ -2,6 +2,8 @@ module Space = Wayfinder_configspace.Space
 module Rng = Wayfinder_tensor.Rng
 module Obs = Wayfinder_obs
 
+exception Space_exhausted
+
 type context = {
   space : Space.t;
   metric : Metric.t;
@@ -13,7 +15,23 @@ type context = {
 type t = {
   algo_name : string;
   propose : context -> Space.configuration;
+  propose_batch : (context -> k:int -> Space.configuration list) option;
   observe : context -> History.entry -> unit;
 }
 
-let make ~name ~propose ?(observe = fun _ _ -> ()) () = { algo_name = name; propose; observe }
+let make ~name ~propose ?propose_batch ?(observe = fun _ _ -> ()) () =
+  { algo_name = name; propose; propose_batch; observe }
+
+let propose_many t ctx ~k =
+  if k <= 0 then invalid_arg "Search_algorithm.propose_many: k must be positive";
+  match t.propose_batch with
+  | Some batch when k > 1 -> ( try batch ctx ~k with Space_exhausted -> [])
+  | Some _ | None ->
+    let rec go acc i =
+      if i = k then List.rev acc
+      else
+        match t.propose ctx with
+        | config -> go (config :: acc) (i + 1)
+        | exception Space_exhausted -> List.rev acc
+    in
+    go [] 0

@@ -6,6 +6,13 @@
     optimization ({!Bayes_search}) and DeepTune
     ({!Wayfinder_deeptune.Deeptune}) all implement this interface.
 
+    Batched ("ask/tell") proposal: an algorithm may additionally provide
+    [propose_batch], returning [k] configurations at once so a
+    multi-worker driver can keep several virtual evaluation slots busy
+    between [observe] calls.  Algorithms without a native batch are
+    served by {!propose_many}, which falls back to [k] sequential
+    [propose] calls.
+
     The context also carries the platform's observability recorder:
     algorithms report what only they can see — candidate-pool sizes,
     model-fit timings, per-epoch training losses — under their own metric
@@ -14,6 +21,12 @@
 module Space = Wayfinder_configspace.Space
 module Rng = Wayfinder_tensor.Rng
 module Obs = Wayfinder_obs
+
+exception Space_exhausted
+(** Raised by [propose] (and [propose_batch]) when the algorithm has
+    enumerated every configuration it will ever propose — a finite grid
+    run past its last point.  The driver turns this into the
+    [Space_exhausted] stop reason instead of letting it escape. *)
 
 type context = {
   space : Space.t;
@@ -27,13 +40,28 @@ type context = {
 type t = {
   algo_name : string;
   propose : context -> Space.configuration;
+  propose_batch : (context -> k:int -> Space.configuration list) option;
+      (** Native ask/tell batch: return [k] distinct proposals in one
+          call.  May return fewer than [k] — or raise
+          {!Space_exhausted} — only when the proposal space is
+          exhausted (a final partial batch).  [None] means the driver
+          falls back to [k] sequential [propose] calls. *)
   observe : context -> History.entry -> unit;
 }
 
 val make :
   name:string ->
   propose:(context -> Space.configuration) ->
+  ?propose_batch:(context -> k:int -> Space.configuration list) ->
   ?observe:(context -> History.entry -> unit) ->
   unit ->
   t
-(** [observe] defaults to a no-op (memoryless algorithms). *)
+(** [observe] defaults to a no-op (memoryless algorithms);
+    [propose_batch] to [None] (sequential fallback). *)
+
+val propose_many : t -> context -> k:int -> Space.configuration list
+(** Ask for [k] proposals: the native [propose_batch] when available (and
+    [k > 1]), otherwise [k] sequential [propose] calls.  Returns fewer
+    than [k] configurations — possibly none — exactly when the algorithm
+    exhausts its proposal space; {!Space_exhausted} never escapes.
+    @raise Invalid_argument when [k <= 0]. *)

@@ -1,0 +1,197 @@
+(* Shared cross-algorithm conformance harness.
+
+   Every search algorithm — random, grid, Bayesian, DeepTune and the
+   Unicorn causal baseline — is driven through the same battery of engine
+   invariants, in both the sequential driver and the batched multi-worker
+   engine.  The harness lives in its own module so the conformance suite,
+   the equivalence properties and the resume tests all exercise identical
+   targets and algorithm constructions. *)
+
+open Wayfinder_platform
+module S = Wayfinder_simos
+module D = Wayfinder_deeptune
+module Unicorn = Wayfinder_causal.Unicorn
+module Space = Wayfinder_configspace.Space
+module Param = Wayfinder_configspace.Param
+module Rng = Wayfinder_tensor.Rng
+module Obs = Wayfinder_obs
+
+(* ------------------------------------------------------------------ *)
+(* Target                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* 4 × 2 × 3 = 24 grid points at the driver's default 4 int steps: big
+   enough that a 12-iteration budget never exhausts the grid, small enough
+   that every algorithm finds signal quickly. *)
+let space () =
+  Space.create
+    [ Param.int_param "x" ~lo:0 ~hi:7 ~default:3;
+      Param.bool_param "flag" false;
+      Param.categorical_param "mode" [| "a"; "b"; "c" |] ~default:0 ]
+
+(* Deterministic in the configuration; durations vary with [x] so
+   multi-worker completion interleavings are non-trivial, and x = 7
+   crashes so the failure paths are exercised. *)
+let target () =
+  Target.make ~name:"conformance" ~space:(space ()) ~metric:Metric.throughput
+    (fun ~trial config ->
+      ignore trial;
+      match config with
+      | [| Param.Vint x; Param.Vbool flag; Param.Vcat mode |] ->
+        if x = 7 then
+          { Target.value = Error Failure.Runtime_crash;
+            build_s = 10.;
+            boot_s = 1.;
+            run_s = 2. }
+        else
+          let v =
+            100.
+            -. float_of_int ((x - 5) * (x - 5))
+            +. (if flag then 4. else 0.)
+            +. float_of_int mode
+          in
+          { Target.value = Ok v;
+            build_s = 10.;
+            boot_s = 1.;
+            run_s = 2. +. (0.5 *. float_of_int x) }
+      | _ -> { Target.value = Error (Failure.Other "bad arity"); build_s = 0.; boot_s = 0.; run_s = 0. })
+
+let faulty_target ~fault_rate ~seed =
+  let t = target () in
+  if fault_rate > 0. then
+    Target.with_faults
+      ~plan:(S.Faults.create ~rates:(S.Faults.rates_of_total fault_rate) ~seed ())
+      t
+  else t
+
+(* ------------------------------------------------------------------ *)
+(* The Unicorn adapter                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Unicorn [38] is a causal-inference optimizer: it keeps an observation
+   matrix (one column per option plus the performance target), re-runs
+   PC-skeleton discovery as data arrives, and exploits the variables found
+   causally adjacent to performance.  This adapter exposes that loop
+   through the platform's ask/tell API: propose either mutates the best
+   known configuration on an influential variable or samples fresh;
+   observe appends a row and periodically refits the causal graph. *)
+let unicorn_algorithm ~space () =
+  let n_params = Space.size space in
+  let u = Unicorn.create ~n_vars:(n_params + 1) () in
+  let best = ref None in
+  let influential = ref [] in
+  let encode_value = function
+    | Param.Vbool b -> if b then 1. else 0.
+    | Param.Vtristate t -> float_of_int t /. 2.
+    | Param.Vint x -> float_of_int x
+    | Param.Vcat i -> float_of_int i
+  in
+  let propose ctx =
+    let rng = ctx.Search_algorithm.rng in
+    match (!best, !influential) with
+    | Some (_, cfg), (var, _) :: _ when Rng.bool rng ->
+      let c = Array.copy cfg in
+      let p = (Space.params ctx.Search_algorithm.space).(var) in
+      c.(var) <- Param.perturb p rng c.(var);
+      c
+    | _ -> Random_search.sampler ctx.Search_algorithm.space rng
+  in
+  let observe ctx (entry : History.entry) =
+    let score =
+      match entry.History.value with
+      | Some v -> Metric.score ctx.Search_algorithm.metric v
+      | None -> -1.
+    in
+    let row =
+      Array.append (Array.map encode_value entry.History.config) [| score |]
+    in
+    Unicorn.add_observation u row;
+    (match (entry.History.value, !best) with
+    | Some _, None -> best := Some (score, entry.History.config)
+    | Some _, Some (bs, _) when score > bs -> best := Some (score, entry.History.config)
+    | _ -> ());
+    let n = Unicorn.observations u in
+    if n >= 4 && n mod 5 = 0 then begin
+      ignore (Unicorn.refit u);
+      influential :=
+        List.filter (fun (v, _) -> v < n_params) (Unicorn.influential_on u ~target:n_params)
+    end
+  in
+  Search_algorithm.make ~name:"unicorn" ~propose ~observe ()
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm registry                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let names = [ "random"; "grid"; "bayes"; "deeptune"; "unicorn" ]
+
+(* Small DeepTune: the conformance budgets are ~12 iterations, so a 96
+   candidate pool and 10 warm-up draws would never leave warm-up. *)
+let deeptune_options =
+  { D.Deeptune.default_options with D.Deeptune.warmup = 5; pool_size = 16 }
+
+let algorithm name ~seed space =
+  match name with
+  | "random" -> Random_search.create ()
+  | "grid" -> Grid_search.create ()
+  | "bayes" -> Bayes_search.create ~n_init:4 ~pool:32 ~seed ()
+  | "deeptune" ->
+    D.Deeptune.algorithm (D.Deeptune.create ~options:deeptune_options ~seed space)
+  | "unicorn" -> unicorn_algorithm ~space ()
+  | other -> invalid_arg ("conformance: unknown algorithm " ^ other)
+
+(* Wrap an algorithm so every [observe] call is counted per entry index —
+   the observe-exactly-once invariant. *)
+let with_observe_counter algo =
+  let counts = Hashtbl.create 64 in
+  let observe ctx (entry : History.entry) =
+    let n = Option.value ~default:0 (Hashtbl.find_opt counts entry.History.index) in
+    Hashtbl.replace counts entry.History.index (n + 1);
+    algo.Search_algorithm.observe ctx entry
+  in
+  ({ algo with Search_algorithm.observe = observe }, counts)
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let frozen_obs () = Obs.Recorder.create ~now:(fun () -> 0.) ()
+
+type outcome = {
+  result : Driver.result;
+  observed : (int, int) Hashtbl.t;  (* entry index -> observe calls *)
+}
+
+(* [engine]: [`Sequential] is the legacy loop ([Driver.run_sequential]);
+   [`Workers n] the batched engine.  The recorder is frozen so wall-clock
+   fields are zero and outcomes compare byte-for-byte. *)
+let run ?(engine = `Workers 1) ?batch ?(seed = 7) ?(budget = Driver.Iterations 12)
+    ?(fault_rate = 0.) ?checkpoint_path ?checkpoint_every ?resume_from ?on_iteration name =
+  let target = faulty_target ~fault_rate ~seed in
+  let algo, observed = with_observe_counter (algorithm name ~seed target.Target.space) in
+  let result =
+    match engine with
+    | `Sequential ->
+      Driver.run_sequential ~seed ~obs:(frozen_obs ()) ?checkpoint_path ?checkpoint_every
+        ?resume_from ?on_iteration ~target ~algorithm:algo ~budget ()
+    | `Workers workers ->
+      Driver.run ~seed ~obs:(frozen_obs ()) ?checkpoint_path ?checkpoint_every ?resume_from
+        ?on_iteration ~workers ?batch ~target ~algorithm:algo ~budget ()
+  in
+  { result; observed }
+
+(* ------------------------------------------------------------------ *)
+(* Comparison helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let entries r = History.entries r.Driver.history
+
+(* A multiset fingerprint of the evaluated configurations, insensitive to
+   completion order. *)
+let config_multiset r =
+  entries r |> Array.to_list
+  |> List.map (fun (e : History.entry) -> Array.to_list e.History.config)
+  |> List.sort compare
+
+let phase_sum r =
+  List.fold_left (fun acc (_, s) -> acc +. s) 0. (Driver.phase_virtual_seconds r)

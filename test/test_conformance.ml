@@ -1,0 +1,263 @@
+(* Cross-algorithm conformance suite for the batched multi-worker engine.
+
+   Every algorithm (random, grid, bayes, deeptune, unicorn) is run through
+   the same invariant battery on the sequential driver, the engine at
+   workers=1 and the engine at workers=4; qcheck properties then pin the
+   stronger guarantees: run ~workers:1 is byte-identical to the sequential
+   loop, grid evaluates the same configuration multiset at any worker
+   count, and a killed workers=4 run under faults resumes to the exact
+   uninterrupted trajectory. *)
+
+open Wayfinder_platform
+module C = Conformance
+module S = Wayfinder_simos
+module Space = Wayfinder_configspace.Space
+module Param = Wayfinder_configspace.Param
+module Obs = Wayfinder_obs
+
+let budget_n = 12
+
+(* ------------------------------------------------------------------ *)
+(* The invariant battery                                               *)
+(* ------------------------------------------------------------------ *)
+
+let battery algo engine () =
+  let a = C.run ~engine ~seed:7 ~budget:(Driver.Iterations budget_n) algo in
+  let b = C.run ~engine ~seed:7 ~budget:(Driver.Iterations budget_n) algo in
+  let r = a.C.result in
+  (* Same seed, same run — byte-for-byte. *)
+  Alcotest.(check string) "deterministic CSV"
+    (History.to_csv r.Driver.history)
+    (History.to_csv b.C.result.Driver.history);
+  Alcotest.(check bool) "deterministic metrics" true
+    (r.Driver.metrics = b.C.result.Driver.metrics);
+  (* Budget and stop reason. *)
+  Alcotest.(check int) "iteration budget honoured" budget_n r.Driver.iterations;
+  Alcotest.(check bool) "stopped on budget" true
+    (r.Driver.stop_reason = Driver.Budget_exhausted);
+  (* History length = evaluations = driver.iterations counter. *)
+  Alcotest.(check int) "history length" budget_n (History.size r.Driver.history);
+  Alcotest.(check (float 0.)) "driver.iterations counter" (float_of_int budget_n)
+    (Obs.Metrics.counter r.Driver.metrics "driver.iterations");
+  (* Phase-sum invariant: the virtual phase histograms account for every
+     charged second. *)
+  Alcotest.(check bool) "phase sum equals history" true
+    (Float.abs (C.phase_sum r -. History.total_eval_seconds r.Driver.history) < 1e-6);
+  (* The clock reads the makespan: the latest completion. *)
+  let latest =
+    Array.fold_left
+      (fun acc (e : History.entry) -> Float.max acc e.History.at_seconds)
+      0. (C.entries r)
+  in
+  Alcotest.(check (float 1e-9)) "clock reads the makespan" latest
+    (S.Vclock.now r.Driver.clock);
+  (* Observe-exactly-once, for exactly the proposal indices 0..n-1. *)
+  Alcotest.(check int) "every entry observed" budget_n (Hashtbl.length a.C.observed);
+  for index = 0 to budget_n - 1 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "entry %d observed exactly once" index)
+      (Some 1)
+      (Hashtbl.find_opt a.C.observed index)
+  done
+
+let engines = [ ("sequential", `Sequential); ("workers=1", `Workers 1); ("workers=4", `Workers 4) ]
+
+let battery_cases =
+  List.concat_map
+    (fun (ename, engine) ->
+      List.map
+        (fun algo ->
+          Alcotest.test_case (Printf.sprintf "%s on %s" algo ename) `Quick
+            (battery algo engine))
+        C.names)
+    engines
+
+(* ------------------------------------------------------------------ *)
+(* workers=1 ≡ sequential (byte-for-byte)                              *)
+(* ------------------------------------------------------------------ *)
+
+let equivalent a b =
+  C.entries a.C.result = C.entries b.C.result
+  && a.C.result.Driver.metrics = b.C.result.Driver.metrics
+  && S.Vclock.now a.C.result.Driver.clock = S.Vclock.now b.C.result.Driver.clock
+  && a.C.result.Driver.stop_reason = b.C.result.Driver.stop_reason
+  && a.C.result.Driver.iterations = b.C.result.Driver.iterations
+
+let prop_workers1_equals_sequential =
+  QCheck2.Test.make ~name:"run ~workers:1 byte-identical to the sequential driver" ~count:16
+    QCheck2.Gen.(
+      triple (int_range 0 1000)
+        (oneofl [ "random"; "grid"; "bayes"; "unicorn" ])
+        bool)
+    (fun (seed, algo, faulty) ->
+      let fault_rate = if faulty then 0.10 else 0. in
+      let budget = Driver.Iterations 10 in
+      let a = C.run ~engine:`Sequential ~seed ~budget ~fault_rate algo in
+      let b = C.run ~engine:(`Workers 1) ~seed ~budget ~fault_rate algo in
+      equivalent a b)
+
+(* DeepTune is too slow for the qcheck loop; one pinned case. *)
+let test_deeptune_workers1_equivalence () =
+  let budget = Driver.Iterations 10 in
+  let a = C.run ~engine:`Sequential ~seed:3 ~budget "deeptune" in
+  let b = C.run ~engine:(`Workers 1) ~seed:3 ~budget "deeptune" in
+  Alcotest.(check bool) "deeptune workers=1 equivalence" true (equivalent a b)
+
+let prop_grid_multiset_any_workers =
+  QCheck2.Test.make ~name:"grid evaluates the same multiset at any worker count" ~count:10
+    QCheck2.Gen.(pair (int_range 0 500) (int_range 2 8))
+    (fun (seed, workers) ->
+      let budget = Driver.Iterations budget_n in
+      let a = C.run ~engine:(`Workers 1) ~seed ~budget "grid" in
+      let b = C.run ~engine:(`Workers workers) ~seed ~budget "grid" in
+      C.config_multiset a.C.result = C.config_multiset b.C.result)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint format compatibility                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_old_version_rejected_typed () =
+  (match Checkpoint.of_string "wayfinder-checkpoint 1\nend\n" with
+  | Error (Checkpoint.Unsupported_version { found = 1; expected = 2 }) -> ()
+  | Error e ->
+    Alcotest.failf "expected Unsupported_version, got: %s" (Checkpoint.error_to_string e)
+  | Ok _ -> Alcotest.fail "v1 checkpoint accepted");
+  match Checkpoint.load ~path:"/nonexistent/wayfinder.ckpt" with
+  | Error (Checkpoint.Malformed _) -> ()
+  | Error (Checkpoint.Unsupported_version _) ->
+    Alcotest.fail "missing file reported as version mismatch"
+  | Ok _ -> Alcotest.fail "missing file loaded"
+
+(* Kill a workers=4 run under 10% faults via an exception out of
+   [on_iteration], reload the last periodic checkpoint (which carries the
+   in-flight slot state), resume, and demand the uninterrupted CSV. *)
+let kill_and_resume ~seed ~interrupt_at =
+  let budget = Driver.Iterations 24 in
+  let engine = `Workers 4 in
+  let fault_rate = 0.10 in
+  let full = C.run ~engine ~seed ~budget ~fault_rate "random" in
+  let path = Filename.temp_file "wayfinder" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let completions = ref 0 in
+      (try
+         ignore
+           (C.run ~engine ~seed ~budget ~fault_rate ~checkpoint_path:path ~checkpoint_every:5
+              ~on_iteration:(fun _ ->
+                incr completions;
+                if !completions = interrupt_at then raise Exit)
+              "random")
+       with Exit -> ());
+      match Checkpoint.load ~path with
+      | Error e -> Alcotest.failf "checkpoint load: %s" (Checkpoint.error_to_string e)
+      | Ok ck ->
+        let resumed = C.run ~engine ~seed ~budget ~fault_rate ~resume_from:ck "random" in
+        ( ck,
+          History.to_csv full.C.result.Driver.history,
+          History.to_csv resumed.C.result.Driver.history ))
+
+let test_resume_mid_batch_with_inflight () =
+  let ck, full_csv, resumed_csv = kill_and_resume ~seed:11 ~interrupt_at:12 in
+  (* The interesting case: the checkpoint caught tasks mid-flight. *)
+  Alcotest.(check bool) "checkpoint carries in-flight tasks" true
+    (ck.Checkpoint.inflight <> []);
+  Alcotest.(check int) "checkpoint written by workers=4" 4 ck.Checkpoint.workers;
+  Alcotest.(check string) "resume reproduces the full run" full_csv resumed_csv
+
+let prop_kill_and_resume_workers4 =
+  QCheck2.Test.make ~name:"workers=4 kill-and-resume reproduces the run under faults" ~count:6
+    QCheck2.Gen.(pair (int_range 0 300) (int_range 6 20))
+    (fun (seed, interrupt_at) ->
+      let _, full_csv, resumed_csv = kill_and_resume ~seed ~interrupt_at in
+      full_csv = resumed_csv)
+
+(* ------------------------------------------------------------------ *)
+(* Grid exhaustion (regression: stop instead of wrapping around)       *)
+(* ------------------------------------------------------------------ *)
+
+(* 2 × 3 = 6 grid points. *)
+let tiny_target () =
+  let space =
+    Space.create [ Param.bool_param "a" false; Param.tristate_param "t" 0 ]
+  in
+  Target.make ~name:"tiny" ~space ~metric:Metric.throughput (fun ~trial config ->
+      ignore trial;
+      let v =
+        match config with
+        | [| Param.Vbool b; Param.Vtristate t |] ->
+          (if b then 2. else 1.) +. float_of_int t
+        | _ -> 0.
+      in
+      { Target.value = Ok v; build_s = 3.; boot_s = 1.; run_s = 1. })
+
+let check_exhausted r =
+  Alcotest.(check bool) "stopped with Space_exhausted" true
+    (r.Driver.stop_reason = Driver.Space_exhausted);
+  Alcotest.(check int) "every grid point evaluated once" 6 r.Driver.iterations;
+  Alcotest.(check int) "no duplicates"
+    6
+    (History.entries r.Driver.history |> Array.to_list
+    |> List.map (fun (e : History.entry) -> Array.to_list e.History.config)
+    |> List.sort_uniq compare |> List.length)
+
+let test_grid_exhaustion_sequential () =
+  let r =
+    Driver.run_sequential ~seed:1 ~target:(tiny_target ()) ~algorithm:(Grid_search.create ())
+      ~budget:(Driver.Iterations 10) ()
+  in
+  check_exhausted r
+
+let test_grid_exhaustion_batched_partial () =
+  (* 6 points at batch=4: one full batch, then a partial final batch of 2,
+     then the exhausted stop — all proposals still evaluated exactly once. *)
+  let r =
+    Driver.run ~seed:1 ~workers:4 ~batch:4 ~target:(tiny_target ())
+      ~algorithm:(Grid_search.create ()) ~budget:(Driver.Iterations 10) ()
+  in
+  check_exhausted r;
+  match Obs.Metrics.histogram r.Driver.metrics "driver.batch.size" with
+  | None -> Alcotest.fail "driver.batch.size histogram missing"
+  | Some h ->
+    Alcotest.(check (float 0.)) "batch sizes sum to the grid" 6. h.Obs.Metrics.sum
+
+(* ------------------------------------------------------------------ *)
+(* Speedup acceptance: makespan strictly decreases 1 -> 4 workers      *)
+(* ------------------------------------------------------------------ *)
+
+let test_makespan_decreases_with_workers () =
+  let makespan workers =
+    let target = Targets.of_sim_unikraft (S.Sim_unikraft.create ()) in
+    let r =
+      Driver.run ~seed:5 ~workers ~target ~algorithm:(Random_search.create ())
+        ~budget:(Driver.Iterations 16) ()
+    in
+    S.Vclock.now r.Driver.clock
+  in
+  let m1 = makespan 1 and m2 = makespan 2 and m4 = makespan 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "makespan decreasing: %.0f > %.0f > %.0f" m1 m2 m4)
+    true
+    (m1 > m2 && m2 > m4)
+
+let () =
+  Alcotest.run "conformance"
+    [ ("battery", battery_cases);
+      ( "equivalence",
+        [ QCheck_alcotest.to_alcotest prop_workers1_equals_sequential;
+          Alcotest.test_case "deeptune workers=1" `Slow test_deeptune_workers1_equivalence;
+          QCheck_alcotest.to_alcotest prop_grid_multiset_any_workers ] );
+      ( "checkpoint",
+        [ Alcotest.test_case "old version rejected (typed)" `Quick
+            test_old_version_rejected_typed;
+          Alcotest.test_case "resume mid-batch with in-flight tasks" `Quick
+            test_resume_mid_batch_with_inflight;
+          QCheck_alcotest.to_alcotest prop_kill_and_resume_workers4 ] );
+      ( "exhaustion",
+        [ Alcotest.test_case "sequential grid exhaustion" `Quick
+            test_grid_exhaustion_sequential;
+          Alcotest.test_case "batched partial final batch" `Quick
+            test_grid_exhaustion_batched_partial ] );
+      ( "speedup",
+        [ Alcotest.test_case "makespan decreases with workers" `Quick
+            test_makespan_decreases_with_workers ] ) ]

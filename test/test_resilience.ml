@@ -329,19 +329,25 @@ let sample_checkpoint () =
     clock_seconds = 0.1 +. 0.2;
     budget_start_seconds = 0.;
     iterations = 3;
+    workers = 2;
     consecutive_invalid = 1;
-    last_built = Some [| Param.Vint 7; Param.Vbool false |];
+    slots_last_built = [ Some [| Param.Vint 7; Param.Vbool false |]; None ];
     strikes = [ (42, 1); (99, 2) ];
     quarantined = [ 99 ];
     entries =
       [ entry 0 (Some 101.5) None;
         entry 1 None (Some (Failure.Other "weird failure,\twith tab"));
-        entry 2 None (Some Failure.Boot_timeout) ] }
+        entry 2 None (Some Failure.Boot_timeout) ];
+    inflight =
+      [ { Checkpoint.index = 3;
+          slot = 1;
+          start_seconds = 0.3;
+          entry = entry 3 (Some 55.25) None } ] }
 
 let test_checkpoint_string_roundtrip () =
   let ck = sample_checkpoint () in
   match Checkpoint.of_string (Checkpoint.to_string ck) with
-  | Error e -> Alcotest.fail ("roundtrip failed: " ^ e)
+  | Error e -> Alcotest.fail ("roundtrip failed: " ^ Checkpoint.error_to_string e)
   | Ok ck' ->
     (* Structural equality covers exact float round-trips (%h encoding)
        and the percent-encoded failure string. *)
@@ -368,7 +374,7 @@ let test_checkpoint_save_load_atomic () =
       Checkpoint.save ~path ck;
       Alcotest.(check bool) "no tmp file left" false (Sys.file_exists (path ^ ".tmp"));
       match Checkpoint.load ~path with
-      | Error e -> Alcotest.fail e
+      | Error e -> Alcotest.fail (Checkpoint.error_to_string e)
       | Ok ck' -> Alcotest.(check bool) "file roundtrip" true (ck = ck'))
 
 (* A run under injected faults with the resilient policy, frozen wall
@@ -390,7 +396,7 @@ let resume_roundtrip ~seed ~interrupt_at ~iterations =
          final checkpoint behind. *)
       ignore (faulty_run ~checkpoint_path:path ~seed ~iterations:interrupt_at ());
       match Checkpoint.load ~path with
-      | Error e -> Alcotest.failf "checkpoint load: %s" e
+      | Error e -> Alcotest.failf "checkpoint load: %s" (Checkpoint.error_to_string e)
       | Ok ck ->
         let resumed = faulty_run ~resume_from:ck ~seed ~iterations () in
         (History.to_csv full.Driver.history, History.to_csv resumed.Driver.history))
@@ -413,7 +419,7 @@ let test_resume_diverging_setup_rejected () =
     (fun () ->
       ignore (faulty_run ~checkpoint_path:path ~seed:5 ~iterations:10 ());
       match Checkpoint.load ~path with
-      | Error e -> Alcotest.failf "checkpoint load: %s" e
+      | Error e -> Alcotest.failf "checkpoint load: %s" (Checkpoint.error_to_string e)
       | Ok ck ->
         (* Same checkpoint, different driver seed: the replayed proposals
            cannot match the recorded ones. *)

@@ -43,6 +43,42 @@ let test_vclock_observers () =
   Vclock.advance c 2.;
   Alcotest.(check (list (float 1e-12))) "still attached after reset" [ 20.; 2. ] !seen
 
+let test_vclock_scheduler () =
+  let c = Vclock.create () in
+  let log = ref [] in
+  (* Same completion time: FIFO tie-break by schedule order. *)
+  ignore (Vclock.schedule c ~at:5. (fun () -> log := "a" :: !log));
+  ignore (Vclock.schedule c ~at:5. (fun () -> log := "b" :: !log));
+  ignore (Vclock.schedule c ~at:2. (fun () -> log := "c" :: !log));
+  Alcotest.(check int) "three pending" 3 (Vclock.pending c);
+  Alcotest.(check (option (float 1e-12))) "peek earliest" (Some 2.) (Vclock.peek_next c);
+  Alcotest.(check bool) "ran" true (Vclock.run_next c);
+  Alcotest.(check (float 1e-12)) "advanced to the event" 2. (Vclock.now c);
+  Alcotest.(check bool) "ran" true (Vclock.run_next c);
+  Alcotest.(check bool) "ran" true (Vclock.run_next c);
+  Alcotest.(check bool) "empty heap" false (Vclock.run_next c);
+  Alcotest.(check (list string)) "min-time order, FIFO ties" [ "b"; "a"; "c" ] !log;
+  (* schedule_chain accumulates deltas from now and replays them through
+     the observers on completion (the engine's charge-metrics path). *)
+  let deltas = ref [] in
+  Vclock.on_advance c (fun dt -> if dt > 0. then deltas := dt :: !deltas);
+  let at = Vclock.schedule_chain c ~deltas:[ 3.; 1.; 0.5 ] (fun () -> ()) in
+  Alcotest.(check (float 1e-12)) "chain completion time" (5. +. 3. +. 1. +. 0.5) at;
+  Alcotest.(check bool) "ran chain" true (Vclock.run_next c);
+  Alcotest.(check (list (float 1e-12))) "per-delta observer stream" [ 0.5; 1.; 3. ] !deltas;
+  (* Validation. *)
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "past schedule rejected" true
+    (raises (fun () -> ignore (Vclock.schedule c ~at:1. (fun () -> ()))));
+  Alcotest.(check bool) "negative chain delta rejected" true
+    (raises (fun () -> ignore (Vclock.schedule_chain c ~deltas:[ 1.; -2. ] (fun () -> ()))));
+  Alcotest.(check bool) "advance_to backwards rejected" true
+    (raises (fun () -> Vclock.advance_to c 0.));
+  (* Reset clears pending events. *)
+  ignore (Vclock.schedule c ~at:100. (fun () -> ()));
+  Vclock.reset c;
+  Alcotest.(check int) "reset clears the heap" 0 (Vclock.pending c)
+
 let test_app_metadata () =
   Alcotest.(check int) "four apps" 4 (List.length App.all);
   Alcotest.(check bool) "sqlite minimizes" false (App.metric App.Sqlite).App.maximize;
@@ -549,6 +585,7 @@ let () =
     [ ( "infra",
         [ Alcotest.test_case "vclock" `Quick test_vclock;
           Alcotest.test_case "vclock observers" `Quick test_vclock_observers;
+          Alcotest.test_case "vclock scheduler" `Quick test_vclock_scheduler;
           Alcotest.test_case "apps" `Quick test_app_metadata;
           Alcotest.test_case "hardware" `Quick test_hardware ] );
       ( "shapes",
