@@ -1,0 +1,33 @@
+open Wayfinder_platform
+module Space = Wayfinder_configspace.Space
+module Param = Wayfinder_configspace.Param
+
+let target () =
+  let space = Space.create [ Param.bool_param "a" false; Param.int_param "n" ~lo:0 ~hi:8 ~default:4 ] in
+  Target.make ~name:"t" ~space ~metric:Metric.throughput (fun ~trial config ->
+      ignore trial;
+      let v = match config with
+        | [| Param.Vbool b; Param.Vint n |] -> (if b then 2. else 1.) +. float_of_int n
+        | _ -> 0.
+      in
+      { Target.value = Ok v; build_s = 3.; boot_s = 1.; run_s = 1. })
+
+let () =
+  let path = Filename.temp_file "wf" ".ckpt" in
+  (* Full run: 24 iterations at workers=4, checkpoint every 5. *)
+  let _ =
+    Driver.run ~seed:11 ~workers:4 ~checkpoint_path:path ~checkpoint_every:5
+      ~target:(target ()) ~algorithm:(Random_search.create ())
+      ~budget:(Driver.Iterations 24) ()
+  in
+  match Checkpoint.load ~path with
+  | Error e -> prerr_endline (Checkpoint.error_to_string e); exit 1
+  | Ok ck ->
+    Printf.printf "checkpoint: iterations=%d inflight=%d\n%!" ck.Checkpoint.iterations
+      (List.length ck.Checkpoint.inflight);
+    (* Resume with a SMALLER iteration budget than already completed. *)
+    let r =
+      Driver.run ~seed:11 ~workers:4 ~resume_from:ck ~target:(target ())
+        ~algorithm:(Random_search.create ()) ~budget:(Driver.Iterations 10) ()
+    in
+    Printf.printf "resumed ok: iterations=%d\n%!" r.Driver.iterations
