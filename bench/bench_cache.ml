@@ -1,0 +1,125 @@
+(* Shared image cache: builds charged vs cache capacity on the Figure 9
+   workload (Nginx on Unikraft).
+
+   The Unikraft space has 23 compile-time and 10 runtime parameters; a
+   runtime-favored search varies mostly runtime knobs, so many proposals
+   share their non-runtime projection — the content address the shared
+   cache keys images by.  Same budget across cache capacities, at 1 and 4
+   workers; reported per cell: image builds charged, cache hits (and
+   cross-slot hits at 4 workers), negative hits, evictions, and the
+   virtual makespan.  A JSON dump of every cell is written for CI
+   trending.
+
+   Acceptance: builds charged strictly decrease as the capacity grows
+   (the whole point of pooling the per-slot baselines), and at 4 workers
+   some hits are cross-slot (one slot's build served another slot). *)
+
+module S = Wayfinder_simos
+module P = Wayfinder_platform
+module D = Wayfinder_deeptune
+module CS = Wayfinder_configspace
+module Obs = Wayfinder_obs
+
+let iterations = ref 150
+let capacities = [ 1; 4; 16; 64 ]
+let worker_counts = [ 1; 4 ]
+let json_path = "bench_cache.json"
+
+type cell = {
+  algo : string;
+  workers : int;
+  capacity : int;
+  builds : int;
+  hits : int;
+  cross_slot : int;
+  negative : int;
+  evictions : int;
+  makespan_s : float;
+}
+
+let json_of_cell c =
+  Printf.sprintf
+    "{\"algo\":%S,\"workers\":%d,\"capacity\":%d,\"builds_charged\":%d,\"hits\":%d,\
+     \"cross_slot_hits\":%d,\"negative_hits\":%d,\"evictions\":%d,\"makespan_s\":%.3f}"
+    c.algo c.workers c.capacity c.builds c.hits c.cross_slot c.negative c.evictions
+    c.makespan_s
+
+let write_json cells =
+  let oc = open_out json_path in
+  output_string oc
+    ("{\"benchmark\":\"cache\",\"iterations\":"
+    ^ string_of_int !iterations
+    ^ ",\"cells\":[\n  "
+    ^ String.concat ",\n  " (List.map json_of_cell cells)
+    ^ "\n]}\n");
+  close_out oc
+
+let run () =
+  Bench_common.section
+    "Cache: shared image cache vs rebuilds (Unikraft/Nginx, fig. 9 workload)";
+  let uk = S.Sim_unikraft.create () in
+  let target = P.Targets.of_sim_unikraft uk in
+  let space = S.Sim_unikraft.space uk in
+  let seed = 42 in
+  Printf.printf "budget: %d evaluations per run, seed %d\n" !iterations seed;
+  let cells = ref [] in
+  let measure name algo_of =
+    Bench_common.subsection name;
+    Printf.printf "  %-8s %9s %8s %6s %11s %9s %10s %11s\n" "workers" "capacity" "builds"
+      "hits" "cross-slot" "negative" "evictions" "makespan";
+    List.iter
+      (fun workers ->
+        let builds_by_capacity =
+          List.map
+            (fun capacity ->
+              let r =
+                P.Driver.run ~seed ~workers
+                  ~image_cache:(P.Image_cache.capacity capacity) ~target
+                  ~algorithm:(algo_of ()) ~budget:(P.Driver.Iterations !iterations) ()
+              in
+              let c name = int_of_float (Obs.Metrics.counter r.P.Driver.metrics name) in
+              let cell =
+                { algo = name;
+                  workers;
+                  capacity;
+                  builds = c "driver.builds_charged";
+                  hits = c "driver.image_cache.hits";
+                  cross_slot = c "driver.image_cache.cross_slot_hits";
+                  negative = c "driver.image_cache.negative_hits";
+                  evictions = c "driver.image_cache.evictions";
+                  makespan_s = S.Vclock.now r.P.Driver.clock }
+              in
+              cells := cell :: !cells;
+              Printf.printf "  %-8d %9d %8d %6d %11d %9d %10d %10.1fh\n" workers capacity
+                cell.builds cell.hits cell.cross_slot cell.negative cell.evictions
+                (cell.makespan_s /. 3600.);
+              cell)
+            capacities
+        in
+        let builds cap =
+          (List.find (fun c -> c.capacity = cap) builds_by_capacity).builds
+        in
+        Bench_common.check
+          (builds 1 > builds 4 && builds 4 > builds 16)
+          (Printf.sprintf
+             "%s, %d workers: builds charged strictly decrease 1 -> 4 -> 16" name workers);
+        (* Past the working set extra capacity cannot help further. *)
+        Bench_common.check
+          (builds 64 <= builds 16)
+          (Printf.sprintf "%s, %d workers: capacity 64 no worse than 16" name workers);
+        if workers > 1 then
+          Bench_common.check
+            (List.for_all (fun c -> c.cross_slot > 0) builds_by_capacity)
+            (Printf.sprintf "%s, %d workers: cross-slot hits observed at every capacity"
+               name workers))
+      worker_counts
+  in
+  measure "random (favor runtime)" (fun () ->
+      P.Random_search.create ~favor:CS.Param.Runtime ());
+  measure "deeptune (favor runtime)" (fun () ->
+      D.Deeptune.algorithm
+        (D.Deeptune.create
+           ~options:{ D.Deeptune.default_options with D.Deeptune.favor = Some CS.Param.Runtime }
+           ~seed space));
+  write_json (List.rev !cells);
+  Printf.printf "\ncell dump written to %s\n" json_path

@@ -22,6 +22,7 @@ let experiments =
     ("fig11", "throughput-memory co-optimization on Cozart", Bench_fig11.run);
     ("tab4", "top-5 throughput-memory results", Bench_tab4.run);
     ("workers", "speedup vs virtual evaluation slots (batched engine)", Bench_workers.run);
+    ("cache", "builds charged vs shared image-cache capacity", Bench_cache.run);
     ("sensitivity", "workload sensitivity of the found optimum (§3.5)", Bench_sensitivity.run);
     ("micro", "Bechamel micro-benchmarks of per-iteration costs", Bench_micro.run);
     ("ablation", "DeepTune design-choice ablations", Bench_ablation.run) ]

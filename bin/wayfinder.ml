@@ -101,7 +101,7 @@ let policy_of_flags ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeou
 
 let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s ~seed ~favor
     ~csv_path ~trace_path ~timings ~quiet ~checkpoint ~checkpoint_every ~resume ~fault_rate
-    ~workers ~batch ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeout
+    ~workers ~batch ~image_cache ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeout
     ~measure_repeats ~quarantine_after =
   ignore metric_hint;
   let job =
@@ -139,6 +139,13 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
     let seed = match resume_from with Some ck -> ck.P.Checkpoint.seed | None -> seed in
     let workers =
       match resume_from with Some ck -> ck.P.Checkpoint.workers | None -> workers
+    in
+    (* ... and the image-cache capacity: the checkpoint's cache contents
+       only restore exactly into a cache of the same size. *)
+    let image_cache =
+      match resume_from with
+      | Some ck -> Some ck.P.Checkpoint.cache_capacity
+      | None -> image_cache
     in
     let favor =
       match (favor, job) with
@@ -227,7 +234,8 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
         | None -> ());
         match
           P.Driver.run ~seed ~on_iteration:progress ~obs ~resilience
-            ?checkpoint_path:checkpoint ~checkpoint_every ?resume_from ~workers ?batch ~target
+            ?checkpoint_path:checkpoint ~checkpoint_every ?resume_from ~workers ?batch
+            ?image_cache:(Option.map P.Image_cache.capacity image_cache) ~target
             ~algorithm:algo ~budget ()
         with
         | exception Invalid_argument msg ->
@@ -439,6 +447,15 @@ let run_cmd =
           ~doc:"Ask the algorithm for up to $(docv) configurations at once (native \
                 $(i,propose_batch) when available). Defaults to $(b,--workers).")
   in
+  let image_cache =
+    Arg.(
+      value & opt (some int) None
+      & info [ "image-cache" ] ~docv:"N"
+          ~doc:"Keep up to $(docv) built images in the shared content-addressed cache (exact \
+                LRU, keyed by the configuration's compile+boot projection): any worker whose \
+                proposal matches a cached image skips the build phase entirely. Defaults to \
+                $(b,--workers); on $(b,--resume) the capacity comes from the checkpoint.")
+  in
   let resilient =
     Arg.(
       value & flag
@@ -479,21 +496,22 @@ let run_cmd =
           ~doc:"Quarantine a configuration after $(docv) exhausted-retry episodes (0 = off).")
   in
   let f job_file os app algorithm iterations budget_s seed favor csv trace timings quiet
-      (checkpoint, checkpoint_every, resume, fault_rate, workers, batch)
+      (checkpoint, checkpoint_every, resume, fault_rate, workers, batch, image_cache)
       (resilient, retries, build_timeout, boot_timeout, run_timeout, measure_repeats,
        quarantine_after) =
     handle
       (run_search ~job_file ~os ~app ~metric_hint:() ~algorithm ~iterations ~budget_s ~seed
          ~favor ~csv_path:csv ~trace_path:trace ~timings ~quiet ~checkpoint ~checkpoint_every
-         ~resume ~fault_rate ~workers ~batch ~resilient ~retries ~build_timeout ~boot_timeout
-         ~run_timeout ~measure_repeats ~quarantine_after)
+         ~resume ~fault_rate ~workers ~batch ~image_cache ~resilient ~retries ~build_timeout
+         ~boot_timeout ~run_timeout ~measure_repeats ~quarantine_after)
   in
   (* Cmdliner terms are applicative; tuple up the flag groups to keep the
      application chain readable. *)
-  let tuple6 a b c d e f = (a, b, c, d, e, f) in
   let tuple7 a b c d e f g = (a, b, c, d, e, f, g) in
   let checkpoint_group =
-    Term.(const tuple6 $ checkpoint $ checkpoint_every $ resume $ fault_rate $ workers $ batch)
+    Term.(
+      const tuple7 $ checkpoint $ checkpoint_every $ resume $ fault_rate $ workers $ batch
+      $ image_cache)
   in
   let resilience_group =
     Term.(

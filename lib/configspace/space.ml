@@ -161,6 +161,39 @@ let diff t a b =
     t.params;
   List.rev !out
 
+let project_stages t ~stages config =
+  if Array.length config <> Array.length t.params then
+    invalid_arg "Space.project_stages: configuration size mismatch";
+  let out = ref [] in
+  Array.iteri
+    (fun i p -> if List.mem p.Param.stage stages then out := (p.Param.name, config.(i)) :: !out)
+    t.params;
+  List.rev !out
+
+(* Compact value tokens for stage keys.  Deliberately independent of the
+   parameter kind: token equality must coincide with [Param.value_equal]
+   (categorical values with identical labels are still distinct choices). *)
+let stage_key_token = function
+  | Param.Vbool b -> if b then "b1" else "b0"
+  | Param.Vtristate i -> "t" ^ string_of_int i
+  | Param.Vint n -> "i" ^ string_of_int n
+  | Param.Vcat i -> "c" ^ string_of_int i
+
+let stage_key t config =
+  if Array.length config <> Array.length t.params then
+    invalid_arg "Space.stage_key: configuration size mismatch";
+  let buf = Buffer.create 64 in
+  Array.iteri
+    (fun i p ->
+      if p.Param.stage <> Param.Runtime then begin
+        if Buffer.length buf > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (string_of_int i);
+        Buffer.add_char buf ':';
+        Buffer.add_string buf (stage_key_token config.(i))
+      end)
+    t.params;
+  Buffer.contents buf
+
 let differs_only_in_stage t a b stage =
   let ok = ref true in
   Array.iteri

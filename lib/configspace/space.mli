@@ -87,6 +87,22 @@ val differs_only_in_stage : t -> configuration -> configuration -> Param.stage -
     rebuild-skip test (§3.1: skip the build task when only runtime
     parameters changed). *)
 
+val project_stages :
+  t -> stages:Param.stage list -> configuration -> (string * Param.value) list
+(** The configuration restricted to the parameters of the given stages, as
+    [(name, value)] pairs in parameter order.
+    @raise Invalid_argument on a size mismatch. *)
+
+val stage_key : t -> configuration -> string
+(** Canonical content-address of the configuration's {e non-runtime}
+    projection (compile-time and boot-time parameters, by position).  Two
+    configurations share a key iff they differ only in runtime parameters
+    — i.e. [stage_key t a = stage_key t b] is exactly
+    [differs_only_in_stage t a b Param.Runtime] — so the key identifies
+    the built image an evaluation needs, and runtime-only variation never
+    invalidates it.
+    @raise Invalid_argument on a size mismatch. *)
+
 val of_kconfig : ?stage:Param.stage -> Wayfinder_kconfig.Space.descriptor list -> Param.t list
 (** Convert Kconfig descriptors into parameters (choice members and
     dependent symbols are included; strings become single-point categorical

@@ -33,7 +33,11 @@ let threshold_candidates = 16
    evenly spaced order statistics (cheap quantile sketch). *)
 let candidates_for x indices feature =
   let values = Array.map (fun i -> Mat.get x i feature) indices in
-  Array.sort compare values;
+  (* Float.compare: total with NaN (polymorphic compare is not).  NaN
+     values sort first and can never become thresholds — [cur > prev] is
+     false whenever either side is NaN — so split-point selection stays
+     deterministic on degenerate inputs. *)
+  Array.sort Float.compare values;
   let n = Array.length values in
   if n < 2 || values.(0) = values.(n - 1) then [||]
   else begin
@@ -44,7 +48,7 @@ let candidates_for x indices feature =
       let prev = values.(max 0 (idx - 1)) and cur = values.(idx) in
       if cur > prev then out := ((prev +. cur) /. 2.) :: !out
     done;
-    Array.of_list (List.sort_uniq compare !out)
+    Array.of_list (List.sort_uniq Float.compare !out)
   end
 
 let best_split x y indices features total_n =

@@ -16,7 +16,8 @@ type t = {
   iterations : int;
   workers : int;
   consecutive_invalid : int;
-  slots_last_built : Space.configuration option list;
+  cache_capacity : int;
+  cache : (string * Image_cache.entry) list;
   strikes : (int * int) list;
   quarantined : int list;
   entries : History.entry list;
@@ -32,7 +33,7 @@ let error_to_string = function
     Printf.sprintf "unsupported checkpoint version %d (expected %d)" found expected
   | Malformed msg -> msg
 
-let version = 2
+let version = 3
 
 (* ------------------------------------------------------------------ *)
 (* Field encodings                                                     *)
@@ -138,9 +139,19 @@ let to_string t =
   line "iterations %d" t.iterations;
   line "workers %d" t.workers;
   line "consecutive_invalid %d" t.consecutive_invalid;
+  line "cache_capacity %d" t.cache_capacity;
+  (* Most-recently-used first, exactly [Image_cache.to_alist]: the reader
+     hands the list straight back to [Image_cache.of_alist], so a resumed
+     run evicts in the same order the killed run would have. *)
   List.iter
-    (fun built -> line "slot %s" (match built with Some c -> config_field c | None -> "-"))
-    t.slots_last_built;
+    (fun (key, e) ->
+      match e.Image_cache.status with
+      | Image_cache.Built -> line "cached built %d %s" e.Image_cache.origin (encode_string key)
+      | Image_cache.Build_failed f ->
+        line "cached failed %d %s %s" e.Image_cache.origin
+          (encode_string (Failure.to_string f))
+          (encode_string key))
+    t.cache;
   List.iter (fun (key, n) -> line "strike %d %d" key n) t.strikes;
   List.iter (fun key -> line "quarantined %d" key) t.quarantined;
   List.iter (fun e -> line "entry %s" (entry_line e)) t.entries;
@@ -233,7 +244,8 @@ let of_string s =
     and iterations = ref None
     and workers = ref None
     and consecutive_invalid = ref None
-    and slots = ref []
+    and cache_capacity = ref None
+    and cache = ref []
     and strikes = ref []
     and quarantined = ref []
     and entries = ref []
@@ -271,15 +283,20 @@ let of_string s =
       | "iterations" -> int_ref iterations
       | "workers" -> int_ref workers
       | "consecutive_invalid" -> int_ref consecutive_invalid
-      | "slot" ->
-        if rest = "-" then begin
-          slots := None :: !slots;
-          Ok ()
-        end
-        else
-          let* c = config_of_field rest in
-          slots := Some c :: !slots;
-          Ok ()
+      | "cache_capacity" -> int_ref cache_capacity
+      | "cached" -> (
+        let entry origin status key =
+          match int_of_string_opt origin with
+          | Some origin when origin >= 0 ->
+            cache := (decode_string key, { Image_cache.status; origin }) :: !cache;
+            Ok ()
+          | Some _ | None -> Error (Malformed "bad cached origin")
+        in
+        match String.split_on_char ' ' rest with
+        | [ "built"; origin; key ] -> entry origin Image_cache.Built key
+        | [ "failed"; origin; failure; key ] ->
+          entry origin (Image_cache.Build_failed (Failure.of_string (decode_string failure))) key
+        | _ -> Error (Malformed "bad cached field"))
       | "strike" -> (
         match String.split_on_char ' ' rest with
         | [ k; n ] -> (
@@ -327,17 +344,26 @@ let of_string s =
     let* iterations = require "iterations" !iterations in
     let* workers = require "workers" !workers in
     let* consecutive_invalid = require "consecutive_invalid" !consecutive_invalid in
+    let* cache_capacity = require "cache_capacity" !cache_capacity in
     let entries = List.rev !entries in
     let inflight = List.rev !inflight in
-    let slots_last_built = List.rev !slots in
+    let cache = List.rev !cache in
     let* () =
       if List.length entries = iterations then Ok ()
       else Error (Malformed "entry count does not match iterations")
     in
     let* () = if workers >= 1 then Ok () else Error (Malformed "bad workers field") in
     let* () =
-      if List.length slots_last_built = workers then Ok ()
-      else Error (Malformed "slot count does not match workers")
+      if cache_capacity >= 1 then Ok () else Error (Malformed "bad cache_capacity field")
+    in
+    let* () =
+      if List.length cache <= cache_capacity then Ok ()
+      else Error (Malformed "cached entries exceed cache_capacity")
+    in
+    let* () =
+      let keys = List.map fst cache in
+      if List.length (List.sort_uniq String.compare keys) = List.length keys then Ok ()
+      else Error (Malformed "duplicate cached key")
     in
     let* () =
       if List.for_all (fun i -> i.slot < workers) inflight then Ok ()
@@ -351,7 +377,8 @@ let of_string s =
         iterations;
         workers;
         consecutive_invalid;
-        slots_last_built;
+        cache_capacity;
+        cache;
         strikes = List.rev !strikes;
         quarantined = List.rev !quarantined;
         entries;

@@ -3,12 +3,13 @@
     A checkpoint captures everything the driver needs to continue a search
     as if it had never stopped: the exploration history (every entry,
     configs included), the virtual clock, the budget origin, the RNG
-    state, the per-slot rebuild-skip baseline images, the
-    invalid-proposal streak, the quarantine bookkeeping — and, since
-    format version 2, the tasks that were still {e in flight} on the
-    multi-worker engine's virtual evaluation slots when the file was
-    written, so a killed [~workers:n] run resumes mid-batch and
-    reproduces the uninterrupted trajectory exactly.
+    state, the invalid-proposal streak, the quarantine bookkeeping, the
+    tasks that were still {e in flight} on the multi-worker engine's
+    virtual evaluation slots when the file was written (since format
+    version 2) — and, since format version 3, the shared
+    {!Image_cache} contents {e and recency order}, so a killed
+    [~workers:n] run resumes mid-batch with the exact warm cache it held
+    and reproduces the uninterrupted trajectory exactly.
 
     Search-algorithm state (DeepTune's network, a GP's observations) is
     deliberately {e not} serialized.  Resume instead {e replays}: the
@@ -50,8 +51,11 @@ type t = {
   iterations : int;  (** Completed (recorded) evaluations. *)
   workers : int;  (** Virtual evaluation slots of the writing run. *)
   consecutive_invalid : int;
-  slots_last_built : Space.configuration option list;
-      (** Rebuild-skip baseline per slot; length = [workers]. *)
+  cache_capacity : int;  (** Image-cache capacity of the writing run. *)
+  cache : (string * Image_cache.entry) list;
+      (** Shared image-cache contents in recency order, most recently used
+          first (exactly {!Image_cache.to_alist}); at most
+          [cache_capacity] bindings with distinct keys. *)
   strikes : (int * int) list;  (** Config key → exhausted-retry episodes. *)
   quarantined : int list;  (** Quarantined config keys. *)
   entries : History.entry list;  (** Completion order, oldest first. *)
@@ -67,7 +71,9 @@ type error =
 val error_to_string : error -> string
 
 val version : int
-(** Current format version: 2. *)
+(** Current format version: 3.  Files written by earlier versions (v2
+    persisted per-slot baseline images instead of the shared cache) are
+    rejected with {!Unsupported_version}. *)
 
 val to_string : t -> string
 val of_string : string -> (t, error) result

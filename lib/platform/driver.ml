@@ -1,5 +1,4 @@
 module Space = Wayfinder_configspace.Space
-module Param = Wayfinder_configspace.Param
 module Vclock = Wayfinder_simos.Vclock
 module Rng = Wayfinder_tensor.Rng
 module Stat = Wayfinder_tensor.Stat
@@ -23,7 +22,8 @@ type result = {
 let virtual_phases =
   [ ("build", "driver.build"); ("boot", "driver.boot"); ("run", "driver.run");
     ("invalid", "driver.invalid"); ("retry", "driver.retry");
-    ("quarantined", "driver.quarantined"); ("replay", "driver.replay") ]
+    ("quarantined", "driver.quarantined"); ("negative-cache", "driver.negative_cache");
+    ("replay", "driver.replay") ]
 
 let default_invalid_floor_s = 1.
 let default_max_consecutive_invalid = 1000
@@ -63,6 +63,17 @@ let apply_timeouts (resilience : Resilience.policy) (r : Target.eval_result) =
       | Some cap -> { r with Target.value = Error Failure.Run_timeout; run_s = cap }
       | None -> r))
 
+(* The explicit NaN policy: a target reporting [Ok v] with a non-finite
+   [v] is a deterministic failure of the configuration, never a value —
+   NaN must not reach the corroboration median, the history or the
+   search algorithms (polymorphic float comparisons are not total with
+   NaN). *)
+let reject_non_finite (r : Target.eval_result) =
+  match r.Target.value with
+  | Ok v when not (Float.is_finite v) ->
+    { r with Target.value = Error Failure.Non_finite_measurement }
+  | Ok _ | Error _ -> r
+
 (* ------------------------------------------------------------------ *)
 (* The legacy strictly-sequential loop                                 *)
 (* ------------------------------------------------------------------ *)
@@ -76,8 +87,8 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?obs
     ?(invalid_floor_s = default_invalid_floor_s)
     ?(max_consecutive_invalid = default_max_consecutive_invalid)
     ?(resilience = Resilience.none) ?checkpoint_path
-    ?(checkpoint_every = default_checkpoint_every) ?resume_from ~target ~algorithm ~budget ()
-    =
+    ?(checkpoint_every = default_checkpoint_every) ?resume_from ?image_cache ~target
+    ~algorithm ~budget () =
   if invalid_floor_s <= 0. then invalid_arg "Driver.run: invalid_floor_s must be positive";
   if max_consecutive_invalid <= 0 then
     invalid_arg "Driver.run: max_consecutive_invalid must be positive";
@@ -93,9 +104,15 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?obs
   let ctx =
     { Search_algorithm.space; metric = target.Target.metric; history; rng; obs }
   in
-  (* The configuration of the last image actually built; the build task is
-     skipped when only runtime parameters changed since then (§3.1). *)
-  let last_built = ref None in
+  (* The shared content-addressed image cache (§3.1 rebuild-skip,
+     generalized): the build task is skipped when the cache holds the
+     image for this configuration's non-runtime projection.  The default
+     capacity of 1 is exactly the historical "last built image" baseline
+     — a single-entry LRU. *)
+  let cache_config =
+    match image_cache with Some c -> c | None -> Image_cache.capacity 1
+  in
+  let cache = Image_cache.create cache_config in
   let index = ref 0 in
   let consecutive_invalid = ref 0 in
   let stop = ref None in
@@ -150,9 +167,14 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?obs
        interrupted one for the continuation to reproduce it. *)
     Vclock.advance clock (ck.Checkpoint.clock_seconds -. Vclock.now clock);
     consecutive_invalid := ck.Checkpoint.consecutive_invalid;
-    (match ck.Checkpoint.slots_last_built with
-    | [ b ] -> last_built := b
-    | _ -> assert false);
+    if ck.Checkpoint.cache_capacity <> Image_cache.cap cache then
+      invalid_arg "Driver.run: resume requires the same image-cache capacity as the checkpoint";
+    (* Restore contents and recency directly (least recently used first so
+       the head of the persisted list ends up most recent): replay skips
+       the evaluations that populated the cache. *)
+    List.iter
+      (fun (k, e) -> ignore (Image_cache.add cache k e))
+      (List.rev ck.Checkpoint.cache);
     List.iter (fun (k, n) -> Hashtbl.replace strikes k n) ck.Checkpoint.strikes;
     List.iter (fun k -> Hashtbl.replace quarantine k ()) ck.Checkpoint.quarantined;
     Obs.Recorder.incr obs ~quiet:true ~by:(float_of_int !index) "driver.replayed_iterations";
@@ -175,7 +197,8 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?obs
           iterations = !index;
           workers = 1;
           consecutive_invalid = !consecutive_invalid;
-          slots_last_built = [ !last_built ];
+          cache_capacity = Image_cache.cap cache;
+          cache = Image_cache.to_alist cache;
           strikes = sorted_strikes;
           quarantined = sorted_quarantined;
           entries = Array.to_list (History.entries history);
@@ -249,6 +272,22 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?obs
               eval_seconds = invalid_floor_s; built = false; decide_seconds }
           end
           else begin
+            let image_key = Space.stage_key space config in
+            match Image_cache.peek cache image_key with
+            | Some { Image_cache.status = Image_cache.Build_failed f; _ } ->
+              (* Negative hit: the image for this non-runtime projection is
+                 known not to build.  Serve the cached failure at a floor
+                 charge instead of re-running a doomed build. *)
+              Image_cache.touch cache image_key;
+              Vclock.advance clock invalid_floor_s;
+              Obs.Recorder.emit_span obs ~virtual_s:invalid_floor_s
+                ~attrs:[ Obs.Attr.bool "cache_hit" true ]
+                "driver.negative_cache";
+              Obs.Recorder.incr obs "driver.image_cache.negative_hits";
+              { History.index = !index; config; value = None;
+                failure = Some f; at_seconds = Vclock.now clock;
+                eval_seconds = invalid_floor_s; built = false; decide_seconds }
+            | Some { Image_cache.status = Image_cache.Built; _ } | None ->
             let total_charged = ref 0. in
             let entry_built = ref false in
             (* Evaluate once and charge its (possibly capped) virtual phases.
@@ -259,14 +298,20 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?obs
                 Obs.Recorder.with_span obs "driver.evaluate" (fun () -> call_target config)
               in
               let r = apply_timeouts resilience r in
-              let needs_build =
-                (not remeasure)
-                &&
-                match !last_built with
-                | None -> true
-                | Some previous ->
-                  not (Space.differs_only_in_stage space previous config Param.Runtime)
+              let r = reject_non_finite r in
+              let cache_hit =
+                if remeasure then false
+                else
+                  match Image_cache.find cache image_key with
+                  | Some { Image_cache.status = Image_cache.Built; origin } ->
+                    Obs.Recorder.incr obs "driver.image_cache.hits";
+                    if origin <> 0 then Obs.Recorder.incr obs "driver.image_cache.cross_slot_hits";
+                    true
+                  | Some { Image_cache.status = Image_cache.Build_failed _; _ } | None ->
+                    Obs.Recorder.incr obs "driver.image_cache.misses";
+                    false
               in
+              let needs_build = (not remeasure) && not cache_hit in
               let build_charged = if needs_build then r.Target.build_s else 0. in
               let charged = build_charged +. r.Target.boot_s +. r.Target.run_s in
               Vclock.advance clock charged;
@@ -279,18 +324,42 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?obs
                 end
                 else Obs.Recorder.incr obs "driver.rebuild_skips";
                 Obs.Recorder.emit_span obs ~virtual_s:build_charged
-                  ~attrs:[ Obs.Attr.bool "rebuild_skipped" (not needs_build) ]
+                  ~attrs:
+                    [ Obs.Attr.bool "rebuild_skipped" (not needs_build);
+                      Obs.Attr.bool "cache_hit" cache_hit ]
                   "driver.build"
               end;
               let attrs = if remeasure then [ Obs.Attr.bool "remeasure" true ] else [] in
               Obs.Recorder.emit_span obs ~virtual_s:r.Target.boot_s ~attrs "driver.boot";
               Obs.Recorder.emit_span obs ~virtual_s:r.Target.run_s ~attrs "driver.run";
-              (* Failed builds leave the previous image in place; anything
-                 that built (even if it later crashed) becomes the new
-                 baseline image. *)
+              (* Retry semantics (pinned): a build-stage failure leaves no
+                 image, so the cache is NOT updated — a retried transient
+                 build failure misses again and legitimately re-charges the
+                 build.  Anything that built (even if it later crashed or
+                 timed out post-build) caches Built, so a retry skips the
+                 rebuild and build_s is charged exactly once.  Deterministic
+                 build failures are negative-cached instead: that image
+                 provably cannot build, and re-proposals are served the
+                 failure at a floor charge. *)
               (match r.Target.value with
-              | Error f when Failure.is_build_stage f -> ()
-              | Error _ | Ok _ -> if needs_build then last_built := Some config);
+              | Error f when Failure.is_build_stage f ->
+                if needs_build && Failure.klass f = Failure.Deterministic then begin
+                  match
+                    Image_cache.add cache image_key
+                      { Image_cache.status = Image_cache.Build_failed f; origin = 0 }
+                  with
+                  | Some _ -> Obs.Recorder.incr obs "driver.image_cache.evictions"
+                  | None -> ()
+                end
+              | Error _ | Ok _ ->
+                if needs_build then begin
+                  match
+                    Image_cache.add cache image_key
+                      { Image_cache.status = Image_cache.Built; origin = 0 }
+                  with
+                  | Some _ -> Obs.Recorder.incr obs "driver.image_cache.evictions"
+                  | None -> ()
+                end);
               r.Target.value
             in
             (* Corroborate a successful measurement: the first sample stands
@@ -439,8 +508,8 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?obs
 let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invalid_floor_s)
     ?(max_consecutive_invalid = default_max_consecutive_invalid)
     ?(resilience = Resilience.none) ?checkpoint_path
-    ?(checkpoint_every = default_checkpoint_every) ?resume_from ?(workers = 1) ?batch ~target
-    ~algorithm ~budget () =
+    ?(checkpoint_every = default_checkpoint_every) ?resume_from ?(workers = 1) ?batch
+    ?image_cache ~target ~algorithm ~budget () =
   if invalid_floor_s <= 0. then invalid_arg "Driver.run: invalid_floor_s must be positive";
   if max_consecutive_invalid <= 0 then
     invalid_arg "Driver.run: max_consecutive_invalid must be positive";
@@ -460,9 +529,16 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
     { Search_algorithm.space; metric = target.Target.metric; history; rng; obs }
   in
   let multi = workers > 1 in
-  (* Per-slot rebuild-skip baseline: each slot models its own testbed
-     machine with its own last-built image. *)
-  let slot_last_built = Array.make workers None in
+  (* The image cache is shared by every slot: a slot skips the build task
+     when *any* slot already built (or proved unbuildable) the image for
+     that non-runtime projection.  The default capacity equals the worker
+     count — the same image budget the old per-slot baselines had, but
+     pooled; with [workers = 1] that is a single-entry LRU, i.e. exactly
+     the sequential oracle's baseline. *)
+  let cache_config =
+    match image_cache with Some c -> c | None -> Image_cache.capacity workers
+  in
+  let cache = Image_cache.create cache_config in
   let free_slots = ref (List.init workers Fun.id) in
   let take_slot () =
     match !free_slots with
@@ -524,8 +600,15 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
          clock)";
     if ck.Checkpoint.workers <> workers then
       invalid_arg "Driver.run: resume requires the same ~workers as the checkpointed run";
+    if ck.Checkpoint.cache_capacity <> Image_cache.cap cache then
+      invalid_arg "Driver.run: resume requires the same image-cache capacity as the checkpoint";
     consecutive_invalid := ck.Checkpoint.consecutive_invalid;
-    List.iteri (fun i b -> slot_last_built.(i) <- b) ck.Checkpoint.slots_last_built;
+    (* Cache mutations happen at launch time and replayed launches skip
+       them, so the persisted state — contents and recency — is restored
+       verbatim (least recently used inserted first). *)
+    List.iter
+      (fun (k, e) -> ignore (Image_cache.add cache k e))
+      (List.rev ck.Checkpoint.cache);
     List.iter (fun (k, n) -> Hashtbl.replace strikes k n) ck.Checkpoint.strikes;
     List.iter (fun k -> Hashtbl.replace quarantine k ()) ck.Checkpoint.quarantined;
     List.iter
@@ -570,7 +653,8 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
           iterations = !completed;
           workers;
           consecutive_invalid = !consecutive_invalid;
-          slots_last_built = Array.to_list slot_last_built;
+          cache_capacity = Image_cache.cap cache;
+          cache = Image_cache.to_alist cache;
           strikes = sorted_strikes;
           quarantined = sorted_quarantined;
           entries = Array.to_list (History.entries history);
@@ -687,10 +771,27 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
               eval_seconds = invalid_floor_s; built = false; decide_seconds })
       end
       else begin
+        let image_key = Space.stage_key space config in
+        match Image_cache.peek cache image_key with
+        | Some { Image_cache.status = Image_cache.Build_failed f; _ } ->
+          (* Negative hit: the image for this non-runtime projection is
+             known not to build.  Serve the cached failure at a floor
+             charge instead of re-running a doomed build. *)
+          Image_cache.touch cache image_key;
+          Obs.Recorder.emit_span obs ~virtual_s:invalid_floor_s
+            ~attrs:[ Obs.Attr.bool "cache_hit" true ]
+            "driver.negative_cache";
+          Obs.Recorder.incr obs "driver.image_cache.negative_hits";
+          schedule_outcome slot ~iteration_span ~deltas:[ invalid_floor_s ]
+            ~entry_of_at:(fun at ->
+              { History.index = idx; config; value = None;
+                failure = Some f; at_seconds = at;
+                eval_seconds = invalid_floor_s; built = false; decide_seconds })
+        | Some { Image_cache.status = Image_cache.Built; _ } | None ->
         (* Eager evaluation: the outcome is a pure function of (trial,
-           config) and this slot's last-built image, so the full attempt /
-           corroborate / retry cascade runs now, accumulating the charges
-           it would have applied to a synchronous clock. *)
+           config) and the shared image cache at launch time, so the full
+           attempt / corroborate / retry cascade runs now, accumulating
+           the charges it would have applied to a synchronous clock. *)
         let deltas_rev = ref [] in
         let charge d = deltas_rev := d :: !deltas_rev in
         let total_charged = ref 0. in
@@ -700,14 +801,21 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
             Obs.Recorder.with_span obs "driver.evaluate" (fun () -> call_target config)
           in
           let r = apply_timeouts resilience r in
-          let needs_build =
-            (not remeasure)
-            &&
-            match slot_last_built.(slot) with
-            | None -> true
-            | Some previous ->
-              not (Space.differs_only_in_stage space previous config Param.Runtime)
+          let r = reject_non_finite r in
+          let cache_hit =
+            if remeasure then false
+            else
+              match Image_cache.find cache image_key with
+              | Some { Image_cache.status = Image_cache.Built; origin } ->
+                Obs.Recorder.incr obs "driver.image_cache.hits";
+                if origin <> slot then
+                  Obs.Recorder.incr obs "driver.image_cache.cross_slot_hits";
+                true
+              | Some { Image_cache.status = Image_cache.Build_failed _; _ } | None ->
+                Obs.Recorder.incr obs "driver.image_cache.misses";
+                false
           in
+          let needs_build = (not remeasure) && not cache_hit in
           let build_charged = if needs_build then r.Target.build_s else 0. in
           let charged = build_charged +. r.Target.boot_s +. r.Target.run_s in
           charge charged;
@@ -720,15 +828,41 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
             end
             else Obs.Recorder.incr obs "driver.rebuild_skips";
             Obs.Recorder.emit_span obs ~virtual_s:build_charged
-              ~attrs:[ Obs.Attr.bool "rebuild_skipped" (not needs_build) ]
+              ~attrs:
+                [ Obs.Attr.bool "rebuild_skipped" (not needs_build);
+                  Obs.Attr.bool "cache_hit" cache_hit ]
               "driver.build"
           end;
           let attrs = if remeasure then [ Obs.Attr.bool "remeasure" true ] else [] in
           Obs.Recorder.emit_span obs ~virtual_s:r.Target.boot_s ~attrs "driver.boot";
           Obs.Recorder.emit_span obs ~virtual_s:r.Target.run_s ~attrs "driver.run";
+          (* Retry semantics (pinned; mirrors run_sequential): a
+             build-stage failure leaves no image, so the cache is NOT
+             updated — a retried transient build failure misses again and
+             legitimately re-charges the build.  Anything that built
+             (even if it later crashed or timed out post-build) caches
+             Built, so a retry skips the rebuild and build_s is charged
+             exactly once.  Deterministic build failures are
+             negative-cached instead. *)
           (match r.Target.value with
-          | Error f when Failure.is_build_stage f -> ()
-          | Error _ | Ok _ -> if needs_build then slot_last_built.(slot) <- Some config);
+          | Error f when Failure.is_build_stage f ->
+            if needs_build && Failure.klass f = Failure.Deterministic then begin
+              match
+                Image_cache.add cache image_key
+                  { Image_cache.status = Image_cache.Build_failed f; origin = slot }
+              with
+              | Some _ -> Obs.Recorder.incr obs "driver.image_cache.evictions"
+              | None -> ()
+            end
+          | Error _ | Ok _ ->
+            if needs_build then begin
+              match
+                Image_cache.add cache image_key
+                  { Image_cache.status = Image_cache.Built; origin = slot }
+              with
+              | Some _ -> Obs.Recorder.incr obs "driver.image_cache.evictions"
+              | None -> ()
+            end);
           r.Target.value
         in
         let corroborate v1 =

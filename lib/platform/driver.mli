@@ -8,12 +8,14 @@
     {!Wayfinder_simos.Vclock}, and with [workers > 1] the build / boot /
     benchmark pipelines of several slots overlap on its discrete-event
     scheduler — and (3) record each outcome as it completes and update
-    the algorithm.  The build task is skipped when the new configuration
-    differs from the slot's last *built* image only in runtime
-    parameters (each slot models its own testbed machine).  The loop
-    stops when the budget (iterations or virtual time) is exhausted, the
-    algorithm exhausts its space, or the invalid cap trips, and returns
-    the best configuration found.
+    the algorithm.  The build task is skipped when a shared
+    {!Image_cache} — keyed by {!Space.stage_key}, the content-address of
+    the configuration's non-runtime projection — already holds the image
+    {e any} slot built; deterministic build failures are negative-cached
+    and served at a floor charge.  The loop stops when the budget
+    (iterations or virtual time) is exhausted, the algorithm exhausts
+    its space, or the invalid cap trips, and returns the best
+    configuration found.
 
     A {!Resilience.policy} governs how the loop treats the testbed:
     per-phase virtual timeouts (a hung boot becomes a [Boot_timeout]
@@ -33,13 +35,16 @@
     [driver.iteration] span split into phases — [driver.propose],
     [driver.validate], [driver.evaluate] and [driver.observe] carry wall
     durations; [driver.build], [driver.boot], [driver.run],
-    [driver.invalid], [driver.retry], [driver.quarantined] and
-    [driver.replay] carry the virtual seconds charged to the budget (the
-    build span notes when the §3.1 rebuild-skip fired).  Counters track
-    iterations, builds charged, rebuild skips, invalid proposals,
-    retries, re-measurements, outlier rejections, quarantines and
-    per-kind failures; the aggregated snapshot is returned on
-    {!result.metrics}. *)
+    [driver.invalid], [driver.retry], [driver.quarantined],
+    [driver.negative_cache] and [driver.replay] carry the virtual
+    seconds charged to the budget (the build span's [rebuild_skipped] /
+    [cache_hit] attrs note when the §3.1 rebuild-skip fired).  Counters
+    track iterations, builds charged, rebuild skips, image-cache
+    activity ([driver.image_cache.hits] / [.misses] / [.evictions] /
+    [.negative_hits], and [.cross_slot_hits] when another slot built the
+    image), invalid proposals, retries, re-measurements, outlier
+    rejections, quarantines and per-kind failures; the aggregated
+    snapshot is returned on {!result.metrics}. *)
 
 module Space = Wayfinder_configspace.Space
 module Vclock = Wayfinder_simos.Vclock
@@ -73,7 +78,8 @@ type result = {
 
 val virtual_phases : (string * string) list
 (** [(label, span name)] for every phase charged to the virtual clock:
-    build, boot, run, invalid, retry, quarantined, replay. *)
+    build, boot, run, invalid, retry, quarantined, negative-cache,
+    replay. *)
 
 val default_invalid_floor_s : float
 (** 1 virtual second. *)
@@ -97,6 +103,7 @@ val run :
   ?resume_from:Checkpoint.t ->
   ?workers:int ->
   ?batch:int ->
+  ?image_cache:Image_cache.config ->
   target:Target.t ->
   algorithm:Search_algorithm.t ->
   budget:budget ->
@@ -135,12 +142,23 @@ val run :
     ask), a [driver.worker.busy] histogram (busy slots at each
     completion) and per-slot [driver.worker] spans.
 
+    [image_cache] configures the shared image cache (default capacity:
+    [workers] — pooled, where the pre-cache engine kept one baseline
+    image per slot).  With [workers = 1] and capacity 1 the cache {e is}
+    the historical single-baseline rebuild-skip, byte-for-byte.  Larger
+    capacities let images survive across intervening builds and across
+    slots: any slot whose proposal shares a {!Space.stage_key} with a
+    cached image skips the build phase entirely (0 build seconds,
+    [driver.image_cache.hits]; [.cross_slot_hits] when another slot
+    built it); evictions are exact LRU.
+
     [resilience] defaults to {!Resilience.none}.  [checkpoint_path]
-    enables periodic checkpointing — since checkpoint format 2 the file
-    also persists in-flight slot state, so a killed multi-worker run
-    resumes mid-batch; [resume_from] requires a fresh clock positioned
-    at the checkpoint's budget origin and an algorithm / seed /
-    [workers] / [batch] identical to the checkpointed run.
+    enables periodic checkpointing — checkpoint format 3 persists
+    in-flight slot state {e and} the image cache (contents + recency
+    order), so a killed multi-worker run resumes mid-batch with its
+    warm cache; [resume_from] requires a fresh clock positioned at the
+    checkpoint's budget origin and an algorithm / seed / [workers] /
+    [batch] / image-cache capacity identical to the checkpointed run.
 
     @raise Invalid_argument if [invalid_floor_s <= 0],
     [max_consecutive_invalid <= 0], [checkpoint_every <= 0],
@@ -159,6 +177,7 @@ val run_sequential :
   ?checkpoint_path:string ->
   ?checkpoint_every:int ->
   ?resume_from:Checkpoint.t ->
+  ?image_cache:Image_cache.config ->
   target:Target.t ->
   algorithm:Search_algorithm.t ->
   budget:budget ->
@@ -168,8 +187,10 @@ val run_sequential :
     evaluation, one observe per step — kept as the executable
     specification of the engine's [workers = 1] semantics: the
     conformance suite asserts [run ~workers:1] produces a byte-identical
-    history, metrics snapshot and virtual trajectory.  Only resumes
-    checkpoints written with [workers = 1] and no in-flight tasks. *)
+    history, metrics snapshot and virtual trajectory.  [image_cache]
+    defaults to capacity 1 (the historical "last built image" baseline).
+    Only resumes checkpoints written with [workers = 1] and no in-flight
+    tasks. *)
 
 val phase_virtual_seconds : result -> (string * float) list
 (** Virtual seconds charged per phase, in {!virtual_phases} order. *)

@@ -12,10 +12,12 @@ type t =
   | Boot_timeout
   | Run_timeout
   | Quarantined
+  | Non_finite_measurement
   | Other of string
 
 let klass = function
-  | Invalid_configuration | Build_failure | Boot_failure | Runtime_crash | Other _ ->
+  | Invalid_configuration | Build_failure | Boot_failure | Runtime_crash
+  | Non_finite_measurement | Other _ ->
     Deterministic
   | Flaky_build | Spurious_failure | Boot_hang | Quarantined -> Transient
   | Build_timeout | Boot_timeout | Run_timeout -> Timeout
@@ -40,7 +42,7 @@ let retryable f =
 let is_build_stage = function
   | Build_failure | Flaky_build | Build_timeout -> true
   | Invalid_configuration | Boot_failure | Runtime_crash | Spurious_failure | Boot_hang
-  | Boot_timeout | Run_timeout | Quarantined | Other _ ->
+  | Boot_timeout | Run_timeout | Quarantined | Non_finite_measurement | Other _ ->
     false
 
 let to_string = function
@@ -55,6 +57,7 @@ let to_string = function
   | Boot_timeout -> "boot-timeout"
   | Run_timeout -> "run-timeout"
   | Quarantined -> "quarantined"
+  | Non_finite_measurement -> "non-finite-measurement"
   | Other s -> s
 
 let of_string = function
@@ -69,8 +72,10 @@ let of_string = function
   | "boot-timeout" -> Boot_timeout
   | "run-timeout" -> Run_timeout
   | "quarantined" -> Quarantined
+  | "non-finite-measurement" -> Non_finite_measurement
   | s -> Other s
 
 let all_named =
   [ Invalid_configuration; Build_failure; Boot_failure; Runtime_crash; Flaky_build;
-    Spurious_failure; Boot_hang; Build_timeout; Boot_timeout; Run_timeout; Quarantined ]
+    Spurious_failure; Boot_hang; Build_timeout; Boot_timeout; Run_timeout; Quarantined;
+    Non_finite_measurement ]

@@ -31,6 +31,11 @@ type t =
   | Quarantined
       (** The configuration exhausted its retries repeatedly and is skipped
           without evaluation. *)
+  | Non_finite_measurement
+      (** The target reported [Ok v] with a non-finite [v] (NaN/inf from a
+          degenerate target or composite metric).  The driver rejects such
+          measurements instead of letting NaN corrupt the corroboration
+          median or the history — the explicit NaN policy. *)
   | Other of string  (** Escape hatch for custom targets. *)
 
 val klass : t -> klass

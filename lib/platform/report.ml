@@ -18,11 +18,13 @@ type t = {
 
 and best = {
   value : float;
-  relative : float option;
+  relative : relative option;
   found_at_iteration : int;
   found_at_seconds : float;
   changed : (string * string * string) list;
 }
+
+and relative = Ratio of float | Not_applicable
 
 let of_result ?default ~algorithm ~target result =
   let history = result.Driver.history in
@@ -34,8 +36,20 @@ let of_result ?default ~algorithm ~target result =
       Option.map
         (fun value ->
           let relative =
+            (* Guard the division exactly as Driver.best_relative_to does:
+               a zero or non-finite denominator (or a non-finite best)
+               must render as "n/a", never as inf/nan. *)
             Option.map
-              (fun d -> if metric.Metric.maximize then value /. d else d /. value)
+              (fun d ->
+                let num, den =
+                  if metric.Metric.maximize then (value, d) else (d, value)
+                in
+                if
+                  (not (Float.is_finite num))
+                  || (not (Float.is_finite den))
+                  || den = 0.
+                then Not_applicable
+                else Ratio (num /. den))
               default
           in
           { value;
@@ -91,7 +105,8 @@ let render ~heading ~bullet ~emphasis t =
     line "%sbest value %s%.2f%s at iteration %d (t = %.0f s)%s" bullet emphasis b.value emphasis
       b.found_at_iteration b.found_at_seconds
       (match b.relative with
-      | Some r -> Printf.sprintf " — %.2fx the default" r
+      | Some (Ratio r) -> Printf.sprintf " — %.2fx the default" r
+      | Some Not_applicable -> " — n/a vs the default"
       | None -> "");
     if b.changed <> [] then begin
       line "%schanged parameters (%d):" bullet (List.length b.changed);

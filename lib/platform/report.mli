@@ -29,11 +29,18 @@ type t = {
 
 and best = {
   value : float;
-  relative : float option;  (** vs the supplied default, higher-is-better. *)
+  relative : relative option;
+      (** vs the supplied default, higher-is-better.  [None] when no
+          default was supplied; [Some Not_applicable] when a default was
+          supplied but the ratio is undefined (zero or non-finite
+          denominator, or a non-finite best value) — rendered as "n/a",
+          never as [inf]/[nan]. *)
   found_at_iteration : int;
   found_at_seconds : float;
   changed : (string * string * string) list;  (** (param, default, chosen). *)
 }
+
+and relative = Ratio of float | Not_applicable
 
 val of_result :
   ?default:float -> algorithm:string -> target:Target.t -> Driver.result -> t

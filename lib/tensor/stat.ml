@@ -28,7 +28,13 @@ let quantile xs q =
   if Array.length xs = 0 then invalid_arg "Stat.quantile: empty input";
   if q < 0. || q > 1. then invalid_arg "Stat.quantile: q outside [0, 1]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  (* Float.compare, not polymorphic compare: the latter is not a total
+     order in the presence of NaN, so a single NaN sample silently
+     corrupts the sort.  Float.compare sorts NaN first; the NaN policy is
+     to propagate — any NaN sample makes the quantile NaN. *)
+  Array.sort Float.compare sorted;
+  if Float.is_nan sorted.(0) then Float.nan
+  else
   let n = Array.length sorted in
   let pos = q *. float_of_int (n - 1) in
   let lo = int_of_float (floor pos) in

@@ -19,7 +19,10 @@ val mad : float array -> float
     @raise Invalid_argument on empty input. *)
 
 val quantile : float array -> float -> float
-(** [quantile xs q] with [q] in [\[0, 1\]], linear interpolation.
+(** [quantile xs q] with [q] in [\[0, 1\]], linear interpolation.  Sorts
+    with [Float.compare] (total with NaN); NaN propagates — if any sample
+    is NaN the result is NaN, never a silently corrupted order statistic
+    (and the same holds for {!median} and {!mad}, which derive from it).
     @raise Invalid_argument on empty input or [q] outside [\[0, 1\]]. *)
 
 val zscore_params : float array -> float * float

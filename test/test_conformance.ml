@@ -112,16 +112,59 @@ let prop_grid_multiset_any_workers =
       let b = C.run ~engine:(`Workers workers) ~seed ~budget "grid" in
       C.config_multiset a.C.result = C.config_multiset b.C.result)
 
+(* The tentpole safety net: an explicit capacity-1 shared cache at
+   workers=1 must be byte-for-byte the sequential oracle — the cache
+   degenerates to the historical single "last built image" baseline. *)
+let prop_cache_capacity1_workers1_equals_sequential =
+  QCheck2.Test.make
+    ~name:"image-cache capacity 1 + workers=1 byte-identical to the sequential driver"
+    ~count:12
+    QCheck2.Gen.(
+      triple (int_range 0 1000)
+        (oneofl [ "random"; "grid"; "bayes"; "unicorn" ])
+        bool)
+    (fun (seed, algo, faulty) ->
+      let fault_rate = if faulty then 0.10 else 0. in
+      let budget = Driver.Iterations 10 in
+      let image_cache = Image_cache.capacity 1 in
+      let a = C.run ~engine:`Sequential ~seed ~budget ~fault_rate ~image_cache algo in
+      let b = C.run ~engine:(`Workers 1) ~seed ~budget ~fault_rate ~image_cache algo in
+      equivalent a b)
+
+(* The cache only decides whether the build phase is charged — never which
+   configurations are evaluated.  Grid's multiset must be invariant across
+   both the worker count and the cache capacity. *)
+let prop_grid_multiset_any_capacity =
+  QCheck2.Test.make
+    ~name:"grid evaluates the same multiset at any cache capacity" ~count:10
+    QCheck2.Gen.(triple (int_range 0 500) (int_range 1 8) (int_range 1 16))
+    (fun (seed, workers, capacity) ->
+      let budget = Driver.Iterations budget_n in
+      let a = C.run ~engine:(`Workers 1) ~seed ~budget "grid" in
+      let b =
+        C.run ~engine:(`Workers workers) ~seed ~budget
+          ~image_cache:(Image_cache.capacity capacity) "grid"
+      in
+      C.config_multiset a.C.result = C.config_multiset b.C.result)
+
 (* ------------------------------------------------------------------ *)
 (* Checkpoint format compatibility                                     *)
 (* ------------------------------------------------------------------ *)
 
 let test_old_version_rejected_typed () =
   (match Checkpoint.of_string "wayfinder-checkpoint 1\nend\n" with
-  | Error (Checkpoint.Unsupported_version { found = 1; expected = 2 }) -> ()
+  | Error (Checkpoint.Unsupported_version { found = 1; expected = 3 }) -> ()
   | Error e ->
     Alcotest.failf "expected Unsupported_version, got: %s" (Checkpoint.error_to_string e)
   | Ok _ -> Alcotest.fail "v1 checkpoint accepted");
+  (* Format 2 (per-slot baselines, no image cache) is likewise rejected
+     typed: its [slot] lines cannot express the shared cache state. *)
+  (match Checkpoint.of_string "wayfinder-checkpoint 2\nend\n" with
+  | Error (Checkpoint.Unsupported_version { found = 2; expected = 3 }) -> ()
+  | Error e ->
+    Alcotest.failf "expected Unsupported_version for v2, got: %s"
+      (Checkpoint.error_to_string e)
+  | Ok _ -> Alcotest.fail "v2 checkpoint accepted");
   match Checkpoint.load ~path:"/nonexistent/wayfinder.ckpt" with
   | Error (Checkpoint.Malformed _) -> ()
   | Error (Checkpoint.Unsupported_version _) ->
@@ -246,7 +289,9 @@ let () =
       ( "equivalence",
         [ QCheck_alcotest.to_alcotest prop_workers1_equals_sequential;
           Alcotest.test_case "deeptune workers=1" `Slow test_deeptune_workers1_equivalence;
-          QCheck_alcotest.to_alcotest prop_grid_multiset_any_workers ] );
+          QCheck_alcotest.to_alcotest prop_grid_multiset_any_workers;
+          QCheck_alcotest.to_alcotest prop_cache_capacity1_workers1_equals_sequential;
+          QCheck_alcotest.to_alcotest prop_grid_multiset_any_capacity ] );
       ( "checkpoint",
         [ Alcotest.test_case "old version rejected (typed)" `Quick
             test_old_version_rejected_typed;

@@ -496,7 +496,9 @@ let test_report_of_result () =
   (match report.Report.best with
    | Some b ->
      Alcotest.(check (float 1e-9)) "best value" 100. b.Report.value;
-     Alcotest.(check (option (float 1e-9))) "relative" (Some 1.25) b.Report.relative;
+     (match b.Report.relative with
+      | Some (Report.Ratio r) -> Alcotest.(check (float 1e-9)) "relative" 1.25 r
+      | Some Report.Not_applicable | None -> Alcotest.fail "expected a relative ratio");
      Alcotest.(check bool) "diff recorded" true (b.Report.changed <> [])
    | None -> Alcotest.fail "expected a best entry");
   let text = Report.to_text report in
@@ -522,9 +524,35 @@ let test_report_minimised_metric () =
   match report.Report.best with
   | Some b ->
     Alcotest.(check (float 1e-9)) "lowest found" 200. b.Report.value;
-    Alcotest.(check (option (float 1e-9))) "relative inverts for minimised" (Some 1.025)
-      b.Report.relative
+    (match b.Report.relative with
+     | Some (Report.Ratio r) ->
+       Alcotest.(check (float 1e-9)) "relative inverts for minimised" 1.025 r
+     | Some Report.Not_applicable | None -> Alcotest.fail "expected a relative ratio")
   | None -> Alcotest.fail "expected best"
+
+let test_report_degenerate_default_is_na () =
+  (* A zero (or non-finite) reference must render as "n/a", never inf/nan
+     from an unguarded division. *)
+  let target = toy_target () in
+  let r =
+    Driver.run ~seed:9 ~target ~algorithm:(Random_search.create ())
+      ~budget:(Driver.Iterations 20) ()
+  in
+  let check_na name default =
+    let report = Report.of_result ~default ~algorithm:"random" ~target r in
+    (match report.Report.best with
+     | Some b ->
+       Alcotest.(check bool) (name ^ " is Not_applicable") true
+         (b.Report.relative = Some Report.Not_applicable)
+     | None -> Alcotest.fail "expected a best entry");
+    let text = Report.to_text report in
+    Alcotest.(check bool) (name ^ " renders n/a") true (contains text "n/a vs the default");
+    Alcotest.(check bool) (name ^ " renders no inf/nan") false
+      (contains text "inf" || contains text "nan")
+  in
+  check_na "zero default" 0.;
+  check_na "nan default" Float.nan;
+  check_na "inf default" Float.infinity
 
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
@@ -603,7 +631,9 @@ let () =
           Alcotest.test_case "handles crashes" `Quick test_bayes_handles_crashes ] );
       ( "report",
         [ Alcotest.test_case "of_result and rendering" `Quick test_report_of_result;
-          Alcotest.test_case "minimised metric" `Quick test_report_minimised_metric ] );
+          Alcotest.test_case "minimised metric" `Quick test_report_minimised_metric;
+          Alcotest.test_case "degenerate default renders n/a" `Quick
+            test_report_degenerate_default_is_na ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_driver_history_indices_sequential; prop_clock_monotone ] ) ]

@@ -204,6 +204,78 @@ let test_retry_recovers_transient () =
   Alcotest.(check (float 1e-9)) "one retry counted" 1.
     (Obs.Metrics.counter r.Driver.metrics "driver.retries")
 
+let test_transient_build_failure_recharges_build () =
+  (* Pinned retry semantics: a failed build leaves no image, so the failed
+     attempt must not populate the cache — the retry rebuilds and the
+     build is legitimately charged again.  (Contrast with
+     [test_retry_recovers_transient], where the failure is post-build and
+     the retry skips the rebuild.) *)
+  let target =
+    Target.make ~name:"flakybuild" ~space:(toy_space ()) ~metric:Metric.throughput
+      (fun ~trial config ->
+        ignore config;
+        if trial < 1_000_000 then
+          { Target.value = Error Failure.Flaky_build; build_s = 10.; boot_s = 0.; run_s = 0. }
+        else { Target.value = Ok 42.; build_s = 10.; boot_s = 1.; run_s = 5. })
+  in
+  let policy =
+    { Resilience.none with Resilience.retries = 1; backoff_base_s = 7. }
+  in
+  let r =
+    Driver.run ~seed:1 ~resilience:policy ~target ~algorithm:(constant_proposal_algo ())
+      ~budget:(Driver.Iterations 1) ()
+  in
+  let e = (History.entries r.Driver.history).(0) in
+  Alcotest.(check (option (float 1e-9))) "recovered value" (Some 42.) e.History.value;
+  (* attempt 0: build 10 (no image produced); backoff 7; attempt 1 must
+     rebuild: 10+1+5. *)
+  Alcotest.(check (float 1e-9)) "build charged on both attempts" 33. e.History.eval_seconds;
+  Alcotest.(check (float 1e-9)) "two builds counted" 2.
+    (Obs.Metrics.counter r.Driver.metrics "driver.builds_charged");
+  Alcotest.(check (float 1e-9)) "no rebuild skip" 0.
+    (Obs.Metrics.counter r.Driver.metrics "driver.rebuild_skips");
+  (* Flaky_build is transient: it must never be negative-cached. *)
+  Alcotest.(check (float 1e-9)) "no negative hit" 0.
+    (Obs.Metrics.counter r.Driver.metrics "driver.image_cache.negative_hits")
+
+let test_nan_measurement_rejected () =
+  (* The explicit NaN policy: a target reporting Ok nan (or inf) is
+     converted to a typed Non_finite_measurement failure instead of
+     poisoning the history and downstream statistics. *)
+  let check_rejected name v =
+    let target = scripted (fun _ -> Ok v) in
+    let r =
+      Driver.run ~seed:1 ~target ~algorithm:(constant_proposal_algo ())
+        ~budget:(Driver.Iterations 1) ()
+    in
+    let e = (History.entries r.Driver.history).(0) in
+    Alcotest.(check bool) (name ^ " rejected typed") true
+      (e.History.value = None
+      && e.History.failure = Some Failure.Non_finite_measurement);
+    Alcotest.(check (float 1e-9)) (name ^ " failure counted") 1.
+      (Obs.Metrics.counter r.Driver.metrics "driver.failures.non-finite-measurement")
+  in
+  check_rejected "nan" Float.nan;
+  check_rejected "inf" Float.infinity
+
+let test_nan_corroborating_sample_rejected () =
+  (* A NaN *corroborating* sample must not corrupt the median vote: the
+     re-measurement is rejected as a failed sample and the honest first
+     measurement stands. *)
+  let target =
+    scripted (fun trial -> if trial = 0 then Ok 100. else Ok Float.nan)
+  in
+  let policy = { Resilience.none with Resilience.measure_repeats = 3 } in
+  let r =
+    Driver.run ~seed:1 ~resilience:policy ~target ~algorithm:(constant_proposal_algo ())
+      ~budget:(Driver.Iterations 1) ()
+  in
+  let e = (History.entries r.Driver.history).(0) in
+  Alcotest.(check (option (float 1e-9))) "first sample stands" (Some 100.) e.History.value;
+  Alcotest.(check bool) "NaN never reaches the history" true (e.History.failure = None);
+  Alcotest.(check (float 1e-9)) "rejected corroborations counted" 2.
+    (Obs.Metrics.counter r.Driver.metrics "driver.remeasure_failures")
+
 let test_retries_exhausted_reports_failure () =
   let target = scripted (fun _ -> Error Failure.Spurious_failure) in
   let policy = { Resilience.none with Resilience.retries = 2; backoff_base_s = 1. } in
@@ -331,7 +403,13 @@ let sample_checkpoint () =
     iterations = 3;
     workers = 2;
     consecutive_invalid = 1;
-    slots_last_built = [ Some [| Param.Vint 7; Param.Vbool false |]; None ];
+    cache_capacity = 2;
+    cache =
+      [ ("0:i7,1:b0", { Image_cache.status = Built; origin = 1 });
+        ( "0:i3,1:b1",
+          { Image_cache.status =
+              Build_failed (Failure.Other "strange build break,\twith tab");
+            origin = 0 } ) ];
     strikes = [ (42, 1); (99, 2) ];
     quarantined = [ 99 ];
     entries =
@@ -486,6 +564,12 @@ let () =
       ( "driver",
         [ Alcotest.test_case "boot timeout caps a hang" `Quick test_boot_timeout_caps_hang;
           Alcotest.test_case "retry recovers a transient" `Quick test_retry_recovers_transient;
+          Alcotest.test_case "transient build failure recharges the build" `Quick
+            test_transient_build_failure_recharges_build;
+          Alcotest.test_case "non-finite measurement rejected typed" `Quick
+            test_nan_measurement_rejected;
+          Alcotest.test_case "NaN corroborating sample rejected" `Quick
+            test_nan_corroborating_sample_rejected;
           Alcotest.test_case "exhausted retries report failure" `Quick
             test_retries_exhausted_reports_failure;
           Alcotest.test_case "outlier rejected by median" `Quick test_outlier_rejected_by_median;

@@ -249,6 +249,19 @@ let test_stat_quantile_interp () =
   check_float "q1" 4. (Stat.quantile xs 1.);
   check_float "q1/3" 2. (Stat.quantile xs (1. /. 3.))
 
+let test_stat_quantile_nan_policy () =
+  (* Polymorphic compare is not a total order with NaN and used to corrupt
+     the sort silently; the pinned policy is that any NaN sample makes the
+     quantile (and median/mad) NaN — never a wrong-but-finite statistic. *)
+  let with_nan = [| 3.; Float.nan; 1.; 2. |] in
+  Alcotest.(check bool) "quantile propagates NaN" true
+    (Float.is_nan (Stat.quantile with_nan 0.5));
+  Alcotest.(check bool) "median propagates NaN" true
+    (Float.is_nan (Stat.median with_nan));
+  Alcotest.(check bool) "mad propagates NaN" true (Float.is_nan (Stat.mad with_nan));
+  (* NaN-free inputs are untouched by the total-order sort. *)
+  check_float "clean input unchanged" 2.5 (Stat.median [| 3.; 1.; 2.; 4. |])
+
 let test_stat_min_max_norm () =
   check_float "lo" 0. (Stat.min_max_norm ~lo:10. ~hi:20. 10.);
   check_float "hi" 1. (Stat.min_max_norm ~lo:10. ~hi:20. 20.);
@@ -436,6 +449,7 @@ let () =
       ( "stat",
         [ Alcotest.test_case "basics" `Quick test_stat_basics;
           Alcotest.test_case "quantile interpolation" `Quick test_stat_quantile_interp;
+          Alcotest.test_case "quantile NaN policy" `Quick test_stat_quantile_nan_policy;
           Alcotest.test_case "min-max norm" `Quick test_stat_min_max_norm;
           Alcotest.test_case "moving average" `Quick test_stat_moving_average;
           Alcotest.test_case "pearson" `Quick test_stat_pearson;
