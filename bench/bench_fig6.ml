@@ -8,6 +8,7 @@
 module S = Wayfinder_simos
 module P = Wayfinder_platform
 module D = Wayfinder_deeptune
+module A = Wayfinder_analytics
 module Param = Wayfinder_configspace.Param
 
 let iterations = 250
@@ -15,6 +16,7 @@ let runs = ref 3
 
 type app_result = {
   app : S.App.t;
+  space : Wayfinder_configspace.Space.t;
   default_v : float;
   random_runs : P.Driver.result list;
   deeptune_runs : P.Driver.result list;
@@ -78,6 +80,7 @@ let compute () =
           (seeds ())
       in
       { app;
+        space;
         default_v = S.Sim_linux.default_value sim ~app ();
         random_runs;
         deeptune_runs;
@@ -94,8 +97,12 @@ let results () =
     cache := Some r;
     r
 
-let perf_series run = Bench_common.smooth 10 (P.History.values_series run.P.Driver.history)
-let crash_series run = Bench_common.smooth 15 (P.History.crash_indicator run.P.Driver.history)
+(* Plotting series via the shared analytics layer: same math as
+   [wayfinder analyze --series] and the ledger path. *)
+let series_of ~space run = A.Series.of_history ~space run.P.Driver.history
+let perf_series ~space run = Bench_common.smooth 10 (A.Series.values (series_of ~space run))
+let crash_series ~space run =
+  Bench_common.smooth 15 (A.Series.crash_indicator (series_of ~space run))
 
 let run () =
   Bench_common.section
@@ -108,6 +115,8 @@ let run () =
         (Printf.sprintf "%s (default %.0f %s)" (S.App.name r.app) r.default_v
            (S.App.metric r.app).S.App.unit_name);
       let avg f runs = Bench_common.average_series (List.map f runs) in
+      let perf_series = perf_series ~space:r.space in
+      let crash_series = crash_series ~space:r.space in
       let columns =
         [ ("random", avg perf_series r.random_runs);
           ("wayfinder", avg perf_series r.deeptune_runs);

@@ -9,6 +9,7 @@
 module S = Wayfinder_simos
 module P = Wayfinder_platform
 module D = Wayfinder_deeptune
+module A = Wayfinder_analytics
 module Space = Wayfinder_configspace.Space
 
 let budget_s = 3. *. 3600.
@@ -31,18 +32,9 @@ let run () =
             P.Driver.run ~seed ~target ~algorithm:(algo_of seed)
               ~budget:(P.Driver.Virtual_seconds budget_s) ()
           in
-          let entries = Array.to_list (P.History.entries r.P.Driver.history) in
-          let best = ref nan in
-          let points =
-            List.map
-              (fun e ->
-                (match e.P.History.value with
-                | Some v -> if Float.is_nan !best || v > !best then best := v
-                | None -> ());
-                (e.P.History.at_seconds, !best))
-              entries
-          in
-          Bench_common.time_series ~bucket_s:300. ~horizon_s:budget_s points (fun p -> p))
+          A.Series.best_over_time
+            (A.Series.of_history ~space r.P.Driver.history)
+            ~bucket_s:300. ~horizon_s:budget_s)
         seeds
     in
     Bench_common.average_series runs

@@ -12,24 +12,14 @@
 module S = Wayfinder_simos
 module P = Wayfinder_platform
 module D = Wayfinder_deeptune
+module A = Wayfinder_analytics
 module Obs = Wayfinder_obs
 
 let iterations = ref 120
 let worker_counts = [ 1; 2; 4; 8 ]
 
-let samples_to_best (r : P.Driver.result) =
-  match P.History.best_value r.P.Driver.history with
-  | None -> None
-  | Some best ->
-    let entries = P.History.entries r.P.Driver.history in
-    let rec scan i =
-      if i >= Array.length entries then None
-      else
-        match entries.(i).P.History.value with
-        | Some v when v = best -> Some (i + 1)
-        | _ -> scan (i + 1)
-    in
-    scan 0
+let samples_to_best ~space (r : P.Driver.result) =
+  A.Series.samples_to_best (A.Series.of_history ~space r.P.Driver.history)
 
 let run () =
   Bench_common.section
@@ -60,7 +50,7 @@ let run () =
           in
           Printf.printf "  %-8d %11.1fh %8.2fx %10.2f %16s %12.0f\n" workers
             (makespan /. 3600.) (!base /. makespan) busy
-            (match samples_to_best r with Some n -> string_of_int n | None -> "-")
+            (match samples_to_best ~space r with Some n -> string_of_int n | None -> "-")
             (Option.value ~default:nan (P.History.best_value r.P.Driver.history));
           (workers, makespan))
         worker_counts

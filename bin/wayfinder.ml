@@ -4,13 +4,15 @@
      run     — run a specialization job (from a YAML job file or flags)
      probe   — infer the runtime configuration space (§3.4)
      space   — describe a target's configuration space
-     impacts — run a search and report the learned high-impact parameters *)
+     analyze — convergence/calibration report from a run ledger
+     compare — align several ledgers' best-so-far curves per budget *)
 
 module S = Wayfinder_simos
 module P = Wayfinder_platform
 module D = Wayfinder_deeptune
 module CS = Wayfinder_configspace
 module K = Wayfinder_kconfig
+module A = Wayfinder_analytics
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -100,9 +102,9 @@ let policy_of_flags ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeou
   | None -> p
 
 let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s ~seed ~favor
-    ~csv_path ~trace_path ~timings ~quiet ~checkpoint ~checkpoint_every ~resume ~fault_rate
-    ~workers ~batch ~image_cache ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeout
-    ~measure_repeats ~quarantine_after =
+    ~csv_path ~trace_path ~ledger_path ~progress_every ~timings ~quiet ~checkpoint
+    ~checkpoint_every ~resume ~fault_rate ~workers ~batch ~image_cache ~resilient ~retries
+    ~build_timeout ~boot_timeout ~run_timeout ~measure_repeats ~quarantine_after =
   ignore metric_hint;
   let job =
     match job_file with
@@ -223,6 +225,49 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
               (Option.map (fun oc -> [ Wayfinder_obs.Sink.jsonl_channel oc ]) trace_channel)
             ()
         in
+        match
+          match progress_every with
+          | Some n when n <= 0 -> Error "--progress must be positive"
+          | _ -> (
+            try
+              Ok
+                (Option.map
+                   (fun path ->
+                     A.Ledger.create_writer ~seed ~algo:algorithm
+                       ~space:target.P.Target.space ~metric:target.P.Target.metric path)
+                   ledger_path)
+            with Sys_error msg -> Error ("ledger file: " ^ msg))
+        with
+        | Error e ->
+          (match trace_channel with Some oc -> close_out oc | None -> ());
+          Error e
+        | Ok ledger_writer ->
+        (* The --ledger and --progress paths share one driver hook: the
+           ledger records the (entry, belief) pair, the progress line is
+           recomputed from the identical analytics series code — no
+           duplicated math. *)
+        let live = P.History.create target.P.Target.metric in
+        let on_record =
+          if ledger_writer = None && progress_every = None then None
+          else
+            Some
+              (fun entry belief ->
+                (match ledger_writer with
+                | Some w -> A.Ledger.record w entry belief
+                | None -> ());
+                P.History.add live entry;
+                match progress_every with
+                | Some n when P.History.size live mod n = 0 ->
+                  let series = A.Series.of_history ~space:target.P.Target.space live in
+                  let snap =
+                    A.Progress.of_series
+                      ~metrics:(Wayfinder_obs.Recorder.snapshot obs)
+                      ~workers series
+                  in
+                  Printf.eprintf "%s\n%!"
+                    (A.Progress.to_line ~metric:target.P.Target.metric snap)
+                | Some _ | None -> ())
+        in
         let resilience =
           policy_of_flags ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeout
             ~measure_repeats ~quarantine_after
@@ -233,19 +278,25 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
             (Option.get checkpoint) ck.P.Checkpoint.iterations ck.P.Checkpoint.clock_seconds
         | None -> ());
         match
-          P.Driver.run ~seed ~on_iteration:progress ~obs ~resilience
+          P.Driver.run ~seed ~on_iteration:progress ?on_record ~obs ~resilience
             ?checkpoint_path:checkpoint ~checkpoint_every ?resume_from ~workers ?batch
             ?image_cache:(Option.map P.Image_cache.capacity image_cache) ~target
             ~algorithm:algo ~budget ()
         with
         | exception Invalid_argument msg ->
           (match trace_channel with Some oc -> close_out oc | None -> ());
+          (match ledger_writer with Some w -> A.Ledger.close_writer w | None -> ());
           Error msg
         | result ->
         (match trace_channel with
         | Some oc ->
           close_out oc;
           Printf.printf "\ntrace written to %s\n" (Option.get trace_path)
+        | None -> ());
+        (match ledger_writer with
+        | Some w ->
+          A.Ledger.close_writer w;
+          Printf.printf "\nledger written to %s\n" (Option.get ledger_path)
         | None -> ());
         print_newline ();
         print_string
@@ -344,6 +395,99 @@ let run_space ~os =
     Ok ()
 
 (* ------------------------------------------------------------------ *)
+(* analyze / compare                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let default_label path = Filename.remove_extension (Filename.basename path)
+
+(* One loader for both subcommands: a ledger (self-describing) or, with
+   --from-csv, a History.to_csv export plus the metric described by the
+   --metric/--unit/--minimize flags. *)
+let load_series ~from_csv ~metric path =
+  if from_csv then
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error msg -> Error msg
+    | contents -> (
+      match A.Series.of_csv ~metric contents with
+      | Ok s -> Ok (s, None)
+      | Error e -> Error e)
+  else
+    match A.Ledger.load path with
+    | Ok ledger -> Ok (A.Series.of_ledger ledger, Some ledger.A.Ledger.meta.A.Ledger.algo)
+    | Error e -> Error (A.Ledger.error_to_string e)
+
+let run_analyze ~path ~from_csv ~json ~series_out ~epsilon ~metric_name ~unit_name ~minimize =
+  let metric = P.Metric.make ~maximize:(not minimize) ~name:metric_name ~unit_name () in
+  match load_series ~from_csv ~metric path with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok (series, algo) ->
+    let report = A.Analyze.of_series ~label:(default_label path) ?algo ~epsilon series in
+    if json then print_endline (A.Json.to_string (A.Analyze.to_json report))
+    else print_string (A.Analyze.to_text report);
+    (match series_out with
+    | None -> Ok ()
+    | Some out -> (
+      match
+        Out_channel.with_open_text out (fun oc ->
+            Out_channel.output_string oc (A.Analyze.series_csv series))
+      with
+      | () ->
+        if not json then Printf.printf "series written to %s\n" out;
+        Ok ()
+      | exception Sys_error msg -> Error ("series file: " ^ msg)))
+
+let run_compare ~paths ~json ~budgets =
+  if List.length paths < 2 then Error "compare needs at least two ledgers"
+  else begin
+    let runs =
+      List.fold_left
+        (fun acc path ->
+          match acc with
+          | Error _ as e -> e
+          | Ok acc -> (
+            match A.Ledger.load path with
+            | Error e -> Error (Printf.sprintf "%s: %s" path (A.Ledger.error_to_string e))
+            | Ok ledger -> Ok ((path, ledger) :: acc)))
+        (Ok []) paths
+    in
+    match runs with
+    | Error e -> Error e
+    | Ok runs ->
+      let runs = List.rev runs in
+      (* Labels: basename, disambiguated with the ledger's algorithm name
+         (then a counter) when several files share one. *)
+      let labelled =
+        let seen = Hashtbl.create 8 in
+        List.map
+          (fun (path, (ledger : A.Ledger.t)) ->
+            let base = default_label path in
+            let label =
+              if not (Hashtbl.mem seen base) then base
+              else
+                let with_algo =
+                  Printf.sprintf "%s[%s]" base ledger.A.Ledger.meta.A.Ledger.algo
+                in
+                if not (Hashtbl.mem seen with_algo) then with_algo
+                else
+                  let rec fresh i =
+                    let candidate = Printf.sprintf "%s#%d" with_algo i in
+                    if Hashtbl.mem seen candidate then fresh (i + 1) else candidate
+                  in
+                  fresh 2
+            in
+            Hashtbl.replace seen label ();
+            (label, A.Series.of_ledger ledger))
+          runs
+      in
+      (match A.Compare.make ?budgets labelled with
+      | Error e -> Error e
+      | Ok table ->
+        if json then print_endline (A.Json.to_string (A.Compare.to_json table))
+        else print_string (A.Compare.to_text table);
+        Ok ())
+  end
+
+(* ------------------------------------------------------------------ *)
 (* kconfig                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -403,6 +547,21 @@ let run_cmd =
     Arg.(
       value & opt (some string) None
       & info [ "trace" ] ~docv:"FILE" ~doc:"Write the JSONL observability trace.")
+  in
+  let ledger =
+    Arg.(
+      value & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:"Write the run ledger to $(docv): a versioned JSONL record of every iteration \
+                (config, outcome, virtual timings, and the searcher's pre-evaluation beliefs) \
+                that $(b,wayfinder analyze) and $(b,wayfinder compare) read.")
+  in
+  let progress =
+    Arg.(
+      value & opt (some int) None
+      & info [ "progress" ] ~docv:"N"
+          ~doc:"Print a one-line analytics snapshot (best, regret slope, crash rate, cache hit \
+                rate, worker busyness) to stderr every $(docv) iterations.")
   in
   let timings =
     Arg.(value & flag & info [ "timings" ] ~doc:"Print the per-phase metrics summary.")
@@ -495,19 +654,23 @@ let run_cmd =
       & info [ "quarantine-after" ] ~docv:"N"
           ~doc:"Quarantine a configuration after $(docv) exhausted-retry episodes (0 = off).")
   in
-  let f job_file os app algorithm iterations budget_s seed favor csv trace timings quiet
+  let f job_file os app algorithm iterations budget_s seed favor csv
+      (trace, ledger, progress, timings, quiet)
       (checkpoint, checkpoint_every, resume, fault_rate, workers, batch, image_cache)
       (resilient, retries, build_timeout, boot_timeout, run_timeout, measure_repeats,
        quarantine_after) =
     handle
       (run_search ~job_file ~os ~app ~metric_hint:() ~algorithm ~iterations ~budget_s ~seed
-         ~favor ~csv_path:csv ~trace_path:trace ~timings ~quiet ~checkpoint ~checkpoint_every
-         ~resume ~fault_rate ~workers ~batch ~image_cache ~resilient ~retries ~build_timeout
-         ~boot_timeout ~run_timeout ~measure_repeats ~quarantine_after)
+         ~favor ~csv_path:csv ~trace_path:trace ~ledger_path:ledger ~progress_every:progress
+         ~timings ~quiet ~checkpoint ~checkpoint_every ~resume ~fault_rate ~workers ~batch
+         ~image_cache ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeout
+         ~measure_repeats ~quarantine_after)
   in
   (* Cmdliner terms are applicative; tuple up the flag groups to keep the
      application chain readable. *)
+  let tuple5 a b c d e = (a, b, c, d, e) in
   let tuple7 a b c d e f g = (a, b, c, d, e, f, g) in
+  let output_group = Term.(const tuple5 $ trace $ ledger $ progress $ timings $ quiet) in
   let checkpoint_group =
     Term.(
       const tuple7 $ checkpoint $ checkpoint_every $ resume $ fault_rate $ workers $ batch
@@ -521,7 +684,7 @@ let run_cmd =
   let term =
     Term.(
       const f $ job_file $ os $ app_arg $ algorithm $ iterations $ budget_s $ seed $ favor $ csv
-      $ trace $ timings $ quiet $ checkpoint_group $ resilience_group)
+      $ output_group $ checkpoint_group $ resilience_group)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a specialization job") term
 
@@ -543,7 +706,90 @@ let kconfig_cmd =
     (Cmd.info "kconfig" ~doc:"Census of a synthetic kernel Kconfig tree")
     Term.(const (fun version -> handle (run_kconfig ~version)) $ version)
 
+let analyze_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"LEDGER" ~doc:"Run ledger (from $(b,run --ledger)) to analyze.")
+  in
+  let from_csv =
+    Arg.(
+      value & flag
+      & info [ "from-csv" ]
+          ~doc:"Treat $(i,LEDGER) as a history CSV (from $(b,run --csv)) instead; convergence \
+                and failure-rate diagnostics only (CSV carries no configs or beliefs).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let series =
+    Arg.(
+      value & opt (some string) None
+      & info [ "series" ] ~docv:"FILE"
+          ~doc:"Also write the per-iteration derived series (best-so-far, simple regret, \
+                windowed failure rates) as CSV to $(docv).")
+  in
+  let epsilon =
+    Arg.(
+      value & opt float A.Analyze.default_epsilon
+      & info [ "epsilon" ] ~docv:"E"
+          ~doc:"Relative threshold for the samples/virtual-time-to-within-$(docv)-of-best \
+                diagnostics.")
+  in
+  let metric_name =
+    Arg.(
+      value & opt string "throughput"
+      & info [ "metric" ] ~docv:"NAME" ~doc:"Metric name ($(b,--from-csv) only).")
+  in
+  let unit_name =
+    Arg.(
+      value & opt string "req/s"
+      & info [ "unit" ] ~docv:"UNIT" ~doc:"Metric unit ($(b,--from-csv) only).")
+  in
+  let minimize =
+    Arg.(
+      value & flag
+      & info [ "minimize" ] ~doc:"The metric is minimized ($(b,--from-csv) only).")
+  in
+  let f path from_csv json series epsilon metric_name unit_name minimize =
+    handle
+      (run_analyze ~path ~from_csv ~json ~series_out:series ~epsilon ~metric_name ~unit_name
+         ~minimize)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Convergence, coverage and model-calibration diagnostics from a run ledger: \
+          best-so-far and simple-regret series, samples-to-within-epsilon, windowed failure \
+          rates, space coverage, Brier score and reliability bins for crash predictions, \
+          prediction MAE and uncertainty-error rank correlation.")
+    Term.(
+      const f $ path $ from_csv $ json $ series $ epsilon $ metric_name $ unit_name $ minimize)
+
+let compare_cmd =
+  let paths =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"LEDGER" ~doc:"Run ledgers to compare (two or more).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the table as JSON.") in
+  let budgets =
+    Arg.(
+      value & opt (some (list int)) None
+      & info [ "budgets" ] ~docv:"N,N,..."
+          ~doc:"Sample budgets to align on (default: 5, 10, 25, ... clipped to the shortest \
+                run).")
+  in
+  let f paths json budgets = handle (run_compare ~paths ~json ~budgets) in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Align several runs' best-so-far curves on shared sample budgets and report the \
+          winner per budget.")
+    Term.(const f $ paths $ json $ budgets)
+
 let () =
   let doc = "automated operating system specialization (EuroSys'26 reproduction)" in
   let info = Cmd.info "wayfinder" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; probe_cmd; space_cmd; kconfig_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ run_cmd; probe_cmd; space_cmd; kconfig_cmd; analyze_cmd; compare_cmd ]))

@@ -1,0 +1,197 @@
+module Metric = Wayfinder_platform.Metric
+module Obs = Wayfinder_obs
+
+let default_epsilon = 0.01
+let default_window = 25
+
+type report = {
+  label : string;
+  algo : string option;
+  metric : Metric.t;
+  iterations : int;
+  best : (int * float) option;
+  final_regret : float;  (** Always 0 when any success exists; NaN otherwise. *)
+  epsilon : float;
+  samples_to_within : int option;
+  virtual_seconds_to_within : float option;
+  samples_to_best : int option;
+  total_virtual_seconds : float;
+  crash_rate : float;
+  transient_rate : float;
+  failure_counts : (string * int) list;
+  coverage : Series.coverage;
+  calibration : Calibration.t;
+}
+
+let of_series ?(label = "run") ?algo ?(epsilon = default_epsilon) (s : Series.t) =
+  let regret = Series.simple_regret s in
+  let n = Array.length regret in
+  { label;
+    algo;
+    metric = s.Series.metric;
+    iterations = Series.length s;
+    best = Series.best s;
+    final_regret = (if n = 0 then nan else regret.(n - 1));
+    epsilon;
+    samples_to_within = Series.samples_to_within s ~epsilon;
+    virtual_seconds_to_within = Series.virtual_seconds_to_within s ~epsilon;
+    samples_to_best = Series.samples_to_best s;
+    total_virtual_seconds = Series.last_at_seconds s;
+    crash_rate = Series.crash_rate s;
+    transient_rate = Series.transient_rate s;
+    failure_counts = Series.failure_counts s;
+    coverage = Series.coverage s;
+    calibration = Calibration.of_series s }
+
+(* ------------------------------------------------------------------ *)
+(* Text rendering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pct v = Printf.sprintf "%.1f%%" (100. *. v)
+
+let opt_f fmt = function Some v -> fmt v | None -> "-"
+let opt_int = opt_f string_of_int
+
+let to_text r =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "run: %s%s" r.label (match r.algo with Some a -> Printf.sprintf " (%s)" a | None -> "");
+  line "metric: %s [%s, %s]" r.metric.Metric.metric_name r.metric.Metric.unit_name
+    (if r.metric.Metric.maximize then "maximize" else "minimize");
+  line "iterations: %d (virtual %s)" r.iterations (Obs.Summary.si r.total_virtual_seconds);
+  (match r.best with
+  | Some (i, v) -> line "best: %.3f %s at iteration %d" v r.metric.Metric.unit_name i
+  | None -> line "best: - (no successful evaluation)");
+  line "samples to within %.1f%% of best: %s (virtual %s)" (100. *. r.epsilon)
+    (opt_int r.samples_to_within)
+    (opt_f Obs.Summary.si r.virtual_seconds_to_within);
+  line "samples to best: %s" (opt_int r.samples_to_best);
+  line "crash rate: %s   transient rate: %s" (pct r.crash_rate) (pct r.transient_rate);
+  if r.failure_counts <> [] then
+    line "failures: %s"
+      (String.concat ", "
+         (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) r.failure_counts));
+  let c = r.coverage in
+  line "coverage: %d evaluated, %d distinct configs, %d distinct images (stage keys)"
+    c.Series.evaluated c.Series.distinct_configs c.Series.distinct_stage_keys;
+  Array.iter
+    (fun (name, counts) ->
+      if counts <> [] then
+        line "  %-24s %s" name
+          (String.concat " "
+             (List.map (fun (tok, n) -> Printf.sprintf "%s:%d" tok n) counts)))
+    c.Series.marginals;
+  let cal = r.calibration in
+  line "calibration:";
+  line "  crash pairs: %d   Brier: %s" cal.Calibration.crash_pairs
+    (opt_f (Printf.sprintf "%.4f") cal.Calibration.brier);
+  if cal.Calibration.reliability <> [||] then begin
+    line "  reliability (predicted -> observed):";
+    Array.iter
+      (fun (b : Calibration.reliability_bin) ->
+        if b.Calibration.count > 0 then
+          line "    [%.1f,%.1f) n=%-4d predicted %.3f observed %.3f" b.Calibration.lo
+            b.Calibration.hi b.Calibration.count b.Calibration.mean_predicted
+            b.Calibration.observed_rate)
+      cal.Calibration.reliability
+  end;
+  line "  value pairs: %d   MAE: %s" cal.Calibration.value_pairs
+    (opt_f (Printf.sprintf "%.4f") cal.Calibration.mae);
+  line "  uncertainty pairs: %d   Spearman(sigma, |err|): %s"
+    cal.Calibration.uncertainty_pairs
+    (opt_f (Printf.sprintf "%.4f") cal.Calibration.uncertainty_spearman);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let opt_num = function Some v -> Json.Num v | None -> Json.Null
+let opt_num_i = function Some v -> Json.Num (float_of_int v) | None -> Json.Null
+
+let to_json r =
+  let cal = r.calibration in
+  Json.Obj
+    [ ("label", Json.Str r.label);
+      ("algo", (match r.algo with Some a -> Json.Str a | None -> Json.Null));
+      ( "metric",
+        Json.Obj
+          [ ("name", Json.Str r.metric.Metric.metric_name);
+            ("unit", Json.Str r.metric.Metric.unit_name);
+            ("maximize", Json.Bool r.metric.Metric.maximize) ] );
+      ("iterations", Json.Num (float_of_int r.iterations));
+      ( "best",
+        match r.best with
+        | Some (i, v) ->
+          Json.Obj [ ("iteration", Json.Num (float_of_int i)); ("value", Json.Num v) ]
+        | None -> Json.Null );
+      ("final_regret", Json.Num r.final_regret);
+      ("epsilon", Json.Num r.epsilon);
+      ("samples_to_within", opt_num_i r.samples_to_within);
+      ("virtual_seconds_to_within", opt_num r.virtual_seconds_to_within);
+      ("samples_to_best", opt_num_i r.samples_to_best);
+      ("total_virtual_seconds", Json.Num r.total_virtual_seconds);
+      ("crash_rate", Json.Num r.crash_rate);
+      ("transient_rate", Json.Num r.transient_rate);
+      ( "failure_counts",
+        Json.Obj (List.map (fun (k, n) -> (k, Json.Num (float_of_int n))) r.failure_counts) );
+      ( "coverage",
+        Json.Obj
+          [ ("evaluated", Json.Num (float_of_int r.coverage.Series.evaluated));
+            ("distinct_configs", Json.Num (float_of_int r.coverage.Series.distinct_configs));
+            ( "distinct_stage_keys",
+              Json.Num (float_of_int r.coverage.Series.distinct_stage_keys) );
+            ( "marginals",
+              Json.Obj
+                (Array.to_list
+                   (Array.map
+                      (fun (name, counts) ->
+                        ( name,
+                          Json.Obj
+                            (List.map (fun (tok, n) -> (tok, Json.Num (float_of_int n))) counts)
+                        ))
+                      r.coverage.Series.marginals)) ) ] );
+      ( "calibration",
+        Json.Obj
+          [ ("crash_pairs", Json.Num (float_of_int cal.Calibration.crash_pairs));
+            ("brier", opt_num cal.Calibration.brier);
+            ( "reliability",
+              Json.List
+                (Array.to_list
+                   (Array.map
+                      (fun (b : Calibration.reliability_bin) ->
+                        Json.Obj
+                          [ ("lo", Json.Num b.Calibration.lo);
+                            ("hi", Json.Num b.Calibration.hi);
+                            ("count", Json.Num (float_of_int b.Calibration.count));
+                            ("mean_predicted", Json.Num b.Calibration.mean_predicted);
+                            ("observed_rate", Json.Num b.Calibration.observed_rate) ])
+                      cal.Calibration.reliability)) );
+            ("value_pairs", Json.Num (float_of_int cal.Calibration.value_pairs));
+            ("mae", opt_num cal.Calibration.mae);
+            ("uncertainty_pairs", Json.Num (float_of_int cal.Calibration.uncertainty_pairs));
+            ("uncertainty_spearman", opt_num cal.Calibration.uncertainty_spearman) ] ) ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-iteration series CSV                                            *)
+(* ------------------------------------------------------------------ *)
+
+let series_csv ?(window = default_window) (s : Series.t) =
+  let bsf = Series.best_so_far s in
+  let regret = Series.simple_regret s in
+  let crash_w = Series.windowed_crash_rate s ~window in
+  let transient_w = Series.windowed_transient_rate s ~window in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "iteration,value,best_so_far,simple_regret,crash_rate_w%d,transient_rate_w%d,at_s\n"
+       window window);
+  let num v = Json.number_to_string v in
+  Array.iteri
+    (fun i (r : Series.row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%s,%s,%s,%s,%s\n" r.Series.index
+           (match r.Series.value with Some v -> num v | None -> "")
+           (num bsf.(i)) (num regret.(i)) (num crash_w.(i)) (num transient_w.(i))
+           (num r.Series.at_seconds)))
+    s.Series.rows;
+  Buffer.contents buf

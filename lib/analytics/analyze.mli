@@ -1,0 +1,42 @@
+(** The [wayfinder analyze] report: every diagnostic the analytics layer
+    derives from one run, in one record, renderable as text or JSON. *)
+
+module Metric = Wayfinder_platform.Metric
+
+val default_epsilon : float
+(** 0.01 — "within 1% of the run's best". *)
+
+val default_window : int
+(** 25 — trailing window for the windowed failure-rate series. *)
+
+type report = {
+  label : string;
+  algo : string option;
+  metric : Metric.t;
+  iterations : int;
+  best : (int * float) option;
+  final_regret : float;
+  epsilon : float;
+  samples_to_within : int option;
+  virtual_seconds_to_within : float option;
+  samples_to_best : int option;
+  total_virtual_seconds : float;
+  crash_rate : float;
+  transient_rate : float;
+  failure_counts : (string * int) list;
+  coverage : Series.coverage;
+  calibration : Calibration.t;
+}
+
+val of_series : ?label:string -> ?algo:string -> ?epsilon:float -> Series.t -> report
+
+val to_text : report -> string
+(** Human-readable multi-line report; marginals and failure counts are
+    rendered sorted, so output is deterministic. *)
+
+val to_json : report -> Json.t
+
+val series_csv : ?window:int -> Series.t -> string
+(** Per-iteration derived series —
+    [iteration,value,best_so_far,simple_regret,crash_rate_wN,transient_rate_wN,at_s]
+    — with floats in the exact-round-trip codec of {!Json}. *)

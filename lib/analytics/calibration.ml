@@ -1,0 +1,142 @@
+module Metric = Wayfinder_platform.Metric
+module Failure = Wayfinder_platform.Failure
+module Search_algorithm = Wayfinder_platform.Search_algorithm
+module Stat = Wayfinder_tensor.Stat
+
+type reliability_bin = {
+  lo : float;
+  hi : float;
+  count : int;
+  mean_predicted : float;
+  observed_rate : float;
+}
+
+type t = {
+  crash_pairs : int;
+  brier : float option;
+  reliability : reliability_bin array;
+  value_pairs : int;
+  mae : float option;
+  uncertainty_pairs : int;
+  uncertainty_spearman : float option;
+}
+
+let default_bins = 10
+
+(* ------------------------------------------------------------------ *)
+(* Pair extraction                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Crash-calibration pairs (k̂, crashed?).  The label must be knowable
+   and config-caused:
+   - a successful evaluation is a clean 0;
+   - a deterministic failure is a clean 1 — except Invalid_configuration
+     and Quarantined, which were never evaluated (the testbed refused or
+     gave up, so the prediction was never tested);
+   - transient faults and timeouts are the testbed's doing: the
+     configuration's true label is unknowable and the pair is dropped. *)
+let crash_pairs (s : Series.t) =
+  Array.to_list s.Series.rows
+  |> List.filter_map (fun (r : Series.row) ->
+         match r.Series.belief with
+         | Some { Search_algorithm.crash_probability = Some p; _ } -> (
+           match r.Series.failure with
+           | None -> Some (p, false)
+           | Some (Failure.Invalid_configuration | Failure.Quarantined) -> None
+           | Some f when Failure.counts_as_crash f -> Some (p, true)
+           | Some _ -> None)
+         | Some _ | None -> None)
+
+(* Value-prediction pairs (ŷ, score(y)) over successful evaluations.
+   Beliefs state predicted values in metric-score units (DeepTune's
+   de-normalised head, the GP's target space), so realized values are
+   scored before comparison. *)
+let value_pairs (s : Series.t) =
+  Array.to_list s.Series.rows
+  |> List.filter_map (fun (r : Series.row) ->
+         match (r.Series.belief, r.Series.value) with
+         | Some { Search_algorithm.predicted_value = Some p; _ }, Some v ->
+           Some (p, Metric.score s.Series.metric v)
+         | _ -> None)
+
+(* Uncertainty pairs (σ̂, |ŷ − score(y)|): does stated uncertainty rank
+   realized error? *)
+let uncertainty_pairs (s : Series.t) =
+  Array.to_list s.Series.rows
+  |> List.filter_map (fun (r : Series.row) ->
+         match (r.Series.belief, r.Series.value) with
+         | ( Some
+               { Search_algorithm.predicted_value = Some p;
+                 predicted_uncertainty = Some u;
+                 _ },
+             Some v ) ->
+           Some (u, Float.abs (p -. Metric.score s.Series.metric v))
+         | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Scores                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let brier pairs =
+  match pairs with
+  | [] -> None
+  | _ ->
+    let n = float_of_int (List.length pairs) in
+    Some
+      (List.fold_left
+         (fun acc (p, label) ->
+           let y = if label then 1. else 0. in
+           acc +. ((p -. y) ** 2.))
+         0. pairs
+      /. n)
+
+let reliability ?(bins = default_bins) pairs =
+  if bins <= 0 then invalid_arg "Calibration.reliability: bins must be positive";
+  let width = 1. /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  let pred_sum = Array.make bins 0. in
+  let crash_sum = Array.make bins 0 in
+  List.iter
+    (fun (p, label) ->
+      (* Clamp: p = 1.0 (and any out-of-range prediction) lands in an
+         edge bin instead of out of bounds. *)
+      let b = max 0 (min (bins - 1) (int_of_float (p /. width))) in
+      counts.(b) <- counts.(b) + 1;
+      pred_sum.(b) <- pred_sum.(b) +. p;
+      if label then crash_sum.(b) <- crash_sum.(b) + 1)
+    pairs;
+  Array.init bins (fun b ->
+      { lo = float_of_int b *. width;
+        hi = float_of_int (b + 1) *. width;
+        count = counts.(b);
+        mean_predicted = (if counts.(b) = 0 then nan else pred_sum.(b) /. float_of_int counts.(b));
+        observed_rate =
+          (if counts.(b) = 0 then nan
+           else float_of_int crash_sum.(b) /. float_of_int counts.(b)) })
+
+let mae pairs =
+  match pairs with
+  | [] -> None
+  | _ ->
+    let n = float_of_int (List.length pairs) in
+    Some (List.fold_left (fun acc (p, y) -> acc +. Float.abs (p -. y)) 0. pairs /. n)
+
+let uncertainty_spearman pairs =
+  match pairs with
+  | [] | [ _ ] -> None (* rank correlation needs at least two points *)
+  | _ ->
+    let us = Array.of_list (List.map fst pairs) in
+    let errs = Array.of_list (List.map snd pairs) in
+    Some (Stat.spearman us errs)
+
+let of_series ?(bins = default_bins) s =
+  let cp = crash_pairs s in
+  let vp = value_pairs s in
+  let up = uncertainty_pairs s in
+  { crash_pairs = List.length cp;
+    brier = brier cp;
+    reliability = (match cp with [] -> [||] | _ -> reliability ~bins cp);
+    value_pairs = List.length vp;
+    mae = mae vp;
+    uncertainty_pairs = List.length up;
+    uncertainty_spearman = uncertainty_spearman up }

@@ -1,0 +1,277 @@
+module Param = Wayfinder_configspace.Param
+module Space = Wayfinder_configspace.Space
+module History = Wayfinder_platform.History
+module Metric = Wayfinder_platform.Metric
+module Failure = Wayfinder_platform.Failure
+module Search_algorithm = Wayfinder_platform.Search_algorithm
+module Obs = Wayfinder_obs
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Line 1: the shared JSONL schema header ({!Obs.Sink.schema_header},
+   kind "ledger").  Line 2: a meta record describing the run.  Every
+   following line is one "iter" record, written in completion order. *)
+
+let kind = "ledger"
+let schema_version = Obs.Sink.schema_version
+
+type error =
+  | Missing_header
+  | Unsupported_schema of int
+  | Malformed of string
+
+let error_to_string = function
+  | Missing_header -> "not a wayfinder ledger: missing schema header line"
+  | Unsupported_schema v ->
+    Printf.sprintf "unsupported ledger schema version %d (this build reads version %d)" v
+      schema_version
+  | Malformed msg -> "malformed ledger: " ^ msg
+
+(* ------------------------------------------------------------------ *)
+(* Rows                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type row = {
+  index : int;
+  tokens : string array;
+  value : float option;
+  failure : Failure.t option;
+  at_seconds : float;
+  eval_seconds : float;
+  built : bool;
+  decide_seconds : float;
+  belief : Search_algorithm.belief option;
+}
+
+type meta = {
+  algo : string;
+  metric : Metric.t;
+  seed : int option;
+  params : (string * Param.stage) list;
+}
+
+type t = { meta : meta; rows : row list }
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let opt_num = function Some v -> Json.Num v | None -> Json.Null
+let opt_str = function Some s -> Json.Str s | None -> Json.Null
+
+let meta_json m =
+  Json.Obj
+    [ ("type", Json.Str "meta");
+      ("algo", Json.Str m.algo);
+      ("metric", Json.Str m.metric.Metric.metric_name);
+      ("unit", Json.Str m.metric.Metric.unit_name);
+      ("maximize", Json.Bool m.metric.Metric.maximize);
+      ("seed", (match m.seed with Some s -> Json.Num (float_of_int s) | None -> Json.Null));
+      ( "params",
+        Json.List
+          (List.map
+             (fun (name, stage) ->
+               Json.Obj
+                 [ ("name", Json.Str name);
+                   ("stage", Json.Str (Param.stage_to_string stage)) ])
+             m.params) ) ]
+
+let belief_json (b : Search_algorithm.belief) =
+  Json.Obj
+    [ ("crash_p", opt_num b.Search_algorithm.crash_probability);
+      ("value", opt_num b.Search_algorithm.predicted_value);
+      ("sigma", opt_num b.Search_algorithm.predicted_uncertainty);
+      ("source", Json.Str b.Search_algorithm.belief_source) ]
+
+let row_json r =
+  Json.Obj
+    [ ("type", Json.Str "iter");
+      ("i", Json.Num (float_of_int r.index));
+      ("config", Json.List (Array.to_list (Array.map (fun t -> Json.Str t) r.tokens)));
+      ("value", opt_num r.value);
+      ("failure", opt_str (Option.map Failure.to_string r.failure));
+      ( "failure_class",
+        opt_str (Option.map (fun f -> Failure.klass_to_string (Failure.klass f)) r.failure) );
+      ("at_s", Json.Num r.at_seconds);
+      ("eval_s", Json.Num r.eval_seconds);
+      ("built", Json.Bool r.built);
+      ("decide_s", Json.Num r.decide_seconds);
+      ("belief", match r.belief with Some b -> belief_json b | None -> Json.Null) ]
+
+let row_of_entry (e : History.entry) belief =
+  { index = e.History.index;
+    tokens = Array.map Param.value_token e.History.config;
+    value = e.History.value;
+    failure = e.History.failure;
+    at_seconds = e.History.at_seconds;
+    eval_seconds = e.History.eval_seconds;
+    built = e.History.built;
+    decide_seconds = e.History.decide_seconds;
+    belief }
+
+type writer = { oc : out_channel; mutable closed : bool }
+
+let create_writer ?seed ~algo ~space ~metric path =
+  let oc = open_out path in
+  output_string oc (Obs.Sink.schema_header ~kind);
+  output_char oc '\n';
+  let params =
+    Array.to_list
+      (Array.map (fun (p : Param.t) -> (p.Param.name, p.Param.stage)) (Space.params space))
+  in
+  output_string oc (Json.to_string (meta_json { algo; metric; seed; params }));
+  output_char oc '\n';
+  { oc; closed = false }
+
+let record w (e : History.entry) belief =
+  if w.closed then invalid_arg "Ledger.record: writer is closed";
+  output_string w.oc (Json.to_string (row_json (row_of_entry e belief)));
+  output_char w.oc '\n';
+  (* A ledger is a liveness artifact — a crashed run should still leave
+     every completed iteration on disk. *)
+  flush w.oc
+
+let close_writer w =
+  if not w.closed then begin
+    w.closed <- true;
+    close_out w.oc
+  end
+
+let with_writer ?seed ~algo ~space ~metric path f =
+  let w = create_writer ?seed ~algo ~space ~metric path in
+  Fun.protect ~finally:(fun () -> close_writer w) (fun () -> f w)
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let req what = function Some v -> Ok v | None -> Error (Malformed ("missing or ill-typed " ^ what))
+
+let parse_header line =
+  match Json.parse line with
+  | Error _ -> Error Missing_header  (* Line 1 is not even JSON — not a header. *)
+  | Ok j -> (
+    match Option.bind (Json.member "wayfinder_schema" j) Json.to_int with
+    | None -> Error Missing_header
+    | Some v when v <> schema_version -> Error (Unsupported_schema v)
+    | Some _ -> (
+      match Option.bind (Json.member "kind" j) Json.to_str with
+      | Some k when k = kind -> Ok ()
+      | Some k -> Error (Malformed (Printf.sprintf "kind %S is not a ledger" k))
+      | None -> Error (Malformed "header has no kind")))
+
+let parse_meta line =
+  match Json.parse line with
+  | Error msg -> Error (Malformed ("meta: " ^ msg))
+  | Ok j ->
+    let* () =
+      match Option.bind (Json.member "type" j) Json.to_str with
+      | Some "meta" -> Ok ()
+      | Some _ | None -> Error (Malformed "second line is not a meta record")
+    in
+    let* algo = req "meta.algo" (Option.bind (Json.member "algo" j) Json.to_str) in
+    let* name = req "meta.metric" (Option.bind (Json.member "metric" j) Json.to_str) in
+    let* unit_name = req "meta.unit" (Option.bind (Json.member "unit" j) Json.to_str) in
+    let* maximize = req "meta.maximize" (Option.bind (Json.member "maximize" j) Json.to_bool) in
+    let seed = Option.bind (Json.member "seed" j) Json.to_int in
+    let* params = req "meta.params" (Option.bind (Json.member "params" j) Json.to_list) in
+    let* params =
+      List.fold_left
+        (fun acc p ->
+          let* acc = acc in
+          let* name = req "param.name" (Option.bind (Json.member "name" p) Json.to_str) in
+          let* stage_s = req "param.stage" (Option.bind (Json.member "stage" p) Json.to_str) in
+          let* stage =
+            match Param.stage_of_string stage_s with
+            | Some s -> Ok s
+            | None -> Error (Malformed (Printf.sprintf "unknown stage %S" stage_s))
+          in
+          Ok ((name, stage) :: acc))
+        (Ok []) params
+    in
+    Ok
+      { algo;
+        metric = Metric.make ~maximize ~name ~unit_name ();
+        seed;
+        params = List.rev params }
+
+let parse_belief = function
+  | Json.Null -> Ok None
+  | j ->
+    let* source = req "belief.source" (Option.bind (Json.member "source" j) Json.to_str) in
+    Ok
+      (Some
+         { Search_algorithm.crash_probability =
+             Option.bind (Json.member "crash_p" j) Json.to_float;
+           predicted_value = Option.bind (Json.member "value" j) Json.to_float;
+           predicted_uncertainty = Option.bind (Json.member "sigma" j) Json.to_float;
+           belief_source = source })
+
+let parse_row ~lineno line =
+  match Json.parse line with
+  | Error msg -> Error (Malformed (Printf.sprintf "line %d: %s" lineno msg))
+  | Ok j ->
+    let* () =
+      match Option.bind (Json.member "type" j) Json.to_str with
+      | Some "iter" -> Ok ()
+      | Some _ | None ->
+        Error (Malformed (Printf.sprintf "line %d: not an iter record" lineno))
+    in
+    let* index = req "i" (Option.bind (Json.member "i" j) Json.to_int) in
+    let* config = req "config" (Option.bind (Json.member "config" j) Json.to_list) in
+    let* tokens =
+      List.fold_left
+        (fun acc t ->
+          let* acc = acc in
+          let* s = req "config token" (Json.to_str t) in
+          Ok (s :: acc))
+        (Ok []) config
+    in
+    let tokens = Array.of_list (List.rev tokens) in
+    let value = Option.bind (Json.member "value" j) Json.to_float in
+    let failure =
+      Option.map Failure.of_string (Option.bind (Json.member "failure" j) Json.to_str)
+    in
+    let* at_seconds = req "at_s" (Option.bind (Json.member "at_s" j) Json.to_float) in
+    let* eval_seconds = req "eval_s" (Option.bind (Json.member "eval_s" j) Json.to_float) in
+    let* built = req "built" (Option.bind (Json.member "built" j) Json.to_bool) in
+    let* decide_seconds =
+      req "decide_s" (Option.bind (Json.member "decide_s" j) Json.to_float)
+    in
+    let* belief =
+      parse_belief (Option.value ~default:Json.Null (Json.member "belief" j))
+    in
+    Ok { index; tokens; value; failure; at_seconds; eval_seconds; built; decide_seconds; belief }
+
+let of_lines lines =
+  match lines with
+  | [] -> Error Missing_header
+  | header :: rest ->
+    let* () = parse_header header in
+    (match rest with
+    | [] -> Error (Malformed "ledger has no meta record")
+    | meta_line :: rows_lines ->
+      let* meta = parse_meta meta_line in
+      let* rows =
+        let rec go lineno acc = function
+          | [] -> Ok (List.rev acc)
+          | line :: rest when String.trim line = "" -> go (lineno + 1) acc rest
+          | line :: rest ->
+            let* row = parse_row ~lineno line in
+            go (lineno + 1) (row :: acc) rest
+        in
+        go 3 [] rows_lines
+      in
+      Ok { meta; rows })
+
+let of_string s =
+  of_lines (String.split_on_char '\n' s)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> of_string contents
+  | exception Sys_error msg -> Error (Malformed msg)

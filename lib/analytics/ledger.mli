@@ -1,0 +1,99 @@
+(** The run ledger — a versioned, self-describing JSONL record of a
+    search run, one line per completed iteration.
+
+    Layout:
+    - line 1: the shared schema header
+      [{"wayfinder_schema":N,"kind":"ledger"}] ({!Wayfinder_obs.Sink});
+    - line 2: a [meta] record — algorithm name, metric (name, unit,
+      direction), seed, and the space's parameter names and stages in
+      positional order;
+    - every further line: an [iter] record — the configuration as
+      kind-independent value tokens ({!Wayfinder_configspace.Param.value_token}),
+      the outcome (value / typed failure and its class), the virtual
+      timings, the built flag, and the searcher's pre-evaluation
+      {!Wayfinder_platform.Search_algorithm.belief} when the algorithm
+      stated one.
+
+    Floats are written with the exact-round-trip codec of {!Json}, so a
+    ledger read back yields bit-identical numbers — the property the
+    analytics conformance tests pin. *)
+
+module Param = Wayfinder_configspace.Param
+module Space = Wayfinder_configspace.Space
+module History = Wayfinder_platform.History
+module Metric = Wayfinder_platform.Metric
+module Failure = Wayfinder_platform.Failure
+module Search_algorithm = Wayfinder_platform.Search_algorithm
+
+val kind : string
+(** ["ledger"], the header's kind tag. *)
+
+val schema_version : int
+(** The schema this build writes and reads (= {!Wayfinder_obs.Sink.schema_version}). *)
+
+type error =
+  | Missing_header  (** Line 1 is not a wayfinder schema header. *)
+  | Unsupported_schema of int
+      (** Header carries a version this build does not read. *)
+  | Malformed of string  (** Anything else, with a line-anchored message. *)
+
+val error_to_string : error -> string
+
+type row = {
+  index : int;
+  tokens : string array;  (** {!Param.value_token} per position. *)
+  value : float option;
+  failure : Failure.t option;
+  at_seconds : float;
+  eval_seconds : float;
+  built : bool;
+  decide_seconds : float;
+  belief : Search_algorithm.belief option;
+}
+
+type meta = {
+  algo : string;
+  metric : Metric.t;
+  seed : int option;
+  params : (string * Param.stage) list;  (** Positional (name, stage). *)
+}
+
+type t = { meta : meta; rows : row list }
+
+val row_of_entry : History.entry -> Search_algorithm.belief option -> row
+(** The exact row {!record} writes — exposed so live analytics can build
+    the same rows without a file round-trip. *)
+
+(** {1 Writing} *)
+
+type writer
+
+val create_writer :
+  ?seed:int -> algo:string -> space:Space.t -> metric:Metric.t -> string -> writer
+(** Opens (truncating) the path and writes the header and meta lines. *)
+
+val record : writer -> History.entry -> Search_algorithm.belief option -> unit
+(** Appends one iter line and flushes — a crashed run keeps every
+    completed iteration.  The signature matches the driver's [?on_record]
+    callback: [Driver.run ~on_record:(Ledger.record w)].
+    @raise Invalid_argument on a closed writer. *)
+
+val close_writer : writer -> unit
+(** Idempotent. *)
+
+val with_writer :
+  ?seed:int ->
+  algo:string ->
+  space:Space.t ->
+  metric:Metric.t ->
+  string ->
+  (writer -> 'a) ->
+  'a
+
+(** {1 Reading} *)
+
+val load : string -> (t, error) result
+val of_string : string -> (t, error) result
+val of_lines : string list -> (t, error) result
+(** Blank lines between records are tolerated; an unknown schema version
+    is rejected with {!Unsupported_schema} before any row is parsed. *)

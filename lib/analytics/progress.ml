@@ -1,0 +1,58 @@
+module Metric = Wayfinder_platform.Metric
+module Obs = Wayfinder_obs
+
+type snapshot = {
+  iteration : int;
+  best : float option;
+  regret_slope : float;
+  crash_rate : float;
+  cache_hit_rate : float option;
+  worker_busy : float option;
+  virtual_seconds : float;
+}
+
+let default_window = 25
+
+let of_series ?(window = default_window) ?metrics ?workers (s : Series.t) =
+  let cache_hit_rate =
+    match metrics with
+    | None -> None
+    | Some m ->
+      let hits = Obs.Metrics.counter m "driver.image_cache.hits" in
+      let misses = Obs.Metrics.counter m "driver.image_cache.misses" in
+      if hits +. misses <= 0. then None else Some (hits /. (hits +. misses))
+  in
+  let worker_busy =
+    match (metrics, workers) with
+    | Some m, Some w when w > 1 -> (
+      match Obs.Metrics.histogram m "driver.worker.busy" with
+      | Some h when h.Obs.Metrics.count > 0 ->
+        Some (Obs.Metrics.mean h /. float_of_int w)
+      | Some _ | None -> None)
+    | _ -> None
+  in
+  { iteration = Series.length s;
+    best = Option.map snd (Series.best s);
+    regret_slope = Series.regret_slope s ~window;
+    crash_rate = Series.crash_rate s;
+    cache_hit_rate;
+    worker_busy;
+    virtual_seconds = Series.last_at_seconds s }
+
+let to_line ~metric snap =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf (Printf.sprintf "[iter %d]" snap.iteration);
+  Buffer.add_string buf
+    (match snap.best with
+    | Some v -> Printf.sprintf " best %.3f %s" v metric.Metric.unit_name
+    | None -> " best -");
+  Buffer.add_string buf (Printf.sprintf " | slope %+.3g/it" snap.regret_slope);
+  Buffer.add_string buf (Printf.sprintf " | crash %.0f%%" (100. *. snap.crash_rate));
+  (match snap.cache_hit_rate with
+  | Some r -> Buffer.add_string buf (Printf.sprintf " | cache %.0f%%" (100. *. r))
+  | None -> ());
+  (match snap.worker_busy with
+  | Some r -> Buffer.add_string buf (Printf.sprintf " | busy %.0f%%" (100. *. r))
+  | None -> ());
+  Buffer.add_string buf (Printf.sprintf " | vt %s" (Obs.Summary.si snap.virtual_seconds));
+  Buffer.contents buf

@@ -1,0 +1,437 @@
+module Param = Wayfinder_configspace.Param
+module Space = Wayfinder_configspace.Space
+module History = Wayfinder_platform.History
+module Metric = Wayfinder_platform.Metric
+module Failure = Wayfinder_platform.Failure
+module Search_algorithm = Wayfinder_platform.Search_algorithm
+module Stat = Wayfinder_tensor.Stat
+
+type row = Ledger.row = {
+  index : int;
+  tokens : string array;
+  value : float option;
+  failure : Failure.t option;
+  at_seconds : float;
+  eval_seconds : float;
+  built : bool;
+  decide_seconds : float;
+  belief : Search_algorithm.belief option;
+}
+
+type t = {
+  metric : Metric.t;
+  names : string array;
+  stages : Param.stage array;
+  rows : row array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let of_history ?(beliefs = fun _ -> None) ~space history =
+  let entries = History.entries history in
+  { metric = History.metric history;
+    names = Array.map (fun (p : Param.t) -> p.Param.name) (Space.params space);
+    stages = Array.map (fun (p : Param.t) -> p.Param.stage) (Space.params space);
+    rows =
+      Array.map
+        (fun (e : History.entry) -> Ledger.row_of_entry e (beliefs e.History.index))
+        entries }
+
+let of_ledger (ledger : Ledger.t) =
+  let params = Array.of_list ledger.Ledger.meta.Ledger.params in
+  { metric = ledger.Ledger.meta.Ledger.metric;
+    names = Array.map fst params;
+    stages = Array.map snd params;
+    rows = Array.of_list ledger.Ledger.rows }
+
+(* --from-csv: reconstruct what History.to_csv preserves.  The CSV has no
+   configurations or beliefs, so coverage and calibration degenerate to
+   empty — convergence and failure-rate series still work. *)
+
+let csv_records s =
+  (* Full RFC 4180 state machine: quoted fields may contain commas,
+     quotes (doubled) and line breaks. *)
+  let records = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let n = String.length s in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_record () =
+    flush_field ();
+    records := List.rev !fields :: !records;
+    fields := []
+  in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  while !i < n do
+    let c = s.[!i] in
+    (if !in_quotes then
+       match c with
+       | '"' ->
+         if !i + 1 < n && s.[!i + 1] = '"' then begin
+           Buffer.add_char buf '"';
+           incr i
+         end
+         else in_quotes := false
+       | c -> Buffer.add_char buf c
+     else
+       match c with
+       | '"' -> in_quotes := true
+       | ',' -> flush_field ()
+       | '\n' -> flush_record ()
+       | '\r' -> ()
+       | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  if Buffer.length buf > 0 || !fields <> [] then flush_record ();
+  List.rev !records
+
+let of_csv ~metric s =
+  match csv_records s with
+  | [] -> Error "empty CSV"
+  | header :: data ->
+    let col name =
+      let rec find i = function
+        | [] -> None
+        | h :: _ when h = name -> Some i
+        | _ :: rest -> find (i + 1) rest
+      in
+      find 0 header
+    in
+    let require name =
+      match col name with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "CSV has no %S column" name)
+    in
+    let ( let* ) = Result.bind in
+    let* i_index = require "index" in
+    let* i_value = require "value" in
+    let* i_failure = require "failure" in
+    let* i_at = require "at_s" in
+    let* i_eval = require "eval_s" in
+    let* i_built = require "built" in
+    let* i_decide = require "decide_s" in
+    let parse_row lineno fields =
+      let arr = Array.of_list fields in
+      let get i =
+        if i < Array.length arr then Ok arr.(i)
+        else Error (Printf.sprintf "CSV line %d: missing column %d" lineno i)
+      in
+      let num what i =
+        let* s = get i in
+        match float_of_string_opt s with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "CSV line %d: bad %s %S" lineno what s)
+      in
+      let* index = num "index" i_index in
+      let* value_s = get i_value in
+      let* value =
+        if value_s = "" then Ok None
+        else
+          match float_of_string_opt value_s with
+          | Some v -> Ok (Some v)
+          | None -> Error (Printf.sprintf "CSV line %d: bad value %S" lineno value_s)
+      in
+      let* failure_s = get i_failure in
+      let failure = if failure_s = "" then None else Some (Failure.of_string failure_s) in
+      let* at_seconds = num "at_s" i_at in
+      let* eval_seconds = num "eval_s" i_eval in
+      let* built_s = get i_built in
+      let* built =
+        match bool_of_string_opt built_s with
+        | Some b -> Ok b
+        | None -> Error (Printf.sprintf "CSV line %d: bad built %S" lineno built_s)
+      in
+      let* decide_seconds = num "decide_s" i_decide in
+      Ok
+        { index = int_of_float index;
+          tokens = [||];
+          value;
+          failure;
+          at_seconds;
+          eval_seconds;
+          built;
+          decide_seconds;
+          belief = None }
+    in
+    let* rows =
+      let rec go lineno acc = function
+        | [] -> Ok (List.rev acc)
+        | [ "" ] :: rest -> go (lineno + 1) acc rest
+        | fields :: rest ->
+          let* row = parse_row lineno fields in
+          go (lineno + 1) (row :: acc) rest
+      in
+      go 2 [] data
+    in
+    Ok { metric; names = [||]; stages = [||]; rows = Array.of_list rows }
+
+(* ------------------------------------------------------------------ *)
+(* Convergence series                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let length t = Array.length t.rows
+
+let best t =
+  let best = ref None in
+  Array.iter
+    (fun r ->
+      match r.value with
+      | None -> ()
+      | Some v -> (
+        match !best with
+        | None -> best := Some (r.index, v)
+        | Some (_, bv) -> if Metric.better t.metric v bv then best := Some (r.index, v)))
+    t.rows;
+  !best
+
+let best_so_far t =
+  let n = length t in
+  let out = Array.make n nan in
+  let best = ref None in
+  for i = 0 to n - 1 do
+    (match t.rows.(i).value with
+    | Some v -> (
+      match !best with
+      | None -> best := Some v
+      | Some b -> if Metric.better t.metric v b then best := Some v)
+    | None -> ());
+    out.(i) <- (match !best with Some b -> b | None -> nan)
+  done;
+  out
+
+(* Simple regret in score units (higher-is-better view): distance of the
+   running best from the run's final best.  NaN before the first
+   success; 0 from the iteration the final best was found. *)
+let simple_regret t =
+  let bsf = best_so_far t in
+  match best t with
+  | None -> bsf (* all NaN already *)
+  | Some (_, final) ->
+    let final_score = Metric.score t.metric final in
+    Array.map
+      (fun v -> if Float.is_nan v then nan else final_score -. Metric.score t.metric v)
+      bsf
+
+(* First iteration whose running best lands within [epsilon] (relative,
+   on score magnitude) of the run's final best.  Returns the number of
+   samples spent, i.e. index + 1. *)
+let within_threshold t ~epsilon =
+  match best t with
+  | None -> None
+  | Some (_, final) ->
+    let final_score = Metric.score t.metric final in
+    let threshold = final_score -. (epsilon *. Float.abs final_score) in
+    let bsf = best_so_far t in
+    let n = Array.length bsf in
+    let rec go i =
+      if i >= n then None
+      else if (not (Float.is_nan bsf.(i))) && Metric.score t.metric bsf.(i) >= threshold then
+        Some i
+      else go (i + 1)
+    in
+    go 0
+
+let samples_to_within t ~epsilon =
+  Option.map (fun i -> i + 1) (within_threshold t ~epsilon)
+
+let virtual_seconds_to_within t ~epsilon =
+  Option.map (fun i -> t.rows.(i).at_seconds) (within_threshold t ~epsilon)
+
+let samples_to_best t =
+  match best t with
+  | None -> None
+  | Some (index, _) ->
+    (* Position in completion order, not the proposal index (they differ
+       under multi-worker interleaving). *)
+    let rec go i =
+      if i >= length t then None
+      else if t.rows.(i).index = index then Some (i + 1)
+      else go (i + 1)
+    in
+    go 0
+
+(* ------------------------------------------------------------------ *)
+(* History-compatible plotting series                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirrors History.values_series: failures repeat the previous value,
+   leading failures are backfilled with the first success. *)
+let values t =
+  let n = length t in
+  let out = Array.make n nan in
+  let first_success =
+    Array.fold_left
+      (fun acc r -> match (acc, r.value) with None, Some v -> Some v | _ -> acc)
+      None t.rows
+  in
+  let prev = ref (Option.value ~default:0. first_success) in
+  for i = 0 to n - 1 do
+    (match t.rows.(i).value with Some v -> prev := v | None -> ());
+    out.(i) <- !prev
+  done;
+  out
+
+(* Mirrors History.crash_indicator: 1.0 at any failed iteration. *)
+let crash_indicator t =
+  Array.map (fun r -> if r.failure <> None then 1. else 0.) t.rows
+
+(* Best-so-far over virtual time, bucketed: bin i covers
+   [i*bucket_s, (i+1)*bucket_s); gaps forward-fill (matching the paper's
+   Figure 9 rendering). *)
+let best_over_time t ~bucket_s ~horizon_s =
+  if bucket_s <= 0. then invalid_arg "Series.best_over_time: bucket_s must be positive";
+  let n_buckets = int_of_float (horizon_s /. bucket_s) + 1 in
+  let out = Array.make n_buckets nan in
+  let bsf = best_so_far t in
+  Array.iteri
+    (fun i r ->
+      let b = int_of_float (r.at_seconds /. bucket_s) in
+      if b >= 0 && b < n_buckets then out.(b) <- bsf.(i))
+    t.rows;
+  let prev = ref nan in
+  Array.iteri (fun i v -> if Float.is_nan v then out.(i) <- !prev else prev := v) out;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Failure rates                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let is_crash r = match r.failure with Some f -> Failure.counts_as_crash f | None -> false
+
+let is_transient r =
+  match r.failure with
+  | Some f -> ( match Failure.klass f with Failure.Transient | Failure.Timeout -> true | Failure.Deterministic -> false)
+  | None -> false
+
+let rate pred t =
+  let n = length t in
+  if n = 0 then 0.
+  else
+    float_of_int (Array.fold_left (fun acc r -> if pred r then acc + 1 else acc) 0 t.rows)
+    /. float_of_int n
+
+let crash_rate = rate is_crash
+let transient_rate = rate is_transient
+
+let windowed_rate pred t ~window =
+  if window <= 0 then invalid_arg "Series.windowed_rate: window must be positive";
+  let n = length t in
+  let out = Array.make n 0. in
+  let in_window = ref 0 in
+  for i = 0 to n - 1 do
+    if pred t.rows.(i) then incr in_window;
+    if i >= window && pred t.rows.(i - window) then decr in_window;
+    out.(i) <- float_of_int !in_window /. float_of_int (min (i + 1) window)
+  done;
+  out
+
+let windowed_crash_rate = windowed_rate is_crash
+let windowed_transient_rate = windowed_rate is_transient
+
+let failure_counts t =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun r ->
+      match r.failure with
+      | None -> ()
+      | Some f ->
+        let k = Failure.to_string f in
+        Hashtbl.replace tbl k ((try Hashtbl.find tbl k with Not_found -> 0) + 1))
+    t.rows;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+(* ------------------------------------------------------------------ *)
+(* Space coverage                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type coverage = {
+  evaluated : int;
+  distinct_configs : int;
+  distinct_stage_keys : int;
+  marginals : (string * (string * int) list) array;
+}
+
+(* The non-runtime projection key: positional tokens of compile- and
+   boot-time parameters.  Two configurations share a key iff they differ
+   only in runtime parameters — the same equivalence
+   Space.stage_key/Image_cache use, recomputable from a ledger alone. *)
+let stage_key_of t (r : row) =
+  let buf = Buffer.create 32 in
+  Array.iteri
+    (fun i tok ->
+      if i < Array.length t.stages && t.stages.(i) <> Param.Runtime then begin
+        Buffer.add_string buf tok;
+        Buffer.add_char buf ';'
+      end)
+    r.tokens;
+  Buffer.contents buf
+
+let coverage t =
+  let configs = Hashtbl.create 64 in
+  let keys = Hashtbl.create 64 in
+  Array.iter
+    (fun r ->
+      Hashtbl.replace configs (String.concat ";" (Array.to_list r.tokens)) ();
+      Hashtbl.replace keys (stage_key_of t r) ())
+    t.rows;
+  let n_params = Array.length t.names in
+  let marginals =
+    Array.init n_params (fun p ->
+        let counts = Hashtbl.create 8 in
+        Array.iter
+          (fun r ->
+            if p < Array.length r.tokens then begin
+              let tok = r.tokens.(p) in
+              Hashtbl.replace counts tok ((try Hashtbl.find counts tok with Not_found -> 0) + 1)
+            end)
+          t.rows;
+        ( t.names.(p),
+          List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []) ))
+  in
+  { evaluated = length t;
+    distinct_configs = (if length t = 0 then 0 else Hashtbl.length configs);
+    distinct_stage_keys = (if length t = 0 then 0 else Hashtbl.length keys);
+    marginals }
+
+(* ------------------------------------------------------------------ *)
+(* Progress helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Least-squares slope (score units per sample) of the running best over
+   the trailing [window] finite points — the convergence speedometer the
+   --progress line shows.  0 with fewer than two finite points. *)
+let regret_slope t ~window =
+  if window <= 0 then invalid_arg "Series.regret_slope: window must be positive";
+  let bsf = best_so_far t in
+  let n = Array.length bsf in
+  let lo = max 0 (n - window) in
+  let xs = ref [] and ys = ref [] in
+  for i = lo to n - 1 do
+    if not (Float.is_nan bsf.(i)) then begin
+      xs := float_of_int i :: !xs;
+      ys := Metric.score t.metric bsf.(i) :: !ys
+    end
+  done;
+  let xs = Array.of_list (List.rev !xs) and ys = Array.of_list (List.rev !ys) in
+  let k = Array.length xs in
+  if k < 2 then 0.
+  else begin
+    let mx = Stat.mean xs and my = Stat.mean ys in
+    let num = ref 0. and den = ref 0. in
+    for i = 0 to k - 1 do
+      num := !num +. ((xs.(i) -. mx) *. (ys.(i) -. my));
+      den := !den +. ((xs.(i) -. mx) *. (xs.(i) -. mx))
+    done;
+    if !den = 0. then 0. else !num /. !den
+  end
+
+let total_eval_seconds t = Array.fold_left (fun acc r -> acc +. r.eval_seconds) 0. t.rows
+
+let last_at_seconds t =
+  if length t = 0 then 0. else t.rows.(length t - 1).at_seconds

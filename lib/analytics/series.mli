@@ -1,0 +1,127 @@
+(** Derived analytics series — one implementation, three sources.
+
+    A {!t} is built from a live {!Wayfinder_platform.History.t} (plus its
+    space), from a loaded {!Ledger.t}, or from a [History.to_csv] export;
+    every downstream consumer (the [analyze]/[compare] subcommands, the
+    [--progress] line, the figure benches) computes on the same rows with
+    the same code.  The analytics conformance property pins the first two
+    sources to byte-identical rows and series for the same run. *)
+
+module Param = Wayfinder_configspace.Param
+module Space = Wayfinder_configspace.Space
+module History = Wayfinder_platform.History
+module Metric = Wayfinder_platform.Metric
+module Failure = Wayfinder_platform.Failure
+module Search_algorithm = Wayfinder_platform.Search_algorithm
+
+type row = Ledger.row = {
+  index : int;
+  tokens : string array;
+  value : float option;
+  failure : Failure.t option;
+  at_seconds : float;
+  eval_seconds : float;
+  built : bool;
+  decide_seconds : float;
+  belief : Search_algorithm.belief option;
+}
+
+type t = {
+  metric : Metric.t;
+  names : string array;  (** Positional parameter names; [[||]] from CSV. *)
+  stages : Param.stage array;  (** Aligned with [names]. *)
+  rows : row array;  (** Completion order. *)
+}
+
+(** {1 Constructors} *)
+
+val of_history :
+  ?beliefs:(int -> Search_algorithm.belief option) -> space:Space.t -> History.t -> t
+(** [beliefs] looks up the recorded pre-evaluation belief by iteration
+    index (as collected through [Driver.run ~on_record]); defaults to
+    none. *)
+
+val of_ledger : Ledger.t -> t
+
+val of_csv : metric:Metric.t -> string -> (t, string) result
+(** Parses a [History.to_csv] export (RFC 4180, columns located by
+    header name).  Configurations and beliefs are absent from CSV, so
+    {!coverage} and calibration degenerate to empty. *)
+
+(** {1 Convergence} *)
+
+val length : t -> int
+
+val best : t -> (int * float) option
+(** Best successful (iteration index, raw value) under the metric. *)
+
+val best_so_far : t -> float array
+(** Running best raw value; NaN before the first success. *)
+
+val simple_regret : t -> float array
+(** Score-space distance of the running best from the run's final best;
+    NaN before the first success, 0 once the final best is found. *)
+
+val samples_to_within : t -> epsilon:float -> int option
+(** Samples spent until the running best scores within [epsilon]
+    (relative, on score magnitude) of the final best; [None] when the run
+    never succeeds. *)
+
+val virtual_seconds_to_within : t -> epsilon:float -> float option
+(** Virtual clock reading at that same iteration. *)
+
+val samples_to_best : t -> int option
+(** Samples spent (in completion order) until the best entry itself. *)
+
+(** {1 History-compatible plotting series}
+
+    Same semantics as the corresponding {!History} functions, so the
+    figure benches can compute them from any source. *)
+
+val values : t -> float array
+val crash_indicator : t -> float array
+
+val best_over_time : t -> bucket_s:float -> horizon_s:float -> float array
+(** Running best bucketed over virtual time, gaps forward-filled (the
+    Figure 9 rendering).  @raise Invalid_argument if [bucket_s <= 0]. *)
+
+(** {1 Failure rates} *)
+
+val crash_rate : t -> float
+(** Fraction of config-caused ({!Failure.counts_as_crash}) failures. *)
+
+val transient_rate : t -> float
+(** Fraction of transient/timeout failures. *)
+
+val windowed_crash_rate : t -> window:int -> float array
+(** Trailing-window crash rate per iteration (window truncated at the
+    start of the run).  @raise Invalid_argument if [window <= 0]. *)
+
+val windowed_transient_rate : t -> window:int -> float array
+
+val failure_counts : t -> (string * int) list
+(** Failure name → occurrences, sorted by name. *)
+
+(** {1 Space coverage} *)
+
+type coverage = {
+  evaluated : int;
+  distinct_configs : int;
+  distinct_stage_keys : int;
+      (** Distinct non-runtime projections — images the run needed. *)
+  marginals : (string * (string * int) list) array;
+      (** Per parameter: value token → times proposed, sorted by token. *)
+}
+
+val coverage : t -> coverage
+
+(** {1 Progress helpers} *)
+
+val regret_slope : t -> window:int -> float
+(** Least-squares slope (score units per sample) of the running best over
+    the trailing [window] finite points; 0 with fewer than two.
+    @raise Invalid_argument if [window <= 0]. *)
+
+val total_eval_seconds : t -> float
+val last_at_seconds : t -> float
+(** Virtual clock at the last completed iteration; 0 when empty. *)

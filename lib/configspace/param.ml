@@ -75,6 +75,28 @@ let value_equal a b =
   | Vcat x, Vcat y -> x = y
   | (Vbool _ | Vtristate _ | Vint _ | Vcat _), _ -> false
 
+(* Kind-independent compact codec ("b1", "t2", "i4096", "c3") — the
+   serialisation checkpoints and run ledgers share.  Unlike
+   {!value_to_string} it needs no kind to decode, so artifacts remain
+   parseable without the space that produced them. *)
+let value_token = function
+  | Vbool b -> if b then "b1" else "b0"
+  | Vtristate i -> "t" ^ string_of_int i
+  | Vint n -> "i" ^ string_of_int n
+  | Vcat i -> "c" ^ string_of_int i
+
+let value_of_token s =
+  if String.length s < 2 then None
+  else
+    let body = String.sub s 1 (String.length s - 1) in
+    match (s.[0], int_of_string_opt body) with
+    | 'b', Some 0 -> Some (Vbool false)
+    | 'b', Some 1 -> Some (Vbool true)
+    | 't', Some i -> Some (Vtristate i)
+    | 'i', Some n -> Some (Vint n)
+    | 'c', Some i -> Some (Vcat i)
+    | _ -> None
+
 let value_to_string kind v =
   match (kind, v) with
   | _, Vbool b -> if b then "1" else "0"

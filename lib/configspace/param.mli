@@ -50,6 +50,14 @@ val value_equal : value -> value -> bool
 val value_to_string : kind -> value -> string
 val value_of_string : kind -> string -> value option
 
+val value_token : value -> string
+(** Compact kind-independent codec ("b1" / "t2" / "i4096" / "c3") shared
+    by checkpoints and run ledgers: decodable without the originating
+    space. *)
+
+val value_of_token : string -> value option
+(** Total inverse of {!value_token}; [None] on malformed tokens. *)
+
 val cardinality : kind -> float
 (** Number of possible values (as a float: integer ranges can be large).
     Used to report search-space sizes like the paper's 3.7×10¹³. *)

@@ -310,6 +310,14 @@ let algorithm t =
     ~propose:(fun ctx -> propose t ctx)
     ~propose_batch:(fun ctx ~k -> propose_batch t ctx ~k)
     ~observe:(fun ctx entry -> observe t ctx entry)
+    ~predict:(fun _ctx config ->
+      (* Pure introspection: a DTM forward pass touches no searcher state
+         and draws no randomness (dropout is training-only). *)
+      let p = Dtm.predict t.dtm (Encoding.encode t.encoding config) in
+      { Search_algorithm.crash_probability = Some p.Dtm.crash_probability;
+        predicted_value = Some p.Dtm.performance;
+        predicted_uncertainty = Some p.Dtm.uncertainty;
+        belief_source = "deeptune" })
     ()
 
 (* ------------------------------------------------------------------ *)

@@ -11,9 +11,21 @@ let tee sinks =
   { emit = (fun e -> List.iter (fun s -> s.emit e) sinks);
     flush = (fun () -> List.iter (fun s -> s.flush ()) sinks) }
 
-let jsonl write = { emit = (fun e -> write (Event.to_json e ^ "\n")); flush = (fun () -> ()) }
+(* Every JSONL artifact the platform writes opens with a self-describing
+   schema line, so readers can reject files from a different era with a
+   typed error instead of a parse crash further down. *)
+let schema_version = 1
+
+let schema_header ~kind =
+  Printf.sprintf "{\"wayfinder_schema\":%d,\"kind\":%s}" schema_version
+    (Attr.json_of_value (Attr.String kind))
+
+let jsonl write =
+  write (schema_header ~kind:"trace" ^ "\n");
+  { emit = (fun e -> write (Event.to_json e ^ "\n")); flush = (fun () -> ()) }
 
 let jsonl_channel oc =
+  output_string oc (schema_header ~kind:"trace" ^ "\n");
   { emit = (fun e -> output_string oc (Event.to_json e ^ "\n"));
     flush = (fun () -> Stdlib.flush oc) }
 

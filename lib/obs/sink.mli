@@ -20,13 +20,24 @@ val null : t
 val tee : t list -> t
 (** Forwards each event to every sink, in order. *)
 
+val schema_version : int
+(** Version of the JSONL trace format; bumped on incompatible change. *)
+
+val schema_header : kind:string -> string
+(** The self-describing first line every JSONL artifact starts with,
+    e.g. [{"wayfinder_schema":1,"kind":"trace"}] (no trailing newline).
+    Readers reject unknown versions with a typed error instead of a parse
+    crash. *)
+
 val jsonl : (string -> unit) -> t
 (** [jsonl write] renders each event as one JSON line (newline included)
     and passes it to [write] — wrap an [out_channel], a [Buffer], or a
-    socket. *)
+    socket.  The {!schema_header} line is written immediately at sink
+    creation. *)
 
 val jsonl_channel : out_channel -> t
-(** JSONL straight to a channel; [flush] flushes the channel. *)
+(** JSONL straight to a channel; [flush] flushes the channel.  Writes the
+    {!schema_header} line at creation. *)
 
 (** Bounded in-memory ring buffer.  When full, the oldest events are
     dropped (and counted) — a test or a live status page wants the recent

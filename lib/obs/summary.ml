@@ -1,11 +1,28 @@
 let si v =
-  (* Compact seconds rendering: microseconds to hours. *)
+  (* Compact seconds rendering: microseconds to hours.  The sign is
+     applied outside the unit conversion so negative durations render as
+     e.g. "-1.5m", never as a sign buried inside a scaled mantissa; the
+     minute boundary is exactly 60 s (90 s is "1.5m", not "90.00s"). *)
   if v = 0. then "0"
-  else if Float.abs v < 1e-3 then Printf.sprintf "%.0fus" (v *. 1e6)
-  else if Float.abs v < 1. then Printf.sprintf "%.1fms" (v *. 1e3)
-  else if Float.abs v < 120. then Printf.sprintf "%.2fs" v
-  else if Float.abs v < 7200. then Printf.sprintf "%.1fm" (v /. 60.)
-  else Printf.sprintf "%.1fh" (v /. 3600.)
+  else if Float.is_nan v then "nan"
+  else if v = infinity then "inf"
+  else if v = neg_infinity then "-inf"
+  else begin
+    let sign = if v < 0. then "-" else "" in
+    let v = Float.abs v in
+    let body =
+      if v < 1e-3 then Printf.sprintf "%.0fus" (v *. 1e6)
+      else if v < 1. then Printf.sprintf "%.1fms" (v *. 1e3)
+      else if v < 60. then Printf.sprintf "%.2fs" v
+      else if v < 7200. then Printf.sprintf "%.1fm" (v /. 60.)
+      else Printf.sprintf "%.1fh" (v /. 3600.)
+    in
+    sign ^ body
+  end
+
+(* Defensive: {!Metrics.snapshot} already sorts, but a hand-built snapshot
+   (tests, external producers) must render deterministically too. *)
+let by_name (a, _) (b, _) = compare (a : string) b
 
 let to_text ?title snapshot =
   let buf = Buffer.create 512 in
@@ -17,7 +34,7 @@ let to_text ?title snapshot =
       (fun (name, v) ->
         if Float.is_integer v then line "  %-36s %12.0f" name v
         else line "  %-36s %12.3f" name v)
-      snapshot.Metrics.counters
+      (List.sort by_name snapshot.Metrics.counters)
   end;
   if snapshot.Metrics.histograms <> [] then begin
     line "distributions:";
@@ -36,7 +53,7 @@ let to_text ?title snapshot =
           (fmt (Metrics.mean h))
           (fmt (Metrics.quantile h 0.5))
           (fmt (Metrics.quantile h 0.95)))
-      snapshot.Metrics.histograms
+      (List.sort by_name snapshot.Metrics.histograms)
   end;
   Buffer.contents buf
 

@@ -4,7 +4,16 @@
     bench figures print: counters first, then one line per histogram with
     count, total, mean and approximate tail quantiles. *)
 
+val si : float -> string
+(** Compact duration rendering, microseconds to hours: ["850us"],
+    ["12.5ms"], ["42.00s"], ["1.5m"] (everything from 60 s up renders in
+    minutes), ["2.3h"].  The sign of a negative duration sits outside the
+    unit conversion (["-1.5m"]); non-finite values render as ["nan"] /
+    ["inf"] / ["-inf"], never as a formatted garbage number. *)
+
 val to_text : ?title:string -> Metrics.snapshot -> string
+(** Deterministic: counters and histograms render sorted by name even if
+    the snapshot was assembled unsorted. *)
 
 val phase_line :
   Metrics.snapshot -> phases:(string * string) list -> suffix:string -> string

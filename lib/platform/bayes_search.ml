@@ -10,6 +10,9 @@ type state = {
   mutable xs : float array list;  (* newest first *)
   mutable ys : float list;  (* scores, higher better *)
   mutable worst : float;
+  mutable model : (Gp.t * float * float) option;
+      (* Last fitted surrogate with its target standardisation (mean, std)
+         — kept solely for the pure [predict] introspection hook. *)
 }
 
 let create ?favor ?(n_init = 8) ?(pool = 200) ?(max_points = 200) ?(lengthscale = 1.5)
@@ -20,7 +23,9 @@ let create ?favor ?(n_init = 8) ?(pool = 200) ?(max_points = 200) ?(lengthscale 
     match !state with
     | Some st -> st
     | None ->
-      let st = { encoding = Encoding.create space; xs = []; ys = []; worst = 0. } in
+      let st =
+        { encoding = Encoding.create space; xs = []; ys = []; worst = 0.; model = None }
+      in
       state := Some st;
       st
   in
@@ -48,6 +53,7 @@ let create ?favor ?(n_init = 8) ?(pool = 200) ?(max_points = 200) ?(lengthscale 
           "bayes.gp_fit"
           (fun () -> Gp.fit ~noise:1e-3 kernel x y_std)
       in
+      st.model <- Some (gp, mean, std);
       Obs.Recorder.observe ctx.Search_algorithm.obs ~quiet:true "bayes.model_points"
         (float_of_int (Array.length y));
       Obs.Recorder.observe ctx.Search_algorithm.obs ~quiet:true "bayes.pool_size"
@@ -116,4 +122,20 @@ let create ?favor ?(n_init = 8) ?(pool = 200) ?(max_points = 200) ?(lengthscale 
       st.ys <- score :: st.ys;
       if score < st.worst || List.length st.ys = 1 then st.worst <- score
   in
-  Search_algorithm.make ~name:"bayesian" ~propose ~propose_batch ~observe ()
+  (* Pure introspection: read the cached surrogate (the one the last pick
+     maximised EI over), never refit, never touch [ctx.rng].  Before the
+     first fit (random warm-up phase) the searcher has no stated belief. *)
+  let predict ctx config =
+    let st = get_state ctx.Search_algorithm.space in
+    match st.model with
+    | None ->
+      { Search_algorithm.crash_probability = None; predicted_value = None;
+        predicted_uncertainty = None; belief_source = "gp" }
+    | Some (gp, mean, std) ->
+      let mu, var = Gp.predict gp (Encoding.encode st.encoding config) in
+      { Search_algorithm.crash_probability = None;
+        predicted_value = Some ((mu *. std) +. mean);
+        predicted_uncertainty = Some (sqrt (Float.max 0. var) *. std);
+        belief_source = "gp" }
+  in
+  Search_algorithm.make ~name:"bayesian" ~propose ~propose_batch ~observe ~predict ()

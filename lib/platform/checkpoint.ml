@@ -48,23 +48,13 @@ let float_of_field s =
   | Some f -> Ok f
   | None -> Error (Malformed ("bad float " ^ s))
 
-let value_token = function
-  | Param.Vbool b -> if b then "b1" else "b0"
-  | Param.Vtristate i -> "t" ^ string_of_int i
-  | Param.Vint n -> "i" ^ string_of_int n
-  | Param.Vcat i -> "c" ^ string_of_int i
+(* The token codec is shared with the analytics run ledger. *)
+let value_token = Param.value_token
 
 let value_of_token s =
-  if String.length s < 2 then Error (Malformed ("bad value token " ^ s))
-  else
-    let body = String.sub s 1 (String.length s - 1) in
-    match (s.[0], int_of_string_opt body) with
-    | 'b', Some 0 -> Ok (Param.Vbool false)
-    | 'b', Some 1 -> Ok (Param.Vbool true)
-    | 't', Some i -> Ok (Param.Vtristate i)
-    | 'i', Some n -> Ok (Param.Vint n)
-    | 'c', Some i -> Ok (Param.Vcat i)
-    | _ -> Error (Malformed ("bad value token " ^ s))
+  match Param.value_of_token s with
+  | Some v -> Ok v
+  | None -> Error (Malformed ("bad value token " ^ s))
 
 (* "." denotes the empty configuration so a config field is never an empty
    string (which a whitespace split could not distinguish). *)

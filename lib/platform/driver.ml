@@ -83,7 +83,7 @@ let reject_non_finite (r : Target.eval_result) =
    kept verbatim as the executable specification the engine is tested
    against — the conformance suite asserts that [run ~workers:1] is
    byte-for-byte equivalent (history, metrics, virtual trajectory). *)
-let run_sequential ?(seed = 0) ?clock ?on_iteration ?obs
+let run_sequential ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
     ?(invalid_floor_s = default_invalid_floor_s)
     ?(max_consecutive_invalid = default_max_consecutive_invalid)
     ?(resilience = Resilience.none) ?checkpoint_path
@@ -236,6 +236,15 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?obs
         iteration_span;
       stop := Some Space_exhausted
     | Some config ->
+      (* Pre-evaluation belief capture: what the model thought about this
+         proposal before the testbed answered.  Only computed when a
+         consumer is attached — [predict] is pure, so recorded and
+         unrecorded runs stay byte-for-byte identical. *)
+      let belief =
+        match (on_record, algorithm.Search_algorithm.predict) with
+        | Some _, Some p -> Some (p ctx config)
+        | (Some _ | None), _ -> None
+      in
       let violations =
         Obs.Recorder.with_span obs "driver.validate" (fun () -> Space.validate space config)
       in
@@ -468,6 +477,7 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?obs
               | Some f -> Failure.to_string f
               | None -> "ok") ]
         iteration_span;
+      (match on_record with Some f -> f entry belief | None -> ());
       (match on_iteration with Some f -> f entry | None -> ());
       incr index;
       if !index mod checkpoint_every = 0 then write_checkpoint ();
@@ -505,7 +515,8 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?obs
    untouched in between, so every advance, span and counter lands in the
    same order, with the same float values, as [run_sequential]: the two
    are byte-for-byte equivalent (the conformance suite checks this). *)
-let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invalid_floor_s)
+let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
+    ?(invalid_floor_s = default_invalid_floor_s)
     ?(max_consecutive_invalid = default_max_consecutive_invalid)
     ?(resilience = Resilience.none) ?checkpoint_path
     ?(checkpoint_every = default_checkpoint_every) ?resume_from ?(workers = 1) ?batch
@@ -667,7 +678,7 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
     | Virtual_seconds s -> Vclock.now clock -. start_seconds < s
   in
   (* ---------------- Completion side ---------------- *)
-  let complete_task slot ~iteration_span ~replayed_phases (entry : History.entry) =
+  let complete_task slot ~iteration_span ~belief ~replayed_phases (entry : History.entry) =
     if replayed_phases then
       Obs.Recorder.emit_span obs ~virtual_s:entry.History.eval_seconds
         ~attrs:[ Obs.Attr.int "iteration" entry.History.index ]
@@ -707,6 +718,7 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
     Hashtbl.remove inflight_tbl entry.History.index;
     release_slot slot;
     incr completed;
+    (match on_record with Some f -> f entry belief | None -> ());
     (match on_iteration with Some f -> f entry | None -> ());
     if !completed mod checkpoint_every = 0 then write_checkpoint ()
   in
@@ -723,7 +735,7 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
     incr completed
   in
   (* ---------------- Launch side ---------------- *)
-  let schedule_outcome slot ~iteration_span ~deltas ~entry_of_at =
+  let schedule_outcome slot ~iteration_span ~belief ~deltas ~entry_of_at =
     (* The completion time is the left fold of the charges from the
        current reading — the identical chain of float additions the
        sequential driver performs, so trajectories match bit-for-bit. *)
@@ -734,9 +746,9 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
         start_seconds = Vclock.now clock; entry };
     ignore
       (Vclock.schedule_chain clock ~deltas (fun () ->
-           complete_task slot ~iteration_span ~replayed_phases:false entry))
+           complete_task slot ~iteration_span ~belief ~replayed_phases:false entry))
   in
-  let launch_live ~iteration_span slot idx config decide_seconds =
+  let launch_live ~iteration_span ~belief slot idx config decide_seconds =
     let eval_calls = ref 0 in
     let call_target config =
       let trial = idx + (trial_stride * !eval_calls) in
@@ -753,7 +765,7 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
         ~attrs:[ Obs.Attr.int "consecutive" !consecutive_invalid ]
         "driver.invalid";
       Obs.Recorder.incr obs "driver.invalid_proposals";
-      schedule_outcome slot ~iteration_span ~deltas:[ invalid_floor_s ]
+      schedule_outcome slot ~iteration_span ~belief ~deltas:[ invalid_floor_s ]
         ~entry_of_at:(fun at ->
           { History.index = idx; config; value = None;
             failure = Some Failure.Invalid_configuration; at_seconds = at;
@@ -764,7 +776,7 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
       if Hashtbl.mem quarantine key then begin
         Obs.Recorder.emit_span obs ~virtual_s:invalid_floor_s "driver.quarantined";
         Obs.Recorder.incr obs "driver.quarantined_proposals";
-        schedule_outcome slot ~iteration_span ~deltas:[ invalid_floor_s ]
+        schedule_outcome slot ~iteration_span ~belief ~deltas:[ invalid_floor_s ]
           ~entry_of_at:(fun at ->
             { History.index = idx; config; value = None;
               failure = Some Failure.Quarantined; at_seconds = at;
@@ -782,7 +794,7 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
             ~attrs:[ Obs.Attr.bool "cache_hit" true ]
             "driver.negative_cache";
           Obs.Recorder.incr obs "driver.image_cache.negative_hits";
-          schedule_outcome slot ~iteration_span ~deltas:[ invalid_floor_s ]
+          schedule_outcome slot ~iteration_span ~belief ~deltas:[ invalid_floor_s ]
             ~entry_of_at:(fun at ->
               { History.index = idx; config; value = None;
                 failure = Some f; at_seconds = at;
@@ -926,7 +938,7 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
         | Ok _ -> ()
         | Error f ->
           Obs.Recorder.incr obs (Printf.sprintf "driver.failures.%s" (Failure.to_string f)));
-        schedule_outcome slot ~iteration_span ~deltas:(List.rev !deltas_rev)
+        schedule_outcome slot ~iteration_span ~belief ~deltas:(List.rev !deltas_rev)
           ~entry_of_at:(fun at ->
             { History.index = idx;
               config;
@@ -962,8 +974,18 @@ let run ?(seed = 0) ?clock ?on_iteration ?obs ?(invalid_floor_s = default_invali
       Hashtbl.replace inflight_tbl idx r;
       ignore
         (Vclock.schedule clock ~at:r.Checkpoint.entry.History.at_seconds (fun () ->
-             complete_task slot ~iteration_span:None ~replayed_phases:true r.Checkpoint.entry))
-    | None, None -> launch_live ~iteration_span slot idx config decide_seconds
+             complete_task slot ~iteration_span:None ~belief:None ~replayed_phases:true
+               r.Checkpoint.entry))
+    | None, None ->
+      (* Pre-evaluation belief capture (live launches only): [predict] is
+         pure and only consulted when a consumer is attached, so recorded
+         runs stay byte-for-byte identical to unrecorded ones. *)
+      let belief =
+        match (on_record, algorithm.Search_algorithm.predict) with
+        | Some _, Some p -> Some (p ctx config)
+        | (Some _ | None), _ -> None
+      in
+      launch_live ~iteration_span ~belief slot idx config decide_seconds
   in
   let request_and_launch k =
     if algorithm.Search_algorithm.propose_batch <> None && k > 1 then begin

@@ -94,6 +94,7 @@ val run :
   ?seed:int ->
   ?clock:Vclock.t ->
   ?on_iteration:(History.entry -> unit) ->
+  ?on_record:(History.entry -> Search_algorithm.belief option -> unit) ->
   ?obs:Obs.Recorder.t ->
   ?invalid_floor_s:float ->
   ?max_consecutive_invalid:int ->
@@ -113,7 +114,14 @@ val run :
     sit on the clock's min-heap with FIFO tie-break, so the interleaving
     is fully reproducible).  [on_iteration] observes each entry as it is
     recorded (useful for live series); replayed entries of a resumed run
-    are not re-announced.  [obs] attaches an external recorder (e.g.
+    are not re-announced.  [on_record] additionally receives the
+    searcher's pre-evaluation {!Search_algorithm.belief} about the
+    entry's configuration — captured at launch time via the algorithm's
+    pure [predict] hook, delivered at completion — and is the hook the
+    run-ledger writer attaches to.  [predict] is only consulted when
+    [on_record] is present, so recorded runs stay byte-for-byte
+    identical to unrecorded ones; like [on_iteration], [on_record] is
+    not re-fired for replayed entries.  [obs] attaches an external recorder (e.g.
     with a JSONL sink); by default a private sink-less recorder feeds
     {!result.metrics}.  Invalid proposals (violating the space or its
     pins) are recorded as {!Failure.Invalid_configuration} and charged
@@ -170,6 +178,7 @@ val run_sequential :
   ?seed:int ->
   ?clock:Vclock.t ->
   ?on_iteration:(History.entry -> unit) ->
+  ?on_record:(History.entry -> Search_algorithm.belief option -> unit) ->
   ?obs:Obs.Recorder.t ->
   ?invalid_floor_s:float ->
   ?max_consecutive_invalid:int ->

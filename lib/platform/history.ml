@@ -139,13 +139,17 @@ let csv_field s =
 
 let to_csv t =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "index,value,failure,at_s,eval_s,built,decide_s\n";
+  Buffer.add_string buf "index,value,failure,failure_class,at_s,eval_s,built,decide_s\n";
   Array.iter
     (fun e ->
       Buffer.add_string buf
-        (Printf.sprintf "%d,%s,%s,%.1f,%.1f,%b,%.6f\n" e.index
+        (Printf.sprintf "%d,%s,%s,%s,%.1f,%.1f,%b,%.6f\n" e.index
            (match e.value with Some v -> Printf.sprintf "%.3f" v | None -> "")
            (csv_field (match e.failure with Some f -> Failure.to_string f | None -> ""))
+           (csv_field
+              (match e.failure with
+              | Some f -> Failure.klass_to_string (Failure.klass f)
+              | None -> ""))
            e.at_seconds e.eval_seconds e.built e.decide_seconds))
     (entries t);
   Buffer.contents buf

@@ -72,5 +72,9 @@ val csv_field : string -> string
     embedded quotes doubled. *)
 
 val to_csv : t -> string
-(** One row per entry: [index,value,failure,at_s,eval_s,built,decide_s].
-    String fields are RFC 4180-quoted. *)
+(** One row per entry:
+    [index,value,failure,failure_class,at_s,eval_s,built,decide_s].
+    [failure_class] is {!Failure.klass_to_string} of the failure's class
+    (empty on success), so offline analytics ([wayfinder analyze
+    --from-csv]) can distinguish crashes from transients without
+    re-parsing failure names.  String fields are RFC 4180-quoted. *)

@@ -12,15 +12,23 @@ type context = {
   obs : Obs.Recorder.t;
 }
 
+type belief = {
+  crash_probability : float option;
+  predicted_value : float option;
+  predicted_uncertainty : float option;
+  belief_source : string;
+}
+
 type t = {
   algo_name : string;
   propose : context -> Space.configuration;
   propose_batch : (context -> k:int -> Space.configuration list) option;
   observe : context -> History.entry -> unit;
+  predict : (context -> Space.configuration -> belief) option;
 }
 
-let make ~name ~propose ?propose_batch ?(observe = fun _ _ -> ()) () =
-  { algo_name = name; propose; propose_batch; observe }
+let make ~name ~propose ?propose_batch ?(observe = fun _ _ -> ()) ?predict () =
+  { algo_name = name; propose; propose_batch; observe; predict }
 
 let propose_many t ctx ~k =
   if k <= 0 then invalid_arg "Search_algorithm.propose_many: k must be positive";

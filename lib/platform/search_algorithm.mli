@@ -37,6 +37,22 @@ type context = {
                              sink-less recorder is effectively free. *)
 }
 
+type belief = {
+  crash_probability : float option;  (** Predicted crash probability [k̂]
+      (DeepTune's crash head); [None] for model-free searchers. *)
+  predicted_value : float option;  (** Predicted metric value in metric
+      units — DeepTune's de-normalised [ŷ], the GP posterior mean. *)
+  predicted_uncertainty : float option;  (** Stated uncertainty on the
+      prediction, in the algorithm's own scale — DeepTune's RBF [σ̂ ∈
+      \[0, 1\]], the GP posterior standard deviation. *)
+  belief_source : string;  (** Which model stated it ("deeptune", "gp"). *)
+}
+(** A searcher's {e pre-evaluation} belief about a proposal — what the
+    model thought {e before} the testbed answered.  The run ledger records
+    beliefs next to outcomes, making model-calibration diagnostics (Brier
+    score, reliability bins, uncertainty–error correlation) computable
+    from any recorded run. *)
+
 type t = {
   algo_name : string;
   propose : context -> Space.configuration;
@@ -47,6 +63,13 @@ type t = {
           exhausted (a final partial batch).  [None] means the driver
           falls back to [k] sequential [propose] calls. *)
   observe : context -> History.entry -> unit;
+  predict : (context -> Space.configuration -> belief) option;
+      (** Introspection hook: state the model's current belief about a
+          configuration.  MUST be pure — no mutation of the algorithm's
+          state and no draws from [ctx.rng] — because the driver only
+          calls it when a ledger (or other consumer) is attached, and a
+          recorded run must stay byte-for-byte identical to an unrecorded
+          one.  [None] for algorithms with no predictive model. *)
 }
 
 val make :
@@ -54,10 +77,12 @@ val make :
   propose:(context -> Space.configuration) ->
   ?propose_batch:(context -> k:int -> Space.configuration list) ->
   ?observe:(context -> History.entry -> unit) ->
+  ?predict:(context -> Space.configuration -> belief) ->
   unit ->
   t
 (** [observe] defaults to a no-op (memoryless algorithms);
-    [propose_batch] to [None] (sequential fallback). *)
+    [propose_batch] to [None] (sequential fallback); [predict] to [None]
+    (no stated beliefs). *)
 
 val propose_many : t -> context -> k:int -> Space.configuration list
 (** Ask for [k] proposals: the native [propose_batch] when available (and

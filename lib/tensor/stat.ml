@@ -94,6 +94,33 @@ let pearson xs ys =
     !acc /. (float_of_int (Array.length xs) *. sx *. sy)
   end
 
+(* Fractional (mid-) ranks: ties share the average of the positions they
+   occupy, the standard treatment that keeps Spearman's rho in [-1, 1]
+   under ties. *)
+let ranks xs =
+  let n = Array.length xs in
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> Float.compare xs.(a) xs.(b)) order;
+  let out = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(order.(!j + 1)) = xs.(order.(!i)) do incr j done;
+    (* Positions !i..!j (0-based) hold equal values: mid-rank, 1-based. *)
+    let r = float_of_int (!i + !j + 2) /. 2. in
+    for k = !i to !j do
+      out.(order.(k)) <- r
+    done;
+    i := !j + 1
+  done;
+  out
+
+let spearman xs ys =
+  if Array.length xs <> Array.length ys then invalid_arg "Stat.spearman: length mismatch";
+  if Array.length xs = 0 then 0.
+  else if Array.exists Float.is_nan xs || Array.exists Float.is_nan ys then Float.nan
+  else pearson (ranks xs) (ranks ys)
+
 let argmax xs = Vec.max_index xs
 let argmin xs = Vec.min_index xs
 

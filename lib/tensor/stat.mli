@@ -46,6 +46,16 @@ val exp_smooth : float -> float array -> float array
 val pearson : float array -> float array -> float
 (** Pearson correlation coefficient; 0 when either input is constant. *)
 
+val ranks : float array -> float array
+(** 1-based fractional ranks; ties receive the average (mid-) rank of the
+    positions they occupy. *)
+
+val spearman : float array -> float array -> float
+(** Spearman rank correlation: Pearson over {!ranks}.  0 when either input
+    is constant (or empty); NaN if any sample is NaN (the NaN policy —
+    propagate, never silently rank).
+    @raise Invalid_argument on length mismatch. *)
+
 val argmax : float array -> int
 val argmin : float array -> int
 

@@ -167,17 +167,17 @@ type outcome = {
    fields are zero and outcomes compare byte-for-byte. *)
 let run ?(engine = `Workers 1) ?batch ?(seed = 7) ?(budget = Driver.Iterations 12)
     ?(fault_rate = 0.) ?checkpoint_path ?checkpoint_every ?resume_from ?on_iteration
-    ?image_cache name =
+    ?on_record ?image_cache name =
   let target = faulty_target ~fault_rate ~seed in
   let algo, observed = with_observe_counter (algorithm name ~seed target.Target.space) in
   let result =
     match engine with
     | `Sequential ->
       Driver.run_sequential ~seed ~obs:(frozen_obs ()) ?checkpoint_path ?checkpoint_every
-        ?resume_from ?image_cache ~target ?on_iteration ~algorithm:algo ~budget ()
+        ?resume_from ?image_cache ~target ?on_iteration ?on_record ~algorithm:algo ~budget ()
     | `Workers workers ->
       Driver.run ~seed ~obs:(frozen_obs ()) ?checkpoint_path ?checkpoint_every ?resume_from
-        ?on_iteration ~workers ?batch ?image_cache ~target ~algorithm:algo ~budget ()
+        ?on_iteration ?on_record ~workers ?batch ?image_cache ~target ~algorithm:algo ~budget ()
   in
   { result; observed }
 

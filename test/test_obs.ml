@@ -108,8 +108,11 @@ let test_jsonl_sink_format () =
     (Event.Sample
        { name = "loss"; value = 0.25; at = { Event.wall_s = 1.; virtual_s = 0. } });
   let lines = String.split_on_char '\n' (Buffer.contents buf) in
-  Alcotest.(check int) "one line per event (plus trailing)" 3 (List.length lines);
-  let first = List.nth lines 0 in
+  Alcotest.(check int) "schema header, one line per event, trailing" 4 (List.length lines);
+  Alcotest.(check string) "schema header line"
+    (Sink.schema_header ~kind:"trace")
+    (List.nth lines 0);
+  let first = List.nth lines 1 in
   Alcotest.(check bool) "span line carries type" true
     (String.length first > 0
     && String.sub first 0 15 = {|{"type":"span",|});
@@ -214,6 +217,26 @@ let test_recorder_timed () =
 (* Summary                                                             *)
 (* ------------------------------------------------------------------ *)
 
+let test_summary_si () =
+  List.iter
+    (fun (v, expect) -> Alcotest.(check string) (Printf.sprintf "si %g" v) expect (Summary.si v))
+    [ (0., "0");
+      (5e-4, "500us");
+      (0.25, "250.0ms");
+      (1.5, "1.50s");
+      (59.99, "59.99s");
+      (* Minute boundary is exactly 60 s — 90 s must not render as seconds. *)
+      (60., "1.0m");
+      (90., "1.5m");
+      (3600., "60.0m");
+      (7200., "2.0h");
+      (* Sign applies outside the unit conversion. *)
+      (-90., "-1.5m");
+      (-0.25, "-250.0ms");
+      (nan, "nan");
+      (infinity, "inf");
+      (neg_infinity, "-inf") ]
+
 let test_summary_phase_line () =
   let m = Metrics.create () in
   Metrics.observe m "driver.build.virtual_s" 75.;
@@ -278,6 +301,7 @@ let () =
             test_recorder_quiet_skips_events_not_metrics;
           Alcotest.test_case "timed" `Quick test_recorder_timed ] );
       ( "summary",
-        [ Alcotest.test_case "phase line" `Quick test_summary_phase_line;
+        [ Alcotest.test_case "si rendering" `Quick test_summary_si;
+          Alcotest.test_case "phase line" `Quick test_summary_phase_line;
           Alcotest.test_case "to_text" `Quick test_summary_to_text_mentions_everything ] )
     ]

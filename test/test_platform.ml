@@ -92,9 +92,19 @@ let test_history_windowed_crash_rate () =
 let test_history_csv () =
   let h = History.create Metric.throughput in
   History.add h (entry ~value:(Some 10.) 0);
+  History.add h (entry ~failure:(Some Failure.Boot_failure) 1);
   let csv = History.to_csv h in
   Alcotest.(check bool) "has header" true
-    (String.length csv > 10 && String.sub csv 0 5 = "index")
+    (String.length csv > 10 && String.sub csv 0 5 = "index");
+  (match String.split_on_char '\n' csv with
+  | header :: ok_row :: fail_row :: _ ->
+    Alcotest.(check string) "header columns"
+      "index,value,failure,failure_class,at_s,eval_s,built,decide_s" header;
+    let field n line = List.nth (String.split_on_char ',' line) n in
+    Alcotest.(check string) "success has empty class" "" (field 3 ok_row);
+    Alcotest.(check string) "boot failure is deterministic" "deterministic"
+      (field 3 fail_row)
+  | _ -> Alcotest.fail "csv too short")
 
 (* Minimal RFC 4180 field reader: undoes [History.csv_field]. *)
 let csv_unquote s =
