@@ -103,8 +103,8 @@ let policy_of_flags ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeou
 
 let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s ~seed ~favor
     ~csv_path ~trace_path ~ledger_path ~progress_every ~timings ~quiet ~checkpoint
-    ~checkpoint_every ~resume ~fault_rate ~workers ~batch ~image_cache ~resilient ~retries
-    ~build_timeout ~boot_timeout ~run_timeout ~measure_repeats ~quarantine_after =
+    ~checkpoint_every ~resume ~fault_rate ~workers ~batch ~image_cache ~domains ~resilient
+    ~retries ~build_timeout ~boot_timeout ~run_timeout ~measure_repeats ~quarantine_after =
   ignore metric_hint;
   let job =
     match job_file with
@@ -277,11 +277,24 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
           Printf.printf "resuming from %s at iteration %d (t=%.0fs)\n%!"
             (Option.get checkpoint) ck.P.Checkpoint.iterations ck.P.Checkpoint.clock_seconds
         | None -> ());
+        (* --domains: spin up the pool for the run's duration; it is also
+           installed as the ambient default so the numeric kernels (DTM
+           training, candidate scoring) parallelize.  Results are
+           byte-for-byte identical to the unpooled run. *)
+        let run_with_pool f =
+          if domains <= 1 then f None
+          else
+            let p = P.Domain_pool.create domains in
+            Fun.protect
+              ~finally:(fun () -> P.Domain_pool.shutdown p)
+              (fun () -> P.Domain_pool.with_default (Some p) (fun () -> f (Some p)))
+        in
         match
-          P.Driver.run ~seed ~on_iteration:progress ?on_record ~obs ~resilience
-            ?checkpoint_path:checkpoint ~checkpoint_every ?resume_from ~workers ?batch
-            ?image_cache:(Option.map P.Image_cache.capacity image_cache) ~target
-            ~algorithm:algo ~budget ()
+          run_with_pool (fun pool ->
+              P.Driver.run ~seed ~on_iteration:progress ?on_record ~obs ~resilience
+                ?checkpoint_path:checkpoint ~checkpoint_every ?resume_from ~workers ?batch
+                ?image_cache:(Option.map P.Image_cache.capacity image_cache) ?pool ~target
+                ~algorithm:algo ~budget ())
         with
         | exception Invalid_argument msg ->
           (match trace_channel with Some oc -> close_out oc | None -> ());
@@ -615,6 +628,16 @@ let run_cmd =
                 proposal matches a cached image skips the build phase entirely. Defaults to \
                 $(b,--workers); on $(b,--resume) the capacity comes from the checkpoint.")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Run the expensive computation on $(docv) OCaml domains (real CPU cores): each \
+                fill round's evaluations are speculatively computed in parallel, and the \
+                numeric kernels (DTM training, candidate-pool scoring) run data-parallel. \
+                Results are byte-for-byte identical to $(docv)=1 — domains buy wall-clock \
+                time, never a different answer.")
+  in
   let resilient =
     Arg.(
       value & flag
@@ -656,25 +679,26 @@ let run_cmd =
   in
   let f job_file os app algorithm iterations budget_s seed favor csv
       (trace, ledger, progress, timings, quiet)
-      (checkpoint, checkpoint_every, resume, fault_rate, workers, batch, image_cache)
+      (checkpoint, checkpoint_every, resume, fault_rate, workers, batch, image_cache, domains)
       (resilient, retries, build_timeout, boot_timeout, run_timeout, measure_repeats,
        quarantine_after) =
     handle
       (run_search ~job_file ~os ~app ~metric_hint:() ~algorithm ~iterations ~budget_s ~seed
          ~favor ~csv_path:csv ~trace_path:trace ~ledger_path:ledger ~progress_every:progress
          ~timings ~quiet ~checkpoint ~checkpoint_every ~resume ~fault_rate ~workers ~batch
-         ~image_cache ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeout
+         ~image_cache ~domains ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeout
          ~measure_repeats ~quarantine_after)
   in
   (* Cmdliner terms are applicative; tuple up the flag groups to keep the
      application chain readable. *)
   let tuple5 a b c d e = (a, b, c, d, e) in
   let tuple7 a b c d e f g = (a, b, c, d, e, f, g) in
+  let tuple8 a b c d e f g h = (a, b, c, d, e, f, g, h) in
   let output_group = Term.(const tuple5 $ trace $ ledger $ progress $ timings $ quiet) in
   let checkpoint_group =
     Term.(
-      const tuple7 $ checkpoint $ checkpoint_every $ resume $ fault_rate $ workers $ batch
-      $ image_cache)
+      const tuple8 $ checkpoint $ checkpoint_every $ resume $ fault_rate $ workers $ batch
+      $ image_cache $ domains)
   in
   let resilience_group =
     Term.(

@@ -85,6 +85,15 @@ let value_token = function
   | Vint n -> "i" ^ string_of_int n
   | Vcat i -> "c" ^ string_of_int i
 
+(* Canonical, collision-free identity of a whole configuration: the
+   comma-joined value tokens.  Tokens contain no commas and [value_token]
+   is injective on values, so two configurations share a key iff they are
+   equal position by position — unlike [Hashtbl.hash], which only examines
+   a bounded prefix of the structure and silently conflates configurations
+   that differ past the ~10th parameter. *)
+let config_key config =
+  String.concat "," (Array.to_list (Array.map value_token config))
+
 let value_of_token s =
   if String.length s < 2 then None
   else

@@ -58,6 +58,13 @@ val value_token : value -> string
 val value_of_token : string -> value option
 (** Total inverse of {!value_token}; [None] on malformed tokens. *)
 
+val config_key : value array -> string
+(** Canonical identity of a whole configuration: the comma-joined
+    {!value_token}s.  Injective — two configurations share a key iff they
+    are equal position by position — so it is safe to key quarantine
+    strikes, dedup sets and checkpoint state on it (unlike
+    [Hashtbl.hash], which ignores everything past a bounded prefix). *)
+
 val cardinality : kind -> float
 (** Number of possible values (as a float: integer ranges can be large).
     Used to report search-space sizes like the paper's 3.7×10¹³. *)

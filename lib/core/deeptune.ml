@@ -47,7 +47,7 @@ type t = {
   rng : Rng.t;
   mutable known : Vec.t list;  (* encoded evaluated configurations *)
   mutable best_configs : (float * Space.configuration) list;  (* top scored, descending *)
-  seen : (int, unit) Hashtbl.t;  (* hashes of evaluated configurations *)
+  seen : (string, unit) Hashtbl.t;  (* canonical keys of evaluated configurations *)
   mutable pending_seeds : Space.configuration list;
       (* Transferred incumbents to evaluate verbatim before consulting the
          pool (they are known-good end-to-end on the donor). *)
@@ -94,12 +94,12 @@ let generate_pool t =
 (* Selection                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let config_key config = Hashtbl.hash (Array.to_list config)
+let config_key = Param.config_key
 
-(* ② Predict each candidate; ③ score by predicted performance plus the
-   eq. 3 exploration bonus.  Scoring happens in the model's z-score units
-   so the [0, 1] bonus and the crash penalty are commensurate with the
-   performance term. *)
+(* ② Predict every candidate in one batched forward pass; ③ score by
+   predicted performance plus the eq. 3 exploration bonus.  Scoring
+   happens in the model's z-score units so the [0, 1] bonus and the crash
+   penalty are commensurate with the performance term. *)
 let score_pool t pool =
   (* Never re-evaluate a configuration (the platform would just repeat the
      measurement): drop already-seen candidates unless that empties the
@@ -109,10 +109,14 @@ let score_pool t pool =
     | [] -> pool
     | fresh -> fresh
   in
-  List.map
-    (fun config ->
-      let x = Encoding.encode t.encoding config in
-      let p = Dtm.predict t.dtm x in
+  let xs = Array.of_list (List.map (Encoding.encode t.encoding) pool) in
+  (* One whole-pool forward: bitwise identical to per-candidate [predict]
+     but a single large matmul per layer instead of |pool| tiny ones. *)
+  let preds = Dtm.predict_batch t.dtm xs in
+  List.mapi
+    (fun i config ->
+      let x = xs.(i) in
+      let p = preds.(i) in
       let ds = Scoring.dissimilarity x t.known in
       let bonus =
         Scoring.score ~alpha:t.options.alpha ~dissimilarity:ds

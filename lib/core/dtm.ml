@@ -41,8 +41,19 @@ type t = {
 let trunk_spec cfg =
   List.concat_map (fun h -> [ `Dense h; `Relu; `Dropout cfg.dropout ]) cfg.hidden
 
-let create ?(config = default_config) rng ~in_dim =
+let validate_config config =
   if config.hidden = [] then invalid_arg "Dtm.create: empty hidden spec";
+  if List.exists (fun h -> h <= 0) config.hidden then
+    invalid_arg "Dtm.create: hidden layer widths must be positive";
+  if config.rbf_centroids <= 0 then invalid_arg "Dtm.create: rbf_centroids must be positive";
+  if config.dropout < 0. || config.dropout >= 1. then
+    invalid_arg "Dtm.create: dropout must be in [0, 1)";
+  if not (config.learning_rate > 0.) then
+    invalid_arg "Dtm.create: learning_rate must be positive"
+
+let create ?(config = default_config) rng ~in_dim =
+  validate_config config;
+  if in_dim <= 0 then invalid_arg "Dtm.create: in_dim must be positive";
   let trunk = Network.create rng ~in_dim (trunk_spec config) in
   let last = List.nth config.hidden (List.length config.hidden - 1) in
   let crash_head = Network.create rng ~in_dim:last [ `Dense 1 ] in
@@ -137,6 +148,49 @@ let predict t x =
     aleatoric_std = Dataset.denormalize_std nz (sqrt (exp (min 20. log_var)));
     uncertainty = rbf_uncertainty t hidden }
 
+(* One forward pass over the whole batch.  Dense rows are independent dot
+   products, ReLU is elementwise, dropout is identity at inference and the
+   RBF activations are computed row by row, so element [i] of the result
+   is bitwise identical to [predict t xs.(i)] — the batch form only turns
+   n small matmuls into one large one (which the ambient domain pool can
+   then split across cores). *)
+let predict_batch t xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    Array.iter
+      (fun x ->
+        if Vec.dim x <> t.in_dim then invalid_arg "Dtm.predict_batch: feature dimension mismatch")
+      xs;
+    let nz = normalizer t in
+    let batch = Mat.of_rows (Array.map (normalize_input nz) xs) in
+    let h = Network.forward t.trunk ~train:false t.rng batch in
+    let hidden = Network.hidden_after_forward t.trunk in
+    let crash_out = Network.forward t.crash_head ~train:false t.rng h in
+    let perf_out = Network.forward t.perf_head ~train:false t.rng h in
+    let phis =
+      Array.mapi (fun li z -> Layer.Rbf.forward t.rbf_layers.(li) z) (Array.of_list hidden)
+    in
+    let n_layers = float_of_int (Array.length phis) in
+    Array.init n (fun i ->
+        let crash_logit = Mat.get crash_out i 0 in
+        let mu = Mat.get perf_out i 0 and log_var = Mat.get perf_out i 1 in
+        let acc = ref 0. in
+        Array.iter
+          (fun phi ->
+            let best = ref 0. in
+            for k = 0 to phi.Mat.cols - 1 do
+              if Mat.get phi i k > !best then best := Mat.get phi i k
+            done;
+            acc := !acc +. !best)
+          phis;
+        { crash_probability = Loss.sigmoid crash_logit;
+          performance = Dataset.denormalize_target nz mu;
+          normalized_performance = mu;
+          aleatoric_std = Dataset.denormalize_std nz (sqrt (exp (min 20. log_var)));
+          uncertainty = 1. -. (!acc /. n_layers) })
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Training                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -178,10 +232,7 @@ let train_batch t nz batch =
       let loss, dc = Loss.chamfer ~points:z ~centroids:(Layer.Rbf.centroid_matrix rbf) in
       l_cham := !l_cham +. loss;
       match Layer.Rbf.params rbf with
-      | [ c ] ->
-        Array.iteri
-          (fun k g -> c.Layer.grad.Mat.data.(k) <- c.Layer.grad.Mat.data.(k) +. g)
-          dc.Mat.data
+      | [ c ] -> Mat.add_into ~dst:c.Layer.grad dc
       | _ -> assert false)
     hidden;
   Optimizer.step t.optimizer;
@@ -300,8 +351,7 @@ let export t =
   { s_trunk = Network.save_weights t.trunk;
     s_crash = Network.save_weights t.crash_head;
     s_perf = Network.save_weights t.perf_head;
-    s_centroids =
-      Array.map (fun r -> Array.copy (Layer.Rbf.centroid_matrix r).Mat.data) t.rbf_layers;
+    s_centroids = Array.map (fun r -> Mat.to_array (Layer.Rbf.centroid_matrix r)) t.rbf_layers;
     s_norm = Array.concat [ nz.Dataset.means; nz.Dataset.stds; [| nz.Dataset.t_mean; nz.Dataset.t_std |] ] }
 
 let import t s =
@@ -313,9 +363,8 @@ let import t s =
   Array.iteri
     (fun i data ->
       let c = Layer.Rbf.centroid_matrix t.rbf_layers.(i) in
-      if Array.length data <> Array.length c.Mat.data then
-        invalid_arg "Dtm.import: centroid shape mismatch";
-      Array.blit data 0 c.Mat.data 0 (Array.length data))
+      if Array.length data <> Mat.numel c then invalid_arg "Dtm.import: centroid shape mismatch";
+      Mat.blit_from_array data c)
     s.s_centroids;
   let d = t.in_dim in
   if Array.length s.s_norm <> (2 * d) + 2 then invalid_arg "Dtm.import: normalizer size mismatch";

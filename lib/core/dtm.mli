@@ -43,9 +43,16 @@ type config = {
 
 val default_config : config
 
+val validate_config : config -> unit
+(** @raise Invalid_argument on a malformed config (see {!create}). *)
+
 type t
 
 val create : ?config:config -> Rng.t -> in_dim:int -> t
+(** @raise Invalid_argument if [in_dim <= 0] or the config is malformed:
+    empty or non-positive [hidden] widths, [rbf_centroids <= 0], [dropout]
+    outside [0, 1), or a non-positive [learning_rate]. *)
+
 val in_dim : t -> int
 
 type prediction = {
@@ -60,6 +67,12 @@ type prediction = {
 val predict : t -> Vec.t -> prediction
 (** Raw (un-normalised) feature vector in, prediction out.  Before any
     {!train} call the model returns its untrained outputs. *)
+
+val predict_batch : t -> Vec.t array -> prediction array
+(** One forward pass over the whole batch.  Element [i] is bitwise
+    identical to [predict t xs.(i)]; the batch form exists so candidate
+    pools score as one large matmul (which the ambient {!Domain_pool} can
+    split across cores) instead of many small ones. *)
 
 type losses = { cce : float; reg : float; chamfer : float }
 

@@ -32,7 +32,8 @@ let z_clip = 6.
 
 let create ?(config = Dtm.default_config) rng ~in_dim ~n_metrics =
   if n_metrics < 1 then invalid_arg "Dtm_multi.create: n_metrics < 1";
-  if config.Dtm.hidden = [] then invalid_arg "Dtm_multi.create: empty hidden spec";
+  if in_dim <= 0 then invalid_arg "Dtm_multi.create: in_dim must be positive";
+  Dtm.validate_config config;
   let trunk_spec =
     List.concat_map
       (fun h -> [ `Dense h; `Relu; `Dropout config.Dtm.dropout ])
@@ -179,10 +180,7 @@ let train_batch t batch =
       let rbf = t.rbf_layers.(i) in
       let _, dc = Loss.chamfer ~points:z ~centroids:(Layer.Rbf.centroid_matrix rbf) in
       match Layer.Rbf.params rbf with
-      | [ c ] ->
-        Array.iteri
-          (fun j g -> c.Layer.grad.Mat.data.(j) <- c.Layer.grad.Mat.data.(j) +. g)
-          dc.Mat.data
+      | [ c ] -> Mat.add_into ~dst:c.Layer.grad dc
       | _ -> assert false)
     hidden;
   Optimizer.step t.optimizer

@@ -5,8 +5,7 @@ type tensor = { value : Mat.t; grad : Mat.t }
 
 let tensor_zeros rows cols = { value = Mat.zeros rows cols; grad = Mat.zeros rows cols }
 
-let zero_grad t =
-  Array.fill t.grad.Mat.data 0 (Array.length t.grad.Mat.data) 0.
+let zero_grad t = Mat.fill t.grad 0.
 
 module Dense = struct
   type t = {
@@ -18,9 +17,9 @@ module Dense = struct
   let create rng ~in_dim ~out_dim =
     let scale = sqrt (2. /. float_of_int in_dim) in
     let w = tensor_zeros in_dim out_dim in
-    Array.iteri
-      (fun i _ -> w.value.Mat.data.(i) <- Rng.normal rng ~sigma:scale ())
-      w.value.Mat.data;
+    for i = 0 to Mat.numel w.value - 1 do
+      Mat.set_flat w.value i (Rng.normal rng ~sigma:scale ())
+    done;
     { w; b = tensor_zeros 1 out_dim; last_input = None }
 
   let in_dim t = t.w.value.Mat.rows
@@ -44,7 +43,7 @@ module Dense = struct
     in
     (* dW += xᵀ · dy ; db += column sums of dy ; dX = dy · Wᵀ *)
     let dw = Mat.matmul (Mat.transpose x) dy in
-    Array.iteri (fun i g -> t.w.grad.Mat.data.(i) <- t.w.grad.Mat.data.(i) +. g) dw.Mat.data;
+    Mat.add_into ~dst:t.w.grad dw;
     for j = 0 to dy.Mat.cols - 1 do
       let acc = ref 0. in
       for i = 0 to dy.Mat.rows - 1 do
@@ -77,7 +76,7 @@ module Relu = struct
     match t.last_input with
     | None -> invalid_arg "Relu.backward: no forward pass recorded"
     | Some x ->
-      { dy with Mat.data = Array.mapi (fun i g -> if x.Mat.data.(i) > 0. then g else 0.) dy.Mat.data }
+      Mat.map2 (fun xi g -> if xi > 0. then g else 0.) x dy
 end
 
 module Dropout = struct
@@ -96,9 +95,7 @@ module Dropout = struct
     end
     else begin
       let keep = 1. -. t.rate in
-      let mask =
-        { x with Mat.data = Array.map (fun _ -> if Rng.bernoulli rng keep then 1. /. keep else 0.) x.Mat.data }
-      in
+      let mask = Mat.map (fun _ -> if Rng.bernoulli rng keep then 1. /. keep else 0.) x in
       t.mask <- Some mask;
       Mat.hadamard x mask
     end
@@ -118,7 +115,9 @@ module Rbf = struct
   let create rng ~in_dim ~centroids ~gamma =
     let c = tensor_zeros centroids in_dim in
     (* Centroids start near the origin of the z-scored feature space. *)
-    Array.iteri (fun i _ -> c.value.Mat.data.(i) <- Rng.normal rng ~sigma:0.5 ()) c.value.Mat.data;
+    for i = 0 to Mat.numel c.value - 1 do
+      Mat.set_flat c.value i (Rng.normal rng ~sigma:0.5 ())
+    done;
     { c; gamma; last_input = None; last_output = None }
 
   let centroid_count t = t.c.value.Mat.rows

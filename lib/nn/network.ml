@@ -90,11 +90,11 @@ let hidden_after_forward t =
   List.rev t.hidden
 
 let save_weights t =
-  let chunks = List.map (fun p -> Array.copy p.Layer.value.Mat.data) (params t) in
+  let chunks = List.map (fun p -> Mat.to_array p.Layer.value) (params t) in
   Array.concat chunks
 
 let load_weights t flat =
-  let expected = List.fold_left (fun acc p -> acc + Array.length p.Layer.value.Mat.data) 0 (params t) in
+  let expected = List.fold_left (fun acc p -> acc + Mat.numel p.Layer.value) 0 (params t) in
   if Array.length flat <> expected then
     invalid_arg
       (Printf.sprintf "Network.load_weights: expected %d values, got %d" expected
@@ -102,7 +102,7 @@ let load_weights t flat =
   let pos = ref 0 in
   List.iter
     (fun p ->
-      let n = Array.length p.Layer.value.Mat.data in
-      Array.blit flat !pos p.Layer.value.Mat.data 0 n;
+      let n = Mat.numel p.Layer.value in
+      Mat.blit_from_array ~src_pos:!pos flat p.Layer.value;
       pos := !pos + n)
     (params t)

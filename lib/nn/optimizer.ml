@@ -18,7 +18,7 @@ type t = {
   algorithm : algorithm;
 }
 
-let state_like params = Array.map (fun p -> Array.make (Array.length p.Layer.value.Mat.data) 0.) params
+let state_like params = Array.map (fun p -> Array.make (Mat.numel p.Layer.value) 0.) params
 
 let sgd ?(momentum = 0.) ?(weight_decay = 0.) ~lr params =
   let params = Array.of_list params in
@@ -40,9 +40,9 @@ let step t =
       (fun pi p ->
         let value = p.Layer.value.Mat.data and grad = p.Layer.grad.Mat.data in
         let vel = velocity.(pi) in
-        for i = 0 to Array.length value - 1 do
-          vel.(i) <- (momentum *. vel.(i)) -. (t.lr *. grad.(i));
-          value.(i) <- value.(i) +. vel.(i)
+        for i = 0 to Mat.numel p.Layer.value - 1 do
+          vel.(i) <- (momentum *. vel.(i)) -. (t.lr *. grad.{i});
+          value.{i} <- value.{i} +. vel.(i)
         done)
       t.params
   | Adam ({ beta1; beta2; epsilon; m; v; _ } as state) ->
@@ -53,11 +53,11 @@ let step t =
       (fun pi p ->
         let value = p.Layer.value.Mat.data and grad = p.Layer.grad.Mat.data in
         let mp = m.(pi) and vp = v.(pi) in
-        for i = 0 to Array.length value - 1 do
-          mp.(i) <- (beta1 *. mp.(i)) +. ((1. -. beta1) *. grad.(i));
-          vp.(i) <- (beta2 *. vp.(i)) +. ((1. -. beta2) *. grad.(i) *. grad.(i));
+        for i = 0 to Mat.numel p.Layer.value - 1 do
+          mp.(i) <- (beta1 *. mp.(i)) +. ((1. -. beta1) *. grad.{i});
+          vp.(i) <- (beta2 *. vp.(i)) +. ((1. -. beta2) *. grad.{i} *. grad.{i});
           let m_hat = mp.(i) /. corr1 and v_hat = vp.(i) /. corr2 in
-          value.(i) <- value.(i) -. (t.lr *. m_hat /. (sqrt v_hat +. epsilon))
+          value.{i} <- value.{i} -. (t.lr *. m_hat /. (sqrt v_hat +. epsilon))
         done)
       t.params);
   (* Decoupled weight decay (AdamW-style), applied to every parameter. *)
@@ -65,8 +65,8 @@ let step t =
     Array.iter
       (fun p ->
         let value = p.Layer.value.Mat.data in
-        for i = 0 to Array.length value - 1 do
-          value.(i) <- value.(i) *. (1. -. (t.lr *. t.weight_decay))
+        for i = 0 to Mat.numel p.Layer.value - 1 do
+          value.{i} <- value.{i} *. (1. -. (t.lr *. t.weight_decay))
         done)
       t.params;
   zero_grads t

@@ -18,8 +18,8 @@ type t = {
   consecutive_invalid : int;
   cache_capacity : int;
   cache : (string * Image_cache.entry) list;
-  strikes : (int * int) list;
-  quarantined : int list;
+  strikes : (string * int) list;
+  quarantined : string list;
   entries : History.entry list;
   inflight : inflight list;
 }
@@ -33,7 +33,10 @@ let error_to_string = function
     Printf.sprintf "unsupported checkpoint version %d (expected %d)" found expected
   | Malformed msg -> msg
 
-let version = 3
+(* v4: strike/quarantine lines are keyed by the canonical config key
+   (comma-joined value tokens) instead of the truncated polymorphic hash,
+   which conflated configurations differing past the ~10th parameter. *)
+let version = 4
 
 (* ------------------------------------------------------------------ *)
 (* Field encodings                                                     *)
@@ -142,8 +145,8 @@ let to_string t =
           (encode_string (Failure.to_string f))
           (encode_string key))
     t.cache;
-  List.iter (fun (key, n) -> line "strike %d %d" key n) t.strikes;
-  List.iter (fun key -> line "quarantined %d" key) t.quarantined;
+  List.iter (fun (key, n) -> line "strike %s %d" (encode_string key) n) t.strikes;
+  List.iter (fun key -> line "quarantined %s" (encode_string key)) t.quarantined;
   List.iter (fun e -> line "entry %s" (entry_line e)) t.entries;
   List.iter
     (fun i ->
@@ -290,18 +293,15 @@ let of_string s =
       | "strike" -> (
         match String.split_on_char ' ' rest with
         | [ k; n ] -> (
-          match (int_of_string_opt k, int_of_string_opt n) with
-          | Some k, Some n ->
-            strikes := (k, n) :: !strikes;
+          match int_of_string_opt n with
+          | Some n ->
+            strikes := (decode_string k, n) :: !strikes;
             Ok ()
-          | _ -> Error (Malformed "bad strike field"))
+          | None -> Error (Malformed "bad strike field"))
         | _ -> Error (Malformed "bad strike field"))
-      | "quarantined" -> (
-        match int_of_string_opt rest with
-        | Some k ->
-          quarantined := k :: !quarantined;
-          Ok ()
-        | None -> Error (Malformed "bad quarantined field"))
+      | "quarantined" ->
+        quarantined := decode_string rest :: !quarantined;
+        Ok ()
       | "entry" ->
         let* e = parse_entry rest in
         entries := e :: !entries;

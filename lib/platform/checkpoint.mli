@@ -56,8 +56,10 @@ type t = {
       (** Shared image-cache contents in recency order, most recently used
           first (exactly {!Image_cache.to_alist}); at most
           [cache_capacity] bindings with distinct keys. *)
-  strikes : (int * int) list;  (** Config key → exhausted-retry episodes. *)
-  quarantined : int list;  (** Quarantined config keys. *)
+  strikes : (string * int) list;
+      (** Canonical config key ({!Param.config_key}) → exhausted-retry
+          episodes, sorted by key. *)
+  quarantined : string list;  (** Quarantined canonical config keys, sorted. *)
   entries : History.entry list;  (** Completion order, oldest first. *)
   inflight : inflight list;  (** Launched but not yet completed tasks. *)
 }
@@ -71,9 +73,11 @@ type error =
 val error_to_string : error -> string
 
 val version : int
-(** Current format version: 3.  Files written by earlier versions (v2
-    persisted per-slot baseline images instead of the shared cache) are
-    rejected with {!Unsupported_version}. *)
+(** Current format version: 4.  Files written by earlier versions are
+    rejected with {!Unsupported_version} (v2 persisted per-slot baseline
+    images instead of the shared cache; v3 keyed quarantine strikes on
+    the truncated polymorphic hash, which conflated configurations
+    differing past the ~10th parameter). *)
 
 val to_string : t -> string
 val of_string : string -> (t, error) result

@@ -1,0 +1,4 @@
+(* Re-export so platform consumers (driver, CLI) can say
+   [Wayfinder_platform.Domain_pool] without depending on the tensor
+   library directly. *)
+include Wayfinder_tensor.Domain_pool

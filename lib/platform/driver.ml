@@ -1,7 +1,9 @@
 module Space = Wayfinder_configspace.Space
+module Param = Wayfinder_configspace.Param
 module Vclock = Wayfinder_simos.Vclock
 module Rng = Wayfinder_tensor.Rng
 module Stat = Wayfinder_tensor.Stat
+module Domain_pool = Wayfinder_tensor.Domain_pool
 module Obs = Wayfinder_obs
 
 type budget = Iterations of int | Virtual_seconds of float
@@ -36,7 +38,11 @@ let default_checkpoint_every = 10
    resilience machinery see exactly the historical trial numbering. *)
 let trial_stride = 1_000_003
 
-let config_key config = Hashtbl.hash (Array.to_list config)
+(* Canonical, collision-free configuration identity.  The previous
+   [Hashtbl.hash (Array.to_list config)] examined only a bounded prefix of
+   the list, so configs differing past the ~10th parameter shared a key
+   and silently pooled their quarantine strikes. *)
+let config_key = Param.config_key
 
 let diverged_msg index =
   Printf.sprintf
@@ -118,8 +124,8 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
   let stop = ref None in
   (* Quarantine bookkeeping: exhausted-retry episodes per config key, and
      the keys given up on. *)
-  let strikes : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let quarantine : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let strikes : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let quarantine : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   (* The budget is measured relative to the clock reading at start, so a
      caller-supplied, already-advanced clock does not silently shrink a
      [Virtual_seconds] budget — and so a resumed run keeps charging
@@ -183,11 +189,15 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
     match checkpoint_path with
     | None -> ()
     | Some path ->
+      (* Ordering is defined by the canonical key, not polymorphic compare:
+         the checkpoint bytes for a given quarantine state are unique. *)
       let sorted_strikes =
-        List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) strikes [])
+        List.sort
+          (fun (a, _) (b, _) -> String.compare a b)
+          (Hashtbl.fold (fun k n acc -> (k, n) :: acc) strikes [])
       in
       let sorted_quarantined =
-        List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) quarantine [])
+        List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) quarantine [])
       in
       Checkpoint.save ~path
         { Checkpoint.seed;
@@ -520,7 +530,7 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
     ?(max_consecutive_invalid = default_max_consecutive_invalid)
     ?(resilience = Resilience.none) ?checkpoint_path
     ?(checkpoint_every = default_checkpoint_every) ?resume_from ?(workers = 1) ?batch
-    ?image_cache ~target ~algorithm ~budget () =
+    ?image_cache ?pool ~target ~algorithm ~budget () =
   if invalid_floor_s <= 0. then invalid_arg "Driver.run: invalid_floor_s must be positive";
   if max_consecutive_invalid <= 0 then
     invalid_arg "Driver.run: max_consecutive_invalid must be positive";
@@ -575,8 +585,8 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
     exhausted := true;
     if !stop = None then stop := Some Space_exhausted
   in
-  let strikes : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let quarantine : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let strikes : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let quarantine : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   (* Launched-but-not-completed tasks, keyed by proposal index — what a
      checkpoint persists as in-flight slot state. *)
   let inflight_tbl : (int, Checkpoint.inflight) Hashtbl.t = Hashtbl.create 16 in
@@ -641,15 +651,55 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
       | Some _ | None -> ()
     end
   in
+  (* ---------------- Speculative parallel prefetch ---------------- *)
+  (* With a domain pool, the first-attempt evaluation of every launch in a
+     batch is computed in parallel *before* the launches run, keyed by its
+     deterministic trial number; [call_target] then consumes the memoised
+     result.  Evaluation is a pure function of (trial, configuration), so
+     the memo is observably indistinguishable from evaluating inline —
+     retries and corroborating re-measurements use distinct trial numbers
+     and still evaluate inline, and a speculated result that a launch
+     never consumes (a config quarantined or negative-cached by an
+     *earlier* launch of the same batch) is simply dropped.  Nothing here
+     touches the recorder, the RNG or the clock, so pooled runs stay
+     byte-for-byte equal to sequential ones. *)
+  let prefetched : (int, Target.eval_result) Hashtbl.t = Hashtbl.create 64 in
+  let prefetch_batch pending =
+    match pool with
+    | None -> ()
+    | Some p ->
+      let work =
+        List.filter
+          (fun (idx, config) ->
+            (not (Hashtbl.mem replay_entries idx))
+            && (not (Hashtbl.mem replay_inflight idx))
+            && Space.validate space config = []
+            && (not (Hashtbl.mem quarantine (config_key config)))
+            &&
+            match Image_cache.peek cache (Space.stage_key space config) with
+            | Some { Image_cache.status = Image_cache.Build_failed _; _ } -> false
+            | Some { Image_cache.status = Image_cache.Built; _ } | None -> true)
+          pending
+      in
+      Array.iter
+        (fun (idx, r) -> Hashtbl.replace prefetched idx r)
+        (Domain_pool.map p
+           (fun (idx, config) -> (idx, target.Target.evaluate ~trial:idx config))
+           (Array.of_list work))
+  in
   let write_checkpoint () =
     match checkpoint_path with
     | None -> ()
     | Some path ->
+      (* Ordering is defined by the canonical key, not polymorphic compare:
+         the checkpoint bytes for a given quarantine state are unique. *)
       let sorted_strikes =
-        List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) strikes [])
+        List.sort
+          (fun (a, _) (b, _) -> String.compare a b)
+          (Hashtbl.fold (fun k n acc -> (k, n) :: acc) strikes [])
       in
       let sorted_quarantined =
-        List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) quarantine [])
+        List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) quarantine [])
       in
       let inflight =
         List.sort
@@ -753,7 +803,11 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
     let call_target config =
       let trial = idx + (trial_stride * !eval_calls) in
       incr eval_calls;
-      target.Target.evaluate ~trial config
+      match Hashtbl.find_opt prefetched trial with
+      | Some r ->
+        Hashtbl.remove prefetched trial;
+        r
+      | None -> target.Target.evaluate ~trial config
     in
     let violations =
       Obs.Recorder.with_span obs "driver.validate" (fun () -> Space.validate space config)
@@ -1000,33 +1054,75 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
       if n < k then note_exhausted ();
       if multi then Obs.Recorder.observe obs ~quiet:true "driver.batch.size" (float_of_int n);
       let share = secs /. float_of_int (max 1 n) in
-      List.iter (fun config -> launch ~iteration_span:None config share) configs
+      prefetch_batch (List.mapi (fun i config -> (!proposal_seq + i, config)) configs);
+      List.iter (fun config -> launch ~iteration_span:None config share) configs;
+      Hashtbl.reset prefetched
     end
     else begin
       let launched = ref 0 in
       let i = ref 0 in
-      while !i < k && not !exhausted do
-        let span =
-          Obs.Recorder.span_begin obs
-            ~attrs:[ Obs.Attr.int "iteration" !proposal_seq ]
-            "driver.iteration"
-        in
-        let proposed, secs =
-          Obs.Recorder.timed obs "driver.propose" (fun () ->
-              try Some (algorithm.Search_algorithm.propose ctx)
-              with Search_algorithm.Space_exhausted -> None)
-        in
-        (match proposed with
-        | None ->
-          Obs.Recorder.span_end obs
-            ~attrs:[ Obs.Attr.string "status" "space_exhausted" ]
-            span;
-          note_exhausted ()
-        | Some config ->
-          incr launched;
-          launch ~iteration_span:(Some span) config secs);
-        incr i
-      done;
+      (match pool with
+      | None ->
+        while !i < k && not !exhausted do
+          let span =
+            Obs.Recorder.span_begin obs
+              ~attrs:[ Obs.Attr.int "iteration" !proposal_seq ]
+              "driver.iteration"
+          in
+          let proposed, secs =
+            Obs.Recorder.timed obs "driver.propose" (fun () ->
+                try Some (algorithm.Search_algorithm.propose ctx)
+                with Search_algorithm.Space_exhausted -> None)
+          in
+          (match proposed with
+          | None ->
+            Obs.Recorder.span_end obs
+              ~attrs:[ Obs.Attr.string "status" "space_exhausted" ]
+              span;
+            note_exhausted ()
+          | Some config ->
+            incr launched;
+            launch ~iteration_span:(Some span) config secs);
+          incr i
+        done
+      | Some _ ->
+        (* Collect the round's proposals first so their first attempts can
+           be evaluated in parallel, then launch in proposal order.
+           Proposals only read algorithm/RNG/history state that launches
+           never touch, and launches never advance the clock (they only
+           schedule completions), so the hoisting changes no per-metric
+           event order; the iteration attribute is reconstructed to match
+           the interleaved numbering. *)
+        let base = !proposal_seq in
+        let pending = ref [] in
+        while !i < k && not !exhausted do
+          let span =
+            Obs.Recorder.span_begin obs
+              ~attrs:[ Obs.Attr.int "iteration" (base + !launched) ]
+              "driver.iteration"
+          in
+          let proposed, secs =
+            Obs.Recorder.timed obs "driver.propose" (fun () ->
+                try Some (algorithm.Search_algorithm.propose ctx)
+                with Search_algorithm.Space_exhausted -> None)
+          in
+          (match proposed with
+          | None ->
+            Obs.Recorder.span_end obs
+              ~attrs:[ Obs.Attr.string "status" "space_exhausted" ]
+              span;
+            note_exhausted ()
+          | Some config ->
+            incr launched;
+            pending := (span, config, secs) :: !pending);
+          incr i
+        done;
+        let pending = List.rev !pending in
+        prefetch_batch (List.mapi (fun j (_, config, _) -> (base + j, config)) pending);
+        List.iter
+          (fun (span, config, secs) -> launch ~iteration_span:(Some span) config secs)
+          pending;
+        Hashtbl.reset prefetched);
       if multi then
         Obs.Recorder.observe obs ~quiet:true "driver.batch.size" (float_of_int !launched)
     end

@@ -105,6 +105,7 @@ val run :
   ?workers:int ->
   ?batch:int ->
   ?image_cache:Image_cache.config ->
+  ?pool:Wayfinder_tensor.Domain_pool.t ->
   target:Target.t ->
   algorithm:Search_algorithm.t ->
   budget:budget ->
@@ -159,6 +160,17 @@ val run :
     cached image skips the build phase entirely (0 build seconds,
     [driver.image_cache.hits]; [.cross_slot_hits] when another slot
     built it); evictions are exact LRU.
+
+    [pool] enables {e wall-clock} parallel evaluation on OCaml domains:
+    each fill round's first-attempt evaluations are speculatively
+    computed on the pool before the launches run, and consumed from a
+    memo keyed by deterministic trial number.  Because evaluation is a
+    pure function of (trial, configuration) and the prefetch touches
+    neither the RNG, the recorder nor the virtual clock, a pooled run is
+    byte-for-byte identical to the same run without a pool — the
+    conformance suite pins this for every algorithm × worker count.
+    Retries and corroborating re-measurements (distinct trial numbers)
+    still evaluate inline.
 
     [resilience] defaults to {!Resilience.none}.  [checkpoint_path]
     enables periodic checkpointing — checkpoint format 3 persists

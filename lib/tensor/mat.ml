@@ -1,27 +1,63 @@
-type t = { rows : int; cols : int; data : float array }
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
-let create rows cols x = { rows; cols; data = Array.make (rows * cols) x }
+type t = { rows : int; cols : int; data : buffer }
+
+let alloc n : buffer = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+
+let create rows cols x =
+  let data = alloc (rows * cols) in
+  Bigarray.Array1.fill data x;
+  { rows; cols; data }
+
 let zeros rows cols = create rows cols 0.
 
+let numel m = m.rows * m.cols
+let get_flat m i = m.data.{i}
+let set_flat m i x = m.data.{i} <- x
+let fill m x = Bigarray.Array1.fill m.data x
+
 let init rows cols f =
-  let data = Array.make (rows * cols) 0. in
+  let data = alloc (rows * cols) in
   for i = 0 to rows - 1 do
     for j = 0 to cols - 1 do
-      data.((i * cols) + j) <- f i j
+      data.{(i * cols) + j} <- f i j
     done
   done;
   { rows; cols; data }
 
 let eye n = init n n (fun i j -> if i = j then 1. else 0.)
-let copy m = { m with data = Array.copy m.data }
-let get m i j = m.data.((i * m.cols) + j)
-let set m i j x = m.data.((i * m.cols) + j) <- x
-let row m i = Array.sub m.data (i * m.cols) m.cols
+
+let copy m =
+  let data = alloc (numel m) in
+  Bigarray.Array1.blit m.data data;
+  { m with data }
+
+let get m i j = m.data.{(i * m.cols) + j}
+let set m i j x = m.data.{(i * m.cols) + j} <- x
+
+let to_array m = Array.init (numel m) (fun i -> m.data.{i})
+
+let of_array rows cols a =
+  if Array.length a <> rows * cols then invalid_arg "Mat.of_array: length mismatch";
+  let data = alloc (rows * cols) in
+  Array.iteri (fun i x -> data.{i} <- x) a;
+  { rows; cols; data }
+
+let blit_from_array ?(src_pos = 0) a m =
+  let n = numel m in
+  if src_pos < 0 || src_pos + n > Array.length a then
+    invalid_arg "Mat.blit_from_array: source too short";
+  for i = 0 to n - 1 do
+    m.data.{i} <- a.(src_pos + i)
+  done
+
+let row m i = Array.init m.cols (fun j -> get m i j)
 let col m j = Array.init m.rows (fun i -> get m i j)
 
 let set_row m i v =
   if Array.length v <> m.cols then invalid_arg "Mat.set_row: dimension mismatch";
-  Array.blit v 0 m.data (i * m.cols) m.cols
+  let base = i * m.cols in
+  Array.iteri (fun j x -> m.data.{base + j} <- x) v
 
 let of_rows rows =
   match Array.length rows with
@@ -45,27 +81,81 @@ let check_same name a b =
 
 let elementwise name f a b =
   check_same name a b;
-  { a with data = Array.mapi (fun i x -> f x b.data.(i)) a.data }
+  let c = { a with data = alloc (numel a) } in
+  for i = 0 to numel a - 1 do
+    c.data.{i} <- f a.data.{i} b.data.{i}
+  done;
+  c
 
 let add a b = elementwise "add" ( +. ) a b
 let sub a b = elementwise "sub" ( -. ) a b
 let hadamard a b = elementwise "hadamard" ( *. ) a b
-let scale s m = { m with data = Array.map (fun x -> s *. x) m.data }
-let map f m = { m with data = Array.map f m.data }
+let map2 f a b = elementwise "map2" f a b
 
+let scale s m =
+  let c = { m with data = alloc (numel m) } in
+  for i = 0 to numel m - 1 do
+    c.data.{i} <- s *. m.data.{i}
+  done;
+  c
+
+let map f m =
+  let c = { m with data = alloc (numel m) } in
+  for i = 0 to numel m - 1 do
+    c.data.{i} <- f m.data.{i}
+  done;
+  c
+
+let add_into ~dst src =
+  check_same "add_into" dst src;
+  for i = 0 to numel dst - 1 do
+    dst.data.{i} <- dst.data.{i} +. src.data.{i}
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Matrix product                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Products below this many multiply-adds are not worth a trip through
+   the domain pool; the pool round-trip costs on the order of a small
+   matmul itself. *)
+let par_flop_threshold = 32_768
+
+(* [a : m×k], [b : k×n].  The kernel materializes Bᵀ so both operands
+   stream sequentially (the "transposed" layout), then computes each
+   output element as a dot product with [k] ascending.  Because every
+   c(i,j) is produced by exactly one lane using the identical
+   accumulation order, the result is bitwise identical whether the row
+   range [0, m) is processed inline or split across any number of
+   domains — which is what lets the ambient pool stay invisible to the
+   engine's determinism oracle.  Row chunks double as cache blocking. *)
 let matmul a b =
   if a.cols <> b.rows then
     invalid_arg (Printf.sprintf "Mat.matmul: inner dimension mismatch (%d vs %d)" a.cols b.rows);
-  let c = zeros a.rows b.cols in
-  for i = 0 to a.rows - 1 do
-    for k = 0 to a.cols - 1 do
-      let aik = get a i k in
-      if aik <> 0. then
-        for j = 0 to b.cols - 1 do
-          c.data.((i * c.cols) + j) <- c.data.((i * c.cols) + j) +. (aik *. get b k j)
-        done
+  let m = a.rows and n = b.cols and kd = a.cols in
+  let c = zeros m n in
+  let bt = transpose b in
+  let ad = a.data and btd = bt.data and cd = c.data in
+  let rows lo hi =
+    for i = lo to hi - 1 do
+      let abase = i * kd and cbase = i * n in
+      for j = 0 to n - 1 do
+        let bbase = j * kd in
+        let acc = ref 0. in
+        for k = 0 to kd - 1 do
+          acc :=
+            !acc
+            +. Bigarray.Array1.unsafe_get ad (abase + k)
+               *. Bigarray.Array1.unsafe_get btd (bbase + k)
+        done;
+        Bigarray.Array1.unsafe_set cd (cbase + j) !acc
+      done
     done
-  done;
+  in
+  (match Domain_pool.get_default () with
+  | Some pool when m >= 2 && m * n * kd >= par_flop_threshold ->
+    Domain_pool.parallel_for pool m rows
+  | _ -> rows 0 m);
   c
 
 let mat_vec a x =
@@ -94,7 +184,13 @@ let trace m =
   done;
   !acc
 
-let frobenius m = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. m.data)
+let frobenius m =
+  let acc = ref 0. in
+  for i = 0 to numel m - 1 do
+    let x = m.data.{i} in
+    acc := !acc +. (x *. x)
+  done;
+  sqrt !acc
 
 let add_jitter m eps =
   let c = copy m in

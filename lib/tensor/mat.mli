@@ -1,11 +1,17 @@
-(** Dense row-major float matrices.
+(** Dense row-major float matrices on Bigarray storage.
 
     Provides the matrix algebra needed by the neural network ({!Nn}), the
     Gaussian process ({!Gp}: Cholesky factorization and triangular solves),
-    and the causal-inference baseline (correlation matrices). *)
+    and the causal-inference baseline (correlation matrices).  Storage is
+    an unboxed, GC-opaque [float64] {!Bigarray.Array1}, so large buffers
+    impose no marking work and can be shared read-only across domains.
+    {!matmul} runs row-parallel on the ambient {!Domain_pool} when one is
+    installed, with results bitwise identical to the sequential kernel. *)
 
-type t = { rows : int; cols : int; data : float array }
-(** Row-major storage: element [(i, j)] lives at [data.(i * cols + j)]. *)
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { rows : int; cols : int; data : buffer }
+(** Row-major storage: element [(i, j)] lives at [data.{i * cols + j}]. *)
 
 val create : int -> int -> float -> t
 val zeros : int -> int -> t
@@ -13,8 +19,29 @@ val eye : int -> t
 val init : int -> int -> (int -> int -> float) -> t
 val copy : t -> t
 
+val numel : t -> int
+(** [rows * cols]. *)
+
 val get : t -> int -> int -> float
 val set : t -> int -> int -> float -> unit
+
+val get_flat : t -> int -> float
+(** Flat row-major access: [get_flat m i = m.data.{i}]. *)
+
+val set_flat : t -> int -> float -> unit
+
+val fill : t -> float -> unit
+(** Set every element. *)
+
+val to_array : t -> float array
+(** Fresh flat row-major copy of the contents. *)
+
+val of_array : int -> int -> float array -> t
+(** [of_array rows cols a] copies the flat row-major [a].
+    @raise Invalid_argument if [Array.length a <> rows * cols]. *)
+
+val blit_from_array : ?src_pos:int -> float array -> t -> unit
+(** Overwrite the matrix from a flat row-major array slice. *)
 
 val row : t -> int -> Vec.t
 (** Fresh copy of row [i]. *)
@@ -31,8 +58,18 @@ val add : t -> t -> t
 val sub : t -> t -> t
 val scale : float -> t -> t
 val hadamard : t -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+(** Elementwise combination of two same-shape matrices. *)
+
+val add_into : dst:t -> t -> unit
+(** [add_into ~dst src] accumulates [src] into [dst] elementwise. *)
+
 val matmul : t -> t -> t
-(** [matmul a b] with [a : m×k] and [b : k×n] is [m×n].
+(** [matmul a b] with [a : m×k] and [b : k×n] is [m×n].  Uses a
+    transposed, row-blocked kernel; when an ambient {!Domain_pool} is
+    installed and the product is large enough, rows are computed in
+    parallel with bitwise-identical results.
     @raise Invalid_argument on inner-dimension mismatch. *)
 
 val mat_vec : t -> Vec.t -> Vec.t

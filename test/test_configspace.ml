@@ -473,6 +473,60 @@ let prop_assoc_roundtrip =
       | Ok c' -> Space.diff s c c' = []
       | Error _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Canonical config key                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A space wide enough that the truncated-hash bug bites: [Hashtbl.hash]
+   inspects at most 10 meaningful values of a list, so configurations
+   past that prefix are invisible to it. *)
+let wide_space () =
+  Space.create
+    (List.init 16 (fun i ->
+         match i mod 3 with
+         | 0 -> Param.bool_param (Printf.sprintf "b%d" i) false
+         | 1 -> Param.int_param (Printf.sprintf "i%d" i) ~lo:0 ~hi:100 ~default:0
+         | _ -> Param.tristate_param (Printf.sprintf "t%d" i) 0))
+
+let test_config_key_beats_truncated_hash () =
+  (* Regression for the quarantine-key bug: the driver used to key strike
+     and quarantine state on [Hashtbl.hash (Array.to_list config)], which
+     hashes only a bounded prefix — two configurations identical in their
+     first 10 parameters but differing in the 11th shared a key and
+     silently pooled their quarantine strikes.  The canonical key must
+     separate them. *)
+  let a = Array.init 12 (fun _ -> Param.Vint 1) in
+  let b = Array.copy a in
+  b.(11) <- Param.Vint 2;
+  Alcotest.(check bool) "truncated hash collides (the old bug)" true
+    (Hashtbl.hash (Array.to_list a) = Hashtbl.hash (Array.to_list b));
+  Alcotest.(check bool) "canonical keys differ" true
+    (Param.config_key a <> Param.config_key b);
+  Alcotest.(check string) "key is the comma-joined value tokens" "b1,i7,t2,c0"
+    (Param.config_key [| Param.Vbool true; Param.Vint 7; Param.Vtristate 2; Param.Vcat 0 |])
+
+let prop_config_key_injective =
+  QCheck2.Test.make ~name:"config_key is injective on space configurations" ~count:300
+    QCheck2.Gen.(pair (int_range 0 20000) (int_range 0 20000))
+    (fun (s1, s2) ->
+      let s = wide_space () in
+      let a = Space.random s (Rng.create s1) in
+      let b = Space.random s (Rng.create s2) in
+      (Param.config_key a = Param.config_key b) = (a = b))
+
+let prop_config_key_tokens_decode =
+  QCheck2.Test.make ~name:"config_key splits back into decodable tokens" ~count:100
+    QCheck2.Gen.(int_range 0 20000)
+    (fun seed ->
+      let s = wide_space () in
+      let c = Space.random s (Rng.create seed) in
+      let decoded =
+        String.split_on_char ',' (Param.config_key c)
+        |> List.map Param.value_of_token
+      in
+      List.for_all Option.is_some decoded
+      && List.map Option.get decoded = Array.to_list c)
+
 let () =
   Alcotest.run "configspace"
     [ ( "param",
@@ -482,7 +536,9 @@ let () =
           Alcotest.test_case "value strings" `Quick test_param_value_strings;
           Alcotest.test_case "sample in domain" `Quick test_param_sample_in_domain;
           Alcotest.test_case "perturb changes value" `Quick test_param_perturb_changes_value;
-          Alcotest.test_case "cardinality" `Quick test_param_cardinality ] );
+          Alcotest.test_case "cardinality" `Quick test_param_cardinality;
+          Alcotest.test_case "config_key beats the truncated hash" `Quick
+            test_config_key_beats_truncated_hash ] );
       ( "space",
         [ Alcotest.test_case "basics" `Quick test_space_basics;
           Alcotest.test_case "duplicate names" `Quick test_space_duplicate_names;
@@ -514,4 +570,4 @@ let () =
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_random_configs_encode_bounded; prop_mutate_preserves_validity;
-            prop_assoc_roundtrip ] ) ]
+            prop_assoc_roundtrip; prop_config_key_injective; prop_config_key_tokens_decode ] ) ]

@@ -131,6 +131,56 @@ let prop_cache_capacity1_workers1_equals_sequential =
       let b = C.run ~engine:(`Workers 1) ~seed ~budget ~fault_rate ~image_cache algo in
       equivalent a b)
 
+(* ------------------------------------------------------------------ *)
+(* Domain-pool conformance: --domains N is byte-identical              *)
+(* ------------------------------------------------------------------ *)
+
+(* The multicore acceptance gate: a pooled run — ambient default pool for
+   the numeric kernels plus speculative evaluation prefetch in the engine
+   — must be byte-for-byte the sequential oracle, for every algorithm, at
+   any domain count.  Domains only buy wall-clock time, never a different
+   answer. *)
+let prop_domains_equal_sequential =
+  QCheck2.Test.make
+    ~name:"pooled engine (domains in {1,4}) byte-identical to the sequential driver"
+    ~count:12
+    QCheck2.Gen.(
+      quad (int_range 0 1000)
+        (oneofl [ "random"; "grid"; "bayes"; "unicorn" ])
+        bool (oneofl [ 1; 4 ]))
+    (fun (seed, algo, faulty, domains) ->
+      let fault_rate = if faulty then 0.10 else 0. in
+      let budget = Driver.Iterations 10 in
+      let a = C.run ~engine:`Sequential ~seed ~budget ~fault_rate algo in
+      let b = C.run ~engine:(`Workers 1) ~seed ~budget ~fault_rate ~domains algo in
+      equivalent a b)
+
+(* The prefetch must be invisible on the batched engine too: workers=4
+   with a pool is byte-identical to workers=4 without one. *)
+let prop_domains_invisible_on_workers4 =
+  QCheck2.Test.make
+    ~name:"workers=4 with domains=4 byte-identical to workers=4 unpooled" ~count:10
+    QCheck2.Gen.(
+      triple (int_range 0 1000) (oneofl [ "random"; "grid"; "bayes"; "unicorn" ]) bool)
+    (fun (seed, algo, faulty) ->
+      let fault_rate = if faulty then 0.10 else 0. in
+      let budget = Driver.Iterations 12 in
+      let a = C.run ~engine:(`Workers 4) ~seed ~budget ~fault_rate algo in
+      let b = C.run ~engine:(`Workers 4) ~seed ~budget ~fault_rate ~domains:4 algo in
+      equivalent a b)
+
+(* DeepTune exercises the ambient pool inside the numeric stack as well —
+   Bigarray matmul in training and the batched pool scoring — so this
+   pins the full path: pooled kernels + pooled engine ≡ sequential. *)
+let test_deeptune_domains_equivalence () =
+  let budget = Driver.Iterations 10 in
+  let a = C.run ~engine:`Sequential ~seed:3 ~budget "deeptune" in
+  let b = C.run ~engine:(`Workers 1) ~seed:3 ~budget ~domains:4 "deeptune" in
+  Alcotest.(check bool) "deeptune domains=4 equivalence" true (equivalent a b);
+  let c = C.run ~engine:(`Workers 4) ~seed:3 ~budget "deeptune" in
+  let d = C.run ~engine:(`Workers 4) ~seed:3 ~budget ~domains:4 "deeptune" in
+  Alcotest.(check bool) "deeptune workers=4 domains=4 equivalence" true (equivalent c d)
+
 (* The cache only decides whether the build phase is charged — never which
    configurations are evaluated.  Grid's multiset must be invariant across
    both the worker count and the cache capacity. *)
@@ -153,18 +203,27 @@ let prop_grid_multiset_any_capacity =
 
 let test_old_version_rejected_typed () =
   (match Checkpoint.of_string "wayfinder-checkpoint 1\nend\n" with
-  | Error (Checkpoint.Unsupported_version { found = 1; expected = 3 }) -> ()
+  | Error (Checkpoint.Unsupported_version { found = 1; expected = 4 }) -> ()
   | Error e ->
     Alcotest.failf "expected Unsupported_version, got: %s" (Checkpoint.error_to_string e)
   | Ok _ -> Alcotest.fail "v1 checkpoint accepted");
   (* Format 2 (per-slot baselines, no image cache) is likewise rejected
      typed: its [slot] lines cannot express the shared cache state. *)
   (match Checkpoint.of_string "wayfinder-checkpoint 2\nend\n" with
-  | Error (Checkpoint.Unsupported_version { found = 2; expected = 3 }) -> ()
+  | Error (Checkpoint.Unsupported_version { found = 2; expected = 4 }) -> ()
   | Error e ->
     Alcotest.failf "expected Unsupported_version for v2, got: %s"
       (Checkpoint.error_to_string e)
   | Ok _ -> Alcotest.fail "v2 checkpoint accepted");
+  (* Format 3 keyed quarantine strikes on the truncated polymorphic hash
+     and is rejected too: its strike lines cannot be mapped onto the
+     canonical string keys. *)
+  (match Checkpoint.of_string "wayfinder-checkpoint 3\nend\n" with
+  | Error (Checkpoint.Unsupported_version { found = 3; expected = 4 }) -> ()
+  | Error e ->
+    Alcotest.failf "expected Unsupported_version for v3, got: %s"
+      (Checkpoint.error_to_string e)
+  | Ok _ -> Alcotest.fail "v3 checkpoint accepted");
   match Checkpoint.load ~path:"/nonexistent/wayfinder.ckpt" with
   | Error (Checkpoint.Malformed _) -> ()
   | Error (Checkpoint.Unsupported_version _) ->
@@ -292,6 +351,10 @@ let () =
           QCheck_alcotest.to_alcotest prop_grid_multiset_any_workers;
           QCheck_alcotest.to_alcotest prop_cache_capacity1_workers1_equals_sequential;
           QCheck_alcotest.to_alcotest prop_grid_multiset_any_capacity ] );
+      ( "domains",
+        [ QCheck_alcotest.to_alcotest prop_domains_equal_sequential;
+          QCheck_alcotest.to_alcotest prop_domains_invisible_on_workers4;
+          Alcotest.test_case "deeptune domains=4" `Slow test_deeptune_domains_equivalence ] );
       ( "checkpoint",
         [ Alcotest.test_case "old version rejected (typed)" `Quick
             test_old_version_rejected_typed;

@@ -59,6 +59,52 @@ let trained_dtm ?(epochs = 150) () =
   ignore (Dtm.train dtm ~epochs ds);
   (dtm, ds)
 
+let test_dtm_create_validates_config () =
+  let rejects name config =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Dtm.create ~config (T.Rng.create 0) ~in_dim:2);
+         false
+       with Invalid_argument _ -> true)
+  in
+  rejects "empty hidden spec" { Dtm.default_config with Dtm.hidden = [] };
+  rejects "non-positive hidden width" { Dtm.default_config with Dtm.hidden = [ 16; 0 ] };
+  rejects "non-positive centroids" { Dtm.default_config with Dtm.rbf_centroids = 0 };
+  rejects "negative dropout" { Dtm.default_config with Dtm.dropout = -0.1 };
+  rejects "dropout of 1 diverges" { Dtm.default_config with Dtm.dropout = 1. };
+  rejects "non-positive learning rate" { Dtm.default_config with Dtm.learning_rate = 0. };
+  (* in_dim is validated too. *)
+  Alcotest.(check bool) "non-positive in_dim" true
+    (try
+       ignore (Dtm.create (T.Rng.create 0) ~in_dim:0);
+       false
+     with Invalid_argument _ -> true);
+  (* The boundary cases stay legal. *)
+  ignore (Dtm.create ~config:{ Dtm.default_config with Dtm.dropout = 0. } (T.Rng.create 0) ~in_dim:1)
+
+let test_dtm_predict_batch_matches_predict () =
+  (* The batched forward is the hot path of pool scoring: one matmul over
+     all candidates must be bitwise the per-row prediction. *)
+  let dtm, _ = trained_dtm ~epochs:30 () in
+  let rng = T.Rng.create 99 in
+  let xs = Array.init 17 (fun _ -> [| T.Rng.float rng 1.0; T.Rng.float rng 1.0 |]) in
+  let batch = Dtm.predict_batch dtm xs in
+  Alcotest.(check int) "one prediction per row" (Array.length xs) (Array.length batch);
+  Array.iteri
+    (fun i x ->
+      let p = Dtm.predict dtm x in
+      let b = batch.(i) in
+      Alcotest.(check (float 0.)) "crash bitwise" p.Dtm.crash_probability
+        b.Dtm.crash_probability;
+      Alcotest.(check (float 0.)) "performance bitwise" p.Dtm.performance b.Dtm.performance;
+      Alcotest.(check (float 0.)) "uncertainty bitwise" p.Dtm.uncertainty b.Dtm.uncertainty)
+    xs;
+  Alcotest.(check bool) "dimension mismatch rejected" true
+    (try
+       ignore (Dtm.predict_batch dtm [| [| 1. |] |]);
+       false
+     with Invalid_argument _ -> true)
+
 let test_dtm_untrained_predicts () =
   let dtm = Dtm.create (T.Rng.create 3) ~in_dim:4 in
   let p = Dtm.predict dtm [| 0.1; 0.2; 0.3; 0.4 |] in
@@ -405,7 +451,11 @@ let () =
           Alcotest.test_case "monotone in distance" `Quick test_scoring_monotone_in_distance;
           Alcotest.test_case "alpha balance" `Quick test_scoring_alpha_balance ] );
       ( "dtm",
-        [ Alcotest.test_case "untrained predicts" `Quick test_dtm_untrained_predicts;
+        [ Alcotest.test_case "create validates config (typed)" `Quick
+            test_dtm_create_validates_config;
+          Alcotest.test_case "predict_batch bitwise matches predict" `Quick
+            test_dtm_predict_batch_matches_predict;
+          Alcotest.test_case "untrained predicts" `Quick test_dtm_untrained_predicts;
           Alcotest.test_case "dimension check" `Quick test_dtm_dimension_check;
           Alcotest.test_case "learns crash boundary" `Quick test_dtm_learns_crash_boundary;
           Alcotest.test_case "learns performance" `Quick test_dtm_learns_performance;

@@ -24,8 +24,8 @@ let check_close name expected actual =
 
 (* A cell view into a matrix entry. *)
 let mat_cell m idx =
-  let get () = m.Mat.data.(idx) in
-  let set v = m.Mat.data.(idx) <- v in
+  let get () = m.Mat.data.{idx} in
+  let set v = m.Mat.data.{idx} <- v in
   (get, set)
 
 let fd_mat name m grad loss_of =
@@ -52,8 +52,8 @@ let fd_mat name m grad loss_of =
         ignore wrapped;
         (up -. down) /. (2. *. fd_epsilon)
       in
-      check_close (Printf.sprintf "%s[%d]" name idx) fd grad.Mat.data.(idx))
-    m.Mat.data
+      check_close (Printf.sprintf "%s[%d]" name idx) fd grad.Mat.data.{idx})
+    (Mat.to_array m)
 
 (* ------------------------------------------------------------------ *)
 (* Dense layer                                                         *)
@@ -61,7 +61,7 @@ let fd_mat name m grad loss_of =
 
 let quadratic_loss y =
   (* L = Σ y_ij² ; dL/dy = 2y *)
-  Array.fold_left (fun acc v -> acc +. (v *. v)) 0. y.Mat.data
+  Array.fold_left (fun acc v -> acc +. (v *. v)) 0. (Mat.to_array y)
 
 let dquadratic y = Mat.scale 2. y
 
@@ -92,41 +92,41 @@ let test_dense_gradients () =
   (* Check dX with finite differences on the input. *)
   Array.iteri
     (fun idx _ ->
-      let fd = finite_difference (ref x.Mat.data.(idx)) (fun () -> loss_of ()) in
+      let fd = finite_difference (ref x.Mat.data.{idx}) (fun () -> loss_of ()) in
       ignore fd)
     [||];
   Array.iteri
     (fun idx _ ->
-      let saved = x.Mat.data.(idx) in
-      x.Mat.data.(idx) <- saved +. fd_epsilon;
+      let saved = x.Mat.data.{idx} in
+      x.Mat.data.{idx} <- saved +. fd_epsilon;
       let up = loss_of () in
-      x.Mat.data.(idx) <- saved -. fd_epsilon;
+      x.Mat.data.{idx} <- saved -. fd_epsilon;
       let down = loss_of () in
-      x.Mat.data.(idx) <- saved;
+      x.Mat.data.{idx} <- saved;
       check_close (Printf.sprintf "dense dx[%d]" idx) ((up -. down) /. (2. *. fd_epsilon))
-        dx.Mat.data.(idx))
-    x.Mat.data
+        dx.Mat.data.{idx})
+    (Mat.to_array x)
 
 let test_relu () =
   let r = Layer.Relu.create () in
   let x = Mat.of_rows [| [| -1.; 0.; 2. |] |] in
   let y = Layer.Relu.forward r x in
-  Alcotest.(check (array (float 1e-12))) "forward" [| 0.; 0.; 2. |] y.Mat.data;
+  Alcotest.(check (array (float 1e-12))) "forward" [| 0.; 0.; 2. |] (Mat.to_array y);
   let dx = Layer.Relu.backward r (Mat.of_rows [| [| 5.; 5.; 5. |] |]) in
-  Alcotest.(check (array (float 1e-12))) "backward gates" [| 0.; 0.; 5. |] dx.Mat.data
+  Alcotest.(check (array (float 1e-12))) "backward gates" [| 0.; 0.; 5. |] (Mat.to_array dx)
 
 let test_dropout_train_and_eval () =
   let rng = Rng.create 3 in
   let d = Layer.Dropout.create ~rate:0.5 in
   let x = Mat.create 1 1000 1. in
   let y = Layer.Dropout.forward d rng x in
-  let kept = Array.fold_left (fun acc v -> if v > 0. then acc + 1 else acc) 0 y.Mat.data in
+  let kept = Array.fold_left (fun acc v -> if v > 0. then acc + 1 else acc) 0 (Mat.to_array y) in
   Alcotest.(check bool) "about half kept" true (kept > 400 && kept < 600);
   (* Inverted dropout preserves expectation. *)
-  let mean = Array.fold_left ( +. ) 0. y.Mat.data /. 1000. in
+  let mean = Array.fold_left ( +. ) 0. (Mat.to_array y) /. 1000. in
   Alcotest.(check bool) "mean near 1" true (abs_float (mean -. 1.) < 0.15);
   let y_eval = Layer.Dropout.forward d ~train:false rng x in
-  Alcotest.(check (array (float 1e-12))) "identity at eval" x.Mat.data y_eval.Mat.data
+  Alcotest.(check (array (float 1e-12))) "identity at eval" (Mat.to_array x) (Mat.to_array y_eval)
 
 let test_dropout_backward_masks () =
   let rng = Rng.create 4 in
@@ -137,8 +137,8 @@ let test_dropout_backward_masks () =
   let dx = Layer.Dropout.backward d dy in
   Array.iteri
     (fun i v ->
-      Alcotest.(check (float 1e-12)) "mask consistent" y.Mat.data.(i) v)
-    dx.Mat.data
+      Alcotest.(check (float 1e-12)) "mask consistent" y.Mat.data.{i} v)
+    (Mat.to_array dx)
 
 (* ------------------------------------------------------------------ *)
 (* RBF layer                                                           *)
@@ -151,7 +151,7 @@ let test_rbf_activation_range () =
   let phi = Layer.Rbf.forward r z in
   Array.iter
     (fun v -> Alcotest.(check bool) "phi in (0,1]" true (v > 0. && v <= 1.))
-    phi.Mat.data
+    (Mat.to_array phi)
 
 let test_rbf_peak_at_centroid () =
   let rng = Rng.create 6 in
@@ -174,15 +174,15 @@ let test_rbf_gradients () =
    | _ -> Alcotest.fail "expected [c]");
   Array.iteri
     (fun idx _ ->
-      let saved = z.Mat.data.(idx) in
-      z.Mat.data.(idx) <- saved +. fd_epsilon;
+      let saved = z.Mat.data.{idx} in
+      z.Mat.data.{idx} <- saved +. fd_epsilon;
       let up = loss_of () in
-      z.Mat.data.(idx) <- saved -. fd_epsilon;
+      z.Mat.data.{idx} <- saved -. fd_epsilon;
       let down = loss_of () in
-      z.Mat.data.(idx) <- saved;
+      z.Mat.data.{idx} <- saved;
       check_close (Printf.sprintf "rbf dz[%d]" idx) ((up -. down) /. (2. *. fd_epsilon))
-        dz.Mat.data.(idx))
-    z.Mat.data
+        dz.Mat.data.{idx})
+    (Mat.to_array z)
 
 (* ------------------------------------------------------------------ *)
 (* Losses                                                              *)
@@ -218,15 +218,15 @@ let test_softmax_cce_gradient () =
   let _, grad = Loss.softmax_cce ~logits ~classes in
   Array.iteri
     (fun idx _ ->
-      let saved = logits.Mat.data.(idx) in
-      logits.Mat.data.(idx) <- saved +. fd_epsilon;
+      let saved = logits.Mat.data.{idx} in
+      logits.Mat.data.{idx} <- saved +. fd_epsilon;
       let up, _ = Loss.softmax_cce ~logits ~classes in
-      logits.Mat.data.(idx) <- saved -. fd_epsilon;
+      logits.Mat.data.{idx} <- saved -. fd_epsilon;
       let down, _ = Loss.softmax_cce ~logits ~classes in
-      logits.Mat.data.(idx) <- saved;
+      logits.Mat.data.{idx} <- saved;
       check_close (Printf.sprintf "cce[%d]" idx) ((up -. down) /. (2. *. fd_epsilon))
-        grad.Mat.data.(idx))
-    logits.Mat.data
+        grad.Mat.data.{idx})
+    (Mat.to_array logits)
 
 let test_heteroscedastic_gradient () =
   let mu = [| 0.5; -0.3; 1.0 |] and log_var = [| 0.1; -0.5; 0.3 |] in
@@ -279,15 +279,15 @@ let test_chamfer_gradient () =
   let _, grad = Loss.chamfer ~points ~centroids in
   Array.iteri
     (fun idx _ ->
-      let saved = centroids.Mat.data.(idx) in
-      centroids.Mat.data.(idx) <- saved +. fd_epsilon;
+      let saved = centroids.Mat.data.{idx} in
+      centroids.Mat.data.{idx} <- saved +. fd_epsilon;
       let up, _ = Loss.chamfer ~points ~centroids in
-      centroids.Mat.data.(idx) <- saved -. fd_epsilon;
+      centroids.Mat.data.{idx} <- saved -. fd_epsilon;
       let down, _ = Loss.chamfer ~points ~centroids in
-      centroids.Mat.data.(idx) <- saved;
+      centroids.Mat.data.{idx} <- saved;
       check_close (Printf.sprintf "chamfer[%d]" idx) ((up -. down) /. (2. *. fd_epsilon))
-        grad.Mat.data.(idx))
-    centroids.Mat.data
+        grad.Mat.data.{idx})
+    (Mat.to_array centroids)
 
 let test_chamfer_pulls_centroids_to_data () =
   let rng = Rng.create 8 in
@@ -298,8 +298,8 @@ let test_chamfer_pulls_centroids_to_data () =
   for _ = 1 to 200 do
     let _, grad = Loss.chamfer ~points ~centroids in
     Array.iteri
-      (fun i g -> centroids.Mat.data.(i) <- centroids.Mat.data.(i) -. (0.05 *. g))
-      grad.Mat.data
+      (fun i g -> centroids.Mat.data.{i} <- centroids.Mat.data.{i} -. (0.05 *. g))
+      (Mat.to_array grad)
   done;
   Alcotest.(check bool) "centroid reached cluster" true
     (abs_float (Mat.get centroids 0 0 -. 5.) < 0.5 && abs_float (Mat.get centroids 0 1 -. 5.) < 0.5)
@@ -378,7 +378,7 @@ let test_network_save_load_roundtrip () =
   Network.load_weights b (Network.save_weights a);
   let x = Mat.init 3 3 (fun i j -> float_of_int (i - j) /. 3.) in
   let ya = Network.forward a ~train:false rng x and yb = Network.forward b ~train:false rng x in
-  Alcotest.(check (array (float 1e-12))) "identical outputs" ya.Mat.data yb.Mat.data;
+  Alcotest.(check (array (float 1e-12))) "identical outputs" (Mat.to_array ya) (Mat.to_array yb);
   Alcotest.(check bool) "size mismatch rejected" true
     (try
        Network.load_weights b [| 1.; 2. |];
@@ -390,7 +390,7 @@ let test_network_copy_independent () =
   let a = Network.create rng ~in_dim:2 [ `Dense 3; `Relu; `Dense 1 ] in
   let b = Network.copy a in
   let x = Mat.of_rows [| [| 0.4; -0.2 |] |] in
-  let before = (Network.forward b ~train:false rng x).Mat.data.(0) in
+  let before = (Network.forward b ~train:false rng x).Mat.data.{0} in
   (* Train [a]; [b] must not move. *)
   let opt = Optimizer.sgd ~lr:0.1 (Network.params a) in
   for _ = 1 to 10 do
@@ -398,7 +398,7 @@ let test_network_copy_independent () =
     ignore (Network.backward a (dquadratic y));
     Optimizer.step opt
   done;
-  let after = (Network.forward b ~train:false rng x).Mat.data.(0) in
+  let after = (Network.forward b ~train:false rng x).Mat.data.{0} in
   Alcotest.(check (float 1e-12)) "copy unaffected" before after
 
 (* ------------------------------------------------------------------ *)
@@ -411,8 +411,8 @@ let rosenbrock_like_quadratic optimizer_of =
   let opt = optimizer_of [ p ] in
   for _ = 1 to 2000 do
     Array.iteri
-      (fun i v -> p.Layer.grad.Mat.data.(i) <- 2. *. (v -. float_of_int i))
-      p.Layer.value.Mat.data;
+      (fun i v -> p.Layer.grad.Mat.data.{i} <- 2. *. (v -. float_of_int i))
+      (Mat.to_array p.Layer.value);
     Optimizer.step opt
   done;
   Array.iteri
@@ -421,7 +421,7 @@ let rosenbrock_like_quadratic optimizer_of =
         (Printf.sprintf "w[%d] converged" i)
         true
         (abs_float (v -. float_of_int i) < 0.01))
-    p.Layer.value.Mat.data
+    (Mat.to_array p.Layer.value)
 
 let test_sgd_converges () = rosenbrock_like_quadratic (fun ps -> Optimizer.sgd ~momentum:0.9 ~lr:0.01 ps)
 let test_adam_converges () = rosenbrock_like_quadratic (fun ps -> Optimizer.adam ~lr:0.05 ps)
@@ -429,10 +429,10 @@ let test_adam_converges () = rosenbrock_like_quadratic (fun ps -> Optimizer.adam
 let test_step_zeroes_grads () =
   let p = Layer.tensor_zeros 1 2 in
   let opt = Optimizer.sgd ~lr:0.1 [ p ] in
-  p.Layer.grad.Mat.data.(0) <- 1.;
+  p.Layer.grad.Mat.data.{0} <- 1.;
   Optimizer.step opt;
-  Alcotest.(check (float 1e-12)) "grad reset" 0. p.Layer.grad.Mat.data.(0);
-  Alcotest.(check (float 1e-12)) "value moved" (-0.1) p.Layer.value.Mat.data.(0)
+  Alcotest.(check (float 1e-12)) "grad reset" 0. p.Layer.grad.Mat.data.{0};
+  Alcotest.(check (float 1e-12)) "value moved" (-0.1) p.Layer.value.Mat.data.{0}
 
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
@@ -476,7 +476,7 @@ let prop_rbf_outputs_bounded =
       let r = Layer.Rbf.create rng ~in_dim:3 ~centroids:5 ~gamma:0.4 in
       let z = Mat.init 4 3 (fun _ _ -> Rng.normal rng ~sigma:2. ()) in
       let phi = Layer.Rbf.forward r z in
-      Array.for_all (fun v -> v >= 0. && v <= 1.) phi.Mat.data)
+      Array.for_all (fun v -> v >= 0. && v <= 1.) (Mat.to_array phi))
 
 let () =
   Alcotest.run "nn"

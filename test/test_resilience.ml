@@ -351,6 +351,55 @@ let test_quarantine_after_exhausted_retries () =
   Alcotest.(check (float 1e-9)) "skipped proposals counted" 2.
     (Obs.Metrics.counter r.Driver.metrics "driver.quarantined_proposals")
 
+let test_quarantine_distinguishes_deep_configs () =
+  (* Regression: quarantine keys used to be [Hashtbl.hash] of the config
+     list, which ignores parameters past the ~10th — so a quarantined
+     config dragged every config sharing its 10-parameter prefix into
+     quarantine with it.  B differs from A only in the 12th parameter and
+     must keep evaluating after A is quarantined. *)
+  let space =
+    Space.create
+      (List.init 12 (fun i ->
+           Param.int_param (Printf.sprintf "p%d" i) ~lo:0 ~hi:9 ~default:0))
+  in
+  let config_a = Array.make 12 (Param.Vint 1) in
+  let config_b = Array.init 12 (fun i -> Param.Vint (if i = 11 then 2 else 1)) in
+  Alcotest.(check bool) "the old truncated keys collide" true
+    (Hashtbl.hash (Array.to_list config_a) = Hashtbl.hash (Array.to_list config_b));
+  let target =
+    Target.make ~name:"deep" ~space ~metric:Metric.throughput (fun ~trial config ->
+        ignore trial;
+        match config.(11) with
+        | Param.Vint 1 ->
+          { Target.value = Error Failure.Spurious_failure;
+            build_s = 1.; boot_s = 1.; run_s = 1. }
+        | _ -> { Target.value = Ok 50.; build_s = 1.; boot_s = 1.; run_s = 1. })
+  in
+  let k = ref 0 in
+  let algo =
+    Search_algorithm.make ~name:"alternate"
+      ~propose:(fun _ ->
+        incr k;
+        if !k mod 2 = 1 then config_a else config_b)
+      ()
+  in
+  let policy = { Resilience.none with Resilience.quarantine_after = 1 } in
+  let r =
+    Driver.run ~seed:1 ~resilience:policy ~target ~algorithm:algo
+      ~budget:(Driver.Iterations 4) ()
+  in
+  let es = History.entries r.Driver.history in
+  Alcotest.(check bool) "A fails and strikes out" true
+    (es.(0).History.failure = Some Failure.Spurious_failure);
+  Alcotest.(check (option (float 1e-9))) "B unaffected by A's quarantine" (Some 50.)
+    es.(1).History.value;
+  Alcotest.(check bool) "A quarantined on re-proposal" true
+    (es.(2).History.failure = Some Failure.Quarantined);
+  Alcotest.(check (option (float 1e-9))) "B still evaluating" (Some 50.)
+    es.(3).History.value;
+  Alcotest.(check (float 1e-9)) "exactly one config quarantined" 1.
+    (Obs.Metrics.counter r.Driver.metrics "driver.quarantines")
+
 let test_resilient_policy_is_noop_without_faults () =
   (* On a fault-free target the resilient policy must not change what the
      search sees: same values, same best. *)
@@ -410,8 +459,8 @@ let sample_checkpoint () =
           { Image_cache.status =
               Build_failed (Failure.Other "strange build break,\twith tab");
             origin = 0 } ) ];
-    strikes = [ (42, 1); (99, 2) ];
-    quarantined = [ 99 ];
+    strikes = [ ("i42,b1", 1); ("i99,b0,c3", 2) ];
+    quarantined = [ "i99,b0,c3" ];
     entries =
       [ entry 0 (Some 101.5) None;
         entry 1 None (Some (Failure.Other "weird failure,\twith tab"));
@@ -575,6 +624,8 @@ let () =
           Alcotest.test_case "outlier rejected by median" `Quick test_outlier_rejected_by_median;
           Alcotest.test_case "agreeing measurement keeps first sample" `Quick
             test_agreeing_measurement_keeps_first_sample;
+          Alcotest.test_case "quarantine distinguishes deep configs" `Quick
+            test_quarantine_distinguishes_deep_configs;
           Alcotest.test_case "quarantine after exhausted retries" `Quick
             test_quarantine_after_exhausted_retries;
           Alcotest.test_case "resilient policy noop without faults" `Quick

@@ -161,18 +161,18 @@ let test_mat_matmul_identity () =
   let a = Mat.init 3 3 (fun i j -> float_of_int ((i * 3) + j)) in
   let i3 = Mat.eye 3 in
   let prod = Mat.matmul a i3 in
-  Alcotest.(check (array (float 1e-12))) "A·I = A" a.Mat.data prod.Mat.data
+  Alcotest.(check (array (float 1e-12))) "A·I = A" (Mat.to_array a) (Mat.to_array prod)
 
 let test_mat_matmul_known () =
   let a = Mat.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
   let b = Mat.of_rows [| [| 5.; 6. |]; [| 7.; 8. |] |] in
   let c = Mat.matmul a b in
-  Alcotest.(check (array (float 1e-12))) "2x2 product" [| 19.; 22.; 43.; 50. |] c.Mat.data
+  Alcotest.(check (array (float 1e-12))) "2x2 product" [| 19.; 22.; 43.; 50. |] (Mat.to_array c)
 
 let test_mat_transpose_involution () =
   let a = Mat.init 3 5 (fun i j -> float_of_int (i + (10 * j))) in
   let att = Mat.transpose (Mat.transpose a) in
-  Alcotest.(check (array (float 1e-12))) "transpose twice" a.Mat.data att.Mat.data
+  Alcotest.(check (array (float 1e-12))) "transpose twice" (Mat.to_array a) (Mat.to_array att)
 
 let test_mat_vec () =
   let a = Mat.of_rows [| [| 1.; 0.; 2. |]; [| 0.; 3.; 0. |] |] in
@@ -190,8 +190,8 @@ let test_mat_cholesky_reconstruction () =
   let l = Mat.cholesky a in
   let recon = Mat.matmul l (Mat.transpose l) in
   Array.iteri
-    (fun i x -> check_floatish (Printf.sprintf "entry %d" i) x recon.Mat.data.(i))
-    a.Mat.data
+    (fun i x -> check_floatish (Printf.sprintf "entry %d" i) x recon.Mat.data.{i})
+    (Mat.to_array a)
 
 let test_mat_cholesky_solve () =
   let a = spd_matrix 5 55 in
@@ -218,8 +218,8 @@ let test_mat_inverse_spd () =
   let prod = Mat.matmul a inv in
   let i4 = Mat.eye 4 in
   Array.iteri
-    (fun i x -> check_floatish (Printf.sprintf "entry %d" i) i4.Mat.data.(i) x)
-    prod.Mat.data
+    (fun i x -> check_floatish (Printf.sprintf "entry %d" i) i4.Mat.data.{i} x)
+    (Mat.to_array prod)
 
 let test_mat_shape_errors () =
   let a = Mat.zeros 2 3 and b = Mat.zeros 2 2 in
@@ -396,8 +396,102 @@ let prop_cholesky_roundtrip =
       let l = Mat.cholesky spd in
       let recon = Mat.matmul l (Mat.transpose l) in
       let ok = ref true in
-      Array.iteri (fun i x -> if abs_float (x -. recon.Mat.data.(i)) > 1e-6 then ok := false) spd.Mat.data;
+      Array.iteri (fun i x -> if abs_float (x -. recon.Mat.data.{i}) > 1e-6 then ok := false) (Mat.to_array spd);
       !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Domain_pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let with_pool n f =
+  let pool = Domain_pool.create n in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) (fun () -> f pool)
+
+let test_pool_parallel_for_covers () =
+  List.iter
+    (fun size ->
+      with_pool size (fun pool ->
+          List.iter
+            (fun n ->
+              let hits = Array.make (max n 1) 0 in
+              Domain_pool.parallel_for pool n (fun lo hi ->
+                  for i = lo to hi - 1 do
+                    (* Disjoint ranges: no two lanes touch the same index,
+                       so unsynchronized writes are safe. *)
+                    hits.(i) <- hits.(i) + 1
+                  done);
+              Alcotest.(check bool)
+                (Printf.sprintf "size %d, n %d: each index exactly once" size n)
+                true
+                (Array.for_all (fun c -> c = 1) (Array.sub hits 0 n)))
+            [ 0; 1; 7; 64; 1000 ]))
+    [ 1; 2; 4 ]
+
+let test_pool_map_matches_sequential () =
+  with_pool 4 (fun pool ->
+      let xs = Array.init 100 (fun i -> i) in
+      let f x = (x * x) + 1 in
+      Alcotest.(check (array int)) "map ≡ Array.map" (Array.map f xs)
+        (Domain_pool.map pool f xs))
+
+let test_pool_exception_propagates () =
+  with_pool 4 (fun pool ->
+      Alcotest.(check bool) "chunk exception re-raised on caller" true
+        (try
+           Domain_pool.parallel_for pool 100 (fun lo _ ->
+               if lo = 0 then failwith "boom");
+           false
+         with Failure _ -> true);
+      (* The pool survives a failed job. *)
+      let total = ref 0 in
+      let mu = Mutex.create () in
+      Domain_pool.parallel_for pool 10 (fun lo hi ->
+          Mutex.lock mu;
+          total := !total + (hi - lo);
+          Mutex.unlock mu);
+      Alcotest.(check int) "pool alive after exception" 10 !total)
+
+let test_pool_nested_runs_inline () =
+  with_pool 2 (fun pool ->
+      let acc = Array.make 16 0 in
+      Domain_pool.parallel_for pool 4 (fun lo hi ->
+          for i = lo to hi - 1 do
+            (* A nested call must degrade to inline execution instead of
+               deadlocking on the busy pool. *)
+            Domain_pool.parallel_for pool 4 (fun lo' hi' ->
+                for j = lo' to hi' - 1 do
+                  acc.((i * 4) + j) <- 1
+                done)
+          done);
+      Alcotest.(check bool) "all nested indices covered" true
+        (Array.for_all (fun c -> c = 1) acc))
+
+let test_pool_shutdown_degrades_inline () =
+  let pool = Domain_pool.create 4 in
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool;
+  let hits = ref 0 in
+  Domain_pool.parallel_for pool 5 (fun lo hi -> hits := !hits + (hi - lo));
+  Alcotest.(check int) "inline after shutdown" 5 !hits
+
+let test_pool_matmul_bitwise_deterministic () =
+  (* The load-bearing guarantee behind --domains: pooled matmul is bitwise
+     the sequential product, for any pool size and chunking. *)
+  let rng = Rng.create 11 in
+  let mk r c = Mat.init r c (fun _ _ -> Rng.normal rng ()) in
+  let a = mk 37 53 and b = mk 53 29 in
+  let seq = Mat.matmul a b in
+  List.iter
+    (fun size ->
+      with_pool size (fun pool ->
+          Domain_pool.with_default (Some pool) (fun () ->
+              let par = Mat.matmul a b in
+              Alcotest.(check bool)
+                (Printf.sprintf "pool size %d bitwise equal" size)
+                true
+                (Mat.to_array seq = Mat.to_array par))))
+    [ 1; 2; 4 ];
+  Alcotest.(check bool) "ambient default restored" true (Domain_pool.get_default () = None)
 
 let prop_permutation_valid =
   QCheck2.Test.make ~name:"permutation is a bijection" ~count:100
@@ -454,6 +548,16 @@ let () =
           Alcotest.test_case "moving average" `Quick test_stat_moving_average;
           Alcotest.test_case "pearson" `Quick test_stat_pearson;
           Alcotest.test_case "normalized MAE" `Quick test_stat_normalized_mae ] );
+      ( "domain_pool",
+        [ Alcotest.test_case "parallel_for covers every index" `Quick
+            test_pool_parallel_for_covers;
+          Alcotest.test_case "map matches sequential" `Quick test_pool_map_matches_sequential;
+          Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "nested calls run inline" `Quick test_pool_nested_runs_inline;
+          Alcotest.test_case "shutdown degrades inline" `Quick
+            test_pool_shutdown_degrades_inline;
+          Alcotest.test_case "pooled matmul bitwise deterministic" `Quick
+            test_pool_matmul_bitwise_deterministic ] );
       ( "dataset",
         [ Alcotest.test_case "roundtrip" `Quick test_dataset_roundtrip;
           Alcotest.test_case "normalizer" `Quick test_dataset_normalizer;
