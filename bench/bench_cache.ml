@@ -45,14 +45,14 @@ let json_of_cell c =
     c.makespan_s
 
 let write_json cells =
-  let oc = open_out json_path in
-  output_string oc
+  (* Atomic publication: CI reads this file from a parallel step, and a
+     crashed bench must not leave a half-written dump behind. *)
+  P.Durable.atomic_write_exn ~path:json_path
     ("{\"benchmark\":\"cache\",\"iterations\":"
     ^ string_of_int !iterations
     ^ ",\"cells\":[\n  "
     ^ String.concat ",\n  " (List.map json_of_cell cells)
-    ^ "\n]}\n");
-  close_out oc
+    ^ "\n]}\n")
 
 let run () =
   Bench_common.section

@@ -144,19 +144,19 @@ let domain_scaling () =
   let max_speedup = List.fold_left (fun m (_, _, _, s) -> Float.max m s) 0. rows in
   (* Machine-readable artifact for the CI ratchet
      (.github/micro-speedup-floor). *)
-  let oc = open_out json_path in
-  Printf.fprintf oc "{\n  \"domains\": %d,\n  \"cores\": %d,\n  \"ops\": [\n" scaling_domains
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "{\n  \"domains\": %d,\n  \"cores\": %d,\n  \"ops\": [\n" scaling_domains
     cores;
   List.iteri
     (fun i (name, seq_s, par_s, speedup) ->
-      Printf.fprintf oc
+      Printf.bprintf buf
         "    { \"name\": %S, \"sequential_s\": %.6f, \"domains%d_s\": %.6f, \"speedup\": %.3f \
          }%s\n"
         name seq_s scaling_domains par_s speedup
         (if i = List.length rows - 1 then "" else ","))
     rows;
-  Printf.fprintf oc "  ],\n  \"max_speedup\": %.3f\n}\n" max_speedup;
-  close_out oc;
+  Printf.bprintf buf "  ],\n  \"max_speedup\": %.3f\n}\n" max_speedup;
+  Wayfinder_platform.Durable.atomic_write_exn ~path:json_path (Buffer.contents buf);
   Printf.printf "max speedup %.2fx (%d domains, %d cores) -> %s\n" max_speedup scaling_domains
     cores json_path
 

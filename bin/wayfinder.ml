@@ -5,7 +5,8 @@
      probe   — infer the runtime configuration space (§3.4)
      space   — describe a target's configuration space
      analyze — convergence/calibration report from a run ledger
-     compare — align several ledgers' best-so-far curves per budget *)
+     compare — align several ledgers' best-so-far curves per budget
+     fsck    — validate (and repair) checkpoints, ledgers and reports *)
 
 module S = Wayfinder_simos
 module P = Wayfinder_platform
@@ -103,7 +104,8 @@ let policy_of_flags ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeou
 
 let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s ~seed ~favor
     ~csv_path ~trace_path ~ledger_path ~progress_every ~timings ~quiet ~checkpoint
-    ~checkpoint_every ~resume ~fault_rate ~workers ~batch ~image_cache ~domains ~resilient
+    ~checkpoint_every ~keep_checkpoints ~resume ~fault_rate ~workers ~batch ~image_cache
+    ~domains ~resilient
     ~retries ~build_timeout ~boot_timeout ~run_timeout ~measure_repeats ~quarantine_after =
   ignore metric_hint;
   let job =
@@ -127,8 +129,15 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
         match checkpoint with
         | None -> Error "--resume requires --checkpoint FILE"
         | Some path -> (
-          match P.Checkpoint.load ~path with
-          | Ok ck -> Ok (Some ck)
+          (* Fall back past a corrupt primary to the newest rotated
+             generation that validates — a torn final save must not kill
+             the resume. *)
+          match P.Checkpoint.load_latest path with
+          | Ok (ck, notice) ->
+            (match notice with
+            | Some n -> Printf.eprintf "wayfinder: %s\n%!" (P.Checkpoint.notice_to_string n)
+            | None -> ());
+            Ok (Some ck)
           | Error e ->
             Error (Printf.sprintf "checkpoint %s: %s" path (P.Checkpoint.error_to_string e)))
     in
@@ -292,7 +301,8 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
         match
           run_with_pool (fun pool ->
               P.Driver.run ~seed ~on_iteration:progress ?on_record ~obs ~resilience
-                ?checkpoint_path:checkpoint ~checkpoint_every ?resume_from ~workers ?batch
+                ?checkpoint_path:checkpoint ~checkpoint_every ~checkpoint_keep:keep_checkpoints
+                ?resume_from ~workers ?batch
                 ?image_cache:(Option.map P.Image_cache.capacity image_cache) ?pool ~target
                 ~algorithm:algo ~budget ())
         with
@@ -300,6 +310,10 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
           (match trace_channel with Some oc -> close_out oc | None -> ());
           (match ledger_writer with Some w -> A.Ledger.close_writer w | None -> ());
           Error msg
+        | exception P.Durable.Io_error e ->
+          (match trace_channel with Some oc -> close_out oc | None -> ());
+          (match ledger_writer with Some w -> A.Ledger.close_writer w | None -> ());
+          Error (P.Durable.io_error_to_string e)
         | result ->
         (match trace_channel with
         | Some oc ->
@@ -337,17 +351,20 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
               if i < 5 then Printf.printf "  %+.3f %s\n" impact name)
             impacts
         | Some _ | None -> ());
-        (match csv_path with
-        | Some path ->
-          let oc = open_out path in
-          output_string oc (P.History.to_csv result.P.Driver.history);
-          close_out oc;
-          Printf.printf "\nhistory written to %s\n" path
-        | None -> ());
+        let csv_result =
+          match csv_path with
+          | Some path -> (
+            match P.Durable.atomic_write ~path (P.History.to_csv result.P.Driver.history) with
+            | Ok () ->
+              Printf.printf "\nhistory written to %s\n" path;
+              Ok ()
+            | Error e -> Error ("history csv: " ^ P.Durable.io_error_to_string e))
+          | None -> Ok ()
+        in
         (match checkpoint with
         | Some path when not quiet -> Printf.printf "checkpoint written to %s\n" path
         | Some _ | None -> ());
-        Ok ()))))
+        csv_result))))
 
 (* ------------------------------------------------------------------ *)
 (* probe                                                               *)
@@ -416,7 +433,7 @@ let default_label path = Filename.remove_extension (Filename.basename path)
 (* One loader for both subcommands: a ledger (self-describing) or, with
    --from-csv, a History.to_csv export plus the metric described by the
    --metric/--unit/--minimize flags. *)
-let load_series ~from_csv ~metric path =
+let load_series ~from_csv ~salvage ~metric path =
   if from_csv then
     match In_channel.with_open_text path In_channel.input_all with
     | exception Sys_error msg -> Error msg
@@ -424,14 +441,32 @@ let load_series ~from_csv ~metric path =
       match A.Series.of_csv ~metric contents with
       | Ok s -> Ok (s, None)
       | Error e -> Error e)
+  else if salvage then
+    (* Lenient load: analyze what a torn or corrupt ledger still holds,
+       reporting every dropped line to stderr. *)
+    match A.Ledger.salvage path with
+    | Error e -> Error (A.Ledger.error_to_string e)
+    | Ok r ->
+      List.iter
+        (fun (d : A.Ledger.drop) ->
+          Printf.eprintf "wayfinder: %s: dropped line %d (byte %d): %s\n%!" path d.A.Ledger.line
+            d.A.Ledger.offset d.A.Ledger.reason)
+        r.A.Ledger.dropped;
+      if r.A.Ledger.dropped <> [] then
+        Printf.eprintf "wayfinder: %s: salvaged %d rows (%d lines dropped)\n%!" path
+          (List.length r.A.Ledger.ledger.A.Ledger.rows)
+          (List.length r.A.Ledger.dropped);
+      let ledger = r.A.Ledger.ledger in
+      Ok (A.Series.of_ledger ledger, Some ledger.A.Ledger.meta.A.Ledger.algo)
   else
     match A.Ledger.load path with
     | Ok ledger -> Ok (A.Series.of_ledger ledger, Some ledger.A.Ledger.meta.A.Ledger.algo)
     | Error e -> Error (A.Ledger.error_to_string e)
 
-let run_analyze ~path ~from_csv ~json ~series_out ~epsilon ~metric_name ~unit_name ~minimize =
+let run_analyze ~path ~from_csv ~salvage ~json ~series_out ~epsilon ~metric_name ~unit_name
+    ~minimize =
   let metric = P.Metric.make ~maximize:(not minimize) ~name:metric_name ~unit_name () in
-  match load_series ~from_csv ~metric path with
+  match load_series ~from_csv ~salvage ~metric path with
   | Error e -> Error (Printf.sprintf "%s: %s" path e)
   | Ok (series, algo) ->
     let report = A.Analyze.of_series ~label:(default_label path) ?algo ~epsilon series in
@@ -440,14 +475,11 @@ let run_analyze ~path ~from_csv ~json ~series_out ~epsilon ~metric_name ~unit_na
     (match series_out with
     | None -> Ok ()
     | Some out -> (
-      match
-        Out_channel.with_open_text out (fun oc ->
-            Out_channel.output_string oc (A.Analyze.series_csv series))
-      with
-      | () ->
+      match P.Durable.atomic_write ~path:out (A.Analyze.series_csv series) with
+      | Ok () ->
         if not json then Printf.printf "series written to %s\n" out;
         Ok ()
-      | exception Sys_error msg -> Error ("series file: " ^ msg)))
+      | Error e -> Error ("series file: " ^ P.Durable.io_error_to_string e)))
 
 let run_compare ~paths ~json ~budgets =
   if List.length paths < 2 then Error "compare needs at least two ledgers"
@@ -499,6 +531,25 @@ let run_compare ~paths ~json ~budgets =
         else print_string (A.Compare.to_text table);
         Ok ())
   end
+
+(* ------------------------------------------------------------------ *)
+(* fsck                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_fsck ~paths ~repair ~json =
+  match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
+  | Some p -> Error (Printf.sprintf "%s: no such file or directory" p)
+  | None ->
+    let report = A.Fsck.scan ~repair paths in
+    if json then print_endline (A.Json.to_string (A.Fsck.report_json report))
+    else begin
+      List.iter (fun f -> print_endline (A.Fsck.finding_to_string f)) report.A.Fsck.findings;
+      Printf.printf "%d artifacts scanned: %d valid, %d unsealed, %d corrupt, %d stray%s\n"
+        report.A.Fsck.scanned report.A.Fsck.valid report.A.Fsck.unsealed report.A.Fsck.corrupt
+        report.A.Fsck.stray
+        (if repair then Printf.sprintf ", %d repaired" report.A.Fsck.repaired else "")
+    end;
+    if report.A.Fsck.clean then Ok () else Error "corrupt artifacts remain"
 
 (* ------------------------------------------------------------------ *)
 (* kconfig                                                             *)
@@ -590,6 +641,14 @@ let run_cmd =
       value & opt int 10
       & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Checkpoint every $(docv) iterations.")
   in
+  let keep_checkpoints =
+    Arg.(
+      value & opt int 1
+      & info [ "keep-checkpoints" ] ~docv:"N"
+          ~doc:"Retain $(docv) checkpoint generations: each save rotates the previous file to \
+                $(i,FILE.1), $(i,FILE.2), …, and $(b,--resume) falls back to the newest \
+                generation that validates if the primary is torn or corrupt.")
+  in
   let resume =
     Arg.(
       value & flag
@@ -679,26 +738,34 @@ let run_cmd =
   in
   let f job_file os app algorithm iterations budget_s seed favor csv
       (trace, ledger, progress, timings, quiet)
-      (checkpoint, checkpoint_every, resume, fault_rate, workers, batch, image_cache, domains)
+      ( checkpoint,
+        checkpoint_every,
+        keep_checkpoints,
+        resume,
+        fault_rate,
+        workers,
+        batch,
+        image_cache,
+        domains )
       (resilient, retries, build_timeout, boot_timeout, run_timeout, measure_repeats,
        quarantine_after) =
     handle
       (run_search ~job_file ~os ~app ~metric_hint:() ~algorithm ~iterations ~budget_s ~seed
          ~favor ~csv_path:csv ~trace_path:trace ~ledger_path:ledger ~progress_every:progress
-         ~timings ~quiet ~checkpoint ~checkpoint_every ~resume ~fault_rate ~workers ~batch
-         ~image_cache ~domains ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeout
-         ~measure_repeats ~quarantine_after)
+         ~timings ~quiet ~checkpoint ~checkpoint_every ~keep_checkpoints ~resume ~fault_rate
+         ~workers ~batch ~image_cache ~domains ~resilient ~retries ~build_timeout ~boot_timeout
+         ~run_timeout ~measure_repeats ~quarantine_after)
   in
   (* Cmdliner terms are applicative; tuple up the flag groups to keep the
      application chain readable. *)
   let tuple5 a b c d e = (a, b, c, d, e) in
   let tuple7 a b c d e f g = (a, b, c, d, e, f, g) in
-  let tuple8 a b c d e f g h = (a, b, c, d, e, f, g, h) in
+  let tuple9 a b c d e f g h i = (a, b, c, d, e, f, g, h, i) in
   let output_group = Term.(const tuple5 $ trace $ ledger $ progress $ timings $ quiet) in
   let checkpoint_group =
     Term.(
-      const tuple8 $ checkpoint $ checkpoint_every $ resume $ fault_rate $ workers $ batch
-      $ image_cache $ domains)
+      const tuple9 $ checkpoint $ checkpoint_every $ keep_checkpoints $ resume $ fault_rate
+      $ workers $ batch $ image_cache $ domains)
   in
   let resilience_group =
     Term.(
@@ -744,6 +811,14 @@ let analyze_cmd =
           ~doc:"Treat $(i,LEDGER) as a history CSV (from $(b,run --csv)) instead; convergence \
                 and failure-rate diagnostics only (CSV carries no configs or beliefs).")
   in
+  let salvage =
+    Arg.(
+      value & flag
+      & info [ "salvage" ]
+          ~doc:"Tolerate a torn or corrupt ledger: analyze every record that still parses, \
+                reporting each dropped line (with its line number, byte offset and reason) to \
+                stderr.  Fails only when the header or meta line is damaged.")
+  in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
   let series =
     Arg.(
@@ -774,10 +849,10 @@ let analyze_cmd =
       value & flag
       & info [ "minimize" ] ~doc:"The metric is minimized ($(b,--from-csv) only).")
   in
-  let f path from_csv json series epsilon metric_name unit_name minimize =
+  let f path from_csv salvage json series epsilon metric_name unit_name minimize =
     handle
-      (run_analyze ~path ~from_csv ~json ~series_out:series ~epsilon ~metric_name ~unit_name
-         ~minimize)
+      (run_analyze ~path ~from_csv ~salvage ~json ~series_out:series ~epsilon ~metric_name
+         ~unit_name ~minimize)
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -787,7 +862,8 @@ let analyze_cmd =
           rates, space coverage, Brier score and reliability bins for crash predictions, \
           prediction MAE and uncertainty-error rank correlation.")
     Term.(
-      const f $ path $ from_csv $ json $ series $ epsilon $ metric_name $ unit_name $ minimize)
+      const f $ path $ from_csv $ salvage $ json $ series $ epsilon $ metric_name $ unit_name
+      $ minimize)
 
 let compare_cmd =
   let paths =
@@ -811,9 +887,37 @@ let compare_cmd =
           winner per budget.")
     Term.(const f $ paths $ json $ budgets)
 
+let fsck_cmd =
+  let paths =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:"Files or directories to check; directories are walked recursively.")
+  in
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:"Fix what can be fixed: truncate torn ledger tails to their clean prefix \
+                (re-sealed; the original kept as $(i,PATH.bak)), quarantine corrupt checkpoint \
+                generations to $(i,PATH.bak) so $(b,run --resume) falls back past them, and \
+                remove stray $(i,.tmp) staging files.  Corrupt JSON reports are flagged but \
+                never modified.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let f paths repair json = handle (run_fsck ~paths ~repair ~json) in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Validate every durable search artifact — checkpoint generations (CRC envelopes), run \
+          ledgers (fin seals, torn tails), JSON reports, stray staging files — and exit \
+          non-zero if unrepaired corruption remains.")
+    Term.(const f $ paths $ repair $ json)
+
 let () =
   let doc = "automated operating system specialization (EuroSys'26 reproduction)" in
   let info = Cmd.info "wayfinder" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ run_cmd; probe_cmd; space_cmd; kconfig_cmd; analyze_cmd; compare_cmd ]))
+       (Cmd.group info
+          [ run_cmd; probe_cmd; space_cmd; kconfig_cmd; analyze_cmd; compare_cmd; fsck_cmd ]))

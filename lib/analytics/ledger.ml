@@ -4,6 +4,7 @@ module History = Wayfinder_platform.History
 module Metric = Wayfinder_platform.Metric
 module Failure = Wayfinder_platform.Failure
 module Search_algorithm = Wayfinder_platform.Search_algorithm
+module Crc32 = Wayfinder_platform.Crc32
 module Obs = Wayfinder_obs
 
 (* ------------------------------------------------------------------ *)
@@ -12,7 +13,11 @@ module Obs = Wayfinder_obs
 
 (* Line 1: the shared JSONL schema header ({!Obs.Sink.schema_header},
    kind "ledger").  Line 2: a meta record describing the run.  Every
-   following line is one "iter" record, written in completion order. *)
+   following line is one "iter" record, written in completion order.  A
+   cleanly closed ledger ends with a "fin" seal — row count plus a
+   CRC-32 over every preceding byte — so fsck can tell a complete file
+   from a truncated or bit-flipped one; a ledger without the seal is
+   still valid (a killed run is the normal case, not the exception). *)
 
 let kind = "ledger"
 let schema_version = Obs.Sink.schema_version
@@ -52,7 +57,7 @@ type meta = {
   params : (string * Param.stage) list;
 }
 
-type t = { meta : meta; rows : row list }
+type t = { meta : meta; rows : row list; sealed : bool }
 
 (* ------------------------------------------------------------------ *)
 (* Writing                                                             *)
@@ -111,24 +116,43 @@ let row_of_entry (e : History.entry) belief =
     decide_seconds = e.History.decide_seconds;
     belief }
 
-type writer = { oc : out_channel; mutable closed : bool }
+let fin_json ~rows ~crc =
+  Json.Obj
+    [ ("type", Json.Str "fin");
+      ("rows", Json.Num (float_of_int rows));
+      ("crc", Json.Str (Crc32.to_hex crc)) ]
+
+type writer = {
+  oc : out_channel;
+  mutable closed : bool;
+  (* Streaming CRC-32 of every byte written so far (newlines included):
+     the seal is computed without re-reading the file. *)
+  mutable crc : Crc32.t;
+  mutable rows : int;
+}
+
+let emit w s =
+  output_string w.oc s;
+  w.crc <- Crc32.update w.crc s
 
 let create_writer ?seed ~algo ~space ~metric path =
   let oc = open_out path in
-  output_string oc (Obs.Sink.schema_header ~kind);
-  output_char oc '\n';
+  let w = { oc; closed = false; crc = Crc32.init; rows = 0 } in
+  emit w (Obs.Sink.schema_header ~kind);
+  emit w "\n";
   let params =
     Array.to_list
       (Array.map (fun (p : Param.t) -> (p.Param.name, p.Param.stage)) (Space.params space))
   in
-  output_string oc (Json.to_string (meta_json { algo; metric; seed; params }));
-  output_char oc '\n';
-  { oc; closed = false }
+  emit w (Json.to_string (meta_json { algo; metric; seed; params }));
+  emit w "\n";
+  w
 
 let record w (e : History.entry) belief =
   if w.closed then invalid_arg "Ledger.record: writer is closed";
-  output_string w.oc (Json.to_string (row_json (row_of_entry e belief)));
-  output_char w.oc '\n';
+  emit w (Json.to_string (row_json (row_of_entry e belief)));
+  emit w "\n";
+  w.rows <- w.rows + 1;
   (* A ledger is a liveness artifact — a crashed run should still leave
      every completed iteration on disk. *)
   flush w.oc
@@ -136,6 +160,11 @@ let record w (e : History.entry) belief =
 let close_writer w =
   if not w.closed then begin
     w.closed <- true;
+    (* Seal: a reader (or fsck) can now distinguish "cleanly closed"
+       from "truncated" and detect any bit flip in the body. *)
+    output_string w.oc
+      (Json.to_string (fin_json ~rows:w.rows ~crc:(Crc32.finish w.crc)));
+    output_char w.oc '\n';
     close_out w.oc
   end
 
@@ -164,14 +193,15 @@ let parse_header line =
       | Some k -> Error (Malformed (Printf.sprintf "kind %S is not a ledger" k))
       | None -> Error (Malformed "header has no kind")))
 
-let parse_meta line =
+let parse_meta ~offset line =
+  let fail reason = Error (Malformed (Printf.sprintf "line 2 (byte %d): %s" offset reason)) in
   match Json.parse line with
-  | Error msg -> Error (Malformed ("meta: " ^ msg))
+  | Error msg -> fail ("meta: " ^ msg)
   | Ok j ->
     let* () =
       match Option.bind (Json.member "type" j) Json.to_str with
       | Some "meta" -> Ok ()
-      | Some _ | None -> Error (Malformed "second line is not a meta record")
+      | Some _ | None -> fail "second line is not a meta record"
     in
     let* algo = req "meta.algo" (Option.bind (Json.member "algo" j) Json.to_str) in
     let* name = req "meta.metric" (Option.bind (Json.member "metric" j) Json.to_str) in
@@ -211,15 +241,13 @@ let parse_belief = function
            predicted_uncertainty = Option.bind (Json.member "sigma" j) Json.to_float;
            belief_source = source })
 
-let parse_row ~lineno line =
-  match Json.parse line with
-  | Error msg -> Error (Malformed (Printf.sprintf "line %d: %s" lineno msg))
-  | Ok j ->
-    let* () =
+(* Parse one iter record; reasons carry no position — the caller anchors
+   them to its line number and byte offset. *)
+let parse_row j =
+  let* () =
       match Option.bind (Json.member "type" j) Json.to_str with
       | Some "iter" -> Ok ()
-      | Some _ | None ->
-        Error (Malformed (Printf.sprintf "line %d: not an iter record" lineno))
+      | Some _ | None -> Error (Malformed "not an iter record")
     in
     let* index = req "i" (Option.bind (Json.member "i" j) Json.to_int) in
     let* config = req "config" (Option.bind (Json.member "config" j) Json.to_list) in
@@ -247,26 +275,124 @@ let parse_row ~lineno line =
     in
     Ok { index; tokens; value; failure; at_seconds; eval_seconds; built; decide_seconds; belief }
 
-let of_lines lines =
+type drop = { line : int; offset : int; reason : string }
+
+type salvage = {
+  ledger : t;
+  dropped : drop list;
+  clean_prefix_rows : int;
+  clean_prefix_bytes : int;
+}
+
+(* Shared core of the strict reader and the salvage reader.  Tracks the
+   byte offset and a streaming CRC so (a) every error names the exact
+   line and byte where parsing stopped, (b) the fin seal can be verified
+   against the actual bytes read, and (c) salvage knows where the clean
+   prefix ends.  In lenient mode bad lines become [drop]s instead of
+   fatal errors; header/meta damage is unsalvageable either way, since
+   without the meta record the rows cannot be interpreted. *)
+let parse_body ~lenient lines =
   match lines with
   | [] -> Error Missing_header
   | header :: rest ->
     let* () = parse_header header in
+    let offset0 = String.length header + 1 in
     (match rest with
-    | [] -> Error (Malformed "ledger has no meta record")
+    | [] ->
+      Error
+        (Malformed
+           (Printf.sprintf "line 2 (byte %d): ledger has no meta record (truncated after header)"
+              offset0))
     | meta_line :: rows_lines ->
-      let* meta = parse_meta meta_line in
-      let* rows =
-        let rec go lineno acc = function
-          | [] -> Ok (List.rev acc)
-          | line :: rest when String.trim line = "" -> go (lineno + 1) acc rest
-          | line :: rest ->
-            let* row = parse_row ~lineno line in
-            go (lineno + 1) (row :: acc) rest
-        in
-        go 3 [] rows_lines
+      let* meta = parse_meta ~offset:offset0 meta_line in
+      let crc =
+        ref
+          (List.fold_left Crc32.update Crc32.init [ header; "\n"; meta_line; "\n" ])
       in
-      Ok { meta; rows })
+      let offset = ref (offset0 + String.length meta_line + 1) in
+      let lineno = ref 3 in
+      let rows = ref [] in
+      let nrows = ref 0 in
+      let drops = ref [] in
+      let sealed = ref false in
+      (* Rows and bytes strictly before the first drop or the fin line —
+         the portion a repair keeps (and re-seals). *)
+      let prefix_end = ref None in
+      let mark_prefix () =
+        if !prefix_end = None then prefix_end := Some (!nrows, !offset)
+      in
+      let fail reason =
+        if lenient then begin
+          mark_prefix ();
+          drops := { line = !lineno; offset = !offset; reason } :: !drops;
+          Ok ()
+        end
+        else Error (Malformed (Printf.sprintf "line %d (byte %d): %s" !lineno !offset reason))
+      in
+      let handle_fin j =
+        let stored_rows = Option.bind (Json.member "rows" j) Json.to_int in
+        let stored_crc =
+          Option.bind (Option.bind (Json.member "crc" j) Json.to_str) Crc32.of_hex
+        in
+        match (stored_rows, stored_crc) with
+        | None, _ | _, None -> fail "fin seal is missing rows or crc"
+        | Some r, Some c ->
+          if r <> !nrows then
+            fail
+              (Printf.sprintf "fin seal claims %d rows but %d were read (truncated body?)" r
+                 !nrows)
+          else begin
+            let computed = Crc32.finish !crc in
+            if c <> computed then
+              fail
+                (Printf.sprintf "fin seal crc mismatch (stored %s, computed %s)"
+                   (Crc32.to_hex c) (Crc32.to_hex computed))
+            else begin
+              mark_prefix ();
+              sealed := true;
+              Ok ()
+            end
+          end
+      in
+      let rec go = function
+        | [] -> Ok ()
+        | line :: rest ->
+          let* () =
+            if String.trim line = "" then Ok ()
+            else if !sealed then fail "content after fin seal"
+            else
+              match Json.parse line with
+              | Error msg -> fail msg
+              | Ok j -> (
+                match Option.bind (Json.member "type" j) Json.to_str with
+                | Some "fin" -> handle_fin j
+                | _ -> (
+                  match parse_row j with
+                  | Ok row ->
+                    rows := row :: !rows;
+                    incr nrows;
+                    Ok ()
+                  | Error (Malformed reason) -> fail reason
+                  | Error e -> Error e))
+          in
+          crc := Crc32.update (Crc32.update !crc line) "\n";
+          offset := !offset + String.length line + 1;
+          incr lineno;
+          go rest
+      in
+      let* () = go rows_lines in
+      let clean_prefix_rows, clean_prefix_bytes =
+        match !prefix_end with Some p -> p | None -> (!nrows, !offset)
+      in
+      Ok
+        ( { meta; rows = List.rev !rows; sealed = !sealed },
+          List.rev !drops,
+          clean_prefix_rows,
+          clean_prefix_bytes ))
+
+let of_lines lines =
+  let* ledger, _, _, _ = parse_body ~lenient:false lines in
+  Ok ledger
 
 let of_string s =
   of_lines (String.split_on_char '\n' s)
@@ -275,3 +401,31 @@ let load path =
   match In_channel.with_open_text path In_channel.input_all with
   | contents -> of_string contents
   | exception Sys_error msg -> Error (Malformed msg)
+
+let salvage_string s =
+  let* ledger, dropped, clean_prefix_rows, clean_prefix_bytes =
+    parse_body ~lenient:true (String.split_on_char '\n' s)
+  in
+  (* The scanner overcounts the final offset by one when the file lacks a
+     trailing newline; clamp so the prefix is always a real substring. *)
+  Ok
+    { ledger;
+      dropped;
+      clean_prefix_rows;
+      clean_prefix_bytes = min clean_prefix_bytes (String.length s) }
+
+let salvage path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> salvage_string contents
+  | exception Sys_error msg -> Error (Malformed msg)
+
+let repair_string s =
+  let* r = salvage_string s in
+  let prefix = String.sub s 0 r.clean_prefix_bytes in
+  let prefix =
+    if prefix = "" || prefix.[String.length prefix - 1] = '\n' then prefix else prefix ^ "\n"
+  in
+  let fin =
+    Json.to_string (fin_json ~rows:r.clean_prefix_rows ~crc:(Crc32.digest prefix))
+  in
+  Ok (prefix ^ fin ^ "\n", r)

@@ -16,7 +16,18 @@
 
     Floats are written with the exact-round-trip codec of {!Json}, so a
     ledger read back yields bit-identical numbers — the property the
-    analytics conformance tests pin. *)
+    analytics conformance tests pin.
+
+    A cleanly closed ledger additionally ends with a [fin] {e seal}:
+    [{"type":"fin","rows":N,"crc":"xxxxxxxx"}], the row count plus a
+    CRC-32 over every preceding byte of the file.  The seal lets a
+    reader (and [wayfinder fsck]) distinguish a complete file from a
+    truncated or bit-flipped one; a ledger {e without} a seal is still
+    valid — a killed run is the normal case — and is reported as
+    {!t.sealed}[ = false].  Read errors are anchored to the exact line
+    and byte offset where parsing stopped, and {!salvage} recovers the
+    fully-written prefix of a torn or corrupt file with per-drop
+    diagnostics. *)
 
 module Param = Wayfinder_configspace.Param
 module Space = Wayfinder_configspace.Space
@@ -58,7 +69,16 @@ type meta = {
   params : (string * Param.stage) list;  (** Positional (name, stage). *)
 }
 
-type t = { meta : meta; rows : row list }
+type t = {
+  meta : meta;
+  rows : row list;
+  sealed : bool;
+      (** The file ended with a verified [fin] seal: row count matched
+          and the CRC-32 over every preceding byte checked out.  [false]
+          for a ledger whose writer was killed before [close_writer] —
+          a normal, fully usable ledger that simply cannot prove it is
+          complete. *)
+}
 
 val row_of_entry : History.entry -> Search_algorithm.belief option -> row
 (** The exact row {!record} writes — exposed so live analytics can build
@@ -79,7 +99,8 @@ val record : writer -> History.entry -> Search_algorithm.belief option -> unit
     @raise Invalid_argument on a closed writer. *)
 
 val close_writer : writer -> unit
-(** Idempotent. *)
+(** Writes the [fin] seal (row count + CRC-32 over every byte written)
+    and closes the channel.  Idempotent. *)
 
 val with_writer :
   ?seed:int ->
@@ -96,4 +117,43 @@ val load : string -> (t, error) result
 val of_string : string -> (t, error) result
 val of_lines : string list -> (t, error) result
 (** Blank lines between records are tolerated; an unknown schema version
-    is rejected with {!Unsupported_schema} before any row is parsed. *)
+    is rejected with {!Unsupported_schema} before any row is parsed.
+    {!Malformed} messages name the line number and byte offset where
+    parsing stopped (["line 17 (byte 2310): ..."]). *)
+
+(** {1 Salvage}
+
+    Recovery for torn or corrupt ledgers: keep every parseable record,
+    report every dropped line with its position and reason, and expose
+    the {e clean prefix} — the bytes up to the first damage — which is
+    what [wayfinder fsck --repair] truncates to. *)
+
+type drop = {
+  line : int;  (** 1-based line number of the dropped line. *)
+  offset : int;  (** Byte offset of the start of the dropped line. *)
+  reason : string;
+}
+
+type salvage = {
+  ledger : t;  (** Every row that parsed, in file order; [sealed] only
+                   if a valid fin seal was present. *)
+  dropped : drop list;  (** In file order; empty for a healthy file. *)
+  clean_prefix_rows : int;
+      (** Rows strictly before the first drop (or fin seal). *)
+  clean_prefix_bytes : int;
+      (** Bytes strictly before the first drop (or fin seal) — always a
+          whole number of lines. *)
+}
+
+val salvage : string -> (salvage, error) result
+(** Lenient load from a path.  [Error] only when the header or meta line
+    is unreadable — without the meta record the rows cannot be
+    interpreted, so such a file is unsalvageable. *)
+
+val salvage_string : string -> (salvage, error) result
+
+val repair_string : string -> (string * salvage, error) result
+(** The repaired file content: the clean prefix re-sealed with a fresh
+    [fin] record over exactly those bytes — plus the salvage report that
+    produced it.  Loading the repaired content always yields a sealed
+    ledger with [clean_prefix_rows] rows. *)

@@ -121,7 +121,7 @@ let entry_line (e : History.entry) =
       float_field e.History.decide_seconds;
       config_field e.History.config ]
 
-let to_string t =
+let body_string t =
   let buf = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   line "wayfinder-checkpoint %d" version;
@@ -157,13 +157,44 @@ let to_string t =
   line "end";
   Buffer.contents buf
 
-let save ~path t =
+(* The sealed envelope: the format-4 body followed by a CRC-32 trailer
+   line over the body bytes.  The trailer is mandatory on read, so a
+   truncation that happens to cut exactly after the "end" marker is
+   still detected. *)
+let to_string t =
+  let body = body_string t in
+  body ^ Printf.sprintf "crc %s\n" (Crc32.to_hex (Crc32.digest body))
+
+let generation_path path i = if i = 0 then path else Printf.sprintf "%s.%d" path i
+let max_generations = 64
+
+let save ?(backend = Durable.fs) ?(keep = 1) ~path t =
+  if keep < 1 then invalid_arg "Checkpoint.save: keep must be >= 1";
+  let data = to_string t in
   let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  output_string oc (to_string t);
-  close_out oc;
-  (* Atomic publish: a crash mid-write never corrupts an existing file. *)
-  Sys.rename tmp path
+  try
+    (* Stage durably first: once the tmp bytes are fsynced, every later
+       step is a rename, and a crash between any two of them leaves a
+       complete generation under some name. *)
+    backend.Durable.write tmp data;
+    backend.Durable.fsync tmp;
+    if keep > 1 && backend.Durable.exists path then begin
+      (* Rotate: path.(keep-2) -> path.(keep-1), ..., path -> path.1;
+         the oldest generation is overwritten by the shift. *)
+      for i = keep - 1 downto 2 do
+        let src = generation_path path (i - 1) in
+        if backend.Durable.exists src then
+          backend.Durable.rename ~src ~dst:(generation_path path i)
+      done;
+      backend.Durable.rename ~src:path ~dst:(generation_path path 1)
+    end;
+    backend.Durable.rename ~src:tmp ~dst:path;
+    backend.Durable.fsync_dir path
+  with Durable.Io_error _ as e ->
+    (* A failed save (disk full, permissions) must not leave the staging
+       file behind; the previous generations are untouched. *)
+    (try backend.Durable.remove tmp with Durable.Io_error _ -> ());
+    raise e
 
 (* ------------------------------------------------------------------ *)
 (* Reading                                                             *)
@@ -214,7 +245,35 @@ let parse_inflight rest =
     Ok { index = entry.History.index; slot; start_seconds; entry }
   | _ -> Error (Malformed "bad inflight field count")
 
-let of_string s =
+(* Peel the CRC trailer off the envelope: the body (everything up to and
+   including the newline that ends the "end" marker) and the stored
+   checksum.  Trailing newlines after the trailer are tolerated. *)
+let split_envelope s =
+  let e =
+    let i = ref (String.length s) in
+    while !i > 0 && s.[!i - 1] = '\n' do decr i done;
+    !i
+  in
+  if e = 0 then Error (Malformed "empty checkpoint")
+  else
+    let start = match String.rindex_from_opt s (e - 1) '\n' with Some i -> i + 1 | None -> 0 in
+    let last_line = String.sub s start (e - start) in
+    match String.split_on_char ' ' last_line with
+    | [ "crc"; hex ] -> (
+      match Crc32.of_hex hex with
+      | None -> Error (Malformed ("bad crc trailer " ^ hex))
+      | Some stored ->
+        let body = String.sub s 0 start in
+        let computed = Crc32.digest body in
+        if computed = stored then Ok body
+        else
+          Error
+            (Malformed
+               (Printf.sprintf "crc mismatch (stored %s, computed %s): corrupt checkpoint" hex
+                  (Crc32.to_hex computed))))
+    | _ -> Error (Malformed "missing crc trailer (unsealed or truncated checkpoint)")
+
+let of_body s =
   let lines =
     List.filter (fun l -> l <> "") (String.split_on_char '\n' s)
   in
@@ -374,12 +433,66 @@ let of_string s =
         entries;
         inflight })
 
-let load ~path =
-  match
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
-  | exception Sys_error msg -> Error (Malformed msg)
+let of_string s =
+  (* The version check precedes the envelope check: files written by
+     earlier format versions predate the CRC trailer and must still be
+     rejected with the typed [Unsupported_version], not "missing
+     trailer". *)
+  let header =
+    match String.index_opt s '\n' with Some i -> String.sub s 0 i | None -> s
+  in
+  let* () =
+    match String.split_on_char ' ' header with
+    | [ "wayfinder-checkpoint"; v ] -> (
+      match int_of_string_opt v with
+      | Some found when found <> version ->
+        Error (Unsupported_version { found; expected = version })
+      | _ -> Ok ())
+    | _ -> Ok ()
+  in
+  match split_envelope s with Ok body -> of_body body | Error _ as e -> e
+
+let load_from ~backend ~path =
+  match backend.Durable.read path with
+  | exception Durable.Io_error e -> Error (Malformed (Durable.io_error_to_string e))
   | s -> of_string s
+
+let load ~path = load_from ~backend:Durable.fs ~path
+
+type notice =
+  | Recovered_from_generation of {
+      generation : int;
+      loaded_from : string;
+      dropped : (string * error) list;
+    }
+
+let notice_to_string = function
+  | Recovered_from_generation { generation; loaded_from; dropped } ->
+    Printf.sprintf "recovered from generation %d (%s); dropped: %s" generation loaded_from
+      (String.concat "; "
+         (List.map (fun (p, e) -> Printf.sprintf "%s: %s" p (error_to_string e)) dropped))
+
+let load_latest ?(backend = Durable.fs) path =
+  let rec go gen dropped =
+    if gen > max_generations then
+      match List.rev dropped with
+      | [] -> Error (Malformed (Printf.sprintf "no checkpoint found at %s" path))
+      | (_, primary_error) :: _ -> Error primary_error
+    else
+      let p = generation_path path gen in
+      if not (backend.Durable.exists p) then
+        (* Generations are contiguous in normal operation, but fsck may
+           have pruned one: probe the whole window. *)
+        go (gen + 1) dropped
+      else
+        match load_from ~backend ~path:p with
+        | Ok t ->
+          let dropped = List.rev dropped in
+          let notice =
+            if gen = 0 && dropped = [] then None
+            else Some (Recovered_from_generation { generation = gen; loaded_from = p; dropped })
+          in
+          Ok (t, notice)
+        | Error e -> go (gen + 1) ((p, e) :: dropped)
+  in
+  go 0 []

@@ -23,11 +23,16 @@
     silently diverging.
 
     The on-disk format is a versioned line-oriented text file; floats are
-    hex literals ([%h]) so every double round-trips exactly, and files are
-    written to a temporary name and renamed so a crash mid-write never
-    corrupts the previous checkpoint.  Files written by other format
-    versions are rejected with {!Unsupported_version} — never an
-    exception. *)
+    hex literals ([%h]) so every double round-trips exactly.  The file is
+    a {e sealed envelope}: the format-4 body followed by a mandatory
+    CRC-32 trailer line over the body bytes, so truncations and bit flips
+    are rejected with a typed {!Malformed} instead of being misparsed.
+    Writes go through {!Durable}: tmp-write + fsync + rename +
+    directory-fsync, with optional {e generation rotation}
+    ([path], [path.1], …) so a corrupt or torn primary falls back to the
+    newest older generation that validates ({!load_latest}) instead of
+    killing the resume.  Files written by other format versions are
+    rejected with {!Unsupported_version} — never an exception. *)
 
 module Space = Wayfinder_configspace.Space
 
@@ -80,9 +85,52 @@ val version : int
     differing past the ~10th parameter). *)
 
 val to_string : t -> string
-val of_string : string -> (t, error) result
+(** The sealed envelope: format-4 body plus the CRC-32 trailer line. *)
 
-val save : path:string -> t -> unit
-(** Atomic: writes [path ^ ".tmp"], then renames. *)
+val of_string : string -> (t, error) result
+(** Verifies the CRC trailer before parsing; a file without one (torn
+    write, truncation at the trailer) is {!Malformed}. *)
+
+val generation_path : string -> int -> string
+(** [generation_path path 0 = path]; [generation_path path i] is
+    ["path.i"] for [i >= 1]. *)
+
+val max_generations : int
+(** The probe window of {!load_latest}: 64. *)
+
+val save : ?backend:Durable.backend -> ?keep:int -> path:string -> t -> unit
+(** Durable atomic publish via [backend] (default {!Durable.fs}): stage
+    to [path ^ ".tmp"], fsync, rotate generations when [keep > 1]
+    ([path] → [path.1] → … up to [path.(keep-1)]), rename into place,
+    fsync the directory.  A crash at any boundary leaves a complete
+    generation loadable by {!load_latest}; a failed write removes the
+    staging file and leaves every existing generation untouched.
+    @raise Durable.Io_error on I/O failure (after cleanup).
+    @raise Invalid_argument if [keep < 1]. *)
 
 val load : path:string -> (t, error) result
+(** {!load_from} on the real filesystem. *)
+
+val load_from : backend:Durable.backend -> path:string -> (t, error) result
+
+type notice =
+  | Recovered_from_generation of {
+      generation : int;  (** The generation that validated (1 = [path.1] …). *)
+      loaded_from : string;
+      dropped : (string * error) list;
+          (** Newer generations that exist but failed validation, newest
+              first — the evidence for the fallback. *)
+    }
+      (** Surfaced by {!load_latest} when the primary did not load
+          cleanly; [wayfinder run --resume] prints it instead of dying
+          on a corrupt primary. *)
+
+val notice_to_string : notice -> string
+
+val load_latest :
+  ?backend:Durable.backend -> string -> (t * notice option, error) result
+(** Load the newest generation that validates: tries [path], then
+    [path.1], [path.2], … within {!max_generations}.  [None] notice
+    means the primary loaded cleanly.  [Error] carries the {e primary}'s
+    error when every generation is corrupt, or {!Malformed} when no
+    generation exists at all. *)

@@ -1,0 +1,38 @@
+type t = int32
+
+(* Reflected polynomial 0xEDB88320; table entry i is the CRC of the
+   single byte i. *)
+let table =
+  lazy
+    (Array.init 256 (fun i ->
+         let c = ref (Int32.of_int i) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let init = 0xFFFFFFFFl
+
+let update state s =
+  let table = Lazy.force table in
+  let crc = ref state in
+  String.iter
+    (fun ch ->
+      let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xFFl) in
+      crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
+    s;
+  !crc
+
+let finish state = Int32.logxor state 0xFFFFFFFFl
+let digest s = finish (update init s)
+let to_hex v = Printf.sprintf "%08lx" v
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    match Int32.of_string_opt ("0x" ^ s) with
+    | Some v -> Some v
+    | None -> None

@@ -93,12 +93,14 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
     ?(invalid_floor_s = default_invalid_floor_s)
     ?(max_consecutive_invalid = default_max_consecutive_invalid)
     ?(resilience = Resilience.none) ?checkpoint_path
-    ?(checkpoint_every = default_checkpoint_every) ?resume_from ?image_cache ~target
+    ?(checkpoint_every = default_checkpoint_every) ?(checkpoint_keep = 1) ?resume_from
+    ?image_cache ~target
     ~algorithm ~budget () =
   if invalid_floor_s <= 0. then invalid_arg "Driver.run: invalid_floor_s must be positive";
   if max_consecutive_invalid <= 0 then
     invalid_arg "Driver.run: max_consecutive_invalid must be positive";
   if checkpoint_every <= 0 then invalid_arg "Driver.run: checkpoint_every must be positive";
+  if checkpoint_keep < 1 then invalid_arg "Driver.run: checkpoint_keep must be >= 1";
   Resilience.validate resilience;
   let clock = match clock with Some c -> c | None -> Vclock.create () in
   let obs = match obs with Some o -> o | None -> Obs.Recorder.create () in
@@ -199,7 +201,7 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
       let sorted_quarantined =
         List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) quarantine [])
       in
-      Checkpoint.save ~path
+      Checkpoint.save ~keep:checkpoint_keep ~path
         { Checkpoint.seed;
           rng_state = Rng.state rng;
           clock_seconds = Vclock.now clock;
@@ -529,12 +531,14 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
     ?(invalid_floor_s = default_invalid_floor_s)
     ?(max_consecutive_invalid = default_max_consecutive_invalid)
     ?(resilience = Resilience.none) ?checkpoint_path
-    ?(checkpoint_every = default_checkpoint_every) ?resume_from ?(workers = 1) ?batch
+    ?(checkpoint_every = default_checkpoint_every) ?(checkpoint_keep = 1) ?resume_from
+    ?(workers = 1) ?batch
     ?image_cache ?pool ~target ~algorithm ~budget () =
   if invalid_floor_s <= 0. then invalid_arg "Driver.run: invalid_floor_s must be positive";
   if max_consecutive_invalid <= 0 then
     invalid_arg "Driver.run: max_consecutive_invalid must be positive";
   if checkpoint_every <= 0 then invalid_arg "Driver.run: checkpoint_every must be positive";
+  if checkpoint_keep < 1 then invalid_arg "Driver.run: checkpoint_keep must be >= 1";
   if workers <= 0 then invalid_arg "Driver.run: workers must be positive";
   let batch = match batch with Some b -> b | None -> workers in
   if batch <= 0 then invalid_arg "Driver.run: batch must be positive";
@@ -706,7 +710,7 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
           (fun (a : Checkpoint.inflight) b -> compare a.Checkpoint.index b.Checkpoint.index)
           (Hashtbl.fold (fun _ r acc -> r :: acc) inflight_tbl [])
       in
-      Checkpoint.save ~path
+      Checkpoint.save ~keep:checkpoint_keep ~path
         { Checkpoint.seed;
           rng_state = Rng.state rng;
           clock_seconds = Vclock.now clock;

@@ -101,6 +101,7 @@ val run :
   ?resilience:Resilience.policy ->
   ?checkpoint_path:string ->
   ?checkpoint_every:int ->
+  ?checkpoint_keep:int ->
   ?resume_from:Checkpoint.t ->
   ?workers:int ->
   ?batch:int ->
@@ -173,16 +174,20 @@ val run :
     still evaluate inline.
 
     [resilience] defaults to {!Resilience.none}.  [checkpoint_path]
-    enables periodic checkpointing — checkpoint format 3 persists
+    enables periodic checkpointing — the checkpoint persists
     in-flight slot state {e and} the image cache (contents + recency
     order), so a killed multi-worker run resumes mid-batch with its
     warm cache; [resume_from] requires a fresh clock positioned at the
     checkpoint's budget origin and an algorithm / seed / [workers] /
     [batch] / image-cache capacity identical to the checkpointed run.
+    [checkpoint_keep] (default 1) is the number of checkpoint
+    generations retained: each save rotates the previous file to
+    [path.1], [path.2], …, so {!Checkpoint.load_latest} can fall back
+    past a corrupt primary.
 
     @raise Invalid_argument if [invalid_floor_s <= 0],
     [max_consecutive_invalid <= 0], [checkpoint_every <= 0],
-    [workers <= 0], [batch <= 0], the policy fails
+    [checkpoint_keep < 1], [workers <= 0], [batch <= 0], the policy fails
     {!Resilience.validate}, or a resume replay diverges from the
     checkpoint. *)
 
@@ -197,6 +202,7 @@ val run_sequential :
   ?resilience:Resilience.policy ->
   ?checkpoint_path:string ->
   ?checkpoint_every:int ->
+  ?checkpoint_keep:int ->
   ?resume_from:Checkpoint.t ->
   ?image_cache:Image_cache.config ->
   target:Target.t ->

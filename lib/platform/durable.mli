@@ -1,0 +1,140 @@
+(** Crash-safe storage primitives with a pluggable I/O backend.
+
+    Everything a search leaves behind — checkpoints, run ledgers, JSON
+    reports, bench dumps — goes to disk through this layer, so
+    crash-consistency is a property the test suite {e proves} over an
+    adversarial in-memory backend instead of an assumption about the
+    filesystem.
+
+    Two backends ship:
+
+    - {!fs}, the real filesystem: atomic publication is tmp-write +
+      flush + [fsync] + rename + directory-[fsync], failures surface as
+      the typed {!io_error} (never a bare [Sys_error]), and the [.tmp]
+      staging file is removed on {e any} failure — a disk-full error
+      does not leave droppings behind.
+    - {!Mem}, a deterministic simulated disk that can kill the writer
+      at any byte or operation boundary, lose or tear un-fsynced
+      writes, roll back un-fsynced renames, and flip bits — the
+      substrate of the crash-matrix property tests.
+
+    The write protocol (see DESIGN.md §14): data is staged to
+    [path ^ ".tmp"], fsynced, renamed over [path], and the containing
+    directory is fsynced so the rename itself is durable.  A crash at
+    any point leaves either the complete old file or the complete new
+    file at [path] (plus possibly a stray [.tmp], which loaders ignore
+    and [wayfinder fsck --repair] removes). *)
+
+(** {1 Typed errors} *)
+
+type io_error = {
+  op : string;  (** The primitive that failed: ["write"], ["fsync"], … *)
+  path : string;
+  reason : string;  (** The underlying OS/simulator message. *)
+}
+
+exception Io_error of io_error
+(** Raised by backend primitives; the high-level entry points catch it
+    and return a [result]. *)
+
+val io_error_to_string : io_error -> string
+
+(** {1 Backends} *)
+
+(** The primitive operations a backend must supply.  High-level
+    protocols ([atomic_write], {!Checkpoint.save}) are generic code over
+    these, which is what lets the fault backend inject a crash {e
+    between} (or inside) any two primitives of a protocol. *)
+type backend = {
+  name : string;
+  read : string -> string;  (** Whole-file read.  @raise Io_error *)
+  write : string -> string -> unit;
+      (** Create-or-truncate and write, {e buffered}: not durable until
+          [fsync].  @raise Io_error *)
+  append : string -> string -> unit;
+      (** Append, buffered (creates the file if absent).  @raise Io_error *)
+  fsync : string -> unit;  (** Make the file's bytes durable.  @raise Io_error *)
+  rename : src:string -> dst:string -> unit;
+      (** Atomic within the directory, but only durable after
+          [fsync_dir].  @raise Io_error *)
+  fsync_dir : string -> unit;
+      (** Fsync the directory containing [path] (making renames and
+          unlinks durable).  Best-effort on filesystems that reject
+          directory fsync.  @raise Io_error *)
+  remove : string -> unit;  (** Unlink; no-op if absent.  @raise Io_error *)
+  exists : string -> bool;
+}
+
+val fs : backend
+(** The real filesystem, via [Unix]. *)
+
+(** {1 Protocols} *)
+
+val atomic_write : ?backend:backend -> path:string -> string -> (unit, io_error) result
+(** Durable atomic publication of [data] at [path]: stage to
+    [path ^ ".tmp"], fsync, rename, fsync the directory.  On failure the
+    staging file is removed (best-effort) and the previous content of
+    [path], if any, is untouched. *)
+
+val atomic_write_exn : ?backend:backend -> path:string -> string -> unit
+(** @raise Io_error instead of returning it. *)
+
+val read_file : ?backend:backend -> string -> (string, io_error) result
+
+(** {1 The deterministic fault backend} *)
+
+module Mem : sig
+  type fs
+  (** A simulated disk: per-file durable prefix tracking, a write-ahead
+      of un-fsynced bytes, and an undo log of un-fsynced renames. *)
+
+  exception Crashed
+  (** Raised by a primitive when the fault plan's fuel runs out; the
+      partial effect of the interrupted primitive (e.g. a torn write's
+      prefix) has already been applied. *)
+
+  val create :
+    ?fuel:int ->
+    ?keep_unsynced:bool ->
+    ?keep_renames:bool ->
+    unit ->
+    fs
+  (** [fuel] is the crash budget in simulated I/O cost units: every
+      primitive costs 1, and writes/appends additionally cost 1 {e per
+      byte}, so sweeping [fuel] over [0 .. total_cost] kills the writer
+      at every operation {e and} byte boundary.  No [fuel] means never
+      crash.  At crash time, un-fsynced bytes either survive up to the
+      kill point ([keep_unsynced = true], the torn-tail case) or are
+      lost entirely ([false], the lost-page-cache case); un-fsynced
+      renames either survive ([keep_renames = true]) or roll back. *)
+
+  val backend : fs -> backend
+
+  val set_fuel : fs -> int -> unit
+  (** Arm (or re-arm) the crash budget — lets a test build a valid
+      baseline state with unlimited fuel, then inject the kill into the
+      operation under test. *)
+
+  val crash : fs -> unit
+  (** Apply the post-crash state: truncate or drop un-fsynced bytes per
+      the plan, roll back un-fsynced renames if the plan says so, and
+      clear the fuel so recovery code can run against the result. *)
+
+  val cost : fs -> int
+  (** Total I/O cost units consumed so far — run the protocol once
+      uninterrupted to learn the sweep range for the crash matrix. *)
+
+  val set_file : fs -> string -> string -> unit
+  (** God-mode: install durable, fsynced content directly. *)
+
+  val get_file : fs -> string -> string option
+  (** Durable content as a post-crash reader would see it. *)
+
+  val list_files : fs -> string list
+  (** Paths that currently exist, sorted. *)
+
+  val flip_bit : fs -> string -> int -> unit
+  (** Flip bit [i] (0-based over the whole file, MSB-first within each
+      byte) of a file's durable content — the fsck corruption seeder.
+      @raise Invalid_argument if out of range or the file is absent. *)
+end

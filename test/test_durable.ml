@@ -1,0 +1,546 @@
+(* Crash consistency, proven: CRC-32 vectors, the atomic-write and
+   checkpoint-save crash matrices over the deterministic fault backend
+   (every byte and operation boundary, under every loss plan), ledger
+   torn-tail salvage at every cut point, fsck detection completeness
+   over seeded corruption, and crash recovery composed with the
+   kill-and-resume test at a 10 % fault rate. *)
+
+open Wayfinder_platform
+module A = Wayfinder_analytics
+module S = Wayfinder_simos
+module Faults = S.Faults
+module Space = Wayfinder_configspace.Space
+module Param = Wayfinder_configspace.Param
+module Obs = Wayfinder_obs
+module Mem = Durable.Mem
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let fault_plans = [ (false, false); (false, true); (true, false); (true, true) ]
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc_known_answers () =
+  (* The IEEE 802.3 check value. *)
+  Alcotest.(check string) "check vector" "cbf43926" (Crc32.to_hex (Crc32.digest "123456789"));
+  Alcotest.(check string) "empty string" "00000000" (Crc32.to_hex (Crc32.digest ""));
+  Alcotest.(check bool) "of_hex inverts to_hex" true
+    (Crc32.of_hex "cbf43926" = Some (Crc32.digest "123456789"));
+  Alcotest.(check bool) "of_hex rejects non-hex" true (Crc32.of_hex "not-hex!" = None);
+  Alcotest.(check bool) "of_hex rejects short input" true (Crc32.of_hex "abc" = None)
+
+let prop_crc_streaming =
+  QCheck2.Test.make ~name:"streaming crc equals one-shot digest" ~count:200
+    QCheck2.Gen.(pair string nat)
+    (fun (s, k) ->
+      let k = if s = "" then 0 else k mod (String.length s + 1) in
+      let a = String.sub s 0 k and b = String.sub s k (String.length s - k) in
+      Crc32.finish (Crc32.update (Crc32.update Crc32.init a) b) = Crc32.digest s)
+
+(* ------------------------------------------------------------------ *)
+(* Atomic write: crash matrix                                          *)
+(* ------------------------------------------------------------------ *)
+
+let old_content = "old content, durable before the test begins\n"
+
+let new_content =
+  String.concat "" (List.init 12 (fun i -> Printf.sprintf "replacement line %d\n" i))
+
+let test_atomic_write_publishes () =
+  let fs = Mem.create () in
+  let backend = Mem.backend fs in
+  (match Durable.atomic_write ~backend ~path:"f" new_content with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Durable.io_error_to_string e));
+  Alcotest.(check bool) "content published" true (Mem.get_file fs "f" = Some new_content);
+  Alcotest.(check bool) "no staging file left" true (Mem.list_files fs = [ "f" ])
+
+let test_atomic_write_crash_matrix () =
+  (* One uninterrupted run fixes the sweep range: cost is 1 per
+     primitive plus 1 per byte written, so fuel 0..total kills the
+     protocol at every operation and byte boundary. *)
+  let probe = Mem.create () in
+  Mem.set_file probe "f" old_content;
+  (match Durable.atomic_write ~backend:(Mem.backend probe) ~path:"f" new_content with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Durable.io_error_to_string e));
+  let total = Mem.cost probe in
+  let states = ref 0 in
+  List.iter
+    (fun (keep_unsynced, keep_renames) ->
+      for fuel = 0 to total do
+        let fs = Mem.create ~keep_unsynced ~keep_renames () in
+        Mem.set_file fs "f" old_content;
+        Mem.set_fuel fs fuel;
+        (match Durable.atomic_write ~backend:(Mem.backend fs) ~path:"f" new_content with
+        | Ok () | Error _ -> ()
+        | exception Mem.Crashed -> ());
+        Mem.crash fs;
+        (match Mem.get_file fs "f" with
+        | Some c when c = old_content || c = new_content -> incr states
+        | Some c ->
+          Alcotest.failf "fuel %d (unsynced=%b renames=%b): torn content %S" fuel keep_unsynced
+            keep_renames c
+        | None ->
+          Alcotest.failf "fuel %d (unsynced=%b renames=%b): file disappeared" fuel keep_unsynced
+            keep_renames)
+      done)
+    fault_plans;
+  Alcotest.(check int) "full matrix exercised" (4 * (total + 1)) !states
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint save: crash matrix with generation rotation              *)
+(* ------------------------------------------------------------------ *)
+
+let mk_entry index =
+  { History.index;
+    config = [| Param.Vint (index mod 13) |];
+    value = (if index mod 3 = 0 then None else Some (100.5 +. float_of_int index));
+    failure = (if index mod 3 = 0 then Some Failure.Runtime_crash else None);
+    at_seconds = 0.5 *. float_of_int (index + 1);
+    eval_seconds = 16.25;
+    built = index mod 2 = 0;
+    decide_seconds = 1e-4 }
+
+let sample_ck n =
+  { Checkpoint.seed = 42;
+    rng_state = Int64.of_int (9999 + n);
+    clock_seconds = float_of_int n *. 7.5;
+    budget_start_seconds = 0.;
+    iterations = n;
+    workers = 1;
+    consecutive_invalid = 0;
+    cache_capacity = 1;
+    cache = [];
+    strikes = [];
+    quarantined = [];
+    entries = List.init n mk_entry;
+    inflight = [] }
+
+let checkpoint_crash_step ~keep_unsynced ~keep_renames ~old_ck ~new_ck fuel =
+  let fs = Mem.create ~keep_unsynced ~keep_renames () in
+  let backend = Mem.backend fs in
+  Checkpoint.save ~backend ~keep:2 ~path:"s.ckpt" old_ck;
+  Mem.set_fuel fs fuel;
+  (match Checkpoint.save ~backend ~keep:2 ~path:"s.ckpt" new_ck with
+  | () -> ()
+  | exception Mem.Crashed -> ()
+  | exception Durable.Io_error _ -> ());
+  Mem.crash fs;
+  match Checkpoint.load_latest ~backend "s.ckpt" with
+  | Error e ->
+    Alcotest.failf "fuel %d (unsynced=%b renames=%b): no generation loads: %s" fuel
+      keep_unsynced keep_renames (Checkpoint.error_to_string e)
+  | Ok (ck, _) ->
+    if not (ck = old_ck || ck = new_ck) then
+      Alcotest.failf "fuel %d (unsynced=%b renames=%b): loaded neither old nor new state" fuel
+        keep_unsynced keep_renames
+
+let checkpoint_save_cost ~old_ck ~new_ck =
+  let probe = Mem.create () in
+  let backend = Mem.backend probe in
+  Checkpoint.save ~backend ~keep:2 ~path:"s.ckpt" old_ck;
+  let before = Mem.cost probe in
+  Checkpoint.save ~backend ~keep:2 ~path:"s.ckpt" new_ck;
+  Mem.cost probe - before
+
+let test_checkpoint_save_crash_matrix () =
+  (* Small checkpoints keep the exhaustive per-byte sweep fast. *)
+  let old_ck = sample_ck 2 and new_ck = sample_ck 3 in
+  let total = checkpoint_save_cost ~old_ck ~new_ck in
+  List.iter
+    (fun (keep_unsynced, keep_renames) ->
+      for fuel = 0 to total do
+        checkpoint_crash_step ~keep_unsynced ~keep_renames ~old_ck ~new_ck fuel
+      done)
+    fault_plans
+
+let prop_checkpoint_crash_matrix =
+  (* The qcheck face of the same property, on a larger checkpoint:
+     random kill points and loss plans, recovery always yields old or
+     new. *)
+  let old_ck = sample_ck 12 and new_ck = sample_ck 13 in
+  let total = checkpoint_save_cost ~old_ck ~new_ck in
+  QCheck2.Test.make ~name:"checkpoint save killed anywhere recovers old or new" ~count:150
+    QCheck2.Gen.(triple (int_range 0 total) bool bool)
+    (fun (fuel, keep_unsynced, keep_renames) ->
+      checkpoint_crash_step ~keep_unsynced ~keep_renames ~old_ck ~new_ck fuel;
+      true)
+
+let test_checkpoint_generation_rotation () =
+  let fs = Mem.create () in
+  let backend = Mem.backend fs in
+  for n = 1 to 5 do
+    Checkpoint.save ~backend ~keep:3 ~path:"s.ckpt" (sample_ck n)
+  done;
+  Alcotest.(check (list string)) "three generations retained"
+    [ "s.ckpt"; "s.ckpt.1"; "s.ckpt.2" ] (Mem.list_files fs);
+  let gen i =
+    match Checkpoint.load_from ~backend ~path:(Checkpoint.generation_path "s.ckpt" i) with
+    | Ok ck -> ck.Checkpoint.iterations
+    | Error e -> Alcotest.failf "generation %d: %s" i (Checkpoint.error_to_string e)
+  in
+  Alcotest.(check (list int)) "newest first" [ 5; 4; 3 ] [ gen 0; gen 1; gen 2 ];
+  (* Corrupt the primary: load_latest falls back and says so. *)
+  Mem.flip_bit fs "s.ckpt" 300;
+  match Checkpoint.load_latest ~backend "s.ckpt" with
+  | Error e -> Alcotest.fail (Checkpoint.error_to_string e)
+  | Ok (ck, notice) ->
+    Alcotest.(check int) "fell back one generation" 4 ck.Checkpoint.iterations;
+    (match notice with
+    | Some (Checkpoint.Recovered_from_generation { generation = 1; dropped = [ _ ]; _ }) -> ()
+    | Some n -> Alcotest.failf "unexpected notice: %s" (Checkpoint.notice_to_string n)
+    | None -> Alcotest.fail "expected a recovery notice")
+
+(* ------------------------------------------------------------------ *)
+(* Ledger: torn tails, salvage, typed errors                           *)
+(* ------------------------------------------------------------------ *)
+
+let ledger_space () = Space.create [ Param.int_param "x" ~lo:0 ~hi:12 ~default:3 ]
+
+(* A sealed ledger's exact bytes, via the real writer. *)
+let sealed_ledger_bytes ?(rows = 8) () =
+  let path = Filename.temp_file "wayfinder" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let w =
+        A.Ledger.create_writer ~seed:7 ~algo:"random" ~space:(ledger_space ())
+          ~metric:Metric.throughput path
+      in
+      for i = 0 to rows - 1 do
+        A.Ledger.record w (mk_entry i) None
+      done;
+      A.Ledger.close_writer w;
+      In_channel.with_open_bin path In_channel.input_all)
+
+let test_ledger_seal_roundtrip () =
+  let full = sealed_ledger_bytes () in
+  match A.Ledger.of_string full with
+  | Error e -> Alcotest.fail (A.Ledger.error_to_string e)
+  | Ok t ->
+    Alcotest.(check bool) "sealed" true t.A.Ledger.sealed;
+    Alcotest.(check int) "all rows" 8 (List.length t.A.Ledger.rows)
+
+let test_ledger_torn_tail_matrix () =
+  let full = sealed_ledger_bytes () in
+  let full_rows =
+    match A.Ledger.of_string full with
+    | Ok t -> Array.of_list t.A.Ledger.rows
+    | Error e -> Alcotest.fail (A.Ledger.error_to_string e)
+  in
+  let header_end = String.index full '\n' + 1 in
+  let meta_end = String.index_from full header_end '\n' + 1 in
+  for cut = 0 to String.length full do
+    let s = String.sub full 0 cut in
+    match A.Ledger.salvage_string s with
+    | Error _ ->
+      if cut >= meta_end then
+        Alcotest.failf "cut %d: salvage refused a file with intact header+meta" cut
+    | Ok r ->
+      if cut < meta_end - 1 then
+        Alcotest.failf "cut %d: salvage accepted a damaged header/meta" cut;
+      let rows = Array.of_list r.A.Ledger.ledger.A.Ledger.rows in
+      (* Salvaged rows are exactly the fully-written prefix. *)
+      Array.iteri
+        (fun i (row : A.Ledger.row) ->
+          if row.A.Ledger.index <> full_rows.(i).A.Ledger.index then
+            Alcotest.failf "cut %d: salvaged row %d diverges from the original" cut i)
+        rows;
+      Alcotest.(check bool)
+        (Printf.sprintf "cut %d: at most the torn line dropped" cut)
+        true
+        (List.length r.A.Ledger.dropped <= 1);
+      (* Repairing any truncation yields a loadable, sealed ledger with
+         the clean-prefix rows. *)
+      (match A.Ledger.repair_string s with
+      | Error e -> Alcotest.failf "cut %d: repair failed: %s" cut (A.Ledger.error_to_string e)
+      | Ok (fixed, report) -> (
+        match A.Ledger.of_string fixed with
+        | Error e ->
+          Alcotest.failf "cut %d: repaired ledger unreadable: %s" cut
+            (A.Ledger.error_to_string e)
+        | Ok t ->
+          Alcotest.(check bool) (Printf.sprintf "cut %d: repaired is sealed" cut) true
+            t.A.Ledger.sealed;
+          Alcotest.(check int)
+            (Printf.sprintf "cut %d: repaired rows" cut)
+            report.A.Ledger.clean_prefix_rows
+            (List.length t.A.Ledger.rows)))
+  done
+
+let test_ledger_typed_errors () =
+  let full = sealed_ledger_bytes () in
+  let header_end = String.index full '\n' + 1 in
+  (* Truncated header: not a ledger at all. *)
+  (match A.Ledger.of_string (String.sub full 0 5) with
+  | Error A.Ledger.Missing_header -> ()
+  | Error e -> Alcotest.failf "expected Missing_header, got %s" (A.Ledger.error_to_string e)
+  | Ok _ -> Alcotest.fail "truncated header accepted");
+  (* Truncated meta: position-anchored Malformed. *)
+  (match A.Ledger.of_string (String.sub full 0 (header_end + 3)) with
+  | Error (A.Ledger.Malformed msg) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "meta error names line 2 and byte offset: %S" msg)
+      true
+      (contains_sub msg (Printf.sprintf "line 2 (byte %d)" header_end))
+  | Error e -> Alcotest.failf "expected Malformed, got %s" (A.Ledger.error_to_string e)
+  | Ok _ -> Alcotest.fail "truncated meta accepted");
+  (* Torn tail mid-row: Malformed with the line/byte anchor. *)
+  (match A.Ledger.of_string (String.sub full 0 (String.length full - 60)) with
+  | Error (A.Ledger.Malformed msg) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "torn tail names its position: %S" msg)
+      true
+      (contains_sub msg "line " && contains_sub msg " (byte ")
+  | Error e -> Alcotest.failf "expected Malformed, got %s" (A.Ledger.error_to_string e)
+  | Ok _ -> Alcotest.fail "torn tail accepted");
+  (* A bit flip that keeps every line valid JSON is still caught by the
+     fin seal's CRC. *)
+  let flipped =
+    let target = "\"i\":1" in
+    let rec find i =
+      if i + String.length target > String.length full then
+        Alcotest.fail "row marker not found"
+      else if String.sub full i (String.length target) = target then i
+      else find (i + 1)
+    in
+    let i = find 0 in
+    let b = Bytes.of_string full in
+    Bytes.set b (i + 4) '2';
+    Bytes.to_string b
+  in
+  (match A.Ledger.of_string flipped with
+  | Error (A.Ledger.Malformed msg) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "silent bit flip caught by the seal: %S" msg)
+      true (contains_sub msg "crc mismatch")
+  | Error e -> Alcotest.failf "expected crc mismatch, got %s" (A.Ledger.error_to_string e)
+  | Ok _ -> Alcotest.fail "bit-flipped sealed ledger accepted");
+  (* Without its fin line the same file is merely unsealed, not corrupt:
+     a killed writer is the normal case. *)
+  let fin_start = String.rindex_from full (String.length full - 2) '\n' + 1 in
+  match A.Ledger.of_string (String.sub full 0 fin_start) with
+  | Ok t ->
+    Alcotest.(check bool) "unsealed" false t.A.Ledger.sealed;
+    Alcotest.(check int) "all rows kept" 8 (List.length t.A.Ledger.rows)
+  | Error e -> Alcotest.failf "unsealed ledger rejected: %s" (A.Ledger.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* fsck: detection completeness over seeded corruption                 *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "wayfinder_fsck" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let write_file path data = Durable.atomic_write_exn ~path data
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let flip_bit_in_file path bit =
+  let b = Bytes.of_string (read_file path) in
+  let byte = bit / 8 in
+  Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (0x80 lsr (bit mod 8))));
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b)
+
+(* Status of a single file per fsck. *)
+let fsck_status path =
+  match (A.Fsck.scan [ path ]).A.Fsck.findings with
+  | [ f ] -> f.A.Fsck.status
+  | fs -> Alcotest.failf "expected one finding for %s, got %d" path (List.length fs)
+
+let test_fsck_detects_all_seeded_corruption () =
+  with_temp_dir (fun dir ->
+      let ckpt = Filename.concat dir "search.ckpt" in
+      let ledger = Filename.concat dir "run.jsonl" in
+      let report = Filename.concat dir "report.json" in
+      for n = 1 to 2 do
+        Checkpoint.save ~keep:2 ~path:ckpt (sample_ck n)
+      done;
+      write_file ledger (sealed_ledger_bytes ());
+      write_file report "{\"benchmark\":\"cache\",\"cells\":[{\"hits\":3}]}\n";
+      (* Pristine tree: everything valid, exit clean. *)
+      let pristine = A.Fsck.scan [ dir ] in
+      Alcotest.(check bool) "pristine tree is clean" true pristine.A.Fsck.clean;
+      Alcotest.(check int) "pristine: all valid" pristine.A.Fsck.scanned pristine.A.Fsck.valid;
+      let seeded = ref 0 and detected = ref 0 in
+      let expect_detected path what ok =
+        incr seeded;
+        if ok then incr detected else Alcotest.failf "%s: %s went undetected" path what
+      in
+      (* Bit flips: every sampled position in checkpoints and the sealed
+         ledger must be caught (CRC envelope / fin seal). *)
+      List.iter
+        (fun path ->
+          let original = read_file path in
+          let bits = 8 * String.length original in
+          let rec sweep bit =
+            if bit < bits then begin
+              flip_bit_in_file path bit;
+              expect_detected path
+                (Printf.sprintf "bit flip at %d" bit)
+                (fsck_status path = A.Fsck.Corrupt);
+              Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc original);
+              sweep (bit + 509)
+            end
+          in
+          sweep 0)
+        [ ckpt; ckpt ^ ".1"; ledger ];
+      (* Truncations: any proper prefix of a checkpoint is corrupt; any
+         proper prefix of a sealed ledger is at best unsealed, never
+         valid. *)
+      let truncation_sweep path ~ok =
+        let original = read_file path in
+        let len = String.length original in
+        let rec sweep cut =
+          if cut < len then begin
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc (String.sub original 0 cut));
+            expect_detected path (Printf.sprintf "truncation at %d" cut) (ok (fsck_status path));
+            Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc original);
+            sweep (cut + 97)
+          end
+        in
+        sweep 0
+      in
+      truncation_sweep ckpt ~ok:(fun st -> st = A.Fsck.Corrupt);
+      truncation_sweep ledger ~ok:(fun st -> st <> A.Fsck.Valid);
+      (* JSON report truncation: everything short of removing only the
+         trailing newline is detected. *)
+      let original = read_file report in
+      let rec sweep cut =
+        if cut <= String.length original - 2 then begin
+          Out_channel.with_open_bin report (fun oc ->
+              Out_channel.output_string oc (String.sub original 0 cut));
+          expect_detected report
+            (Printf.sprintf "truncation at %d" cut)
+            (fsck_status report = A.Fsck.Corrupt);
+          Out_channel.with_open_bin report (fun oc -> Out_channel.output_string oc original);
+          sweep (cut + 7)
+        end
+      in
+      sweep 0;
+      (* Torn rename: the staging file survived, flagged as a stray. *)
+      let tmp = ckpt ^ ".tmp" in
+      Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc "partial");
+      expect_detected tmp "torn rename staging file" (fsck_status tmp = A.Fsck.Stray);
+      Sys.remove tmp;
+      Alcotest.(check int)
+        (Printf.sprintf "every seeded corruption detected (%d cases)" !seeded)
+        !seeded !detected)
+
+let test_fsck_repair_heals_the_tree () =
+  with_temp_dir (fun dir ->
+      let ckpt = Filename.concat dir "search.ckpt" in
+      let ledger = Filename.concat dir "run.jsonl" in
+      for n = 1 to 2 do
+        Checkpoint.save ~keep:2 ~path:ckpt (sample_ck n)
+      done;
+      let full = sealed_ledger_bytes () in
+      (* Torn ledger tail, corrupt primary generation, stray tmp. *)
+      write_file ledger (String.sub full 0 (String.length full - 33));
+      flip_bit_in_file ckpt 123;
+      Out_channel.with_open_bin (ckpt ^ ".tmp") (fun oc -> Out_channel.output_string oc "x");
+      let before = A.Fsck.scan [ dir ] in
+      Alcotest.(check bool) "damage detected" false before.A.Fsck.clean;
+      let repair = A.Fsck.scan ~repair:true [ dir ] in
+      Alcotest.(check bool) "repair pass ends clean" true repair.A.Fsck.clean;
+      Alcotest.(check int) "three repairs applied" 3 repair.A.Fsck.repaired;
+      let after = A.Fsck.scan [ dir ] in
+      Alcotest.(check bool) "re-scan is clean" true after.A.Fsck.clean;
+      (* The repaired ledger is sealed and holds the clean prefix. *)
+      (match A.Ledger.load ledger with
+      | Ok t -> Alcotest.(check bool) "repaired ledger sealed" true t.A.Ledger.sealed
+      | Error e -> Alcotest.fail (A.Ledger.error_to_string e));
+      (* The pruned primary no longer hides the good generation. *)
+      match Checkpoint.load_latest ckpt with
+      | Ok (ck, _) -> Alcotest.(check int) "good generation loads" 1 ck.Checkpoint.iterations
+      | Error e -> Alcotest.fail (Checkpoint.error_to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Composition: crash recovery under the 10 % fault-rate resume test   *)
+(* ------------------------------------------------------------------ *)
+
+let toy_target () =
+  let space = ledger_space () in
+  Target.make ~name:"toy" ~space ~metric:Metric.throughput (fun ~trial config ->
+      ignore trial;
+      match config.(0) with
+      | Param.Vint x when x > 9 ->
+        { Target.value = Error Failure.Runtime_crash; build_s = 10.; boot_s = 1.; run_s = 2. }
+      | Param.Vint x ->
+        let v = 100. -. float_of_int ((x - 7) * (x - 7)) in
+        { Target.value = Ok v; build_s = 10.; boot_s = 1.; run_s = 5. }
+      | _ -> { Target.value = Error (Failure.Other "invalid"); build_s = 0.; boot_s = 0.; run_s = 0. })
+
+let frozen_obs () = Obs.Recorder.create ~now:(fun () -> 0.) ()
+
+let faulty_run ?checkpoint_path ?checkpoint_keep ?resume_from ~seed ~iterations () =
+  let plan = Faults.create ~rates:(Faults.rates_of_total 0.10) ~seed () in
+  let target = Target.with_faults ~plan (toy_target ()) in
+  Driver.run ~seed ~obs:(frozen_obs ()) ~resilience:Resilience.default_resilient
+    ?checkpoint_path ~checkpoint_every:7 ?checkpoint_keep ?resume_from ~target
+    ~algorithm:(Random_search.create ()) ~budget:(Driver.Iterations iterations) ()
+
+let test_resume_from_fallback_generation_reproduces_run () =
+  let full = faulty_run ~seed:11 ~iterations:20 () in
+  let path = Filename.temp_file "wayfinder" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".1"; path ^ ".2" ])
+    (fun () ->
+      (* Kill mid-run with rotation on, then corrupt the primary the way
+         a torn final write would. *)
+      ignore (faulty_run ~checkpoint_path:path ~checkpoint_keep:3 ~seed:11 ~iterations:13 ());
+      flip_bit_in_file path 200;
+      match Checkpoint.load_latest path with
+      | Error e -> Alcotest.fail (Checkpoint.error_to_string e)
+      | Ok (ck, notice) ->
+        Alcotest.(check bool) "recovery notice surfaced" true (notice <> None);
+        let resumed = faulty_run ~resume_from:ck ~seed:11 ~iterations:20 () in
+        Alcotest.(check string) "identical CSV from the fallback generation"
+          (History.to_csv full.Driver.history)
+          (History.to_csv resumed.Driver.history))
+
+let () =
+  Alcotest.run "durable"
+    [ ( "crc32",
+        [ Alcotest.test_case "known answers" `Quick test_crc_known_answers;
+          QCheck_alcotest.to_alcotest prop_crc_streaming ] );
+      ( "atomic-write",
+        [ Alcotest.test_case "publishes durably" `Quick test_atomic_write_publishes;
+          Alcotest.test_case "crash matrix: old or new, never torn" `Quick
+            test_atomic_write_crash_matrix ] );
+      ( "checkpoint",
+        [ Alcotest.test_case "crash matrix with rotation" `Quick
+            test_checkpoint_save_crash_matrix;
+          Alcotest.test_case "generation rotation and fallback" `Quick
+            test_checkpoint_generation_rotation;
+          QCheck_alcotest.to_alcotest prop_checkpoint_crash_matrix ] );
+      ( "ledger",
+        [ Alcotest.test_case "seal roundtrip" `Quick test_ledger_seal_roundtrip;
+          Alcotest.test_case "torn-tail matrix: salvage at every cut" `Quick
+            test_ledger_torn_tail_matrix;
+          Alcotest.test_case "typed errors with positions" `Quick test_ledger_typed_errors ] );
+      ( "fsck",
+        [ Alcotest.test_case "detects 100% of seeded corruption" `Quick
+            test_fsck_detects_all_seeded_corruption;
+          Alcotest.test_case "repair heals the tree" `Quick test_fsck_repair_heals_the_tree ] );
+      ( "composition",
+        [ Alcotest.test_case "resume from fallback generation under 10% faults" `Quick
+            test_resume_from_fallback_generation_reproduces_run ] ) ]
