@@ -29,7 +29,7 @@ let target_for sim workload =
             | Error stage -> Error (P.Targets.failure_of_stage stage));
           build_s = d.S.Sim_linux.build_s;
           boot_s = d.S.Sim_linux.boot_s;
-          run_s = d.S.Sim_linux.run_s }) }
+          run_s = d.S.Sim_linux.run_s; objectives = [||] }) }
 
 let search sim workload ~seed =
   let space = S.Sim_linux.space sim in

@@ -24,6 +24,7 @@ let experiments =
     ("workers", "speedup vs virtual evaluation slots (batched engine)", Bench_workers.run);
     ("cache", "builds charged vs shared image-cache capacity", Bench_cache.run);
     ("sensitivity", "workload sensitivity of the found optimum (§3.5)", Bench_sensitivity.run);
+    ("trace", "single- vs multi-objective search on a flash-crowd trace", Bench_trace.run);
     ("micro", "Bechamel micro-benchmarks of per-iteration costs", Bench_micro.run);
     ("ablation", "DeepTune design-choice ablations", Bench_ablation.run) ]
 

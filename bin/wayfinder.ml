@@ -66,7 +66,32 @@ let algorithm_for name ~favor ~seed =
   | "grid" -> Ok (`Plain (P.Grid_search.create ()))
   | "bayes" | "bayesian" -> Ok (`Plain (P.Bayes_search.create ?favor ~seed ()))
   | "deeptune" | "wayfinder" -> Ok `Deeptune
-  | other -> Error (Printf.sprintf "unknown algorithm %S (random, grid, bayes, deeptune)" other)
+  | "deeptune-multi" -> Ok `Multi
+  | other ->
+    Error
+      (Printf.sprintf "unknown algorithm %S (random, grid, bayes, deeptune, deeptune-multi)"
+         other)
+
+(* --scenario NAME|FILE: a built-in load shape (loads expressed against
+   the trace target's nominal 1000 req/s default capacity) or a saved
+   wayfinder-trace file. *)
+let trace_for kind ~seed =
+  if Sys.file_exists kind then
+    match S.Trace.load ~path:kind with
+    | Ok t -> Ok t
+    | Error e -> Error (Printf.sprintf "scenario %s: %s" kind e)
+  else
+    match kind with
+    | "flash-crowd" ->
+      Ok (S.Trace.flash_crowd ~window_s:1.0 ~windows:60 ~base:500. ~peak:1400. ~at:30 ~width:10)
+    | "diurnal" ->
+      Ok (S.Trace.diurnal ~jitter:0.05 ~seed ~window_s:1.0 ~windows:96 ~base:300. ~peak:1200. ())
+    | "ramp" -> Ok (S.Trace.ramp ~window_s:1.0 ~windows:60 ~from_load:200. ~to_load:1400.)
+    | "steps" -> Ok (S.Trace.steps ~window_s:1.0 [ (20, 400.); (20, 900.); (20, 1300.) ])
+    | other ->
+      Error
+        (Printf.sprintf
+           "unknown scenario %S (flash-crowd, diurnal, ramp, steps, or a trace file)" other)
 
 (* ------------------------------------------------------------------ *)
 (* run                                                                 *)
@@ -105,7 +130,7 @@ let policy_of_flags ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeou
 let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s ~seed ~favor
     ~csv_path ~trace_path ~ledger_path ~progress_every ~timings ~quiet ~checkpoint
     ~checkpoint_every ~keep_checkpoints ~resume ~fault_rate ~workers ~batch ~image_cache
-    ~domains ~resilient
+    ~domains ~scenario_kind ~scenario_stride ~objective_names ~weights ~pareto ~resilient
     ~retries ~build_timeout ~boot_timeout ~run_timeout ~measure_repeats ~quarantine_after =
   ignore metric_hint;
   let job =
@@ -164,7 +189,50 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
       | None, Some j -> j.CS.Jobfile.favor
       | None, None -> None
     in
-    match target_for ~os ~app with
+    (* Scenario/objective setup: a trace scenario swaps the plain target
+       for the trace-replay multi-objective one.  The trace is rebuilt
+       from the (checkpoint-resolved) seed, so --resume with the same
+       scenario flags replays the identical workload; the driver restores
+       the trace cursor and Pareto archive from the checkpoint. *)
+    let scenario_info =
+      match scenario_kind with
+      | None ->
+        if objective_names <> None || weights <> None then
+          Error "--objectives/--weights require --scenario"
+        else Ok None
+      | Some kind -> (
+        match trace_for kind ~seed with
+        | Error e -> Error e
+        | Ok trace -> (
+          let names = Option.value ~default:[ "throughput" ] objective_names in
+          match P.Objective.spec_of_names names with
+          | Error e -> Error e
+          | Ok spec -> (
+            let scalarize =
+              Option.map (fun ws -> P.Scalarize.Weighted_sum (Array.of_list ws)) weights
+            in
+            try Ok (Some (P.Scenario.create ~stride:scenario_stride trace, spec, scalarize))
+            with Invalid_argument m -> Error m)))
+    in
+    match scenario_info with
+    | Error e -> Error e
+    | Ok scenario_info -> (
+    let target_result =
+      match scenario_info with
+      | None -> target_for ~os ~app
+      | Some (sc, spec, scalarize) ->
+        if os <> "sim-linux" then Error "--scenario requires --os sim-linux"
+        else (
+          match S.App.of_name app with
+          | None -> Error (Printf.sprintf "unknown application %S (nginx/redis/sqlite/npb)" app)
+          | Some a -> (
+            try
+              Ok
+                (P.Targets.of_sim_linux_trace (S.Sim_linux.create ()) ~app:a ~scenario:sc
+                   ~objectives:spec ?scalarize ())
+            with Invalid_argument m -> Error m))
+    in
+    match target_result with
     | Error e -> Error e
     | Ok target -> (
       let target =
@@ -193,9 +261,9 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
       | Error e -> Error e
       | Ok algo -> (
         let deeptune_state = ref None in
-        let algo =
+        let algo_result =
           match algo with
-          | `Plain a -> a
+          | `Plain a -> Ok a
           | `Deeptune ->
             let dt =
               D.Deeptune.create
@@ -203,8 +271,24 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
                 ~seed target.P.Target.space
             in
             deeptune_state := Some dt;
-            D.Deeptune.algorithm dt
+            Ok (D.Deeptune.algorithm dt)
+          | `Multi -> (
+            match scenario_info with
+            | Some (_, spec, _) when Array.length spec >= 2 ->
+              let objectives =
+                Array.to_list
+                  (Array.map
+                     (fun (m : P.Metric.t) ->
+                       { D.Multi_objective.label = m.P.Metric.metric_name; weight = 1. })
+                     spec)
+              in
+              Ok (D.Multi_objective.algorithm ~seed ~objectives ~spec target.P.Target.space)
+            | Some _ | None ->
+              Error "deeptune-multi requires --scenario with two or more --objectives")
         in
+        match algo_result with
+        | Error e -> Error e
+        | Ok algo ->
         let progress entry =
           if not quiet then begin
             let status =
@@ -242,8 +326,13 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
               Ok
                 (Option.map
                    (fun path ->
-                     A.Ledger.create_writer ~seed ~algo:algorithm
-                       ~space:target.P.Target.space ~metric:target.P.Target.metric path)
+                     A.Ledger.create_writer ~seed
+                       ?objectives:
+                         (Option.map
+                            (fun (_, spec, _) -> Array.to_list spec)
+                            scenario_info)
+                       ~algo:algorithm ~space:target.P.Target.space
+                       ~metric:target.P.Target.metric path)
                    ledger_path)
             with Sys_error msg -> Error ("ledger file: " ^ msg))
         with
@@ -303,7 +392,8 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
               P.Driver.run ~seed ~on_iteration:progress ?on_record ~obs ~resilience
                 ?checkpoint_path:checkpoint ~checkpoint_every ~checkpoint_keep:keep_checkpoints
                 ?resume_from ~workers ?batch
-                ?image_cache:(Option.map P.Image_cache.capacity image_cache) ?pool ~target
+                ?image_cache:(Option.map P.Image_cache.capacity image_cache) ?pool
+                ?scenario:(Option.map (fun (sc, _, _) -> sc) scenario_info) ~target
                 ~algorithm:algo ~budget ())
         with
         | exception Invalid_argument msg ->
@@ -336,6 +426,25 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
         | P.Driver.Space_exhausted ->
           Printf.printf "  stopped early: the algorithm exhausted its configuration space\n"
         | P.Driver.Budget_exhausted -> ());
+        if pareto then begin
+          let archive = result.P.Driver.pareto in
+          let spec = target.P.Target.objective_spec in
+          Printf.printf "\npareto front (%d points):\n" (P.Pareto.size archive);
+          List.iter
+            (fun (pt : P.Pareto.point) ->
+              Printf.printf "  #%-4d %s\n" pt.P.Pareto.index
+                (String.concat "  "
+                   (Array.to_list
+                      (Array.mapi
+                         (fun i v ->
+                           Printf.sprintf "%s=%.4f"
+                             (if i < Array.length spec then
+                                spec.(i).P.Metric.metric_name
+                              else string_of_int i)
+                             v)
+                         pt.P.Pareto.objectives))))
+            (P.Pareto.points archive)
+        end;
         if timings then begin
           print_newline ();
           print_string
@@ -364,7 +473,7 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
         (match checkpoint with
         | Some path when not quiet -> Printf.printf "checkpoint written to %s\n" path
         | Some _ | None -> ());
-        csv_result))))
+        csv_result)))))
 
 (* ------------------------------------------------------------------ *)
 (* probe                                                               *)
@@ -697,6 +806,46 @@ let run_cmd =
                 Results are byte-for-byte identical to $(docv)=1 — domains buy wall-clock \
                 time, never a different answer.")
   in
+  let scenario =
+    Arg.(
+      value & opt (some string) None
+      & info [ "scenario" ] ~docv:"KIND"
+          ~doc:"Drive evaluations through a trace-replay workload instead of a static \
+                benchmark: $(b,flash-crowd), $(b,diurnal), $(b,ramp), $(b,steps), or the path \
+                of a saved $(i,wayfinder-trace) file.  Requires $(b,--os sim-linux); on \
+                $(b,--resume) pass the same scenario flags (the trace cursor and Pareto \
+                archive are restored from the checkpoint).")
+  in
+  let scenario_stride =
+    Arg.(
+      value & opt int 0
+      & info [ "scenario-stride" ] ~docv:"N"
+          ~doc:"Advance the trace cursor by $(docv) windows per evaluation (0 = every \
+                evaluation replays the same slice).")
+  in
+  let objectives =
+    Arg.(
+      value & opt (some (list string)) None
+      & info [ "objectives" ] ~docv:"NAME,..."
+          ~doc:"Objectives measured by the trace replay ($(b,throughput), $(b,p50), $(b,p95), \
+                $(b,p99), $(b,memory)); one objective degenerates to the plain scalar search. \
+                Requires $(b,--scenario).  Default: $(b,throughput).")
+  in
+  let weights =
+    Arg.(
+      value & opt (some (list float)) None
+      & info [ "weights" ] ~docv:"W,..."
+          ~doc:"Weighted-sum scalarization weights, aligned with $(b,--objectives) (default: \
+                all 1).  A single weight of 1 with the rest 0 reproduces that objective's \
+                single-objective search exactly.")
+  in
+  let pareto =
+    Arg.(
+      value & flag
+      & info [ "pareto" ]
+          ~doc:"Print the final Pareto archive (the non-dominated configurations over the \
+                objective vectors) after the run.")
+  in
   let resilient =
     Arg.(
       value & flag
@@ -747,13 +896,15 @@ let run_cmd =
         batch,
         image_cache,
         domains )
+      (scenario_kind, scenario_stride, objective_names, weights, pareto)
       (resilient, retries, build_timeout, boot_timeout, run_timeout, measure_repeats,
        quarantine_after) =
     handle
       (run_search ~job_file ~os ~app ~metric_hint:() ~algorithm ~iterations ~budget_s ~seed
          ~favor ~csv_path:csv ~trace_path:trace ~ledger_path:ledger ~progress_every:progress
          ~timings ~quiet ~checkpoint ~checkpoint_every ~keep_checkpoints ~resume ~fault_rate
-         ~workers ~batch ~image_cache ~domains ~resilient ~retries ~build_timeout ~boot_timeout
+         ~workers ~batch ~image_cache ~domains ~scenario_kind ~scenario_stride ~objective_names
+         ~weights ~pareto ~resilient ~retries ~build_timeout ~boot_timeout
          ~run_timeout ~measure_repeats ~quarantine_after)
   in
   (* Cmdliner terms are applicative; tuple up the flag groups to keep the
@@ -767,6 +918,9 @@ let run_cmd =
       const tuple9 $ checkpoint $ checkpoint_every $ keep_checkpoints $ resume $ fault_rate
       $ workers $ batch $ image_cache $ domains)
   in
+  let scenario_group =
+    Term.(const tuple5 $ scenario $ scenario_stride $ objectives $ weights $ pareto)
+  in
   let resilience_group =
     Term.(
       const tuple7 $ resilient $ retries $ build_timeout $ boot_timeout $ run_timeout
@@ -775,7 +929,7 @@ let run_cmd =
   let term =
     Term.(
       const f $ job_file $ os $ app_arg $ algorithm $ iterations $ budget_s $ seed $ favor $ csv
-      $ output_group $ checkpoint_group $ resilience_group)
+      $ output_group $ checkpoint_group $ scenario_group $ resilience_group)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a specialization job") term
 

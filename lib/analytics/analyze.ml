@@ -21,6 +21,12 @@ type report = {
   failure_counts : (string * int) list;
   coverage : Series.coverage;
   calibration : Calibration.t;
+  objective_best : (Metric.t * (int * float) option) array;
+      (** Per objective of a multi-objective run: best (iteration, raw
+          value) under that objective's own metric.  [[||]] for scalar
+          runs. *)
+  pareto_size : int option;
+  hypervolume_proxy : float option;
 }
 
 let of_series ?(label = "run") ?algo ?(epsilon = default_epsilon) (s : Series.t) =
@@ -41,7 +47,12 @@ let of_series ?(label = "run") ?algo ?(epsilon = default_epsilon) (s : Series.t)
     transient_rate = Series.transient_rate s;
     failure_counts = Series.failure_counts s;
     coverage = Series.coverage s;
-    calibration = Calibration.of_series s }
+    calibration = Calibration.of_series s;
+    objective_best =
+      Array.mapi (fun i m -> (m, Series.objective_best s i)) s.Series.objectives;
+    pareto_size =
+      Option.map Wayfinder_platform.Pareto.size (Series.pareto s);
+    hypervolume_proxy = Series.hypervolume_proxy s }
 
 (* ------------------------------------------------------------------ *)
 (* Text rendering                                                      *)
@@ -66,6 +77,20 @@ let to_text r =
     (opt_int r.samples_to_within)
     (opt_f Obs.Summary.si r.virtual_seconds_to_within);
   line "samples to best: %s" (opt_int r.samples_to_best);
+  if r.objective_best <> [||] then begin
+    line "objectives:";
+    Array.iter
+      (fun ((m : Metric.t), best) ->
+        match best with
+        | Some (i, v) ->
+          line "  %-12s best %.3f %s at iteration %d" m.Metric.metric_name v
+            m.Metric.unit_name i
+        | None -> line "  %-12s best - (no measurement)" m.Metric.metric_name)
+      r.objective_best;
+    (match (r.pareto_size, r.hypervolume_proxy) with
+    | Some n, Some hv -> line "  pareto front: %d points, hypervolume proxy %.4f" n hv
+    | _ -> ())
+  end;
   line "crash rate: %s   transient rate: %s" (pct r.crash_rate) (pct r.transient_rate);
   if r.failure_counts <> [] then
     line "failures: %s"
@@ -111,8 +136,33 @@ let opt_num_i = function Some v -> Json.Num (float_of_int v) | None -> Json.Null
 
 let to_json r =
   let cal = r.calibration in
+  (* Objective members are appended, and only for multi-objective runs, so
+     scalar reports serialize byte-identically to earlier versions. *)
+  let objective_members =
+    if r.objective_best = [||] then []
+    else
+      [ ( "objectives",
+          Json.List
+            (Array.to_list
+               (Array.map
+                  (fun ((m : Metric.t), best) ->
+                    Json.Obj
+                      [ ("name", Json.Str m.Metric.metric_name);
+                        ("unit", Json.Str m.Metric.unit_name);
+                        ("maximize", Json.Bool m.Metric.maximize);
+                        ( "best",
+                          match best with
+                          | Some (i, v) ->
+                            Json.Obj
+                              [ ("iteration", Json.Num (float_of_int i));
+                                ("value", Json.Num v) ]
+                          | None -> Json.Null ) ])
+                  r.objective_best)) );
+        ("pareto_size", opt_num_i r.pareto_size);
+        ("hypervolume_proxy", opt_num r.hypervolume_proxy) ]
+  in
   Json.Obj
-    [ ("label", Json.Str r.label);
+    ([ ("label", Json.Str r.label);
       ("algo", (match r.algo with Some a -> Json.Str a | None -> Json.Null));
       ( "metric",
         Json.Obj
@@ -171,6 +221,7 @@ let to_json r =
             ("mae", opt_num cal.Calibration.mae);
             ("uncertainty_pairs", Json.Num (float_of_int cal.Calibration.uncertainty_pairs));
             ("uncertainty_spearman", opt_num cal.Calibration.uncertainty_spearman) ] ) ]
+     @ objective_members)
 
 (* ------------------------------------------------------------------ *)
 (* Per-iteration series CSV                                            *)
@@ -181,17 +232,28 @@ let series_csv ?(window = default_window) (s : Series.t) =
   let regret = Series.simple_regret s in
   let crash_w = Series.windowed_crash_rate s ~window in
   let transient_w = Series.windowed_transient_rate s ~window in
+  (* Per-objective best-so-far columns are appended only for
+     multi-objective runs, so scalar CSVs stay byte-identical. *)
+  let n_obj = Series.objective_count s in
+  let obj_bsf = Array.init n_obj (Series.objective_best_so_far s) in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    (Printf.sprintf "iteration,value,best_so_far,simple_regret,crash_rate_w%d,transient_rate_w%d,at_s\n"
+    (Printf.sprintf "iteration,value,best_so_far,simple_regret,crash_rate_w%d,transient_rate_w%d,at_s"
        window window);
+  Array.iter
+    (fun (m : Metric.t) ->
+      Buffer.add_string buf (Printf.sprintf ",best_%s" m.Metric.metric_name))
+    s.Series.objectives;
+  Buffer.add_char buf '\n';
   let num v = Json.number_to_string v in
   Array.iteri
     (fun i (r : Series.row) ->
       Buffer.add_string buf
-        (Printf.sprintf "%d,%s,%s,%s,%s,%s,%s\n" r.Series.index
+        (Printf.sprintf "%d,%s,%s,%s,%s,%s,%s" r.Series.index
            (match r.Series.value with Some v -> num v | None -> "")
            (num bsf.(i)) (num regret.(i)) (num crash_w.(i)) (num transient_w.(i))
-           (num r.Series.at_seconds)))
+           (num r.Series.at_seconds));
+      Array.iter (fun col -> Buffer.add_string buf ("," ^ num col.(i))) obj_bsf;
+      Buffer.add_char buf '\n')
     s.Series.rows;
   Buffer.contents buf

@@ -26,6 +26,12 @@ type report = {
   failure_counts : (string * int) list;
   coverage : Series.coverage;
   calibration : Calibration.t;
+  objective_best : (Metric.t * (int * float) option) array;
+      (** Per objective of a multi-objective run: best (iteration, raw
+          value) under that objective's own metric; [[||]] for scalar
+          runs. *)
+  pareto_size : int option;  (** Points on the non-dominated front. *)
+  hypervolume_proxy : float option;  (** {!Series.hypervolume_proxy}. *)
 }
 
 val of_series : ?label:string -> ?algo:string -> ?epsilon:float -> Series.t -> report
@@ -39,4 +45,6 @@ val to_json : report -> Json.t
 val series_csv : ?window:int -> Series.t -> string
 (** Per-iteration derived series —
     [iteration,value,best_so_far,simple_regret,crash_rate_wN,transient_rate_wN,at_s]
-    — with floats in the exact-round-trip codec of {!Json}. *)
+    — with floats in the exact-round-trip codec of {!Json}.
+    Multi-objective runs append one [best_<name>] running-best column per
+    objective; scalar output is unchanged byte-for-byte. *)

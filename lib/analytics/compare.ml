@@ -7,6 +7,9 @@ type t = {
   best_at : float array array;  (** [best_at.(run).(budget)]; NaN = no success yet. *)
   winners : int option array;  (** Per budget, index into [labels]. *)
   finals : (int * float) option array;  (** Per run: (samples, best value). *)
+  hypervolumes : float option array;
+      (** Per run: final hypervolume proxy, when every run shares the same
+          non-empty objective spec; all [None] otherwise. *)
 }
 
 (* Default sample budgets: 5, 10, 25, 50, 100, 250, ... clipped to the
@@ -89,7 +92,23 @@ let make ?budgets runs =
                      (Series.best s))
                  runs)
           in
-          Ok { metric; labels; budgets; best_at; winners; finals }
+          (* Hypervolume proxies are only comparable when every run
+             measured the same objectives. *)
+          let spec_names (s : Series.t) =
+            Array.to_list
+              (Array.map (fun (m : Metric.t) -> m.Metric.metric_name) s.Series.objectives)
+          in
+          let shared_spec =
+            spec_names first <> []
+            && List.for_all (fun (_, s) -> spec_names s = spec_names first) rest
+          in
+          let hypervolumes =
+            Array.of_list
+              (List.map
+                 (fun (_, s) -> if shared_spec then Series.hypervolume_proxy s else None)
+                 runs)
+          in
+          Ok { metric; labels; budgets; best_at; winners; finals; hypervolumes }
       end)
 
 (* ------------------------------------------------------------------ *)
@@ -137,11 +156,35 @@ let to_text t =
           end
         end)
       t.labels);
+  if Array.exists Option.is_some t.hypervolumes then begin
+    line "hypervolume proxy (shared objectives):";
+    Array.iteri
+      (fun run label ->
+        match t.hypervolumes.(run) with
+        | Some hv -> line "  %-16s %.4f" label hv
+        | None -> line "  %-16s -" label)
+      t.labels
+  end;
   Buffer.contents buf
 
 let to_json t =
+  (* Appended only when present, keeping scalar comparisons byte-stable. *)
+  let hv_members =
+    if not (Array.exists Option.is_some t.hypervolumes) then []
+    else
+      [ ( "hypervolume_proxy",
+          Json.Obj
+            (Array.to_list
+               (Array.mapi
+                  (fun run label ->
+                    ( label,
+                      match t.hypervolumes.(run) with
+                      | Some hv -> Json.Num hv
+                      | None -> Json.Null ))
+                  t.labels)) ) ]
+  in
   Json.Obj
-    [ ( "metric",
+    ([ ( "metric",
         Json.Obj
           [ ("name", Json.Str t.metric.Metric.metric_name);
             ("unit", Json.Str t.metric.Metric.unit_name);
@@ -177,3 +220,4 @@ let to_json t =
                           ("best", Json.Num v) ]
                     | None -> Json.Null ))
                 t.labels)) ) ]
+     @ hv_members)

@@ -19,6 +19,9 @@ type t = {
           succeeded yet. *)
   finals : (int * float) option array;
       (** Per run: (samples to its best, best raw value). *)
+  hypervolumes : float option array;
+      (** Per run: final hypervolume proxy, only when every run shares
+          the same non-empty objective spec; all [None] otherwise. *)
 }
 
 val make : ?budgets:int list -> (string * Series.t) list -> (t, string) result

@@ -48,6 +48,7 @@ type row = {
   built : bool;
   decide_seconds : float;
   belief : Search_algorithm.belief option;
+  objectives : float array option;
 }
 
 type meta = {
@@ -55,6 +56,11 @@ type meta = {
   metric : Metric.t;
   seed : int option;
   params : (string * Param.stage) list;
+  objectives : Metric.t list;
+      (** Objective spec of a multi-objective run; [[]] for scalar runs.
+          Additive: scalar ledgers never emit the key, so their bytes
+          are unchanged and old readers (which ignore unknown keys) can
+          still consume multi-objective files. *)
 }
 
 type t = { meta : meta; rows : row list; sealed : bool }
@@ -66,9 +72,15 @@ type t = { meta : meta; rows : row list; sealed : bool }
 let opt_num = function Some v -> Json.Num v | None -> Json.Null
 let opt_str = function Some s -> Json.Str s | None -> Json.Null
 
+let objective_json (m : Metric.t) =
+  Json.Obj
+    [ ("name", Json.Str m.Metric.metric_name);
+      ("unit", Json.Str m.Metric.unit_name);
+      ("maximize", Json.Bool m.Metric.maximize) ]
+
 let meta_json m =
   Json.Obj
-    [ ("type", Json.Str "meta");
+    ([ ("type", Json.Str "meta");
       ("algo", Json.Str m.algo);
       ("metric", Json.Str m.metric.Metric.metric_name);
       ("unit", Json.Str m.metric.Metric.unit_name);
@@ -82,6 +94,11 @@ let meta_json m =
                  [ ("name", Json.Str name);
                    ("stage", Json.Str (Param.stage_to_string stage)) ])
              m.params) ) ]
+    @
+    (* Appended only when present, keeping scalar meta lines byte-stable. *)
+    match m.objectives with
+    | [] -> []
+    | objectives -> [ ("objectives", Json.List (List.map objective_json objectives)) ])
 
 let belief_json (b : Search_algorithm.belief) =
   Json.Obj
@@ -92,7 +109,7 @@ let belief_json (b : Search_algorithm.belief) =
 
 let row_json r =
   Json.Obj
-    [ ("type", Json.Str "iter");
+    ([ ("type", Json.Str "iter");
       ("i", Json.Num (float_of_int r.index));
       ("config", Json.List (Array.to_list (Array.map (fun t -> Json.Str t) r.tokens)));
       ("value", opt_num r.value);
@@ -103,7 +120,12 @@ let row_json r =
       ("eval_s", Json.Num r.eval_seconds);
       ("built", Json.Bool r.built);
       ("decide_s", Json.Num r.decide_seconds);
-      ("belief", match r.belief with Some b -> belief_json b | None -> Json.Null) ]
+      ("belief", (match r.belief with Some b -> belief_json b | None -> Json.Null)) ]
+    @
+    match r.objectives with
+    | None -> []
+    | Some v ->
+      [ ("obj", Json.List (Array.to_list (Array.map (fun x -> Json.Num x) v))) ])
 
 let row_of_entry (e : History.entry) belief =
   { index = e.History.index;
@@ -114,7 +136,8 @@ let row_of_entry (e : History.entry) belief =
     eval_seconds = e.History.eval_seconds;
     built = e.History.built;
     decide_seconds = e.History.decide_seconds;
-    belief }
+    belief;
+    objectives = e.History.objectives }
 
 let fin_json ~rows ~crc =
   Json.Obj
@@ -135,7 +158,7 @@ let emit w s =
   output_string w.oc s;
   w.crc <- Crc32.update w.crc s
 
-let create_writer ?seed ~algo ~space ~metric path =
+let create_writer ?seed ?(objectives = []) ~algo ~space ~metric path =
   let oc = open_out path in
   let w = { oc; closed = false; crc = Crc32.init; rows = 0 } in
   emit w (Obs.Sink.schema_header ~kind);
@@ -144,7 +167,7 @@ let create_writer ?seed ~algo ~space ~metric path =
     Array.to_list
       (Array.map (fun (p : Param.t) -> (p.Param.name, p.Param.stage)) (Space.params space))
   in
-  emit w (Json.to_string (meta_json { algo; metric; seed; params }));
+  emit w (Json.to_string (meta_json { algo; metric; seed; params; objectives }));
   emit w "\n";
   w
 
@@ -168,8 +191,8 @@ let close_writer w =
     close_out w.oc
   end
 
-let with_writer ?seed ~algo ~space ~metric path f =
-  let w = create_writer ?seed ~algo ~space ~metric path in
+let with_writer ?seed ?objectives ~algo ~space ~metric path f =
+  let w = create_writer ?seed ?objectives ~algo ~space ~metric path in
   Fun.protect ~finally:(fun () -> close_writer w) (fun () -> f w)
 
 (* ------------------------------------------------------------------ *)
@@ -223,11 +246,33 @@ let parse_meta ~offset line =
           Ok ((name, stage) :: acc))
         (Ok []) params
     in
+    let* objectives =
+      match Json.member "objectives" j with
+      | None -> Ok []
+      | Some l ->
+        let* items = req "meta.objectives" (Json.to_list l) in
+        let* objectives =
+          List.fold_left
+            (fun acc o ->
+              let* acc = acc in
+              let* name = req "objective.name" (Option.bind (Json.member "name" o) Json.to_str) in
+              let* unit_name =
+                req "objective.unit" (Option.bind (Json.member "unit" o) Json.to_str)
+              in
+              let* maximize =
+                req "objective.maximize" (Option.bind (Json.member "maximize" o) Json.to_bool)
+              in
+              Ok (Metric.make ~maximize ~name ~unit_name () :: acc))
+            (Ok []) items
+        in
+        Ok (List.rev objectives)
+    in
     Ok
       { algo;
         metric = Metric.make ~maximize ~name ~unit_name ();
         seed;
-        params = List.rev params }
+        params = List.rev params;
+        objectives }
 
 let parse_belief = function
   | Json.Null -> Ok None
@@ -273,7 +318,32 @@ let parse_row j =
     let* belief =
       parse_belief (Option.value ~default:Json.Null (Json.member "belief" j))
     in
-    Ok { index; tokens; value; failure; at_seconds; eval_seconds; built; decide_seconds; belief }
+    let* objectives =
+      match Json.member "obj" j with
+      | None -> Ok None
+      | Some l ->
+        let* items = req "obj" (Json.to_list l) in
+        let* vs =
+          List.fold_left
+            (fun acc x ->
+              let* acc = acc in
+              let* v = req "obj component" (Json.to_float x) in
+              Ok (v :: acc))
+            (Ok []) items
+        in
+        Ok (Some (Array.of_list (List.rev vs)))
+    in
+    Ok
+      { index;
+        tokens;
+        value;
+        failure;
+        at_seconds;
+        eval_seconds;
+        built;
+        decide_seconds;
+        belief;
+        objectives }
 
 type drop = { line : int; offset : int; reason : string }
 

@@ -60,6 +60,11 @@ type row = {
   built : bool;
   decide_seconds : float;
   belief : Search_algorithm.belief option;
+  objectives : float array option;
+      (** Raw objective vector (the row's ["obj"] key) for
+          multi-objective runs; [None] on scalar rows.  The key is only
+          emitted when present, so scalar ledgers are byte-identical to
+          pre-objective ones. *)
 }
 
 type meta = {
@@ -67,6 +72,9 @@ type meta = {
   metric : Metric.t;
   seed : int option;
   params : (string * Param.stage) list;  (** Positional (name, stage). *)
+  objectives : Metric.t list;
+      (** Objective spec of a multi-objective run (the meta
+          ["objectives"] key), in vector order; [[]] for scalar runs. *)
 }
 
 type t = {
@@ -89,8 +97,16 @@ val row_of_entry : History.entry -> Search_algorithm.belief option -> row
 type writer
 
 val create_writer :
-  ?seed:int -> algo:string -> space:Space.t -> metric:Metric.t -> string -> writer
-(** Opens (truncating) the path and writes the header and meta lines. *)
+  ?seed:int ->
+  ?objectives:Metric.t list ->
+  algo:string ->
+  space:Space.t ->
+  metric:Metric.t ->
+  string ->
+  writer
+(** Opens (truncating) the path and writes the header and meta lines.
+    [objectives] (default [[]]) declares the objective spec recorded in
+    the meta line of a multi-objective run. *)
 
 val record : writer -> History.entry -> Search_algorithm.belief option -> unit
 (** Appends one iter line and flushes — a crashed run keeps every
@@ -104,6 +120,7 @@ val close_writer : writer -> unit
 
 val with_writer :
   ?seed:int ->
+  ?objectives:Metric.t list ->
   algo:string ->
   space:Space.t ->
   metric:Metric.t ->

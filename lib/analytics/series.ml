@@ -4,6 +4,7 @@ module History = Wayfinder_platform.History
 module Metric = Wayfinder_platform.Metric
 module Failure = Wayfinder_platform.Failure
 module Search_algorithm = Wayfinder_platform.Search_algorithm
+module Pareto = Wayfinder_platform.Pareto
 module Stat = Wayfinder_tensor.Stat
 
 type row = Ledger.row = {
@@ -16,6 +17,7 @@ type row = Ledger.row = {
   built : bool;
   decide_seconds : float;
   belief : Search_algorithm.belief option;
+  objectives : float array option;
 }
 
 type t = {
@@ -23,13 +25,14 @@ type t = {
   names : string array;
   stages : Param.stage array;
   rows : row array;
+  objectives : Metric.t array;
 }
 
 (* ------------------------------------------------------------------ *)
 (* Constructors                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let of_history ?(beliefs = fun _ -> None) ~space history =
+let of_history ?(beliefs = fun _ -> None) ?(objectives = [||]) ~space history =
   let entries = History.entries history in
   { metric = History.metric history;
     names = Array.map (fun (p : Param.t) -> p.Param.name) (Space.params space);
@@ -37,14 +40,16 @@ let of_history ?(beliefs = fun _ -> None) ~space history =
     rows =
       Array.map
         (fun (e : History.entry) -> Ledger.row_of_entry e (beliefs e.History.index))
-        entries }
+        entries;
+    objectives }
 
 let of_ledger (ledger : Ledger.t) =
   let params = Array.of_list ledger.Ledger.meta.Ledger.params in
   { metric = ledger.Ledger.meta.Ledger.metric;
     names = Array.map fst params;
     stages = Array.map snd params;
-    rows = Array.of_list ledger.Ledger.rows }
+    rows = Array.of_list ledger.Ledger.rows;
+    objectives = Array.of_list ledger.Ledger.meta.Ledger.objectives }
 
 (* --from-csv: reconstruct what History.to_csv preserves.  The CSV has no
    configurations or beliefs, so coverage and calibration degenerate to
@@ -157,7 +162,8 @@ let of_csv ~metric s =
           eval_seconds;
           built;
           decide_seconds;
-          belief = None }
+          belief = None;
+          objectives = None }
     in
     let* rows =
       let rec go lineno acc = function
@@ -169,7 +175,7 @@ let of_csv ~metric s =
       in
       go 2 [] data
     in
-    Ok { metric; names = [||]; stages = [||]; rows = Array.of_list rows }
+    Ok { metric; names = [||]; stages = [||]; rows = Array.of_list rows; objectives = [||] }
 
 (* ------------------------------------------------------------------ *)
 (* Convergence series                                                  *)
@@ -435,3 +441,60 @@ let total_eval_seconds t = Array.fold_left (fun acc r -> acc +. r.eval_seconds) 
 
 let last_at_seconds t =
   if length t = 0 then 0. else t.rows.(length t - 1).at_seconds
+
+(* ------------------------------------------------------------------ *)
+(* Objective series                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let objective_count t = Array.length t.objectives
+
+let objective_of i (r : row) =
+  match r.objectives with
+  | Some v when i < Array.length v -> Some v.(i)
+  | Some _ | None -> None
+
+let objective_best t i =
+  let m = t.objectives.(i) in
+  let best = ref None in
+  Array.iter
+    (fun r ->
+      match objective_of i r with
+      | None -> ()
+      | Some v -> (
+        match !best with
+        | None -> best := Some (r.index, v)
+        | Some (_, bv) -> if Metric.better m v bv then best := Some (r.index, v)))
+    t.rows;
+  !best
+
+let objective_best_so_far t i =
+  let m = t.objectives.(i) in
+  let n = length t in
+  let out = Array.make n nan in
+  let best = ref None in
+  for j = 0 to n - 1 do
+    (match objective_of i t.rows.(j) with
+    | Some v -> (
+      match !best with
+      | None -> best := Some v
+      | Some b -> if Metric.better m v b then best := Some v)
+    | None -> ());
+    out.(j) <- (match !best with Some b -> b | None -> nan)
+  done;
+  out
+
+let pareto t =
+  if objective_count t = 0 then None
+  else begin
+    let archive = ref (Pareto.create ~spec:t.objectives) in
+    Array.iter
+      (fun (r : row) ->
+        match r.objectives with
+        | Some v when r.failure = None && Array.length v = objective_count t ->
+          archive := Pareto.insert !archive ~index:r.index ~objectives:v
+        | Some _ | None -> ())
+      t.rows;
+    Some !archive
+  end
+
+let hypervolume_proxy t = Option.map Pareto.hypervolume_proxy (pareto t)

@@ -13,6 +13,7 @@ module History = Wayfinder_platform.History
 module Metric = Wayfinder_platform.Metric
 module Failure = Wayfinder_platform.Failure
 module Search_algorithm = Wayfinder_platform.Search_algorithm
+module Pareto = Wayfinder_platform.Pareto
 
 type row = Ledger.row = {
   index : int;
@@ -24,6 +25,9 @@ type row = Ledger.row = {
   built : bool;
   decide_seconds : float;
   belief : Search_algorithm.belief option;
+  objectives : float array option;
+      (** Raw objective vector (multi-objective ledgers only); [None] from
+          CSV and on scalar rows. *)
 }
 
 type t = {
@@ -31,15 +35,23 @@ type t = {
   names : string array;  (** Positional parameter names; [[||]] from CSV. *)
   stages : Param.stage array;  (** Aligned with [names]. *)
   rows : row array;  (** Completion order. *)
+  objectives : Metric.t array;
+      (** Objective spec of a multi-objective run; [[||]] for scalar runs
+          (and from CSV, which does not carry vectors). *)
 }
 
 (** {1 Constructors} *)
 
 val of_history :
-  ?beliefs:(int -> Search_algorithm.belief option) -> space:Space.t -> History.t -> t
+  ?beliefs:(int -> Search_algorithm.belief option) ->
+  ?objectives:Metric.t array ->
+  space:Space.t ->
+  History.t ->
+  t
 (** [beliefs] looks up the recorded pre-evaluation belief by iteration
     index (as collected through [Driver.run ~on_record]); defaults to
-    none. *)
+    none.  [objectives] is the target's objective spec (defaults to
+    scalar, [[||]]). *)
 
 val of_ledger : Ledger.t -> t
 
@@ -125,3 +137,24 @@ val regret_slope : t -> window:int -> float
 val total_eval_seconds : t -> float
 val last_at_seconds : t -> float
 (** Virtual clock at the last completed iteration; 0 when empty. *)
+
+(** {1 Objective series}
+
+    All of these index into the run's objective spec ([t.objectives]);
+    rows whose vector is absent (failures, scalar rows) are skipped. *)
+
+val objective_count : t -> int
+
+val objective_best : t -> int -> (int * float) option
+(** Best (iteration index, raw value) of objective [i] under that
+    objective's own metric. *)
+
+val objective_best_so_far : t -> int -> float array
+(** Running best of objective [i]; NaN before its first measurement. *)
+
+val pareto : t -> Pareto.t option
+(** Non-dominated front over all successful rows with a full objective
+    vector; [None] for scalar runs. *)
+
+val hypervolume_proxy : t -> float option
+(** {!Pareto.hypervolume_proxy} of {!pareto}; [None] for scalar runs. *)

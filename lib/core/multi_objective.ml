@@ -168,3 +168,32 @@ let best t =
   match t.best_configs with
   | (_, config, targets) :: _ -> Some (config, targets)
   | [] -> None
+
+(* ------------------------------------------------------------------ *)
+(* Platform adapter                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Search_algorithm = Wayfinder_platform.Search_algorithm
+module History = Wayfinder_platform.History
+module Failure = Wayfinder_platform.Failure
+module Objective = Wayfinder_platform.Objective
+
+let algorithm ?options ?seed ~objectives ~spec space =
+  let n = Array.length spec in
+  if List.length objectives <> n then
+    invalid_arg "Multi_objective.algorithm: objective/spec count mismatch";
+  let p = proposer ?options ?seed ~objectives space in
+  Search_algorithm.make ~name:"deeptune-multi"
+    ~propose:(fun _ctx -> propose p)
+    ~observe:(fun _ctx (e : History.entry) ->
+      match (e.History.failure, e.History.objectives) with
+      | Some f, _ -> observe p e.History.config (Error (Failure.to_string f))
+      | None, Some vec when Array.length vec = n ->
+        (* Scores, not raw values: the model wants every target
+           higher-is-better regardless of the objective's direction. *)
+        observe p e.History.config (Ok (Objective.scores spec vec))
+      | None, (Some _ | None) ->
+        (* A successful evaluation without a vector (scalar target):
+           nothing to learn from at the multi-metric head. *)
+        ())
+    ()

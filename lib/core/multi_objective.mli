@@ -61,3 +61,21 @@ val model : proposer -> Dtm_multi.t
 val best : proposer -> (Space.configuration * float array) option
 (** Observation with the highest representative (weighted, normalised)
     score so far. *)
+
+module Search_algorithm = Wayfinder_platform.Search_algorithm
+module Objective = Wayfinder_platform.Objective
+
+val algorithm :
+  ?options:Deeptune.options ->
+  ?seed:int ->
+  objectives:objective list ->
+  spec:Objective.spec ->
+  Space.t ->
+  Search_algorithm.t
+(** The proposer wrapped as a platform searcher ("deeptune-multi"), for
+    multi-objective targets driven by {!Wayfinder_platform.Driver}: each
+    observed entry's raw objective vector is converted to per-metric
+    higher-is-better scores ({!Objective.scores} under [spec]) and fed to
+    {!observe}; failures train the crash head; successful entries without
+    a vector are ignored.  @raise Invalid_argument if [objectives] and
+    [spec] disagree on the metric count. *)

@@ -22,6 +22,8 @@ type t = {
   quarantined : string list;
   entries : History.entry list;
   inflight : inflight list;
+  pareto : (int * float array) list;
+  trace_cursor : int option;
 }
 
 type error =
@@ -35,8 +37,11 @@ let error_to_string = function
 
 (* v4: strike/quarantine lines are keyed by the canonical config key
    (comma-joined value tokens) instead of the truncated polymorphic hash,
-   which conflated configurations differing past the ~10th parameter. *)
-let version = 4
+   which conflated configurations differing past the ~10th parameter.
+   v5: entry lines carry the objective vector (9th field), and the body
+   persists the Pareto archive and the scenario trace cursor, so a
+   resumed multi-objective trace run continues bitwise where it died. *)
+let version = 5
 
 (* ------------------------------------------------------------------ *)
 (* Field encodings                                                     *)
@@ -64,6 +69,23 @@ let value_of_token s =
 let config_field config =
   if Array.length config = 0 then "."
   else String.concat " " (Array.to_list (Array.map value_token config))
+
+(* Objective vectors are comma-joined %h floats; "." is the empty vector
+   (mirroring the empty-config marker) and "-" in an entry line means no
+   vector at all. *)
+let vec_field v =
+  if Array.length v = 0 then "."
+  else String.concat "," (Array.to_list (Array.map float_field v))
+
+let vec_of_field s =
+  if s = "." then Ok [||]
+  else
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | tok :: rest -> (
+        match float_of_field tok with Ok v -> go (v :: acc) rest | Error e -> Error e)
+    in
+    go [] (String.split_on_char ',' s)
 
 let config_of_field s =
   if s = "." then Ok [||]
@@ -119,7 +141,8 @@ let entry_line (e : History.entry) =
       float_field e.History.eval_seconds;
       (if e.History.built then "1" else "0");
       float_field e.History.decide_seconds;
-      config_field e.History.config ]
+      config_field e.History.config;
+      (match e.History.objectives with Some v -> vec_field v | None -> "-") ]
 
 let body_string t =
   let buf = Buffer.create 4096 in
@@ -148,6 +171,10 @@ let body_string t =
   List.iter (fun (key, n) -> line "strike %s %d" (encode_string key) n) t.strikes;
   List.iter (fun key -> line "quarantined %s" (encode_string key)) t.quarantined;
   List.iter (fun e -> line "entry %s" (entry_line e)) t.entries;
+  List.iter (fun (i, v) -> line "pareto %d %s" i (vec_field v)) t.pareto;
+  (match t.trace_cursor with
+  | Some c -> line "trace_cursor %d" c
+  | None -> ());
   List.iter
     (fun i ->
       line "inflight %s"
@@ -204,7 +231,7 @@ let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
 let parse_entry rest =
   match String.split_on_char '\t' rest with
-  | [ index; value; failure; at; eval; built; decide; config ] ->
+  | [ index; value; failure; at; eval; built; decide; config; objectives ] ->
     let* index =
       match int_of_string_opt index with
       | Some i -> Ok i
@@ -229,12 +256,27 @@ let parse_entry rest =
     in
     let* decide_seconds = float_of_field decide in
     let* config = config_of_field config in
-    Ok { History.index; config; value; failure; at_seconds; eval_seconds; built; decide_seconds }
+    let* objectives =
+      if objectives = "-" then Ok None
+      else
+        let* v = vec_of_field objectives in
+        Ok (Some v)
+    in
+    Ok
+      { History.index;
+        config;
+        value;
+        failure;
+        at_seconds;
+        eval_seconds;
+        built;
+        decide_seconds;
+        objectives }
   | _ -> Error (Malformed "bad entry field count")
 
 let parse_inflight rest =
   match String.split_on_char '\t' rest with
-  | slot :: start :: entry_fields when List.length entry_fields = 8 ->
+  | slot :: start :: entry_fields when List.length entry_fields = 9 ->
     let* slot =
       match int_of_string_opt slot with
       | Some i when i >= 0 -> Ok i
@@ -302,6 +344,8 @@ let of_body s =
     and quarantined = ref []
     and entries = ref []
     and inflight = ref []
+    and pareto = ref []
+    and trace_cursor = ref None
     and ended = ref false in
     let parse_line line =
       let key, rest =
@@ -369,6 +413,22 @@ let of_body s =
         let* i = parse_inflight rest in
         inflight := i :: !inflight;
         Ok ()
+      | "pareto" -> (
+        match String.split_on_char ' ' rest with
+        | [ idx; vec ] -> (
+          match int_of_string_opt idx with
+          | Some idx ->
+            let* v = vec_of_field vec in
+            pareto := (idx, v) :: !pareto;
+            Ok ()
+          | None -> Error (Malformed "bad pareto index"))
+        | _ -> Error (Malformed "bad pareto field"))
+      | "trace_cursor" -> (
+        match int_of_string_opt rest with
+        | Some c ->
+          trace_cursor := Some c;
+          Ok ()
+        | None -> Error (Malformed "bad trace_cursor field"))
       | "end" ->
         ended := true;
         Ok ()
@@ -431,7 +491,9 @@ let of_body s =
         strikes = List.rev !strikes;
         quarantined = List.rev !quarantined;
         entries;
-        inflight })
+        inflight;
+        pareto = List.rev !pareto;
+        trace_cursor = !trace_cursor })
 
 let of_string s =
   (* The version check precedes the envelope check: files written by

@@ -24,7 +24,7 @@
 
     The on-disk format is a versioned line-oriented text file; floats are
     hex literals ([%h]) so every double round-trips exactly.  The file is
-    a {e sealed envelope}: the format-4 body followed by a mandatory
+    a {e sealed envelope}: the versioned body followed by a mandatory
     CRC-32 trailer line over the body bytes, so truncations and bit flips
     are rejected with a typed {!Malformed} instead of being misparsed.
     Writes go through {!Durable}: tmp-write + fsync + rename +
@@ -67,6 +67,13 @@ type t = {
   quarantined : string list;  (** Quarantined canonical config keys, sorted. *)
   entries : History.entry list;  (** Completion order, oldest first. *)
   inflight : inflight list;  (** Launched but not yet completed tasks. *)
+  pareto : (int * float array) list;
+      (** Pareto archive of a multi-objective run: [(entry index, raw
+          objective vector)] sorted by index (exactly
+          {!Pareto.to_list}); empty for scalar runs. *)
+  trace_cursor : int option;
+      (** Scenario trace position ({!Scenario.cursor}) at checkpoint
+          time; [None] when the run had no scenario. *)
 }
 
 type error =
@@ -78,14 +85,17 @@ type error =
 val error_to_string : error -> string
 
 val version : int
-(** Current format version: 4.  Files written by earlier versions are
+(** Current format version: 5.  Files written by earlier versions are
     rejected with {!Unsupported_version} (v2 persisted per-slot baseline
     images instead of the shared cache; v3 keyed quarantine strikes on
     the truncated polymorphic hash, which conflated configurations
-    differing past the ~10th parameter). *)
+    differing past the ~10th parameter; v4 predates objective vectors,
+    the Pareto archive and the scenario trace cursor, all of which v5
+    entry lines and body fields carry). *)
 
 val to_string : t -> string
-(** The sealed envelope: format-4 body plus the CRC-32 trailer line. *)
+(** The sealed envelope: the versioned body plus the CRC-32 trailer
+    line. *)
 
 val of_string : string -> (t, error) result
 (** Verifies the CRC trailer before parsing; a file without one (torn

@@ -16,6 +16,7 @@ type result = {
   clock : Vclock.t;
   iterations : int;
   stop_reason : stop_reason;
+  pareto : Pareto.t;
   metrics : Obs.Metrics.snapshot;
 }
 
@@ -60,13 +61,18 @@ let apply_timeouts (resilience : Resilience.policy) (r : Target.eval_result) =
   in
   match over resilience.Resilience.build_timeout_s r.Target.build_s with
   | Some cap ->
-    { Target.value = Error Failure.Build_timeout; build_s = cap; boot_s = 0.; run_s = 0. }
+    { Target.value = Error Failure.Build_timeout;
+      build_s = cap;
+      boot_s = 0.;
+      run_s = 0.;
+      objectives = [||] }
   | None -> (
     match over resilience.Resilience.boot_timeout_s r.Target.boot_s with
-    | Some cap -> { r with Target.value = Error Failure.Boot_timeout; boot_s = cap; run_s = 0. }
+    | Some cap ->
+      { r with Target.value = Error Failure.Boot_timeout; boot_s = cap; run_s = 0.; objectives = [||] }
     | None -> (
       match over resilience.Resilience.run_timeout_s r.Target.run_s with
-      | Some cap -> { r with Target.value = Error Failure.Run_timeout; run_s = cap }
+      | Some cap -> { r with Target.value = Error Failure.Run_timeout; run_s = cap; objectives = [||] }
       | None -> r))
 
 (* The explicit NaN policy: a target reporting [Ok v] with a non-finite
@@ -77,7 +83,7 @@ let apply_timeouts (resilience : Resilience.policy) (r : Target.eval_result) =
 let reject_non_finite (r : Target.eval_result) =
   match r.Target.value with
   | Ok v when not (Float.is_finite v) ->
-    { r with Target.value = Error Failure.Non_finite_measurement }
+    { r with Target.value = Error Failure.Non_finite_measurement; objectives = [||] }
   | Ok _ | Error _ -> r
 
 (* ------------------------------------------------------------------ *)
@@ -94,7 +100,7 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
     ?(max_consecutive_invalid = default_max_consecutive_invalid)
     ?(resilience = Resilience.none) ?checkpoint_path
     ?(checkpoint_every = default_checkpoint_every) ?(checkpoint_keep = 1) ?resume_from
-    ?image_cache ~target
+    ?image_cache ?scenario ~target
     ~algorithm ~budget () =
   if invalid_floor_s <= 0. then invalid_arg "Driver.run: invalid_floor_s must be positive";
   if max_consecutive_invalid <= 0 then
@@ -108,6 +114,18 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
   Vclock.on_advance clock (fun dt -> Obs.Recorder.incr obs ~by:dt ~quiet:true "driver.virtual_s");
   let space = target.Target.space in
   let history = History.create target.Target.metric in
+  (* The Pareto archive accumulates the non-dominated front of every
+     successful objective vector.  Scalar targets report no vectors, so
+     the archive stays empty and the scalar path is untouched.
+     [Pareto.insert] is idempotent and order-independent, so replayed
+     completions may re-insert freely. *)
+  let archive = ref (Pareto.create ~spec:target.Target.objective_spec) in
+  let record_pareto (e : History.entry) =
+    match e.History.objectives with
+    | Some v when e.History.failure = None ->
+      archive := Pareto.insert !archive ~index:e.History.index ~objectives:v
+    | Some _ | None -> ()
+  in
   let rng = Rng.create seed in
   let ctx =
     { Search_algorithm.space; metric = target.Target.metric; history; rng; obs }
@@ -165,6 +183,7 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
           "driver.replay";
         algorithm.Search_algorithm.observe ctx e;
         History.add history e;
+        record_pareto e;
         incr index)
       ck.Checkpoint.entries;
     if Rng.state rng <> ck.Checkpoint.rng_state then
@@ -184,7 +203,14 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
       (fun (k, e) -> ignore (Image_cache.add cache k e))
       (List.rev ck.Checkpoint.cache);
     List.iter (fun (k, n) -> Hashtbl.replace strikes k n) ck.Checkpoint.strikes;
-    List.iter (fun k -> Hashtbl.replace quarantine k ()) ck.Checkpoint.quarantined;
+    archive := Pareto.of_list ~spec:target.Target.objective_spec ck.Checkpoint.pareto;
+    (match (scenario, ck.Checkpoint.trace_cursor) with
+    | Some sc, Some c -> Scenario.set_cursor sc c
+    | None, None -> ()
+    | Some _, None ->
+      invalid_arg "Driver.run: checkpoint was written without a scenario; resume without one"
+    | None, Some _ ->
+      invalid_arg "Driver.run: checkpoint was written with a scenario; resume with the same one");
     Obs.Recorder.incr obs ~quiet:true ~by:(float_of_int !index) "driver.replayed_iterations";
     if !consecutive_invalid >= max_consecutive_invalid then stop := Some Invalid_cap);
   let write_checkpoint () =
@@ -214,7 +240,9 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
           strikes = sorted_strikes;
           quarantined = sorted_quarantined;
           entries = Array.to_list (History.entries history);
-          inflight = [] };
+          inflight = [];
+          pareto = Pareto.to_list !archive;
+          trace_cursor = Option.map Scenario.cursor scenario };
       Obs.Recorder.incr obs ~quiet:true "driver.checkpoints"
   in
   let within_budget () =
@@ -277,7 +305,7 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
           Obs.Recorder.incr obs "driver.invalid_proposals";
           { History.index = !index; config; value = None;
             failure = Some Failure.Invalid_configuration; at_seconds = Vclock.now clock;
-            eval_seconds = invalid_floor_s; built = false; decide_seconds }
+            eval_seconds = invalid_floor_s; built = false; decide_seconds; objectives = None }
         | [] ->
           consecutive_invalid := 0;
           let key = config_key config in
@@ -290,7 +318,7 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
             Obs.Recorder.incr obs "driver.quarantined_proposals";
             { History.index = !index; config; value = None;
               failure = Some Failure.Quarantined; at_seconds = Vclock.now clock;
-              eval_seconds = invalid_floor_s; built = false; decide_seconds }
+              eval_seconds = invalid_floor_s; built = false; decide_seconds; objectives = None }
           end
           else begin
             let image_key = Space.stage_key space config in
@@ -307,8 +335,14 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
               Obs.Recorder.incr obs "driver.image_cache.negative_hits";
               { History.index = !index; config; value = None;
                 failure = Some f; at_seconds = Vclock.now clock;
-                eval_seconds = invalid_floor_s; built = false; decide_seconds }
+                eval_seconds = invalid_floor_s; built = false; decide_seconds; objectives = None }
             | Some { Image_cache.status = Image_cache.Built; _ } | None ->
+            (* A real evaluation consumes trace time: the scenario cursor
+               advances exactly once per launch, before the first attempt,
+               so the slice the target replays is a function of the launch
+               order alone — identical across worker counts. *)
+            (match scenario with Some sc -> Scenario.advance sc | None -> ());
+            let last_objectives = ref [||] in
             let total_charged = ref 0. in
             let entry_built = ref false in
             (* Evaluate once and charge its (possibly capped) virtual phases.
@@ -320,6 +354,11 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
               in
               let r = apply_timeouts resilience r in
               let r = reject_non_finite r in
+              (* The vector of the attempt that stood: corroborating
+                 re-measurements vote only on the scalar. *)
+              (match r.Target.value with
+              | Ok _ when not remeasure -> last_objectives := r.Target.objectives
+              | Ok _ | Error _ -> ());
               let cache_hit =
                 if remeasure then false
                 else
@@ -467,7 +506,11 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
               at_seconds = Vclock.now clock;
               eval_seconds = !total_charged;
               built = !entry_built;
-              decide_seconds }
+              decide_seconds;
+              objectives =
+                (match final with
+                | Ok _ when Array.length !last_objectives > 0 -> Some !last_objectives
+                | Ok _ | Error _ -> None) }
           end
       in
       (* Model update runs before the entry is archived so its cost can be
@@ -478,6 +521,7 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
       in
       let entry = { entry with History.decide_seconds = decide_seconds +. observe_seconds } in
       History.add history entry;
+      record_pareto entry;
       Obs.Recorder.incr obs "driver.iterations";
       Obs.Recorder.observe obs ~quiet:true "driver.decide_s" entry.History.decide_seconds;
       Obs.Recorder.observe obs ~quiet:true "driver.eval_s" entry.History.eval_seconds;
@@ -507,6 +551,7 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
     clock;
     iterations = !index;
     stop_reason = (match !stop with Some r -> r | None -> Budget_exhausted);
+    pareto = !archive;
     metrics = Obs.Recorder.snapshot obs }
 
 (* ------------------------------------------------------------------ *)
@@ -533,7 +578,7 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
     ?(resilience = Resilience.none) ?checkpoint_path
     ?(checkpoint_every = default_checkpoint_every) ?(checkpoint_keep = 1) ?resume_from
     ?(workers = 1) ?batch
-    ?image_cache ?pool ~target ~algorithm ~budget () =
+    ?image_cache ?pool ?scenario ~target ~algorithm ~budget () =
   if invalid_floor_s <= 0. then invalid_arg "Driver.run: invalid_floor_s must be positive";
   if max_consecutive_invalid <= 0 then
     invalid_arg "Driver.run: max_consecutive_invalid must be positive";
@@ -549,6 +594,18 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
   Vclock.on_advance clock (fun dt -> Obs.Recorder.incr obs ~by:dt ~quiet:true "driver.virtual_s");
   let space = target.Target.space in
   let history = History.create target.Target.metric in
+  (* The Pareto archive accumulates the non-dominated front of every
+     successful objective vector.  Scalar targets report no vectors, so
+     the archive stays empty and the scalar path is untouched.
+     [Pareto.insert] is idempotent and order-independent, so replayed
+     completions may re-insert freely. *)
+  let archive = ref (Pareto.create ~spec:target.Target.objective_spec) in
+  let record_pareto (e : History.entry) =
+    match e.History.objectives with
+    | Some v when e.History.failure = None ->
+      archive := Pareto.insert !archive ~index:e.History.index ~objectives:v
+    | Some _ | None -> ()
+  in
   let rng = Rng.create seed in
   let ctx =
     { Search_algorithm.space; metric = target.Target.metric; history; rng; obs }
@@ -635,7 +692,14 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
       (fun (k, e) -> ignore (Image_cache.add cache k e))
       (List.rev ck.Checkpoint.cache);
     List.iter (fun (k, n) -> Hashtbl.replace strikes k n) ck.Checkpoint.strikes;
-    List.iter (fun k -> Hashtbl.replace quarantine k ()) ck.Checkpoint.quarantined;
+    archive := Pareto.of_list ~spec:target.Target.objective_spec ck.Checkpoint.pareto;
+    (match (scenario, ck.Checkpoint.trace_cursor) with
+    | Some sc, Some c -> Scenario.set_cursor sc c
+    | None, None -> ()
+    | Some _, None ->
+      invalid_arg "Driver.run: checkpoint was written without a scenario; resume without one"
+    | None, Some _ ->
+      invalid_arg "Driver.run: checkpoint was written with a scenario; resume with the same one");
     List.iter
       (fun (e : History.entry) -> Hashtbl.replace replay_entries e.History.index e)
       ck.Checkpoint.entries;
@@ -669,9 +733,13 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
      byte-for-byte equal to sequential ones. *)
   let prefetched : (int, Target.eval_result) Hashtbl.t = Hashtbl.create 64 in
   let prefetch_batch pending =
-    match pool with
-    | None -> ()
-    | Some p ->
+    match (pool, scenario) with
+    | None, _ | Some _, Some _ ->
+      (* A scenario target reads the trace cursor at evaluation time, so
+         speculating first attempts out of launch order would replay the
+         wrong trace slice; scenario runs evaluate inline, in order. *)
+      ()
+    | Some p, None ->
       let work =
         List.filter
           (fun (idx, config) ->
@@ -723,7 +791,9 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
           strikes = sorted_strikes;
           quarantined = sorted_quarantined;
           entries = Array.to_list (History.entries history);
-          inflight };
+          inflight;
+          pareto = Pareto.to_list !archive;
+          trace_cursor = Option.map Scenario.cursor scenario };
       Obs.Recorder.incr obs ~quiet:true "driver.checkpoints"
   in
   let within_budget () =
@@ -747,6 +817,7 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
       { entry with History.decide_seconds = entry.History.decide_seconds +. observe_seconds }
     in
     History.add history entry;
+    record_pareto entry;
     Obs.Recorder.incr obs "driver.iterations";
     Obs.Recorder.observe obs ~quiet:true "driver.decide_s" entry.History.decide_seconds;
     Obs.Recorder.observe obs ~quiet:true "driver.eval_s" entry.History.eval_seconds;
@@ -785,6 +856,7 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
       "driver.replay";
     algorithm.Search_algorithm.observe ctx e;
     History.add history e;
+    record_pareto e;
     release_slot slot;
     incr completed
   in
@@ -827,7 +899,7 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
         ~entry_of_at:(fun at ->
           { History.index = idx; config; value = None;
             failure = Some Failure.Invalid_configuration; at_seconds = at;
-            eval_seconds = invalid_floor_s; built = false; decide_seconds })
+            eval_seconds = invalid_floor_s; built = false; decide_seconds; objectives = None })
     | [] ->
       consecutive_invalid := 0;
       let key = config_key config in
@@ -838,7 +910,7 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
           ~entry_of_at:(fun at ->
             { History.index = idx; config; value = None;
               failure = Some Failure.Quarantined; at_seconds = at;
-              eval_seconds = invalid_floor_s; built = false; decide_seconds })
+              eval_seconds = invalid_floor_s; built = false; decide_seconds; objectives = None })
       end
       else begin
         let image_key = Space.stage_key space config in
@@ -856,12 +928,14 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
             ~entry_of_at:(fun at ->
               { History.index = idx; config; value = None;
                 failure = Some f; at_seconds = at;
-                eval_seconds = invalid_floor_s; built = false; decide_seconds })
+                eval_seconds = invalid_floor_s; built = false; decide_seconds; objectives = None })
         | Some { Image_cache.status = Image_cache.Built; _ } | None ->
         (* Eager evaluation: the outcome is a pure function of (trial,
            config) and the shared image cache at launch time, so the full
            attempt / corroborate / retry cascade runs now, accumulating
            the charges it would have applied to a synchronous clock. *)
+        (match scenario with Some sc -> Scenario.advance sc | None -> ());
+        let last_objectives = ref [||] in
         let deltas_rev = ref [] in
         let charge d = deltas_rev := d :: !deltas_rev in
         let total_charged = ref 0. in
@@ -872,6 +946,9 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
           in
           let r = apply_timeouts resilience r in
           let r = reject_non_finite r in
+          (match r.Target.value with
+          | Ok _ when not remeasure -> last_objectives := r.Target.objectives
+          | Ok _ | Error _ -> ());
           let cache_hit =
             if remeasure then false
             else
@@ -1005,7 +1082,11 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
               at_seconds = at;
               eval_seconds = !total_charged;
               built = !entry_built;
-              decide_seconds })
+              decide_seconds;
+              objectives =
+                (match final with
+                | Ok _ when Array.length !last_objectives > 0 -> Some !last_objectives
+                | Ok _ | Error _ -> None) })
       end
   in
   let launch ~iteration_span config decide_seconds =
@@ -1176,6 +1257,7 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
     clock;
     iterations = !completed;
     stop_reason = (match !stop with Some r -> r | None -> Budget_exhausted);
+    pareto = !archive;
     metrics = Obs.Recorder.snapshot obs }
 
 let phase_virtual_seconds result =

@@ -70,6 +70,12 @@ type result = {
   clock : Vclock.t;
   iterations : int;
   stop_reason : stop_reason;
+  pareto : Pareto.t;
+      (** Non-dominated front of every successful objective vector a
+          multi-objective target reported, tagged by entry index.  Empty
+          (with an empty spec) for scalar targets.  Deterministic across
+          worker counts: the archive is a pure function of the set of
+          completed points. *)
   metrics : Obs.Metrics.snapshot;
       (** Aggregated counters and per-phase timing histograms for the
           run.  The virtual-phase sums (see {!virtual_phases}) equal
@@ -107,6 +113,7 @@ val run :
   ?batch:int ->
   ?image_cache:Image_cache.config ->
   ?pool:Wayfinder_tensor.Domain_pool.t ->
+  ?scenario:Scenario.t ->
   target:Target.t ->
   algorithm:Search_algorithm.t ->
   budget:budget ->
@@ -171,7 +178,18 @@ val run :
     byte-for-byte identical to the same run without a pool — the
     conformance suite pins this for every algorithm × worker count.
     Retries and corroborating re-measurements (distinct trial numbers)
-    still evaluate inline.
+    still evaluate inline.  With a [scenario] the prefetch is disabled
+    entirely — the target reads the trace cursor at evaluation time, so
+    speculative out-of-order evaluation would replay the wrong slice.
+
+    [scenario] attaches trace-driven workload state: the cursor advances
+    by the scenario's stride exactly once per real evaluation launched
+    (floor-charged outcomes — invalid, quarantined, negative-cached —
+    consume no trace time), in proposal order, so the trace slice each
+    trial replays is identical across worker counts.  Checkpoints
+    persist the cursor (and the Pareto archive); resuming a scenario run
+    requires passing an equivalent [scenario], and resuming a
+    scenario-less checkpoint with one (or vice versa) fails loudly.
 
     [resilience] defaults to {!Resilience.none}.  [checkpoint_path]
     enables periodic checkpointing — the checkpoint persists
@@ -205,6 +223,7 @@ val run_sequential :
   ?checkpoint_keep:int ->
   ?resume_from:Checkpoint.t ->
   ?image_cache:Image_cache.config ->
+  ?scenario:Scenario.t ->
   target:Target.t ->
   algorithm:Search_algorithm.t ->
   budget:budget ->

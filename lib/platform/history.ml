@@ -9,6 +9,7 @@ type entry = {
   eval_seconds : float;
   built : bool;
   decide_seconds : float;
+  objectives : float array option;
 }
 
 type t = { metric : Metric.t; mutable entries : entry list; mutable count : int }

@@ -16,6 +16,11 @@ type entry = {
   eval_seconds : float;  (** Virtual cost charged for this iteration. *)
   built : bool;  (** Whether an image build was charged (rebuild-skip). *)
   decide_seconds : float;  (** Real time the search algorithm spent. *)
+  objectives : float array option;
+      (** Raw objective vector for multi-objective targets; [None] on
+          scalar targets and on failed evaluations.  Not serialized by
+          {!to_csv} (the CSV schema is scalar and byte-stable); ledgers
+          carry it. *)
 }
 
 type t

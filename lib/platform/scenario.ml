@@ -1,0 +1,29 @@
+module Trace = Wayfinder_simos.Trace
+
+type t = {
+  trace : Trace.t;
+  stride : int;
+  span : int;
+  mutable cursor : int;
+}
+
+let create ?(stride = 0) ?span trace =
+  if stride < 0 then invalid_arg "Scenario.create: negative stride";
+  let span = Option.value span ~default:(Array.length trace.Trace.loads) in
+  if span < 0 || (span = 0 && Array.length trace.Trace.loads > 0) then
+    invalid_arg "Scenario.create: span must be positive";
+  { trace; stride; span; cursor = 0 }
+
+let trace t = t.trace
+let stride t = t.stride
+let cursor t = t.cursor
+let set_cursor t c = t.cursor <- c
+let advance t = t.cursor <- t.cursor + t.stride
+
+let slice t =
+  let n = Array.length t.trace.Trace.loads in
+  if n = 0 then t.trace
+  else
+    { t.trace with
+      Trace.loads = Array.init t.span (fun i -> t.trace.Trace.loads.((t.cursor + i) mod n))
+    }

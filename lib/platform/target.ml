@@ -6,16 +6,19 @@ type eval_result = {
   build_s : float;
   boot_s : float;
   run_s : float;
+  objectives : float array;
 }
 
 type t = {
   target_name : string;
   space : Space.t;
   metric : Metric.t;
+  objective_spec : Objective.spec;
   evaluate : trial:int -> Space.configuration -> eval_result;
 }
 
-let make ~name ~space ~metric evaluate = { target_name = name; space; metric; evaluate }
+let make ~name ~space ~metric ?(objective_spec = [||]) evaluate =
+  { target_name = name; space; metric; objective_spec; evaluate }
 
 (* Transient faults strike evaluations that would otherwise have gone the
    distance: a config that deterministically fails to build never reaches
@@ -33,14 +36,19 @@ let with_faults ~plan target =
           match Faults.draw plan ~trial with
           | None -> r
           | Some (Faults.Boot_hang { stall_s }) ->
-            { r with value = Error Failure.Boot_hang; boot_s = stall_s; run_s = 0. }
+            { r with
+              value = Error Failure.Boot_hang;
+              boot_s = stall_s;
+              run_s = 0.;
+              objectives = [||] }
           | Some Faults.Flaky_build ->
             (* The build dies partway: half the build cost is sunk, nothing
                later runs. *)
             { value = Error Failure.Flaky_build;
               build_s = 0.5 *. r.build_s;
               boot_s = 0.;
-              run_s = 0. }
+              run_s = 0.;
+              objectives = [||] }
           | Some Faults.Spurious_failure ->
-            { r with value = Error Failure.Spurious_failure }
+            { r with value = Error Failure.Spurious_failure; objectives = [||] }
           | Some (Faults.Outlier { factor }) -> { r with value = Ok (v *. factor) })) }

@@ -5,7 +5,13 @@
     {!Failure.t}, plus the virtual durations of the build/boot/run tasks
     (§3.1).  Adapters over the {!Wayfinder_simos} models live in
     {!Targets}; {!with_faults} layers the transient-fault model over any
-    target. *)
+    target.
+
+    A multi-objective target additionally reports a raw objective vector
+    per evaluation ([objectives], interpreted by [objective_spec]); the
+    scalar [value] is then a scalarization of that vector.  Scalar targets
+    leave both empty, and everything downstream treats them exactly as
+    before — the scalar path is the degenerate zero-objective case. *)
 
 module Space = Wayfinder_configspace.Space
 module Faults = Wayfinder_simos.Faults
@@ -15,12 +21,18 @@ type eval_result = {
   build_s : float;
   boot_s : float;
   run_s : float;
+  objectives : float array;
+      (** Raw objective vector for multi-objective targets; [[||]] for
+          scalar targets and for failed evaluations. *)
 }
 
 type t = {
   target_name : string;
   space : Space.t;
   metric : Metric.t;
+  objective_spec : Objective.spec;
+      (** Interpretation of [eval_result.objectives]; [[||]] for scalar
+          targets. *)
   evaluate : trial:int -> Space.configuration -> eval_result;
 }
 
@@ -28,6 +40,7 @@ val make :
   name:string ->
   space:Space.t ->
   metric:Metric.t ->
+  ?objective_spec:Objective.spec ->
   (trial:int -> Space.configuration -> eval_result) ->
   t
 
@@ -38,5 +51,9 @@ val with_faults : plan:Faults.t -> t -> t
     sunk), die spuriously after running ([Spurious_failure]), or return a
     corrupted measurement (value scaled by a heavy-tailed factor).
     Deterministic failures of the underlying target pass through
-    untouched.  The schedule is a pure function of the plan and the trial
-    number, so wrapped targets stay deterministic. *)
+    untouched — and a fault that voids the measurement also clears the
+    objective vector, while an outlier corrupts only the scalar (the
+    vector keeps the clean measurement, mirroring a testbed whose
+    per-window samples were sound but whose summary was mangled).  The
+    schedule is a pure function of the plan and the trial number, so
+    wrapped targets stay deterministic. *)

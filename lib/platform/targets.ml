@@ -22,7 +22,8 @@ let of_sim_linux sim ~app =
           | Error stage -> Error (failure_of_stage stage));
         build_s = d.Sim_linux.build_s;
         boot_s = d.Sim_linux.boot_s;
-        run_s = d.Sim_linux.run_s })
+        run_s = d.Sim_linux.run_s;
+        objectives = [||] })
 
 let of_sim_linux_memory sim ~app =
   Target.make
@@ -37,7 +38,8 @@ let of_sim_linux_memory sim ~app =
           | Error stage -> Error (failure_of_stage stage));
         build_s = d.Sim_linux.build_s;
         boot_s = d.Sim_linux.boot_s;
-        run_s = d.Sim_linux.run_s })
+        run_s = d.Sim_linux.run_s;
+        objectives = [||] })
 
 let of_sim_unikraft uk =
   Target.make ~name:"sim-unikraft/nginx" ~space:(Sim_unikraft.space uk) ~metric:Metric.throughput
@@ -50,7 +52,8 @@ let of_sim_unikraft uk =
           | Error `Runtime_crash -> Error Failure.Runtime_crash);
         build_s = o.Sim_unikraft.build_s;
         boot_s = o.Sim_unikraft.boot_s;
-        run_s = o.Sim_unikraft.run_s })
+        run_s = o.Sim_unikraft.run_s;
+        objectives = [||] })
 
 let of_sim_riscv rv =
   Target.make ~name:"sim-riscv/memory" ~space:(Sim_riscv.space rv) ~metric:Metric.memory_mb
@@ -63,7 +66,8 @@ let of_sim_riscv rv =
           | Error `Boot_failure -> Error Failure.Boot_failure);
         build_s = o.Sim_riscv.build_s;
         boot_s = o.Sim_riscv.boot_s;
-        run_s = 0. })
+        run_s = 0.;
+        objectives = [||] })
 
 let of_cozart cz ~score =
   Target.make ~name:"cozart/nginx" ~space:(Cozart.reduced_space cz) ~metric:Metric.composite_score
@@ -76,4 +80,93 @@ let of_cozart cz ~score =
           | Error stage -> Error (failure_of_stage stage));
         build_s = d.Sim_linux.build_s;
         boot_s = d.Sim_linux.boot_s;
-        run_s = d.Sim_linux.run_s })
+        run_s = d.Sim_linux.run_s;
+        objectives = [||] })
+
+(* ------------------------------------------------------------------ *)
+(* Trace-driven multi-objective target                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Trace loads are expressed against a nominal default capacity of 1000
+   requests/second, independent of the application's raw metric units: a
+   configuration's sustainable rate is 1000 times its relative
+   performance against the default configuration.  This keeps trace
+   construction (base/peak loads) app-independent. *)
+let nominal_capacity_rps = 1000.
+
+let trace_objective_value (s : Simos.Trace_replay.summary) (m : Metric.t) =
+  match m.Metric.metric_name with
+  | "throughput" -> s.Simos.Trace_replay.mean_throughput_rps
+  | "p50" -> s.Simos.Trace_replay.p50_latency_s
+  | "p95" -> s.Simos.Trace_replay.p95_latency_s
+  | "p99" -> s.Simos.Trace_replay.p99_latency_s
+  | "memory" -> s.Simos.Trace_replay.peak_memory_mb
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Targets.of_sim_linux_trace: unmeasurable objective %S" other)
+
+let of_sim_linux_trace sim ~app ~scenario ~objectives ?scalarize () =
+  let n = Array.length objectives in
+  if n = 0 then
+    invalid_arg "Targets.of_sim_linux_trace: at least one objective is required";
+  Array.iter
+    (fun (m : Metric.t) ->
+      match m.Metric.metric_name with
+      | "throughput" | "p50" | "p95" | "p99" | "memory" -> ()
+      | other ->
+        invalid_arg
+          (Printf.sprintf "Targets.of_sim_linux_trace: unknown objective %S" other))
+    objectives;
+  let scalarize =
+    match scalarize with
+    | Some s -> s
+    | None -> Scalarize.Weighted_sum (Array.make n 1.)
+  in
+  (match Scalarize.validate scalarize ~n with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Targets.of_sim_linux_trace: " ^ msg));
+  (* One objective degenerates to a plain scalar target: the value is the
+     raw objective under that objective's own metric, so existing oracles
+     (best-entry selection, reports) hold byte-for-byte. *)
+  let metric =
+    if n = 1 then objectives.(0) else Metric.make ~name:"score" ~unit_name:"score" ()
+  in
+  let app_metric = Metric.of_app app in
+  let reference = Sim_linux.default_value sim ~app () in
+  Target.make
+    ~name:(Printf.sprintf "sim-linux-trace/%s" (Simos.App.name app))
+    ~space:(Sim_linux.space sim) ~metric ~objective_spec:objectives
+    (fun ~trial config ->
+      let o = Sim_linux.evaluate sim ~app ~trial config in
+      let d = o.Sim_linux.durations in
+      match o.Sim_linux.result with
+      | Error stage ->
+        { Target.value = Error (failure_of_stage stage);
+          build_s = d.Sim_linux.build_s;
+          boot_s = d.Sim_linux.boot_s;
+          run_s = d.Sim_linux.run_s;
+          objectives = [||] }
+      | Ok v ->
+        let rel = if app_metric.Metric.maximize then v /. reference else reference /. v in
+        let memory_mb = Sim_linux.memory_footprint_mb sim config in
+        let service =
+          { Simos.Trace_replay.capacity_rps = nominal_capacity_rps *. Float.max 1e-6 rel;
+            (* Memory inflates the unloaded latency (cache pressure): a
+               leaner image answers faster at equal capacity, which is
+               what puts p99 in tension with raw throughput. *)
+            base_latency_s = 0.001 *. (1. +. (memory_mb /. 400.));
+            memory_mb }
+        in
+        let slice = Scenario.slice scenario in
+        let summary = Simos.Trace_replay.replay slice service in
+        let vec = Array.map (trace_objective_value summary) objectives in
+        let value =
+          if n = 1 then vec.(0) else Scalarize.apply scalarize ~spec:objectives vec
+        in
+        { Target.value = Ok value;
+          build_s = d.Sim_linux.build_s;
+          boot_s = d.Sim_linux.boot_s;
+          (* Replaying the trace slice is the benchmark run: it charges
+             the slice's virtual duration, not the static workload's. *)
+          run_s = Simos.Trace.duration_s slice;
+          objectives = vec })

@@ -21,3 +21,33 @@ val of_cozart :
 (** The §4.4 co-optimization target: evaluation yields the composite score
     of throughput and memory (eq. 4's normalisation is supplied by the
     caller, typically over the running history). *)
+
+val nominal_capacity_rps : float
+(** Service rate of the default configuration in trace-load units: 1000
+    requests/second.  Trace loads for {!of_sim_linux_trace} are offered
+    against this scale — a configuration's capacity is
+    [nominal_capacity_rps] times its relative performance versus the
+    default configuration. *)
+
+val of_sim_linux_trace :
+  Simos.Sim_linux.t ->
+  app:Simos.App.t ->
+  scenario:Scenario.t ->
+  objectives:Objective.spec ->
+  ?scalarize:Scalarize.t ->
+  unit ->
+  Target.t
+(** Trace-driven multi-objective target: each evaluation runs the
+    analytic model once (crashes and noise as usual), derives a service
+    model — capacity from relative performance, base latency inflated by
+    the image's memory footprint — and replays the scenario's current
+    trace slice through {!Simos.Trace_replay}, reporting the objective
+    vector named by [objectives] (any of [throughput]/[p50]/[p95]/[p99]
+    in trace units, [memory] in MiB; see {!Objective.builtin}).  The
+    scalar value is [scalarize] (default: equal weights) applied to the
+    vector under a synthetic maximized "score" metric — except with a
+    single objective, where the value is the raw objective under its own
+    metric, the exact degenerate scalar case.  The run phase charges the
+    replayed slice's virtual duration.
+    @raise Invalid_argument on an empty or unmeasurable objective list,
+    or a [scalarize] that fails {!Scalarize.validate}. *)

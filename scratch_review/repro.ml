@@ -10,7 +10,7 @@ let target () =
         | [| Param.Vbool b; Param.Vint n |] -> (if b then 2. else 1.) +. float_of_int n
         | _ -> 0.
       in
-      { Target.value = Ok v; build_s = 3.; boot_s = 1.; run_s = 1. })
+      { Target.value = Ok v; build_s = 3.; boot_s = 1.; run_s = 1.; objectives = [||] })
 
 let () =
   let path = Filename.temp_file "wf" ".ckpt" in

@@ -42,7 +42,7 @@ let target () =
           { Target.value = Error Failure.Runtime_crash;
             build_s = 10.;
             boot_s = 1.;
-            run_s = 2. }
+            run_s = 2.; objectives = [||] }
         else
           let v =
             100.
@@ -53,8 +53,8 @@ let target () =
           { Target.value = Ok v;
             build_s = 10.;
             boot_s = 1.;
-            run_s = 2. +. (0.5 *. float_of_int x) }
-      | _ -> { Target.value = Error (Failure.Other "bad arity"); build_s = 0.; boot_s = 0.; run_s = 0. })
+            run_s = 2. +. (0.5 *. float_of_int x); objectives = [||] }
+      | _ -> { Target.value = Error (Failure.Other "bad arity"); build_s = 0.; boot_s = 0.; run_s = 0.; objectives = [||] })
 
 let faulty_target ~fault_rate ~seed =
   let t = target () in
@@ -215,3 +215,124 @@ let config_multiset r =
 
 let phase_sum r =
   List.fold_left (fun acc (_, s) -> acc +. s) 0. (Driver.phase_virtual_seconds r)
+
+(* ------------------------------------------------------------------ *)
+(* Trace-replay scenario harness                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The same 24-point synthetic space, but evaluated by replaying a flash
+   crowd through a per-configuration service model: x buys capacity, mode
+   and x cost memory, memory inflates the unloaded latency.  That puts
+   throughput against p99/memory, so the Pareto front is non-trivial. *)
+
+let scenario_spec =
+  [| Metric.make ~name:"throughput" ~unit_name:"req/s" ();
+     Metric.make ~maximize:false ~name:"p99" ~unit_name:"s" ();
+     Metric.make ~maximize:false ~name:"memory" ~unit_name:"MiB" () |]
+
+let scenario_trace () =
+  S.Trace.flash_crowd ~window_s:1.0 ~windows:24 ~base:400. ~peak:1200. ~at:12 ~width:4
+
+let make_scenario ?(stride = 1) () = Scenario.create ~stride (scenario_trace ())
+
+let objective_of_summary (s : S.Trace_replay.summary) (m : Metric.t) =
+  match m.Metric.metric_name with
+  | "throughput" -> s.S.Trace_replay.mean_throughput_rps
+  | "p50" -> s.S.Trace_replay.p50_latency_s
+  | "p95" -> s.S.Trace_replay.p95_latency_s
+  | "p99" -> s.S.Trace_replay.p99_latency_s
+  | "memory" -> s.S.Trace_replay.peak_memory_mb
+  | other -> invalid_arg ("conformance: unmeasurable objective " ^ other)
+
+(* Mirrors the Targets.of_sim_linux_trace contract: one objective
+   degenerates to a plain scalar target under that objective's metric;
+   several scalarize into a synthetic "score" metric and report the raw
+   vector. *)
+let trace_target ?(spec = scenario_spec)
+    ?(scalarize = Scalarize.Weighted_sum [| 1.; 1.; 1. |]) scenario =
+  let n = Array.length spec in
+  let metric =
+    if n = 1 then spec.(0) else Metric.make ~name:"score" ~unit_name:"score" ()
+  in
+  Target.make ~name:"conformance-trace" ~space:(space ()) ~metric ~objective_spec:spec
+    (fun ~trial config ->
+      ignore trial;
+      match config with
+      | [| Param.Vint x; Param.Vbool flag; Param.Vcat mode |] ->
+        if x = 7 then
+          { Target.value = Error Failure.Runtime_crash;
+            build_s = 10.;
+            boot_s = 1.;
+            run_s = 2.;
+            objectives = [||] }
+        else
+          let rel = 0.6 +. (0.1 *. float_of_int x) +. (if flag then 0.2 else 0.) in
+          let memory_mb =
+            200. +. (60. *. float_of_int mode) +. (25. *. float_of_int x)
+          in
+          let service =
+            { S.Trace_replay.capacity_rps = 1000. *. rel;
+              base_latency_s = 0.001 *. (1. +. (memory_mb /. 400.));
+              memory_mb }
+          in
+          let slice = Scenario.slice scenario in
+          let summary = S.Trace_replay.replay slice service in
+          let vec = Array.map (objective_of_summary summary) spec in
+          let value = if n = 1 then vec.(0) else Scalarize.apply scalarize ~spec vec in
+          { Target.value = Ok value;
+            build_s = 10.;
+            boot_s = 1.;
+            run_s = S.Trace.duration_s slice;
+            objectives = vec }
+      | _ ->
+        { Target.value = Error (Failure.Other "bad arity");
+          build_s = 0.;
+          boot_s = 0.;
+          run_s = 0.;
+          objectives = [||] })
+
+(* "deeptune-multi" joins the registry for scenario runs only: the
+   adapter needs the objective spec. *)
+let scenario_names = names @ [ "deeptune-multi" ]
+
+let scenario_algorithm name ~seed ~spec space =
+  if name = "deeptune-multi" then
+    D.Multi_objective.algorithm
+      ~options:deeptune_options ~seed
+      ~objectives:
+        (Array.to_list
+           (Array.map
+              (fun (m : Metric.t) ->
+                { D.Multi_objective.label = m.Metric.metric_name; weight = 1. })
+              spec))
+      ~spec space
+  else algorithm name ~seed space
+
+let run_scenario ?(engine = `Workers 1) ?batch ?(seed = 7)
+    ?(budget = Driver.Iterations 12) ?(fault_rate = 0.) ?(stride = 1) ?spec ?scalarize
+    ?checkpoint_path ?checkpoint_every ?resume_from ?on_iteration name =
+  let scenario = make_scenario ~stride () in
+  let base = trace_target ?spec ?scalarize scenario in
+  let target =
+    if fault_rate > 0. then
+      Target.with_faults
+        ~plan:(S.Faults.create ~rates:(S.Faults.rates_of_total fault_rate) ~seed ())
+        base
+    else base
+  in
+  let algo, observed =
+    with_observe_counter
+      (scenario_algorithm name ~seed ~spec:target.Target.objective_spec target.Target.space)
+  in
+  let result =
+    match engine with
+    | `Sequential ->
+      Driver.run_sequential ~seed ~obs:(frozen_obs ()) ?checkpoint_path ?checkpoint_every
+        ?resume_from ~scenario ~target ?on_iteration ~algorithm:algo ~budget ()
+    | `Workers workers ->
+      Driver.run ~seed ~obs:(frozen_obs ()) ?checkpoint_path ?checkpoint_every ?resume_from
+        ~workers ?batch ~scenario ~target ?on_iteration ~algorithm:algo ~budget ()
+  in
+  ({ result; observed }, Scenario.cursor scenario)
+
+let archive_list r = Pareto.to_list r.Driver.pareto

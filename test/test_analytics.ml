@@ -213,10 +213,11 @@ let row ?value ?failure ?belief ~at index =
     eval_seconds = 1.;
     built = true;
     decide_seconds = 0.;
-    belief }
+    belief;
+    objectives = None }
 
 let series ?(metric = Metric.throughput) rows =
-  { A.Series.metric; names = [||]; stages = [||]; rows = Array.of_list rows }
+  { A.Series.metric; names = [||]; stages = [||]; rows = Array.of_list rows; objectives = [||] }
 
 (* ------------------------------------------------------------------ *)
 (* Calibration                                                         *)
@@ -348,7 +349,7 @@ let test_series_csv_roundtrip () =
       at_seconds = at;
       eval_seconds = 1.;
       built = true;
-      decide_seconds = 0.25 }
+      decide_seconds = 0.25; objectives = None }
   in
   History.add h (entry ~value:10. 0 10.);
   History.add h (entry ~failure:(Failure.Other "panic, with commas \"quoted\"") 1 20.);

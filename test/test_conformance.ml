@@ -203,14 +203,14 @@ let prop_grid_multiset_any_capacity =
 
 let test_old_version_rejected_typed () =
   (match Checkpoint.of_string "wayfinder-checkpoint 1\nend\n" with
-  | Error (Checkpoint.Unsupported_version { found = 1; expected = 4 }) -> ()
+  | Error (Checkpoint.Unsupported_version { found = 1; expected = 5 }) -> ()
   | Error e ->
     Alcotest.failf "expected Unsupported_version, got: %s" (Checkpoint.error_to_string e)
   | Ok _ -> Alcotest.fail "v1 checkpoint accepted");
   (* Format 2 (per-slot baselines, no image cache) is likewise rejected
      typed: its [slot] lines cannot express the shared cache state. *)
   (match Checkpoint.of_string "wayfinder-checkpoint 2\nend\n" with
-  | Error (Checkpoint.Unsupported_version { found = 2; expected = 4 }) -> ()
+  | Error (Checkpoint.Unsupported_version { found = 2; expected = 5 }) -> ()
   | Error e ->
     Alcotest.failf "expected Unsupported_version for v2, got: %s"
       (Checkpoint.error_to_string e)
@@ -219,11 +219,20 @@ let test_old_version_rejected_typed () =
      and is rejected too: its strike lines cannot be mapped onto the
      canonical string keys. *)
   (match Checkpoint.of_string "wayfinder-checkpoint 3\nend\n" with
-  | Error (Checkpoint.Unsupported_version { found = 3; expected = 4 }) -> ()
+  | Error (Checkpoint.Unsupported_version { found = 3; expected = 5 }) -> ()
   | Error e ->
     Alcotest.failf "expected Unsupported_version for v3, got: %s"
       (Checkpoint.error_to_string e)
   | Ok _ -> Alcotest.fail "v3 checkpoint accepted");
+  (* Format 4 predates the Pareto archive and trace cursor; its bodies
+     parse as a strict prefix of format 5, so the version gate is what
+     rejects it. *)
+  (match Checkpoint.of_string "wayfinder-checkpoint 4\nend\n" with
+  | Error (Checkpoint.Unsupported_version { found = 4; expected = 5 }) -> ()
+  | Error e ->
+    Alcotest.failf "expected Unsupported_version for v4, got: %s"
+      (Checkpoint.error_to_string e)
+  | Ok _ -> Alcotest.fail "v4 checkpoint accepted");
   match Checkpoint.load ~path:"/nonexistent/wayfinder.ckpt" with
   | Error (Checkpoint.Malformed _) -> ()
   | Error (Checkpoint.Unsupported_version _) ->
@@ -275,6 +284,174 @@ let prop_kill_and_resume_workers4 =
       full_csv = resumed_csv)
 
 (* ------------------------------------------------------------------ *)
+(* Scenario conformance: trace replay + multi-objective invariants     *)
+(* ------------------------------------------------------------------ *)
+
+let archives_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (ia, va) (ib, vb) -> ia = ib && Objective.equal_vec va vb)
+       a b
+
+let entry_with_index entries i =
+  Array.find_opt (fun (e : History.entry) -> e.History.index = i) entries
+
+(* Every searcher — including the deeptune-multi adapter — through the
+   existing battery invariants under trace replay, plus the archive
+   invariants: no archive point dominates another, every archive point is
+   the bitwise vector of a successful entry, and archive/cursor/CSV are
+   all deterministic. *)
+let scenario_battery algo engine () =
+  let budget = Driver.Iterations budget_n in
+  let a, cursor_a = C.run_scenario ~engine ~seed:7 ~budget algo in
+  let b, cursor_b = C.run_scenario ~engine ~seed:7 ~budget algo in
+  let r = a.C.result in
+  Alcotest.(check string) "deterministic CSV"
+    (History.to_csv r.Driver.history)
+    (History.to_csv b.C.result.Driver.history);
+  Alcotest.(check int) "iteration budget honoured" budget_n r.Driver.iterations;
+  Alcotest.(check bool) "stopped on budget" true
+    (r.Driver.stop_reason = Driver.Budget_exhausted);
+  Alcotest.(check bool) "phase sum equals history" true
+    (Float.abs (C.phase_sum r -. History.total_eval_seconds r.Driver.history) < 1e-6);
+  (* The cursor advances once per launched evaluation, deterministically. *)
+  Alcotest.(check int) "cursor advanced once per launch" budget_n cursor_a;
+  Alcotest.(check int) "deterministic cursor" cursor_a cursor_b;
+  (* Observe-exactly-once survives the scenario path. *)
+  Alcotest.(check int) "every entry observed" budget_n (Hashtbl.length a.C.observed);
+  for index = 0 to budget_n - 1 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "entry %d observed exactly once" index)
+      (Some 1)
+      (Hashtbl.find_opt a.C.observed index)
+  done;
+  (* Successful entries carry a full vector; failures carry none. *)
+  let entries = C.entries r in
+  Array.iter
+    (fun (e : History.entry) ->
+      match (e.History.value, e.History.objectives) with
+      | Some _, Some v ->
+        Alcotest.(check int)
+          (Printf.sprintf "entry %d vector arity" e.History.index)
+          (Array.length C.scenario_spec) (Array.length v)
+      | Some _, None ->
+        Alcotest.failf "successful entry %d lost its vector" e.History.index
+      | None, Some _ ->
+        Alcotest.failf "failed entry %d kept a vector" e.History.index
+      | None, None -> ())
+    entries;
+  (* Archive invariants. *)
+  let front = C.archive_list r in
+  Alcotest.(check bool) "archive non-empty" true (front <> []);
+  Alcotest.(check bool) "deterministic archive" true
+    (archives_equal front (C.archive_list b.C.result));
+  let spec = Pareto.spec r.Driver.pareto in
+  List.iter
+    (fun (i, v) ->
+      List.iter
+        (fun (j, w) ->
+          if i <> j then
+            Alcotest.(check bool)
+              (Printf.sprintf "archive point %d not dominated by %d" i j)
+              false (Objective.dominates spec w v))
+        front;
+      match entry_with_index entries i with
+      | Some e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "archive point %d is entry %d's vector" i i)
+          true
+          (match e.History.objectives with
+          | Some w -> Objective.equal_vec v w
+          | None -> false)
+      | None -> Alcotest.failf "archive point %d has no entry" i)
+    front
+
+let scenario_battery_cases =
+  List.concat_map
+    (fun (ename, engine) ->
+      List.map
+        (fun algo ->
+          Alcotest.test_case
+            (Printf.sprintf "scenario: %s on %s" algo ename)
+            `Quick (scenario_battery algo engine))
+        C.scenario_names)
+    engines
+
+(* The archive is a pure function of the set of completed points, so for
+   searchers whose proposal stream is independent of observation order
+   (random's per-index RNG, grid's enumeration) the front is bitwise
+   identical across worker counts.  Adaptive searchers can evaluate a
+   different set at different parallelism — for them the invariant under
+   test is sequential ≡ workers=1. *)
+let test_scenario_archive_worker_invariance () =
+  List.iter
+    (fun algo ->
+      let budget = Driver.Iterations budget_n in
+      let a, ca = C.run_scenario ~engine:(`Workers 1) ~seed:7 ~budget algo in
+      let b, cb = C.run_scenario ~engine:(`Workers 4) ~seed:7 ~budget algo in
+      Alcotest.(check int) (algo ^ ": cursor identical across worker counts") ca cb;
+      Alcotest.(check bool)
+        (algo ^ ": archive identical across worker counts")
+        true
+        (archives_equal (C.archive_list a.C.result) (C.archive_list b.C.result)))
+    [ "random"; "grid" ]
+
+let test_scenario_workers1_equals_sequential () =
+  List.iter
+    (fun algo ->
+      let budget = Driver.Iterations budget_n in
+      let a, ca = C.run_scenario ~engine:`Sequential ~seed:7 ~budget algo in
+      let b, cb = C.run_scenario ~engine:(`Workers 1) ~seed:7 ~budget algo in
+      Alcotest.(check int) (algo ^ ": cursor equal") ca cb;
+      Alcotest.(check bool) (algo ^ ": workers=1 equivalence") true (equivalent a b);
+      Alcotest.(check bool)
+        (algo ^ ": archive equal")
+        true
+        (archives_equal (C.archive_list a.C.result) (C.archive_list b.C.result)))
+    C.scenario_names
+
+(* ------------------------------------------------------------------ *)
+(* Degenerate weights: (1, 0, 0) ≡ single-objective, byte-for-byte     *)
+(* ------------------------------------------------------------------ *)
+
+(* The scalarizer's contract (zero-weight terms skipped, a lone weight-1
+   term returned without arithmetic) lifted to whole trajectories: a
+   3-objective run under Weighted_sum (1, 0, 0) must produce the same CSV
+   bytes as a run whose target only measures the first objective. *)
+let degenerate_pair ~engine ~seed ~fault_rate algo =
+  let budget = Driver.Iterations budget_n in
+  let single, _ =
+    C.run_scenario ~engine ~seed ~budget ~fault_rate
+      ~spec:[| C.scenario_spec.(0) |] algo
+  in
+  let multi, _ =
+    C.run_scenario ~engine ~seed ~budget ~fault_rate
+      ~scalarize:(Scalarize.Weighted_sum [| 1.; 0.; 0. |]) algo
+  in
+  ( History.to_csv single.C.result.Driver.history,
+    History.to_csv multi.C.result.Driver.history )
+
+let prop_degenerate_weights_single_objective =
+  QCheck2.Test.make
+    ~name:"weights (1,0,0) reproduce the single-objective trajectory byte-for-byte"
+    ~count:12
+    QCheck2.Gen.(
+      quad (int_range 0 1000)
+        (oneofl [ "random"; "grid" ])
+        (oneofl [ `Sequential; `Workers 1; `Workers 4 ])
+        bool)
+    (fun (seed, algo, engine, faulty) ->
+      let fault_rate = if faulty then 0.10 else 0. in
+      let a, b = degenerate_pair ~engine ~seed ~fault_rate algo in
+      a = b)
+
+(* DeepTune is too slow for the qcheck loop; one pinned case (frozen
+   recorder, so even decide_s compares byte-for-byte). *)
+let test_deeptune_degenerate_weights () =
+  let a, b = degenerate_pair ~engine:(`Workers 1) ~seed:3 ~fault_rate:0. "deeptune" in
+  Alcotest.(check string) "deeptune (1,0,0) trajectory" a b
+
+(* ------------------------------------------------------------------ *)
 (* Grid exhaustion (regression: stop instead of wrapping around)       *)
 (* ------------------------------------------------------------------ *)
 
@@ -291,7 +468,7 @@ let tiny_target () =
           (if b then 2. else 1.) +. float_of_int t
         | _ -> 0.
       in
-      { Target.value = Ok v; build_s = 3.; boot_s = 1.; run_s = 1. })
+      { Target.value = Ok v; build_s = 3.; boot_s = 1.; run_s = 1.; objectives = [||] })
 
 let check_exhausted r =
   Alcotest.(check bool) "stopped with Space_exhausted" true
@@ -361,6 +538,15 @@ let () =
           Alcotest.test_case "resume mid-batch with in-flight tasks" `Quick
             test_resume_mid_batch_with_inflight;
           QCheck_alcotest.to_alcotest prop_kill_and_resume_workers4 ] );
+      ("scenario battery", scenario_battery_cases);
+      ( "scenario invariants",
+        [ Alcotest.test_case "archive invariant across worker counts" `Quick
+            test_scenario_archive_worker_invariance;
+          Alcotest.test_case "workers=1 equivalence under trace replay" `Quick
+            test_scenario_workers1_equals_sequential;
+          QCheck_alcotest.to_alcotest prop_degenerate_weights_single_objective;
+          Alcotest.test_case "deeptune degenerate weights" `Slow
+            test_deeptune_degenerate_weights ] );
       ( "exhaustion",
         [ Alcotest.test_case "sequential grid exhaustion" `Quick
             test_grid_exhaustion_sequential;

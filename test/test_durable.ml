@@ -105,7 +105,7 @@ let mk_entry index =
     at_seconds = 0.5 *. float_of_int (index + 1);
     eval_seconds = 16.25;
     built = index mod 2 = 0;
-    decide_seconds = 1e-4 }
+    decide_seconds = 1e-4; objectives = None }
 
 let sample_ck n =
   { Checkpoint.seed = 42;
@@ -120,7 +120,9 @@ let sample_ck n =
     strikes = [];
     quarantined = [];
     entries = List.init n mk_entry;
-    inflight = [] }
+    inflight = [];
+    pareto = [];
+    trace_cursor = None }
 
 let checkpoint_crash_step ~keep_unsynced ~keep_renames ~old_ck ~new_ck fuel =
   let fs = Mem.create ~keep_unsynced ~keep_renames () in
@@ -480,11 +482,11 @@ let toy_target () =
       ignore trial;
       match config.(0) with
       | Param.Vint x when x > 9 ->
-        { Target.value = Error Failure.Runtime_crash; build_s = 10.; boot_s = 1.; run_s = 2. }
+        { Target.value = Error Failure.Runtime_crash; build_s = 10.; boot_s = 1.; run_s = 2.; objectives = [||] }
       | Param.Vint x ->
         let v = 100. -. float_of_int ((x - 7) * (x - 7)) in
-        { Target.value = Ok v; build_s = 10.; boot_s = 1.; run_s = 5. }
-      | _ -> { Target.value = Error (Failure.Other "invalid"); build_s = 0.; boot_s = 0.; run_s = 0. })
+        { Target.value = Ok v; build_s = 10.; boot_s = 1.; run_s = 5.; objectives = [||] }
+      | _ -> { Target.value = Error (Failure.Other "invalid"); build_s = 0.; boot_s = 0.; run_s = 0.; objectives = [||] })
 
 let frozen_obs () = Obs.Recorder.create ~now:(fun () -> 0.) ()
 

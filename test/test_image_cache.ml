@@ -163,8 +163,8 @@ let build_failing_target () =
       ignore trial;
       match config.(0) with
       | Param.Vint 0 ->
-        { Target.value = Error Failure.Build_failure; build_s = 10.; boot_s = 0.; run_s = 0. }
-      | _ -> { Target.value = Ok 50.; build_s = 10.; boot_s = 1.; run_s = 2. })
+        { Target.value = Error Failure.Build_failure; build_s = 10.; boot_s = 0.; run_s = 0.; objectives = [||] }
+      | _ -> { Target.value = Ok 50.; build_s = 10.; boot_s = 1.; run_s = 2.; objectives = [||] })
 
 let counter r name = int_of_float (Obs.Metrics.counter r.Driver.metrics name)
 
@@ -204,7 +204,7 @@ let test_transient_build_failures_quarantine_not_negative_cache () =
       (fun ~trial config ->
         ignore trial;
         ignore config;
-        { Target.value = Error Failure.Flaky_build; build_s = 10.; boot_s = 0.; run_s = 0. })
+        { Target.value = Error Failure.Flaky_build; build_s = 10.; boot_s = 0.; run_s = 0.; objectives = [||] })
   in
   let resilience =
     { Resilience.none with Resilience.retries = 1; quarantine_after = 2 }
@@ -246,8 +246,8 @@ let test_cross_slot_hits () =
           { Target.value = Ok ((if b then 10. else 0.) +. float_of_int (r mod 7));
             build_s = 50.;
             boot_s = 1.;
-            run_s = 2. }
-        | _ -> { Target.value = Error (Failure.Other "arity"); build_s = 0.; boot_s = 0.; run_s = 0. })
+            run_s = 2.; objectives = [||] }
+        | _ -> { Target.value = Error (Failure.Other "arity"); build_s = 0.; boot_s = 0.; run_s = 0.; objectives = [||] })
   in
   let r =
     Driver.run ~seed:5 ~workers:4 ~image_cache:(Image_cache.capacity 4) ~target

@@ -14,12 +14,12 @@ let toy_target () =
       ignore trial;
       match config.(0) with
       | Param.Vint x when x > 9 ->
-        { Target.value = Error Failure.Runtime_crash; build_s = 10.; boot_s = 1.; run_s = 2. }
+        { Target.value = Error Failure.Runtime_crash; build_s = 10.; boot_s = 1.; run_s = 2.; objectives = [||] }
       | Param.Vint x ->
         let v = 100. -. float_of_int ((x - 7) * (x - 7)) in
-        { Target.value = Ok v; build_s = 10.; boot_s = 1.; run_s = 5. }
+        { Target.value = Ok v; build_s = 10.; boot_s = 1.; run_s = 5.; objectives = [||] }
       | Param.Vbool _ | Param.Vtristate _ | Param.Vcat _ ->
-        { Target.value = Error (Failure.Other "invalid"); build_s = 0.; boot_s = 0.; run_s = 0. })
+        { Target.value = Error (Failure.Other "invalid"); build_s = 0.; boot_s = 0.; run_s = 0.; objectives = [||] })
 
 (* ------------------------------------------------------------------ *)
 (* Metric                                                              *)
@@ -44,7 +44,7 @@ let test_metric_of_app () =
 
 let entry ?(value = None) ?(failure = None) ?(at = 0.) index =
   { History.index; config = [||]; value; failure; at_seconds = at; eval_seconds = 60.;
-    built = false; decide_seconds = 0.001 }
+    built = false; decide_seconds = 0.001; objectives = None }
 
 let test_history_best_and_crashes () =
   let h = History.create Metric.throughput in
@@ -237,7 +237,7 @@ let test_driver_invalid_proposal_recorded () =
   let space = Space.create [ Wayfinder_configspace.Param.bool_param "b" false ] in
   let target =
     Target.make ~name:"t" ~space ~metric:Metric.throughput (fun ~trial:_ _ ->
-        { Target.value = Ok 1.; build_s = 1.; boot_s = 1.; run_s = 1. })
+        { Target.value = Ok 1.; build_s = 1.; boot_s = 1.; run_s = 1.; objectives = [||] })
   in
   let bad =
     Search_algorithm.make ~name:"bad" ~propose:(fun _ -> [| Param.Vint 42 |]) ()
@@ -256,7 +256,7 @@ let always_invalid_target_and_algo () =
   let space = Space.create [ Wayfinder_configspace.Param.bool_param "b" false ] in
   let target =
     Target.make ~name:"t" ~space ~metric:Metric.throughput (fun ~trial:_ _ ->
-        { Target.value = Ok 1.; build_s = 1.; boot_s = 1.; run_s = 1. })
+        { Target.value = Ok 1.; build_s = 1.; boot_s = 1.; run_s = 1.; objectives = [||] })
   in
   let bad =
     Search_algorithm.make ~name:"bad" ~propose:(fun _ -> [| Param.Vint 42 |]) ()
@@ -315,7 +315,7 @@ let test_driver_valid_proposal_resets_cap () =
   let space = Space.create [ Wayfinder_configspace.Param.bool_param "b" false ] in
   let target =
     Target.make ~name:"t" ~space ~metric:Metric.throughput (fun ~trial:_ _ ->
-        { Target.value = Ok 1.; build_s = 1.; boot_s = 1.; run_s = 1. })
+        { Target.value = Ok 1.; build_s = 1.; boot_s = 1.; run_s = 1.; objectives = [||] })
   in
   let n = ref 0 in
   let alternating =
@@ -423,7 +423,7 @@ let test_grid_search_enumerates () =
           (match config.(0) with Param.Vbool true -> 10. | _ -> 0.)
           +. (match config.(1) with Param.Vcat i -> float_of_int i | _ -> 0.)
         in
-        { Target.value = Ok v; build_s = 0.; boot_s = 0.; run_s = 1. })
+        { Target.value = Ok v; build_s = 0.; boot_s = 0.; run_s = 1.; objectives = [||] })
   in
   let r =
     Driver.run ~target ~algorithm:(Grid_search.create ()) ~budget:(Driver.Iterations 6) ()
@@ -462,9 +462,9 @@ let test_bayes_beats_random_on_toy () =
         match config.(0) with
         | Param.Vint x ->
           let fx = -.((float_of_int x -. 73.) ** 2.) in
-          { Target.value = Ok fx; build_s = 0.; boot_s = 0.; run_s = 1. }
+          { Target.value = Ok fx; build_s = 0.; boot_s = 0.; run_s = 1.; objectives = [||] }
         | Param.Vbool _ | Param.Vtristate _ | Param.Vcat _ ->
-          { Target.value = Error (Failure.Other "bad"); build_s = 0.; boot_s = 0.; run_s = 0. })
+          { Target.value = Error (Failure.Other "bad"); build_s = 0.; boot_s = 0.; run_s = 0.; objectives = [||] })
   in
   let best algo seed =
     let r = Driver.run ~seed ~target ~algorithm:algo ~budget:(Driver.Iterations 30) () in
@@ -523,8 +523,8 @@ let test_report_minimised_metric () =
     Target.make ~name:"mem" ~space ~metric:Metric.memory_mb (fun ~trial:_ config ->
         match config.(0) with
         | Param.Vint x ->
-          { Target.value = Ok (200. +. float_of_int x); build_s = 0.; boot_s = 0.; run_s = 1. }
-        | _ -> { Target.value = Error (Failure.Other "bad"); build_s = 0.; boot_s = 0.; run_s = 0. })
+          { Target.value = Ok (200. +. float_of_int x); build_s = 0.; boot_s = 0.; run_s = 1.; objectives = [||] }
+        | _ -> { Target.value = Error (Failure.Other "bad"); build_s = 0.; boot_s = 0.; run_s = 0.; objectives = [||] })
   in
   let r =
     Driver.run ~seed:1 ~target ~algorithm:(Random_search.create ())

@@ -23,19 +23,19 @@ let toy_target () =
       ignore trial;
       match config.(0) with
       | Param.Vint x when x > 9 ->
-        { Target.value = Error Failure.Runtime_crash; build_s = 10.; boot_s = 1.; run_s = 2. }
+        { Target.value = Error Failure.Runtime_crash; build_s = 10.; boot_s = 1.; run_s = 2.; objectives = [||] }
       | Param.Vint x ->
         let v = 100. -. float_of_int ((x - 7) * (x - 7)) in
-        { Target.value = Ok v; build_s = 10.; boot_s = 1.; run_s = 5. }
+        { Target.value = Ok v; build_s = 10.; boot_s = 1.; run_s = 5.; objectives = [||] }
       | Param.Vbool _ | Param.Vtristate _ | Param.Vcat _ ->
-        { Target.value = Error (Failure.Other "invalid"); build_s = 0.; boot_s = 0.; run_s = 0. })
+        { Target.value = Error (Failure.Other "invalid"); build_s = 0.; boot_s = 0.; run_s = 0.; objectives = [||] })
 
 (* A target whose outcome is scripted per trial number. *)
 let scripted ?(build_s = 10.) ?(boot_s = 1.) ?(run_s = 5.) f =
   let space = toy_space () in
   Target.make ~name:"scripted" ~space ~metric:Metric.throughput (fun ~trial config ->
       ignore config;
-      { Target.value = f trial; build_s; boot_s; run_s })
+      { Target.value = f trial; build_s; boot_s; run_s; objectives = [||] })
 
 let constant_proposal_algo () =
   Search_algorithm.make ~name:"const" ~propose:(fun _ -> [| Param.Vint 3 |]) ()
@@ -215,8 +215,8 @@ let test_transient_build_failure_recharges_build () =
       (fun ~trial config ->
         ignore config;
         if trial < 1_000_000 then
-          { Target.value = Error Failure.Flaky_build; build_s = 10.; boot_s = 0.; run_s = 0. }
-        else { Target.value = Ok 42.; build_s = 10.; boot_s = 1.; run_s = 5. })
+          { Target.value = Error Failure.Flaky_build; build_s = 10.; boot_s = 0.; run_s = 0.; objectives = [||] }
+        else { Target.value = Ok 42.; build_s = 10.; boot_s = 1.; run_s = 5.; objectives = [||] })
   in
   let policy =
     { Resilience.none with Resilience.retries = 1; backoff_base_s = 7. }
@@ -372,8 +372,8 @@ let test_quarantine_distinguishes_deep_configs () =
         match config.(11) with
         | Param.Vint 1 ->
           { Target.value = Error Failure.Spurious_failure;
-            build_s = 1.; boot_s = 1.; run_s = 1. }
-        | _ -> { Target.value = Ok 50.; build_s = 1.; boot_s = 1.; run_s = 1. })
+            build_s = 1.; boot_s = 1.; run_s = 1.; objectives = [||] }
+        | _ -> { Target.value = Ok 50.; build_s = 1.; boot_s = 1.; run_s = 1.; objectives = [||] })
   in
   let k = ref 0 in
   let algo =
@@ -443,7 +443,7 @@ let sample_checkpoint () =
       at_seconds = 0.1 +. (0.2 *. float_of_int index);
       eval_seconds = 16.3 /. 3.;
       built = index mod 2 = 0;
-      decide_seconds = 1e-4 }
+      decide_seconds = 1e-4; objectives = None }
   in
   { Checkpoint.seed = 12345;
     rng_state = 0xDEADBEEFL;
@@ -469,7 +469,9 @@ let sample_checkpoint () =
       [ { Checkpoint.index = 3;
           slot = 1;
           start_seconds = 0.3;
-          entry = entry 3 (Some 55.25) None } ] }
+          entry = entry 3 (Some 55.25) None } ];
+    pareto = [ (0, [| 101.5; 0.25 |]); (2, [| 99.0; 0.125 |]) ];
+    trace_cursor = Some 7 }
 
 let test_checkpoint_string_roundtrip () =
   let ck = sample_checkpoint () in
@@ -567,6 +569,106 @@ let test_resume_diverging_setup_rejected () =
            with Invalid_argument _ -> true))
 
 (* ------------------------------------------------------------------ *)
+(* Scenario kill-and-resume: archive + trace cursor round-trip         *)
+(* ------------------------------------------------------------------ *)
+
+module C = Conformance
+
+let archives_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (ia, va) (ib, vb) -> ia = ib && Objective.equal_vec va vb)
+       a b
+
+(* A multi-objective trace-replay run on workers=4 under 10% transient
+   faults, killed mid-run via [on_iteration]; the resumed run gets a
+   freshly constructed (equivalent) scenario, as a real restart would. *)
+let scenario_resume_roundtrip ~seed ~interrupt_at =
+  let budget = Driver.Iterations 24 in
+  let engine = `Workers 4 in
+  let fault_rate = 0.10 in
+  let full, full_cursor = C.run_scenario ~engine ~seed ~budget ~fault_rate "random" in
+  let path = Filename.temp_file "wayfinder" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let completions = ref 0 in
+      (try
+         ignore
+           (C.run_scenario ~engine ~seed ~budget ~fault_rate ~checkpoint_path:path
+              ~checkpoint_every:5
+              ~on_iteration:(fun _ ->
+                incr completions;
+                if !completions = interrupt_at then raise Exit)
+              "random")
+       with Exit -> ());
+      match Checkpoint.load ~path with
+      | Error e -> Alcotest.failf "checkpoint load: %s" (Checkpoint.error_to_string e)
+      | Ok ck ->
+        let resumed, resumed_cursor =
+          C.run_scenario ~engine ~seed ~budget ~fault_rate ~resume_from:ck "random"
+        in
+        (full, full_cursor, ck, resumed, resumed_cursor))
+
+let test_scenario_kill_and_resume () =
+  let full, full_cursor, ck, resumed, resumed_cursor =
+    scenario_resume_roundtrip ~seed:11 ~interrupt_at:12
+  in
+  Alcotest.(check bool) "checkpoint carries a trace cursor" true
+    (ck.Checkpoint.trace_cursor <> None);
+  Alcotest.(check bool) "checkpoint carries the archive" true
+    (ck.Checkpoint.pareto <> []);
+  (* The persisted archive and cursor round-trip bitwise through the
+     format-5 text encoding. *)
+  (match Checkpoint.of_string (Checkpoint.to_string ck) with
+  | Error e -> Alcotest.failf "re-parse: %s" (Checkpoint.error_to_string e)
+  | Ok ck' ->
+    Alcotest.(check bool) "archive round-trips exactly" true
+      (archives_equal ck.Checkpoint.pareto ck'.Checkpoint.pareto);
+    Alcotest.(check bool) "cursor round-trips exactly" true
+      (ck.Checkpoint.trace_cursor = ck'.Checkpoint.trace_cursor));
+  Alcotest.(check string) "resume reproduces the full CSV"
+    (History.to_csv full.C.result.Driver.history)
+    (History.to_csv resumed.C.result.Driver.history);
+  Alcotest.(check bool) "resume reproduces the archive" true
+    (archives_equal (C.archive_list full.C.result) (C.archive_list resumed.C.result));
+  Alcotest.(check int) "resume reproduces the final cursor" full_cursor resumed_cursor
+
+let prop_scenario_kill_and_resume =
+  QCheck2.Test.make
+    ~name:"scenario kill-and-resume reproduces archive and cursor under faults"
+    ~count:6
+    QCheck2.Gen.(pair (int_range 0 300) (int_range 6 20))
+    (fun (seed, interrupt_at) ->
+      let full, full_cursor, _, resumed, resumed_cursor =
+        scenario_resume_roundtrip ~seed ~interrupt_at
+      in
+      History.to_csv full.C.result.Driver.history
+      = History.to_csv resumed.C.result.Driver.history
+      && archives_equal (C.archive_list full.C.result) (C.archive_list resumed.C.result)
+      && full_cursor = resumed_cursor)
+
+(* A scenario checkpoint cannot be resumed into a scenario-less run. *)
+let test_scenario_checkpoint_mismatch_rejected () =
+  let path = Filename.temp_file "wayfinder" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      ignore
+        (C.run_scenario ~engine:(`Workers 4) ~seed:5 ~budget:(Driver.Iterations 12)
+           ~checkpoint_path:path ~checkpoint_every:5 "random");
+      match Checkpoint.load ~path with
+      | Error e -> Alcotest.failf "checkpoint load: %s" (Checkpoint.error_to_string e)
+      | Ok ck ->
+        Alcotest.(check bool) "scenario checkpoint rejected without scenario" true
+          (try
+             ignore
+               (C.run ~engine:(`Workers 4) ~seed:5 ~budget:(Driver.Iterations 12)
+                  ~resume_from:ck "random");
+             false
+           with Invalid_argument _ -> true))
+
+(* ------------------------------------------------------------------ *)
 (* Acceptance: DeepTune on SimLinux/Nginx under a 10 % fault rate      *)
 (* ------------------------------------------------------------------ *)
 
@@ -640,6 +742,12 @@ let () =
           Alcotest.test_case "diverging setup rejected" `Quick
             test_resume_diverging_setup_rejected;
           QCheck_alcotest.to_alcotest prop_resume_at_any_iteration ] );
+      ( "scenario resume",
+        [ Alcotest.test_case "kill-and-resume round-trips archive and cursor" `Quick
+            test_scenario_kill_and_resume;
+          Alcotest.test_case "scenario checkpoint rejected without scenario" `Quick
+            test_scenario_checkpoint_mismatch_rejected;
+          QCheck_alcotest.to_alcotest prop_scenario_kill_and_resume ] );
       ( "acceptance",
         [ Alcotest.test_case "deeptune survives 10% faults" `Slow
             test_acceptance_deeptune_under_faults ] ) ]

@@ -1,0 +1,413 @@
+(* The trace-driven workload layer: the versioned trace codec and its
+   builders, the deterministic replay model and its edge cases, the
+   scalarizers, the Pareto archive and the scenario cursor. *)
+
+open Wayfinder_platform
+module S = Wayfinder_simos
+module Trace = S.Trace
+module Replay = S.Trace_replay
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let trace_gen =
+  QCheck2.Gen.(
+    let* window_s = float_range 0.1 10. in
+    let* loads = array_size (int_range 0 40) (float_range 0. 2000.) in
+    return { Trace.window_s; loads })
+
+let service_gen =
+  QCheck2.Gen.(
+    let* capacity_rps = float_range 10. 2000. in
+    let* base_latency_s = float_range 1e-4 0.1 in
+    let* memory_mb = float_range 1. 1024. in
+    return { Replay.capacity_rps; base_latency_s; memory_mb })
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let prop_codec_roundtrip =
+  QCheck2.Test.make ~name:"of_string (to_string t) = Ok t, bitwise" ~count:200 trace_gen
+    (fun t ->
+      match Trace.of_string (Trace.to_string t) with
+      | Ok t' -> Trace.equal t t'
+      | Error _ -> false)
+
+let test_codec_rejects_malformed () =
+  let bad s = match Trace.of_string s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "empty" true (bad "");
+  Alcotest.(check bool) "wrong magic" true (bad "not-a-trace 1\nwindow 0x1p+0\n");
+  Alcotest.(check bool) "future version" true (bad "wayfinder-trace 99\nwindow 0x1p+0\n");
+  Alcotest.(check bool) "missing window" true (bad "wayfinder-trace 1\nload 0x1p+0\n");
+  Alcotest.(check bool) "negative load" true
+    (bad "wayfinder-trace 1\nwindow 0x1p+0\nload -0x1p+0\n");
+  Alcotest.(check bool) "junk line" true
+    (bad "wayfinder-trace 1\nwindow 0x1p+0\nwat 3\n")
+
+let test_save_load_roundtrip () =
+  let path = Filename.temp_file "wayfinder" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let t = Trace.flash_crowd ~window_s:0.5 ~windows:16 ~base:100. ~peak:900. ~at:8 ~width:3 in
+      match Trace.save ~path t with
+      | Error e -> Alcotest.fail ("save: " ^ e)
+      | Ok () -> (
+        match Trace.load ~path with
+        | Error e -> Alcotest.fail ("load: " ^ e)
+        | Ok t' -> Alcotest.(check bool) "file roundtrip" true (Trace.equal t t')))
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_builders_validate () =
+  let ok t = Alcotest.(check bool) "validates" true (Trace.validate t = Ok ()) in
+  ok (Trace.constant ~window_s:1. ~windows:5 250.);
+  ok (Trace.diurnal ~jitter:0.1 ~seed:3 ~window_s:1. ~windows:48 ~base:100. ~peak:800. ());
+  ok (Trace.flash_crowd ~window_s:1. ~windows:20 ~base:200. ~peak:1500. ~at:10 ~width:4);
+  ok (Trace.ramp ~window_s:1. ~windows:12 ~from_load:50. ~to_load:950.);
+  ok (Trace.steps ~window_s:1. [ (5, 100.); (5, 700.); (5, 300.) ])
+
+let test_builders_reject_nonsense () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "zero window" true
+    (raises (fun () -> Trace.constant ~window_s:0. ~windows:5 250.));
+  Alcotest.(check bool) "negative load" true
+    (raises (fun () -> Trace.constant ~window_s:1. ~windows:5 (-1.)));
+  Alcotest.(check bool) "negative ramp" true
+    (raises (fun () -> Trace.ramp ~window_s:1. ~windows:5 ~from_load:(-10.) ~to_load:10.))
+
+let test_builder_shapes () =
+  let fc = Trace.flash_crowd ~window_s:1. ~windows:10 ~base:100. ~peak:900. ~at:4 ~width:2 in
+  Alcotest.(check (float 0.)) "burst window" 900. fc.Trace.loads.(4);
+  Alcotest.(check (float 0.)) "burst tail" 900. fc.Trace.loads.(5);
+  Alcotest.(check (float 0.)) "steady base" 100. fc.Trace.loads.(0);
+  Alcotest.(check (float 0.)) "back to base" 100. fc.Trace.loads.(6);
+  let r = Trace.ramp ~window_s:1. ~windows:3 ~from_load:0. ~to_load:100. in
+  Alcotest.(check (float 1e-9)) "ramp start" 0. r.Trace.loads.(0);
+  Alcotest.(check (float 1e-9)) "ramp end" 100. r.Trace.loads.(2);
+  let st = Trace.steps ~window_s:1. [ (2, 10.); (3, 20.) ] in
+  Alcotest.(check int) "steps length" 5 (Array.length st.Trace.loads);
+  Alcotest.(check (float 0.)) "steps phase 2" 20. st.Trace.loads.(2)
+
+let test_diurnal_deterministic () =
+  let mk seed = Trace.diurnal ~jitter:0.2 ~seed ~window_s:1. ~windows:24 ~base:100. ~peak:800. () in
+  Alcotest.(check bool) "same seed, same trace" true (Trace.equal (mk 7) (mk 7));
+  Alcotest.(check bool) "different seed, different trace" false (Trace.equal (mk 7) (mk 8))
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let summaries_equal (a : Replay.summary) (b : Replay.summary) =
+  a.Replay.samples = b.Replay.samples
+  && a.Replay.mean_throughput_rps = b.Replay.mean_throughput_rps
+  && a.Replay.p50_latency_s = b.Replay.p50_latency_s
+  && a.Replay.p95_latency_s = b.Replay.p95_latency_s
+  && a.Replay.p99_latency_s = b.Replay.p99_latency_s
+  && a.Replay.peak_memory_mb = b.Replay.peak_memory_mb
+
+let prop_replay_deterministic =
+  QCheck2.Test.make ~name:"replay is bitwise deterministic" ~count:100
+    QCheck2.Gen.(pair trace_gen service_gen)
+    (fun (t, service) ->
+      summaries_equal (Replay.replay t service) (Replay.replay t service))
+
+let prop_replay_bounded =
+  QCheck2.Test.make ~name:"throughput never exceeds offered load or capacity" ~count:100
+    QCheck2.Gen.(pair trace_gen service_gen)
+    (fun (t, service) ->
+      let s = Replay.replay t service in
+      Array.for_all
+        (fun (w : Replay.sample) ->
+          w.Replay.throughput_rps <= w.Replay.offered_rps +. 1e-9
+          && w.Replay.throughput_rps <= service.Replay.capacity_rps +. 1e-9
+          && w.Replay.latency_s >= service.Replay.base_latency_s)
+        s.Replay.samples)
+
+let test_replay_empty_trace () =
+  let service = { Replay.capacity_rps = 500.; base_latency_s = 0.002; memory_mb = 64. } in
+  let s = Replay.replay { Trace.window_s = 1.; loads = [||] } service in
+  Alcotest.(check int) "no samples" 0 (Array.length s.Replay.samples);
+  Alcotest.(check (float 0.)) "zero throughput" 0. s.Replay.mean_throughput_rps;
+  Alcotest.(check (float 0.)) "zero p99" 0. s.Replay.p99_latency_s;
+  Alcotest.(check (float 0.)) "idle memory" 64. s.Replay.peak_memory_mb
+
+let test_replay_zero_load () =
+  let service = { Replay.capacity_rps = 500.; base_latency_s = 0.002; memory_mb = 64. } in
+  let s = Replay.replay (Trace.constant ~window_s:1. ~windows:4 0.) service in
+  Alcotest.(check (float 0.)) "zero throughput" 0. s.Replay.mean_throughput_rps;
+  Alcotest.(check (float 1e-12)) "unloaded latency" 0.002 s.Replay.p99_latency_s
+
+let test_replay_latency_monotone_in_load () =
+  let service = { Replay.capacity_rps = 1000.; base_latency_s = 0.001; memory_mb = 64. } in
+  let lat offered = (Replay.window service ~offered_rps:offered).Replay.latency_s in
+  Alcotest.(check bool) "500 < 900" true (lat 500. < lat 900.);
+  Alcotest.(check bool) "900 < 1100 (overload)" true (lat 900. < lat 1100.);
+  Alcotest.(check bool) "1100 < 1500 (deeper overload)" true (lat 1100. < lat 1500.)
+
+let test_replay_overload_throughput_capped () =
+  let service = { Replay.capacity_rps = 800.; base_latency_s = 0.001; memory_mb = 64. } in
+  let w = Replay.window service ~offered_rps:1200. in
+  Alcotest.(check (float 1e-9)) "capped at capacity" 800. w.Replay.throughput_rps
+
+let test_replay_rejects_bad_service () =
+  let raises service =
+    try
+      ignore (Replay.replay (Trace.constant ~window_s:1. ~windows:2 10.) service);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "zero capacity" true
+    (raises { Replay.capacity_rps = 0.; base_latency_s = 0.001; memory_mb = 1. });
+  Alcotest.(check bool) "zero base latency" true
+    (raises { Replay.capacity_rps = 100.; base_latency_s = 0.; memory_mb = 1. })
+
+(* ------------------------------------------------------------------ *)
+(* Scalarization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let spec3 =
+  [| Metric.make ~name:"throughput" ~unit_name:"req/s" ();
+     Metric.make ~maximize:false ~name:"p99" ~unit_name:"s" ();
+     Metric.make ~maximize:false ~name:"memory" ~unit_name:"MiB" () |]
+
+let test_scalarize_lone_weight_unscaled () =
+  (* The degenerate (1, 0, 0): bitwise the first objective's score, no
+     arithmetic applied. *)
+  let vec = [| 0.1 +. 0.2; 3.7; 512.3 |] in
+  let v = Scalarize.apply (Scalarize.Weighted_sum [| 1.; 0.; 0. |]) ~spec:spec3 vec in
+  Alcotest.(check bool) "bitwise equal to score" true
+    (Int64.bits_of_float v = Int64.bits_of_float (Metric.score spec3.(0) vec.(0)))
+
+let test_scalarize_weighted_sum () =
+  let vec = [| 100.; 2.; 50. |] in
+  let v = Scalarize.apply (Scalarize.Weighted_sum [| 1.; 4.; 0. |]) ~spec:spec3 vec in
+  (* p99 is minimized: its score is the negation. *)
+  Alcotest.(check (float 1e-9)) "sum of weighted scores"
+    ((1. *. Metric.score spec3.(0) 100.) +. (4. *. Metric.score spec3.(1) 2.))
+    v
+
+let test_scalarize_epsilon_constraint () =
+  let unconstrained =
+    Scalarize.Epsilon_constraint { primary = 0; bounds = [| nan; nan; nan |] }
+  in
+  let vec = [| 100.; 2.; 50. |] in
+  Alcotest.(check (float 1e-9)) "unconstrained = primary score"
+    (Metric.score spec3.(0) 100.)
+    (Scalarize.apply unconstrained ~spec:spec3 vec);
+  let bounded =
+    Scalarize.Epsilon_constraint { primary = 0; bounds = [| nan; 1.; nan |] }
+  in
+  let ok = Scalarize.apply bounded ~spec:spec3 [| 100.; 0.5; 50. |] in
+  let violated = Scalarize.apply bounded ~spec:spec3 [| 100.; 2.; 50. |] in
+  Alcotest.(check (float 1e-9)) "satisfied bound: primary score"
+    (Metric.score spec3.(0) 100.) ok;
+  Alcotest.(check bool) "violated bound penalized" true (violated < ok -. 1e5);
+  Alcotest.(check bool) "penalty keeps the scalar finite" true (Float.is_finite violated)
+
+let test_scalarize_validate () =
+  let err s = match s with Error _ -> true | Ok () -> false in
+  Alcotest.(check bool) "arity mismatch" true
+    (err (Scalarize.validate (Scalarize.Weighted_sum [| 1.; 2. |]) ~n:3));
+  Alcotest.(check bool) "non-finite weight" true
+    (err (Scalarize.validate (Scalarize.Weighted_sum [| 1.; nan; 0. |]) ~n:3));
+  Alcotest.(check bool) "primary out of range" true
+    (err
+       (Scalarize.validate
+          (Scalarize.Epsilon_constraint { primary = 3; bounds = [| nan; nan; nan |] })
+          ~n:3));
+  Alcotest.(check bool) "well-formed accepted" true
+    (Scalarize.validate (Scalarize.Weighted_sum [| 1.; 0.; 2. |]) ~n:3 = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Objective spec                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_objective_builtins () =
+  List.iter
+    (fun name ->
+      match Objective.builtin name with
+      | Some m -> Alcotest.(check string) ("builtin " ^ name) name m.Metric.metric_name
+      | None -> Alcotest.failf "builtin %s missing" name)
+    [ "throughput"; "p50"; "p95"; "p99"; "memory" ];
+  (match Objective.spec_of_names [ "throughput"; "p99" ] with
+  | Ok spec -> Alcotest.(check int) "resolved arity" 2 (Array.length spec)
+  | Error e -> Alcotest.fail e);
+  match Objective.spec_of_names [ "throughput"; "warp-drive" ] with
+  | Ok _ -> Alcotest.fail "unknown objective accepted"
+  | Error e ->
+    let contains sub s =
+      let n = String.length sub and m = String.length s in
+      let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "error names the culprit" true (contains "warp-drive" e)
+
+let test_objective_dominates () =
+  let spec =
+    [| Metric.make ~name:"a" ~unit_name:"u" ();
+       Metric.make ~maximize:false ~name:"b" ~unit_name:"u" () |]
+  in
+  let d = Objective.dominates spec in
+  Alcotest.(check bool) "better on both" true (d [| 2.; 1. |] [| 1.; 2. |]);
+  Alcotest.(check bool) "better on one, equal on other" true (d [| 2.; 1. |] [| 1.; 1. |]);
+  Alcotest.(check bool) "equal dominates nothing" false (d [| 1.; 1. |] [| 1.; 1. |]);
+  Alcotest.(check bool) "trade-off does not dominate" false (d [| 2.; 2. |] [| 1.; 1. |])
+
+(* ------------------------------------------------------------------ *)
+(* Pareto archive                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let spec2 =
+  [| Metric.make ~name:"a" ~unit_name:"u" ();
+     Metric.make ~maximize:false ~name:"b" ~unit_name:"u" () |]
+
+let vec2_gen = QCheck2.Gen.(pair (float_range 0. 100.) (float_range 0. 100.))
+
+let archive_of points =
+  List.fold_left
+    (fun t (index, (a, b)) -> Pareto.insert t ~index ~objectives:[| a; b |])
+    (Pareto.create ~spec:spec2)
+    points
+
+let indexed points = List.mapi (fun i p -> (i, p)) points
+
+let prop_archive_never_dominated =
+  QCheck2.Test.make ~name:"archive retains no dominated point" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 20) vec2_gen)
+    (fun points ->
+      let front = Pareto.points (archive_of (indexed points)) in
+      List.for_all
+        (fun (p : Pareto.point) ->
+          List.for_all
+            (fun (q : Pareto.point) ->
+              p.Pareto.index = q.Pareto.index
+              || not (Objective.dominates spec2 q.Pareto.objectives p.Pareto.objectives))
+            front)
+        front)
+
+let prop_archive_order_independent =
+  QCheck2.Test.make ~name:"archive is insertion-order independent" ~count:100
+    QCheck2.Gen.(
+      let* points = list_size (int_range 0 15) vec2_gen in
+      let* shuffled = shuffle_l (indexed points) in
+      return (indexed points, shuffled))
+    (fun (in_order, shuffled) ->
+      Pareto.to_list (archive_of in_order) = Pareto.to_list (archive_of shuffled))
+
+let test_archive_tie_keeps_smallest_index () =
+  let t = archive_of [ (5, (10., 1.)); (2, (10., 1.)); (9, (10., 1.)) ] in
+  match Pareto.to_list t with
+  | [ (2, _) ] -> ()
+  | other -> Alcotest.failf "expected the index-2 point alone, got %d points" (List.length other)
+
+let test_archive_of_list_roundtrip () =
+  let t = archive_of (indexed [ (10., 5.); (20., 8.); (5., 1.) ]) in
+  let t' = Pareto.of_list ~spec:spec2 (Pareto.to_list t) in
+  Alcotest.(check bool) "roundtrip" true (Pareto.to_list t = Pareto.to_list t');
+  (* A dominated point smuggled into the list is dropped on rebuild. *)
+  let smuggled = Pareto.of_list ~spec:spec2 ((99, [| 1.; 100. |]) :: Pareto.to_list t) in
+  Alcotest.(check bool) "dominated input dropped" true
+    (Pareto.to_list smuggled = Pareto.to_list t)
+
+let test_hypervolume_proxy () =
+  Alcotest.(check (float 0.)) "empty archive" 0.
+    (Pareto.hypervolume_proxy (Pareto.create ~spec:spec2));
+  let small = archive_of (indexed [ (10., 5.) ]) in
+  let large = archive_of (indexed [ (10., 5.); (20., 8.); (5., 1.) ]) in
+  Alcotest.(check bool) "non-empty is positive" true (Pareto.hypervolume_proxy small > 0.);
+  (* Normalized per-point products are in [0, 1], so the proxy is bounded
+     by the front size — and it is a pure function of the archive. *)
+  let hv = Pareto.hypervolume_proxy large in
+  Alcotest.(check bool) "bounded by front size" true
+    (hv >= 0. && hv <= float_of_int (Pareto.size large));
+  Alcotest.(check (float 0.)) "deterministic" hv (Pareto.hypervolume_proxy large)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario cursor                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_scenario_cursor () =
+  let trace = Trace.constant ~window_s:1. ~windows:6 100. in
+  let sc = Scenario.create ~stride:2 trace in
+  Alcotest.(check int) "starts at zero" 0 (Scenario.cursor sc);
+  Scenario.advance sc;
+  Scenario.advance sc;
+  Alcotest.(check int) "advances by stride" 4 (Scenario.cursor sc);
+  Scenario.set_cursor sc 11;
+  Alcotest.(check int) "set_cursor" 11 (Scenario.cursor sc);
+  let stationary = Scenario.create trace in
+  Scenario.advance stationary;
+  Alcotest.(check int) "stride 0 is stationary" 0 (Scenario.cursor stationary)
+
+let test_scenario_slice_wraps () =
+  let trace = { Trace.window_s = 1.; loads = [| 0.; 1.; 2.; 3.; 4.; 5. |] } in
+  let sc = Scenario.create ~stride:1 ~span:4 trace in
+  Scenario.set_cursor sc 4;
+  let slice = Scenario.slice sc in
+  Alcotest.(check bool) "wraps around the trace" true
+    (slice.Trace.loads = [| 4.; 5.; 0.; 1. |]);
+  Scenario.set_cursor sc 10;
+  let slice = Scenario.slice sc in
+  Alcotest.(check bool) "cursor reduced mod length" true
+    (slice.Trace.loads = [| 4.; 5.; 0.; 1. |])
+
+let test_scenario_empty_trace () =
+  let sc = Scenario.create ~stride:1 { Trace.window_s = 1.; loads = [||] } in
+  let slice = Scenario.slice sc in
+  Alcotest.(check int) "empty slices to empty" 0 (Array.length slice.Trace.loads)
+
+let test_scenario_validation () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  let trace = Trace.constant ~window_s:1. ~windows:4 10. in
+  Alcotest.(check bool) "negative stride" true
+    (raises (fun () -> Scenario.create ~stride:(-1) trace));
+  Alcotest.(check bool) "zero span" true
+    (raises (fun () -> Scenario.create ~span:0 trace))
+
+let () =
+  Alcotest.run "trace"
+    [ ( "codec",
+        [ QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+          Alcotest.test_case "rejects malformed input" `Quick test_codec_rejects_malformed;
+          Alcotest.test_case "save/load roundtrip" `Quick test_save_load_roundtrip ] );
+      ( "builders",
+        [ Alcotest.test_case "all builders validate" `Quick test_builders_validate;
+          Alcotest.test_case "nonsense rejected" `Quick test_builders_reject_nonsense;
+          Alcotest.test_case "shapes" `Quick test_builder_shapes;
+          Alcotest.test_case "diurnal deterministic in seed" `Quick test_diurnal_deterministic ] );
+      ( "replay",
+        [ QCheck_alcotest.to_alcotest prop_replay_deterministic;
+          QCheck_alcotest.to_alcotest prop_replay_bounded;
+          Alcotest.test_case "empty trace" `Quick test_replay_empty_trace;
+          Alcotest.test_case "zero load" `Quick test_replay_zero_load;
+          Alcotest.test_case "latency monotone in load" `Quick
+            test_replay_latency_monotone_in_load;
+          Alcotest.test_case "overload throughput capped" `Quick
+            test_replay_overload_throughput_capped;
+          Alcotest.test_case "bad service rejected" `Quick test_replay_rejects_bad_service ] );
+      ( "scalarize",
+        [ Alcotest.test_case "lone weight-1 term unscaled" `Quick
+            test_scalarize_lone_weight_unscaled;
+          Alcotest.test_case "weighted sum" `Quick test_scalarize_weighted_sum;
+          Alcotest.test_case "epsilon constraint" `Quick test_scalarize_epsilon_constraint;
+          Alcotest.test_case "validation" `Quick test_scalarize_validate ] );
+      ( "objective",
+        [ Alcotest.test_case "builtins" `Quick test_objective_builtins;
+          Alcotest.test_case "dominance" `Quick test_objective_dominates ] );
+      ( "pareto",
+        [ QCheck_alcotest.to_alcotest prop_archive_never_dominated;
+          QCheck_alcotest.to_alcotest prop_archive_order_independent;
+          Alcotest.test_case "tie keeps smallest index" `Quick
+            test_archive_tie_keeps_smallest_index;
+          Alcotest.test_case "of_list/to_list roundtrip" `Quick test_archive_of_list_roundtrip;
+          Alcotest.test_case "hypervolume proxy" `Quick test_hypervolume_proxy ] );
+      ( "scenario",
+        [ Alcotest.test_case "cursor" `Quick test_scenario_cursor;
+          Alcotest.test_case "slice wraps" `Quick test_scenario_slice_wraps;
+          Alcotest.test_case "empty trace" `Quick test_scenario_empty_trace;
+          Alcotest.test_case "validation" `Quick test_scenario_validation ] ) ]
