@@ -127,12 +127,106 @@ let policy_of_flags ~resilient ~retries ~build_timeout ~boot_timeout ~run_timeou
   | Some n -> { p with P.Resilience.quarantine_after = n }
   | None -> p
 
+(* ------------------------------------------------------------------ *)
+(* Model registry: warm start and save                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec ensure_dir dir =
+  if not (dir = "" || dir = "." || dir = "/" || Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* How a resolved registry donor applies to this search. *)
+type warm_plan =
+  | Cold
+  | Import of string * P.Registry.t  (** Exact fingerprint: the weights import. *)
+  | Seed_only of string * P.Registry.t
+      (** Space overlap only: the donor's projected incumbents seed the
+          search; the model stays cold. *)
+
+let exact_for fp (entry : P.Registry.t) =
+  entry.P.Registry.fp.P.Registry.app = fp.P.Registry.app
+  && entry.P.Registry.fp.P.Registry.space_text = fp.P.Registry.space_text
+
+(* Staleness probe (DESIGN.md §16): a live ledger of the same workload
+   votes on whether the donor's training distribution still holds.
+   Drift downgrades an [auto] warm-start to a cold start — an explicit
+   --warm-start KEY only warns. *)
+let drift_keeps_warm ~drift_ledger ~auto (entry : P.Registry.t) =
+  match drift_ledger with
+  | None -> Ok true
+  | Some path -> (
+    match A.Ledger.load path with
+    | Error e ->
+      Error (Printf.sprintf "drift ledger %s: %s" path (A.Ledger.error_to_string e))
+    | Ok ledger -> (
+      let probe =
+        A.Drift.probe
+          ~donor_crash_rate:entry.P.Registry.meta.P.Registry.crash_rate
+          ~donor_mean:entry.P.Registry.meta.P.Registry.mean_value
+          (A.Series.of_ledger ledger)
+      in
+      match probe.A.Drift.verdict with
+      | A.Drift.Fresh -> Ok true
+      | A.Drift.Stale _ ->
+        Printf.eprintf "wayfinder: %s\n%!" (A.Drift.to_string probe);
+        if auto then begin
+          Printf.eprintf
+            "wayfinder: stale model — downgrading the auto warm-start to a cold start\n%!";
+          Ok false
+        end
+        else begin
+          Printf.eprintf
+            "wayfinder: stale model — warm-starting anyway (--warm-start KEY is explicit)\n%!";
+          Ok true
+        end))
+
+let resolve_warm_start ~dir ~fp ~spec ~drift_ledger space =
+  let classify path (entry : P.Registry.t) ~auto =
+    match drift_keeps_warm ~drift_ledger ~auto entry with
+    | Error e -> Error e
+    | Ok false -> Ok Cold
+    | Ok true ->
+      if exact_for fp entry && entry.P.Registry.model_kind = "dtm" then
+        Ok (Import (path, entry))
+      else if
+        P.Registry.space_overlap ~donor:entry.P.Registry.fp.P.Registry.space_text
+          ~target:fp.P.Registry.space_text
+        > 0
+      then Ok (Seed_only (path, entry))
+      else if auto then Ok Cold
+      else
+        Error
+          (Printf.sprintf "warm-start %s: donor shares no parameters with this space" path)
+  in
+  match spec with
+  | "auto" -> (
+    match P.Registry.lookup ~dir ~app:fp.P.Registry.app space with
+    | [] ->
+      Printf.eprintf "wayfinder: no registry donor for %s — starting cold\n%!"
+        fp.P.Registry.app;
+      Ok Cold
+    | (path, entry, _) :: _ -> classify path entry ~auto:true)
+  | key ->
+    (* A key (filename stem), or a path for entries outside the registry. *)
+    let path =
+      if Sys.file_exists key then key else Filename.concat dir (key ^ ".model")
+    in
+    (match P.Registry.load path with
+    | Error e -> Error (Printf.sprintf "warm-start %s: %s" path (P.Registry.error_to_string e))
+    | Ok entry -> classify path entry ~auto:false)
+
 let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s ~seed ~favor
     ~csv_path ~trace_path ~ledger_path ~progress_every ~timings ~quiet ~checkpoint
     ~checkpoint_every ~keep_checkpoints ~resume ~fault_rate ~workers ~batch ~image_cache
     ~domains ~scenario_kind ~scenario_stride ~objective_names ~weights ~pareto ~resilient
-    ~retries ~build_timeout ~boot_timeout ~run_timeout ~measure_repeats ~quarantine_after =
+    ~retries ~build_timeout ~boot_timeout ~run_timeout ~measure_repeats ~quarantine_after
+    ~registry ~save_model ~warm_start ~drift_ledger =
   ignore metric_hint;
+  if (save_model || warm_start <> None) && registry = None then
+    Error "--save-model and --warm-start require --registry DIR"
+  else
   let job =
     match job_file with
     | Some path -> (
@@ -260,18 +354,60 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
       match algorithm_for algorithm ~favor ~seed with
       | Error e -> Error e
       | Ok algo -> (
+        let deeptune_only = match algo with `Deeptune -> true | `Plain _ | `Multi -> false in
+        if (save_model || warm_start <> None) && not deeptune_only then
+          Error "--save-model and --warm-start require --algorithm deeptune"
+        else begin
         let deeptune_state = ref None in
         let algo_result =
           match algo with
           | `Plain a -> Ok a
-          | `Deeptune ->
-            let dt =
-              D.Deeptune.create
-                ~options:{ D.Deeptune.default_options with favor }
-                ~seed target.P.Target.space
+          | `Deeptune -> (
+            let options = { D.Deeptune.default_options with favor } in
+            let space = target.P.Target.space in
+            let plan =
+              match (warm_start, registry) with
+              | None, _ | _, None -> Ok Cold
+              | Some spec, Some dir ->
+                let fp = P.Registry.fingerprint ~app:target.P.Target.target_name space in
+                resolve_warm_start ~dir ~fp ~spec ~drift_ledger space
             in
-            deeptune_state := Some dt;
-            Ok (D.Deeptune.algorithm dt)
+            match plan with
+            | Error e -> Error e
+            | Ok plan -> (
+              let dt_result =
+                match plan with
+                | Cold -> Ok (D.Deeptune.create ~options ~seed space)
+                | Import (path, entry) -> (
+                  try
+                    let model = D.Dtm.snapshot_of_floats entry.P.Registry.model in
+                    let dt =
+                      D.Deeptune.create_from ~options ~seed space
+                        { D.Deeptune.model; incumbents = entry.P.Registry.incumbents }
+                    in
+                    Printf.printf
+                      "warm start: imported %s (exact fingerprint, %d samples, %d \
+                       incumbents)\n%!"
+                      path entry.P.Registry.meta.P.Registry.samples
+                      (List.length entry.P.Registry.incumbents);
+                    Ok dt
+                  with Invalid_argument m ->
+                    Error (Printf.sprintf "warm-start %s: %s" path m))
+                | Seed_only (path, entry) ->
+                  let dt = D.Deeptune.create ~options ~seed space in
+                  let projected = P.Registry.project_incumbents entry space in
+                  D.Deeptune.seed_incumbents dt projected;
+                  Printf.printf
+                    "warm start: %s overlaps this space — seeding %d projected incumbents \
+                     (cold model, normal warm-up)\n%!"
+                    path (List.length projected);
+                  Ok dt
+              in
+              match dt_result with
+              | Error e -> Error e
+              | Ok dt ->
+                deeptune_state := Some dt;
+                Ok (D.Deeptune.algorithm dt)))
           | `Multi -> (
             match scenario_info with
             | Some (_, spec, _) when Array.length spec >= 2 ->
@@ -470,10 +606,73 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
             | Error e -> Error ("history csv: " ^ P.Durable.io_error_to_string e))
           | None -> Ok ()
         in
+        (* --save-model: publish the trained DeepTune model to the registry
+           as a sealed fingerprint-keyed entry (atomic, one rotated
+           generation kept), with the run's summary statistics as the
+           training-distribution record the drift probe compares against. *)
+        let save_result =
+          match (save_model, registry, !deeptune_state) with
+          | false, _, _ | _, None, _ | _, _, None -> Ok ()
+          | true, Some dir, Some dt -> (
+            let space = target.P.Target.space in
+            let fp = P.Registry.fingerprint ~app:target.P.Target.target_name space in
+            let series = A.Series.of_history ~space result.P.Driver.history in
+            let mean_value =
+              let sum = ref 0. and n = ref 0 in
+              Array.iter
+                (fun (r : A.Series.row) ->
+                  match (r.A.Series.value, r.A.Series.failure) with
+                  | Some v, None ->
+                    sum := !sum +. v;
+                    incr n
+                  | _ -> ())
+                series.A.Series.rows;
+              if !n = 0 then Float.nan else !sum /. float_of_int !n
+            in
+            let transfer = D.Deeptune.export dt in
+            let entry =
+              { P.Registry.fp;
+                meta =
+                  { P.Registry.algo = algorithm;
+                    seed;
+                    samples = D.Deeptune.observations dt;
+                    metric_name = target.P.Target.metric.P.Metric.metric_name;
+                    unit_name = target.P.Target.metric.P.Metric.unit_name;
+                    maximize = target.P.Target.metric.P.Metric.maximize;
+                    objectives =
+                      (match scenario_info with
+                      | Some (_, spec, _) ->
+                        Array.to_list
+                          (Array.map (fun (m : P.Metric.t) -> m.P.Metric.metric_name) spec)
+                      | None -> []);
+                    best_value = Option.map snd (A.Series.best series);
+                    mean_value;
+                    crash_rate = A.Series.crash_rate series;
+                    ledger = ledger_path };
+                model_kind = "dtm";
+                model = D.Dtm.snapshot_to_floats transfer.D.Deeptune.model;
+                incumbents = transfer.D.Deeptune.incumbents;
+                sealed = true }
+            in
+            match
+              try Ok (ensure_dir dir)
+              with Unix.Unix_error (e, _, arg) ->
+                Error (Printf.sprintf "registry %s: %s %s" dir (Unix.error_message e) arg)
+            with
+            | Error e -> Error e
+            | Ok () -> (
+              match P.Registry.save ~keep:2 ~dir entry with
+              | Ok path ->
+                Printf.printf "model saved to %s (%d samples, key %s)\n" path
+                  entry.P.Registry.meta.P.Registry.samples fp.P.Registry.key;
+                Ok ()
+              | Error e -> Error ("save-model: " ^ P.Registry.error_to_string e)))
+        in
         (match checkpoint with
         | Some path when not quiet -> Printf.printf "checkpoint written to %s\n" path
         | Some _ | None -> ());
-        csv_result)))))
+        (match csv_result with Error _ as e -> e | Ok () -> save_result)
+        end)))))
 
 (* ------------------------------------------------------------------ *)
 (* probe                                                               *)
@@ -659,6 +858,123 @@ let run_fsck ~paths ~repair ~json =
         (if repair then Printf.sprintf ", %d repaired" report.A.Fsck.repaired else "")
     end;
     if report.A.Fsck.clean then Ok () else Error "corrupt artifacts remain"
+
+(* ------------------------------------------------------------------ *)
+(* models                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let model_key path = Filename.remove_extension (Filename.basename path)
+let model_path ~dir key =
+  if Sys.file_exists key then key else Filename.concat dir (key ^ ".model")
+
+(* The primary entry and its rotated generations ("<key>.model",
+   "<key>.model.1", …), the unit [rm]/[gc] operate on. *)
+let generations_of ~dir key =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    let primary = key ^ ".model" in
+    let is_gen name =
+      name = primary
+      ||
+      let plen = String.length primary + 1 in
+      String.length name > plen
+      && String.sub name 0 plen = primary ^ "."
+      && String.for_all
+           (fun c -> c >= '0' && c <= '9')
+           (String.sub name plen (String.length name - plen))
+    in
+    Array.to_list names |> List.filter is_gen
+    |> List.map (Filename.concat dir)
+    |> List.sort compare
+
+let run_models_list ~dir =
+  match P.Registry.list ~dir with
+  | [] ->
+    Printf.printf "no models in %s\n" dir;
+    Ok ()
+  | entries ->
+    List.iter
+      (fun (path, loaded) ->
+        match loaded with
+        | Ok (e : P.Registry.t) ->
+          Printf.printf "%-10s %-22s %-16s %5d samples  %s%s\n" (model_key path)
+            e.P.Registry.fp.P.Registry.app e.P.Registry.meta.P.Registry.algo
+            e.P.Registry.meta.P.Registry.samples
+            (match e.P.Registry.meta.P.Registry.best_value with
+            | Some b ->
+              Printf.sprintf "best %.4g %s" b e.P.Registry.meta.P.Registry.unit_name
+            | None -> "no success")
+            (if e.P.Registry.sealed then "" else "  [unsealed]")
+        | Error err ->
+          Printf.printf "%-10s corrupt — %s\n" (model_key path)
+            (P.Registry.error_to_string err))
+      entries;
+    Ok ()
+
+let run_models_inspect ~dir ~key =
+  let path = model_path ~dir key in
+  match P.Registry.load path with
+  | Error e -> Error (Printf.sprintf "%s: %s" path (P.Registry.error_to_string e))
+  | Ok e ->
+    let m = e.P.Registry.meta in
+    Printf.printf "key:        %s%s\n" e.P.Registry.fp.P.Registry.key
+      (if e.P.Registry.sealed then "" else "  [unsealed]");
+    Printf.printf "app:        %s\n" e.P.Registry.fp.P.Registry.app;
+    Printf.printf "algorithm:  %s (seed %d)\n" m.P.Registry.algo m.P.Registry.seed;
+    Printf.printf "samples:    %d\n" m.P.Registry.samples;
+    Printf.printf "metric:     %s (%s, %s)\n" m.P.Registry.metric_name m.P.Registry.unit_name
+      (if m.P.Registry.maximize then "maximize" else "minimize");
+    if m.P.Registry.objectives <> [] then
+      Printf.printf "objectives: %s\n" (String.concat ", " m.P.Registry.objectives);
+    (match m.P.Registry.best_value with
+    | Some b -> Printf.printf "best:       %g %s\n" b m.P.Registry.unit_name
+    | None -> Printf.printf "best:       (no successful sample)\n");
+    Printf.printf "mean:       %g %s\n" m.P.Registry.mean_value m.P.Registry.unit_name;
+    Printf.printf "crash rate: %.0f%%\n" (100. *. m.P.Registry.crash_rate);
+    (match m.P.Registry.ledger with
+    | Some l -> Printf.printf "ledger:     %s\n" l
+    | None -> ());
+    Printf.printf "model:      %s, %d floats\n" e.P.Registry.model_kind
+      (Array.length e.P.Registry.model);
+    Printf.printf "incumbents: %d\n" (List.length e.P.Registry.incumbents);
+    let params =
+      List.length
+        (List.filter
+           (fun line -> String.length line >= 6 && String.sub line 0 6 = "param ")
+           (String.split_on_char '\n' e.P.Registry.fp.P.Registry.space_text))
+    in
+    Printf.printf "space:      %d parameters\n" params;
+    Ok ()
+
+let run_models_rm ~dir ~key =
+  match generations_of ~dir key with
+  | [] -> Error (Printf.sprintf "no entry %s in %s" key dir)
+  | files ->
+    List.iter Sys.remove files;
+    Printf.printf "removed %s (%d file%s)\n" key (List.length files)
+      (if List.length files = 1 then "" else "s");
+    Ok ()
+
+let run_models_gc ~dir ~keep =
+  if keep < 0 then Error "--keep must be >= 0"
+  else begin
+    let primaries = List.map fst (P.Registry.list ~dir) in
+    let with_mtime = List.map (fun p -> ((Unix.stat p).Unix.st_mtime, p)) primaries in
+    (* Newest first; ties broken by path so the order is deterministic. *)
+    let sorted = List.sort (fun a b -> compare b a) with_mtime in
+    let victims = List.filteri (fun i _ -> i >= keep) sorted in
+    List.iter
+      (fun (_, path) ->
+        let key = model_key path in
+        List.iter Sys.remove (generations_of ~dir key);
+        Printf.printf "removed %s\n" key)
+      victims;
+    Printf.printf "%d kept, %d removed\n"
+      (min keep (List.length sorted))
+      (List.length victims);
+    Ok ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* kconfig                                                             *)
@@ -885,6 +1201,38 @@ let run_cmd =
       & info [ "quarantine-after" ] ~docv:"N"
           ~doc:"Quarantine a configuration after $(docv) exhausted-retry episodes (0 = off).")
   in
+  let registry =
+    Arg.(
+      value & opt (some string) None
+      & info [ "registry" ] ~docv:"DIR"
+          ~doc:"Model registry directory for $(b,--save-model)/$(b,--warm-start) (created on \
+                first save).  Inspect and maintain it with $(b,wayfinder models).")
+  in
+  let save_model =
+    Arg.(
+      value & flag
+      & info [ "save-model" ]
+          ~doc:"After the run, publish the trained DeepTune model to the registry as a sealed, \
+                fingerprint-keyed entry (atomic write, one rotated generation kept) together \
+                with its training metadata and incumbent configurations.")
+  in
+  let warm_start =
+    Arg.(
+      value & opt (some string) None
+      & info [ "warm-start" ] ~docv:"auto|KEY"
+          ~doc:"Warm-start DeepTune from a registry donor: $(b,auto) picks the best match \
+                (an exact app/space fingerprint imports the model weights and skips the \
+                warm-up; a mere space overlap seeds the donor's projected incumbents as first \
+                proposals), an explicit $(docv) names one entry.")
+  in
+  let drift_ledger =
+    Arg.(
+      value & opt (some file) None
+      & info [ "drift-ledger" ] ~docv:"FILE"
+          ~doc:"Probe a recent run ledger of this workload against the donor's recorded \
+                training distribution before warm-starting; detected drift downgrades \
+                $(b,--warm-start auto) to a cold start with a warning.")
+  in
   let f job_file os app algorithm iterations budget_s seed favor csv
       (trace, ledger, progress, timings, quiet)
       ( checkpoint,
@@ -898,17 +1246,20 @@ let run_cmd =
         domains )
       (scenario_kind, scenario_stride, objective_names, weights, pareto)
       (resilient, retries, build_timeout, boot_timeout, run_timeout, measure_repeats,
-       quarantine_after) =
+       quarantine_after)
+      (registry, save_model, warm_start, drift_ledger) =
     handle
       (run_search ~job_file ~os ~app ~metric_hint:() ~algorithm ~iterations ~budget_s ~seed
          ~favor ~csv_path:csv ~trace_path:trace ~ledger_path:ledger ~progress_every:progress
          ~timings ~quiet ~checkpoint ~checkpoint_every ~keep_checkpoints ~resume ~fault_rate
          ~workers ~batch ~image_cache ~domains ~scenario_kind ~scenario_stride ~objective_names
          ~weights ~pareto ~resilient ~retries ~build_timeout ~boot_timeout
-         ~run_timeout ~measure_repeats ~quarantine_after)
+         ~run_timeout ~measure_repeats ~quarantine_after ~registry ~save_model ~warm_start
+         ~drift_ledger)
   in
   (* Cmdliner terms are applicative; tuple up the flag groups to keep the
      application chain readable. *)
+  let tuple4 a b c d = (a, b, c, d) in
   let tuple5 a b c d e = (a, b, c, d, e) in
   let tuple7 a b c d e f g = (a, b, c, d, e, f, g) in
   let tuple9 a b c d e f g h i = (a, b, c, d, e, f, g, h, i) in
@@ -926,10 +1277,13 @@ let run_cmd =
       const tuple7 $ resilient $ retries $ build_timeout $ boot_timeout $ run_timeout
       $ measure_repeats $ quarantine_after)
   in
+  let registry_group =
+    Term.(const tuple4 $ registry $ save_model $ warm_start $ drift_ledger)
+  in
   let term =
     Term.(
       const f $ job_file $ os $ app_arg $ algorithm $ iterations $ budget_s $ seed $ favor $ csv
-      $ output_group $ checkpoint_group $ scenario_group $ resilience_group)
+      $ output_group $ checkpoint_group $ scenario_group $ resilience_group $ registry_group)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a specialization job") term
 
@@ -1054,9 +1408,9 @@ let fsck_cmd =
       & info [ "repair" ]
           ~doc:"Fix what can be fixed: truncate torn ledger tails to their clean prefix \
                 (re-sealed; the original kept as $(i,PATH.bak)), quarantine corrupt checkpoint \
-                generations to $(i,PATH.bak) so $(b,run --resume) falls back past them, and \
-                remove stray $(i,.tmp) staging files.  Corrupt JSON reports are flagged but \
-                never modified.")
+                generations and registry model entries to $(i,PATH.bak) so loaders skip them, \
+                and remove stray $(i,.tmp) staging files.  Corrupt JSON reports are flagged \
+                but never modified.")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
   let f paths repair json = handle (run_fsck ~paths ~repair ~json) in
@@ -1068,10 +1422,60 @@ let fsck_cmd =
           non-zero if unrepaired corruption remains.")
     Term.(const f $ paths $ repair $ json)
 
+let models_cmd =
+  let dir p =
+    Arg.(
+      required & pos p (some string) None & info [] ~docv:"DIR" ~doc:"Registry directory.")
+  in
+  let key p =
+    Arg.(
+      required
+      & pos p (some string) None
+      & info [] ~docv:"KEY" ~doc:"Entry key (the filename stem) or a path to an entry.")
+  in
+  let list_cmd =
+    Cmd.v
+      (Cmd.info "list" ~doc:"List the registry's entries (one line each)")
+      Term.(const (fun dir -> handle (run_models_list ~dir)) $ dir 0)
+  in
+  let inspect_cmd =
+    Cmd.v
+      (Cmd.info "inspect" ~doc:"Show one entry's full training metadata")
+      Term.(const (fun dir key -> handle (run_models_inspect ~dir ~key)) $ dir 0 $ key 1)
+  in
+  let rm_cmd =
+    Cmd.v
+      (Cmd.info "rm" ~doc:"Remove an entry and its rotated generations")
+      Term.(const (fun dir key -> handle (run_models_rm ~dir ~key)) $ dir 0 $ key 1)
+  in
+  let gc_cmd =
+    let keep =
+      Arg.(
+        value & opt int 8
+        & info [ "keep" ] ~docv:"N" ~doc:"Entries to retain, newest (by mtime) first.")
+    in
+    Cmd.v
+      (Cmd.info "gc" ~doc:"Prune the registry to its $(b,--keep) newest entries")
+      Term.(const (fun dir keep -> handle (run_models_gc ~dir ~keep)) $ dir 0 $ keep)
+  in
+  Cmd.group
+    (Cmd.info "models"
+       ~doc:
+         "Inspect and maintain the persistent model registry written by $(b,run --save-model) \
+          and read by $(b,run --warm-start).")
+    [ list_cmd; inspect_cmd; rm_cmd; gc_cmd ]
+
 let () =
   let doc = "automated operating system specialization (EuroSys'26 reproduction)" in
   let info = Cmd.info "wayfinder" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; probe_cmd; space_cmd; kconfig_cmd; analyze_cmd; compare_cmd; fsck_cmd ]))
+          [ run_cmd;
+            probe_cmd;
+            space_cmd;
+            kconfig_cmd;
+            analyze_cmd;
+            compare_cmd;
+            fsck_cmd;
+            models_cmd ]))

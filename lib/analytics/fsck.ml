@@ -1,14 +1,16 @@
 module Checkpoint = Wayfinder_platform.Checkpoint
+module Registry = Wayfinder_platform.Registry
 module Durable = Wayfinder_platform.Durable
 module Obs = Wayfinder_obs
 
-type kind = Checkpoint_gen | Ledger | Jsonl_stream | Json_report | Tmp
+type kind = Checkpoint_gen | Ledger | Jsonl_stream | Json_report | Model_entry | Tmp
 
 let kind_to_string = function
   | Checkpoint_gen -> "checkpoint"
   | Ledger -> "ledger"
   | Jsonl_stream -> "jsonl"
   | Json_report -> "report"
+  | Model_entry -> "model"
   | Tmp -> "tmp"
 
 type status = Valid | Unsealed | Corrupt | Stray
@@ -42,15 +44,19 @@ type report = {
 (* Classification                                                      *)
 (* ------------------------------------------------------------------ *)
 
-(* "search.ckpt" or a rotated generation "search.ckpt.3". *)
-let is_checkpoint_name base =
-  Filename.check_suffix base ".ckpt"
+(* "search.ckpt" or a rotated generation "search.ckpt.3"; likewise for
+   registry entries ("<key>.model", "<key>.model.3"). *)
+let is_generation_name suffix base =
+  Filename.check_suffix base suffix
   ||
   let stem = Filename.remove_extension base in
   let ext = Filename.extension base in
-  Filename.check_suffix stem ".ckpt"
+  Filename.check_suffix stem suffix
   && String.length ext > 1
   && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub ext 1 (String.length ext - 1))
+
+let is_checkpoint_name base = is_generation_name ".ckpt" base
+let is_model_name base = is_generation_name ".model" base
 
 let first_line s =
   match String.index_opt s '\n' with Some i -> String.sub s 0 i | None -> s
@@ -71,6 +77,7 @@ let classify path content =
   if Filename.check_suffix base ".bak" then None
   else if Filename.check_suffix base ".tmp" then Some Tmp
   else if is_checkpoint_name base then Some Checkpoint_gen
+  else if is_model_name base then Some Model_entry
   else if Filename.check_suffix base ".jsonl" then
     Some (match sniff_stream_kind content with Some "ledger" -> Ledger | _ -> Jsonl_stream)
   else if Filename.check_suffix base ".json" then Some Json_report
@@ -78,6 +85,8 @@ let classify path content =
     (* Name gives no hint — sniff the content. *)
     String.length content >= 21 && String.sub content 0 21 = "wayfinder-checkpoint "
   then Some Checkpoint_gen
+  else if String.length content >= 16 && String.sub content 0 16 = "wayfinder-model "
+  then Some Model_entry
   else
     match sniff_stream_kind content with
     | Some "ledger" -> Some Ledger
@@ -138,6 +147,19 @@ let check_report content =
   | Ok _ -> (Valid, Printf.sprintf "%d bytes of well-formed JSON" (String.length content))
   | Error msg -> (Corrupt, msg)
 
+let check_model content =
+  match Registry.of_string content with
+  | Ok e when e.Registry.sealed ->
+    (Valid,
+     Printf.sprintf "sealed, %s on %s, %d samples, %d model floats"
+       e.Registry.meta.Registry.algo e.Registry.fp.Registry.app
+       e.Registry.meta.Registry.samples (Array.length e.Registry.model))
+  | Ok e ->
+    (Unsealed,
+     Printf.sprintf "%s on %s parses but carries no crc seal (torn trailer?)"
+       e.Registry.meta.Registry.algo e.Registry.fp.Registry.app)
+  | Error e -> (Corrupt, Registry.error_to_string e)
+
 (* ------------------------------------------------------------------ *)
 (* Repair                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -155,6 +177,11 @@ let repair_finding ~content path kind status =
   | Checkpoint_gen, Corrupt ->
     let bak = quarantine path in
     Some (Printf.sprintf "pruned corrupt generation (kept at %s)" bak)
+  | Model_entry, Corrupt ->
+    (* Like a corrupt checkpoint generation: quarantine so registry
+       lookups skip it, keep the bytes for post-mortem. *)
+    let bak = quarantine path in
+    Some (Printf.sprintf "quarantined corrupt model entry (kept at %s)" bak)
   | Ledger, Corrupt -> (
     match Ledger.repair_string content with
     | Ok (fixed, r) ->
@@ -195,6 +222,7 @@ let check_file ~repair path =
         | Ledger -> check_ledger content
         | Jsonl_stream -> check_jsonl content
         | Json_report -> check_report content
+        | Model_entry -> check_model content
       in
       let action =
         if repair then (

@@ -18,6 +18,12 @@ type kind =
   | Ledger
   | Jsonl_stream  (** A schema-headed JSONL file of another kind (trace). *)
   | Json_report  (** A single-document JSON file (analyze / bench output). *)
+  | Model_entry
+      (** A registry model entry ([*.model], or a rotated generation):
+          validated through {!Wayfinder_platform.Registry} — Valid when
+          sealed and self-consistent, Unsealed when the body parses but
+          the crc trailer is missing, Corrupt otherwise.  [--repair]
+          quarantines corrupt entries to [.bak] so lookups skip them. *)
   | Tmp  (** A [.tmp] staging file from an interrupted atomic write. *)
 
 val kind_to_string : kind -> string

@@ -194,6 +194,53 @@ let stage_key t config =
     t.params;
   Buffer.contents buf
 
+(* Canonical space description: one line per parameter, in positional
+   order, covering everything that shapes the search — name, stage, kind
+   with full ranges/labels, default, and any pin.  Two spaces produce the
+   same text iff a model trained on one is exactly valid on the other, so
+   the text (and its CRC) can key a persistent model registry.  Labels
+   and names are percent-escaped so the encoding stays injective whatever
+   characters they contain. *)
+let canonical_escape s =
+  let plain c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '-' || c = '/' || c = ':'
+  in
+  if String.for_all plain s then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c -> if plain c then Buffer.add_char buf c else Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+      s;
+    Buffer.contents buf
+  end
+
+let canonical_kind = function
+  | Param.Kbool -> "bool"
+  | Param.Ktristate -> "tristate"
+  | Param.Kint { lo; hi; log_scale } ->
+    Printf.sprintf "int[%d..%d%s]" lo hi (if log_scale then ",log" else "")
+  | Param.Kcategorical labels ->
+    Printf.sprintf "cat{%s}"
+      (String.concat "," (Array.to_list (Array.map canonical_escape labels)))
+
+let canonical_description t =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i p ->
+      Buffer.add_string buf
+        (Printf.sprintf "param %s stage=%s kind=%s default=%s"
+           (canonical_escape p.Param.name)
+           (Param.stage_to_string p.Param.stage)
+           (canonical_kind p.Param.kind)
+           (Param.value_token p.Param.default));
+      (match t.fixed.(i) with
+      | Some v -> Buffer.add_string buf (" pin=" ^ Param.value_token v)
+      | None -> ());
+      Buffer.add_char buf '\n')
+    t.params;
+  Buffer.contents buf
+
 let differs_only_in_stage t a b stage =
   let ok = ref true in
   Array.iteri

@@ -103,6 +103,17 @@ val stage_key : t -> configuration -> string
     invalidates it.
     @raise Invalid_argument on a size mismatch. *)
 
+val canonical_description : t -> string
+(** Canonical, injective text rendering of the space's {e structure}: one
+    line per parameter in positional order — escaped name, stage, kind
+    with full integer ranges / categorical labels, default value token,
+    and the pin token for fixed parameters.  Two spaces render to the
+    same text iff they are interchangeable for a trained model (same
+    parameters, same positions, same domains, same pins), which makes the
+    text — together with its CRC — a verifiable fingerprint for the
+    persistent model registry.  Never compare truncated hashes of spaces;
+    compare this text. *)
+
 val of_kconfig : ?stage:Param.stage -> Wayfinder_kconfig.Space.descriptor list -> Param.t list
 (** Convert Kconfig descriptors into parameters (choice members and
     dependent symbols are included; strings become single-point categorical

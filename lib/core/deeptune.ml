@@ -358,3 +358,7 @@ let create_from ?options ?seed space transfer =
      §4.2, and they carry no crash risk the donor has not already paid. *)
   t.pending_seeds <- seeds;
   t
+
+let seed_incumbents t configs =
+  let seeds = List.filter (fun c -> Array.length c = Space.size t.space) configs in
+  t.pending_seeds <- t.pending_seeds @ seeds

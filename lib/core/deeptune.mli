@@ -78,3 +78,11 @@ val create_from : ?options:options -> ?seed:int -> Space.t -> transfer -> t
     partially known, and the donor's incumbents seed exploitation.  The
     random warm-up is skipped.  @raise Invalid_argument when the
     snapshot's architecture does not fit this space's encoding. *)
+
+val seed_incumbents : t -> Space.configuration list -> unit
+(** Enqueue configurations to be proposed verbatim before the pool is
+    consulted — the {e overlap-only} warm start: when a registry donor's
+    space merely overlaps this one (so its model weights cannot be
+    imported), its projected incumbents still transfer as first
+    proposals while the normal random warm-up and cold model remain.
+    Ill-sized configurations are ignored. *)

@@ -185,6 +185,88 @@ let train_batch t batch =
     hidden;
   Optimizer.step t.optimizer
 
+(* ------------------------------------------------------------------ *)
+(* Snapshots (transfer learning / persistent registry)                 *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  s_n_metrics : int;
+  s_trunk : float array;
+  s_crash : float array;
+  s_perf : float array;
+  s_centroids : float array array;
+  s_norm : float array;  (* f_means @ f_stds @ t_means @ t_stds *)
+}
+
+let export t =
+  { s_n_metrics = t.n_metrics;
+    s_trunk = Network.save_weights t.trunk;
+    s_crash = Network.save_weights t.crash_head;
+    s_perf = Network.save_weights t.perf_head;
+    s_centroids = Array.map (fun r -> Mat.to_array (Layer.Rbf.centroid_matrix r)) t.rbf_layers;
+    s_norm =
+      Array.concat
+        [ Array.copy t.f_means; Array.copy t.f_stds; Array.copy t.t_means;
+          Array.copy t.t_stds ] }
+
+let import t s =
+  if s.s_n_metrics <> t.n_metrics then invalid_arg "Dtm_multi.import: n_metrics mismatch";
+  Network.load_weights t.trunk s.s_trunk;
+  Network.load_weights t.crash_head s.s_crash;
+  Network.load_weights t.perf_head s.s_perf;
+  if Array.length s.s_centroids <> Array.length t.rbf_layers then
+    invalid_arg "Dtm_multi.import: RBF layer count mismatch";
+  Array.iteri
+    (fun i data ->
+      let c = Layer.Rbf.centroid_matrix t.rbf_layers.(i) in
+      if Array.length data <> Mat.numel c then
+        invalid_arg "Dtm_multi.import: centroid shape mismatch";
+      Mat.blit_from_array data c)
+    s.s_centroids;
+  let d = t.in_dim and m = t.n_metrics in
+  if Array.length s.s_norm <> (2 * d) + (2 * m) then
+    invalid_arg "Dtm_multi.import: normalizer size mismatch";
+  t.f_means <- Array.sub s.s_norm 0 d;
+  t.f_stds <- Array.sub s.s_norm d d;
+  t.t_means <- Array.sub s.s_norm (2 * d) m;
+  t.t_stds <- Array.sub s.s_norm ((2 * d) + m) m
+
+(* Same layout as Dtm's flat codec, with [n_metrics] as a fifth header
+   int so the two kinds cannot be confused. *)
+let snapshot_to_floats s =
+  let sizes =
+    [| Array.length s.s_trunk; Array.length s.s_crash; Array.length s.s_perf;
+       Array.length s.s_centroids; s.s_n_metrics |]
+  in
+  let centroid_sizes = Array.map Array.length s.s_centroids in
+  Array.concat
+    ([ Array.map float_of_int sizes; Array.map float_of_int centroid_sizes; s.s_trunk;
+       s.s_crash; s.s_perf ]
+    @ Array.to_list s.s_centroids
+    @ [ s.s_norm ])
+
+let snapshot_of_floats flat =
+  if Array.length flat < 5 then invalid_arg "Dtm_multi.snapshot_of_floats: truncated";
+  let int_at i = int_of_float flat.(i) in
+  let n_trunk = int_at 0
+  and n_crash = int_at 1
+  and n_perf = int_at 2
+  and n_rbf = int_at 3
+  and s_n_metrics = int_at 4 in
+  let centroid_sizes = Array.init n_rbf (fun i -> int_of_float flat.(5 + i)) in
+  let pos = ref (5 + n_rbf) in
+  let take n =
+    let out = Array.sub flat !pos n in
+    pos := !pos + n;
+    out
+  in
+  let s_trunk = take n_trunk in
+  let s_crash = take n_crash in
+  let s_perf = take n_perf in
+  let s_centroids = Array.map take centroid_sizes in
+  let s_norm = Array.sub flat !pos (Array.length flat - !pos) in
+  { s_n_metrics; s_trunk; s_crash; s_perf; s_centroids; s_norm }
+
 let train t ?(epochs = 1) ?(batch_size = 32) () =
   if t.count >= 2 then begin
     refit_normalizers t;

@@ -42,3 +42,28 @@ val observations : t -> int
 val train : t -> ?epochs:int -> ?batch_size:int -> unit -> unit
 (** Incremental passes over the accumulated observations; refits per-metric
     target normalisation.  No-op with fewer than 2 observations. *)
+
+(** {2 Snapshots}
+
+    The multi-metric counterpart of {!Dtm.export}/{!Dtm.import}, so
+    multi-objective models persist in the registry like scalar ones. *)
+
+type snapshot
+
+val export : t -> snapshot
+(** Weights, RBF centroids, and the feature/per-metric target
+    normalisation statistics. *)
+
+val import : t -> snapshot -> unit
+(** Load a snapshot into a {e compatible} model (same architecture,
+    [in_dim] and [n_metrics]).  Unlike {!Dtm.import} the donor's feature
+    statistics are {e not} frozen: the next {!train} refits them, which
+    is the online-retuning behaviour multi-objective runs want.
+    @raise Invalid_argument on any shape mismatch. *)
+
+val snapshot_to_floats : snapshot -> float array
+(** Flat self-describing codec (header sizes + [n_metrics], then the
+    segments) for registry storage; bitwise round-trip. *)
+
+val snapshot_of_floats : float array -> snapshot
+(** @raise Invalid_argument on a truncated array. *)

@@ -192,36 +192,15 @@ let to_string t =
   let body = body_string t in
   body ^ Printf.sprintf "crc %s\n" (Crc32.to_hex (Crc32.digest body))
 
-let generation_path path i = if i = 0 then path else Printf.sprintf "%s.%d" path i
+let generation_path = Durable.generation_path
 let max_generations = 64
 
-let save ?(backend = Durable.fs) ?(keep = 1) ~path t =
-  if keep < 1 then invalid_arg "Checkpoint.save: keep must be >= 1";
-  let data = to_string t in
-  let tmp = path ^ ".tmp" in
-  try
-    (* Stage durably first: once the tmp bytes are fsynced, every later
-       step is a rename, and a crash between any two of them leaves a
-       complete generation under some name. *)
-    backend.Durable.write tmp data;
-    backend.Durable.fsync tmp;
-    if keep > 1 && backend.Durable.exists path then begin
-      (* Rotate: path.(keep-2) -> path.(keep-1), ..., path -> path.1;
-         the oldest generation is overwritten by the shift. *)
-      for i = keep - 1 downto 2 do
-        let src = generation_path path (i - 1) in
-        if backend.Durable.exists src then
-          backend.Durable.rename ~src ~dst:(generation_path path i)
-      done;
-      backend.Durable.rename ~src:path ~dst:(generation_path path 1)
-    end;
-    backend.Durable.rename ~src:tmp ~dst:path;
-    backend.Durable.fsync_dir path
-  with Durable.Io_error _ as e ->
-    (* A failed save (disk full, permissions) must not leave the staging
-       file behind; the previous generations are untouched. *)
-    (try backend.Durable.remove tmp with Durable.Io_error _ -> ());
-    raise e
+let save ?backend ?keep ~path t =
+  (* The staged-write + rotation protocol lives in Durable and is shared
+     with registry entries; the crash matrix in test_durable exercises it
+     through this entry point. *)
+  try Durable.atomic_publish ?backend ?keep ~path (to_string t)
+  with Invalid_argument _ -> invalid_arg "Checkpoint.save: keep must be >= 1"
 
 (* ------------------------------------------------------------------ *)
 (* Reading                                                             *)
@@ -425,9 +404,10 @@ let of_body s =
         | _ -> Error (Malformed "bad pareto field"))
       | "trace_cursor" -> (
         match int_of_string_opt rest with
-        | Some c ->
+        | Some c when c >= 0 ->
           trace_cursor := Some c;
           Ok ()
+        | Some _ -> Error (Malformed "negative trace_cursor field")
         | None -> Error (Malformed "bad trace_cursor field"))
       | "end" ->
         ended := true;

@@ -108,6 +108,34 @@ let atomic_write ?(backend = fs) ~path data =
 let atomic_write_exn ?backend ~path data =
   match atomic_write ?backend ~path data with Ok () -> () | Error e -> raise (Io_error e)
 
+let generation_path path i = if i = 0 then path else Printf.sprintf "%s.%d" path i
+
+let atomic_publish ?(backend = fs) ?(keep = 1) ~path data =
+  if keep < 1 then invalid_arg "Durable.atomic_publish: keep must be >= 1";
+  let tmp = path ^ ".tmp" in
+  try
+    (* Stage durably first: once the tmp bytes are fsynced, every later
+       step is a rename, and a crash between any two of them leaves a
+       complete generation under some name. *)
+    backend.write tmp data;
+    backend.fsync tmp;
+    if keep > 1 && backend.exists path then begin
+      (* Rotate: path.(keep-2) -> path.(keep-1), ..., path -> path.1;
+         the oldest generation is overwritten by the shift. *)
+      for i = keep - 1 downto 2 do
+        let src = generation_path path (i - 1) in
+        if backend.exists src then backend.rename ~src ~dst:(generation_path path i)
+      done;
+      backend.rename ~src:path ~dst:(generation_path path 1)
+    end;
+    backend.rename ~src:tmp ~dst:path;
+    backend.fsync_dir path
+  with Io_error _ as e ->
+    (* A failed publish (disk full, permissions) must not leave the
+       staging file behind; the previous generations are untouched. *)
+    (try backend.remove tmp with Io_error _ -> ());
+    raise e
+
 let read_file ?(backend = fs) path =
   match backend.read path with s -> Ok s | exception Io_error e -> Error e
 

@@ -79,6 +79,23 @@ val atomic_write : ?backend:backend -> path:string -> string -> (unit, io_error)
 val atomic_write_exn : ?backend:backend -> path:string -> string -> unit
 (** @raise Io_error instead of returning it. *)
 
+val generation_path : string -> int -> string
+(** [generation_path path 0 = path]; [generation_path path i] is
+    ["path.i"] for [i >= 1] — the naming scheme of rotated generations. *)
+
+val atomic_publish : ?backend:backend -> ?keep:int -> path:string -> string -> unit
+(** {!atomic_write} plus {e generation rotation}: stage to
+    [path ^ ".tmp"], fsync, then (when [keep > 1] and [path] exists)
+    shift [path] → [path.1] → … → [path.(keep-1)] before renaming the
+    staging file into place and fsyncing the directory.  A crash at any
+    boundary leaves a complete generation loadable under some name; a
+    failed publish removes the staging file and leaves every existing
+    generation untouched.  This is the protocol checkpoints have always
+    used ({!Checkpoint.save} is a thin wrapper) and registry entries
+    share.
+    @raise Io_error on I/O failure (after cleanup).
+    @raise Invalid_argument if [keep < 1]. *)
+
 val read_file : ?backend:backend -> string -> (string, io_error) result
 
 (** {1 The deterministic fault backend} *)

@@ -19,6 +19,12 @@ let validate t ~n =
         (Printf.sprintf "scalarize: %d bounds for %d objectives" (Array.length bounds) n)
     else if primary < 0 || primary >= n then
       Error (Printf.sprintf "scalarize: primary objective %d out of range" primary)
+    else if Array.exists (fun b -> (not (Float.is_nan b)) && not (Float.is_finite b)) bounds
+    then
+      (* NaN means "no bound" and is skipped by [apply]; an infinite
+         bound would flow into the soft-barrier shortfall and poison the
+         scalarized score with ±inf. *)
+      Error "scalarize: bounds must be finite (NaN for no bound)"
     else Ok ()
 
 let apply t ~spec v =

@@ -17,15 +17,20 @@
 
 type t
 
-val create : ?stride:int -> ?span:int -> Wayfinder_simos.Trace.t -> t
+val create : ?stride:int -> ?span:int -> ?cursor:int -> Wayfinder_simos.Trace.t -> t
 (** [span] is the number of windows each evaluation replays (default:
-    the whole trace).  @raise Invalid_argument on negative [stride] or
-    non-positive [span]. *)
+    the whole trace).  @raise Invalid_argument on negative [stride],
+    negative [cursor], or non-positive [span]. *)
 
 val trace : t -> Wayfinder_simos.Trace.t
 val stride : t -> int
 val cursor : t -> int
+
 val set_cursor : t -> int -> unit
+(** @raise Invalid_argument on a negative cursor — a corrupted or
+    hand-edited checkpoint must be rejected at the boundary, not crash
+    deep inside replay. *)
+
 val advance : t -> unit
 
 val slice : t -> Wayfinder_simos.Trace.t

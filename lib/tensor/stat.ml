@@ -134,6 +134,11 @@ let mae preds targets =
   end
 
 let normalized_mae preds targets =
-  let range = max targets -. min targets in
-  if range < epsilon_std then mae preds targets
-  else mae preds targets /. range
+  (* [mae] is empty-safe (returns 0.) but [max]/[min] are not: guard the
+     empty case before touching the range so the empty-input convention
+     matches [mean]/[mae]. *)
+  if Array.length targets = 0 then mae preds targets
+  else
+    let range = max targets -. min targets in
+    if range < epsilon_std then mae preds targets
+    else mae preds targets /. range

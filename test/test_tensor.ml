@@ -283,7 +283,12 @@ let test_stat_pearson () =
 
 let test_stat_normalized_mae () =
   let targets = [| 0.; 10. |] and preds = [| 1.; 9. |] in
-  check_float "nmae" 0.1 (Stat.normalized_mae preds targets)
+  check_float "nmae" 0.1 (Stat.normalized_mae preds targets);
+  (* Regression: the empty case used to hit [Stat.max] (which
+     [invalid_arg]s on [||]) before the empty-safe [mae] could return 0. *)
+  check_float "empty input is 0, not invalid_arg" 0. (Stat.normalized_mae [||] [||]);
+  check_float "degenerate range falls back to mae" 1.
+    (Stat.normalized_mae [| 4.; 6. |] [| 5.; 5. |])
 
 (* ------------------------------------------------------------------ *)
 (* Dataset                                                             *)

@@ -221,7 +221,24 @@ let test_scalarize_validate () =
           (Scalarize.Epsilon_constraint { primary = 3; bounds = [| nan; nan; nan |] })
           ~n:3));
   Alcotest.(check bool) "well-formed accepted" true
-    (Scalarize.validate (Scalarize.Weighted_sum [| 1.; 0.; 2. |]) ~n:3 = Ok ())
+    (Scalarize.validate (Scalarize.Weighted_sum [| 1.; 0.; 2. |]) ~n:3 = Ok ());
+  (* Bounds: NaN means "no bound" and must pass; an infinite bound would
+     poison the soft barrier with ±inf and must be rejected typed. *)
+  Alcotest.(check bool) "+inf bound rejected" true
+    (err
+       (Scalarize.validate
+          (Scalarize.Epsilon_constraint { primary = 0; bounds = [| nan; infinity; 1. |] })
+          ~n:3));
+  Alcotest.(check bool) "-inf bound rejected" true
+    (err
+       (Scalarize.validate
+          (Scalarize.Epsilon_constraint { primary = 0; bounds = [| neg_infinity; nan; 1. |] })
+          ~n:3));
+  Alcotest.(check bool) "NaN no-bound accepted" true
+    (Scalarize.validate
+       (Scalarize.Epsilon_constraint { primary = 0; bounds = [| nan; 1.; nan |] })
+       ~n:3
+    = Ok ())
 
 (* ------------------------------------------------------------------ *)
 (* Objective spec                                                      *)
@@ -367,7 +384,49 @@ let test_scenario_validation () =
   Alcotest.(check bool) "negative stride" true
     (raises (fun () -> Scenario.create ~stride:(-1) trace));
   Alcotest.(check bool) "zero span" true
-    (raises (fun () -> Scenario.create ~span:0 trace))
+    (raises (fun () -> Scenario.create ~span:0 trace));
+  Alcotest.(check bool) "negative cursor at create" true
+    (raises (fun () -> Scenario.create ~cursor:(-3) trace))
+
+(* Regression: a corrupted checkpoint cursor used to reach [slice],
+   where OCaml's truncating [mod] turned it into a negative array index
+   and an [Invalid_argument] crash deep in replay.  Negative cursors are
+   now rejected at the boundary, and [slice] itself stays total under a
+   Euclidean modulo even for out-of-range cursors. *)
+let test_scenario_cursor_out_of_range () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  let trace = { Trace.window_s = 1.; loads = [| 0.; 1.; 2.; 3.; 4.; 5. |] } in
+  let sc = Scenario.create ~stride:1 ~span:3 trace in
+  Alcotest.(check bool) "set_cursor rejects negative" true
+    (raises (fun () -> Scenario.set_cursor sc (-1)));
+  Alcotest.(check int) "rejected set leaves cursor untouched" 0 (Scenario.cursor sc);
+  Scenario.set_cursor sc 7;
+  let slice = Scenario.slice sc in
+  Alcotest.(check bool) "> n cursor wraps, never raises" true
+    (slice.Trace.loads = [| 1.; 2.; 3. |]);
+  (* A checkpoint carrying a negative cursor must be rejected as
+     malformed at parse time, not restored into the scenario. *)
+  let ck =
+    { Checkpoint.seed = 1;
+      rng_state = 1L;
+      clock_seconds = 0.;
+      budget_start_seconds = 0.;
+      iterations = 0;
+      workers = 1;
+      consecutive_invalid = 0;
+      cache_capacity = 1;
+      cache = [];
+      strikes = [];
+      quarantined = [];
+      entries = [];
+      inflight = [];
+      pareto = [];
+      trace_cursor = Some (-2) }
+  in
+  match Checkpoint.of_string (Checkpoint.to_string ck) with
+  | Error (Checkpoint.Malformed _) -> ()
+  | Error _ -> Alcotest.fail "expected Malformed for negative trace_cursor"
+  | Ok _ -> Alcotest.fail "negative trace_cursor accepted"
 
 let () =
   Alcotest.run "trace"
@@ -410,4 +469,6 @@ let () =
         [ Alcotest.test_case "cursor" `Quick test_scenario_cursor;
           Alcotest.test_case "slice wraps" `Quick test_scenario_slice_wraps;
           Alcotest.test_case "empty trace" `Quick test_scenario_empty_trace;
-          Alcotest.test_case "validation" `Quick test_scenario_validation ] ) ]
+          Alcotest.test_case "validation" `Quick test_scenario_validation;
+          Alcotest.test_case "cursor out of range" `Quick
+            test_scenario_cursor_out_of_range ] ) ]
