@@ -6,6 +6,8 @@
      space   — describe a target's configuration space
      analyze — convergence/calibration report from a run ledger
      compare — align several ledgers' best-so-far curves per budget
+     watch   — live (or one-shot) dashboard over a run ledger
+     profile — span profile of a JSONL observability trace
      fsck    — validate (and repair) checkpoints, ledgers and reports *)
 
 module S = Wayfinder_simos
@@ -14,6 +16,7 @@ module D = Wayfinder_deeptune
 module CS = Wayfinder_configspace
 module K = Wayfinder_kconfig
 module A = Wayfinder_analytics
+module M = Wayfinder_monitor
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -222,11 +225,19 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
     ~checkpoint_every ~keep_checkpoints ~resume ~fault_rate ~workers ~batch ~image_cache
     ~domains ~scenario_kind ~scenario_stride ~objective_names ~weights ~pareto ~resilient
     ~retries ~build_timeout ~boot_timeout ~run_timeout ~measure_repeats ~quarantine_after
-    ~registry ~save_model ~warm_start ~drift_ledger =
+    ~registry ~save_model ~warm_start ~drift_ledger ~metrics_out ~metrics_every ~alerts =
   ignore metric_hint;
   if (save_model || warm_start <> None) && registry = None then
     Error "--save-model and --warm-start require --registry DIR"
+  else if metrics_every <= 0 then Error "--metrics-every must be positive"
   else
+  match
+    match alerts with
+    | None -> Ok []
+    | Some spec -> Result.map_error (fun e -> "--alerts: " ^ e) (M.Rules.parse spec)
+  with
+  | Error e -> Error e
+  | Ok alert_rules ->
   let job =
     match job_file with
     | Some path -> (
@@ -481,8 +492,55 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
            recomputed from the identical analytics series code — no
            duplicated math. *)
         let live = P.History.create target.P.Target.metric in
+        (* Streaming monitor state: a Live_series fed one row per record
+           powers the alert rules and the Prometheus export in O(1) per
+           iteration — no history rescans on the hot path. *)
+        let live_series =
+          if alert_rules = [] && metrics_out = None then None
+          else
+            let params = CS.Space.params target.P.Target.space in
+            Some
+              (M.Live_series.create ~metric:target.P.Target.metric
+                 ~names:(Array.map (fun (p : CS.Param.t) -> p.CS.Param.name) params)
+                 ~stages:(Array.map (fun (p : CS.Param.t) -> p.CS.Param.stage) params)
+                 ~objectives:
+                   (match scenario_info with Some (_, spec, _) -> spec | None -> [||])
+                 ())
+        in
+        let rules_state = M.Rules.create alert_rules in
+        (* The starve rule wants the pool-busy fraction; only pay for the
+           metrics snapshot when such a rule is actually installed. *)
+        let wants_busy =
+          List.exists (function M.Rules.Starve _ -> true | _ -> false) alert_rules
+        in
+        let worker_busy () =
+          if (not wants_busy) || workers <= 1 then None
+          else
+            match
+              Wayfinder_obs.Metrics.histogram
+                (Wayfinder_obs.Recorder.snapshot obs)
+                "driver.worker.busy"
+            with
+            | Some h when h.Wayfinder_obs.Metrics.count > 0 ->
+              Some (Wayfinder_obs.Metrics.mean h /. float_of_int workers)
+            | Some _ | None -> None
+        in
+        let export_metrics () =
+          match metrics_out with
+          | None -> ()
+          | Some path -> (
+            let stats = Option.map M.Live_series.stats live_series in
+            match
+              P.Durable.atomic_write ~path
+                (M.Prom.render ?stats ~snapshot:(Wayfinder_obs.Recorder.snapshot obs) ())
+            with
+            | Ok () -> ()
+            | Error e ->
+              Printf.eprintf "wayfinder: metrics export: %s\n%!"
+                (P.Durable.io_error_to_string e))
+        in
         let on_record =
-          if ledger_writer = None && progress_every = None then None
+          if ledger_writer = None && progress_every = None && live_series = None then None
           else
             Some
               (fun entry belief ->
@@ -490,6 +548,18 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
                 | Some w -> A.Ledger.record w entry belief
                 | None -> ());
                 P.History.add live entry;
+                (match live_series with
+                | Some ls ->
+                  M.Live_series.observe ls (A.Ledger.row_of_entry entry belief);
+                  List.iter
+                    (fun (f : M.Rules.firing) ->
+                      Wayfinder_obs.Recorder.alert obs ~rule:f.M.Rules.rule
+                        f.M.Rules.message;
+                      Printf.eprintf "wayfinder: ALERT %s: %s\n%!" f.M.Rules.rule
+                        f.M.Rules.message)
+                    (M.Rules.evaluate rules_state ?worker_busy:(worker_busy ()) ls);
+                  if P.History.size live mod metrics_every = 0 then export_metrics ()
+                | None -> ());
                 match progress_every with
                 | Some n when P.History.size live mod n = 0 ->
                   let series = A.Series.of_history ~space:target.P.Target.space live in
@@ -499,7 +569,9 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
                       ~workers series
                   in
                   Printf.eprintf "%s\n%!"
-                    (A.Progress.to_line ~metric:target.P.Target.metric snap)
+                    (A.Progress.to_line
+                       ~alerts:(M.Rules.active rules_state)
+                       ~metric:target.P.Target.metric snap)
                 | Some _ | None -> ())
         in
         let resilience =
@@ -668,6 +740,13 @@ let run_search ~job_file ~os ~app ~metric_hint ~algorithm ~iterations ~budget_s 
                 Ok ()
               | Error e -> Error ("save-model: " ^ P.Registry.error_to_string e)))
         in
+        (* Final Prometheus export: the file always ends on the completed
+           run's numbers, whatever --metrics-every left behind. *)
+        (match metrics_out with
+        | Some path ->
+          export_metrics ();
+          if not quiet then Printf.printf "metrics written to %s\n" path
+        | None -> ());
         (match checkpoint with
         | Some path when not quiet -> Printf.printf "checkpoint written to %s\n" path
         | Some _ | None -> ());
@@ -771,8 +850,8 @@ let load_series ~from_csv ~salvage ~metric path =
     | Ok ledger -> Ok (A.Series.of_ledger ledger, Some ledger.A.Ledger.meta.A.Ledger.algo)
     | Error e -> Error (A.Ledger.error_to_string e)
 
-let run_analyze ~path ~from_csv ~salvage ~json ~series_out ~epsilon ~metric_name ~unit_name
-    ~minimize =
+let run_analyze ~path ~from_csv ~salvage ~json ~series_out ~prom ~epsilon ~metric_name
+    ~unit_name ~minimize =
   let metric = P.Metric.make ~maximize:(not minimize) ~name:metric_name ~unit_name () in
   match load_series ~from_csv ~salvage ~metric path with
   | Error e -> Error (Printf.sprintf "%s: %s" path e)
@@ -780,14 +859,30 @@ let run_analyze ~path ~from_csv ~salvage ~json ~series_out ~epsilon ~metric_name
     let report = A.Analyze.of_series ~label:(default_label path) ?algo ~epsilon series in
     if json then print_endline (A.Json.to_string (A.Analyze.to_json report))
     else print_string (A.Analyze.to_text report);
-    (match series_out with
-    | None -> Ok ()
-    | Some out -> (
-      match P.Durable.atomic_write ~path:out (A.Analyze.series_csv series) with
-      | Ok () ->
-        if not json then Printf.printf "series written to %s\n" out;
-        Ok ()
-      | Error e -> Error ("series file: " ^ P.Durable.io_error_to_string e)))
+    let prom_result =
+      match prom with
+      | None -> Ok ()
+      | Some out -> (
+        match
+          P.Durable.atomic_write ~path:out
+            (M.Prom.render ~stats:(M.Live_series.stats_of_series series) ())
+        with
+        | Ok () ->
+          if not json then Printf.printf "prometheus metrics written to %s\n" out;
+          Ok ()
+        | Error e -> Error ("prom file: " ^ P.Durable.io_error_to_string e))
+    in
+    match prom_result with
+    | Error _ as e -> e
+    | Ok () -> (
+      match series_out with
+      | None -> Ok ()
+      | Some out -> (
+        match P.Durable.atomic_write ~path:out (A.Analyze.series_csv series) with
+        | Ok () ->
+          if not json then Printf.printf "series written to %s\n" out;
+          Ok ()
+        | Error e -> Error ("series file: " ^ P.Durable.io_error_to_string e)))
 
 let run_compare ~paths ~json ~budgets =
   if List.length paths < 2 then Error "compare needs at least two ledgers"
@@ -839,6 +934,119 @@ let run_compare ~paths ~json ~budgets =
         else print_string (A.Compare.to_text table);
         Ok ())
   end
+
+(* ------------------------------------------------------------------ *)
+(* watch / profile                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Live dashboard over a run ledger.  The Tail only ever delivers
+   newline-terminated lines, so a writer killed mid-record leaves the
+   torn fragment pending rather than crashing the watcher; the frame is
+   a deterministic function of the rows read so far, so the final
+   --follow frame on a sealed ledger equals a fresh --once on it. *)
+let run_watch ~path ~follow ~interval ~alerts =
+  match
+    match alerts with
+    | None -> Ok []
+    | Some spec -> Result.map_error (fun e -> "--alerts: " ^ e) (M.Rules.parse spec)
+  with
+  | Error e -> Error e
+  | Ok rules ->
+    if interval <= 0. then Error "--interval must be positive"
+    else begin
+      let tail = M.Tail.create path in
+      let live = ref None in
+      let rules_state = ref (M.Rules.create rules) in
+      let reset () =
+        live := None;
+        rules_state := M.Rules.create rules
+      in
+      (* Rows only parse once the meta line is in, so Option.get is safe. *)
+      let series () =
+        match !live with
+        | Some ls -> ls
+        | None ->
+          let ls = M.Live_series.of_meta (Option.get (M.Tail.meta tail)) in
+          live := Some ls;
+          ls
+      in
+      let feed row =
+        let ls = series () in
+        M.Live_series.observe ls row;
+        List.iter
+          (fun (f : M.Rules.firing) ->
+            Printf.eprintf "wayfinder: ALERT %s: %s\n%!" f.M.Rules.rule f.M.Rules.message)
+          (M.Rules.evaluate !rules_state ls)
+      in
+      let render () =
+        match M.Tail.meta tail with
+        | None -> None
+        | Some meta ->
+          Some
+            (M.Dashboard.render
+               ~alerts:(M.Rules.active !rules_state)
+               ~dropped:(M.Tail.dropped tail) ~seal:(M.Tail.seal tail) ~meta (series ()))
+      in
+      if not follow then
+        (* One step reads everything the file currently holds. *)
+        match M.Tail.step tail with
+        | Error e -> Error (Printf.sprintf "%s: %s" path (A.Ledger.error_to_string e))
+        | Ok step -> (
+          List.iter feed step.M.Tail.rows;
+          match render () with
+          | Some frame ->
+            print_string frame;
+            Ok ()
+          | None -> Error (Printf.sprintf "%s: no meta record yet (empty or torn ledger)" path))
+      else begin
+        let clear = Unix.isatty Unix.stdout in
+        let rec loop last =
+          match M.Tail.step tail with
+          | Error e -> Error (Printf.sprintf "%s: %s" path (A.Ledger.error_to_string e))
+          | Ok step ->
+            if step.M.Tail.truncated then begin
+              Printf.eprintf "wayfinder: %s shrank — restarting from the top\n%!" path;
+              reset ()
+            end;
+            List.iter feed step.M.Tail.rows;
+            let last =
+              match render () with
+              | Some frame when frame <> last ->
+                if clear then print_string "\027[2J\027[H";
+                print_string frame;
+                flush stdout;
+                frame
+              | Some _ | None -> last
+            in
+            (* A seal is the writer's sign-off: render the final frame and
+               exit rather than polling a finished run forever. *)
+            if M.Tail.seal tail <> M.Tail.Unsealed then Ok ()
+            else begin
+              Unix.sleepf interval;
+              loop last
+            end
+        in
+        loop ""
+      end
+    end
+
+let run_profile ~path ~top ~clock ~flame =
+  if top <= 0 then Error "--top must be positive"
+  else
+    match M.Profile.load path with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok t -> (
+      print_string (M.Profile.render_tree t);
+      print_newline ();
+      print_string (M.Profile.render_hotspots t clock ~top);
+      match flame with
+      | None -> Ok ()
+      | Some out -> (
+        match P.Durable.atomic_write ~path:out (M.Profile.flamegraph t clock) with
+        | Ok () ->
+          Printf.printf "flamegraph written to %s\n" out;
+          Ok ()
+        | Error e -> Error ("flamegraph: " ^ P.Durable.io_error_to_string e)))
 
 (* ------------------------------------------------------------------ *)
 (* fsck                                                                *)
@@ -1233,6 +1441,33 @@ let run_cmd =
                 training distribution before warm-starting; detected drift downgrades \
                 $(b,--warm-start auto) to a cold start with a warning.")
   in
+  let metrics_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Export run metrics as a Prometheus text file (exposition format 0.0.4) to \
+                $(docv): atomically replaced every $(b,--metrics-every) iterations and once \
+                more when the run completes, so a scraper never sees a torn file.")
+  in
+  let metrics_every =
+    Arg.(
+      value & opt int 10
+      & info [ "metrics-every" ] ~docv:"N"
+          ~doc:"Refresh $(b,--metrics-out) every $(docv) iterations.")
+  in
+  let alerts =
+    Arg.(
+      value & opt (some string) None
+      & info [ "alerts" ] ~docv:"SPEC"
+          ~doc:"Evaluate alert rules after every iteration, e.g. \
+                $(b,crash>0.5\\@40,stall>30,drift).  Rules: $(b,crash>P[\\@W]) (windowed crash \
+                rate above the fraction $(i,P)), $(b,stall>N) (no best improvement in \
+                $(i,N) iterations), $(b,starve<F) (worker pool busy below $(i,F); needs \
+                $(b,--workers) > 1), $(b,drift[\\@W]) (trailing window drifts from the run's \
+                first window).  Firings go to stderr and, as typed $(i,alert) events, into \
+                the $(b,--trace) stream; active rules are flagged on the $(b,--progress) \
+                line.")
+  in
   let f job_file os app algorithm iterations budget_s seed favor csv
       (trace, ledger, progress, timings, quiet)
       ( checkpoint,
@@ -1247,7 +1482,8 @@ let run_cmd =
       (scenario_kind, scenario_stride, objective_names, weights, pareto)
       (resilient, retries, build_timeout, boot_timeout, run_timeout, measure_repeats,
        quarantine_after)
-      (registry, save_model, warm_start, drift_ledger) =
+      (registry, save_model, warm_start, drift_ledger)
+      (metrics_out, metrics_every, alerts) =
     handle
       (run_search ~job_file ~os ~app ~metric_hint:() ~algorithm ~iterations ~budget_s ~seed
          ~favor ~csv_path:csv ~trace_path:trace ~ledger_path:ledger ~progress_every:progress
@@ -1255,10 +1491,11 @@ let run_cmd =
          ~workers ~batch ~image_cache ~domains ~scenario_kind ~scenario_stride ~objective_names
          ~weights ~pareto ~resilient ~retries ~build_timeout ~boot_timeout
          ~run_timeout ~measure_repeats ~quarantine_after ~registry ~save_model ~warm_start
-         ~drift_ledger)
+         ~drift_ledger ~metrics_out ~metrics_every ~alerts)
   in
   (* Cmdliner terms are applicative; tuple up the flag groups to keep the
      application chain readable. *)
+  let tuple3 a b c = (a, b, c) in
   let tuple4 a b c d = (a, b, c, d) in
   let tuple5 a b c d e = (a, b, c, d, e) in
   let tuple7 a b c d e f g = (a, b, c, d, e, f, g) in
@@ -1280,10 +1517,12 @@ let run_cmd =
   let registry_group =
     Term.(const tuple4 $ registry $ save_model $ warm_start $ drift_ledger)
   in
+  let monitor_group = Term.(const tuple3 $ metrics_out $ metrics_every $ alerts) in
   let term =
     Term.(
       const f $ job_file $ os $ app_arg $ algorithm $ iterations $ budget_s $ seed $ favor $ csv
-      $ output_group $ checkpoint_group $ scenario_group $ resilience_group $ registry_group)
+      $ output_group $ checkpoint_group $ scenario_group $ resilience_group $ registry_group
+      $ monitor_group)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a specialization job") term
 
@@ -1335,6 +1574,14 @@ let analyze_cmd =
           ~doc:"Also write the per-iteration derived series (best-so-far, simple regret, \
                 windowed failure rates) as CSV to $(docv).")
   in
+  let prom =
+    Arg.(
+      value & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:"Also write the run's summary statistics (iteration count, best, regret slope, \
+                failure rates, coverage, virtual-time totals) as Prometheus gauges to \
+                $(docv).")
+  in
   let epsilon =
     Arg.(
       value & opt float A.Analyze.default_epsilon
@@ -1357,10 +1604,10 @@ let analyze_cmd =
       value & flag
       & info [ "minimize" ] ~doc:"The metric is minimized ($(b,--from-csv) only).")
   in
-  let f path from_csv salvage json series epsilon metric_name unit_name minimize =
+  let f path from_csv salvage json series prom epsilon metric_name unit_name minimize =
     handle
-      (run_analyze ~path ~from_csv ~salvage ~json ~series_out:series ~epsilon ~metric_name
-         ~unit_name ~minimize)
+      (run_analyze ~path ~from_csv ~salvage ~json ~series_out:series ~prom ~epsilon
+         ~metric_name ~unit_name ~minimize)
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -1370,8 +1617,8 @@ let analyze_cmd =
           rates, space coverage, Brier score and reliability bins for crash predictions, \
           prediction MAE and uncertainty-error rank correlation.")
     Term.(
-      const f $ path $ from_csv $ salvage $ json $ series $ epsilon $ metric_name $ unit_name
-      $ minimize)
+      const f $ path $ from_csv $ salvage $ json $ series $ prom $ epsilon $ metric_name
+      $ unit_name $ minimize)
 
 let compare_cmd =
   let paths =
@@ -1394,6 +1641,90 @@ let compare_cmd =
          "Align several runs' best-so-far curves on shared sample budgets and report the \
           winner per budget.")
     Term.(const f $ paths $ json $ budgets)
+
+let watch_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"LEDGER" ~doc:"Run ledger (from $(b,run --ledger)) to watch.")
+  in
+  let follow =
+    Arg.(
+      value & flag
+      & info [ "follow"; "f" ]
+          ~doc:"Keep polling and re-rendering as the ledger grows; exits after the frame that \
+                shows the writer's $(i,fin) seal.  Without it, render one frame of the file's \
+                current state and exit.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Render a single frame and exit (the default; the explicit flag rejects \
+                $(b,--follow)).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"S" ~doc:"Polling period in seconds for $(b,--follow).")
+  in
+  let alerts =
+    Arg.(
+      value & opt (some string) None
+      & info [ "alerts" ] ~docv:"SPEC"
+          ~doc:"Alert rules to evaluate over the tailed rows (same grammar as \
+                $(b,run --alerts)); firings go to stderr, active rules into the frame.")
+  in
+  let f path follow once interval alerts =
+    if follow && once then handle (Error "--follow and --once are mutually exclusive")
+    else handle (run_watch ~path ~follow ~interval ~alerts)
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Live dashboard over a run ledger: tail the file (tolerating torn tails from a \
+          writer killed mid-record), fold each completed row into streaming statistics, and \
+          render best/slope/failure-rate/coverage frames until the ledger seals.  The frame \
+          is a deterministic function of the ledger's semantic content, so identical runs \
+          render identical frames.")
+    Term.(const f $ path $ follow $ once $ interval $ alerts)
+
+let profile_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"JSONL observability trace (from $(b,run --trace)).")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Hotspots to list.")
+  in
+  let clock =
+    Arg.(
+      value
+      & opt (enum [ ("virtual", M.Profile.Virtual); ("wall", M.Profile.Wall) ])
+          M.Profile.Virtual
+      & info [ "clock" ] ~docv:"CLOCK"
+          ~doc:"Clock for hotspot ranking and the flamegraph: $(b,virtual) (the simulated \
+                testbed time) or $(b,wall).")
+  in
+  let flame =
+    Arg.(
+      value & opt (some string) None
+      & info [ "flame" ] ~docv:"FILE"
+          ~doc:"Write collapsed-stack lines ($(i,a;b;c value), self time in microseconds) to \
+                $(docv) for flamegraph renderers.")
+  in
+  let f path top clock flame = handle (run_profile ~path ~top ~clock ~flame) in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Span profile of an observability trace: rebuild the phase tree from span begin/end \
+          stamps, report per-phase total and self time on both the wall and the virtual \
+          clock, rank hotspots by self time, and optionally emit a collapsed-stack \
+          flamegraph.")
+    Term.(const f $ path $ top $ clock $ flame)
 
 let fsck_cmd =
   let paths =
@@ -1477,5 +1808,7 @@ let () =
             kconfig_cmd;
             analyze_cmd;
             compare_cmd;
+            watch_cmd;
+            profile_cmd;
             fsck_cmd;
             models_cmd ]))

@@ -345,6 +345,31 @@ let parse_row j =
         belief;
         objectives }
 
+(* One body line, classified — the incremental reader (Monitor.Tail)
+   consumes the file line-at-a-time through this instead of re-running
+   the whole-file readers below on every poll. *)
+type line =
+  | Iter_line of row
+  | Fin_line of { fin_rows : int option; fin_crc : Crc32.t option }
+  | Blank_line
+
+let parse_line s =
+  if String.trim s = "" then Ok Blank_line
+  else
+    match Json.parse s with
+    | Error msg -> Error (Malformed msg)
+    | Ok j -> (
+      match Option.bind (Json.member "type" j) Json.to_str with
+      | Some "fin" ->
+        Ok
+          (Fin_line
+             { fin_rows = Option.bind (Json.member "rows" j) Json.to_int;
+               fin_crc =
+                 Option.bind
+                   (Option.bind (Json.member "crc" j) Json.to_str)
+                   Crc32.of_hex })
+      | _ -> Result.map (fun r -> Iter_line r) (parse_row j))
+
 type drop = { line : int; offset : int; reason : string }
 
 type salvage = {

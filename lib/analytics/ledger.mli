@@ -138,6 +138,34 @@ val of_lines : string list -> (t, error) result
     {!Malformed} messages name the line number and byte offset where
     parsing stopped (["line 17 (byte 2310): ..."]). *)
 
+(** {1 Incremental reading}
+
+    The pieces a line-at-a-time reader (e.g. [Monitor.Tail]) needs to
+    consume a growing ledger without re-parsing the whole file on every
+    poll.  They accept exactly what the whole-file readers accept. *)
+
+val parse_header : string -> (unit, error) result
+(** Validate line 1: schema version and ["ledger"] kind. *)
+
+val parse_meta : offset:int -> string -> (meta, error) result
+(** Parse line 2.  [offset] is the byte offset of the line's start, used
+    only to anchor error messages. *)
+
+type line =
+  | Iter_line of row
+  | Fin_line of {
+      fin_rows : int option;  (** [None] when the seal is missing it. *)
+      fin_crc : Wayfinder_platform.Crc32.t option;
+          (** [None] when missing or not valid hex. *)
+    }  (** A [fin] seal — {e unverified}: the caller checks row count and
+           CRC against what it actually read. *)
+  | Blank_line
+
+val parse_line : string -> (line, error) result
+(** Classify one body line (line 3 onwards, no trailing newline).
+    Errors are [Malformed] with no position anchor — the caller knows its
+    own line number and byte offset. *)
+
 (** {1 Salvage}
 
     Recovery for torn or corrupt ledgers: keep every parseable record,

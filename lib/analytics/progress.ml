@@ -39,7 +39,7 @@ let of_series ?(window = default_window) ?metrics ?workers (s : Series.t) =
     worker_busy;
     virtual_seconds = Series.last_at_seconds s }
 
-let to_line ~metric snap =
+let to_line ?(alerts = []) ~metric snap =
   let buf = Buffer.create 96 in
   Buffer.add_string buf (Printf.sprintf "[iter %d]" snap.iteration);
   Buffer.add_string buf
@@ -55,4 +55,6 @@ let to_line ~metric snap =
   | Some r -> Buffer.add_string buf (Printf.sprintf " | busy %.0f%%" (100. *. r))
   | None -> ());
   Buffer.add_string buf (Printf.sprintf " | vt %s" (Obs.Summary.si snap.virtual_seconds));
+  if alerts <> [] then
+    Buffer.add_string buf (" | ALERT " ^ String.concat "," alerts);
   Buffer.contents buf

@@ -29,6 +29,7 @@ val default_window : int
 val of_series :
   ?window:int -> ?metrics:Obs.Metrics.snapshot -> ?workers:int -> Series.t -> snapshot
 
-val to_line : metric:Metric.t -> snapshot -> string
+val to_line : ?alerts:string list -> metric:Metric.t -> snapshot -> string
 (** e.g. [[iter 120] best 812.300 req/s | slope +0.42/it | crash 18% |
-    cache 37% | busy 86% | vt 3.4h]. *)
+    cache 37% | busy 86% | vt 3.4h].  [alerts] (default none) appends the
+    active alert-rule names: [... | ALERT crash,stall]. *)

@@ -1,0 +1,85 @@
+module Obs = Wayfinder_obs
+module A = Wayfinder_analytics
+
+(* Prometheus text exposition (version 0.0.4) of the obs metrics
+   registry plus live-series gauges.  Counters map to counters,
+   power-of-two histograms to cumulative [_bucket{le=...}] series with
+   the mandatory [+Inf] bucket, [_sum] and [_count].  Numbers use the
+   exact-round-trip JSON codec so the file is as replayable as the
+   ledger it came from. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let metric_name name = "wayfinder_" ^ sanitize name
+
+let number v =
+  if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_nan v then "NaN"
+  else A.Json.number_to_string v
+
+let add_counter buf name v =
+  let n = metric_name name in
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %s\n" n n (number v))
+
+let add_gauge buf name v =
+  let n = metric_name name in
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n (number v))
+
+let add_histogram buf name (h : Obs.Metrics.histogram) =
+  let n = metric_name name in
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+  let cum = ref 0 in
+  Array.iter
+    (fun (bound, c) ->
+      cum := !cum + c;
+      if bound <> infinity then
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (number bound) !cum))
+    h.Obs.Metrics.buckets;
+  Buffer.add_string buf
+    (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.Obs.Metrics.count);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_sum %s\n" n (number h.Obs.Metrics.sum));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_count %d\n" n h.Obs.Metrics.count)
+
+let of_snapshot buf (s : Obs.Metrics.snapshot) =
+  List.iter (fun (name, v) -> add_counter buf name v) s.Obs.Metrics.counters;
+  List.iter (fun (name, h) -> add_histogram buf name h) s.Obs.Metrics.histograms
+
+let of_stats buf (s : Live_series.stats) =
+  let g = add_gauge buf in
+  g "live.iteration" (float_of_int s.Live_series.length);
+  (match s.Live_series.best with
+  | Some (_, v) -> g "live.best" v
+  | None -> ());
+  (if not (Float.is_nan s.Live_series.best_so_far) then
+     g "live.best_so_far" s.Live_series.best_so_far);
+  g "live.regret_slope" s.Live_series.regret_slope;
+  g "live.crash_rate" s.Live_series.crash_rate;
+  g "live.transient_rate" s.Live_series.transient_rate;
+  g "live.windowed_crash_rate" s.Live_series.windowed_crash_rate;
+  g "live.windowed_transient_rate" s.Live_series.windowed_transient_rate;
+  g "live.distinct_configs" (float_of_int s.Live_series.distinct_configs);
+  g "live.distinct_stage_keys" (float_of_int s.Live_series.distinct_stage_keys);
+  (match s.Live_series.pareto_size with
+  | Some n -> g "live.pareto_size" (float_of_int n)
+  | None -> ());
+  (match s.Live_series.hypervolume_proxy with
+  | Some hv -> g "live.hypervolume_proxy" hv
+  | None -> ());
+  g "live.virtual_seconds" s.Live_series.virtual_seconds;
+  g "live.eval_seconds_total" s.Live_series.total_eval_seconds
+
+let render ?stats ?snapshot () =
+  let buf = Buffer.create 1024 in
+  (match stats with Some s -> of_stats buf s | None -> ());
+  (match snapshot with Some s -> of_snapshot buf s | None -> ());
+  Buffer.contents buf

@@ -1,0 +1,216 @@
+module A = Wayfinder_analytics
+module Failure = Wayfinder_platform.Failure
+
+(* Declarative alert rules over a live series.  Evaluation is pure with
+   respect to the rows seen so far (plus the frozen drift baseline), so
+   alerts — like everything else in this library — are a deterministic
+   function of the ledger bytes.  Firing is edge-triggered: a rule
+   reports once when its condition becomes true and re-arms when the
+   condition clears. *)
+
+type rule =
+  | Crash of { threshold : float; window : int }
+  | Stall of { iterations : int }
+  | Starve of { fraction : float }
+  | Drift of { window : int }
+
+let default_window = Live_series.default_window
+
+let rule_name = function
+  | Crash _ -> "crash"
+  | Stall _ -> "stall"
+  | Starve _ -> "starve"
+  | Drift _ -> "drift"
+
+let rule_to_string = function
+  | Crash { threshold; window } -> Printf.sprintf "crash>%g@%d" threshold window
+  | Stall { iterations } -> Printf.sprintf "stall>%d" iterations
+  | Starve { fraction } -> Printf.sprintf "starve<%g" fraction
+  | Drift { window } -> Printf.sprintf "drift@%d" window
+
+(* ------------------------------------------------------------------ *)
+(* Spec grammar                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* SPEC ::= rule ("," rule)*
+   rule ::= "crash>" FLOAT ["@" INT]    windowed crash rate above FLOAT
+          | "stall>" INT                no best improvement in INT iters
+          | "starve<" FLOAT             worker busy fraction below FLOAT
+          | "drift" ["@" INT]           Analytics.Drift vs the run's own
+                                        first-window baseline          *)
+
+let parse_one s =
+  let ( let* ) = Result.bind in
+  let fail () = Error (Printf.sprintf "unrecognised alert rule %S" s) in
+  let float_of what v =
+    match float_of_string_opt v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "%s: %S is not a number" what v)
+  in
+  let int_of what v =
+    match int_of_string_opt v with
+    | Some i when i > 0 -> Ok i
+    | Some _ -> Error (Printf.sprintf "%s: must be positive" what)
+    | None -> Error (Printf.sprintf "%s: %S is not an integer" what v)
+  in
+  let with_window rest k =
+    match String.index_opt rest '@' with
+    | None -> k rest default_window
+    | Some i ->
+      let* w =
+        int_of ("window of " ^ s)
+          (String.sub rest (i + 1) (String.length rest - i - 1))
+      in
+      k (String.sub rest 0 i) w
+  in
+  let after prefix =
+    let n = String.length prefix in
+    if String.length s > n && String.sub s 0 n = prefix then
+      Some (String.sub s n (String.length s - n))
+    else None
+  in
+  match after "crash>" with
+  | Some rest ->
+    with_window rest (fun v window ->
+        let* threshold = float_of s v in
+        if threshold < 0. || threshold > 1. then
+          Error (Printf.sprintf "%s: threshold must be in [0,1]" s)
+        else Ok (Crash { threshold; window }))
+  | None -> (
+    match after "stall>" with
+    | Some rest ->
+      let* iterations = int_of s rest in
+      Ok (Stall { iterations })
+    | None -> (
+      match after "starve<" with
+      | Some rest ->
+        let* fraction = float_of s rest in
+        if fraction < 0. || fraction > 1. then
+          Error (Printf.sprintf "%s: fraction must be in [0,1]" s)
+        else Ok (Starve { fraction })
+      | None ->
+        if s = "drift" then Ok (Drift { window = default_window })
+        else
+          with_window s (fun head window ->
+              if head = "drift" then Ok (Drift { window }) else fail ())))
+
+let parse spec =
+  let parts =
+    List.filter (fun s -> s <> "")
+      (List.map String.trim (String.split_on_char ',' spec))
+  in
+  if parts = [] then Error "empty alert spec"
+  else
+    List.fold_left
+      (fun acc part ->
+        Result.bind acc (fun rules ->
+            Result.map (fun r -> r :: rules) (parse_one part)))
+      (Ok []) parts
+    |> Result.map List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type firing = { rule : string; message : string }
+
+type entry = {
+  spec : rule;
+  mutable firing : bool;
+  (* Drift only: (crash_rate, mean successful value) over the run's
+     first [window] rows, frozen the first time the series reaches that
+     length — the "training distribution" the tail is probed against. *)
+  mutable baseline : (float * float) option;
+}
+
+type state = entry list
+
+let create rules = List.map (fun spec -> { spec; firing = false; baseline = None }) rules
+
+let mean_success rows =
+  let sum = ref 0. and k = ref 0 in
+  Array.iter
+    (fun (r : A.Series.row) ->
+      match (r.A.Series.value, r.A.Series.failure) with
+      | Some v, None ->
+        sum := !sum +. v;
+        incr k
+      | _ -> ())
+    rows;
+  if !k = 0 then Float.nan else !sum /. float_of_int !k
+
+let condition entry ?worker_busy live =
+  let n = Live_series.length live in
+  match entry.spec with
+  | Crash { threshold; window } ->
+    if n = 0 then None
+    else begin
+      let tail = Live_series.tail_series live ~window in
+      let k = A.Series.length tail in
+      let rate = (A.Series.windowed_crash_rate tail ~window).(k - 1) in
+      if rate > threshold then
+        Some
+          (Printf.sprintf "windowed crash rate %.0f%% > %.0f%% (window %d)"
+             (100. *. rate) (100. *. threshold) window)
+      else None
+    end
+  | Stall { iterations } ->
+    if n > 0 && n - Live_series.last_improvement live >= iterations then
+      Some
+        (Printf.sprintf "no best improvement in %d iterations (threshold %d)"
+           (n - Live_series.last_improvement live) iterations)
+    else None
+  | Starve { fraction } -> (
+    match worker_busy with
+    | Some busy when busy < fraction ->
+      Some
+        (Printf.sprintf "worker pool %.0f%% busy < %.0f%%" (100. *. busy)
+           (100. *. fraction))
+    | Some _ | None -> None)
+  | Drift { window } ->
+    (* Freeze the baseline once the first window is complete; probe the
+       trailing window once a full second window exists, so baseline and
+       probe rows never overlap. *)
+    (if entry.baseline = None && n >= window then begin
+       let head = Array.sub (Live_series.series live).A.Series.rows 0 window in
+       let crashes =
+         Array.fold_left
+           (fun acc (r : A.Series.row) ->
+             match r.A.Series.failure with
+             | Some f when Failure.counts_as_crash f -> acc + 1
+             | _ -> acc)
+           0 head
+       in
+       entry.baseline <-
+         Some
+           ( float_of_int crashes /. float_of_int window,
+             mean_success head )
+     end);
+    (match entry.baseline with
+    | Some (donor_crash_rate, donor_mean) when n >= 2 * window -> (
+      let probe =
+        A.Drift.probe ~window ~donor_crash_rate ~donor_mean
+          (Live_series.tail_series live ~window)
+      in
+      match probe.A.Drift.verdict with
+      | A.Drift.Fresh -> None
+      | A.Drift.Stale reasons -> Some (String.concat "; " reasons))
+    | _ -> None)
+
+let evaluate state ?worker_busy live =
+  List.filter_map
+    (fun entry ->
+      match condition entry ?worker_busy live with
+      | Some message ->
+        let fresh = not entry.firing in
+        entry.firing <- true;
+        if fresh then Some { rule = rule_name entry.spec; message } else None
+      | None ->
+        entry.firing <- false;
+        None)
+    state
+
+let active state =
+  List.filter_map
+    (fun entry -> if entry.firing then Some (rule_name entry.spec) else None)
+    state

@@ -1,0 +1,62 @@
+(** Follow-mode ledger reader.
+
+    Polls a growing JSONL ledger: each {!step} reads every line whose
+    terminating newline has reached the disk since the previous step and
+    parses it incrementally — a writer killed mid-record never yields a
+    half-parsed row (the torn fragment stays pending until the file
+    grows past it).  Body damage follows the salvage discipline of
+    {!Wayfinder_analytics.Ledger}: bad lines become positioned drops;
+    only header/meta damage (or an unknown schema) is a fatal error,
+    since without the meta record the rows cannot be interpreted.
+
+    When the tail starts at byte 0 it maintains the same streaming
+    CRC-32 the batch reader computes, so a [fin] seal is fully verified
+    ({!Sealed}); a tail {!resume}d mid-file can check the seal's row
+    count but not its checksum and reports {!Sealed_unverified}.  A file
+    that shrinks under the reader (truncation/rewrite) resets the tail
+    to the beginning and is flagged in the step result. *)
+
+module A = Wayfinder_analytics
+
+type seal =
+  | Unsealed  (** No [fin] yet — a live or killed run. *)
+  | Sealed  (** [fin] present, row count and CRC both verified. *)
+  | Sealed_unverified
+      (** [fin] present with matching row count, but the tail resumed
+          mid-file so the CRC could not be recomputed. *)
+
+type t
+
+type step = {
+  rows : A.Ledger.row list;  (** Newly completed rows, in file order. *)
+  drops : A.Ledger.drop list;  (** Newly dropped lines, in file order. *)
+  truncated : bool;
+      (** The file shrank since the last step; the tail restarted from
+          byte 0 and [rows]/[drops] re-deliver from the beginning. *)
+}
+
+val create : string -> t
+(** Tail from byte 0.  No I/O happens until {!step}. *)
+
+val resume :
+  ?rows_read:int -> path:string -> offset:int -> meta:A.Ledger.meta -> unit -> t
+(** Tail from a byte offset inside the row region, for a caller that
+    already consumed the prefix (and its meta record).  [rows_read]
+    (default 0) is the number of iter rows in the consumed prefix, so a
+    later [fin] seal's row count can still be checked.  Drop line
+    numbers are then relative to the resume point, and a seal can only
+    verify as {!Sealed_unverified}. *)
+
+val step : t -> (step, A.Ledger.error) result
+(** Read and parse everything new.  [Error] on a missing/unreadable
+    file, a foreign or damaged header, or a damaged meta line. *)
+
+val meta : t -> A.Ledger.meta option
+(** The meta record, once the second line has been read. *)
+
+val seal : t -> seal
+val offset : t -> int
+(** Bytes consumed (complete lines only). *)
+
+val rows_read : t -> int
+val dropped : t -> int

@@ -26,10 +26,15 @@ let escape_string s =
     s;
   Buffer.contents buf
 
+(* Exact round-trip: a reader that sums trace durations must recover the
+   bit-identical floats the recorder fed its histograms (the span
+   profiler reconciles the two), so shortest-exact beats fixed width. *)
 let json_of_float v =
   if not (Float.is_finite v) then "null"
   else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
-  else Printf.sprintf "%.9g" v
+  else
+    let s = Printf.sprintf "%.15g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
 
 let json_of_value = function
   | String s -> Printf.sprintf "\"%s\"" (escape_string s)

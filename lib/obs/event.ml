@@ -10,8 +10,11 @@ type t =
     }
   | Count of { name : string; delta : float; at : stamp }
   | Sample of { name : string; value : float; at : stamp }
+  | Alert of { rule : string; message : string; at : stamp }
 
-let name = function Span { name; _ } | Count { name; _ } | Sample { name; _ } -> name
+let name = function
+  | Span { name; _ } | Count { name; _ } | Sample { name; _ } -> name
+  | Alert { rule; _ } -> rule
 
 let fl = Attr.json_of_value
 
@@ -34,4 +37,9 @@ let to_json = function
     Printf.sprintf
       "{\"type\":\"sample\",\"name\":%s,\"value\":%s,\"wall_s\":%s,\"virtual_s\":%s}"
       (fl (Attr.String name)) (fl (Attr.Float value))
+      (fl (Attr.Float at.wall_s)) (fl (Attr.Float at.virtual_s))
+  | Alert { rule; message; at } ->
+    Printf.sprintf
+      "{\"type\":\"alert\",\"rule\":%s,\"message\":%s,\"wall_s\":%s,\"virtual_s\":%s}"
+      (fl (Attr.String rule)) (fl (Attr.String message))
       (fl (Attr.Float at.wall_s)) (fl (Attr.Float at.virtual_s))

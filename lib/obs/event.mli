@@ -22,8 +22,12 @@ type t =
       (** A counter increment. *)
   | Sample of { name : string; value : float; at : stamp }
       (** One histogram observation. *)
+  | Alert of { rule : string; message : string; at : stamp }
+      (** An alert rule firing (see [Wayfinder_monitor.Rules]): [rule] is
+          the rule's name, [message] the human-readable condition. *)
 
 val name : t -> string
+(** The event's name; for [Alert] this is the rule name. *)
 
 val to_json : t -> string
 (** One-line JSON rendering (no trailing newline) — the JSONL sink writes

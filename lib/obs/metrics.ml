@@ -76,9 +76,22 @@ let quantile h q =
     (try
        Array.iter
          (fun (bound, c) ->
+           let before = !acc in
            acc := !acc + c;
            if float_of_int !acc >= target then begin
-             result := bound;
+             (* Linear interpolation inside the power-of-two bucket: assume
+                the c samples are spread evenly over (lo, bound].  Returning
+                [bound] outright — the old behaviour — overestimates by up
+                to 2x for samples near the bucket's lower edge. *)
+             let lo =
+               if bound = infinity then Float.pow 2. (float_of_int max_exp)
+               else if bound <= Float.pow 2. (float_of_int min_exp) then 0.
+               else bound /. 2.
+             in
+             let frac = (target -. float_of_int before) /. float_of_int c in
+             result :=
+               (if Float.is_finite bound then lo +. (frac *. (bound -. lo))
+                else lo);
              raise Exit
            end)
          h.buckets

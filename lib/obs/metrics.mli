@@ -9,6 +9,24 @@
 type t
 (** Mutable registry. *)
 
+val min_exp : int
+(** Smallest bucket exponent: bucket 0 catches samples [<= 2^min_exp]
+    (including zero, negatives, and NaN). *)
+
+val max_exp : int
+(** Largest finite bucket exponent; the last bucket catches everything
+    above [2^max_exp]. *)
+
+val n_buckets : int
+(** Total bucket count, [max_exp - min_exp + 2]. *)
+
+val bucket_index : float -> int
+(** The bucket a sample lands in.  Non-positive values and NaN land in
+    bucket 0. *)
+
+val bucket_bound : int -> float
+(** Inclusive upper bound of a bucket; [infinity] for the last. *)
+
 val create : unit -> t
 
 val incr : t -> ?by:float -> string -> unit
@@ -32,9 +50,12 @@ val mean : histogram -> float
 (** [sum / count]; 0 when empty. *)
 
 val quantile : histogram -> float -> float
-(** [quantile h q] for [q] in [0, 1]: the upper bound of the bucket
-    containing the [q]-th sample, clamped to [[h.min, h.max]].  0 when
-    empty. *)
+(** [quantile h q] for [q] in [0, 1]: linearly interpolated within the
+    power-of-two bucket containing the [q]-th sample (assuming samples
+    spread evenly across the bucket), clamped to [[h.min, h.max]].  The
+    estimate and the exact quantile always share a bucket, so the error is
+    bounded by one bucket width (a factor of 2 for positive in-range
+    samples).  0 when empty. *)
 
 type snapshot = {
   counters : (string * float) list;  (** Sorted by name. *)

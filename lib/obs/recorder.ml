@@ -33,6 +33,10 @@ let observe t ?(quiet = false) name value =
   Metrics.observe t.metrics name value;
   if (not quiet) && t.sinks <> [] then emit t (Event.Sample { name; value; at = stamp t })
 
+let alert t ~rule message =
+  Metrics.incr t.metrics ("alerts." ^ rule);
+  if t.sinks <> [] then emit t (Event.Alert { rule; message; at = stamp t })
+
 type span = { span_name : string; span_attrs : Attr.t; span_began : Event.stamp }
 
 let span_begin t ?(attrs = Attr.empty) name =

@@ -45,6 +45,10 @@ val incr : t -> ?by:float -> ?quiet:bool -> string -> unit
 val observe : t -> ?quiet:bool -> string -> float -> unit
 (** Record a histogram sample; emits a [Sample] event unless [quiet]. *)
 
+val alert : t -> rule:string -> string -> unit
+(** Record an alert-rule firing: bumps the [alerts.<rule>] counter and, if
+    sinks are attached, emits a typed [Alert] event into the trace. *)
+
 type span
 
 val span_begin : t -> ?attrs:Attr.t -> string -> span

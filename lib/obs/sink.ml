@@ -20,9 +20,9 @@ let schema_header ~kind =
   Printf.sprintf "{\"wayfinder_schema\":%d,\"kind\":%s}" schema_version
     (Attr.json_of_value (Attr.String kind))
 
-let jsonl write =
+let jsonl ?(flush = fun () -> ()) write =
   write (schema_header ~kind:"trace" ^ "\n");
-  { emit = (fun e -> write (Event.to_json e ^ "\n")); flush = (fun () -> ()) }
+  { emit = (fun e -> write (Event.to_json e ^ "\n")); flush }
 
 let jsonl_channel oc =
   output_string oc (schema_header ~kind:"trace" ^ "\n");

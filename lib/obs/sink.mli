@@ -29,11 +29,13 @@ val schema_header : kind:string -> string
     Readers reject unknown versions with a typed error instead of a parse
     crash. *)
 
-val jsonl : (string -> unit) -> t
+val jsonl : ?flush:(unit -> unit) -> (string -> unit) -> t
 (** [jsonl write] renders each event as one JSON line (newline included)
     and passes it to [write] — wrap an [out_channel], a [Buffer], or a
     socket.  The {!schema_header} line is written immediately at sink
-    creation. *)
+    creation.  [flush] (default no-op) is invoked by {!val-flush}: pass the
+    callback owner's flush so buffered lines reach stable storage — a sink
+    whose owner buffers but never flushes loses the tail on crash. *)
 
 val jsonl_channel : out_channel -> t
 (** JSONL straight to a channel; [flush] flushes the channel.  Writes the

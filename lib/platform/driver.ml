@@ -535,6 +535,10 @@ let run_sequential ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
         iteration_span;
       (match on_record with Some f -> f entry belief | None -> ());
       (match on_iteration with Some f -> f entry | None -> ());
+      (* Keep attached trace sinks current with the ledger: a live
+         consumer (watch --follow, metrics export) sees every completed
+         iteration, not just what the final flush drains. *)
+      Obs.Recorder.flush obs;
       incr index;
       if !index mod checkpoint_every = 0 then write_checkpoint ();
       (* Safety cap: a search stuck on invalid proposals makes no progress
@@ -845,6 +849,8 @@ let run ?(seed = 0) ?clock ?on_iteration ?on_record ?obs
     incr completed;
     (match on_record with Some f -> f entry belief | None -> ());
     (match on_iteration with Some f -> f entry | None -> ());
+    (* As in the sequential loop: live trace consumers track the ledger. *)
+    Obs.Recorder.flush obs;
     if !completed mod checkpoint_every = 0 then write_checkpoint ()
   in
   (* A replayed completion: the entry is already final (observe cost

@@ -310,7 +310,7 @@ let scenario_algorithm name ~seed ~spec space =
 
 let run_scenario ?(engine = `Workers 1) ?batch ?(seed = 7)
     ?(budget = Driver.Iterations 12) ?(fault_rate = 0.) ?(stride = 1) ?spec ?scalarize
-    ?checkpoint_path ?checkpoint_every ?resume_from ?on_iteration name =
+    ?checkpoint_path ?checkpoint_every ?resume_from ?on_iteration ?on_record name =
   let scenario = make_scenario ~stride () in
   let base = trace_target ?spec ?scalarize scenario in
   let target =
@@ -328,10 +328,10 @@ let run_scenario ?(engine = `Workers 1) ?batch ?(seed = 7)
     match engine with
     | `Sequential ->
       Driver.run_sequential ~seed ~obs:(frozen_obs ()) ?checkpoint_path ?checkpoint_every
-        ?resume_from ~scenario ~target ?on_iteration ~algorithm:algo ~budget ()
+        ?resume_from ~scenario ~target ?on_iteration ?on_record ~algorithm:algo ~budget ()
     | `Workers workers ->
       Driver.run ~seed ~obs:(frozen_obs ()) ?checkpoint_path ?checkpoint_every ?resume_from
-        ~workers ?batch ~scenario ~target ?on_iteration ~algorithm:algo ~budget ()
+        ~workers ?batch ~scenario ~target ?on_iteration ?on_record ~algorithm:algo ~budget ()
   in
   ({ result; observed }, Scenario.cursor scenario)
 

@@ -57,6 +57,69 @@ let test_metrics_histogram () =
   Alcotest.(check (float 1e-9)) "sum helper" 15. (Metrics.sum s "h");
   Alcotest.(check (float 1e-9)) "sum of absent is 0" 0. (Metrics.sum s "nope")
 
+let test_metrics_bucket_edges () =
+  (* A sample exactly on a power of two lands in the bucket it bounds
+     (bounds are inclusive). *)
+  for e = Metrics.min_exp + 1 to Metrics.max_exp do
+    let v = Float.pow 2. (float_of_int e) in
+    Alcotest.(check (float 0.))
+      (Printf.sprintf "2^%d on its own bound" e)
+      v
+      (Metrics.bucket_bound (Metrics.bucket_index v))
+  done;
+  let tiny = Float.pow 2. (float_of_int Metrics.min_exp) in
+  Alcotest.(check int) "at 2^min_exp -> bucket 0" 0 (Metrics.bucket_index tiny);
+  Alcotest.(check int) "below 2^min_exp -> bucket 0" 0 (Metrics.bucket_index (tiny /. 4.));
+  Alcotest.(check int) "zero -> bucket 0" 0 (Metrics.bucket_index 0.);
+  Alcotest.(check int) "negative -> bucket 0" 0 (Metrics.bucket_index (-3.));
+  Alcotest.(check int) "nan -> bucket 0" 0 (Metrics.bucket_index Float.nan);
+  let huge = Float.pow 2. (float_of_int Metrics.max_exp) *. 4. in
+  Alcotest.(check int) "above 2^max_exp -> last bucket" (Metrics.n_buckets - 1)
+    (Metrics.bucket_index huge);
+  Alcotest.(check (float 0.)) "last bound is +inf" infinity
+    (Metrics.bucket_bound (Metrics.n_buckets - 1))
+
+let test_metrics_nan_does_not_poison () =
+  let m = Metrics.create () in
+  List.iter (Metrics.observe m "h") [ 1.0; Float.nan; 4.0 ];
+  match Metrics.histogram (Metrics.snapshot m) "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    Alcotest.(check int) "nan still counted" 3 h.Metrics.count;
+    Alcotest.(check (float 0.)) "min unpoisoned" 1. h.Metrics.min;
+    Alcotest.(check (float 0.)) "max unpoisoned" 4. h.Metrics.max;
+    (* The NaN sits in bucket 0 with the other non-positives. *)
+    let b0 =
+      Array.fold_left
+        (fun acc (bound, c) -> if bound <= Float.pow 2. (float Metrics.min_exp) then acc + c else acc)
+        0 h.Metrics.buckets
+    in
+    Alcotest.(check int) "nan in bucket 0" 1 b0
+
+(* Interpolated quantiles stay within one power-of-two bucket of the
+   exact order statistic: for positive in-range samples that is a factor
+   of 2 either way. *)
+let quantile_error_bound_prop =
+  QCheck2.Test.make ~count:200 ~name:"quantile within a bucket of exact"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 60) (float_range 1e-3 1e5))
+        (float_range 0. 1.))
+    (fun (samples, q) ->
+      let m = Metrics.create () in
+      List.iter (Metrics.observe m "h") samples;
+      match Metrics.histogram (Metrics.snapshot m) "h" with
+      | None -> false
+      | Some h ->
+        let sorted = List.sort compare samples in
+        let n = List.length sorted in
+        let k =
+          Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int n)))
+        in
+        let exact = List.nth sorted (k - 1) in
+        let est = Metrics.quantile h q in
+        est >= (exact /. 2.) -. 1e-9 && est <= (exact *. 2.) +. 1e-9)
+
 let test_metrics_snapshot_is_immutable () =
   let m = Metrics.create () in
   Metrics.incr m "a";
@@ -124,6 +187,29 @@ let test_jsonl_sink_format () =
        && (String.sub first i n = needle || scan (i + 1))
      in
      scan 0)
+
+(* The write-callback JSONL sink must surface a real flush: a buffered
+   owner that is never flushed loses the tail on crash.  Emit through a
+   buffered out_channel and check the event is on disk only after
+   Sink.flush. *)
+let test_jsonl_sink_flush_visibility () =
+  let path = Filename.temp_file "wayfinder_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      let sink = Sink.jsonl ~flush:(fun () -> flush oc) (output_string oc) in
+      Sink.emit sink
+        (Event.Count { name = "c"; delta = 1.; at = { Event.wall_s = 0.; virtual_s = 0. } });
+      Sink.flush sink;
+      let on_disk = In_channel.with_open_text path In_channel.input_all in
+      close_out oc;
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' on_disk)
+      in
+      Alcotest.(check int) "header and event visible after flush" 2 (List.length lines);
+      Alcotest.(check string) "header first" (Sink.schema_header ~kind:"trace")
+        (List.nth lines 0))
 
 let test_tee_forwards_in_order () =
   let seen = ref [] in
@@ -203,6 +289,26 @@ let test_recorder_quiet_skips_events_not_metrics () =
   Alcotest.(check (float 1e-9)) "quiet histogram aggregated" 1.
     (Metrics.sum s "silent_h")
 
+let test_alert_event_json () =
+  Alcotest.(check string) "alert json"
+    {|{"type":"alert","rule":"crash","message":"windowed crash rate 50% > 10%","wall_s":1.5,"virtual_s":60}|}
+    (Event.to_json
+       (Event.Alert
+          { rule = "crash";
+            message = "windowed crash rate 50% > 10%";
+            at = { Event.wall_s = 1.5; virtual_s = 60. } }))
+
+let test_recorder_alert () =
+  let store = Sink.Memory.create () in
+  let r, _, _ = manual_recorder ~sinks:[ Sink.Memory.sink store ] () in
+  Recorder.alert r ~rule:"stall" "no improvement in 30 iterations";
+  (match Sink.Memory.events store with
+  | [ Event.Alert { rule = "stall"; message; _ } ] ->
+    Alcotest.(check string) "message carried" "no improvement in 30 iterations" message
+  | _ -> Alcotest.fail "expected exactly one alert event");
+  Alcotest.(check (float 1e-9)) "per-rule counter" 1.
+    (Metrics.counter (Recorder.snapshot r) "alerts.stall")
+
 let test_recorder_timed () =
   let r, wall, _ = manual_recorder () in
   let x, dt =
@@ -281,12 +387,17 @@ let () =
       ( "metrics",
         [ Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+          Alcotest.test_case "bucket edges" `Quick test_metrics_bucket_edges;
+          Alcotest.test_case "nan does not poison min/max" `Quick
+            test_metrics_nan_does_not_poison;
+          QCheck_alcotest.to_alcotest quantile_error_bound_prop;
           Alcotest.test_case "snapshot immutable" `Quick test_metrics_snapshot_is_immutable ] );
       ( "sinks",
         [ Alcotest.test_case "memory ring drops oldest" `Quick test_memory_ring_drops_oldest;
           Alcotest.test_case "memory rejects bad capacity" `Quick
             test_memory_rejects_bad_capacity;
           Alcotest.test_case "jsonl format" `Quick test_jsonl_sink_format;
+          Alcotest.test_case "jsonl flush visibility" `Quick test_jsonl_sink_flush_visibility;
           Alcotest.test_case "tee order" `Quick test_tee_forwards_in_order ] );
       ( "recorder",
         [ Alcotest.test_case "span feeds both histograms" `Quick
@@ -299,6 +410,8 @@ let () =
             test_recorder_emit_span_virtual_only;
           Alcotest.test_case "quiet skips events not metrics" `Quick
             test_recorder_quiet_skips_events_not_metrics;
+          Alcotest.test_case "alert event json" `Quick test_alert_event_json;
+          Alcotest.test_case "recorder alert" `Quick test_recorder_alert;
           Alcotest.test_case "timed" `Quick test_recorder_timed ] );
       ( "summary",
         [ Alcotest.test_case "si rendering" `Quick test_summary_si;
